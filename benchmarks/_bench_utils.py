@@ -1,0 +1,17 @@
+"""Small helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+
+def emit(result, output_dir: Path, filename: str) -> None:
+    """Print an ExperimentResult table and persist it as CSV.
+
+    ``result`` is an :class:`repro.analysis.experiments.ExperimentResult`;
+    the printed table shows the same rows/series the paper reports and the
+    CSV lands under ``benchmarks/output/`` for later inspection.
+    """
+    print()
+    print(result.to_text())
+    result.to_csv(str(output_dir / filename))

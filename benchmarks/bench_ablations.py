@@ -1,0 +1,53 @@
+"""Ablation benchmarks (extensions beyond the paper's evaluation).
+
+* number of Pareto design points available to the runtime (2 / 3 / 5),
+* simplex pivot rule (Dantzig vs Bland),
+* alpha sensitivity of the chosen operating mix at a fixed budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import emit
+from repro.analysis.experiments import (
+    run_alpha_sensitivity_experiment,
+    run_pareto_subset_ablation,
+    run_pivot_rule_ablation,
+)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_pareto_subset_ablation(benchmark, output_dir):
+    """More runtime design points never hurt the achievable objective."""
+    result = benchmark(
+        lambda: run_pareto_subset_ablation(subset_sizes=(2, 3, 5), num_budgets=30)
+    )
+    emit(result, output_dir, "ablation_pareto_subsets.csv")
+
+    objectives = result.column("mean_objective")
+    assert objectives == sorted(objectives)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_pivot_rule_ablation(benchmark, output_dir):
+    """Dantzig and Bland pivot rules find the same optimum."""
+    result = benchmark(lambda: run_pivot_rule_ablation(num_budgets=30))
+    emit(result, output_dir, "ablation_pivot_rule.csv")
+    assert result.extras["objective_gap"] == pytest.approx(0.0, abs=1e-9)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_alpha_sensitivity(benchmark, output_dir):
+    """Raising alpha shifts the chosen mix toward the accurate design points."""
+    result = benchmark(
+        lambda: run_alpha_sensitivity_experiment(alphas=(0.5, 1.0, 2.0, 4.0, 8.0))
+    )
+    emit(result, output_dir, "ablation_alpha_sensitivity.csv")
+
+    dp5_shares = result.column("DP5_share")
+    accuracies = result.column("expected_accuracy")
+    # DP5's share never increases as alpha grows; the first and last rows
+    # bracket the shift from endurance to accuracy.
+    assert all(b <= a + 1e-9 for a, b in zip(dp5_shares, dp5_shares[1:]))
+    assert accuracies[0] >= accuracies[-1] - 1e-9

@@ -1,0 +1,43 @@
+"""Benchmark / reproduction of Figure 3.
+
+Characterises the full 24-point design space and reports each point's energy
+per activity and accuracy together with whether it is Pareto-optimal (the
+dashed staircase of the figure).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import emit
+from repro.analysis.experiments import run_figure3_experiment
+from repro.har.classifier.train import TrainingConfig
+
+BENCH_NUM_WINDOWS = 700
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_design_space_tradeoff(benchmark, output_dir):
+    """Regenerate the Figure 3 energy/accuracy scatter and Pareto front."""
+
+    def run():
+        return run_figure3_experiment(
+            num_windows=BENCH_NUM_WINDOWS,
+            training_config=TrainingConfig(max_epochs=40, patience=10),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result, output_dir, "figure3.csv")
+
+    assert result.extras["num_design_points"] == 24
+    pareto_names = set(result.extras["pareto_names"])
+    # The design space contains dominated points (the red-rectangle cases of
+    # the paper) as well as a non-trivial Pareto front.
+    assert 2 <= len(pareto_names) < 24
+    # The highest-accuracy point and the lowest-energy point are always on
+    # the front.
+    rows = sorted(result.rows, key=lambda row: row[1])
+    lowest_energy = rows[0][0]
+    highest_accuracy = max(result.rows, key=lambda row: row[2])[0]
+    assert lowest_energy in pareto_names
+    assert highest_accuracy in pareto_names

@@ -1,0 +1,26 @@
+"""Benchmark / reproduction of Figure 4.
+
+Energy breakdown of DP1 over a one-hour activity period.  The paper reports
+a 9.9 J total with roughly 47% of it spent in the sensors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import emit
+from repro.analysis.experiments import run_figure4_experiment
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_dp1_hourly_energy_breakdown(benchmark, output_dir):
+    """Regenerate the Figure 4 energy-breakdown pie as a table."""
+    result = benchmark(run_figure4_experiment)
+    emit(result, output_dir, "figure4.csv")
+
+    assert result.extras["total_j"] == pytest.approx(
+        result.extras["paper_total_j"], rel=0.05
+    )
+    assert result.extras["sensor_fraction"] == pytest.approx(0.47, abs=0.05)
+    fractions = result.column("fraction")
+    assert sum(fractions) == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,36 @@
+"""Benchmark / reproduction of Figure 5(a).
+
+Expected accuracy (alpha = 1) of REAP and the five static design points as a
+function of the allocated energy over one hour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import emit
+from repro.analysis.experiments import run_figure5a_experiment
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5a_expected_accuracy_vs_energy(benchmark, output_dir):
+    """Regenerate the Figure 5(a) series."""
+    result = benchmark(lambda: run_figure5a_experiment(num_budgets=40))
+    emit(result, output_dir, "figure5a.csv")
+
+    budgets = np.array(result.column("budget_J"))
+    reap = np.array(result.column("REAP_%"))
+    dp1 = np.array(result.column("DP1_%"))
+    dp5 = np.array(result.column("DP5_%"))
+
+    # REAP matches or exceeds every static point at every budget.
+    assert result.extras["reap_dominates"]
+    # Region 1: the low-power DP5 beats DP1 on expected accuracy.
+    region1 = budgets < 4.0
+    assert np.all(dp5[region1] >= dp1[region1] - 1e-9)
+    # Region 3: everything saturates; REAP equals DP1's 94%.
+    region3 = budgets > 10.0
+    assert np.all(np.abs(reap[region3] - 94.0) < 1e-3)
+    # Accuracy grows monotonically with the budget for REAP.
+    assert np.all(np.diff(reap) >= -1e-9)

@@ -1,0 +1,38 @@
+"""Benchmark / reproduction of Figure 5(b).
+
+Active time of each static design point normalised to REAP across the
+allocated-energy sweep (alpha = 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import emit
+from repro.analysis.experiments import run_figure5b_experiment
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5b_normalised_active_time(benchmark, output_dir):
+    """Regenerate the Figure 5(b) series."""
+    result = benchmark(lambda: run_figure5b_experiment(num_budgets=40))
+    emit(result, output_dir, "figure5b.csv")
+
+    budgets = np.array(result.column("budget_J"))
+    dp1 = np.array(result.column("DP1_norm_active"))
+    dp5 = np.array(result.column("DP5_norm_active"))
+
+    # No static DP is ever active longer than REAP.
+    for name in ("DP1", "DP2", "DP3", "DP4", "DP5"):
+        values = np.array(result.column(f"{name}_norm_active"))
+        assert np.all(values <= 1.0 + 1e-9)
+    # DP5 (lowest power) matches REAP's active time whenever the device can
+    # be on at all.
+    on = dp5 > 0
+    assert np.all(np.abs(dp5[on] - 1.0) < 1e-6)
+    # In the energy-constrained region DP1 achieves well under half of
+    # REAP's active time (the paper annotates a 2.3x gap).
+    region1 = (budgets > 1.0) & (budgets < 4.0)
+    assert np.all(dp1[region1] < 0.55)
+    assert dp1[region1].min() < 0.45

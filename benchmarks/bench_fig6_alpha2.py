@@ -1,0 +1,41 @@
+"""Benchmark / reproduction of Figure 6.
+
+Objective value J(t) of each static design point normalised to REAP for
+alpha = 2 (accuracy emphasised over active time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import emit
+from repro.analysis.experiments import run_figure6_experiment
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_normalised_objective_alpha2(benchmark, output_dir):
+    """Regenerate the Figure 6 series."""
+    result = benchmark(lambda: run_figure6_experiment(alpha=2.0, num_budgets=40))
+    emit(result, output_dir, "figure6.csv")
+
+    budgets = np.array(result.column("budget_J"))
+    assert result.extras["reap_dominates"]
+
+    dp4 = np.array(result.column("DP4_norm_J"))
+    dp5 = np.array(result.column("DP5_norm_J"))
+    dp1 = np.array(result.column("DP1_norm_J"))
+
+    # Below ~6 J DP4 is the best static point and essentially matches REAP.
+    low = (budgets > 2.0) & (budgets < 5.5)
+    assert np.all(dp4[low] > 0.97)
+    # DP5 never reaches REAP once accuracy is emphasised and falls away as
+    # the budget grows.
+    mid = budgets > 5.0
+    assert np.all(dp5[mid] < 0.85)
+    # DP1 starts well below REAP (it is mostly off in the constrained region,
+    # where DP4 is the best static choice) and converges to 1.0 once the
+    # budget can sustain it for the whole hour.
+    assert dp1[5] < 0.7
+    assert dp1[5] < dp4[5] - 0.2
+    assert dp1[-1] == pytest.approx(1.0, abs=1e-6)

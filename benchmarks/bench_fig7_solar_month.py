@@ -1,0 +1,52 @@
+"""Benchmark / reproduction of Figure 7.
+
+Month-long case study with real-solar-shaped energy budgets: REAP's
+objective value normalised to the static DP1 / DP3 / DP5 baselines, for
+alpha in {0.5, 1, 2, 4, 8}.  The bars of the figure are the mean per-day
+ratios; the error bars are the min/max across the days of the month.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import emit
+from repro.analysis.experiments import run_figure7_experiment
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_monthly_solar_case_study(benchmark, output_dir):
+    """Regenerate the Figure 7 normalised-performance bars."""
+
+    def run():
+        return run_figure7_experiment(
+            alphas=(0.5, 1.0, 2.0, 4.0, 8.0), month=9, seed=2015
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result, output_dir, "figure7.csv")
+
+    by_alpha = {row[0]: row for row in result.rows}
+    headers = result.headers
+
+    def value(alpha, column):
+        return by_alpha[alpha][headers.index(column)]
+
+    # REAP never loses to a static design point on any day of the month.
+    for alpha in (0.5, 1.0, 2.0, 4.0, 8.0):
+        for baseline in ("DP1", "DP3", "DP5"):
+            assert value(alpha, f"vs_{baseline}_min") >= 1.0 - 1e-9
+
+    # Gains over DP1 are large when active time matters and shrink (but stay
+    # above 1.1x) when accuracy dominates -- the trend of the figure.
+    assert value(0.5, "vs_DP1_mean") > 1.4
+    assert value(8.0, "vs_DP1_mean") > 1.1
+    assert value(8.0, "vs_DP1_mean") < value(0.5, "vs_DP1_mean")
+
+    # Gains over DP3 are the smallest (it is the best single trade-off).
+    assert value(0.5, "vs_DP3_mean") < value(0.5, "vs_DP1_mean")
+
+    # Gains over DP5 follow the opposite trend: small at low alpha, large at
+    # high alpha.
+    assert value(0.5, "vs_DP5_mean") < value(8.0, "vs_DP5_mean")
+    assert value(8.0, "vs_DP5_mean") > 1.5

@@ -1,0 +1,33 @@
+"""Benchmark / reproduction of the paper's headline quantitative claims.
+
+Sections 1 and 5.2: the average expected-accuracy and active-time gains over
+the always-DP1 baseline, the 2.3x Region-1 active-time gap, the DP4/DP5 time
+split at a 5 J budget, and the DP5 / DP1 saturation budgets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import emit
+from repro.analysis.experiments import run_headline_claims_experiment
+
+
+@pytest.mark.benchmark(group="claims")
+def test_headline_claims(benchmark, output_dir):
+    """Regenerate the paper-vs-measured headline-claims table."""
+    result = benchmark(lambda: run_headline_claims_experiment(num_budgets=60))
+    emit(result, output_dir, "headline_claims.csv")
+
+    measured = {row[0]: row[2] for row in result.rows}
+    assert measured["expected accuracy gain vs DP1 (mean over sweep)"] == pytest.approx(
+        0.46, abs=0.10
+    )
+    assert measured["active time gain vs DP1 (mean over sweep)"] == pytest.approx(
+        0.66, abs=0.15
+    )
+    assert measured["max active-time ratio vs DP1 (Region 1)"] == pytest.approx(2.3, abs=0.4)
+    assert measured["DP4 share of active time at 5 J"] == pytest.approx(0.42, abs=0.03)
+    assert measured["DP5 share of active time at 5 J"] == pytest.approx(0.58, abs=0.03)
+    assert measured["budget where DP5 saturates (J)"] == pytest.approx(4.3, abs=0.4)
+    assert measured["budget where DP1 saturates (J)"] == pytest.approx(9.9, abs=0.4)

@@ -1,0 +1,53 @@
+"""Benchmark of the on-device simplex solver (Section 3.3).
+
+The paper reports ~1.5 ms per solve with 5 design points and ~8 ms with 100
+design points on the 47 MHz CC2650.  Absolute numbers on a workstation are
+far smaller; the property that matters is that the solve time stays in the
+microsecond-to-millisecond range and grows gently with the number of design
+points, so running it once per hour is negligible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import emit
+from repro.analysis.experiments import (
+    run_solver_scaling_experiment,
+    _random_design_points,
+)
+from repro.core.allocator import ReapAllocator
+from repro.core.problem import ReapProblem
+from repro.data.paper_constants import ACTIVITY_PERIOD_S
+
+
+@pytest.mark.benchmark(group="solver")
+@pytest.mark.parametrize("num_design_points", [5, 10, 20, 50, 100])
+def test_solver_scaling_with_design_point_count(benchmark, num_design_points):
+    """Time one REAP allocation solve for N design points."""
+    rng = np.random.default_rng(7)
+    points = _random_design_points(num_design_points, rng)
+    budget = 0.6 * max(dp.power_w for dp in points) * ACTIVITY_PERIOD_S
+    problem = ReapProblem(tuple(points), energy_budget_j=budget, alpha=1.0)
+    allocator = ReapAllocator()
+
+    allocation = benchmark(lambda: allocator.solve(problem))
+    assert allocation.active_time_s > 0
+    assert allocation.energy_j <= budget + 1e-6
+
+
+@pytest.mark.benchmark(group="solver")
+def test_solver_scaling_summary_table(benchmark, output_dir):
+    """Regenerate the solve-time-vs-N summary table."""
+    result = benchmark.pedantic(
+        lambda: run_solver_scaling_experiment(sizes=(5, 10, 20, 50, 100), repeats=10),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result, output_dir, "solver_scaling.csv")
+
+    times = result.column("mean_solve_ms")
+    # Solve times stay small (well under the paper's 8 ms on an MCU) and do
+    # not explode with N.
+    assert max(times) < 50.0

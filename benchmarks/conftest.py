@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it prints the
+same rows/series the paper reports and stores them as CSV under
+``benchmarks/output/`` so the numbers can be inspected after the run.
+pytest-benchmark times either the full experiment (for the heavyweight,
+train-a-classifier experiments we run a single round) or the representative
+kernel (for the fast optimiser-only experiments).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to also see the reproduced tables on stdout.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.data.table2 import table2_design_points
+
+#: Directory where benchmarks drop their reproduced tables as CSV files.
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    """Create (once) and return the benchmark output directory."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def published_points():
+    """The five published Table 2 design points."""
+    return table2_design_points()

@@ -1,0 +1,87 @@
+"""HAR design-space exploration: from raw sensor data to Pareto design points.
+
+Reproduces the Section 4 workflow end to end on the synthetic user study:
+
+1. synthesise a multi-user labelled dataset of accelerometer + stretch
+   windows,
+2. characterise the five Table 2 design-point configurations -- train the
+   classifier of each, measure its test accuracy and model its energy,
+3. filter the Pareto-optimal points, and
+4. hand them to the REAP runtime for an example allocation.
+
+A reduced dataset (1000 windows) keeps the runtime around a minute; pass a
+larger ``--windows`` for a study-sized run (3553 windows, 14 users).
+
+Run with:  python examples/har_design_space.py [--windows N] [--all-24]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import ReapController
+from repro.analysis import format_table
+from repro.har import DesignSpaceExplorer, generate_study_dataset, pareto_design_points
+from repro.har.classifier.train import TrainingConfig
+from repro.har.design_space import DESIGN_SPACE_SPECS, table2_specs
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--windows", type=int, default=1000,
+                        help="number of labelled windows to synthesise")
+    parser.add_argument("--users", type=int, default=14,
+                        help="number of synthetic users")
+    parser.add_argument("--all-24", action="store_true",
+                        help="characterise the full 24-point design space")
+    parser.add_argument("--seed", type=int, default=2019)
+    args = parser.parse_args()
+
+    print(f"Synthesising a {args.users}-user study with {args.windows} windows ...")
+    dataset = generate_study_dataset(
+        num_users=args.users, num_windows=args.windows, seed=args.seed
+    )
+    distribution = {a.label: count for a, count in dataset.class_distribution().items()}
+    print(f"  class distribution: {distribution}")
+
+    specs = DESIGN_SPACE_SPECS if args.all_24 else table2_specs()
+    print(f"Characterising {len(specs)} design points (training one classifier each) ...")
+    explorer = DesignSpaceExplorer(
+        dataset, training_config=TrainingConfig(max_epochs=80, patience=15)
+    )
+    characterized = explorer.characterize_all(specs)
+
+    rows = [
+        [
+            item.name,
+            item.test_accuracy * 100.0,
+            item.characterization.execution.total_ms,
+            item.characterization.total_energy_mj,
+            item.characterization.average_power_mw,
+            item.config.describe(),
+        ]
+        for item in characterized
+    ]
+    print(format_table(
+        ["DP", "accuracy %", "exec ms", "energy mJ", "power mW", "configuration"],
+        rows,
+        title="Characterised design points",
+    ))
+
+    design_points = [item.to_design_point() for item in characterized]
+    front = pareto_design_points(design_points, max_points=5)
+    print(f"\nPareto-optimal subset: {[dp.name for dp in front]}")
+
+    controller = ReapController(front, alpha=1.0)
+    for budget in (2.0, 5.0, 8.0):
+        allocation = controller.allocate(budget)
+        mix = {k: round(v / 60, 1) for k, v in allocation.as_dict().items() if v > 1}
+        print(
+            f"  budget {budget:.0f} J -> expected accuracy "
+            f"{allocation.expected_accuracy:.1%}, active "
+            f"{allocation.active_time_s / 60:.0f} min, mix (min) {mix}"
+        )
+
+
+if __name__ == "__main__":
+    main()

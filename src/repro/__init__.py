@@ -1,0 +1,68 @@
+"""repro: reproduction of REAP (DAC 2019).
+
+REAP is a runtime energy-accuracy optimisation framework for energy
+harvesting IoT devices.  This package reproduces the paper end-to-end in
+Python: the allocation LP and its on-device simplex solver, the human
+activity recognition (HAR) application with its 24 design points, the energy
+and harvesting models, a trace-driven device simulator and the experiment
+harness that regenerates every table and figure of the evaluation.
+
+Quickstart
+----------
+>>> from repro import ReapController, table2_design_points
+>>> controller = ReapController(table2_design_points(), alpha=1.0)
+>>> allocation = controller.allocate(energy_budget_j=5.0)
+>>> sorted(name for name, t in allocation.as_dict().items() if t > 0)
+['DP4', 'DP5']
+"""
+
+from repro.core import (
+    AllocationSeries,
+    AllocatorConfig,
+    DesignPoint,
+    LPStatus,
+    LinearProgram,
+    PivotRule,
+    ReapAllocator,
+    ReapController,
+    ReapProblem,
+    SimplexSolver,
+    StaticController,
+    TimeAllocation,
+    pareto_front,
+    simplex_max_leq,
+    solve_analytic,
+    static_allocation,
+)
+from repro.data import (
+    ACTIVITY_PERIOD_S,
+    OFF_STATE_POWER_W,
+    PaperClaims,
+    table2_design_points,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ACTIVITY_PERIOD_S",
+    "AllocationSeries",
+    "AllocatorConfig",
+    "DesignPoint",
+    "LPStatus",
+    "LinearProgram",
+    "OFF_STATE_POWER_W",
+    "PaperClaims",
+    "PivotRule",
+    "ReapAllocator",
+    "ReapController",
+    "ReapProblem",
+    "SimplexSolver",
+    "StaticController",
+    "TimeAllocation",
+    "__version__",
+    "pareto_front",
+    "simplex_max_leq",
+    "solve_analytic",
+    "static_allocation",
+    "table2_design_points",
+]

@@ -1,0 +1,60 @@
+"""Experiment harness and reporting utilities.
+
+* :mod:`repro.analysis.sweep` -- energy-budget sweeps (Figures 5 and 6),
+* :mod:`repro.analysis.experiments` -- one runner per table/figure plus the
+  headline-claims check and the ablation studies,
+* :mod:`repro.analysis.reporting` -- plain-text table and CSV rendering.
+"""
+
+from repro.analysis.experiments import (
+    ExperimentResult,
+    run_alpha_sensitivity_experiment,
+    run_figure3_experiment,
+    run_figure4_experiment,
+    run_figure5a_experiment,
+    run_figure5b_experiment,
+    run_figure6_experiment,
+    run_figure7_experiment,
+    run_headline_claims_experiment,
+    run_offloading_experiment,
+    run_pareto_subset_ablation,
+    run_pivot_rule_ablation,
+    run_solver_scaling_experiment,
+    run_table2_experiment,
+)
+from repro.analysis.reporting import (
+    dicts_to_rows,
+    format_table,
+    format_value,
+    percent,
+    ratio,
+    rows_to_csv,
+)
+from repro.analysis.sweep import EnergySweep, SweepResult, SweepSeries, default_budget_grid
+
+__all__ = [
+    "EnergySweep",
+    "ExperimentResult",
+    "SweepResult",
+    "SweepSeries",
+    "default_budget_grid",
+    "dicts_to_rows",
+    "format_table",
+    "format_value",
+    "percent",
+    "ratio",
+    "rows_to_csv",
+    "run_alpha_sensitivity_experiment",
+    "run_figure3_experiment",
+    "run_figure4_experiment",
+    "run_figure5a_experiment",
+    "run_figure5b_experiment",
+    "run_figure6_experiment",
+    "run_figure7_experiment",
+    "run_headline_claims_experiment",
+    "run_offloading_experiment",
+    "run_pareto_subset_ablation",
+    "run_pivot_rule_ablation",
+    "run_solver_scaling_experiment",
+    "run_table2_experiment",
+]

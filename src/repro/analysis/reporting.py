@@ -1,0 +1,103 @@
+"""Plain-text and CSV reporting helpers shared by the experiment harness."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    """Render a cell value: floats get fixed precision, the rest ``str()``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 1e-3 and value != 0.0):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table.
+
+    Used by the benchmarks to print each reproduced table/figure as rows the
+    way the paper reports them.
+    """
+    rendered_rows = [[format_value(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_line(list(headers)))
+    lines.append(render_line(["-" * w for w in widths]))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def rows_to_csv(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    path: Optional[str] = None,
+) -> str:
+    """Serialise rows as CSV; write to ``path`` when given, return the text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", newline="") as handle:
+            handle.write(text)
+    return text
+
+
+def dicts_to_rows(
+    records: Iterable[Dict[str, object]],
+    columns: Sequence[str],
+) -> List[List[object]]:
+    """Project a list of dictionaries onto a fixed column order."""
+    rows = []
+    for record in records:
+        rows.append([record.get(column, "") for column in columns])
+    return rows
+
+
+def percent(value: float, precision: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value * 100:.{precision}f}%"
+
+
+def ratio(value: float, precision: int = 2) -> str:
+    """Format a ratio with a trailing multiplication sign."""
+    return f"{value:.{precision}f}x"
+
+
+__all__ = [
+    "dicts_to_rows",
+    "format_table",
+    "format_value",
+    "percent",
+    "ratio",
+    "rows_to_csv",
+]

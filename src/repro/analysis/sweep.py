@@ -1,0 +1,187 @@
+"""Energy-budget sweeps (Figures 5 and 6).
+
+Sweeps the allocated energy over the operating range of the device (from the
+0.18 J off-state floor to just above the 9.9 J needed to run DP1 all hour)
+and evaluates REAP alongside every static design point at each budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.allocator import ReapAllocator
+from repro.core.design_point import DesignPoint, validate_design_points
+from repro.core.objective import validate_alpha
+from repro.core.problem import ReapProblem, static_allocation
+from repro.core.schedule import TimeAllocation
+from repro.data.paper_constants import ACTIVITY_PERIOD_S, OFF_STATE_POWER_W
+
+
+def default_budget_grid(
+    design_points: Sequence[DesignPoint],
+    num_points: int = 50,
+    period_s: float = ACTIVITY_PERIOD_S,
+    off_power_w: float = OFF_STATE_POWER_W,
+    margin: float = 1.05,
+) -> np.ndarray:
+    """Budget grid spanning the device's interesting operating range.
+
+    Starts at the off-state floor and ends slightly above the energy needed
+    to run the most power-hungry design point for the whole period (the
+    point past which every policy saturates).
+    """
+    if num_points < 2:
+        raise ValueError(f"num_points must be >= 2, got {num_points}")
+    floor = off_power_w * period_s
+    ceiling = max(dp.power_w for dp in design_points) * period_s * margin
+    return np.linspace(floor, ceiling, num_points)
+
+
+@dataclass
+class SweepSeries:
+    """Per-policy series across the swept budgets."""
+
+    policy_name: str
+    expected_accuracy: np.ndarray
+    active_time_s: np.ndarray
+    objective: np.ndarray
+    allocations: List[TimeAllocation] = field(default_factory=list)
+
+
+@dataclass
+class SweepResult:
+    """Result of an energy sweep: one series for REAP, one per static DP."""
+
+    budgets_j: np.ndarray
+    alpha: float
+    period_s: float
+    series: Dict[str, SweepSeries]
+
+    @property
+    def reap(self) -> SweepSeries:
+        """The REAP series."""
+        return self.series["REAP"]
+
+    def static(self, name: str) -> SweepSeries:
+        """The series of the static policy running design point ``name``."""
+        return self.series[name]
+
+    @property
+    def static_names(self) -> List[str]:
+        """Names of the static design points in the sweep."""
+        return [name for name in self.series if name != "REAP"]
+
+    # --- figure-style views -----------------------------------------------------------
+    def normalized_active_time(self, name: str) -> np.ndarray:
+        """Active time of a static DP normalised to REAP (Figure 5b)."""
+        reap_active = self.reap.active_time_s
+        static_active = self.static(name).active_time_s
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(reap_active > 0, static_active / reap_active, 0.0)
+        return ratio
+
+    def normalized_objective(self, name: str) -> np.ndarray:
+        """Objective of a static DP normalised to REAP (Figure 6)."""
+        reap_objective = self.reap.objective
+        static_objective = self.static(name).objective
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(reap_objective > 0, static_objective / reap_objective, 0.0)
+        return ratio
+
+    def reap_dominates_everywhere(self, tolerance: float = 1e-9) -> bool:
+        """True when REAP matches or exceeds every static DP at every budget."""
+        for name in self.static_names:
+            if np.any(self.static(name).objective > self.reap.objective + tolerance):
+                return False
+        return True
+
+    def saturation_budget_j(self, name: str, tolerance: float = 1e-9) -> float:
+        """Smallest swept budget at which a static DP reaches full active time."""
+        series = self.static(name)
+        full = series.active_time_s >= self.period_s - 1e-6
+        if not np.any(full):
+            return float("inf")
+        return float(self.budgets_j[np.argmax(full)])
+
+
+class EnergySweep:
+    """Evaluates REAP and the static baselines across a budget grid."""
+
+    def __init__(
+        self,
+        design_points: Sequence[DesignPoint],
+        alpha: float = 1.0,
+        period_s: float = ACTIVITY_PERIOD_S,
+        off_power_w: float = OFF_STATE_POWER_W,
+        allocator: Optional[ReapAllocator] = None,
+    ) -> None:
+        validate_design_points(design_points)
+        self.design_points = tuple(design_points)
+        self.alpha = validate_alpha(alpha)
+        self.period_s = period_s
+        self.off_power_w = off_power_w
+        self.allocator = allocator or ReapAllocator()
+
+    def _problem(self, budget_j: float) -> ReapProblem:
+        return ReapProblem(
+            design_points=self.design_points,
+            energy_budget_j=float(budget_j),
+            period_s=self.period_s,
+            alpha=self.alpha,
+            off_power_w=self.off_power_w,
+        )
+
+    def run(self, budgets_j: Optional[Sequence[float]] = None) -> SweepResult:
+        """Run the sweep and return all series."""
+        if budgets_j is None:
+            budgets = default_budget_grid(
+                self.design_points, period_s=self.period_s, off_power_w=self.off_power_w
+            )
+        else:
+            budgets = np.asarray(list(budgets_j), dtype=float)
+            if budgets.size == 0:
+                raise ValueError("budget grid is empty")
+
+        policy_names = ["REAP"] + [dp.name for dp in self.design_points]
+        collected: Dict[str, Dict[str, list]] = {
+            name: {"accuracy": [], "active": [], "objective": [], "allocations": []}
+            for name in policy_names
+        }
+
+        for budget in budgets:
+            problem = self._problem(budget)
+            reap_allocation = self.allocator.solve(problem)
+            self._record(collected["REAP"], reap_allocation)
+            for dp in self.design_points:
+                allocation = static_allocation(problem, dp.name)
+                self._record(collected[dp.name], allocation)
+
+        series = {
+            name: SweepSeries(
+                policy_name=name,
+                expected_accuracy=np.array(data["accuracy"]),
+                active_time_s=np.array(data["active"]),
+                objective=np.array(data["objective"]),
+                allocations=data["allocations"],
+            )
+            for name, data in collected.items()
+        }
+        return SweepResult(
+            budgets_j=budgets,
+            alpha=self.alpha,
+            period_s=self.period_s,
+            series=series,
+        )
+
+    @staticmethod
+    def _record(store: Dict[str, list], allocation: TimeAllocation) -> None:
+        store["accuracy"].append(allocation.expected_accuracy)
+        store["active"].append(allocation.active_time_s)
+        store["objective"].append(allocation.objective)
+        store["allocations"].append(allocation)
+
+
+__all__ = ["EnergySweep", "SweepResult", "SweepSeries", "default_budget_grid"]

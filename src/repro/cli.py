@@ -1,0 +1,208 @@
+"""Command-line interface for the REAP reproduction.
+
+Exposes the experiment harness without writing any Python::
+
+    python -m repro list                      # available experiments
+    python -m repro run figure4               # regenerate one table/figure
+    python -m repro run figure7 --csv out.csv # also write the rows as CSV
+    python -m repro allocate --budget 5 --alpha 1   # solve one period
+    python -m repro sweep --alpha 2 --points 30     # Figure 5/6 style sweep
+
+Heavyweight experiments (``table2``, ``figure3``) accept ``--windows`` to
+control the size of the synthetic user study they train on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.experiments import (
+    ExperimentResult,
+    run_alpha_sensitivity_experiment,
+    run_figure3_experiment,
+    run_figure4_experiment,
+    run_figure5a_experiment,
+    run_figure5b_experiment,
+    run_figure6_experiment,
+    run_figure7_experiment,
+    run_headline_claims_experiment,
+    run_offloading_experiment,
+    run_pareto_subset_ablation,
+    run_pivot_rule_ablation,
+    run_solver_scaling_experiment,
+    run_table2_experiment,
+)
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import EnergySweep, default_budget_grid
+from repro.core.allocator import ReapAllocator
+from repro.core.problem import ReapProblem
+from repro.data.table2 import table2_design_points
+from repro.har.classifier.train import TrainingConfig
+
+
+#: Registry of named experiments runnable from the command line.  Each entry
+#: maps the CLI name to a callable taking the parsed arguments.
+EXPERIMENTS: Dict[str, str] = {
+    "table2": "Table 2: Pareto design-point characterisation (trains classifiers)",
+    "figure3": "Figure 3: 24-point design-space trade-off (trains classifiers)",
+    "figure4": "Figure 4: DP1 hourly energy breakdown",
+    "figure5a": "Figure 5(a): expected accuracy vs allocated energy",
+    "figure5b": "Figure 5(b): active time normalised to REAP",
+    "figure6": "Figure 6: normalised objective at alpha=2",
+    "figure7": "Figure 7: month-long solar case study",
+    "claims": "Headline claims (Sections 1 and 5.2)",
+    "offloading": "Offloading comparison (Section 4.2)",
+    "solver": "Solver-scaling study (Section 3.3)",
+    "ablation-subsets": "Ablation: number of runtime design points",
+    "ablation-pivot": "Ablation: simplex pivot rule",
+    "ablation-alpha": "Ablation: alpha sensitivity of the chosen mix",
+}
+
+
+def _dispatch_experiment(name: str, args: argparse.Namespace) -> ExperimentResult:
+    """Run the named experiment with CLI-provided sizes."""
+    training = TrainingConfig(max_epochs=args.epochs, patience=max(5, args.epochs // 5))
+    if name == "table2":
+        return run_table2_experiment(num_windows=args.windows, training_config=training)
+    if name == "figure3":
+        return run_figure3_experiment(num_windows=args.windows, training_config=training)
+    if name == "figure4":
+        return run_figure4_experiment()
+    if name == "figure5a":
+        return run_figure5a_experiment(num_budgets=args.points)
+    if name == "figure5b":
+        return run_figure5b_experiment(num_budgets=args.points)
+    if name == "figure6":
+        return run_figure6_experiment(alpha=args.alpha, num_budgets=args.points)
+    if name == "figure7":
+        return run_figure7_experiment(month=args.month, seed=args.seed)
+    if name == "claims":
+        return run_headline_claims_experiment(num_budgets=max(args.points, 40))
+    if name == "offloading":
+        return run_offloading_experiment()
+    if name == "solver":
+        return run_solver_scaling_experiment()
+    if name == "ablation-subsets":
+        return run_pareto_subset_ablation(num_budgets=args.points)
+    if name == "ablation-pivot":
+        return run_pivot_rule_ablation(num_budgets=args.points)
+    if name == "ablation-alpha":
+        return run_alpha_sensitivity_experiment()
+    raise KeyError(f"unknown experiment {name!r}")
+
+
+def _command_list(_: argparse.Namespace) -> int:
+    rows = [[name, description] for name, description in EXPERIMENTS.items()]
+    print(format_table(["experiment", "description"], rows))
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    if args.experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"run 'python -m repro list' to see the options",
+            file=sys.stderr,
+        )
+        return 2
+    result = _dispatch_experiment(args.experiment, args)
+    print(result.to_text())
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"\nrows written to {args.csv}")
+    return 0
+
+
+def _command_allocate(args: argparse.Namespace) -> int:
+    points = tuple(table2_design_points())
+    problem = ReapProblem(points, energy_budget_j=args.budget, alpha=args.alpha)
+    allocation = ReapAllocator().solve(problem)
+    rows = [
+        [dp.name, dp.accuracy_percent, dp.power_mw, allocation.time_for(dp.name) / 60.0]
+        for dp in points
+    ]
+    rows.append(["off", "-", "-", allocation.off_time_s / 60.0])
+    print(format_table(
+        ["design point", "accuracy %", "power mW", "minutes"],
+        rows,
+        title=f"REAP allocation for {args.budget} J at alpha={args.alpha}",
+    ))
+    print(
+        f"\nexpected accuracy {allocation.expected_accuracy:.1%}, "
+        f"active time {allocation.active_time_s / 60:.1f} min, "
+        f"energy {allocation.energy_j:.2f} J"
+    )
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    points = tuple(table2_design_points())
+    sweep = EnergySweep(points, alpha=args.alpha)
+    result = sweep.run(default_budget_grid(points, num_points=args.points))
+    headers = ["budget_J", "REAP"] + result.static_names
+    rows = []
+    for index, budget in enumerate(result.budgets_j):
+        row = [float(budget), result.reap.objective[index]]
+        row.extend(result.static(name).objective[index] for name in result.static_names)
+        rows.append(row)
+    print(format_table(headers, rows, title=f"Objective J(t) sweep at alpha={args.alpha}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="REAP (DAC 2019) reproduction command-line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment name (see 'list')")
+    run_parser.add_argument("--csv", default=None, help="also write rows to this CSV file")
+    run_parser.add_argument("--windows", type=int, default=1200,
+                            help="synthetic study size for table2/figure3")
+    run_parser.add_argument("--epochs", type=int, default=60,
+                            help="training epochs for table2/figure3")
+    run_parser.add_argument("--points", type=int, default=40,
+                            help="number of budgets in sweep experiments")
+    run_parser.add_argument("--alpha", type=float, default=2.0,
+                            help="alpha for figure6")
+    run_parser.add_argument("--month", type=int, default=9, help="month for figure7")
+    run_parser.add_argument("--seed", type=int, default=2015, help="solar seed for figure7")
+
+    allocate_parser = subparsers.add_parser(
+        "allocate", help="solve a single one-hour allocation"
+    )
+    allocate_parser.add_argument("--budget", type=float, required=True,
+                                 help="energy budget in joules")
+    allocate_parser.add_argument("--alpha", type=float, default=1.0)
+
+    sweep_parser = subparsers.add_parser("sweep", help="objective sweep over budgets")
+    sweep_parser.add_argument("--alpha", type=float, default=1.0)
+    sweep_parser.add_argument("--points", type=int, default=25)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    commands: Dict[str, Callable[[argparse.Namespace], int]] = {
+        "list": _command_list,
+        "run": _command_run,
+        "allocate": _command_allocate,
+        "sweep": _command_sweep,
+    }
+    if args.command is None:
+        parser.print_help()
+        return 1
+    return commands[args.command](args)
+
+
+__all__ = ["EXPERIMENTS", "build_parser", "main"]

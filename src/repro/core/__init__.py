@@ -1,0 +1,111 @@
+"""Core REAP machinery: design points, the allocation LP and its solvers.
+
+This package contains the paper's primary contribution:
+
+* :mod:`repro.core.design_point` / :mod:`repro.core.pareto` -- the
+  energy-accuracy design-point abstraction and Pareto-front selection.
+* :mod:`repro.core.lp` / :mod:`repro.core.simplex` -- a from-scratch dense
+  tableau simplex solver (Algorithm 1) plus a general two-phase variant.
+* :mod:`repro.core.problem` / :mod:`repro.core.objective` -- the
+  accuracy/active-time optimisation problem (Equations 1-4).
+* :mod:`repro.core.allocator` / :mod:`repro.core.controller` -- the runtime
+  layer that re-solves the problem every activity period.
+* :mod:`repro.core.analytic` -- an exact vertex-enumeration reference solver.
+"""
+
+from repro.core.allocator import AllocatorConfig, ReapAllocator
+from repro.core.analytic import enumerate_vertices, solve_analytic
+from repro.core.controller import ControllerDecision, ReapController, StaticController
+from repro.core.design_point import (
+    DesignPoint,
+    EnergyBreakdown,
+    ExecutionBreakdown,
+    sort_by_accuracy,
+    sort_by_power,
+    validate_design_points,
+)
+from repro.core.lp import (
+    InfeasibleProblemError,
+    LPError,
+    LPSolution,
+    LPStatus,
+    LinearProgram,
+    UnboundedProblemError,
+)
+from repro.core.objective import (
+    accuracy_weights,
+    active_time_fraction,
+    expected_accuracy,
+    objective_value,
+    validate_alpha,
+)
+from repro.core.pareto import (
+    dominated_points,
+    hypervolume_2d,
+    is_dominated,
+    pareto_front,
+    pareto_staircase,
+    select_pareto_subset,
+)
+from repro.core.problem import BudgetTooSmallError, ReapProblem, static_allocation
+from repro.core.schedule import AllocationSeries, TimeAllocation
+from repro.core.sensitivity import (
+    ValueCurve,
+    energy_starvation_level,
+    marginal_value_of_energy,
+    value_curve,
+)
+from repro.core.simplex import (
+    PivotRule,
+    SimplexSolver,
+    SimplexStats,
+    simplex_max_leq,
+    solve_lp,
+)
+
+__all__ = [
+    "AllocationSeries",
+    "AllocatorConfig",
+    "BudgetTooSmallError",
+    "ControllerDecision",
+    "DesignPoint",
+    "EnergyBreakdown",
+    "ExecutionBreakdown",
+    "InfeasibleProblemError",
+    "LPError",
+    "LPSolution",
+    "LPStatus",
+    "LinearProgram",
+    "PivotRule",
+    "ReapAllocator",
+    "ReapController",
+    "ReapProblem",
+    "SimplexSolver",
+    "SimplexStats",
+    "StaticController",
+    "TimeAllocation",
+    "UnboundedProblemError",
+    "ValueCurve",
+    "accuracy_weights",
+    "active_time_fraction",
+    "dominated_points",
+    "energy_starvation_level",
+    "enumerate_vertices",
+    "expected_accuracy",
+    "marginal_value_of_energy",
+    "hypervolume_2d",
+    "is_dominated",
+    "objective_value",
+    "pareto_front",
+    "pareto_staircase",
+    "select_pareto_subset",
+    "simplex_max_leq",
+    "solve_analytic",
+    "solve_lp",
+    "sort_by_accuracy",
+    "sort_by_power",
+    "static_allocation",
+    "validate_alpha",
+    "validate_design_points",
+    "value_curve",
+]

@@ -1,0 +1,201 @@
+"""REAP allocator: turn a :class:`ReapProblem` into a :class:`TimeAllocation`.
+
+The allocator wraps the LP machinery behind the interface the runtime
+controller actually uses: ``solve(problem) -> TimeAllocation``.  Three
+interchangeable back-ends are provided:
+
+* ``"reduced"`` (default) -- substitute the off time out of the problem and
+  solve the resulting all-``<=`` LP with the literal Algorithm 1 tableau
+  procedure (:func:`repro.core.simplex.simplex_max_leq`).
+* ``"full"`` -- solve the full formulation (explicit off-time variable and an
+  equality constraint) with the two-phase simplex.
+* ``"analytic"`` -- exact vertex enumeration
+  (:func:`repro.core.analytic.solve_analytic`).
+
+All back-ends return the same optimal objective value; the tests verify this
+systematically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.analytic import solve_analytic
+from repro.core.lp import LPError
+from repro.core.problem import BudgetTooSmallError, ReapProblem
+from repro.core.schedule import TimeAllocation
+from repro.core.simplex import PivotRule, SimplexSolver, simplex_max_leq
+
+
+#: Valid allocator back-end names.
+FORMULATIONS = ("reduced", "full", "analytic")
+
+
+@dataclass
+class AllocatorConfig:
+    """Configuration of a :class:`ReapAllocator`.
+
+    Attributes
+    ----------
+    formulation:
+        One of ``"reduced"``, ``"full"`` or ``"analytic"``.
+    pivot_rule:
+        Simplex pivot rule (ignored by the analytic back-end).
+    max_iterations:
+        Simplex pivot limit (Algorithm 1's "max. iterations" input).
+    clip_infeasible:
+        When True (default) a budget below the off-state floor yields the
+        all-off allocation flagged ``budget_feasible=False`` instead of
+        raising.  This mirrors the physical device, which simply stays dark
+        when there is not even enough energy for the standby circuitry.
+    cross_check:
+        When True, every simplex solution is verified against the analytic
+        solver and a mismatch raises ``RuntimeError``.  Intended for tests
+        and debugging; off by default for speed.
+    """
+
+    formulation: str = "reduced"
+    pivot_rule: PivotRule = PivotRule.DANTZIG
+    max_iterations: int = 200
+    clip_infeasible: bool = True
+    cross_check: bool = False
+
+    def __post_init__(self) -> None:
+        if self.formulation not in FORMULATIONS:
+            raise ValueError(
+                f"formulation must be one of {FORMULATIONS}, got {self.formulation!r}"
+            )
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+
+
+class ReapAllocator:
+    """Solves REAP allocation problems.
+
+    Examples
+    --------
+    >>> from repro.data import table2_design_points
+    >>> from repro.core import ReapProblem, ReapAllocator
+    >>> problem = ReapProblem(tuple(table2_design_points()), energy_budget_j=5.0)
+    >>> allocation = ReapAllocator().solve(problem)
+    >>> round(allocation.expected_accuracy, 2)
+    0.82
+    """
+
+    def __init__(self, config: Optional[AllocatorConfig] = None, **overrides) -> None:
+        if config is None:
+            config = AllocatorConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a config object or keyword overrides, not both")
+        self.config = config
+        self._solver = SimplexSolver(
+            pivot_rule=config.pivot_rule,
+            max_iterations=config.max_iterations,
+        )
+        self.last_iterations: int = 0
+
+    # -------------------------------------------------------------------------
+    def solve(self, problem: ReapProblem) -> TimeAllocation:
+        """Return the optimal time allocation for ``problem``.
+
+        Raises
+        ------
+        BudgetTooSmallError
+            When the budget is below the off-state floor and
+            ``clip_infeasible`` is disabled.
+        LPError
+            When the underlying LP solve fails (should not happen for
+            well-formed problems).
+        """
+        if not problem.is_budget_feasible:
+            if self.config.clip_infeasible:
+                self.last_iterations = 0
+                return problem.all_off_allocation(budget_feasible=False)
+            raise BudgetTooSmallError(
+                f"budget {problem.energy_budget_j} J below the off-state floor "
+                f"{problem.min_required_energy_j} J"
+            )
+
+        if self.config.formulation == "analytic":
+            allocation = solve_analytic(problem)
+            self.last_iterations = 0
+        elif self.config.formulation == "full":
+            allocation = self._solve_full(problem)
+        else:
+            allocation = self._solve_reduced(problem)
+
+        if self.config.cross_check:
+            self._verify_against_analytic(problem, allocation)
+        allocation.check(problem.energy_budget_j)
+        return allocation
+
+    def solve_with_budget(
+        self, problem: ReapProblem, energy_budget_j: float
+    ) -> TimeAllocation:
+        """Convenience: re-solve ``problem`` under a different energy budget."""
+        return self.solve(problem.with_budget(energy_budget_j))
+
+    # -------------------------------------------------------------------------
+    @staticmethod
+    def _scaled_objective(objective):
+        """Rescale the objective so its largest coefficient is 1.
+
+        The argmax of the LP is invariant to positive scaling, but the raw
+        coefficients a_i^alpha / T_P can be tiny (low accuracy, large alpha)
+        and would otherwise fall below the solver's optimality tolerance.
+        The returned objective is only used for pivoting; the allocation's
+        reported objective value is always recomputed from the times.
+        """
+        peak = float(max(objective.max(initial=0.0), 0.0))
+        if peak <= 0.0:
+            return objective
+        return objective / peak
+
+    def _solve_reduced(self, problem: ReapProblem) -> TimeAllocation:
+        lp = problem.to_reduced_lp()
+        solution = simplex_max_leq(
+            lp.a_ub,
+            lp.b_ub,
+            self._scaled_objective(lp.objective),
+            max_iterations=self.config.max_iterations,
+            pivot_rule=self.config.pivot_rule,
+        )
+        solution.raise_for_status()
+        self.last_iterations = solution.iterations
+        return problem.allocation_from_times(solution.x)
+
+    def _solve_full(self, problem: ReapProblem) -> TimeAllocation:
+        from repro.core.lp import LinearProgram
+
+        lp = problem.to_full_lp()
+        scaled = LinearProgram(
+            objective=self._scaled_objective(lp.objective),
+            a_ub=lp.a_ub,
+            b_ub=lp.b_ub,
+            a_eq=lp.a_eq,
+            b_eq=lp.b_eq,
+            variable_names=list(lp.variable_names),
+        )
+        solution = self._solver.solve(scaled)
+        solution.raise_for_status()
+        self.last_iterations = solution.iterations
+        times = solution.x[: problem.num_design_points]
+        off_time = float(solution.x[problem.num_design_points])
+        return problem.allocation_from_times(times, off_time_s=off_time)
+
+    def _verify_against_analytic(
+        self, problem: ReapProblem, allocation: TimeAllocation
+    ) -> None:
+        reference = solve_analytic(problem)
+        gap = reference.objective - allocation.objective
+        scale = max(1e-9, abs(reference.objective))
+        if gap > 1e-6 * scale + 1e-9:
+            raise RuntimeError(
+                "simplex solution is sub-optimal: objective "
+                f"{allocation.objective} vs analytic {reference.objective} "
+                f"(budget {problem.energy_budget_j} J, alpha {problem.alpha})"
+            )
+
+
+__all__ = ["AllocatorConfig", "FORMULATIONS", "ReapAllocator"]

@@ -1,0 +1,128 @@
+"""Analytic (vertex-enumeration) reference solver for the REAP problem.
+
+The REAP LP has only two structural constraints (the time identity and the
+energy budget), so every basic feasible solution activates at most two design
+points.  This makes exhaustive vertex enumeration cheap and exact, which we
+use for two purposes:
+
+* an independent cross-check of the simplex implementation in the test-suite
+  (property-based tests compare the two solvers on random instances); and
+* a fast closed-form path for the common five-design-point case, useful when
+  sweeping thousands of energy budgets in the benchmarks.
+
+The enumeration considers:
+
+1. the all-off vertex;
+2. every single design point, active for as long as the budget (or the
+   period) allows; and
+3. every pair of design points with both the time and energy constraints
+   binding (the "blend" vertices, e.g. the DP4/DP5 split at a 5 J budget).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Optional, Tuple
+
+from repro.core.objective import accuracy_weights
+from repro.core.problem import ReapProblem
+from repro.core.schedule import TimeAllocation
+
+
+def _single_point_vertex(problem: ReapProblem, index: int) -> Tuple[float, ...]:
+    """Active-time vector using only design point ``index``."""
+    dp = problem.design_points[index]
+    surplus = problem.energy_budget_j - problem.min_required_energy_j
+    marginal_power = dp.power_w - problem.off_power_w
+    if marginal_power <= 0:
+        active = problem.period_s
+    else:
+        active = min(problem.period_s, surplus / marginal_power)
+    active = max(0.0, active)
+    times = [0.0] * problem.num_design_points
+    times[index] = active
+    return tuple(times)
+
+
+def _pair_vertex(
+    problem: ReapProblem, i: int, j: int
+) -> Optional[Tuple[float, ...]]:
+    """Active-time vector with DPs ``i`` and ``j`` and both constraints binding.
+
+    Solves::
+
+        t_i + t_j = TP
+        P_i t_i + P_j t_j = Eb
+
+    and returns None when the solution has a negative component (the vertex
+    is infeasible) or the two power draws coincide (the system is singular,
+    in which case the single-point vertices already cover it).
+    """
+    dp_i = problem.design_points[i]
+    dp_j = problem.design_points[j]
+    power_gap = dp_i.power_w - dp_j.power_w
+    if abs(power_gap) < 1e-15:
+        return None
+    t_i = (problem.energy_budget_j - dp_j.power_w * problem.period_s) / power_gap
+    t_j = problem.period_s - t_i
+    if t_i < -1e-9 or t_j < -1e-9:
+        return None
+    times = [0.0] * problem.num_design_points
+    times[i] = max(0.0, t_i)
+    times[j] = max(0.0, t_j)
+    return tuple(times)
+
+
+def enumerate_vertices(problem: ReapProblem) -> List[Tuple[float, ...]]:
+    """Enumerate candidate optimal active-time vectors (LP vertices).
+
+    The returned vectors are all feasible for the problem (time identity via
+    an implicit off time, energy within budget up to round-off).
+    """
+    vertices: List[Tuple[float, ...]] = []
+    n = problem.num_design_points
+    vertices.append(tuple(0.0 for _ in range(n)))
+    if not problem.is_budget_feasible:
+        return vertices
+    for index in range(n):
+        vertices.append(_single_point_vertex(problem, index))
+    for i, j in combinations(range(n), 2):
+        vertex = _pair_vertex(problem, i, j)
+        if vertex is not None:
+            vertices.append(vertex)
+    return vertices
+
+
+def solve_analytic(problem: ReapProblem) -> TimeAllocation:
+    """Solve the REAP problem exactly by vertex enumeration.
+
+    Returns the feasible vertex with the highest objective value.  When the
+    budget is below the off-state floor the all-off allocation is returned
+    with ``budget_feasible=False``.
+    """
+    if not problem.is_budget_feasible:
+        return problem.all_off_allocation(budget_feasible=False)
+
+    weights = accuracy_weights(problem.design_points, problem.alpha)
+    best_times: Optional[Tuple[float, ...]] = None
+    best_value = float("-inf")
+    for times in enumerate_vertices(problem):
+        if sum(times) > problem.period_s * (1 + 1e-9):
+            continue
+        off_time = problem.period_s - sum(times)
+        energy = (
+            sum(dp.power_w * t for dp, t in zip(problem.design_points, times))
+            + problem.off_power_w * off_time
+        )
+        if energy > problem.energy_budget_j * (1 + 1e-9) + 1e-12:
+            continue
+        value = sum(w * t for w, t in zip(weights, times)) / problem.period_s
+        if value > best_value + 1e-15:
+            best_value = value
+            best_times = times
+    if best_times is None:
+        return problem.all_off_allocation(budget_feasible=True)
+    return problem.allocation_from_times(best_times)
+
+
+__all__ = ["enumerate_vertices", "solve_analytic"]

@@ -1,0 +1,214 @@
+"""Runtime controller: re-run the REAP optimisation every activity period.
+
+The controller is the piece of REAP that actually lives on the device: at the
+start of every activity period :math:`T_P` it receives the energy budget
+granted by the energy-allocation layer (harvest forecast + battery state),
+solves the allocation LP and hands the resulting schedule to the device.  It
+also exposes the runtime knob the paper highlights -- the user may change
+``alpha`` between periods to shift emphasis between accuracy and active time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.allocator import AllocatorConfig, ReapAllocator
+from repro.core.design_point import DesignPoint, validate_design_points
+from repro.core.objective import validate_alpha
+from repro.core.problem import ReapProblem
+from repro.core.schedule import AllocationSeries, TimeAllocation
+from repro.data.paper_constants import ACTIVITY_PERIOD_S, OFF_STATE_POWER_W
+
+
+@dataclass(frozen=True)
+class ControllerDecision:
+    """One controller invocation: the budget seen and the schedule chosen."""
+
+    period_index: int
+    energy_budget_j: float
+    alpha: float
+    allocation: TimeAllocation
+
+
+class ReapController:
+    """Periodic REAP decision maker.
+
+    Parameters
+    ----------
+    design_points:
+        Design points available at runtime (Pareto-optimal set).
+    alpha:
+        Initial accuracy/active-time trade-off parameter.
+    period_s:
+        Activity period in seconds.
+    off_power_w:
+        Off-state power draw.
+    allocator:
+        Optional pre-configured :class:`ReapAllocator`; a default reduced-form
+        allocator is created when omitted.
+    """
+
+    def __init__(
+        self,
+        design_points: Sequence[DesignPoint],
+        alpha: float = 1.0,
+        period_s: float = ACTIVITY_PERIOD_S,
+        off_power_w: float = OFF_STATE_POWER_W,
+        allocator: Optional[ReapAllocator] = None,
+    ) -> None:
+        validate_design_points(design_points)
+        self.design_points = tuple(design_points)
+        self._alpha = validate_alpha(alpha)
+        if period_s <= 0:
+            raise ValueError(f"period must be positive, got {period_s}")
+        self.period_s = period_s
+        self.off_power_w = off_power_w
+        self.allocator = allocator or ReapAllocator(AllocatorConfig())
+        self.decisions: List[ControllerDecision] = []
+
+    # --- runtime preference ------------------------------------------------------
+    @property
+    def alpha(self) -> float:
+        """Current accuracy/active-time trade-off parameter."""
+        return self._alpha
+
+    def set_alpha(self, alpha: float) -> None:
+        """Change the trade-off parameter for subsequent periods."""
+        self._alpha = validate_alpha(alpha)
+
+    # --- decisions -----------------------------------------------------------------
+    def build_problem(self, energy_budget_j: float) -> ReapProblem:
+        """Build the optimisation problem for one period."""
+        return ReapProblem(
+            design_points=self.design_points,
+            energy_budget_j=energy_budget_j,
+            period_s=self.period_s,
+            alpha=self._alpha,
+            off_power_w=self.off_power_w,
+        )
+
+    def allocate(self, energy_budget_j: float) -> TimeAllocation:
+        """Solve one period's allocation and record the decision."""
+        problem = self.build_problem(energy_budget_j)
+        allocation = self.allocator.solve(problem)
+        self.decisions.append(
+            ControllerDecision(
+                period_index=len(self.decisions),
+                energy_budget_j=energy_budget_j,
+                alpha=self._alpha,
+                allocation=allocation,
+            )
+        )
+        return allocation
+
+    def run(
+        self,
+        energy_budgets_j: Iterable[float],
+        labels: Optional[Sequence[str]] = None,
+    ) -> AllocationSeries:
+        """Allocate every period of a budget trace and return the series.
+
+        ``labels`` optionally annotates each period (for example the
+        timestamp of the solar trace hour it corresponds to).
+        """
+        series = AllocationSeries()
+        budgets = list(energy_budgets_j)
+        if labels is not None and len(labels) != len(budgets):
+            raise ValueError(
+                f"{len(labels)} labels provided for {len(budgets)} budgets"
+            )
+        for index, budget in enumerate(budgets):
+            allocation = self.allocate(budget)
+            label = labels[index] if labels is not None else ""
+            series.append(allocation, budget_j=budget, label=label)
+        return series
+
+    def reset(self) -> None:
+        """Clear the recorded decision history."""
+        self.decisions.clear()
+
+
+class StaticController:
+    """Baseline controller that always runs one fixed design point.
+
+    It mirrors :class:`ReapController`'s interface so the simulator and the
+    experiment harness can swap policies freely.  The device runs the chosen
+    design point until the period's budget is exhausted, then turns off --
+    exactly the static baselines of Section 5.
+    """
+
+    def __init__(
+        self,
+        design_points: Sequence[DesignPoint],
+        static_name: str,
+        alpha: float = 1.0,
+        period_s: float = ACTIVITY_PERIOD_S,
+        off_power_w: float = OFF_STATE_POWER_W,
+    ) -> None:
+        validate_design_points(design_points)
+        self.design_points = tuple(design_points)
+        names = [dp.name for dp in self.design_points]
+        if static_name not in names:
+            raise KeyError(f"unknown design point {static_name!r}; have {names}")
+        self.static_name = static_name
+        self._alpha = validate_alpha(alpha)
+        self.period_s = period_s
+        self.off_power_w = off_power_w
+        self.decisions: List[ControllerDecision] = []
+
+    @property
+    def alpha(self) -> float:
+        """Trade-off parameter used when reporting objective values."""
+        return self._alpha
+
+    def set_alpha(self, alpha: float) -> None:
+        """Change the reporting alpha (does not affect the static policy)."""
+        self._alpha = validate_alpha(alpha)
+
+    def allocate(self, energy_budget_j: float) -> TimeAllocation:
+        """Allocate one period under the static policy."""
+        from repro.core.problem import static_allocation
+
+        problem = ReapProblem(
+            design_points=self.design_points,
+            energy_budget_j=energy_budget_j,
+            period_s=self.period_s,
+            alpha=self._alpha,
+            off_power_w=self.off_power_w,
+        )
+        allocation = static_allocation(problem, self.static_name)
+        self.decisions.append(
+            ControllerDecision(
+                period_index=len(self.decisions),
+                energy_budget_j=energy_budget_j,
+                alpha=self._alpha,
+                allocation=allocation,
+            )
+        )
+        return allocation
+
+    def run(
+        self,
+        energy_budgets_j: Iterable[float],
+        labels: Optional[Sequence[str]] = None,
+    ) -> AllocationSeries:
+        """Allocate every period of a budget trace under the static policy."""
+        series = AllocationSeries()
+        budgets = list(energy_budgets_j)
+        if labels is not None and len(labels) != len(budgets):
+            raise ValueError(
+                f"{len(labels)} labels provided for {len(budgets)} budgets"
+            )
+        for index, budget in enumerate(budgets):
+            allocation = self.allocate(budget)
+            label = labels[index] if labels is not None else ""
+            series.append(allocation, budget_j=budget, label=label)
+        return series
+
+    def reset(self) -> None:
+        """Clear the recorded decision history."""
+        self.decisions.clear()
+
+
+__all__ = ["ControllerDecision", "ReapController", "StaticController"]

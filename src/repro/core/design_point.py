@@ -1,0 +1,263 @@
+"""Design point abstraction used by the REAP optimiser.
+
+A *design point* (DP) is one concrete configuration of the application with a
+fixed recognition accuracy and a fixed average power consumption while active.
+The runtime optimiser only ever needs the pair ``(accuracy, power)`` plus a
+name; richer characterisation data (execution-time breakdown, per-activity
+energy split between MCU and sensors, the HAR knob configuration that produced
+the point) is carried in optional fields so that the reporting code can
+regenerate Table 2 without reaching into other subsystems.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class ExecutionBreakdown:
+    """Per-activity MCU execution-time breakdown in milliseconds.
+
+    Mirrors the "MCU exec. time distribution" columns of Table 2: the time
+    spent computing accelerometer features, stretch-sensor features and the
+    neural-network classifier for a single activity window.
+    """
+
+    accel_features_ms: float = 0.0
+    stretch_features_ms: float = 0.0
+    classifier_ms: float = 0.0
+
+    @property
+    def total_ms(self) -> float:
+        """Total MCU execution time per activity window in milliseconds."""
+        return self.accel_features_ms + self.stretch_features_ms + self.classifier_ms
+
+    def scaled(self, factor: float) -> "ExecutionBreakdown":
+        """Return a copy with every component multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError(f"scale factor must be non-negative, got {factor}")
+        return ExecutionBreakdown(
+            accel_features_ms=self.accel_features_ms * factor,
+            stretch_features_ms=self.stretch_features_ms * factor,
+            classifier_ms=self.classifier_ms * factor,
+        )
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-activity energy breakdown in millijoules.
+
+    ``mcu_mj`` covers feature generation and classification on the MCU,
+    ``sensor_mj`` covers the accelerometer and stretch sensor sampling energy,
+    and ``communication_mj`` covers transmitting the recognised activity over
+    BLE.  The paper folds communication into the MCU column of Table 2; we
+    keep it separate so the Figure 4 breakdown can be reported.
+    """
+
+    mcu_mj: float = 0.0
+    sensor_mj: float = 0.0
+    communication_mj: float = 0.0
+
+    @property
+    def total_mj(self) -> float:
+        """Total energy per activity window in millijoules."""
+        return self.mcu_mj + self.sensor_mj + self.communication_mj
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the breakdown as a plain dictionary (for reports)."""
+        return {
+            "mcu_mj": self.mcu_mj,
+            "sensor_mj": self.sensor_mj,
+            "communication_mj": self.communication_mj,
+            "total_mj": self.total_mj,
+        }
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """A single energy-accuracy design point.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"DP1"``.
+    accuracy:
+        Recognition accuracy as a fraction in ``[0, 1]``.
+    power_w:
+        Average power consumption while operating at this design point, in
+        watts.  This is the :math:`P_i` of the optimisation problem.
+    energy_per_activity_j:
+        Optional energy consumed per activity window in joules.  When omitted
+        it is derived from ``power_w`` and ``activity_period_s``.
+    activity_period_s:
+        Duration of one activity window in seconds (1.6 s in the paper).
+    description:
+        Free-form description of the configuration (sensor axes, features,
+        classifier structure).
+    execution:
+        Optional per-activity MCU execution-time breakdown.
+    energy_breakdown:
+        Optional per-activity energy breakdown.
+    metadata:
+        Arbitrary extra key/value pairs (for example the HAR knob settings
+        that generated the point).
+    """
+
+    name: str
+    accuracy: float
+    power_w: float
+    energy_per_activity_j: Optional[float] = None
+    activity_period_s: float = 1.6
+    description: str = ""
+    execution: Optional[ExecutionBreakdown] = None
+    energy_breakdown: Optional[EnergyBreakdown] = None
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("design point name must be non-empty")
+        if not 0.0 <= self.accuracy <= 1.0:
+            raise ValueError(
+                f"accuracy must be a fraction in [0, 1], got {self.accuracy!r} "
+                f"for design point {self.name!r}"
+            )
+        if self.power_w < 0.0 or not math.isfinite(self.power_w):
+            raise ValueError(
+                f"power must be finite and non-negative, got {self.power_w!r} "
+                f"for design point {self.name!r}"
+            )
+        if self.activity_period_s <= 0.0:
+            raise ValueError(
+                f"activity period must be positive, got {self.activity_period_s!r}"
+            )
+        if self.energy_per_activity_j is not None and self.energy_per_activity_j < 0.0:
+            raise ValueError(
+                f"energy per activity must be non-negative, got "
+                f"{self.energy_per_activity_j!r} for design point {self.name!r}"
+            )
+
+    # --- derived quantities -------------------------------------------------
+    @property
+    def power_mw(self) -> float:
+        """Average active power in milliwatts."""
+        return self.power_w * 1e3
+
+    @property
+    def accuracy_percent(self) -> float:
+        """Recognition accuracy in percent."""
+        return self.accuracy * 100.0
+
+    @property
+    def energy_per_activity(self) -> float:
+        """Energy per activity window in joules.
+
+        Falls back to ``power_w * activity_period_s`` when no measured value
+        was provided.
+        """
+        if self.energy_per_activity_j is not None:
+            return self.energy_per_activity_j
+        return self.power_w * self.activity_period_s
+
+    @property
+    def energy_per_activity_mj(self) -> float:
+        """Energy per activity window in millijoules."""
+        return self.energy_per_activity * 1e3
+
+    def energy_over(self, duration_s: float) -> float:
+        """Energy in joules consumed by running this DP for ``duration_s``."""
+        if duration_s < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_s}")
+        return self.power_w * duration_s
+
+    def weighted_accuracy(self, alpha: float) -> float:
+        """Return :math:`a_i^\\alpha`, the objective weight of this DP."""
+        if self.accuracy == 0.0 and alpha == 0.0:
+            return 1.0
+        return self.accuracy ** alpha
+
+    # --- comparisons ---------------------------------------------------------
+    def dominates(self, other: "DesignPoint", tolerance: float = 0.0) -> bool:
+        """Return True if this point Pareto-dominates ``other``.
+
+        A point dominates another if it is at least as accurate and consumes
+        at most as much power, and is strictly better in at least one of the
+        two.  ``tolerance`` loosens the strictness check to absorb
+        measurement noise.
+        """
+        at_least_as_good = (
+            self.accuracy >= other.accuracy - tolerance
+            and self.power_w <= other.power_w + tolerance
+        )
+        strictly_better = (
+            self.accuracy > other.accuracy + tolerance
+            or self.power_w < other.power_w - tolerance
+        )
+        return at_least_as_good and strictly_better
+
+    def with_name(self, name: str) -> "DesignPoint":
+        """Return a copy of this design point under a different name."""
+        return DesignPoint(
+            name=name,
+            accuracy=self.accuracy,
+            power_w=self.power_w,
+            energy_per_activity_j=self.energy_per_activity_j,
+            activity_period_s=self.activity_period_s,
+            description=self.description,
+            execution=self.execution,
+            energy_breakdown=self.energy_breakdown,
+            metadata=dict(self.metadata),
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """Return the Table 2 style summary row for this design point."""
+        row: Dict[str, float] = {
+            "accuracy_percent": self.accuracy_percent,
+            "power_mw": self.power_mw,
+            "energy_per_activity_mj": self.energy_per_activity_mj,
+        }
+        if self.execution is not None:
+            row["mcu_exec_total_ms"] = self.execution.total_ms
+        if self.energy_breakdown is not None:
+            row["mcu_energy_mj"] = self.energy_breakdown.mcu_mj
+            row["sensor_energy_mj"] = self.energy_breakdown.sensor_mj
+        return row
+
+
+def validate_design_points(points: Sequence[DesignPoint]) -> None:
+    """Validate a collection of design points used together by the optimiser.
+
+    Raises ``ValueError`` when the collection is empty or contains duplicate
+    names (duplicates would make time allocations ambiguous).
+    """
+    if not points:
+        raise ValueError("at least one design point is required")
+    names = [dp.name for dp in points]
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        raise ValueError(f"duplicate design point names: {sorted(duplicates)}")
+
+
+def sort_by_power(points: Iterable[DesignPoint], descending: bool = True) -> List[DesignPoint]:
+    """Return design points sorted by active power.
+
+    The paper numbers DP1..DP5 from highest power (and accuracy) to lowest,
+    so the default is descending order.
+    """
+    return sorted(points, key=lambda dp: dp.power_w, reverse=descending)
+
+
+def sort_by_accuracy(points: Iterable[DesignPoint], descending: bool = True) -> List[DesignPoint]:
+    """Return design points sorted by recognition accuracy."""
+    return sorted(points, key=lambda dp: dp.accuracy, reverse=descending)
+
+
+__all__ = [
+    "DesignPoint",
+    "EnergyBreakdown",
+    "ExecutionBreakdown",
+    "sort_by_accuracy",
+    "sort_by_power",
+    "validate_design_points",
+]

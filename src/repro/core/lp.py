@@ -1,0 +1,234 @@
+"""Linear-program containers used by the REAP optimiser.
+
+The REAP runtime solves a small linear program every activity period
+(Equations 1-4 of the paper).  This module defines a provider-agnostic
+description of a maximisation LP in the conventional form
+
+.. math::
+
+    \\max_x c^T x \\quad \\text{s.t.} \\quad A_{ub} x \\le b_{ub},
+    \\; A_{eq} x = b_{eq}, \\; x \\ge 0
+
+together with the solution/status types shared by the solvers in
+:mod:`repro.core.simplex` and :mod:`repro.core.analytic`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class LPStatus(enum.Enum):
+    """Termination status of an LP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+
+    @property
+    def ok(self) -> bool:
+        """True when an optimal solution was found."""
+        return self is LPStatus.OPTIMAL
+
+
+class LPError(RuntimeError):
+    """Raised when an LP cannot be solved and the caller demanded a solution."""
+
+
+class InfeasibleProblemError(LPError):
+    """Raised when the LP has no feasible point."""
+
+
+class UnboundedProblemError(LPError):
+    """Raised when the LP objective is unbounded above."""
+
+
+@dataclass
+class LinearProgram:
+    """A maximisation linear program with non-negative variables.
+
+    Parameters
+    ----------
+    objective:
+        Coefficient vector ``c`` of length ``n``.
+    a_ub, b_ub:
+        Inequality constraints ``A_ub x <= b_ub``; ``a_ub`` has shape
+        ``(m_ub, n)``.  May be empty.
+    a_eq, b_eq:
+        Equality constraints ``A_eq x = b_eq``; ``a_eq`` has shape
+        ``(m_eq, n)``.  May be empty.
+    variable_names:
+        Optional names for the decision variables, used in reports and error
+        messages.  Defaults to ``x0, x1, ...``.
+    """
+
+    objective: np.ndarray
+    a_ub: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+    b_ub: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    a_eq: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+    b_eq: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    variable_names: Optional[List[str]] = None
+
+    def __post_init__(self) -> None:
+        self.objective = np.asarray(self.objective, dtype=float).ravel()
+        n = self.objective.size
+        if n == 0:
+            raise ValueError("LP must have at least one decision variable")
+
+        self.a_ub = _as_matrix(self.a_ub, n)
+        self.b_ub = np.asarray(self.b_ub, dtype=float).ravel()
+        self.a_eq = _as_matrix(self.a_eq, n)
+        self.b_eq = np.asarray(self.b_eq, dtype=float).ravel()
+
+        if self.a_ub.shape[0] != self.b_ub.size:
+            raise ValueError(
+                f"a_ub has {self.a_ub.shape[0]} rows but b_ub has "
+                f"{self.b_ub.size} entries"
+            )
+        if self.a_eq.shape[0] != self.b_eq.size:
+            raise ValueError(
+                f"a_eq has {self.a_eq.shape[0]} rows but b_eq has "
+                f"{self.b_eq.size} entries"
+            )
+        if self.variable_names is None:
+            self.variable_names = [f"x{i}" for i in range(n)]
+        elif len(self.variable_names) != n:
+            raise ValueError(
+                f"expected {n} variable names, got {len(self.variable_names)}"
+            )
+        for name, array in (("objective", self.objective),
+                            ("a_ub", self.a_ub), ("b_ub", self.b_ub),
+                            ("a_eq", self.a_eq), ("b_eq", self.b_eq)):
+            if not np.all(np.isfinite(array)):
+                raise ValueError(f"{name} contains non-finite values")
+
+    # --- basic properties ----------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        """Number of decision variables."""
+        return self.objective.size
+
+    @property
+    def num_inequalities(self) -> int:
+        """Number of <= constraints."""
+        return self.a_ub.shape[0]
+
+    @property
+    def num_equalities(self) -> int:
+        """Number of equality constraints."""
+        return self.a_eq.shape[0]
+
+    @property
+    def num_constraints(self) -> int:
+        """Total number of constraints (excluding variable bounds)."""
+        return self.num_inequalities + self.num_equalities
+
+    # --- evaluation -----------------------------------------------------------
+    def objective_value(self, x: Sequence[float]) -> float:
+        """Evaluate the objective ``c^T x``."""
+        x = np.asarray(x, dtype=float).ravel()
+        if x.size != self.num_variables:
+            raise ValueError(
+                f"expected {self.num_variables} values, got {x.size}"
+            )
+        return float(self.objective @ x)
+
+    def is_feasible(self, x: Sequence[float], tolerance: float = 1e-7) -> bool:
+        """Check whether ``x`` satisfies every constraint within ``tolerance``."""
+        x = np.asarray(x, dtype=float).ravel()
+        if x.size != self.num_variables:
+            return False
+        if np.any(x < -tolerance):
+            return False
+        if self.num_inequalities and np.any(self.a_ub @ x > self.b_ub + tolerance):
+            return False
+        if self.num_equalities and np.any(
+            np.abs(self.a_eq @ x - self.b_eq) > tolerance
+        ):
+            return False
+        return True
+
+    def constraint_violation(self, x: Sequence[float]) -> float:
+        """Return the maximum constraint violation at ``x`` (0 when feasible)."""
+        x = np.asarray(x, dtype=float).ravel()
+        violations = [0.0]
+        violations.append(float(np.max(-x, initial=0.0)))
+        if self.num_inequalities:
+            violations.append(float(np.max(self.a_ub @ x - self.b_ub, initial=0.0)))
+        if self.num_equalities:
+            violations.append(float(np.max(np.abs(self.a_eq @ x - self.b_eq), initial=0.0)))
+        return max(violations)
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """Result of an LP solve.
+
+    Attributes
+    ----------
+    status:
+        Termination status.
+    x:
+        Primal solution (meaningful only when ``status.ok``); matches the
+        variable order of the originating :class:`LinearProgram`.
+    objective_value:
+        Objective at ``x``.
+    iterations:
+        Number of simplex pivots performed (Phase I + Phase II).
+    """
+
+    status: LPStatus
+    x: np.ndarray
+    objective_value: float
+    iterations: int
+    message: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when an optimal solution was found."""
+        return self.status.ok
+
+    def value(self, index: int) -> float:
+        """Return the value of variable ``index``."""
+        return float(self.x[index])
+
+    def raise_for_status(self) -> "LPSolution":
+        """Raise a descriptive exception unless the solve was optimal."""
+        if self.status is LPStatus.INFEASIBLE:
+            raise InfeasibleProblemError(self.message or "LP is infeasible")
+        if self.status is LPStatus.UNBOUNDED:
+            raise UnboundedProblemError(self.message or "LP is unbounded")
+        if self.status is LPStatus.ITERATION_LIMIT:
+            raise LPError(self.message or "iteration limit reached")
+        return self
+
+
+def _as_matrix(values: object, num_columns: int) -> np.ndarray:
+    """Coerce ``values`` into a 2-D float matrix with ``num_columns`` columns."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        return np.zeros((0, num_columns))
+    if array.ndim == 1:
+        array = array.reshape(1, -1)
+    if array.ndim != 2:
+        raise ValueError(f"constraint matrix must be 2-D, got shape {array.shape}")
+    if array.shape[1] != num_columns:
+        raise ValueError(
+            f"constraint matrix has {array.shape[1]} columns, expected {num_columns}"
+        )
+    return array
+
+
+__all__ = [
+    "InfeasibleProblemError",
+    "LPError",
+    "LPSolution",
+    "LPStatus",
+    "LinearProgram",
+    "UnboundedProblemError",
+]

@@ -1,0 +1,103 @@
+"""Objective function of the REAP optimisation problem (Equation 1).
+
+The generalised objective is
+
+.. math::
+
+    J(t) = \\frac{1}{T_P} \\sum_{i=1}^N a_i^{\\alpha} t_i
+
+where :math:`a_i` is the recognition accuracy of design point :math:`i`,
+:math:`t_i` the time allocated to it and :math:`\\alpha` the accuracy /
+active-time trade-off knob:
+
+* ``alpha == 1`` -- :math:`J` is the *expected accuracy* over the period;
+* ``alpha == 0`` -- :math:`J` is the normalised *active time*;
+* ``alpha  > 1`` -- accuracy is emphasised over active time;
+* ``alpha  < 1`` -- active time is emphasised over accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.design_point import DesignPoint
+
+
+def validate_alpha(alpha: float) -> float:
+    """Validate the trade-off parameter and return it as a float.
+
+    Alpha must be finite and non-negative; the paper sweeps it over
+    ``{0.5, 1, 2, 4, 8}`` but any non-negative value is mathematically valid.
+    """
+    alpha = float(alpha)
+    if not np.isfinite(alpha) or alpha < 0.0:
+        raise ValueError(f"alpha must be finite and non-negative, got {alpha}")
+    return alpha
+
+
+def accuracy_weights(
+    design_points: Sequence[DesignPoint],
+    alpha: float,
+) -> np.ndarray:
+    """Return the objective weights :math:`a_i^{\\alpha}` for each design point."""
+    alpha = validate_alpha(alpha)
+    return np.array([dp.weighted_accuracy(alpha) for dp in design_points])
+
+
+def objective_value(
+    times_s: Sequence[float],
+    design_points: Sequence[DesignPoint],
+    alpha: float,
+    period_s: float,
+) -> float:
+    """Evaluate :math:`J(t)` for a given time allocation.
+
+    Parameters
+    ----------
+    times_s:
+        Time in seconds allocated to each design point (same order as
+        ``design_points``).
+    design_points:
+        Design points providing the accuracies :math:`a_i`.
+    alpha:
+        Trade-off parameter.
+    period_s:
+        Activity period :math:`T_P` in seconds.
+    """
+    times = np.asarray(times_s, dtype=float)
+    if times.size != len(design_points):
+        raise ValueError(
+            f"expected {len(design_points)} time values, got {times.size}"
+        )
+    if period_s <= 0.0:
+        raise ValueError(f"period must be positive, got {period_s}")
+    weights = accuracy_weights(design_points, alpha)
+    return float(weights @ times) / period_s
+
+
+def expected_accuracy(
+    times_s: Sequence[float],
+    design_points: Sequence[DesignPoint],
+    period_s: float,
+) -> float:
+    """Expected accuracy over the period: :math:`J(t)` with ``alpha = 1``."""
+    return objective_value(times_s, design_points, alpha=1.0, period_s=period_s)
+
+
+def active_time_fraction(times_s: Sequence[float], period_s: float) -> float:
+    """Fraction of the period the device is active."""
+    times = np.asarray(times_s, dtype=float)
+    if period_s <= 0.0:
+        raise ValueError(f"period must be positive, got {period_s}")
+    return float(times.sum()) / period_s
+
+
+__all__ = [
+    "accuracy_weights",
+    "active_time_fraction",
+    "expected_accuracy",
+    "objective_value",
+    "validate_alpha",
+]

@@ -1,0 +1,154 @@
+"""Pareto-front utilities over energy-accuracy design points.
+
+Section 4.2 of the paper designs 24 candidate design points and keeps only
+the five that are Pareto-optimal in the (energy per activity, accuracy)
+plane.  This module provides the dominance filtering used for that selection
+as well as helpers shared by the Figure 3 benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.design_point import DesignPoint
+
+
+def is_dominated(
+    candidate: DesignPoint,
+    others: Iterable[DesignPoint],
+    tolerance: float = 0.0,
+) -> bool:
+    """Return True if ``candidate`` is Pareto-dominated by any point in ``others``.
+
+    Domination is evaluated on (accuracy up, power down).  A point does not
+    dominate itself.
+    """
+    return any(
+        other is not candidate and other.dominates(candidate, tolerance=tolerance)
+        for other in others
+    )
+
+
+def pareto_front(
+    points: Sequence[DesignPoint],
+    tolerance: float = 0.0,
+) -> List[DesignPoint]:
+    """Return the Pareto-optimal subset of ``points``.
+
+    The result is sorted by decreasing power (DP1-style ordering: the most
+    accurate, most power hungry point first).  Points with identical
+    (accuracy, power) pairs are deduplicated, keeping the first occurrence.
+    """
+    unique: List[DesignPoint] = []
+    seen: set = set()
+    for point in points:
+        key = (round(point.accuracy, 12), round(point.power_w, 15))
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(point)
+
+    front = [
+        point
+        for point in unique
+        if not is_dominated(point, unique, tolerance=tolerance)
+    ]
+    front.sort(key=lambda dp: (dp.power_w, dp.accuracy), reverse=True)
+    return front
+
+
+def dominated_points(
+    points: Sequence[DesignPoint],
+    tolerance: float = 0.0,
+) -> List[DesignPoint]:
+    """Return the points of ``points`` that are *not* on the Pareto front."""
+    front_names = {dp.name for dp in pareto_front(points, tolerance=tolerance)}
+    return [dp for dp in points if dp.name not in front_names]
+
+
+def pareto_staircase(
+    points: Sequence[DesignPoint],
+) -> List[Tuple[float, float]]:
+    """Return the (energy per activity mJ, accuracy %) staircase of the front.
+
+    This is the dashed line of Figure 3: the Pareto points sorted by energy,
+    ready for plotting or tabulation.
+    """
+    front = pareto_front(points)
+    pairs = [(dp.energy_per_activity_mj, dp.accuracy_percent) for dp in front]
+    pairs.sort(key=lambda pair: pair[0])
+    return pairs
+
+
+def hypervolume_2d(
+    points: Sequence[DesignPoint],
+    reference_power_w: float,
+    reference_accuracy: float = 0.0,
+) -> float:
+    """Compute the 2-D hypervolume dominated by the Pareto front.
+
+    The hypervolume is measured against a reference point with power
+    ``reference_power_w`` (worst acceptable power) and accuracy
+    ``reference_accuracy`` (worst accuracy).  Used by tests and ablations to
+    compare design-space explorations quantitatively; it is not part of the
+    paper but is a convenient scalar quality measure of a front.
+    """
+    if reference_power_w <= 0:
+        raise ValueError("reference power must be positive")
+    front = pareto_front(points)
+    # Sort by power ascending; each point contributes a rectangle between its
+    # power and the previous (lower) accuracy level.
+    front_sorted = sorted(front, key=lambda dp: dp.power_w)
+    volume = 0.0
+    previous_accuracy = reference_accuracy
+    for dp in front_sorted:
+        if dp.power_w > reference_power_w:
+            continue
+        width = reference_power_w - dp.power_w
+        height = max(0.0, dp.accuracy - previous_accuracy)
+        volume += width * height
+        previous_accuracy = max(previous_accuracy, dp.accuracy)
+    return volume
+
+
+def select_pareto_subset(
+    points: Sequence[DesignPoint],
+    max_points: int,
+) -> List[DesignPoint]:
+    """Select up to ``max_points`` well-spread points from the Pareto front.
+
+    Used by the ablation study that runs REAP with 2, 3 or 5 design points:
+    the extremes (highest accuracy, lowest power) are always kept and the
+    remaining slots are filled greedily to maximise spread in power.
+    """
+    if max_points < 1:
+        raise ValueError("max_points must be at least 1")
+    front = pareto_front(points)
+    if len(front) <= max_points:
+        return front
+
+    by_power = sorted(front, key=lambda dp: dp.power_w)
+    selected = [by_power[0]]
+    if max_points >= 2:
+        selected.append(by_power[-1])
+    remaining = [dp for dp in by_power if dp not in selected]
+    while len(selected) < max_points and remaining:
+        # Greedily add the point farthest (in power) from the current set.
+        def distance(dp: DesignPoint) -> float:
+            return min(abs(dp.power_w - s.power_w) for s in selected)
+
+        best = max(remaining, key=distance)
+        selected.append(best)
+        remaining.remove(best)
+    selected.sort(key=lambda dp: dp.power_w, reverse=True)
+    return selected
+
+
+__all__ = [
+    "dominated_points",
+    "hypervolume_2d",
+    "is_dominated",
+    "pareto_front",
+    "pareto_staircase",
+    "select_pareto_subset",
+]

@@ -1,0 +1,278 @@
+"""Formulation of the REAP optimisation problem (Equations 1-4).
+
+A :class:`ReapProblem` captures one instance of the runtime decision: a set
+of design points, the activity period :math:`T_P`, the off-state power
+:math:`P_{off}`, the trade-off parameter :math:`\\alpha` and the energy
+budget :math:`E_b` granted for the period.  It can lower itself into a
+:class:`~repro.core.lp.LinearProgram` in two equivalent ways:
+
+* the **full** form with decision variables :math:`(t_1, ..., t_N, t_{off})`,
+  one equality constraint (Equation 2) and one inequality (Equation 3); and
+* the **reduced** form where :math:`t_{off} = T_P - \\sum_i t_i` has been
+  substituted into the energy constraint, leaving only ``<=`` constraints
+  with non-negative right-hand sides -- exactly the shape Algorithm 1
+  assumes, so the slack basis is immediately feasible.
+
+Both forms have the same optimal active-time vector; the reduced form is the
+one the on-device procedure would solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.design_point import DesignPoint, validate_design_points
+from repro.core.lp import LinearProgram
+from repro.core.objective import accuracy_weights, validate_alpha
+from repro.core.schedule import TimeAllocation
+from repro.data.paper_constants import ACTIVITY_PERIOD_S, OFF_STATE_POWER_W
+
+
+class BudgetTooSmallError(ValueError):
+    """Raised when the energy budget cannot even cover the off-state draw."""
+
+
+@dataclass(frozen=True)
+class ReapProblem:
+    """One instance of the REAP accuracy/active-time allocation problem.
+
+    Parameters
+    ----------
+    design_points:
+        The design points available to the runtime (typically the five
+        Pareto-optimal DPs of Table 2).
+    energy_budget_j:
+        Energy budget :math:`E_b` for the period, in joules.
+    period_s:
+        Activity period :math:`T_P` in seconds (3600 s in the paper).
+    alpha:
+        Accuracy/active-time trade-off parameter.
+    off_power_w:
+        Power consumed in the off state (harvesting + monitoring circuitry).
+    """
+
+    design_points: Tuple[DesignPoint, ...]
+    energy_budget_j: float
+    period_s: float = ACTIVITY_PERIOD_S
+    alpha: float = 1.0
+    off_power_w: float = OFF_STATE_POWER_W
+
+    def __post_init__(self) -> None:
+        validate_design_points(self.design_points)
+        object.__setattr__(self, "design_points", tuple(self.design_points))
+        validate_alpha(self.alpha)
+        if self.period_s <= 0:
+            raise ValueError(f"period must be positive, got {self.period_s}")
+        if self.energy_budget_j < 0:
+            raise ValueError(
+                f"energy budget must be non-negative, got {self.energy_budget_j}"
+            )
+        if self.off_power_w < 0:
+            raise ValueError(
+                f"off-state power must be non-negative, got {self.off_power_w}"
+            )
+
+    # --- convenience ------------------------------------------------------------
+    @property
+    def num_design_points(self) -> int:
+        """Number of design points N."""
+        return len(self.design_points)
+
+    @property
+    def min_required_energy_j(self) -> float:
+        """Energy needed to stay off for the whole period (the 0.18 J floor)."""
+        return self.off_power_w * self.period_s
+
+    @property
+    def max_useful_energy_j(self) -> float:
+        """Energy needed to run the most power-hungry DP for the whole period.
+
+        Budgets above this value cannot improve the objective further (the
+        9.9 J saturation point of Section 5.2 for the Table 2 design points).
+        """
+        return max(dp.power_w for dp in self.design_points) * self.period_s
+
+    @property
+    def is_budget_feasible(self) -> bool:
+        """True when the budget covers at least the off-state floor."""
+        return self.energy_budget_j >= self.min_required_energy_j - 1e-12
+
+    def with_budget(self, energy_budget_j: float) -> "ReapProblem":
+        """Return a copy of this problem with a different energy budget."""
+        return replace(self, energy_budget_j=energy_budget_j)
+
+    def with_alpha(self, alpha: float) -> "ReapProblem":
+        """Return a copy of this problem with a different alpha."""
+        return replace(self, alpha=alpha)
+
+    # --- LP lowering -------------------------------------------------------------
+    def to_reduced_lp(self) -> LinearProgram:
+        """Lower to the reduced form with only ``<=`` constraints.
+
+        Variables are the active times :math:`t_1..t_N`.  Substituting
+        :math:`t_{off} = T_P - \\sum_i t_i` into Equation 3 yields
+
+        .. math::
+
+            \\sum_i (P_i - P_{off}) t_i \\le E_b - P_{off} T_P
+            \\qquad\\text{and}\\qquad \\sum_i t_i \\le T_P .
+
+        Raises :class:`BudgetTooSmallError` when the right-hand side of the
+        energy row would be negative (budget below the off-state floor),
+        because the all-slack starting basis of Algorithm 1 would then be
+        infeasible.
+        """
+        if not self.is_budget_feasible:
+            raise BudgetTooSmallError(
+                f"budget {self.energy_budget_j} J is below the off-state floor "
+                f"{self.min_required_energy_j} J"
+            )
+        n = self.num_design_points
+        powers = np.array([dp.power_w for dp in self.design_points])
+        weights = accuracy_weights(self.design_points, self.alpha) / self.period_s
+
+        a_ub = np.vstack(
+            [
+                np.ones(n),                       # sum t_i <= TP
+                powers - self.off_power_w,        # energy after substitution
+            ]
+        )
+        b_ub = np.array(
+            [
+                self.period_s,
+                self.energy_budget_j - self.off_power_w * self.period_s,
+            ]
+        )
+        names = [dp.name for dp in self.design_points]
+        return LinearProgram(
+            objective=weights,
+            a_ub=a_ub,
+            b_ub=b_ub,
+            variable_names=names,
+        )
+
+    def to_full_lp(self) -> LinearProgram:
+        """Lower to the full form with an explicit off-time variable.
+
+        Variables are :math:`(t_1, ..., t_N, t_{off})`; Equation 2 appears as
+        an equality constraint and Equation 3 as an inequality.
+        """
+        n = self.num_design_points
+        powers = np.array([dp.power_w for dp in self.design_points])
+        weights = accuracy_weights(self.design_points, self.alpha) / self.period_s
+
+        objective = np.concatenate([weights, [0.0]])
+        a_eq = np.concatenate([np.ones(n), [1.0]]).reshape(1, -1)
+        b_eq = np.array([self.period_s])
+        a_ub = np.concatenate([powers, [self.off_power_w]]).reshape(1, -1)
+        b_ub = np.array([self.energy_budget_j])
+        names = [dp.name for dp in self.design_points] + ["t_off"]
+        return LinearProgram(
+            objective=objective,
+            a_ub=a_ub,
+            b_ub=b_ub,
+            a_eq=a_eq,
+            b_eq=b_eq,
+            variable_names=names,
+        )
+
+    # --- solution packaging -------------------------------------------------------
+    def allocation_from_times(
+        self,
+        times_s: Sequence[float],
+        off_time_s: Optional[float] = None,
+        budget_feasible: bool = True,
+    ) -> TimeAllocation:
+        """Package raw active times into a :class:`TimeAllocation`.
+
+        ``off_time_s`` defaults to the remainder of the period; small negative
+        values from floating-point round-off are clipped to zero.
+        """
+        times = [max(0.0, float(t)) for t in times_s]
+        if len(times) != self.num_design_points:
+            raise ValueError(
+                f"expected {self.num_design_points} times, got {len(times)}"
+            )
+        total_active = sum(times)
+        if total_active > self.period_s * (1 + 1e-9):
+            # Round-off from the solver can push the total a hair over TP;
+            # rescale proportionally, anything larger is a genuine error.
+            if total_active > self.period_s * 1.001:
+                raise ValueError(
+                    f"active time {total_active} exceeds the period {self.period_s}"
+                )
+            scale = self.period_s / total_active
+            times = [t * scale for t in times]
+            total_active = self.period_s
+        if off_time_s is None:
+            off_time_s = max(0.0, self.period_s - total_active)
+        return TimeAllocation(
+            design_points=self.design_points,
+            times_s=tuple(times),
+            off_time_s=float(off_time_s),
+            period_s=self.period_s,
+            alpha=self.alpha,
+            off_power_w=self.off_power_w,
+            budget_j=self.energy_budget_j,
+            budget_feasible=budget_feasible,
+        )
+
+    def all_off_allocation(self, budget_feasible: bool = False) -> TimeAllocation:
+        """Return the degenerate "stay off all period" allocation."""
+        return TimeAllocation.all_off(
+            design_points=self.design_points,
+            period_s=self.period_s,
+            alpha=self.alpha,
+            off_power_w=self.off_power_w,
+            budget_j=self.energy_budget_j,
+            budget_feasible=budget_feasible,
+        )
+
+
+def static_allocation(
+    problem: ReapProblem,
+    name: str,
+) -> TimeAllocation:
+    """Best allocation achievable by a *single* static design point.
+
+    This is the baseline of Section 5: the device always runs design point
+    ``name`` and simply turns off when the energy budget is exhausted.  The
+    active time is therefore
+
+    .. math::
+
+        t = \\min\\left(T_P,\\;
+            \\frac{E_b - P_{off} T_P}{P - P_{off}}\\right)
+
+    (zero when the budget is below the off-state floor).
+    """
+    matches = [dp for dp in problem.design_points if dp.name == name]
+    if not matches:
+        raise KeyError(
+            f"unknown design point {name!r}; have "
+            f"{[dp.name for dp in problem.design_points]}"
+        )
+    dp = matches[0]
+    if not problem.is_budget_feasible:
+        return problem.all_off_allocation(budget_feasible=False)
+    surplus = problem.energy_budget_j - problem.min_required_energy_j
+    marginal_power = dp.power_w - problem.off_power_w
+    if marginal_power <= 0:
+        active_time = problem.period_s
+    else:
+        active_time = min(problem.period_s, surplus / marginal_power)
+    return TimeAllocation.single_point(
+        design_points=problem.design_points,
+        name=name,
+        active_time_s=active_time,
+        period_s=problem.period_s,
+        alpha=problem.alpha,
+        off_power_w=problem.off_power_w,
+        budget_j=problem.energy_budget_j,
+    )
+
+
+__all__ = ["BudgetTooSmallError", "ReapProblem", "static_allocation"]

@@ -1,0 +1,345 @@
+"""Time-allocation and schedule containers produced by the REAP optimiser.
+
+A :class:`TimeAllocation` is the answer to one instance of the optimisation
+problem: how many seconds of the activity period to spend at each design
+point and how long to stay off.  An :class:`AllocationSeries` strings many
+allocations together (one per activity period), which is the shape of the
+month-long solar case study of Section 5.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.design_point import DesignPoint
+from repro.core.objective import objective_value, validate_alpha
+
+
+@dataclass(frozen=True)
+class TimeAllocation:
+    """Allocation of one activity period across design points and off time.
+
+    Attributes
+    ----------
+    design_points:
+        The design points the optimiser could choose from, in a fixed order.
+    times_s:
+        Seconds allocated to each design point (aligned with
+        ``design_points``).
+    off_time_s:
+        Seconds spent in the off state.
+    period_s:
+        Activity period :math:`T_P` in seconds.
+    alpha:
+        Trade-off parameter the allocation was optimised for.
+    off_power_w:
+        Power draw of the off state (harvesting/monitoring circuitry).
+    budget_j:
+        The energy budget the allocation was computed for (informational).
+    budget_feasible:
+        False when the budget was below the off-state floor and the
+        allocation is a best-effort "stay off" fallback.
+    """
+
+    design_points: Tuple[DesignPoint, ...]
+    times_s: Tuple[float, ...]
+    off_time_s: float
+    period_s: float
+    alpha: float = 1.0
+    off_power_w: float = 0.0
+    budget_j: Optional[float] = None
+    budget_feasible: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.design_points) != len(self.times_s):
+            raise ValueError(
+                f"{len(self.design_points)} design points but "
+                f"{len(self.times_s)} time values"
+            )
+        if self.period_s <= 0:
+            raise ValueError(f"period must be positive, got {self.period_s}")
+        if self.off_time_s < -1e-6:
+            raise ValueError(f"off time must be non-negative, got {self.off_time_s}")
+        for dp, t in zip(self.design_points, self.times_s):
+            if t < -1e-6:
+                raise ValueError(f"negative time {t} allocated to {dp.name}")
+        validate_alpha(self.alpha)
+
+    # --- construction helpers ------------------------------------------------
+    @classmethod
+    def all_off(
+        cls,
+        design_points: Sequence[DesignPoint],
+        period_s: float,
+        alpha: float = 1.0,
+        off_power_w: float = 0.0,
+        budget_j: Optional[float] = None,
+        budget_feasible: bool = True,
+    ) -> "TimeAllocation":
+        """Return an allocation where the device stays off the whole period."""
+        return cls(
+            design_points=tuple(design_points),
+            times_s=tuple(0.0 for _ in design_points),
+            off_time_s=period_s,
+            period_s=period_s,
+            alpha=alpha,
+            off_power_w=off_power_w,
+            budget_j=budget_j,
+            budget_feasible=budget_feasible,
+        )
+
+    @classmethod
+    def single_point(
+        cls,
+        design_points: Sequence[DesignPoint],
+        name: str,
+        active_time_s: float,
+        period_s: float,
+        alpha: float = 1.0,
+        off_power_w: float = 0.0,
+        budget_j: Optional[float] = None,
+    ) -> "TimeAllocation":
+        """Return an allocation that uses a single named design point."""
+        if active_time_s < 0 or active_time_s > period_s + 1e-9:
+            raise ValueError(
+                f"active time {active_time_s} outside [0, {period_s}]"
+            )
+        names = [dp.name for dp in design_points]
+        if name not in names:
+            raise KeyError(f"unknown design point {name!r}; have {names}")
+        times = [active_time_s if dp.name == name else 0.0 for dp in design_points]
+        return cls(
+            design_points=tuple(design_points),
+            times_s=tuple(times),
+            off_time_s=max(0.0, period_s - active_time_s),
+            period_s=period_s,
+            alpha=alpha,
+            off_power_w=off_power_w,
+            budget_j=budget_j,
+        )
+
+    # --- lookups --------------------------------------------------------------
+    def time_for(self, name: str) -> float:
+        """Seconds allocated to the design point called ``name``."""
+        for dp, t in zip(self.design_points, self.times_s):
+            if dp.name == name:
+                return t
+        raise KeyError(f"unknown design point {name!r}")
+
+    def share_for(self, name: str) -> float:
+        """Fraction of the *active* time spent at design point ``name``."""
+        active = self.active_time_s
+        if active <= 0.0:
+            return 0.0
+        return self.time_for(name) / active
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a mapping from design point name to allocated seconds."""
+        return {dp.name: t for dp, t in zip(self.design_points, self.times_s)}
+
+    # --- derived metrics --------------------------------------------------------
+    @property
+    def active_time_s(self) -> float:
+        """Total time the device is active (any design point)."""
+        return float(sum(self.times_s))
+
+    @property
+    def active_fraction(self) -> float:
+        """Active time as a fraction of the period."""
+        return self.active_time_s / self.period_s
+
+    @property
+    def total_time_s(self) -> float:
+        """Active plus off time (should equal the period)."""
+        return self.active_time_s + self.off_time_s
+
+    @property
+    def expected_accuracy(self) -> float:
+        """Expected accuracy over the period (alpha = 1 objective)."""
+        return objective_value(
+            self.times_s, self.design_points, alpha=1.0, period_s=self.period_s
+        )
+
+    @property
+    def objective(self) -> float:
+        """Objective value :math:`J(t)` at this allocation's own alpha."""
+        return self.objective_at(self.alpha)
+
+    def objective_at(self, alpha: float) -> float:
+        """Objective value :math:`J(t)` evaluated at an arbitrary alpha."""
+        return objective_value(
+            self.times_s, self.design_points, alpha=alpha, period_s=self.period_s
+        )
+
+    @property
+    def active_energy_j(self) -> float:
+        """Energy consumed while active, in joules."""
+        return float(
+            sum(dp.power_w * t for dp, t in zip(self.design_points, self.times_s))
+        )
+
+    @property
+    def off_energy_j(self) -> float:
+        """Energy consumed in the off state, in joules."""
+        return self.off_power_w * self.off_time_s
+
+    @property
+    def energy_j(self) -> float:
+        """Total energy consumed over the period, in joules."""
+        return self.active_energy_j + self.off_energy_j
+
+    def energy_by_design_point(self) -> Dict[str, float]:
+        """Energy in joules attributed to each design point (plus ``"off"``)."""
+        breakdown = {
+            dp.name: dp.power_w * t
+            for dp, t in zip(self.design_points, self.times_s)
+        }
+        breakdown["off"] = self.off_energy_j
+        return breakdown
+
+    def activities_processed(self) -> float:
+        """Number of activity windows processed over the period.
+
+        Computed from each design point's activity window length; fractional
+        values are kept (the simulator rounds when it needs integers).
+        """
+        return float(
+            sum(
+                t / dp.activity_period_s
+                for dp, t in zip(self.design_points, self.times_s)
+                if dp.activity_period_s > 0
+            )
+        )
+
+    # --- consistency checks --------------------------------------------------
+    def check(self, budget_j: Optional[float] = None, tolerance: float = 1e-6) -> None:
+        """Assert the allocation satisfies the problem constraints.
+
+        Raises ``ValueError`` when the time-budget identity (Equation 2) or
+        the energy constraint (Equation 3) is violated beyond ``tolerance``.
+        ``budget_j`` overrides the stored budget when provided.
+        """
+        if abs(self.total_time_s - self.period_s) > tolerance * max(1.0, self.period_s):
+            raise ValueError(
+                f"time constraint violated: active {self.active_time_s} + off "
+                f"{self.off_time_s} != period {self.period_s}"
+            )
+        budget = budget_j if budget_j is not None else self.budget_j
+        if budget is not None and self.budget_feasible:
+            if self.energy_j > budget + tolerance * max(1.0, budget):
+                raise ValueError(
+                    f"energy constraint violated: consumed {self.energy_j} J "
+                    f"> budget {budget} J"
+                )
+
+    def scaled(self, factor: float) -> "TimeAllocation":
+        """Return a copy with every time (active and off) scaled by ``factor``.
+
+        Useful for converting an hourly allocation into a shorter simulation
+        slice.  The period scales with the times so the duty cycle and
+        objective value are preserved.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return TimeAllocation(
+            design_points=self.design_points,
+            times_s=tuple(t * factor for t in self.times_s),
+            off_time_s=self.off_time_s * factor,
+            period_s=self.period_s * factor,
+            alpha=self.alpha,
+            off_power_w=self.off_power_w,
+            budget_j=None if self.budget_j is None else self.budget_j * factor,
+            budget_feasible=self.budget_feasible,
+        )
+
+
+@dataclass
+class AllocationSeries:
+    """A sequence of per-period allocations (for example one month of hours).
+
+    The series carries the budgets it was computed for so that aggregate
+    reports can relate performance to harvested energy.
+    """
+
+    allocations: List[TimeAllocation] = field(default_factory=list)
+    budgets_j: List[float] = field(default_factory=list)
+    labels: List[str] = field(default_factory=list)
+
+    def append(
+        self,
+        allocation: TimeAllocation,
+        budget_j: Optional[float] = None,
+        label: str = "",
+    ) -> None:
+        """Append one period's allocation to the series."""
+        self.allocations.append(allocation)
+        self.budgets_j.append(
+            budget_j if budget_j is not None else (allocation.budget_j or 0.0)
+        )
+        self.labels.append(label)
+
+    def __len__(self) -> int:
+        return len(self.allocations)
+
+    def __iter__(self) -> Iterator[TimeAllocation]:
+        return iter(self.allocations)
+
+    def __getitem__(self, index: int) -> TimeAllocation:
+        return self.allocations[index]
+
+    # --- aggregate metrics ------------------------------------------------------
+    @property
+    def total_active_time_s(self) -> float:
+        """Total active time across the series in seconds."""
+        return float(sum(a.active_time_s for a in self.allocations))
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total energy consumed across the series in joules."""
+        return float(sum(a.energy_j for a in self.allocations))
+
+    @property
+    def mean_expected_accuracy(self) -> float:
+        """Mean per-period expected accuracy."""
+        if not self.allocations:
+            return 0.0
+        return float(np.mean([a.expected_accuracy for a in self.allocations]))
+
+    def mean_objective(self, alpha: Optional[float] = None) -> float:
+        """Mean per-period objective value at ``alpha`` (or each allocation's own)."""
+        if not self.allocations:
+            return 0.0
+        if alpha is None:
+            return float(np.mean([a.objective for a in self.allocations]))
+        return float(np.mean([a.objective_at(alpha) for a in self.allocations]))
+
+    def objective_values(self, alpha: Optional[float] = None) -> np.ndarray:
+        """Per-period objective values as an array."""
+        if alpha is None:
+            return np.array([a.objective for a in self.allocations])
+        return np.array([a.objective_at(alpha) for a in self.allocations])
+
+    def active_times_s(self) -> np.ndarray:
+        """Per-period active times as an array."""
+        return np.array([a.active_time_s for a in self.allocations])
+
+    def expected_accuracies(self) -> np.ndarray:
+        """Per-period expected accuracies as an array."""
+        return np.array([a.expected_accuracy for a in self.allocations])
+
+    def time_share_by_design_point(self) -> Dict[str, float]:
+        """Aggregate fraction of total active time spent at each design point."""
+        totals: Dict[str, float] = {}
+        for allocation in self.allocations:
+            for name, t in allocation.as_dict().items():
+                totals[name] = totals.get(name, 0.0) + t
+        active = sum(totals.values())
+        if active <= 0:
+            return {name: 0.0 for name in totals}
+        return {name: t / active for name, t in totals.items()}
+
+
+__all__ = ["AllocationSeries", "TimeAllocation"]

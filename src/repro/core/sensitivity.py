@@ -1,0 +1,155 @@
+"""Sensitivity analysis of the REAP allocation problem.
+
+Because the allocation problem is a linear program, its optimal value is a
+piecewise-linear, concave function of the energy budget.  The slope of that
+function -- the *marginal value of energy* -- tells the runtime how much
+objective (for alpha = 1: how much expected accuracy) one extra joule of
+budget would buy in the current period.  That quantity is useful beyond the
+paper's evaluation: an energy-allocation layer can use it to decide which
+period of the day deserves the next joule, and a user interface can report
+whether the device is energy-starved (steep slope) or saturated (zero slope).
+
+The module offers two complementary tools:
+
+* :func:`marginal_value_of_energy` -- a numerically robust central-difference
+  estimate of dJ*/dEb at a given budget;
+* :func:`value_curve` -- the full J*(Eb) curve over a budget grid, together
+  with the detected breakpoints where the optimal basis (the pair of design
+  points in use) changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.analytic import solve_analytic
+from repro.core.problem import ReapProblem
+
+
+@dataclass(frozen=True)
+class ValueCurve:
+    """The optimal objective as a function of the energy budget."""
+
+    budgets_j: np.ndarray
+    objective_values: np.ndarray
+    marginal_values_per_j: np.ndarray
+    breakpoints_j: Tuple[float, ...]
+
+    def value_at(self, budget_j: float) -> float:
+        """Linearly interpolated optimal objective at ``budget_j``."""
+        return float(np.interp(budget_j, self.budgets_j, self.objective_values))
+
+    def marginal_at(self, budget_j: float) -> float:
+        """Linearly interpolated marginal value of energy at ``budget_j``."""
+        return float(np.interp(budget_j, self.budgets_j, self.marginal_values_per_j))
+
+    @property
+    def saturation_budget_j(self) -> float:
+        """Smallest budget whose marginal value is (numerically) zero."""
+        zero = np.nonzero(self.marginal_values_per_j <= 1e-9)[0]
+        if zero.size == 0:
+            return float("inf")
+        return float(self.budgets_j[zero[0]])
+
+
+def _optimal_objective(problem: ReapProblem, budget_j: float) -> float:
+    """Optimal objective value at a given budget (0 below the off floor)."""
+    allocation = solve_analytic(problem.with_budget(max(0.0, budget_j)))
+    return allocation.objective
+
+
+def marginal_value_of_energy(
+    problem: ReapProblem,
+    step_j: float = 1e-3,
+) -> float:
+    """Central-difference estimate of dJ*/dEb at the problem's budget.
+
+    The step is clipped so both evaluation points stay at or above the
+    off-state floor (below the floor the problem is infeasible and the value
+    is zero by convention).
+    """
+    if step_j <= 0:
+        raise ValueError(f"step must be positive, got {step_j}")
+    budget = problem.energy_budget_j
+    lower = max(problem.min_required_energy_j, budget - step_j)
+    upper = budget + step_j
+    if upper <= lower:
+        return 0.0
+    value_upper = _optimal_objective(problem, upper)
+    value_lower = _optimal_objective(problem, lower)
+    return (value_upper - value_lower) / (upper - lower)
+
+
+def value_curve(
+    problem: ReapProblem,
+    budgets_j: Optional[Sequence[float]] = None,
+    num_points: int = 80,
+    breakpoint_tolerance: float = 1e-6,
+) -> ValueCurve:
+    """Compute J*(Eb) over a budget grid and locate its breakpoints.
+
+    Breakpoints are detected as budgets where the finite-difference slope
+    changes by more than ``breakpoint_tolerance`` (relative to the largest
+    slope), i.e. where the optimal mix of design points switches.
+    """
+    if budgets_j is None:
+        if num_points < 3:
+            raise ValueError("num_points must be at least 3")
+        budgets = np.linspace(
+            problem.min_required_energy_j,
+            problem.max_useful_energy_j * 1.05,
+            num_points,
+        )
+    else:
+        budgets = np.asarray(list(budgets_j), dtype=float)
+        if budgets.size < 3:
+            raise ValueError("at least three budgets are needed")
+        budgets = np.sort(budgets)
+
+    values = np.array([_optimal_objective(problem, float(b)) for b in budgets])
+    slopes = np.gradient(values, budgets)
+    slopes = np.clip(slopes, 0.0, None)  # J* is non-decreasing in the budget
+
+    # Breakpoints: where consecutive secant slopes differ noticeably.
+    secants = np.diff(values) / np.diff(budgets)
+    scale = max(np.max(np.abs(secants)), 1e-12)
+    breakpoints: List[float] = []
+    for index in range(1, secants.size):
+        if abs(secants[index] - secants[index - 1]) > breakpoint_tolerance * scale:
+            breakpoints.append(float(budgets[index]))
+    return ValueCurve(
+        budgets_j=budgets,
+        objective_values=values,
+        marginal_values_per_j=slopes,
+        breakpoints_j=tuple(breakpoints),
+    )
+
+
+def energy_starvation_level(problem: ReapProblem) -> str:
+    """Classify how energy-constrained the current period is.
+
+    Returns one of ``"off"`` (budget below the standby floor),
+    ``"starved"`` (even the lowest-power design point cannot run all period),
+    ``"constrained"`` (the budget binds but the device can stay on) or
+    ``"saturated"`` (more energy would not improve the objective).
+    """
+    if not problem.is_budget_feasible:
+        return "off"
+    min_power = min(dp.power_w for dp in problem.design_points)
+    full_on_cheapest = min_power * problem.period_s
+    if problem.energy_budget_j < full_on_cheapest:
+        return "starved"
+    if marginal_value_of_energy(problem) > 1e-9:
+        return "constrained"
+    return "saturated"
+
+
+__all__ = [
+    "ValueCurve",
+    "energy_starvation_level",
+    "marginal_value_of_energy",
+    "value_curve",
+]

@@ -1,0 +1,457 @@
+"""Dense tableau simplex solver (Algorithm 1 of the REAP paper).
+
+The paper solves the accuracy/active-time allocation LP on the IoT device
+itself with a tableau-based simplex procedure: build a tableau from the
+objective and the constraints, repeatedly select a pivot column (the most
+positive reduced cost), select a pivot row (minimum-ratio test), and update
+the tableau until every reduced cost is non-positive.
+
+This module implements that procedure from scratch, in two layers:
+
+* :func:`simplex_max_leq` -- the literal Algorithm 1: maximise ``c^T x``
+  subject to ``A x <= b`` with ``b >= 0`` and ``x >= 0``, starting from the
+  all-slack basis.  This is the code path REAP uses at runtime because the
+  reduced problem formulation (off-time eliminated) has exactly this shape.
+* :class:`SimplexSolver` -- a general two-phase simplex that also accepts
+  equality constraints and negative right-hand sides, used for the full
+  (non-reduced) formulation and for cross-checks in the test-suite.
+
+Both layers support the Dantzig (largest reduced cost) and Bland (smallest
+index, anti-cycling) pivot rules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.lp import (
+    LinearProgram,
+    LPSolution,
+    LPStatus,
+)
+
+
+class PivotRule(enum.Enum):
+    """Entering-variable selection rule."""
+
+    DANTZIG = "dantzig"
+    BLAND = "bland"
+
+
+@dataclass(frozen=True)
+class SimplexStats:
+    """Diagnostics of a simplex run (used by the solver-scaling benchmark)."""
+
+    phase1_iterations: int
+    phase2_iterations: int
+
+    @property
+    def total_iterations(self) -> int:
+        """Total pivots across both phases."""
+        return self.phase1_iterations + self.phase2_iterations
+
+
+class _Tableau:
+    """Mutable simplex tableau with an explicit basis.
+
+    The tableau stores the constraint rows ``[A | b]`` and maintains, for a
+    given cost vector, a reduced-cost row used for pivot-column selection.
+    """
+
+    def __init__(self, a: np.ndarray, b: np.ndarray, basis: Sequence[int],
+                 tolerance: float) -> None:
+        self.a = np.array(a, dtype=float)
+        self.b = np.array(b, dtype=float)
+        self.basis = list(basis)
+        self.tolerance = tolerance
+        if self.a.shape[0] != self.b.size:
+            raise ValueError("A and b have inconsistent shapes")
+        if len(self.basis) != self.a.shape[0]:
+            raise ValueError("basis size must match number of rows")
+
+    @property
+    def num_rows(self) -> int:
+        return self.a.shape[0]
+
+    @property
+    def num_cols(self) -> int:
+        return self.a.shape[1]
+
+    def reduced_costs(self, costs: np.ndarray) -> np.ndarray:
+        """Return the reduced-cost vector ``c_j - c_B B^{-1} A_j``.
+
+        Because the tableau is kept in basis-canonical form (each basic
+        column is a unit vector), the multipliers are simply the basic costs
+        applied to the current rows.
+        """
+        basic_costs = costs[self.basis]
+        return costs - basic_costs @ self.a
+
+    def objective_value(self, costs: np.ndarray) -> float:
+        """Current objective value ``c_B^T x_B``."""
+        return float(costs[self.basis] @ self.b)
+
+    def solution(self, num_variables: int) -> np.ndarray:
+        """Extract the primal solution restricted to the first ``num_variables``."""
+        x = np.zeros(self.num_cols)
+        for row, column in enumerate(self.basis):
+            x[column] = self.b[row]
+        return x[:num_variables]
+
+    def choose_pivot_column(self, reduced: np.ndarray, rule: PivotRule,
+                            allowed: Optional[np.ndarray] = None) -> int:
+        """Return the entering column index, or -1 when optimal.
+
+        ``allowed`` is a boolean mask restricting which columns may enter
+        (used in Phase II to keep artificial variables out).
+        """
+        candidates = reduced > self.tolerance
+        if allowed is not None:
+            candidates &= allowed
+        indices = np.nonzero(candidates)[0]
+        if indices.size == 0:
+            return -1
+        if rule is PivotRule.BLAND:
+            return int(indices[0])
+        # Dantzig: most positive reduced cost; ties broken by smallest index.
+        best = indices[np.argmax(reduced[indices])]
+        return int(best)
+
+    def choose_pivot_row(self, column: int) -> int:
+        """Minimum-ratio test for the leaving row, or -1 when unbounded."""
+        ratios = np.full(self.num_rows, np.inf)
+        positive = self.a[:, column] > self.tolerance
+        ratios[positive] = self.b[positive] / self.a[positive, column]
+        if not np.any(np.isfinite(ratios)):
+            return -1
+        min_ratio = ratios.min()
+        # Tie-break on the smallest basic variable index (lexicographic-ish,
+        # avoids cycling in the degenerate cases we encounter).
+        tied = np.nonzero(ratios <= min_ratio + self.tolerance)[0]
+        best_row = min(tied, key=lambda row: self.basis[row])
+        return int(best_row)
+
+    def pivot(self, row: int, column: int) -> None:
+        """Perform a pivot: variable ``column`` enters, ``basis[row]`` leaves."""
+        pivot_value = self.a[row, column]
+        if abs(pivot_value) <= self.tolerance:
+            raise ValueError("pivot element is numerically zero")
+        self.a[row] /= pivot_value
+        self.b[row] /= pivot_value
+        for other in range(self.num_rows):
+            if other == row:
+                continue
+            factor = self.a[other, column]
+            if factor != 0.0:
+                self.a[other] -= factor * self.a[row]
+                self.b[other] -= factor * self.b[row]
+        # Clean tiny negative right-hand sides produced by round-off.
+        self.b[np.abs(self.b) < self.tolerance] = np.abs(
+            self.b[np.abs(self.b) < self.tolerance]
+        )
+        self.basis[row] = column
+
+    def run(self, costs: np.ndarray, rule: PivotRule, max_iterations: int,
+            allowed: Optional[np.ndarray] = None) -> Tuple[LPStatus, int]:
+        """Iterate pivots until optimality, unboundedness or iteration limit."""
+        for iteration in range(max_iterations):
+            reduced = self.reduced_costs(costs)
+            column = self.choose_pivot_column(reduced, rule, allowed)
+            if column < 0:
+                return LPStatus.OPTIMAL, iteration
+            row = self.choose_pivot_row(column)
+            if row < 0:
+                return LPStatus.UNBOUNDED, iteration
+            self.pivot(row, column)
+        return LPStatus.ITERATION_LIMIT, max_iterations
+
+
+def simplex_max_leq(
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    objective: np.ndarray,
+    max_iterations: int = 1000,
+    pivot_rule: PivotRule = PivotRule.DANTZIG,
+    tolerance: float = 1e-9,
+) -> LPSolution:
+    """Maximise ``c^T x`` s.t. ``A x <= b``, ``x >= 0`` with ``b >= 0``.
+
+    This is the literal REAP procedure (Algorithm 1): slack variables provide
+    the initial basic feasible solution, the pivot column is the largest
+    positive reduced cost, and the pivot row follows the minimum-ratio test.
+
+    Raises
+    ------
+    ValueError
+        If any entry of ``b`` is negative (the all-slack basis would not be
+        feasible; use :class:`SimplexSolver` for that case).
+    """
+    a_ub = np.atleast_2d(np.asarray(a_ub, dtype=float))
+    b_ub = np.asarray(b_ub, dtype=float).ravel()
+    objective = np.asarray(objective, dtype=float).ravel()
+    num_constraints, num_variables = a_ub.shape
+    if b_ub.size != num_constraints:
+        raise ValueError("b_ub length must match the number of constraint rows")
+    if objective.size != num_variables:
+        raise ValueError("objective length must match the number of columns")
+    if np.any(b_ub < -tolerance):
+        raise ValueError(
+            "simplex_max_leq requires b >= 0; use SimplexSolver for general LPs"
+        )
+
+    # Tableau columns: original variables followed by one slack per row.
+    a_full = np.hstack([a_ub, np.eye(num_constraints)])
+    costs = np.concatenate([objective, np.zeros(num_constraints)])
+    basis = list(range(num_variables, num_variables + num_constraints))
+    tableau = _Tableau(a_full, np.maximum(b_ub, 0.0), basis, tolerance)
+
+    status, iterations = tableau.run(costs, pivot_rule, max_iterations)
+    x = tableau.solution(num_variables)
+    objective_value = float(objective @ x)
+    return LPSolution(
+        status=status,
+        x=x,
+        objective_value=objective_value,
+        iterations=iterations,
+        message=f"simplex_max_leq finished with status {status.value}",
+    )
+
+
+class SimplexSolver:
+    """Two-phase dense simplex for general maximisation LPs.
+
+    Handles ``<=`` constraints with arbitrary-sign right-hand sides and
+    equality constraints by introducing surplus and artificial variables and
+    running a Phase I feasibility problem before the Phase II optimisation.
+
+    Parameters
+    ----------
+    pivot_rule:
+        Entering-variable rule; Dantzig by default, Bland for guaranteed
+        termination on degenerate problems.
+    max_iterations:
+        Pivot limit per phase.  ``None`` selects a generous default scaled
+        with problem size.
+    tolerance:
+        Numerical tolerance for optimality and feasibility tests.
+    """
+
+    def __init__(
+        self,
+        pivot_rule: PivotRule = PivotRule.DANTZIG,
+        max_iterations: Optional[int] = None,
+        tolerance: float = 1e-9,
+    ) -> None:
+        self.pivot_rule = pivot_rule
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.last_stats: Optional[SimplexStats] = None
+
+    # -------------------------------------------------------------------------
+    def solve(self, lp: LinearProgram) -> LPSolution:
+        """Solve ``lp`` and return an :class:`~repro.core.lp.LPSolution`."""
+        num_variables = lp.num_variables
+        rows: List[np.ndarray] = []
+        rhs: List[float] = []
+        senses: List[str] = []
+
+        for i in range(lp.num_inequalities):
+            row = lp.a_ub[i].copy()
+            b = float(lp.b_ub[i])
+            sense = "<="
+            if b < 0:
+                row, b, sense = -row, -b, ">="
+            rows.append(row)
+            rhs.append(b)
+            senses.append(sense)
+        for i in range(lp.num_equalities):
+            row = lp.a_eq[i].copy()
+            b = float(lp.b_eq[i])
+            if b < 0:
+                row, b = -row, -b
+            rows.append(row)
+            rhs.append(b)
+            senses.append("=")
+
+        num_rows = len(rows)
+        if num_rows == 0:
+            return self._solve_unconstrained(lp)
+
+        a = np.vstack(rows) if rows else np.zeros((0, num_variables))
+        b = np.asarray(rhs, dtype=float)
+
+        # Column layout: originals | slack/surplus | artificials.
+        num_slack = num_rows
+        artificial_rows = [i for i, sense in enumerate(senses) if sense != "<="]
+        num_artificial = len(artificial_rows)
+        total_cols = num_variables + num_slack + num_artificial
+
+        a_full = np.zeros((num_rows, total_cols))
+        a_full[:, :num_variables] = a
+        basis: List[int] = [0] * num_rows
+        artificial_columns: List[int] = []
+        next_artificial = num_variables + num_slack
+        for i, sense in enumerate(senses):
+            slack_col = num_variables + i
+            if sense == "<=":
+                a_full[i, slack_col] = 1.0
+                basis[i] = slack_col
+            elif sense == ">=":
+                a_full[i, slack_col] = -1.0
+                a_full[i, next_artificial] = 1.0
+                basis[i] = next_artificial
+                artificial_columns.append(next_artificial)
+                next_artificial += 1
+            else:  # equality
+                a_full[i, next_artificial] = 1.0
+                basis[i] = next_artificial
+                artificial_columns.append(next_artificial)
+                next_artificial += 1
+
+        tableau = _Tableau(a_full, b, basis, self.tolerance)
+        max_iterations = self._iteration_limit(num_rows, total_cols)
+
+        # --- Phase I: drive artificial variables to zero ----------------------
+        phase1_iterations = 0
+        if num_artificial:
+            phase1_costs = np.zeros(total_cols)
+            phase1_costs[artificial_columns] = -1.0
+            status, phase1_iterations = tableau.run(
+                phase1_costs, self.pivot_rule, max_iterations
+            )
+            if status is LPStatus.ITERATION_LIMIT:
+                return self._limit_solution(lp, phase1_iterations)
+            artificial_sum = -tableau.objective_value(phase1_costs)
+            if artificial_sum > 1e-7:
+                self.last_stats = SimplexStats(phase1_iterations, 0)
+                return LPSolution(
+                    status=LPStatus.INFEASIBLE,
+                    x=np.zeros(num_variables),
+                    objective_value=float("nan"),
+                    iterations=phase1_iterations,
+                    message="Phase I could not eliminate artificial variables",
+                )
+            self._expel_basic_artificials(tableau, num_variables, num_slack,
+                                          set(artificial_columns))
+
+        # --- Phase II: optimise the real objective ----------------------------
+        phase2_costs = np.zeros(total_cols)
+        phase2_costs[:num_variables] = lp.objective
+        allowed = np.ones(total_cols, dtype=bool)
+        if artificial_columns:
+            allowed[artificial_columns] = False
+        status, phase2_iterations = tableau.run(
+            phase2_costs, self.pivot_rule, max_iterations, allowed=allowed
+        )
+        self.last_stats = SimplexStats(phase1_iterations, phase2_iterations)
+        iterations = phase1_iterations + phase2_iterations
+        if status is LPStatus.ITERATION_LIMIT:
+            return self._limit_solution(lp, iterations)
+        x = tableau.solution(num_variables)
+        # Clip round-off noise; the solution is non-negative by construction.
+        x = np.where(np.abs(x) < self.tolerance, 0.0, x)
+        objective_value = float(lp.objective @ x)
+        if status is LPStatus.UNBOUNDED:
+            return LPSolution(
+                status=LPStatus.UNBOUNDED,
+                x=x,
+                objective_value=float("inf"),
+                iterations=iterations,
+                message="objective is unbounded above",
+            )
+        return LPSolution(
+            status=LPStatus.OPTIMAL,
+            x=x,
+            objective_value=objective_value,
+            iterations=iterations,
+            message="optimal",
+        )
+
+    # -------------------------------------------------------------------------
+    def _iteration_limit(self, num_rows: int, num_cols: int) -> int:
+        if self.max_iterations is not None:
+            return self.max_iterations
+        return max(200, 50 * (num_rows + num_cols))
+
+    def _solve_unconstrained(self, lp: LinearProgram) -> LPSolution:
+        """Handle the degenerate case of an LP with no constraints."""
+        if np.any(lp.objective > self.tolerance):
+            return LPSolution(
+                status=LPStatus.UNBOUNDED,
+                x=np.zeros(lp.num_variables),
+                objective_value=float("inf"),
+                iterations=0,
+                message="no constraints and a positive objective coefficient",
+            )
+        self.last_stats = SimplexStats(0, 0)
+        return LPSolution(
+            status=LPStatus.OPTIMAL,
+            x=np.zeros(lp.num_variables),
+            objective_value=0.0,
+            iterations=0,
+            message="optimal (origin)",
+        )
+
+    def _limit_solution(self, lp: LinearProgram, iterations: int) -> LPSolution:
+        self.last_stats = SimplexStats(iterations, 0)
+        return LPSolution(
+            status=LPStatus.ITERATION_LIMIT,
+            x=np.zeros(lp.num_variables),
+            objective_value=float("nan"),
+            iterations=iterations,
+            message="iteration limit reached",
+        )
+
+    @staticmethod
+    def _expel_basic_artificials(
+        tableau: _Tableau,
+        num_variables: int,
+        num_slack: int,
+        artificial_columns: set,
+    ) -> None:
+        """Pivot degenerate artificial variables out of the basis.
+
+        After Phase I an artificial variable may remain basic at value zero.
+        Pivot it out on any non-artificial column with a non-zero entry in its
+        row; when the whole row is zero the constraint was redundant and the
+        row can simply stay (it no longer influences the solution).
+        """
+        structural_end = num_variables + num_slack
+        for row in range(tableau.num_rows):
+            if tableau.basis[row] not in artificial_columns:
+                continue
+            pivot_column = -1
+            for column in range(structural_end):
+                if abs(tableau.a[row, column]) > tableau.tolerance:
+                    pivot_column = column
+                    break
+            if pivot_column >= 0:
+                tableau.pivot(row, pivot_column)
+
+
+def solve_lp(
+    lp: LinearProgram,
+    pivot_rule: PivotRule = PivotRule.DANTZIG,
+    max_iterations: Optional[int] = None,
+    tolerance: float = 1e-9,
+) -> LPSolution:
+    """Convenience wrapper: solve ``lp`` with a fresh :class:`SimplexSolver`."""
+    solver = SimplexSolver(
+        pivot_rule=pivot_rule,
+        max_iterations=max_iterations,
+        tolerance=tolerance,
+    )
+    return solver.solve(lp)
+
+
+__all__ = [
+    "PivotRule",
+    "SimplexSolver",
+    "SimplexStats",
+    "simplex_max_leq",
+    "solve_lp",
+]

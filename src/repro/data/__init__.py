@@ -1,0 +1,63 @@
+"""Published constants from the REAP paper (DAC 2019).
+
+This subpackage is the single source of truth for every number quoted in the
+paper that the reproduction either calibrates against or reports in the
+"paper" column of ``EXPERIMENTS.md``:
+
+* :mod:`repro.data.paper_constants` -- scalar constants (activity period,
+  off-state power, budget extremes, headline claims, ...).
+* :mod:`repro.data.table2` -- the per-design-point characterisation of the
+  five Pareto-optimal design points (Table 2 of the paper).
+
+Nothing in here performs computation beyond trivial derivations (for example
+converting mW to W); the goal is to keep the paper's numbers in one place so
+that the rest of the code base never hard-codes them.
+"""
+
+from repro.data.paper_constants import (
+    ACTIVITY_PERIOD_S,
+    ACTIVITY_WINDOW_S,
+    BLE_LABEL_TX_ENERGY_MJ,
+    BLE_RAW_OFFLOAD_ENERGY_MJ,
+    DP1_FULL_HOUR_ENERGY_J,
+    HEADLINE_ACCURACY_GAIN,
+    HEADLINE_ACTIVE_TIME_GAIN,
+    MCU_FREQUENCY_HZ,
+    MIN_OFF_ENERGY_J,
+    NUM_ACTIVITY_WINDOWS,
+    NUM_DESIGN_POINTS_TOTAL,
+    NUM_PARETO_DESIGN_POINTS,
+    NUM_USERS,
+    OFF_STATE_POWER_W,
+    SENSOR_SAMPLING_HZ,
+    PaperClaims,
+)
+from repro.data.table2 import (
+    TABLE2_DESIGN_POINTS,
+    Table2Row,
+    table2_design_points,
+    table2_rows,
+)
+
+__all__ = [
+    "ACTIVITY_PERIOD_S",
+    "ACTIVITY_WINDOW_S",
+    "BLE_LABEL_TX_ENERGY_MJ",
+    "BLE_RAW_OFFLOAD_ENERGY_MJ",
+    "DP1_FULL_HOUR_ENERGY_J",
+    "HEADLINE_ACCURACY_GAIN",
+    "HEADLINE_ACTIVE_TIME_GAIN",
+    "MCU_FREQUENCY_HZ",
+    "MIN_OFF_ENERGY_J",
+    "NUM_ACTIVITY_WINDOWS",
+    "NUM_DESIGN_POINTS_TOTAL",
+    "NUM_PARETO_DESIGN_POINTS",
+    "NUM_USERS",
+    "OFF_STATE_POWER_W",
+    "SENSOR_SAMPLING_HZ",
+    "PaperClaims",
+    "TABLE2_DESIGN_POINTS",
+    "Table2Row",
+    "table2_design_points",
+    "table2_rows",
+]

@@ -1,0 +1,110 @@
+"""Scalar constants quoted in the REAP paper.
+
+Every constant carries the section or figure of the paper it comes from so
+that the calibration targets are traceable.  Units are part of each name
+(``_S`` seconds, ``_J`` joules, ``_MJ`` millijoules, ``_W`` watts, ``_MW``
+milliwatts, ``_HZ`` hertz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# --- Section 3.1: activity period ------------------------------------------
+#: Length of one activity period TP over which the energy budget is granted
+#: and the optimisation is re-run (Section 3.1: "set to one hour").
+ACTIVITY_PERIOD_S: float = 3600.0
+
+# --- Section 4.2 / Table 2: HAR application timing --------------------------
+#: Length of one activity window processed by the HAR pipeline (Section 4.2,
+#: DP1 description: "the entire activity window of 1.6 s").
+ACTIVITY_WINDOW_S: float = 1.6
+
+#: Motion/stretch sensor sampling rate (Section 5.1: "Sensors are sampled at
+#: 100 Hz").
+SENSOR_SAMPLING_HZ: float = 100.0
+
+#: MCU clock frequency (Section 5.1: "the MCU runs at 47 MHz").
+MCU_FREQUENCY_HZ: float = 47.0e6
+
+# --- Section 5.2: energy budget extremes ------------------------------------
+#: Minimum energy needed per hour just to keep the harvesting and monitoring
+#: circuitry powered (Section 5.2: "the minimum energy required ... is
+#: 0.18 J").
+MIN_OFF_ENERGY_J: float = 0.18
+
+#: Off-state power implied by the 0.18 J per hour floor.
+OFF_STATE_POWER_W: float = MIN_OFF_ENERGY_J / ACTIVITY_PERIOD_S
+
+#: Energy sufficient to run DP1 for the entire hour (Section 5.2 and
+#: Figure 4: "Total energy consumption is 9.9 J").
+DP1_FULL_HOUR_ENERGY_J: float = 9.9
+
+# --- Section 4.1 / 4.2: data set size ----------------------------------------
+#: Number of user subjects in the accuracy study (Section 1 / 4.2).
+NUM_USERS: int = 14
+
+#: Total number of labelled activity windows collected (Section 1 / 4.2).
+NUM_ACTIVITY_WINDOWS: int = 3553
+
+#: Number of design points implemented on the prototype (Section 4.2).
+NUM_DESIGN_POINTS_TOTAL: int = 24
+
+#: Number of Pareto-optimal design points selected for runtime use.
+NUM_PARETO_DESIGN_POINTS: int = 5
+
+# --- Section 4.2: offloading comparison --------------------------------------
+#: Energy per activity for streaming raw sensor data to a host over BLE.
+BLE_RAW_OFFLOAD_ENERGY_MJ: float = 5.5
+
+#: Energy per activity for transmitting only the recognised activity label.
+BLE_LABEL_TX_ENERGY_MJ: float = 0.38
+
+# --- Section 1 / 5: headline claims -------------------------------------------
+#: "46% higher expected accuracy ... compared to the highest performance DP".
+HEADLINE_ACCURACY_GAIN: float = 0.46
+
+#: "66% longer active time compared to the highest performance DP".
+HEADLINE_ACTIVE_TIME_GAIN: float = 0.66
+
+
+@dataclass(frozen=True)
+class PaperClaims:
+    """Bundle of quantitative claims used by the headline-claims benchmark.
+
+    Attributes mirror the statements made in Sections 1, 5.2 and 5.3 of the
+    paper.  ``region1_active_time_gain_vs_dp1`` refers to the "2.3x larger
+    active time compared to DP1" annotation of Figure 5(b);
+    ``dp4_share_at_5j`` / ``dp5_share_at_5j`` refer to the "REAP utilizes DP4
+    42% of the time and DP5 for 58% of the time" example at a 5 J budget.
+    """
+
+    accuracy_gain_vs_dp1: float = HEADLINE_ACCURACY_GAIN
+    active_time_gain_vs_dp1: float = HEADLINE_ACTIVE_TIME_GAIN
+    region1_active_time_gain_vs_dp1: float = 2.3
+    dp4_share_at_5j: float = 0.42
+    dp5_share_at_5j: float = 0.58
+    dp5_full_hour_budget_j: float = 4.3
+    dp1_full_hour_budget_j: float = DP1_FULL_HOUR_ENERGY_J
+    accuracy_gain_vs_low_power_min: float = 0.22
+    accuracy_gain_vs_low_power_max: float = 0.29
+
+
+__all__ = [
+    "ACTIVITY_PERIOD_S",
+    "ACTIVITY_WINDOW_S",
+    "BLE_LABEL_TX_ENERGY_MJ",
+    "BLE_RAW_OFFLOAD_ENERGY_MJ",
+    "DP1_FULL_HOUR_ENERGY_J",
+    "HEADLINE_ACCURACY_GAIN",
+    "HEADLINE_ACTIVE_TIME_GAIN",
+    "MCU_FREQUENCY_HZ",
+    "MIN_OFF_ENERGY_J",
+    "NUM_ACTIVITY_WINDOWS",
+    "NUM_DESIGN_POINTS_TOTAL",
+    "NUM_PARETO_DESIGN_POINTS",
+    "NUM_USERS",
+    "OFF_STATE_POWER_W",
+    "SENSOR_SAMPLING_HZ",
+    "PaperClaims",
+]

@@ -1,0 +1,61 @@
+"""Energy models of the IoT prototype.
+
+Analytical stand-ins for the measurements the paper took on the
+TI-Sensortag prototype:
+
+* :mod:`repro.energy.mcu` -- CC2650 execution time and energy,
+* :mod:`repro.energy.sensor_energy` -- accelerometer and stretch sensor,
+* :mod:`repro.energy.ble` -- BLE transmission (label vs raw offload),
+* :mod:`repro.energy.power_model` -- per-design-point characterisation,
+* :mod:`repro.energy.accounting` -- per-hour energy breakdowns (Figure 4),
+* :mod:`repro.energy.battery`, :mod:`repro.energy.harvester`,
+  :mod:`repro.energy.budget` -- the storage and budget-allocation layer that
+  feeds the runtime controller.
+"""
+
+from repro.energy.accounting import (
+    HourlyEnergyBreakdown,
+    hourly_breakdown_from_characterization,
+    hourly_breakdown_from_design_point,
+    off_state_energy_j,
+)
+from repro.energy.battery import Battery
+from repro.energy.ble import BLEModel, offloading_comparison
+from repro.energy.budget import (
+    BudgetDecision,
+    HarvestFollowingAllocator,
+    HorizonAverageAllocator,
+)
+from repro.energy.harvester import HarvestingCircuit
+from repro.energy.mcu import MCUModel
+from repro.energy.power_model import (
+    DesignPointCharacterization,
+    DesignPointEnergyModel,
+    classifier_macs,
+)
+from repro.energy.sensor_energy import (
+    AccelerometerEnergyModel,
+    SensorSuiteEnergyModel,
+    StretchSensorEnergyModel,
+)
+
+__all__ = [
+    "AccelerometerEnergyModel",
+    "BLEModel",
+    "Battery",
+    "BudgetDecision",
+    "DesignPointCharacterization",
+    "DesignPointEnergyModel",
+    "HarvestFollowingAllocator",
+    "HarvestingCircuit",
+    "HorizonAverageAllocator",
+    "HourlyEnergyBreakdown",
+    "MCUModel",
+    "SensorSuiteEnergyModel",
+    "StretchSensorEnergyModel",
+    "classifier_macs",
+    "hourly_breakdown_from_characterization",
+    "hourly_breakdown_from_design_point",
+    "off_state_energy_j",
+    "offloading_comparison",
+]

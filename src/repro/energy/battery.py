@@ -1,0 +1,113 @@
+"""Small battery / supercapacitor model.
+
+The second class of energy-harvesting devices the paper targets keeps a
+small backup battery so the node can ride through hours with little or no
+harvest.  The model tracks the state of charge in joules, applies separate
+charge and discharge efficiencies and clamps at the capacity limits, which is
+all the energy-allocation layer needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class Battery:
+    """Energy store with round-trip losses.
+
+    Parameters
+    ----------
+    capacity_j:
+        Usable capacity in joules.
+    initial_charge_j:
+        Initial state of charge in joules (defaults to half full).
+    charge_efficiency:
+        Fraction of incoming energy actually stored.
+    discharge_efficiency:
+        Fraction of stored energy actually delivered to the load.
+    """
+
+    capacity_j: float
+    initial_charge_j: float = -1.0
+    charge_efficiency: float = 0.9
+    discharge_efficiency: float = 0.95
+    _charge_j: float = field(init=False, repr=False)
+    history: List[float] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity_j <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity_j}")
+        if not 0 < self.charge_efficiency <= 1:
+            raise ValueError("charge_efficiency must be in (0, 1]")
+        if not 0 < self.discharge_efficiency <= 1:
+            raise ValueError("discharge_efficiency must be in (0, 1]")
+        if self.initial_charge_j < 0:
+            self.initial_charge_j = self.capacity_j / 2
+        if self.initial_charge_j > self.capacity_j:
+            raise ValueError("initial charge exceeds capacity")
+        self._charge_j = self.initial_charge_j
+        self.history.append(self._charge_j)
+
+    # --- state -------------------------------------------------------------------
+    @property
+    def charge_j(self) -> float:
+        """Current state of charge in joules."""
+        return self._charge_j
+
+    @property
+    def state_of_charge(self) -> float:
+        """State of charge as a fraction of capacity."""
+        return self._charge_j / self.capacity_j
+
+    @property
+    def headroom_j(self) -> float:
+        """Energy that can still be stored before the battery is full."""
+        return self.capacity_j - self._charge_j
+
+    @property
+    def available_j(self) -> float:
+        """Energy that can be drawn from the battery (after discharge losses)."""
+        return self._charge_j * self.discharge_efficiency
+
+    # --- operations ----------------------------------------------------------------
+    def charge(self, energy_j: float) -> float:
+        """Store ``energy_j`` of harvested energy; return the amount wasted.
+
+        Waste comes from charge-efficiency losses and from overflowing the
+        capacity (energy harvested with nowhere to go).
+        """
+        if energy_j < 0:
+            raise ValueError(f"cannot charge a negative amount: {energy_j}")
+        storable = energy_j * self.charge_efficiency
+        accepted = min(storable, self.headroom_j)
+        self._charge_j += accepted
+        self.history.append(self._charge_j)
+        return energy_j - accepted / self.charge_efficiency if self.charge_efficiency else 0.0
+
+    def discharge(self, energy_j: float) -> float:
+        """Draw ``energy_j`` from the battery; return the amount delivered.
+
+        When the request exceeds the available energy the battery delivers
+        what it can and empties.
+        """
+        if energy_j < 0:
+            raise ValueError(f"cannot discharge a negative amount: {energy_j}")
+        deliverable = min(energy_j, self.available_j)
+        self._charge_j -= deliverable / self.discharge_efficiency
+        self._charge_j = max(0.0, self._charge_j)
+        self.history.append(self._charge_j)
+        return deliverable
+
+    def reset(self, charge_j: float = -1.0) -> None:
+        """Reset the state of charge (defaults to the initial charge)."""
+        if charge_j < 0:
+            charge_j = self.initial_charge_j
+        if charge_j > self.capacity_j:
+            raise ValueError("charge exceeds capacity")
+        self._charge_j = charge_j
+        self.history = [self._charge_j]
+
+
+__all__ = ["Battery"]

@@ -1,0 +1,180 @@
+"""Energy-budget allocation over a horizon of activity periods.
+
+The REAP controller consumes one energy budget :math:`E_b` per activity
+period.  The paper delegates how that budget is derived from the harvest and
+the battery to prior energy-allocation work (Kansal et al. [13], Bhat et
+al. [4]).  This module implements two representative allocators so the
+month-long case study can run closed-loop:
+
+* :class:`HarvestFollowingAllocator` -- spend what the current period is
+  expected to harvest plus a bounded draw from (or deposit to) the battery to
+  pull its state of charge toward a target level.  This is the spirit of the
+  duty-cycle controllers in the related work.
+* :class:`HorizonAverageAllocator` -- spread the total expected harvest of a
+  look-ahead horizon (for example 24 hours) uniformly across its periods,
+  subject to battery feasibility.  This approximates the LP-based allocation
+  of Kansal et al.
+
+Both allocators also enforce that every period receives at least the
+off-state floor whenever the battery can supply it, so the monitoring
+circuitry never browns out unnecessarily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.paper_constants import ACTIVITY_PERIOD_S, OFF_STATE_POWER_W
+from repro.energy.battery import Battery
+
+
+@dataclass(frozen=True)
+class BudgetDecision:
+    """Budget granted for one activity period, with its provenance."""
+
+    period_index: int
+    harvest_j: float
+    battery_charge_before_j: float
+    budget_j: float
+
+
+class HarvestFollowingAllocator:
+    """Grant each period its own harvest plus a battery-levelling correction.
+
+    Parameters
+    ----------
+    battery:
+        The shared energy store (mutated as budgets are granted and spent).
+    target_soc:
+        Desired battery state of charge; surpluses above it are released to
+        the load, deficits below it are retained.
+    max_battery_draw_j:
+        Upper bound on how much the battery may contribute to a single
+        period's budget.
+    min_budget_j:
+        Floor on the granted budget (defaults to the off-state energy so the
+        standby circuitry stays powered when at all possible).
+    """
+
+    def __init__(
+        self,
+        battery: Battery,
+        target_soc: float = 0.5,
+        max_battery_draw_j: float = 5.0,
+        min_budget_j: float = OFF_STATE_POWER_W * ACTIVITY_PERIOD_S,
+    ) -> None:
+        if not 0 <= target_soc <= 1:
+            raise ValueError(f"target_soc must be in [0, 1], got {target_soc}")
+        if max_battery_draw_j < 0:
+            raise ValueError("max_battery_draw_j must be non-negative")
+        self.battery = battery
+        self.target_soc = target_soc
+        self.max_battery_draw_j = max_battery_draw_j
+        self.min_budget_j = min_budget_j
+        self.decisions: List[BudgetDecision] = []
+
+    def grant(self, harvest_j: float) -> float:
+        """Grant the budget for one period given its harvested energy."""
+        if harvest_j < 0:
+            raise ValueError(f"harvest must be non-negative, got {harvest_j}")
+        charge_before = self.battery.charge_j
+        target_charge = self.target_soc * self.battery.capacity_j
+        surplus = charge_before - target_charge
+        battery_contribution = float(np.clip(surplus, 0.0, self.max_battery_draw_j))
+        budget = harvest_j + battery_contribution
+        if budget < self.min_budget_j:
+            # Top the budget up to the floor if the battery can cover it.
+            shortfall = self.min_budget_j - budget
+            extra = min(shortfall, self.battery.available_j - battery_contribution)
+            battery_contribution += max(0.0, extra)
+            budget = harvest_j + battery_contribution
+        decision = BudgetDecision(
+            period_index=len(self.decisions),
+            harvest_j=harvest_j,
+            battery_charge_before_j=charge_before,
+            budget_j=budget,
+        )
+        self.decisions.append(decision)
+        return budget
+
+    def settle(self, harvest_j: float, consumed_j: float) -> None:
+        """Settle a period: bank unused harvest, draw the battery for the rest."""
+        if consumed_j < 0:
+            raise ValueError(f"consumed energy must be non-negative, got {consumed_j}")
+        if harvest_j >= consumed_j:
+            self.battery.charge(harvest_j - consumed_j)
+        else:
+            self.battery.discharge(consumed_j - harvest_j)
+
+    def allocate_trace(
+        self,
+        harvest_trace_j: Sequence[float],
+        consumption_fraction: float = 1.0,
+    ) -> List[float]:
+        """Grant budgets for a whole trace assuming a fixed spend fraction.
+
+        ``consumption_fraction`` is the share of each granted budget the
+        device actually consumes (1.0 means it spends everything, the worst
+        case for the battery).  Returns the granted budgets.
+        """
+        if not 0 <= consumption_fraction <= 1:
+            raise ValueError("consumption_fraction must be in [0, 1]")
+        budgets = []
+        for harvest in harvest_trace_j:
+            budget = self.grant(float(harvest))
+            budgets.append(budget)
+            self.settle(float(harvest), budget * consumption_fraction)
+        return budgets
+
+
+class HorizonAverageAllocator:
+    """Spread the expected harvest of a look-ahead horizon evenly.
+
+    This mirrors LP-based energy-neutral allocation: over each horizon the
+    total consumption equals the total expected harvest, with the battery
+    absorbing the within-horizon mismatch.
+    """
+
+    def __init__(
+        self,
+        battery: Battery,
+        horizon_periods: int = 24,
+        min_budget_j: float = OFF_STATE_POWER_W * ACTIVITY_PERIOD_S,
+    ) -> None:
+        if horizon_periods < 1:
+            raise ValueError(f"horizon must be >= 1 period, got {horizon_periods}")
+        self.battery = battery
+        self.horizon_periods = horizon_periods
+        self.min_budget_j = min_budget_j
+
+    def allocate(self, harvest_forecast_j: Sequence[float]) -> List[float]:
+        """Return one budget per forecast period.
+
+        The forecast is processed in consecutive horizons; each horizon's
+        total harvest is divided evenly among its periods, clipped from below
+        by the off-state floor and from above by what the battery plus the
+        horizon harvest could physically supply.
+        """
+        forecast = [float(h) for h in harvest_forecast_j]
+        if any(h < 0 for h in forecast):
+            raise ValueError("harvest forecast contains negative values")
+        budgets: List[float] = []
+        for start in range(0, len(forecast), self.horizon_periods):
+            chunk = forecast[start:start + self.horizon_periods]
+            if not chunk:
+                continue
+            total = sum(chunk) + self.battery.available_j * 0.5
+            per_period = total / len(chunk)
+            per_period = max(per_period, self.min_budget_j)
+            budgets.extend([per_period] * len(chunk))
+        return budgets
+
+
+__all__ = [
+    "BudgetDecision",
+    "HarvestFollowingAllocator",
+    "HorizonAverageAllocator",
+]

@@ -1,0 +1,51 @@
+"""Energy-harvesting front end.
+
+Models the harvesting circuitry between the solar cell and the energy store:
+a conversion efficiency (boost converter plus maximum-power-point tracking
+losses) and the always-on quiescent draw that the paper quotes as the 0.18 J
+per hour off-state floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.paper_constants import ACTIVITY_PERIOD_S, OFF_STATE_POWER_W
+
+
+@dataclass(frozen=True)
+class HarvestingCircuit:
+    """Harvesting front-end with conversion losses and quiescent draw."""
+
+    #: Efficiency of the harvester (boost converter + MPPT).
+    conversion_efficiency: float = 0.8
+    #: Quiescent power of the harvesting + monitoring circuitry in watts.
+    quiescent_power_w: float = OFF_STATE_POWER_W
+
+    def __post_init__(self) -> None:
+        if not 0 < self.conversion_efficiency <= 1:
+            raise ValueError(
+                f"conversion efficiency must be in (0, 1], got "
+                f"{self.conversion_efficiency}"
+            )
+        if self.quiescent_power_w < 0:
+            raise ValueError(
+                f"quiescent power must be non-negative, got {self.quiescent_power_w}"
+            )
+
+    def harvested_energy_j(self, source_energy_j: float) -> float:
+        """Usable energy delivered to the store from raw source energy."""
+        if source_energy_j < 0:
+            raise ValueError(
+                f"source energy must be non-negative, got {source_energy_j}"
+            )
+        return source_energy_j * self.conversion_efficiency
+
+    def quiescent_energy_j(self, duration_s: float = ACTIVITY_PERIOD_S) -> float:
+        """Quiescent energy drawn over ``duration_s`` seconds."""
+        if duration_s < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_s}")
+        return self.quiescent_power_w * duration_s
+
+
+__all__ = ["HarvestingCircuit"]

@@ -1,0 +1,138 @@
+"""Execution-time and energy model of the TI CC2650 MCU.
+
+The prototype runs all feature generation and classification on a CC2650
+(ARM Cortex-M3 at 47 MHz).  We model its contribution to the per-activity
+energy with four components, calibrated against the execution-time and
+MCU-energy columns of Table 2:
+
+* **compute** -- the MCU in active mode for the few milliseconds of feature
+  generation and NN inference;
+* **acquisition** -- servicing the 100 Hz sensor interrupts (reading the
+  accelerometer over SPI and the stretch sensor through the ADC);
+* **system** -- sleep current, RTC and power management over the rest of the
+  activity window;
+* **communication** -- handled separately by :mod:`repro.energy.ble`.
+
+Execution times for the individual pipeline stages follow simple operation
+counts (samples processed, multiply-accumulates of the NN) with per-stage
+constants fitted to the published breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.paper_constants import ACTIVITY_WINDOW_S, MCU_FREQUENCY_HZ
+from repro.har.config import FeatureConfig
+
+
+@dataclass(frozen=True)
+class MCUModel:
+    """Calibrated CC2650 execution-time / energy model.
+
+    All times are in milliseconds, energies in millijoules, powers in
+    milliwatts unless the name says otherwise.
+    """
+
+    #: Clock frequency (informational; the per-stage constants already
+    #: incorporate it).
+    frequency_hz: float = MCU_FREQUENCY_HZ
+    #: Active-mode power while computing (run mode, peripherals clocked).
+    active_power_mw: float = 9.6
+    #: Average power of the sleep/RTC/power-management overhead while the
+    #: device is within an activity window but the CPU is idle.
+    system_power_mw: float = 0.78
+    #: Energy to acquire one sensor sample (interrupt + bus transaction).
+    acquisition_energy_per_sample_uj: float = 1.08
+    #: Execution time of the statistical feature pass, per axis for a full
+    #: 1.6 s window (scaled by the sensing fraction).
+    statistical_accel_ms_per_axis: float = 0.277
+    #: Execution time of the Haar DWT feature pass, per axis for a full
+    #: window (DWT is the most expensive accelerometer feature in Figure 2).
+    dwt_accel_ms_per_axis: float = 0.92
+    #: Execution time of the 16-point FFT pass over the stretch window.
+    fft_stretch_ms: float = 3.83
+    #: Execution time of the statistical feature pass over the stretch window.
+    statistical_stretch_ms: float = 0.31
+    #: Fixed overhead of invoking the NN classifier (buffering, scaling).
+    nn_overhead_ms: float = 0.77
+    #: Execution time per multiply-accumulate of the NN classifier.
+    nn_ms_per_mac: float = 0.0006
+
+    # --- execution time -----------------------------------------------------------
+    def accel_feature_time_ms(self, config: FeatureConfig) -> float:
+        """Execution time of the accelerometer feature pass for ``config``."""
+        if not config.uses_accelerometer or config.accel_features == "none":
+            return 0.0
+        if config.accel_features == "statistical":
+            per_axis = self.statistical_accel_ms_per_axis
+        else:  # dwt
+            per_axis = self.dwt_accel_ms_per_axis
+        return per_axis * config.num_accel_axes * config.sensing_fraction
+
+    def stretch_feature_time_ms(self, config: FeatureConfig) -> float:
+        """Execution time of the stretch-sensor feature pass for ``config``."""
+        if not config.uses_stretch:
+            return 0.0
+        if config.stretch_features == "fft16":
+            return self.fft_stretch_ms
+        return self.statistical_stretch_ms
+
+    def classifier_time_ms(self, num_macs: int) -> float:
+        """Execution time of one NN inference with ``num_macs`` MACs."""
+        if num_macs < 0:
+            raise ValueError(f"num_macs must be non-negative, got {num_macs}")
+        return self.nn_overhead_ms + self.nn_ms_per_mac * num_macs
+
+    def total_exec_time_ms(self, config: FeatureConfig, num_macs: int) -> float:
+        """Total per-activity MCU execution time (features + classifier)."""
+        return (
+            self.accel_feature_time_ms(config)
+            + self.stretch_feature_time_ms(config)
+            + self.classifier_time_ms(num_macs)
+        )
+
+    # --- energy ---------------------------------------------------------------------
+    def compute_energy_mj(self, exec_time_ms: float) -> float:
+        """Energy of the MCU in active mode for ``exec_time_ms``."""
+        if exec_time_ms < 0:
+            raise ValueError(f"execution time must be non-negative, got {exec_time_ms}")
+        return self.active_power_mw * exec_time_ms * 1e-3
+
+    def acquisition_energy_mj(
+        self,
+        config: FeatureConfig,
+        window_s: float = ACTIVITY_WINDOW_S,
+        sampling_hz: float = 100.0,
+    ) -> float:
+        """Energy spent servicing sensor-sampling interrupts for one window."""
+        samples = 0.0
+        if config.uses_accelerometer:
+            samples += (
+                config.num_accel_axes * sampling_hz * window_s * config.sensing_fraction
+            )
+        if config.uses_stretch:
+            samples += sampling_hz * window_s
+        return self.acquisition_energy_per_sample_uj * samples * 1e-3
+
+    def system_energy_mj(self, window_s: float = ACTIVITY_WINDOW_S) -> float:
+        """Sleep/RTC/power-management energy over one activity window."""
+        return self.system_power_mw * window_s
+
+    def mcu_energy_mj(
+        self,
+        config: FeatureConfig,
+        num_macs: int,
+        window_s: float = ACTIVITY_WINDOW_S,
+        sampling_hz: float = 100.0,
+    ) -> float:
+        """Total MCU energy per activity window, excluding the radio."""
+        exec_time = self.total_exec_time_ms(config, num_macs)
+        return (
+            self.compute_energy_mj(exec_time)
+            + self.acquisition_energy_mj(config, window_s, sampling_hz)
+            + self.system_energy_mj(window_s)
+        )
+
+
+__all__ = ["MCUModel"]

@@ -1,0 +1,134 @@
+"""Per-design-point power and energy characterisation.
+
+Combines the MCU, sensor and radio models into the per-activity numbers the
+paper reports in Table 2: execution-time breakdown, MCU energy, sensor
+energy, total energy per activity and average power.  This is the analytical
+stand-in for the prototype's test-pad power measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from repro.core.design_point import EnergyBreakdown, ExecutionBreakdown
+from repro.data.paper_constants import ACTIVITY_WINDOW_S, SENSOR_SAMPLING_HZ
+from repro.energy.ble import BLEModel
+from repro.energy.mcu import MCUModel
+from repro.energy.sensor_energy import SensorSuiteEnergyModel
+from repro.har.config import HARConfig
+
+
+def classifier_macs(
+    num_features: int,
+    hidden_layers: Sequence[int],
+    num_classes: int = 7,
+) -> int:
+    """Multiply-accumulate count of a fully-connected classifier."""
+    if num_features < 1:
+        raise ValueError(f"num_features must be >= 1, got {num_features}")
+    if num_classes < 2:
+        raise ValueError(f"num_classes must be >= 2, got {num_classes}")
+    sizes = [num_features, *[int(h) for h in hidden_layers], num_classes]
+    return int(sum(a * b for a, b in zip(sizes[:-1], sizes[1:])))
+
+
+@dataclass(frozen=True)
+class DesignPointCharacterization:
+    """The measured quantities of one design point (one Table 2 row)."""
+
+    execution: ExecutionBreakdown
+    energy: EnergyBreakdown
+    accel_sensor_energy_mj: float
+    stretch_sensor_energy_mj: float
+    mcu_system_energy_mj: float
+    mcu_acquisition_energy_mj: float
+    mcu_compute_energy_mj: float
+    window_s: float = ACTIVITY_WINDOW_S
+
+    @property
+    def total_energy_mj(self) -> float:
+        """Total energy per activity window in millijoules."""
+        return self.energy.total_mj
+
+    @property
+    def average_power_mw(self) -> float:
+        """Average power while operating at this design point, in milliwatts."""
+        return self.total_energy_mj / self.window_s
+
+    @property
+    def average_power_w(self) -> float:
+        """Average power in watts."""
+        return self.average_power_mw * 1e-3
+
+
+@dataclass(frozen=True)
+class DesignPointEnergyModel:
+    """Analytical energy model evaluated per design-point configuration."""
+
+    mcu: MCUModel = MCUModel()
+    sensors: SensorSuiteEnergyModel = SensorSuiteEnergyModel()
+    ble: BLEModel = BLEModel()
+    window_s: float = ACTIVITY_WINDOW_S
+    sampling_hz: float = SENSOR_SAMPLING_HZ
+
+    def characterize(
+        self,
+        config: HARConfig,
+        num_features: int,
+    ) -> DesignPointCharacterization:
+        """Characterise one design point.
+
+        Parameters
+        ----------
+        config:
+            Full HAR configuration (feature knobs + classifier structure).
+        num_features:
+            Dimensionality of the feature vector fed to the classifier
+            (depends on the feature configuration; obtained from the
+            feature pipeline).
+        """
+        features = config.features
+        macs = classifier_macs(num_features, config.hidden_layers)
+
+        execution = ExecutionBreakdown(
+            accel_features_ms=self.mcu.accel_feature_time_ms(features),
+            stretch_features_ms=self.mcu.stretch_feature_time_ms(features),
+            classifier_ms=self.mcu.classifier_time_ms(macs),
+        )
+
+        compute_mj = self.mcu.compute_energy_mj(execution.total_ms)
+        acquisition_mj = self.mcu.acquisition_energy_mj(
+            features, self.window_s, self.sampling_hz
+        )
+        system_mj = self.mcu.system_energy_mj(self.window_s)
+        communication_mj = self.ble.label_energy_mj()
+        accel_mj = self.sensors.accel_energy_mj(features, self.window_s)
+        stretch_mj = self.sensors.stretch_energy_mj(features, self.window_s)
+
+        energy = EnergyBreakdown(
+            mcu_mj=compute_mj + acquisition_mj + system_mj,
+            sensor_mj=accel_mj + stretch_mj,
+            communication_mj=communication_mj,
+        )
+        return DesignPointCharacterization(
+            execution=execution,
+            energy=energy,
+            accel_sensor_energy_mj=accel_mj,
+            stretch_sensor_energy_mj=stretch_mj,
+            mcu_system_energy_mj=system_mj,
+            mcu_acquisition_energy_mj=acquisition_mj,
+            mcu_compute_energy_mj=compute_mj,
+            window_s=self.window_s,
+        )
+
+    def power_w(self, config: HARConfig, num_features: int) -> float:
+        """Average active power of a design point, in watts."""
+        return self.characterize(config, num_features).average_power_w
+
+
+__all__ = [
+    "DesignPointCharacterization",
+    "DesignPointEnergyModel",
+    "classifier_macs",
+]

@@ -1,0 +1,109 @@
+"""Energy models of the motion and stretch sensors.
+
+Calibrated against the "Sensor energy" column of Table 2:
+
+* the stretch sensor is passive and costs ~0.08 mJ per 1.6 s window
+  (essentially the ADC reference and bias network);
+* the MPU-9250 accelerometer has a fixed turn-on cost (voltage regulator and
+  digital core) plus a per-axis sampling cost, both proportional to how long
+  the sensor stays on within the window (the sensing-period knob).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.paper_constants import ACTIVITY_WINDOW_S
+from repro.har.config import FeatureConfig
+
+
+@dataclass(frozen=True)
+class AccelerometerEnergyModel:
+    """Invensense MPU-9250 accelerometer energy model."""
+
+    #: Power drawn whenever the device is powered, regardless of axes, in mW.
+    base_power_mw: float = 0.634
+    #: Additional power per enabled axis, in mW.
+    per_axis_power_mw: float = 0.209
+
+    def power_mw(self, num_axes: int) -> float:
+        """Average power while the accelerometer is on with ``num_axes`` axes."""
+        if num_axes < 0:
+            raise ValueError(f"num_axes must be non-negative, got {num_axes}")
+        if num_axes == 0:
+            return 0.0
+        return self.base_power_mw + self.per_axis_power_mw * num_axes
+
+    def energy_mj(
+        self,
+        num_axes: int,
+        sensing_fraction: float,
+        window_s: float = ACTIVITY_WINDOW_S,
+    ) -> float:
+        """Energy per activity window in millijoules."""
+        if not 0.0 <= sensing_fraction <= 1.0:
+            raise ValueError(
+                f"sensing_fraction must be in [0, 1], got {sensing_fraction}"
+            )
+        on_time = window_s * sensing_fraction
+        return self.power_mw(num_axes) * on_time
+
+
+@dataclass(frozen=True)
+class StretchSensorEnergyModel:
+    """Passive stretch sensor energy model (ADC bias network)."""
+
+    #: Average power while sampling, in mW.
+    power_mw: float = 0.05
+
+    def energy_mj(self, window_s: float = ACTIVITY_WINDOW_S) -> float:
+        """Energy per activity window in millijoules."""
+        return self.power_mw * window_s
+
+
+@dataclass(frozen=True)
+class SensorSuiteEnergyModel:
+    """Combined sensor-energy model used by the design-point characterisation."""
+
+    accelerometer: AccelerometerEnergyModel = AccelerometerEnergyModel()
+    stretch: StretchSensorEnergyModel = StretchSensorEnergyModel()
+
+    def sensor_energy_mj(
+        self,
+        config: FeatureConfig,
+        window_s: float = ACTIVITY_WINDOW_S,
+    ) -> float:
+        """Total sensor energy per activity window for ``config``."""
+        energy = 0.0
+        if config.uses_accelerometer:
+            energy += self.accelerometer.energy_mj(
+                config.num_accel_axes, config.sensing_fraction, window_s
+            )
+        if config.uses_stretch:
+            energy += self.stretch.energy_mj(window_s)
+        return energy
+
+    def accel_energy_mj(
+        self, config: FeatureConfig, window_s: float = ACTIVITY_WINDOW_S
+    ) -> float:
+        """Accelerometer share of the sensor energy."""
+        if not config.uses_accelerometer:
+            return 0.0
+        return self.accelerometer.energy_mj(
+            config.num_accel_axes, config.sensing_fraction, window_s
+        )
+
+    def stretch_energy_mj(
+        self, config: FeatureConfig, window_s: float = ACTIVITY_WINDOW_S
+    ) -> float:
+        """Stretch-sensor share of the sensor energy."""
+        if not config.uses_stretch:
+            return 0.0
+        return self.stretch.energy_mj(window_s)
+
+
+__all__ = [
+    "AccelerometerEnergyModel",
+    "SensorSuiteEnergyModel",
+    "StretchSensorEnergyModel",
+]

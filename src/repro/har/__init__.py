@@ -1,0 +1,77 @@
+"""Human activity recognition (HAR) application substrate.
+
+Everything the paper's driver application needs, built from scratch:
+
+* :mod:`repro.har.activities` -- the activity taxonomy and transition model,
+* :mod:`repro.har.users` / :mod:`repro.har.sensors` /
+  :mod:`repro.har.synthesis` -- the synthetic 14-user study,
+* :mod:`repro.har.windows` -- labelled windows, datasets and splits,
+* :mod:`repro.har.features` -- statistical, FFT and DWT feature pipelines,
+* :mod:`repro.har.classifier` -- the NumPy MLP classifier and trainer,
+* :mod:`repro.har.design_space` -- the 24-point design space and its
+  accuracy/energy characterisation.
+"""
+
+from repro.har.activities import (
+    ACTIVITY_LABELS,
+    ALL_ACTIVITIES,
+    Activity,
+    ActivityTransitionModel,
+    NUM_CLASSES,
+    activity_from_label,
+)
+from repro.har.config import FeatureConfig, HARConfig
+from repro.har.design_space import (
+    CharacterizedDesignPoint,
+    DESIGN_SPACE_SPECS,
+    DesignSpaceExplorer,
+    PARETO_DESIGN_POINT_NAMES,
+    pareto_design_points,
+    table2_specs,
+)
+from repro.har.evaluation import (
+    CrossUserEvaluator,
+    CrossUserResult,
+    FoldResult,
+    generalization_gap,
+)
+from repro.har.sensors import (
+    AccelerometerSynthesizer,
+    SensorSpec,
+    StretchSensorSynthesizer,
+)
+from repro.har.synthesis import StudyConfig, StudyGenerator, generate_study_dataset
+from repro.har.users import UserProfile, generate_population
+from repro.har.windows import DatasetSplit, HARDataset, SensorWindow
+
+__all__ = [
+    "ACTIVITY_LABELS",
+    "ALL_ACTIVITIES",
+    "Activity",
+    "ActivityTransitionModel",
+    "AccelerometerSynthesizer",
+    "CharacterizedDesignPoint",
+    "CrossUserEvaluator",
+    "CrossUserResult",
+    "DESIGN_SPACE_SPECS",
+    "DatasetSplit",
+    "DesignSpaceExplorer",
+    "FoldResult",
+    "FeatureConfig",
+    "HARConfig",
+    "HARDataset",
+    "NUM_CLASSES",
+    "PARETO_DESIGN_POINT_NAMES",
+    "SensorSpec",
+    "SensorWindow",
+    "StretchSensorSynthesizer",
+    "StudyConfig",
+    "StudyGenerator",
+    "UserProfile",
+    "activity_from_label",
+    "generalization_gap",
+    "generate_population",
+    "generate_study_dataset",
+    "pareto_design_points",
+    "table2_specs",
+]

@@ -1,0 +1,184 @@
+"""Activity taxonomy of the human activity recognition (HAR) case study.
+
+The paper recognises six activities -- sit, stand, walk, jump, drive, lie
+down -- plus the transitions between them (Section 1).  This module defines
+the label set, helpers to convert between labels and indices, and a simple
+Markov transition model used by the synthetic-user generator and the device
+simulator to produce realistic activity streams.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+class Activity(enum.IntEnum):
+    """The seven HAR classes (six activities plus transitions)."""
+
+    SIT = 0
+    STAND = 1
+    WALK = 2
+    JUMP = 3
+    DRIVE = 4
+    LIE_DOWN = 5
+    TRANSITION = 6
+
+    @property
+    def label(self) -> str:
+        """Lower-case human readable label."""
+        return self.name.lower()
+
+    @property
+    def is_static(self) -> bool:
+        """True for postures without sustained periodic motion."""
+        return self in (Activity.SIT, Activity.STAND, Activity.DRIVE, Activity.LIE_DOWN)
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True for activities dominated by periodic motion."""
+        return self in (Activity.WALK, Activity.JUMP)
+
+
+#: All activity classes in index order.
+ALL_ACTIVITIES: List[Activity] = list(Activity)
+
+#: Number of classes the classifier distinguishes (7: six activities plus
+#: transitions), matching the 7-unit output layer of the paper's NN
+#: structures (4x12x7, 4x8x7, 4x7).
+NUM_CLASSES: int = len(ALL_ACTIVITIES)
+
+#: Activity labels in index order.
+ACTIVITY_LABELS: List[str] = [activity.label for activity in ALL_ACTIVITIES]
+
+
+def activity_from_label(label: str) -> Activity:
+    """Look up an :class:`Activity` by its (case-insensitive) label."""
+    normalized = label.strip().lower().replace(" ", "_").replace("-", "_")
+    for activity in ALL_ACTIVITIES:
+        if activity.label == normalized or activity.name.lower() == normalized:
+            return activity
+    raise KeyError(f"unknown activity label {label!r}; valid: {ACTIVITY_LABELS}")
+
+
+#: Default steady-state occupancy of each activity in a day of wear time.
+#: Loosely modelled on a sedentary adult's day (used only to generate
+#: synthetic activity streams; the classifier itself is trained on a roughly
+#: balanced window set as in the user study).
+DEFAULT_ACTIVITY_PREVALENCE: Dict[Activity, float] = {
+    Activity.SIT: 0.32,
+    Activity.STAND: 0.18,
+    Activity.WALK: 0.16,
+    Activity.JUMP: 0.04,
+    Activity.DRIVE: 0.12,
+    Activity.LIE_DOWN: 0.12,
+    Activity.TRANSITION: 0.06,
+}
+
+
+class ActivityTransitionModel:
+    """First-order Markov model over activities.
+
+    Used to generate multi-window activity streams: the synthetic user dwells
+    in an activity for a geometric number of windows and then moves through a
+    ``TRANSITION`` window to the next activity.
+
+    Parameters
+    ----------
+    dwell_windows:
+        Mean number of consecutive windows spent in one activity before a
+        transition is attempted.
+    prevalence:
+        Long-run target share of each activity; defaults to
+        :data:`DEFAULT_ACTIVITY_PREVALENCE`.
+    """
+
+    def __init__(
+        self,
+        dwell_windows: float = 20.0,
+        prevalence: Optional[Mapping[Activity, float]] = None,
+    ) -> None:
+        if dwell_windows < 1.0:
+            raise ValueError(f"dwell_windows must be >= 1, got {dwell_windows}")
+        self.dwell_windows = float(dwell_windows)
+        prevalence = dict(prevalence or DEFAULT_ACTIVITY_PREVALENCE)
+        missing = [a for a in ALL_ACTIVITIES if a not in prevalence]
+        if missing:
+            raise ValueError(f"prevalence missing activities: {missing}")
+        total = sum(max(0.0, prevalence[a]) for a in ALL_ACTIVITIES)
+        if total <= 0:
+            raise ValueError("prevalence must contain positive mass")
+        self.prevalence = {a: max(0.0, prevalence[a]) / total for a in ALL_ACTIVITIES}
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Return the target long-run distribution as an array over classes."""
+        return np.array([self.prevalence[a] for a in ALL_ACTIVITIES])
+
+    def sample_next(self, current: Activity, rng: np.random.Generator) -> Activity:
+        """Sample the next activity after leaving ``current``.
+
+        Transitions re-sample from the prevalence distribution excluding the
+        current activity and the TRANSITION pseudo-class itself.
+        """
+        candidates = [
+            a for a in ALL_ACTIVITIES
+            if a is not current and a is not Activity.TRANSITION
+        ]
+        weights = np.array([self.prevalence[a] for a in candidates])
+        if weights.sum() <= 0:
+            weights = np.ones(len(candidates))
+        weights = weights / weights.sum()
+        index = rng.choice(len(candidates), p=weights)
+        return candidates[index]
+
+    def generate_stream(
+        self,
+        num_windows: int,
+        rng: np.random.Generator,
+        initial: Optional[Activity] = None,
+    ) -> List[Activity]:
+        """Generate a stream of per-window activity labels.
+
+        The stream alternates dwell segments (geometric length with mean
+        ``dwell_windows``) and single TRANSITION windows.
+        """
+        if num_windows < 0:
+            raise ValueError(f"num_windows must be non-negative, got {num_windows}")
+        stream: List[Activity] = []
+        if num_windows == 0:
+            return stream
+        current = initial
+        if current is None or current is Activity.TRANSITION:
+            current = self.sample_next(Activity.TRANSITION, rng)
+        while len(stream) < num_windows:
+            dwell = 1 + rng.geometric(1.0 / self.dwell_windows)
+            for _ in range(dwell):
+                if len(stream) >= num_windows:
+                    break
+                stream.append(current)
+            if len(stream) < num_windows:
+                stream.append(Activity.TRANSITION)
+                current = self.sample_next(current, rng)
+        return stream[:num_windows]
+
+
+def class_counts(labels: Sequence[int]) -> Dict[Activity, int]:
+    """Count occurrences of each activity in a label sequence."""
+    counts = {activity: 0 for activity in ALL_ACTIVITIES}
+    for label in labels:
+        counts[Activity(int(label))] += 1
+    return counts
+
+
+__all__ = [
+    "ACTIVITY_LABELS",
+    "ALL_ACTIVITIES",
+    "Activity",
+    "ActivityTransitionModel",
+    "DEFAULT_ACTIVITY_PREVALENCE",
+    "NUM_CLASSES",
+    "activity_from_label",
+    "class_counts",
+]

@@ -1,0 +1,45 @@
+"""Neural-network classifier for the HAR application.
+
+A from-scratch NumPy multilayer perceptron (:mod:`repro.har.classifier.nn`),
+its training loop (:mod:`repro.har.classifier.train`) and the evaluation
+metrics (:mod:`repro.har.classifier.metrics`) used to characterise the
+accuracy of every design point.
+"""
+
+from repro.har.classifier.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    expected_calibration_gap,
+    macro_f1,
+    per_class_recall,
+)
+from repro.har.classifier.nn import (
+    MLPClassifier,
+    MLPConfig,
+    cross_entropy,
+    one_hot,
+    softmax,
+)
+from repro.har.classifier.train import (
+    AdamOptimizer,
+    Trainer,
+    TrainingConfig,
+    TrainingHistory,
+)
+
+__all__ = [
+    "AdamOptimizer",
+    "MLPClassifier",
+    "MLPConfig",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "accuracy_score",
+    "confusion_matrix",
+    "cross_entropy",
+    "expected_calibration_gap",
+    "macro_f1",
+    "one_hot",
+    "per_class_recall",
+    "softmax",
+]

@@ -1,0 +1,109 @@
+"""Classification metrics used to characterise design-point accuracy."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.har.activities import ALL_ACTIVITIES, Activity, NUM_CLASSES
+
+
+def accuracy_score(true_labels: np.ndarray, predicted_labels: np.ndarray) -> float:
+    """Fraction of windows whose predicted class matches the ground truth."""
+    true_labels = np.asarray(true_labels, dtype=int).ravel()
+    predicted_labels = np.asarray(predicted_labels, dtype=int).ravel()
+    if true_labels.shape != predicted_labels.shape:
+        raise ValueError(
+            f"label arrays differ in shape: {true_labels.shape} vs "
+            f"{predicted_labels.shape}"
+        )
+    if true_labels.size == 0:
+        raise ValueError("cannot compute accuracy of an empty label set")
+    return float(np.mean(true_labels == predicted_labels))
+
+
+def confusion_matrix(
+    true_labels: np.ndarray,
+    predicted_labels: np.ndarray,
+    num_classes: int = NUM_CLASSES,
+) -> np.ndarray:
+    """Confusion matrix with rows = true class, columns = predicted class."""
+    true_labels = np.asarray(true_labels, dtype=int).ravel()
+    predicted_labels = np.asarray(predicted_labels, dtype=int).ravel()
+    if true_labels.shape != predicted_labels.shape:
+        raise ValueError("label arrays differ in shape")
+    matrix = np.zeros((num_classes, num_classes), dtype=int)
+    for true, predicted in zip(true_labels, predicted_labels):
+        matrix[true, predicted] += 1
+    return matrix
+
+
+def per_class_recall(
+    true_labels: np.ndarray,
+    predicted_labels: np.ndarray,
+) -> Dict[Activity, float]:
+    """Recall of every activity class (NaN-free: empty classes report 0.0)."""
+    matrix = confusion_matrix(true_labels, predicted_labels)
+    recalls: Dict[Activity, float] = {}
+    for activity in ALL_ACTIVITIES:
+        row = matrix[int(activity)]
+        total = row.sum()
+        recalls[activity] = float(row[int(activity)] / total) if total else 0.0
+    return recalls
+
+
+def macro_f1(true_labels: np.ndarray, predicted_labels: np.ndarray) -> float:
+    """Macro-averaged F1 score over the populated classes."""
+    matrix = confusion_matrix(true_labels, predicted_labels)
+    f1_scores: List[float] = []
+    for index in range(matrix.shape[0]):
+        true_positive = matrix[index, index]
+        actual = matrix[index].sum()
+        predicted = matrix[:, index].sum()
+        if actual == 0:
+            continue
+        precision = true_positive / predicted if predicted else 0.0
+        recall = true_positive / actual
+        if precision + recall == 0:
+            f1_scores.append(0.0)
+        else:
+            f1_scores.append(2 * precision * recall / (precision + recall))
+    if not f1_scores:
+        raise ValueError("no populated classes to score")
+    return float(np.mean(f1_scores))
+
+
+def expected_calibration_gap(
+    probabilities: np.ndarray,
+    true_labels: np.ndarray,
+    num_bins: int = 10,
+) -> float:
+    """Expected calibration error of predicted probabilities.
+
+    Not used by the paper, but handy when extending REAP with
+    confidence-aware design points; kept here because it only depends on the
+    classifier outputs.
+    """
+    probabilities = np.asarray(probabilities, dtype=float)
+    true_labels = np.asarray(true_labels, dtype=int)
+    confidences = probabilities.max(axis=1)
+    predictions = probabilities.argmax(axis=1)
+    correct = (predictions == true_labels).astype(float)
+    bins = np.linspace(0.0, 1.0, num_bins + 1)
+    gap = 0.0
+    for low, high in zip(bins[:-1], bins[1:]):
+        mask = (confidences >= low) & (confidences < high)
+        if not np.any(mask):
+            continue
+        gap += np.abs(correct[mask].mean() - confidences[mask].mean()) * mask.mean()
+    return float(gap)
+
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "expected_calibration_gap",
+    "macro_f1",
+    "per_class_recall",
+]

@@ -1,0 +1,231 @@
+"""Parameterised feed-forward neural network implemented with NumPy.
+
+The on-device classifier of the paper is a small fully-connected network
+whose structure is one of the energy-accuracy knobs (Figure 2 lists 4x12x7,
+4x8x7 and 4x7 structures).  We implement the network from scratch: dense
+layers with tanh activations, a softmax output over the seven activity
+classes, cross-entropy loss, and analytic gradients for training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.har.activities import NUM_CLASSES
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    logits = np.asarray(logits, dtype=float)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy(probabilities: np.ndarray, labels: np.ndarray) -> float:
+    """Mean cross-entropy of predicted probabilities against integer labels."""
+    probabilities = np.asarray(probabilities, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    if probabilities.shape[0] != labels.shape[0]:
+        raise ValueError("probabilities and labels disagree on batch size")
+    eps = 1e-12
+    picked = probabilities[np.arange(labels.size), labels]
+    return float(-np.mean(np.log(picked + eps)))
+
+
+def one_hot(labels: np.ndarray, num_classes: int = NUM_CLASSES) -> np.ndarray:
+    """One-hot encode integer labels."""
+    labels = np.asarray(labels, dtype=int)
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels must be in [0, {num_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((labels.size, num_classes))
+    encoded[np.arange(labels.size), labels] = 1.0
+    return encoded
+
+
+@dataclass
+class MLPConfig:
+    """Structure and initialisation settings of the classifier network."""
+
+    input_dim: int
+    hidden_layers: Tuple[int, ...] = (12,)
+    num_classes: int = NUM_CLASSES
+    seed: int = 11
+    weight_scale: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.input_dim < 1:
+            raise ValueError(f"input_dim must be >= 1, got {self.input_dim}")
+        if self.num_classes < 2:
+            raise ValueError(f"num_classes must be >= 2, got {self.num_classes}")
+        self.hidden_layers = tuple(int(h) for h in self.hidden_layers)
+        for width in self.hidden_layers:
+            if width < 1:
+                raise ValueError(f"hidden width must be >= 1, got {width}")
+
+    @property
+    def layer_sizes(self) -> List[int]:
+        """Full layer size list: input, hidden..., output."""
+        return [self.input_dim, *self.hidden_layers, self.num_classes]
+
+    @property
+    def structure(self) -> str:
+        """Structure string in the paper's notation, e.g. ``"19x12x7"``."""
+        return "x".join(str(size) for size in self.layer_sizes)
+
+
+class MLPClassifier:
+    """Small fully-connected classifier with tanh hidden layers.
+
+    The number of parameters is what the energy model charges the MCU for, so
+    :meth:`num_parameters` and :meth:`num_multiply_accumulates` are part of
+    the public interface.
+    """
+
+    def __init__(self, config: MLPConfig) -> None:
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        sizes = config.layer_sizes
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = config.weight_scale
+            if scale is None:
+                scale = np.sqrt(2.0 / (fan_in + fan_out))
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+
+    # --- introspection -----------------------------------------------------------
+    @property
+    def num_layers(self) -> int:
+        """Number of weight layers (hidden + output)."""
+        return len(self.weights)
+
+    def num_parameters(self) -> int:
+        """Total number of trainable parameters."""
+        return int(
+            sum(w.size for w in self.weights) + sum(b.size for b in self.biases)
+        )
+
+    def num_multiply_accumulates(self) -> int:
+        """Multiply-accumulate operations for a single forward pass."""
+        return int(sum(w.size for w in self.weights))
+
+    # --- inference ---------------------------------------------------------------
+    def forward(self, inputs: np.ndarray) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Forward pass returning class probabilities and layer activations.
+
+        ``activations[0]`` is the input batch and ``activations[-1]`` the
+        softmax output; intermediate entries are the post-tanh hidden
+        activations, as needed by backpropagation.
+        """
+        x = np.atleast_2d(np.asarray(inputs, dtype=float))
+        if x.shape[1] != self.config.input_dim:
+            raise ValueError(
+                f"expected {self.config.input_dim} input features, got {x.shape[1]}"
+            )
+        activations = [x]
+        current = x
+        for index, (w, b) in enumerate(zip(self.weights, self.biases)):
+            pre = current @ w + b
+            if index < self.num_layers - 1:
+                current = np.tanh(pre)
+            else:
+                current = softmax(pre)
+            activations.append(current)
+        return current, activations
+
+    def predict_proba(self, inputs: np.ndarray) -> np.ndarray:
+        """Class probabilities for a batch of feature vectors."""
+        probabilities, _ = self.forward(inputs)
+        return probabilities
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Most likely class index for each row of ``inputs``."""
+        return np.argmax(self.predict_proba(inputs), axis=1)
+
+    def loss(self, inputs: np.ndarray, labels: np.ndarray,
+             l2_penalty: float = 0.0) -> float:
+        """Cross-entropy loss (plus optional L2 penalty) on a batch."""
+        probabilities = self.predict_proba(inputs)
+        value = cross_entropy(probabilities, labels)
+        if l2_penalty > 0.0:
+            value += 0.5 * l2_penalty * sum(float(np.sum(w * w)) for w in self.weights)
+        return value
+
+    # --- training support -----------------------------------------------------------
+    def gradients(
+        self,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        l2_penalty: float = 0.0,
+    ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        """Backpropagation gradients of the loss w.r.t. weights and biases."""
+        labels = np.asarray(labels, dtype=int)
+        probabilities, activations = self.forward(inputs)
+        batch_size = probabilities.shape[0]
+        targets = one_hot(labels, self.config.num_classes)
+
+        weight_grads: List[np.ndarray] = [np.zeros_like(w) for w in self.weights]
+        bias_grads: List[np.ndarray] = [np.zeros_like(b) for b in self.biases]
+
+        # Softmax + cross-entropy gives this clean output-layer delta.
+        delta = (probabilities - targets) / batch_size
+        for layer in range(self.num_layers - 1, -1, -1):
+            weight_grads[layer] = activations[layer].T @ delta
+            bias_grads[layer] = delta.sum(axis=0)
+            if l2_penalty > 0.0:
+                weight_grads[layer] += l2_penalty * self.weights[layer]
+            if layer > 0:
+                back = delta @ self.weights[layer].T
+                hidden = activations[layer]
+                delta = back * (1.0 - hidden * hidden)  # tanh derivative
+        return weight_grads, bias_grads
+
+    def apply_update(
+        self,
+        weight_updates: Sequence[np.ndarray],
+        bias_updates: Sequence[np.ndarray],
+    ) -> None:
+        """Add the given updates to the parameters in place."""
+        for w, dw in zip(self.weights, weight_updates):
+            w += dw
+        for b, db in zip(self.biases, bias_updates):
+            b += db
+
+    # --- (de)serialisation -----------------------------------------------------------
+    def get_parameters(self) -> Dict[str, np.ndarray]:
+        """Return a copy of all parameters keyed by layer."""
+        params: Dict[str, np.ndarray] = {}
+        for index, (w, b) in enumerate(zip(self.weights, self.biases)):
+            params[f"w{index}"] = w.copy()
+            params[f"b{index}"] = b.copy()
+        return params
+
+    def set_parameters(self, parameters: Dict[str, np.ndarray]) -> None:
+        """Load parameters previously produced by :meth:`get_parameters`."""
+        for index in range(self.num_layers):
+            w = parameters[f"w{index}"]
+            b = parameters[f"b{index}"]
+            if w.shape != self.weights[index].shape:
+                raise ValueError(
+                    f"layer {index} weight shape mismatch: "
+                    f"{w.shape} vs {self.weights[index].shape}"
+                )
+            self.weights[index] = np.array(w, dtype=float)
+            self.biases[index] = np.array(b, dtype=float)
+
+
+__all__ = [
+    "MLPClassifier",
+    "MLPConfig",
+    "cross_entropy",
+    "one_hot",
+    "softmax",
+]

@@ -1,0 +1,171 @@
+"""Training loop for the HAR classifier.
+
+Implements mini-batch Adam with early stopping on a validation set, which is
+how each design point's classifier is fit to the 60/20/20 split of the user
+study before its test accuracy is recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.har.classifier.metrics import accuracy_score
+from repro.har.classifier.nn import MLPClassifier
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of the classifier training loop."""
+
+    learning_rate: float = 0.01
+    batch_size: int = 64
+    max_epochs: int = 150
+    l2_penalty: float = 1e-4
+    patience: int = 20
+    min_improvement: float = 1e-4
+    seed: int = 3
+    beta1: float = 0.9
+    beta2: float = 0.999
+    epsilon: float = 1e-8
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if self.max_epochs < 1:
+            raise ValueError("max_epochs must be at least 1")
+        if self.patience < 1:
+            raise ValueError("patience must be at least 1")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch learning curves recorded during training."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    validation_accuracy: List[float] = field(default_factory=list)
+    best_epoch: int = 0
+
+    @property
+    def num_epochs(self) -> int:
+        """Number of completed epochs."""
+        return len(self.train_loss)
+
+
+class AdamOptimizer:
+    """Adam optimiser over the classifier's parameter lists."""
+
+    def __init__(self, model: MLPClassifier, config: TrainingConfig) -> None:
+        self.config = config
+        self._step = 0
+        self._m_w = [np.zeros_like(w) for w in model.weights]
+        self._v_w = [np.zeros_like(w) for w in model.weights]
+        self._m_b = [np.zeros_like(b) for b in model.biases]
+        self._v_b = [np.zeros_like(b) for b in model.biases]
+
+    def step(
+        self,
+        model: MLPClassifier,
+        weight_grads: List[np.ndarray],
+        bias_grads: List[np.ndarray],
+    ) -> None:
+        """Apply one Adam update to ``model`` in place."""
+        cfg = self.config
+        self._step += 1
+        t = self._step
+        lr_t = cfg.learning_rate * np.sqrt(1 - cfg.beta2 ** t) / (1 - cfg.beta1 ** t)
+
+        weight_updates = []
+        bias_updates = []
+        for index in range(model.num_layers):
+            self._m_w[index] = cfg.beta1 * self._m_w[index] + (1 - cfg.beta1) * weight_grads[index]
+            self._v_w[index] = cfg.beta2 * self._v_w[index] + (1 - cfg.beta2) * weight_grads[index] ** 2
+            weight_updates.append(
+                -lr_t * self._m_w[index] / (np.sqrt(self._v_w[index]) + cfg.epsilon)
+            )
+            self._m_b[index] = cfg.beta1 * self._m_b[index] + (1 - cfg.beta1) * bias_grads[index]
+            self._v_b[index] = cfg.beta2 * self._v_b[index] + (1 - cfg.beta2) * bias_grads[index] ** 2
+            bias_updates.append(
+                -lr_t * self._m_b[index] / (np.sqrt(self._v_b[index]) + cfg.epsilon)
+            )
+        model.apply_update(weight_updates, bias_updates)
+
+
+class Trainer:
+    """Fits an :class:`MLPClassifier` with mini-batch Adam and early stopping."""
+
+    def __init__(self, config: Optional[TrainingConfig] = None) -> None:
+        self.config = config or TrainingConfig()
+
+    def fit(
+        self,
+        model: MLPClassifier,
+        train_features: np.ndarray,
+        train_labels: np.ndarray,
+        validation_features: Optional[np.ndarray] = None,
+        validation_labels: Optional[np.ndarray] = None,
+    ) -> TrainingHistory:
+        """Train ``model`` in place and return the learning curves.
+
+        When a validation set is provided the parameters achieving the best
+        validation accuracy are restored at the end (early stopping with the
+        configured patience); otherwise training runs for ``max_epochs``.
+        """
+        cfg = self.config
+        train_features = np.asarray(train_features, dtype=float)
+        train_labels = np.asarray(train_labels, dtype=int)
+        if train_features.shape[0] != train_labels.shape[0]:
+            raise ValueError("features and labels disagree on the number of samples")
+        has_validation = validation_features is not None and validation_labels is not None
+
+        rng = np.random.default_rng(cfg.seed)
+        optimizer = AdamOptimizer(model, cfg)
+        history = TrainingHistory()
+        best_accuracy = -np.inf
+        best_parameters = model.get_parameters()
+        epochs_since_improvement = 0
+        num_samples = train_features.shape[0]
+
+        for epoch in range(cfg.max_epochs):
+            order = rng.permutation(num_samples)
+            for start in range(0, num_samples, cfg.batch_size):
+                batch = order[start:start + cfg.batch_size]
+                weight_grads, bias_grads = model.gradients(
+                    train_features[batch], train_labels[batch], cfg.l2_penalty
+                )
+                optimizer.step(model, weight_grads, bias_grads)
+
+            train_loss = model.loss(train_features, train_labels, cfg.l2_penalty)
+            train_accuracy = accuracy_score(train_labels, model.predict(train_features))
+            history.train_loss.append(train_loss)
+            history.train_accuracy.append(train_accuracy)
+
+            if has_validation:
+                validation_accuracy = accuracy_score(
+                    np.asarray(validation_labels, dtype=int),
+                    model.predict(validation_features),
+                )
+                history.validation_accuracy.append(validation_accuracy)
+                if validation_accuracy > best_accuracy + cfg.min_improvement:
+                    best_accuracy = validation_accuracy
+                    best_parameters = model.get_parameters()
+                    history.best_epoch = epoch
+                    epochs_since_improvement = 0
+                else:
+                    epochs_since_improvement += 1
+                    if epochs_since_improvement >= cfg.patience:
+                        break
+            else:
+                history.best_epoch = epoch
+                best_parameters = model.get_parameters()
+
+        model.set_parameters(best_parameters)
+        return history
+
+
+__all__ = ["AdamOptimizer", "Trainer", "TrainingConfig", "TrainingHistory"]

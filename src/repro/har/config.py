@@ -1,0 +1,174 @@
+"""Configuration knobs of the HAR design space (Figure 2 of the paper).
+
+A design point is produced by choosing, independently:
+
+* which accelerometer axes are sampled (all three, x+y, y only, or none),
+* for what fraction of the activity window the accelerometer stays on
+  (100%, 75%, 50% or 40%),
+* which features are computed from the accelerometer (statistical or DWT)
+  and from the stretch sensor (16-point FFT or statistical), and
+* the structure of the neural-network classifier (number of hidden units;
+  the paper quotes 4x12x7, 4x8x7 and 4x7 structures).
+
+This module defines the plain configuration dataclasses shared by the
+feature pipeline (:mod:`repro.har.features.pipeline`), the energy model
+(:mod:`repro.energy.power_model`) and the design-space enumeration
+(:mod:`repro.har.design_space`).  It intentionally has no dependencies other
+than the standard library so every subsystem can import it freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+#: Valid accelerometer axis subsets (Figure 2, "Accel. axes" knob).
+ACCEL_AXIS_CHOICES: Tuple[Tuple[str, ...], ...] = (
+    ("x", "y", "z"),
+    ("x", "y"),
+    ("y",),
+    (),
+)
+
+#: Valid sensing-period fractions (Figure 2, "Sensing period (%)" knob).
+SENSING_FRACTION_CHOICES: Tuple[float, ...] = (1.0, 0.75, 0.5, 0.4)
+
+#: Valid accelerometer feature families.
+ACCEL_FEATURE_CHOICES: Tuple[str, ...] = ("statistical", "dwt", "none")
+
+#: Valid stretch-sensor feature families.
+STRETCH_FEATURE_CHOICES: Tuple[str, ...] = ("fft16", "statistical", "none")
+
+#: Valid hidden-layer structures (empty tuple means a single-layer softmax,
+#: i.e. the 4x7 structure of Figure 2).
+HIDDEN_LAYER_CHOICES: Tuple[Tuple[int, ...], ...] = ((12,), (8,), ())
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Which signals are sampled and which features are computed.
+
+    Parameters
+    ----------
+    accel_axes:
+        Accelerometer axes to sample, subset of ``("x", "y", "z")``.  Empty
+        means the accelerometer is switched off entirely.
+    sensing_fraction:
+        Fraction of the activity window during which the accelerometer is
+        on (the passive stretch sensor always samples the full window).
+    accel_features:
+        Feature family computed from the accelerometer: ``"statistical"``,
+        ``"dwt"`` or ``"none"``.
+    stretch_features:
+        Feature family computed from the stretch sensor: ``"fft16"``,
+        ``"statistical"`` or ``"none"``.
+    """
+
+    accel_axes: Tuple[str, ...] = ("x", "y", "z")
+    sensing_fraction: float = 1.0
+    accel_features: str = "statistical"
+    stretch_features: str = "fft16"
+
+    def __post_init__(self) -> None:
+        axes = tuple(a.lower() for a in self.accel_axes)
+        object.__setattr__(self, "accel_axes", axes)
+        for axis in axes:
+            if axis not in ("x", "y", "z"):
+                raise ValueError(f"unknown accelerometer axis {axis!r}")
+        if len(set(axes)) != len(axes):
+            raise ValueError(f"duplicate accelerometer axes in {axes!r}")
+        if not 0.0 < self.sensing_fraction <= 1.0:
+            raise ValueError(
+                f"sensing_fraction must be in (0, 1], got {self.sensing_fraction}"
+            )
+        if self.accel_features not in ACCEL_FEATURE_CHOICES:
+            raise ValueError(
+                f"accel_features must be one of {ACCEL_FEATURE_CHOICES}, "
+                f"got {self.accel_features!r}"
+            )
+        if self.stretch_features not in STRETCH_FEATURE_CHOICES:
+            raise ValueError(
+                f"stretch_features must be one of {STRETCH_FEATURE_CHOICES}, "
+                f"got {self.stretch_features!r}"
+            )
+        if not axes and self.accel_features != "none":
+            object.__setattr__(self, "accel_features", "none")
+        if axes and self.accel_features == "none":
+            raise ValueError(
+                "accelerometer axes are enabled but accel_features is 'none'"
+            )
+        if self.accel_features == "none" and self.stretch_features == "none":
+            raise ValueError("at least one sensor must contribute features")
+
+    @property
+    def uses_accelerometer(self) -> bool:
+        """True when at least one accelerometer axis is sampled."""
+        return bool(self.accel_axes)
+
+    @property
+    def uses_stretch(self) -> bool:
+        """True when the stretch sensor contributes features."""
+        return self.stretch_features != "none"
+
+    @property
+    def num_accel_axes(self) -> int:
+        """Number of active accelerometer axes."""
+        return len(self.accel_axes)
+
+    def describe(self) -> str:
+        """Short human-readable description (used in Table 2 style reports)."""
+        parts = []
+        if self.uses_accelerometer:
+            axes = "".join(a.upper() for a in self.accel_axes)
+            feature = "DWT" if self.accel_features == "dwt" else "Statistical"
+            window = ""
+            if self.sensing_fraction < 1.0:
+                window = f" ({self.sensing_fraction:.0%} window)"
+            parts.append(f"{feature} {axes}-axis accel.{window}")
+        if self.uses_stretch:
+            if self.stretch_features == "fft16":
+                parts.append("16-FFT stretch")
+            else:
+                parts.append("Statistical stretch")
+        return ", ".join(parts)
+
+
+@dataclass(frozen=True)
+class HARConfig:
+    """Full design-point configuration: features plus classifier structure."""
+
+    features: FeatureConfig = field(default_factory=FeatureConfig)
+    hidden_layers: Tuple[int, ...] = (12,)
+
+    def __post_init__(self) -> None:
+        hidden = tuple(int(h) for h in self.hidden_layers)
+        object.__setattr__(self, "hidden_layers", hidden)
+        for width in hidden:
+            if width < 1:
+                raise ValueError(f"hidden layer width must be >= 1, got {width}")
+
+    @property
+    def classifier_structure(self) -> str:
+        """Classifier structure string in the paper's NxMxK notation.
+
+        The input width is resolved at training time, so it is rendered as
+        ``"in"`` here; for example ``"in x 12 x 7"``.
+        """
+        parts = ["in"] + [str(h) for h in self.hidden_layers] + ["7"]
+        return "x".join(parts)
+
+    def describe(self) -> str:
+        """Human-readable one-line description of the full configuration."""
+        return f"{self.features.describe()} | NN {self.classifier_structure}"
+
+
+__all__ = [
+    "ACCEL_AXIS_CHOICES",
+    "ACCEL_FEATURE_CHOICES",
+    "FeatureConfig",
+    "HARConfig",
+    "HIDDEN_LAYER_CHOICES",
+    "SENSING_FRACTION_CHOICES",
+    "STRETCH_FEATURE_CHOICES",
+]

@@ -1,0 +1,238 @@
+"""The 24-point HAR design space and its characterisation (Section 4.2).
+
+The paper explores 24 concrete design points obtained by combining the
+sensor, feature and classifier knobs of Figure 2, measures the accuracy of
+each on the 14-user study and its power on the prototype, and keeps the five
+Pareto-optimal points (Table 2) for runtime use.
+
+This module provides:
+
+* :data:`DESIGN_SPACE_SPECS` -- the 24 named configurations (the five
+  Table 2 configurations appear under their DP1..DP5 names);
+* :class:`DesignSpaceExplorer` -- trains a classifier per configuration on a
+  (synthetic) study dataset, evaluates its test accuracy, runs the analytical
+  energy model and emits :class:`~repro.core.design_point.DesignPoint`
+  objects ready for the optimiser;
+* :func:`pareto_design_points` -- the Pareto filtering step that reduces the
+  explored space to the runtime design-point set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.design_point import DesignPoint
+from repro.core.pareto import pareto_front
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a circular import
+    from repro.energy.power_model import (
+        DesignPointCharacterization,
+        DesignPointEnergyModel,
+    )
+from repro.har.classifier.metrics import accuracy_score
+from repro.har.classifier.nn import MLPClassifier, MLPConfig
+from repro.har.classifier.train import Trainer, TrainingConfig
+from repro.har.config import FeatureConfig, HARConfig
+from repro.har.features.pipeline import FeatureExtractor, standardize
+from repro.har.windows import DatasetSplit, HARDataset
+
+
+def _spec(
+    name: str,
+    axes: Tuple[str, ...],
+    fraction: float,
+    accel_features: str,
+    stretch_features: str,
+    hidden: Tuple[int, ...],
+) -> Tuple[str, HARConfig]:
+    """Helper to build one named design-space entry."""
+    features = FeatureConfig(
+        accel_axes=axes,
+        sensing_fraction=fraction,
+        accel_features=accel_features,
+        stretch_features=stretch_features,
+    )
+    return name, HARConfig(features=features, hidden_layers=hidden)
+
+
+#: The 24 design-point configurations explored in Section 4.2.  The first
+#: five match the Table 2 descriptions; the remainder sweep the rest of the
+#: Figure 2 knob grid (DWT features, 75% sensing, statistical stretch
+#: features, shallower classifiers, ...), several of which end up dominated
+#: exactly as in Figure 3.
+DESIGN_SPACE_SPECS: Tuple[Tuple[str, HARConfig], ...] = (
+    # --- the five Table 2 configurations -----------------------------------
+    _spec("DP1", ("x", "y", "z"), 1.0, "statistical", "fft16", (12,)),
+    _spec("DP2", ("y",), 1.0, "statistical", "fft16", (12,)),
+    _spec("DP3", ("x", "y"), 0.5, "statistical", "fft16", (8,)),
+    _spec("DP4", ("y",), 0.4, "statistical", "fft16", (8,)),
+    _spec("DP5", (), 1.0, "none", "fft16", (8,)),
+    # --- DWT-based accelerometer features (more compute, similar accuracy) --
+    _spec("C06", ("x", "y", "z"), 1.0, "dwt", "fft16", (12,)),
+    _spec("C07", ("x", "y"), 1.0, "dwt", "fft16", (12,)),
+    _spec("C08", ("y",), 1.0, "dwt", "fft16", (8,)),
+    # --- intermediate sensing periods ----------------------------------------
+    _spec("C09", ("x", "y", "z"), 0.75, "statistical", "fft16", (12,)),
+    _spec("C10", ("x", "y"), 0.75, "statistical", "fft16", (12,)),
+    _spec("C11", ("y",), 0.75, "statistical", "fft16", (8,)),
+    _spec("C12", ("x", "y", "z"), 0.5, "statistical", "fft16", (12,)),
+    _spec("C13", ("x", "y", "z"), 0.4, "statistical", "fft16", (8,)),
+    _spec("C14", ("x", "y"), 0.4, "statistical", "fft16", (8,)),
+    # --- cheaper stretch features ----------------------------------------------
+    _spec("C15", ("x", "y", "z"), 1.0, "statistical", "statistical", (12,)),
+    _spec("C16", ("y",), 1.0, "statistical", "statistical", (8,)),
+    _spec("C17", ("y",), 0.5, "statistical", "statistical", (8,)),
+    _spec("C18", (), 1.0, "none", "statistical", (8,)),
+    # --- shallower classifiers ---------------------------------------------------
+    _spec("C19", ("x", "y", "z"), 1.0, "statistical", "fft16", ()),
+    _spec("C20", ("y",), 1.0, "statistical", "fft16", ()),
+    _spec("C21", (), 1.0, "none", "fft16", ()),
+    # --- accelerometer-only variants ---------------------------------------------
+    _spec("C22", ("x", "y", "z"), 1.0, "statistical", "none", (12,)),
+    _spec("C23", ("y",), 1.0, "statistical", "none", (8,)),
+    _spec("C24", ("x", "y", "z"), 0.5, "dwt", "fft16", (8,)),
+)
+
+#: Names of the five Pareto-optimal design points used at runtime.
+PARETO_DESIGN_POINT_NAMES: Tuple[str, ...] = ("DP1", "DP2", "DP3", "DP4", "DP5")
+
+
+@dataclass(frozen=True)
+class CharacterizedDesignPoint:
+    """Accuracy + energy characterisation of one design-space configuration."""
+
+    name: str
+    config: HARConfig
+    test_accuracy: float
+    validation_accuracy: float
+    characterization: DesignPointCharacterization
+    num_features: int
+
+    def to_design_point(self) -> DesignPoint:
+        """Convert into the optimiser-facing :class:`DesignPoint`."""
+        return DesignPoint(
+            name=self.name,
+            accuracy=self.test_accuracy,
+            power_w=self.characterization.average_power_w,
+            energy_per_activity_j=self.characterization.total_energy_mj * 1e-3,
+            activity_period_s=self.characterization.window_s,
+            description=self.config.describe(),
+            execution=self.characterization.execution,
+            energy_breakdown=self.characterization.energy,
+            metadata={
+                "num_features": self.num_features,
+                "hidden_layers": self.config.hidden_layers,
+                "validation_accuracy": self.validation_accuracy,
+            },
+        )
+
+
+class DesignSpaceExplorer:
+    """Characterises design-space configurations on a study dataset."""
+
+    def __init__(
+        self,
+        dataset: HARDataset,
+        energy_model: Optional["DesignPointEnergyModel"] = None,
+        training_config: Optional[TrainingConfig] = None,
+        split: Optional[DatasetSplit] = None,
+        split_seed: int = 7,
+    ) -> None:
+        # Imported here rather than at module scope: the energy models consume
+        # the HAR configuration dataclasses, so importing them at the top of
+        # this module would create a package-level import cycle.
+        from repro.energy.power_model import DesignPointEnergyModel
+
+        self.dataset = dataset
+        self.energy_model = energy_model or DesignPointEnergyModel()
+        self.training_config = training_config or TrainingConfig()
+        self.split = split or dataset.split(seed=split_seed)
+
+    # -----------------------------------------------------------------------------
+    def characterize(self, name: str, config: HARConfig) -> CharacterizedDesignPoint:
+        """Characterise one configuration: train, test, and model its energy."""
+        extractor = FeatureExtractor(config.features)
+        matrix = extractor.extract_dataset(self.dataset)
+
+        train = matrix.subset(self.split.train_indices)
+        validation = matrix.subset(self.split.validation_indices)
+        test = matrix.subset(self.split.test_indices)
+        train_x, val_x, test_x = standardize(
+            train.features, validation.features, test.features
+        )
+
+        model = MLPClassifier(
+            MLPConfig(
+                input_dim=matrix.num_features,
+                hidden_layers=config.hidden_layers,
+                seed=self.training_config.seed,
+            )
+        )
+        trainer = Trainer(self.training_config)
+        trainer.fit(model, train_x, train.labels, val_x, validation.labels)
+
+        validation_accuracy = accuracy_score(
+            validation.labels, model.predict(val_x)
+        )
+        test_accuracy = accuracy_score(test.labels, model.predict(test_x))
+        characterization = self.energy_model.characterize(
+            config, num_features=matrix.num_features
+        )
+        return CharacterizedDesignPoint(
+            name=name,
+            config=config,
+            test_accuracy=test_accuracy,
+            validation_accuracy=validation_accuracy,
+            characterization=characterization,
+            num_features=matrix.num_features,
+        )
+
+    def characterize_all(
+        self,
+        specs: Sequence[Tuple[str, HARConfig]] = DESIGN_SPACE_SPECS,
+    ) -> List[CharacterizedDesignPoint]:
+        """Characterise every configuration in ``specs`` (24 by default)."""
+        return [self.characterize(name, config) for name, config in specs]
+
+    def design_points(
+        self,
+        specs: Sequence[Tuple[str, HARConfig]] = DESIGN_SPACE_SPECS,
+    ) -> List[DesignPoint]:
+        """Characterise ``specs`` and return optimiser-ready design points."""
+        return [item.to_design_point() for item in self.characterize_all(specs)]
+
+
+def pareto_design_points(
+    design_points: Sequence[DesignPoint],
+    max_points: Optional[int] = None,
+) -> List[DesignPoint]:
+    """Select the Pareto-optimal subset of a characterised design space.
+
+    ``max_points`` optionally caps the number of returned points (the paper
+    keeps five); the cap keeps the extreme points and maximises power spread.
+    """
+    front = pareto_front(design_points)
+    if max_points is None or len(front) <= max_points:
+        return front
+    from repro.core.pareto import select_pareto_subset
+
+    return select_pareto_subset(design_points, max_points)
+
+
+def table2_specs() -> List[Tuple[str, HARConfig]]:
+    """The five Table 2 configurations only (cheaper to characterise)."""
+    wanted = set(PARETO_DESIGN_POINT_NAMES)
+    return [(name, config) for name, config in DESIGN_SPACE_SPECS if name in wanted]
+
+
+__all__ = [
+    "CharacterizedDesignPoint",
+    "DESIGN_SPACE_SPECS",
+    "DesignSpaceExplorer",
+    "PARETO_DESIGN_POINT_NAMES",
+    "pareto_design_points",
+    "table2_specs",
+]

@@ -1,0 +1,52 @@
+"""Feature generation for the HAR application.
+
+The feature families mirror Figure 2 of the paper:
+
+* :mod:`repro.har.features.statistical` -- cheap time-domain statistics,
+* :mod:`repro.har.features.fft` -- a from-scratch radix-2 FFT (the 16-point
+  FFT of the stretch sensor),
+* :mod:`repro.har.features.dwt` -- a from-scratch Haar discrete wavelet
+  transform,
+* :mod:`repro.har.features.pipeline` -- the configurable pipeline that turns
+  raw sensor windows into feature vectors.
+"""
+
+from repro.har.features.dwt import (
+    dwt_feature_names,
+    dwt_features,
+    dwt_features_multichannel,
+    haar_dwt,
+    haar_dwt_single_level,
+)
+from repro.har.features.fft import (
+    fft_feature_names,
+    fft_magnitudes,
+    fft_radix2,
+    is_power_of_two,
+)
+from repro.har.features.pipeline import FeatureExtractor, FeatureMatrix, standardize
+from repro.har.features.statistical import (
+    STATISTICAL_FEATURE_NAMES,
+    statistical_feature_names,
+    statistical_features,
+    statistical_features_multichannel,
+)
+
+__all__ = [
+    "FeatureExtractor",
+    "FeatureMatrix",
+    "STATISTICAL_FEATURE_NAMES",
+    "dwt_feature_names",
+    "dwt_features",
+    "dwt_features_multichannel",
+    "fft_feature_names",
+    "fft_magnitudes",
+    "fft_radix2",
+    "haar_dwt",
+    "haar_dwt_single_level",
+    "is_power_of_two",
+    "standardize",
+    "statistical_feature_names",
+    "statistical_features",
+    "statistical_features_multichannel",
+]

@@ -1,0 +1,138 @@
+"""Radix-2 fast Fourier transform implemented from scratch.
+
+The paper's design points compute a 16-point FFT of the stretch-sensor data
+on the CC2650 MCU.  To keep the reproduction self-contained we implement the
+iterative radix-2 Cooley-Tukey algorithm directly (``numpy.fft`` is used only
+in the test-suite as an oracle).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def _bit_reverse_indices(n: int) -> np.ndarray:
+    """Return the bit-reversed permutation of ``range(n)`` (n a power of two)."""
+    bits = n.bit_length() - 1
+    indices = np.arange(n)
+    reversed_indices = np.zeros(n, dtype=int)
+    for bit in range(bits):
+        reversed_indices |= ((indices >> bit) & 1) << (bits - 1 - bit)
+    return reversed_indices
+
+
+def is_power_of_two(n: int) -> bool:
+    """True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def fft_radix2(signal: np.ndarray) -> np.ndarray:
+    """Compute the DFT of ``signal`` with the iterative radix-2 algorithm.
+
+    Parameters
+    ----------
+    signal:
+        1-D real or complex array whose length is a power of two.
+
+    Returns
+    -------
+    numpy.ndarray
+        Complex DFT coefficients, same length as the input.
+    """
+    x = np.asarray(signal, dtype=complex).ravel()
+    n = x.size
+    if not is_power_of_two(n):
+        raise ValueError(f"FFT length must be a power of two, got {n}")
+    if n == 1:
+        return x.copy()
+
+    data = x[_bit_reverse_indices(n)].copy()
+    length = 2
+    while length <= n:
+        half = length // 2
+        # Twiddle factors for this stage.
+        twiddle = np.exp(-2j * np.pi * np.arange(half) / length)
+        for start in range(0, n, length):
+            top = data[start:start + half].copy()
+            bottom = data[start + half:start + length] * twiddle
+            data[start:start + half] = top + bottom
+            data[start + half:start + length] = top - bottom
+        length *= 2
+    return data
+
+
+def block_decimate(signal: np.ndarray, length: int) -> np.ndarray:
+    """Decimate ``signal`` to ``length`` samples by block averaging.
+
+    The window is divided into ``length`` contiguous blocks of (nearly) equal
+    size and each block is replaced by its mean -- the cheap anti-aliased
+    down-sampling an MCU would use before a short FFT.  Signals shorter than
+    ``length`` are zero-padded instead.
+    """
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    x = np.asarray(signal, dtype=float).ravel()
+    if x.size == 0:
+        raise ValueError("cannot decimate an empty signal")
+    if x.size <= length:
+        padded = np.zeros(length)
+        padded[: x.size] = x
+        return padded
+    edges = np.linspace(0, x.size, length + 1).astype(int)
+    return np.array([x[start:stop].mean() for start, stop in zip(edges[:-1], edges[1:])])
+
+
+def fft_magnitudes(signal: np.ndarray, n_fft: int = 16, mode: str = "decimate") -> np.ndarray:
+    """Magnitude spectrum of an ``n_fft``-point FFT of the window.
+
+    Two modes are supported:
+
+    * ``"decimate"`` (default, matches the on-device 16-FFT): the whole
+      window is block-averaged down to ``n_fft`` samples so the transform
+      spans the full 1.6 s and resolves gait-rate periodicities, then a
+      single FFT is taken.
+    * ``"frame_average"``: the window is sliced into non-overlapping
+      ``n_fft``-sample frames whose magnitude spectra are averaged
+      (Welch-style, higher frequency range but coarse resolution).
+
+    Only the non-redundant half (bins ``0..n_fft/2``) is returned.
+    """
+    if not is_power_of_two(n_fft):
+        raise ValueError(f"n_fft must be a power of two, got {n_fft}")
+    x = np.asarray(signal, dtype=float).ravel()
+    if x.size == 0:
+        raise ValueError("cannot compute FFT features of an empty signal")
+    num_bins = n_fft // 2 + 1
+
+    if mode == "decimate":
+        frame = block_decimate(x, n_fft)
+        return np.abs(fft_radix2(frame)[:num_bins])
+    if mode == "frame_average":
+        if x.size < n_fft:
+            padded = np.zeros(n_fft)
+            padded[: x.size] = x
+            frames = padded.reshape(1, n_fft)
+        else:
+            num_frames = x.size // n_fft
+            frames = x[: num_frames * n_fft].reshape(num_frames, n_fft)
+        accumulator = np.zeros(num_bins)
+        for frame in frames:
+            accumulator += np.abs(fft_radix2(frame)[:num_bins])
+        return accumulator / frames.shape[0]
+    raise ValueError(f"mode must be 'decimate' or 'frame_average', got {mode!r}")
+
+
+def fft_feature_names(channel: str, n_fft: int = 16) -> List[str]:
+    """Feature names for :func:`fft_magnitudes` output."""
+    return [f"{channel}_fft{n_fft}_bin{i}" for i in range(n_fft // 2 + 1)]
+
+
+__all__ = [
+    "block_decimate",
+    "fft_feature_names",
+    "fft_magnitudes",
+    "fft_radix2",
+    "is_power_of_two",
+]

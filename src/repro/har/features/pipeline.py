@@ -1,0 +1,167 @@
+"""Feature-generation pipeline: from raw sensor windows to feature vectors.
+
+The pipeline is parameterised by a :class:`~repro.har.config.FeatureConfig`
+(the sensor/feature knobs of Figure 2) and turns a
+:class:`~repro.har.windows.SensorWindow` into a fixed-length feature vector.
+It is the software equivalent of the "Feature Generation" block of Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.har.config import FeatureConfig
+from repro.har.features.dwt import dwt_feature_names, dwt_features_multichannel
+from repro.har.features.fft import fft_feature_names, fft_magnitudes
+from repro.har.features.statistical import (
+    statistical_feature_names,
+    statistical_features,
+    statistical_features_multichannel,
+)
+from repro.har.windows import HARDataset, SensorWindow
+
+
+@dataclass
+class FeatureMatrix:
+    """Extracted features for a whole dataset.
+
+    Attributes
+    ----------
+    features:
+        ``(num_windows, num_features)`` matrix.
+    labels:
+        ``(num_windows,)`` integer activity labels.
+    feature_names:
+        Column names of the feature matrix.
+    user_ids:
+        ``(num_windows,)`` user identifiers (useful for leave-one-user-out
+        analyses).
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    feature_names: List[str]
+    user_ids: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.features = np.asarray(self.features, dtype=float)
+        self.labels = np.asarray(self.labels, dtype=int)
+        self.user_ids = np.asarray(self.user_ids, dtype=int)
+        if self.features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {self.features.shape}")
+        if self.features.shape[0] != self.labels.shape[0]:
+            raise ValueError("features and labels disagree on the number of windows")
+        if self.features.shape[1] != len(self.feature_names):
+            raise ValueError("feature_names length must match the feature dimension")
+
+    @property
+    def num_windows(self) -> int:
+        """Number of windows (rows)."""
+        return self.features.shape[0]
+
+    @property
+    def num_features(self) -> int:
+        """Feature dimensionality (columns)."""
+        return self.features.shape[1]
+
+    def subset(self, indices: Sequence[int]) -> "FeatureMatrix":
+        """Row-subset of the matrix (used for train/val/test splits)."""
+        idx = np.asarray(indices, dtype=int)
+        return FeatureMatrix(
+            features=self.features[idx],
+            labels=self.labels[idx],
+            feature_names=list(self.feature_names),
+            user_ids=self.user_ids[idx],
+        )
+
+
+class FeatureExtractor:
+    """Extracts feature vectors according to a :class:`FeatureConfig`."""
+
+    def __init__(self, config: FeatureConfig) -> None:
+        self.config = config
+        self._names: Optional[List[str]] = None
+
+    # --- single window -------------------------------------------------------
+    def extract(self, window: SensorWindow) -> np.ndarray:
+        """Return the feature vector of one window."""
+        pieces: List[np.ndarray] = []
+        if self.config.uses_accelerometer:
+            accel = window.accel_axes(self.config.accel_axes)
+            keep = max(2, int(round(accel.shape[0] * self.config.sensing_fraction)))
+            accel = accel[:keep]
+            if self.config.accel_features == "statistical":
+                pieces.append(statistical_features_multichannel(accel))
+            elif self.config.accel_features == "dwt":
+                pieces.append(dwt_features_multichannel(accel))
+        if self.config.uses_stretch:
+            stretch = window.stretch
+            if self.config.stretch_features == "fft16":
+                pieces.append(fft_magnitudes(stretch, n_fft=16))
+            elif self.config.stretch_features == "statistical":
+                pieces.append(statistical_features(stretch))
+        if not pieces:
+            raise ValueError("feature configuration produced no features")
+        return np.concatenate(pieces)
+
+    # --- names ------------------------------------------------------------------
+    def feature_names(self) -> List[str]:
+        """Column names of the feature vector produced by :meth:`extract`."""
+        if self._names is not None:
+            return list(self._names)
+        names: List[str] = []
+        if self.config.uses_accelerometer:
+            channels = [f"accel_{axis}" for axis in self.config.accel_axes]
+            if self.config.accel_features == "statistical":
+                names.extend(statistical_feature_names(channels))
+            elif self.config.accel_features == "dwt":
+                names.extend(dwt_feature_names(channels))
+        if self.config.uses_stretch:
+            if self.config.stretch_features == "fft16":
+                names.extend(fft_feature_names("stretch", n_fft=16))
+            elif self.config.stretch_features == "statistical":
+                names.extend(statistical_feature_names(["stretch"]))
+        self._names = names
+        return list(names)
+
+    @property
+    def num_features(self) -> int:
+        """Dimensionality of the feature vector."""
+        return len(self.feature_names())
+
+    # --- whole dataset -----------------------------------------------------------
+    def extract_dataset(self, dataset: HARDataset) -> FeatureMatrix:
+        """Extract features for every window of ``dataset``."""
+        rows = [self.extract(window) for window in dataset]
+        return FeatureMatrix(
+            features=np.vstack(rows),
+            labels=dataset.labels,
+            feature_names=self.feature_names(),
+            user_ids=dataset.user_ids,
+        )
+
+
+def standardize(
+    train: np.ndarray,
+    *others: np.ndarray,
+) -> Tuple[np.ndarray, ...]:
+    """Z-score features using the training statistics.
+
+    Returns the standardised training matrix followed by the standardised
+    versions of every additional matrix (validation, test, ...).  Columns with
+    zero variance are left centred but unscaled.
+    """
+    train = np.asarray(train, dtype=float)
+    mean = train.mean(axis=0)
+    std = train.std(axis=0)
+    std = np.where(std < 1e-12, 1.0, std)
+    results = [(train - mean) / std]
+    for other in others:
+        results.append((np.asarray(other, dtype=float) - mean) / std)
+    return tuple(results)
+
+
+__all__ = ["FeatureExtractor", "FeatureMatrix", "standardize"]

@@ -1,0 +1,100 @@
+"""Statistical time-domain features.
+
+These are the "statistics of accel." / "statistics of stretch" features of
+Figure 2: cheap time-domain summaries a Cortex-M class MCU can compute with a
+handful of multiply-accumulate passes over the window.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+#: Names of the per-channel statistical features, in output order.
+STATISTICAL_FEATURE_NAMES: List[str] = [
+    "mean",
+    "std",
+    "min",
+    "max",
+    "range",
+    "rms",
+    "mad",
+    "zero_crossings",
+]
+
+
+def statistical_features(signal: np.ndarray) -> np.ndarray:
+    """Compute the statistical feature vector of a 1-D signal.
+
+    The features are: mean, standard deviation, minimum, maximum, range,
+    root-mean-square, mean absolute deviation and the zero-crossing rate of
+    the mean-removed signal.  Constant signals return a zero crossing rate of
+    zero.
+
+    Parameters
+    ----------
+    signal:
+        1-D array of samples.  Must contain at least one sample.
+    """
+    x = np.asarray(signal, dtype=float).ravel()
+    if x.size == 0:
+        raise ValueError("cannot compute features of an empty signal")
+    mean = float(np.mean(x))
+    std = float(np.std(x))
+    minimum = float(np.min(x))
+    maximum = float(np.max(x))
+    value_range = maximum - minimum
+    rms = float(np.sqrt(np.mean(x * x)))
+    mad = float(np.mean(np.abs(x - mean)))
+    centered = x - mean
+    if x.size < 2:
+        zero_crossings = 0.0
+    else:
+        signs = np.sign(centered)
+        # Treat exact zeros as positive so flat signals do not register
+        # spurious crossings.
+        signs[signs == 0] = 1
+        zero_crossings = float(np.count_nonzero(np.diff(signs))) / (x.size - 1)
+    return np.array(
+        [mean, std, minimum, maximum, value_range, rms, mad, zero_crossings]
+    )
+
+
+def statistical_features_multichannel(signals: np.ndarray) -> np.ndarray:
+    """Compute statistical features for every column of a 2-D array.
+
+    Parameters
+    ----------
+    signals:
+        ``(num_samples, num_channels)`` array.
+
+    Returns
+    -------
+    numpy.ndarray
+        Concatenated per-channel feature vectors, channel-major order.
+    """
+    array = np.asarray(signals, dtype=float)
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    if array.ndim != 2:
+        raise ValueError(f"expected a 1-D or 2-D array, got shape {array.shape}")
+    features = [statistical_features(array[:, column]) for column in range(array.shape[1])]
+    return np.concatenate(features)
+
+
+def statistical_feature_names(channels: List[str]) -> List[str]:
+    """Feature names for :func:`statistical_features_multichannel` output."""
+    return [
+        f"{channel}_{name}"
+        for channel in channels
+        for name in STATISTICAL_FEATURE_NAMES
+    ]
+
+
+__all__ = [
+    "STATISTICAL_FEATURE_NAMES",
+    "statistical_feature_names",
+    "statistical_features",
+    "statistical_features_multichannel",
+]

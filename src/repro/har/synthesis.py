@@ -1,0 +1,208 @@
+"""Synthetic user-study generation.
+
+The paper collects 3553 labelled activity windows from 14 users.  This module
+assembles the equivalent synthetic dataset: it draws a user population
+(:mod:`repro.har.users`), synthesises per-window sensor signals
+(:mod:`repro.har.sensors`) and packages everything as a
+:class:`~repro.har.windows.HARDataset`.
+
+The default configuration matches the study size (14 users, about 3553
+windows, roughly balanced across the six activities plus transitions) but is
+fully parameterisable so the tests can use small datasets and the ablations
+can explore different study sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.data.paper_constants import NUM_ACTIVITY_WINDOWS, NUM_USERS
+from repro.har.activities import (
+    ALL_ACTIVITIES,
+    Activity,
+    ActivityTransitionModel,
+    DEFAULT_ACTIVITY_PREVALENCE,
+)
+from repro.har.sensors import (
+    AccelerometerSynthesizer,
+    SensorSpec,
+    StretchSensorSynthesizer,
+)
+from repro.har.users import UserProfile, generate_population
+from repro.har.windows import HARDataset, SensorWindow
+
+
+#: Share of the labelled study windows assigned to each activity.  The study
+#: protocol has every user perform every activity, so the distribution is
+#: roughly balanced with fewer transition windows.
+DEFAULT_STUDY_MIX: Dict[Activity, float] = {
+    Activity.SIT: 0.17,
+    Activity.STAND: 0.16,
+    Activity.WALK: 0.17,
+    Activity.JUMP: 0.12,
+    Activity.DRIVE: 0.14,
+    Activity.LIE_DOWN: 0.14,
+    Activity.TRANSITION: 0.10,
+}
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Configuration of the synthetic user study.
+
+    Parameters
+    ----------
+    num_users:
+        Number of participants (14 in the paper).
+    num_windows:
+        Total number of labelled windows across all users (3553 in the paper).
+    seed:
+        Master seed; the user population and every window derive their own
+        seeded RNG stream from it, so the study is fully reproducible.
+    sensor_spec:
+        Window length and sampling rate.
+    activity_mix:
+        Fraction of windows per activity class.
+    """
+
+    num_users: int = NUM_USERS
+    num_windows: int = NUM_ACTIVITY_WINDOWS
+    seed: int = 2019
+    sensor_spec: SensorSpec = SensorSpec()
+    activity_mix: Mapping[Activity, float] = field(
+        default_factory=lambda: dict(DEFAULT_STUDY_MIX)
+    )
+
+    def __post_init__(self) -> None:
+        if self.num_users < 1:
+            raise ValueError(f"num_users must be >= 1, got {self.num_users}")
+        if self.num_windows < len(ALL_ACTIVITIES):
+            raise ValueError(
+                f"num_windows must cover every class at least once, "
+                f"got {self.num_windows}"
+            )
+        total = sum(self.activity_mix.get(a, 0.0) for a in ALL_ACTIVITIES)
+        if total <= 0:
+            raise ValueError("activity_mix must have positive total mass")
+
+
+def _windows_per_class(config: StudyConfig) -> Dict[Activity, int]:
+    """Distribute the total window count across classes (largest remainder)."""
+    total_mass = sum(config.activity_mix.get(a, 0.0) for a in ALL_ACTIVITIES)
+    exact = {
+        a: config.num_windows * config.activity_mix.get(a, 0.0) / total_mass
+        for a in ALL_ACTIVITIES
+    }
+    counts = {a: int(np.floor(v)) for a, v in exact.items()}
+    remainder = config.num_windows - sum(counts.values())
+    # Assign the leftover windows to the classes with the largest fractional
+    # parts so the total is exact.
+    by_fraction = sorted(
+        ALL_ACTIVITIES, key=lambda a: exact[a] - counts[a], reverse=True
+    )
+    for a in by_fraction[:remainder]:
+        counts[a] += 1
+    # Every class gets at least one window.
+    for a in ALL_ACTIVITIES:
+        if counts[a] == 0:
+            donor = max(counts, key=counts.get)
+            counts[donor] -= 1
+            counts[a] = 1
+    return counts
+
+
+class StudyGenerator:
+    """Generates the synthetic HAR user study."""
+
+    def __init__(self, config: StudyConfig = StudyConfig()) -> None:
+        self.config = config
+        self.accel_synth = AccelerometerSynthesizer(config.sensor_spec)
+        self.stretch_synth = StretchSensorSynthesizer(config.sensor_spec)
+
+    def generate_users(self) -> List[UserProfile]:
+        """Generate the user population for this study."""
+        return generate_population(self.config.num_users, seed=self.config.seed)
+
+    def generate_window(
+        self,
+        activity: Activity,
+        user: UserProfile,
+        rng: np.random.Generator,
+    ) -> SensorWindow:
+        """Synthesise a single labelled window for ``user`` doing ``activity``."""
+        accel = self.accel_synth.synthesize(activity, user, rng)
+        stretch = self.stretch_synth.synthesize(activity, user, rng)
+        return SensorWindow(
+            accel=accel,
+            stretch=stretch,
+            activity=activity,
+            user_id=user.user_id,
+            spec=self.config.sensor_spec,
+        )
+
+    def generate_dataset(self) -> HARDataset:
+        """Generate the full study dataset.
+
+        Windows are distributed round-robin across users so every user
+        contributes a comparable number of windows of every class, mimicking
+        the per-user collection protocol of the paper.
+        """
+        users = self.generate_users()
+        rng = np.random.default_rng(self.config.seed + 1)
+        per_class = _windows_per_class(self.config)
+
+        windows: List[SensorWindow] = []
+        for activity in ALL_ACTIVITIES:
+            count = per_class[activity]
+            for index in range(count):
+                user = users[index % len(users)]
+                windows.append(self.generate_window(activity, user, rng))
+        rng.shuffle(windows)
+        return HARDataset(windows)
+
+    def generate_activity_stream(
+        self,
+        num_windows: int,
+        user: Optional[UserProfile] = None,
+        seed: Optional[int] = None,
+        dwell_windows: float = 20.0,
+    ) -> List[Activity]:
+        """Generate a temporally-correlated activity label stream.
+
+        Used by the device simulator to model what a user actually does over
+        an hour of wear time (as opposed to the balanced study mix used for
+        training).
+        """
+        rng = np.random.default_rng(self.config.seed + 13 if seed is None else seed)
+        model = ActivityTransitionModel(
+            dwell_windows=dwell_windows,
+            prevalence=DEFAULT_ACTIVITY_PREVALENCE,
+        )
+        return model.generate_stream(num_windows, rng)
+
+
+def generate_study_dataset(
+    num_users: int = NUM_USERS,
+    num_windows: int = NUM_ACTIVITY_WINDOWS,
+    seed: int = 2019,
+    sensor_spec: Optional[SensorSpec] = None,
+) -> HARDataset:
+    """Convenience wrapper: generate a study dataset in one call."""
+    config = StudyConfig(
+        num_users=num_users,
+        num_windows=num_windows,
+        seed=seed,
+        sensor_spec=sensor_spec or SensorSpec(),
+    )
+    return StudyGenerator(config).generate_dataset()
+
+
+__all__ = [
+    "DEFAULT_STUDY_MIX",
+    "StudyConfig",
+    "StudyGenerator",
+    "generate_study_dataset",
+]

@@ -1,0 +1,238 @@
+"""Containers for labelled activity windows and the HAR dataset.
+
+A :class:`SensorWindow` bundles one activity window's raw sensor data (3-axis
+accelerometer plus stretch sensor) with its label and the user it came from.
+A :class:`HARDataset` is the collection of all windows from the user study
+(3553 windows across 14 users in the paper) plus the 60/20/20
+train/validation/test split machinery used when measuring each design point's
+accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.har.activities import ALL_ACTIVITIES, Activity, class_counts
+from repro.har.sensors import SensorSpec
+
+
+@dataclass(frozen=True)
+class SensorWindow:
+    """One labelled activity window of raw sensor data.
+
+    Attributes
+    ----------
+    accel:
+        ``(num_samples, 3)`` accelerometer samples in g.
+    stretch:
+        ``(num_samples,)`` stretch sensor samples (normalised units).
+    activity:
+        Ground-truth activity label.
+    user_id:
+        Identifier of the user the window belongs to.
+    spec:
+        Sampling specification (window length and rate).
+    """
+
+    accel: np.ndarray
+    stretch: np.ndarray
+    activity: Activity
+    user_id: int
+    spec: SensorSpec = SensorSpec()
+
+    def __post_init__(self) -> None:
+        accel = np.asarray(self.accel, dtype=float)
+        stretch = np.asarray(self.stretch, dtype=float)
+        if accel.ndim != 2 or accel.shape[1] != 3:
+            raise ValueError(f"accel must have shape (n, 3), got {accel.shape}")
+        if stretch.ndim != 1:
+            raise ValueError(f"stretch must be 1-D, got shape {stretch.shape}")
+        if accel.shape[0] != stretch.shape[0]:
+            raise ValueError(
+                f"accel has {accel.shape[0]} samples but stretch has {stretch.shape[0]}"
+            )
+        object.__setattr__(self, "accel", accel)
+        object.__setattr__(self, "stretch", stretch)
+
+    @property
+    def num_samples(self) -> int:
+        """Number of samples per channel in the window."""
+        return self.accel.shape[0]
+
+    @property
+    def duration_s(self) -> float:
+        """Window duration in seconds."""
+        return self.num_samples / self.spec.sampling_hz
+
+    def accel_axes(self, axes: Sequence[str]) -> np.ndarray:
+        """Return the accelerometer restricted to the named axes.
+
+        ``axes`` is a sequence drawn from ``("x", "y", "z")``; the result has
+        shape ``(num_samples, len(axes))``.
+        """
+        index = {"x": 0, "y": 1, "z": 2}
+        try:
+            columns = [index[a.lower()] for a in axes]
+        except KeyError as error:
+            raise ValueError(f"unknown accelerometer axis in {axes!r}") from error
+        return self.accel[:, columns]
+
+    def truncated(self, fraction: float) -> "SensorWindow":
+        """Return a copy whose *accelerometer* data is cut to ``fraction``.
+
+        Models the reduced sensing period knob of Figure 2: the accelerometer
+        is turned off after ``fraction`` of the activity window while the
+        passive stretch sensor keeps sampling.  The truncated accelerometer
+        samples are zero-padded so downstream shapes stay constant; the
+        feature pipeline only looks at the first ``fraction`` of the samples.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        keep = max(1, int(round(self.num_samples * fraction)))
+        truncated_accel = np.zeros_like(self.accel)
+        truncated_accel[:keep] = self.accel[:keep]
+        return SensorWindow(
+            accel=truncated_accel,
+            stretch=self.stretch,
+            activity=self.activity,
+            user_id=self.user_id,
+            spec=self.spec,
+        )
+
+
+@dataclass
+class DatasetSplit:
+    """Index-based train/validation/test split of a :class:`HARDataset`."""
+
+    train_indices: np.ndarray
+    validation_indices: np.ndarray
+    test_indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.train_indices = np.asarray(self.train_indices, dtype=int)
+        self.validation_indices = np.asarray(self.validation_indices, dtype=int)
+        self.test_indices = np.asarray(self.test_indices, dtype=int)
+        all_indices = np.concatenate(
+            [self.train_indices, self.validation_indices, self.test_indices]
+        )
+        if len(np.unique(all_indices)) != len(all_indices):
+            raise ValueError("split partitions overlap")
+
+    @property
+    def sizes(self) -> Tuple[int, int, int]:
+        """(train, validation, test) sizes."""
+        return (
+            len(self.train_indices),
+            len(self.validation_indices),
+            len(self.test_indices),
+        )
+
+
+class HARDataset:
+    """Collection of labelled sensor windows from the (synthetic) user study."""
+
+    def __init__(self, windows: Sequence[SensorWindow]) -> None:
+        if not windows:
+            raise ValueError("dataset must contain at least one window")
+        self.windows: List[SensorWindow] = list(windows)
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+    def __iter__(self) -> Iterator[SensorWindow]:
+        return iter(self.windows)
+
+    def __getitem__(self, index: int) -> SensorWindow:
+        return self.windows[index]
+
+    # --- metadata ----------------------------------------------------------------
+    @property
+    def labels(self) -> np.ndarray:
+        """Integer labels of every window."""
+        return np.array([int(w.activity) for w in self.windows])
+
+    @property
+    def user_ids(self) -> np.ndarray:
+        """User id of every window."""
+        return np.array([w.user_id for w in self.windows])
+
+    @property
+    def num_users(self) -> int:
+        """Number of distinct users in the dataset."""
+        return len(np.unique(self.user_ids))
+
+    def class_distribution(self) -> Dict[Activity, int]:
+        """Number of windows per activity class."""
+        return class_counts(self.labels)
+
+    def windows_for_user(self, user_id: int) -> List[SensorWindow]:
+        """All windows belonging to ``user_id``."""
+        return [w for w in self.windows if w.user_id == user_id]
+
+    def windows_for_activity(self, activity: Activity) -> List[SensorWindow]:
+        """All windows with ground-truth label ``activity``."""
+        return [w for w in self.windows if w.activity is activity]
+
+    # --- splitting ---------------------------------------------------------------
+    def split(
+        self,
+        train_fraction: float = 0.6,
+        validation_fraction: float = 0.2,
+        seed: int = 7,
+        stratify: bool = True,
+    ) -> DatasetSplit:
+        """Create a 60/20/20 style split.
+
+        When ``stratify`` is True the split preserves the class distribution
+        in every partition (the paper splits "each DP ... using 60% of this
+        data for training, 20% for validation and the remaining 20% for
+        testing").
+        """
+        if not 0 < train_fraction < 1:
+            raise ValueError("train_fraction must be in (0, 1)")
+        if not 0 < validation_fraction < 1:
+            raise ValueError("validation_fraction must be in (0, 1)")
+        if train_fraction + validation_fraction >= 1.0:
+            raise ValueError("train + validation fractions must leave room for test")
+
+        rng = np.random.default_rng(seed)
+        labels = self.labels
+        train: List[int] = []
+        validation: List[int] = []
+        test: List[int] = []
+
+        if stratify:
+            groups = [np.nonzero(labels == int(a))[0] for a in ALL_ACTIVITIES]
+        else:
+            groups = [np.arange(len(self))]
+
+        for group in groups:
+            if group.size == 0:
+                continue
+            permuted = rng.permutation(group)
+            n_train = int(round(train_fraction * group.size))
+            n_val = int(round(validation_fraction * group.size))
+            # Guarantee at least one test sample per populated class when
+            # the class is large enough to afford it.
+            if group.size >= 3:
+                n_train = min(n_train, group.size - 2)
+                n_val = min(max(1, n_val), group.size - n_train - 1)
+            train.extend(permuted[:n_train].tolist())
+            validation.extend(permuted[n_train:n_train + n_val].tolist())
+            test.extend(permuted[n_train + n_val:].tolist())
+
+        return DatasetSplit(
+            train_indices=np.array(sorted(train)),
+            validation_indices=np.array(sorted(validation)),
+            test_indices=np.array(sorted(test)),
+        )
+
+    def subset(self, indices: Sequence[int]) -> "HARDataset":
+        """Return a new dataset containing only the given window indices."""
+        return HARDataset([self.windows[int(i)] for i in indices])
+
+
+__all__ = ["DatasetSplit", "HARDataset", "SensorWindow"]

@@ -1,0 +1,208 @@
+"""Harvested-energy forecasting.
+
+The energy-allocation layer (Section 3.2: "Energy budget Eb ... is determined
+by energy allocation techniques using the expected amount of harvested
+energy") needs an estimate of how much energy the next periods will harvest.
+This module provides the three classic lightweight forecasters used by the
+energy-harvesting literature the paper builds on:
+
+* :class:`PersistenceForecaster` -- tomorrow's hour looks like today's same
+  hour (a 24-period seasonal persistence model);
+* :class:`EwmaForecaster` -- the EWMA-per-slot estimator popularised by
+  Kansal et al. for solar harvesting;
+* :class:`ClearSkyScaledForecaster` -- scale the deterministic clear-sky
+  profile by a recursively estimated clearness index.
+
+All forecasters share the same tiny interface: ``observe`` the energy
+actually harvested in the current period, ``forecast`` the next period (or a
+whole horizon), so they can be composed with
+:class:`repro.energy.budget.HorizonAverageAllocator` for closed-loop
+campaigns.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.harvesting.solar import clear_sky_ghi
+from repro.harvesting.solar_cell import HarvestScenario
+
+
+class HarvestForecaster(abc.ABC):
+    """Base class for per-period harvested-energy forecasters."""
+
+    def __init__(self, periods_per_day: int = 24) -> None:
+        if periods_per_day < 1:
+            raise ValueError(f"periods_per_day must be >= 1, got {periods_per_day}")
+        self.periods_per_day = periods_per_day
+        self._period_index = 0
+
+    @property
+    def current_slot(self) -> int:
+        """Slot (hour of day) of the next period to be observed."""
+        return self._period_index % self.periods_per_day
+
+    @abc.abstractmethod
+    def forecast(self, horizon: int = 1) -> List[float]:
+        """Forecast harvested energy (J) for the next ``horizon`` periods."""
+
+    def observe(self, harvested_j: float) -> None:
+        """Record the energy actually harvested in the current period."""
+        if harvested_j < 0:
+            raise ValueError(f"harvested energy must be non-negative, got {harvested_j}")
+        self._update(harvested_j)
+        self._period_index += 1
+
+    @abc.abstractmethod
+    def _update(self, harvested_j: float) -> None:
+        """Incorporate one observation (slot = :attr:`current_slot`)."""
+
+    # --- convenience ---------------------------------------------------------------
+    def run(self, harvest_trace_j: Sequence[float]) -> List[float]:
+        """One-step-ahead forecasts over a whole trace.
+
+        Returns ``forecast[i]`` = the prediction for period ``i`` made before
+        observing it; useful for computing forecast errors in tests and
+        ablations.
+        """
+        predictions: List[float] = []
+        for actual in harvest_trace_j:
+            predictions.append(self.forecast(1)[0])
+            self.observe(float(actual))
+        return predictions
+
+
+class PersistenceForecaster(HarvestForecaster):
+    """Seasonal persistence: predict the value observed one day ago."""
+
+    def __init__(self, periods_per_day: int = 24, initial_j: float = 0.0) -> None:
+        super().__init__(periods_per_day)
+        if initial_j < 0:
+            raise ValueError("initial forecast must be non-negative")
+        self._last_day = [float(initial_j)] * periods_per_day
+
+    def forecast(self, horizon: int = 1) -> List[float]:
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        return [
+            self._last_day[(self._period_index + offset) % self.periods_per_day]
+            for offset in range(horizon)
+        ]
+
+    def _update(self, harvested_j: float) -> None:
+        self._last_day[self.current_slot] = float(harvested_j)
+
+
+class EwmaForecaster(HarvestForecaster):
+    """Per-slot exponentially weighted moving average (Kansal et al. style)."""
+
+    def __init__(
+        self,
+        periods_per_day: int = 24,
+        smoothing: float = 0.5,
+        initial_j: float = 0.0,
+    ) -> None:
+        super().__init__(periods_per_day)
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError(f"smoothing must be in (0, 1], got {smoothing}")
+        if initial_j < 0:
+            raise ValueError("initial forecast must be non-negative")
+        self.smoothing = smoothing
+        self._estimate = [float(initial_j)] * periods_per_day
+
+    def forecast(self, horizon: int = 1) -> List[float]:
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        return [
+            self._estimate[(self._period_index + offset) % self.periods_per_day]
+            for offset in range(horizon)
+        ]
+
+    def _update(self, harvested_j: float) -> None:
+        slot = self.current_slot
+        self._estimate[slot] = (
+            self.smoothing * harvested_j + (1.0 - self.smoothing) * self._estimate[slot]
+        )
+
+
+class ClearSkyScaledForecaster(HarvestForecaster):
+    """Scale the deterministic clear-sky harvest by an estimated clearness.
+
+    The clear-sky harvest profile for the device's solar cell is computed
+    once per day-of-year; the ratio of observed to clear-sky harvest is
+    tracked with an EWMA and applied to future clear-sky values.  Night
+    periods (zero clear-sky harvest) do not update the clearness estimate.
+    """
+
+    def __init__(
+        self,
+        scenario: Optional[HarvestScenario] = None,
+        day_of_year: int = 244,
+        periods_per_day: int = 24,
+        smoothing: float = 0.3,
+        initial_clearness: float = 0.7,
+    ) -> None:
+        super().__init__(periods_per_day)
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError(f"smoothing must be in (0, 1], got {smoothing}")
+        if not 0.0 <= initial_clearness <= 1.0:
+            raise ValueError("initial clearness must be in [0, 1]")
+        self.scenario = scenario or HarvestScenario()
+        self.day_of_year = day_of_year
+        self.smoothing = smoothing
+        self.clearness = initial_clearness
+
+    def clear_sky_harvest_j(self, slot: int) -> float:
+        """Clear-sky harvested energy for a given hour-of-day slot."""
+        hours_per_slot = 24.0 / self.periods_per_day
+        hour = (slot + 0.5) * hours_per_slot
+        ghi = clear_sky_ghi(self.day_of_year, hour % 24.0)
+        return self.scenario.harvested_energy_j(ghi)
+
+    def forecast(self, horizon: int = 1) -> List[float]:
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        predictions = []
+        for offset in range(horizon):
+            slot = (self._period_index + offset) % self.periods_per_day
+            predictions.append(self.clearness * self.clear_sky_harvest_j(slot))
+        return predictions
+
+    def _update(self, harvested_j: float) -> None:
+        ceiling = self.clear_sky_harvest_j(self.current_slot)
+        if ceiling <= 1e-12:
+            return
+        observed_clearness = min(1.0, harvested_j / ceiling)
+        self.clearness = (
+            self.smoothing * observed_clearness + (1.0 - self.smoothing) * self.clearness
+        )
+
+
+def forecast_error(
+    forecaster: HarvestForecaster,
+    harvest_trace_j: Sequence[float],
+) -> dict:
+    """Mean absolute / RMS one-step forecast error over a trace."""
+    actual = np.asarray(list(harvest_trace_j), dtype=float)
+    if actual.size == 0:
+        raise ValueError("harvest trace is empty")
+    predicted = np.asarray(forecaster.run(actual), dtype=float)
+    errors = predicted - actual
+    return {
+        "mae_j": float(np.mean(np.abs(errors))),
+        "rmse_j": float(np.sqrt(np.mean(errors ** 2))),
+        "bias_j": float(np.mean(errors)),
+        "num_periods": int(actual.size),
+    }
+
+
+__all__ = [
+    "ClearSkyScaledForecaster",
+    "EwmaForecaster",
+    "HarvestForecaster",
+    "PersistenceForecaster",
+    "forecast_error",
+]

@@ -1,0 +1,171 @@
+"""Synthetic solar irradiance generator.
+
+Stands in for the NREL Solar Radiation Research Laboratory measurements the
+paper uses (Golden, Colorado, 2015-2018).  The generator combines:
+
+* a clear-sky model -- solar declination and elevation for the site's
+  latitude and the Haurwitz clear-sky global horizontal irradiance; and
+* a cloud process -- a per-day clearness index drawn from a three-state
+  (clear / partly cloudy / overcast) mixture with hour-to-hour fluctuation,
+  driven by a seeded RNG so traces are reproducible.
+
+The result is an hourly GHI trace with the diurnal and day-to-day structure
+the evaluation needs: strong clear days, weak overcast days, zero harvest at
+night.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.harvesting.traces import SolarTrace, TraceHour
+
+#: Latitude of the NREL Solar Radiation Research Laboratory (Golden, CO).
+GOLDEN_COLORADO_LATITUDE_DEG: float = 39.74
+
+#: Day-of-year for the first day of each month (non-leap year).
+_MONTH_START_DOY = {
+    1: 1, 2: 32, 3: 60, 4: 91, 5: 121, 6: 152,
+    7: 182, 8: 213, 9: 244, 10: 274, 11: 305, 12: 335,
+}
+_MONTH_LENGTHS = {
+    1: 31, 2: 28, 3: 31, 4: 30, 5: 31, 6: 30,
+    7: 31, 8: 31, 9: 30, 10: 31, 11: 30, 12: 31,
+}
+
+
+def solar_declination_rad(day_of_year: int) -> float:
+    """Solar declination angle for a given day of the year (Cooper's formula)."""
+    if not 1 <= day_of_year <= 366:
+        raise ValueError(f"day_of_year must be in [1, 366], got {day_of_year}")
+    return math.radians(23.45) * math.sin(2.0 * math.pi * (284 + day_of_year) / 365.0)
+
+
+def solar_elevation_rad(
+    day_of_year: int,
+    hour_of_day: float,
+    latitude_deg: float = GOLDEN_COLORADO_LATITUDE_DEG,
+) -> float:
+    """Solar elevation angle (radians) at local solar time ``hour_of_day``."""
+    if not 0.0 <= hour_of_day < 24.0:
+        raise ValueError(f"hour_of_day must be in [0, 24), got {hour_of_day}")
+    latitude = math.radians(latitude_deg)
+    declination = solar_declination_rad(day_of_year)
+    hour_angle = math.radians(15.0 * (hour_of_day - 12.0))
+    sin_elevation = (
+        math.sin(latitude) * math.sin(declination)
+        + math.cos(latitude) * math.cos(declination) * math.cos(hour_angle)
+    )
+    return math.asin(max(-1.0, min(1.0, sin_elevation)))
+
+
+def clear_sky_ghi(
+    day_of_year: int,
+    hour_of_day: float,
+    latitude_deg: float = GOLDEN_COLORADO_LATITUDE_DEG,
+) -> float:
+    """Haurwitz clear-sky global horizontal irradiance in W/m^2."""
+    elevation = solar_elevation_rad(day_of_year, hour_of_day, latitude_deg)
+    sin_elevation = math.sin(elevation)
+    if sin_elevation <= 0.0:
+        return 0.0
+    return 1098.0 * sin_elevation * math.exp(-0.057 / sin_elevation)
+
+
+@dataclass(frozen=True)
+class CloudModel:
+    """Three-state daily cloud mixture with intra-day fluctuation.
+
+    Each day is classified as clear, partly cloudy or overcast with the given
+    probabilities; the day draws a base clearness index from the matching
+    range, and every hour multiplies it by a bounded random fluctuation.
+    """
+
+    p_clear: float = 0.55
+    p_partly: float = 0.30
+    clear_range: Tuple[float, float] = (0.75, 0.95)
+    partly_range: Tuple[float, float] = (0.40, 0.70)
+    overcast_range: Tuple[float, float] = (0.08, 0.35)
+    hourly_jitter: float = 0.12
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.p_clear <= 1 or not 0 <= self.p_partly <= 1:
+            raise ValueError("state probabilities must be in [0, 1]")
+        if self.p_clear + self.p_partly > 1.0 + 1e-9:
+            raise ValueError("p_clear + p_partly must not exceed 1")
+        if not 0 <= self.hourly_jitter < 1:
+            raise ValueError("hourly_jitter must be in [0, 1)")
+
+    def sample_day_clearness(self, rng: np.random.Generator) -> float:
+        """Draw the base clearness index for one day."""
+        state = rng.uniform()
+        if state < self.p_clear:
+            low, high = self.clear_range
+        elif state < self.p_clear + self.p_partly:
+            low, high = self.partly_range
+        else:
+            low, high = self.overcast_range
+        return float(rng.uniform(low, high))
+
+    def hourly_clearness(
+        self, base: float, num_hours: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-hour clearness values around the daily base."""
+        jitter = rng.uniform(1.0 - self.hourly_jitter, 1.0 + self.hourly_jitter, num_hours)
+        return np.clip(base * jitter, 0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class SyntheticSolarModel:
+    """Generates reproducible synthetic hourly GHI traces."""
+
+    latitude_deg: float = GOLDEN_COLORADO_LATITUDE_DEG
+    clouds: CloudModel = CloudModel()
+    seed: int = 2015
+
+    def generate_days(
+        self,
+        first_day_of_year: int,
+        num_days: int,
+        seed: Optional[int] = None,
+    ) -> SolarTrace:
+        """Generate ``num_days`` consecutive days starting at ``first_day_of_year``."""
+        if num_days < 1:
+            raise ValueError(f"num_days must be >= 1, got {num_days}")
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        hours: List[TraceHour] = []
+        for offset in range(num_days):
+            day = (first_day_of_year - 1 + offset) % 365 + 1
+            base = self.clouds.sample_day_clearness(rng)
+            clearness = self.clouds.hourly_clearness(base, 24, rng)
+            for hour in range(24):
+                ghi = clear_sky_ghi(day, hour + 0.5, self.latitude_deg) * clearness[hour]
+                hours.append(TraceHour(day, hour, float(max(0.0, ghi))))
+        return SolarTrace(hours, name=f"synthetic-d{first_day_of_year}x{num_days}")
+
+    def generate_month(self, month: int, seed: Optional[int] = None) -> SolarTrace:
+        """Generate a full calendar month (non-leap year day numbering)."""
+        if month not in _MONTH_START_DOY:
+            raise ValueError(f"month must be in 1..12, got {month}")
+        trace = self.generate_days(
+            _MONTH_START_DOY[month], _MONTH_LENGTHS[month], seed=seed
+        )
+        return SolarTrace(list(trace), name=f"synthetic-month{month:02d}")
+
+    def generate_september(self, seed: Optional[int] = None) -> SolarTrace:
+        """The month used in Figure 7 of the paper (September)."""
+        return self.generate_month(9, seed=seed)
+
+
+__all__ = [
+    "CloudModel",
+    "GOLDEN_COLORADO_LATITUDE_DEG",
+    "SyntheticSolarModel",
+    "clear_sky_ghi",
+    "solar_declination_rad",
+    "solar_elevation_rad",
+]

@@ -1,0 +1,102 @@
+"""Flexible solar cell model and hourly energy-budget computation.
+
+The prototype harvests with a FlexSolarCells SP3-37 flexible panel.  The
+model converts irradiance into electrical power through the cell area,
+conversion efficiency and a *wearable exposure factor* that accounts for
+non-optimal orientation, body shadowing and clothing coverage.  The default
+exposure factor is calibrated so that a clear September noon hour yields a
+budget slightly above the 9.9 J needed to run DP1 continuously -- the same
+operating range the paper sweeps in its evaluation (0.18 J to ~10 J per
+hour).  This calibration choice is documented in ``DESIGN.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.paper_constants import ACTIVITY_PERIOD_S
+from repro.energy.harvester import HarvestingCircuit
+from repro.harvesting.traces import SolarTrace
+
+
+@dataclass(frozen=True)
+class SolarCellModel:
+    """Irradiance-to-power model of the flexible solar cell."""
+
+    #: Active cell area in m^2 (SP3-37: roughly 37 mm x 64 mm).
+    area_m2: float = 0.00237
+    #: Photovoltaic conversion efficiency of the flexible (amorphous) cell.
+    efficiency: float = 0.06
+    #: Wearable exposure derating: orientation, body shadowing, time indoors.
+    exposure_factor: float = 0.032
+
+    def __post_init__(self) -> None:
+        if self.area_m2 <= 0:
+            raise ValueError(f"cell area must be positive, got {self.area_m2}")
+        if not 0 < self.efficiency <= 1:
+            raise ValueError(f"efficiency must be in (0, 1], got {self.efficiency}")
+        if not 0 < self.exposure_factor <= 1:
+            raise ValueError(
+                f"exposure factor must be in (0, 1], got {self.exposure_factor}"
+            )
+
+    def output_power_w(self, ghi_w_per_m2: float) -> float:
+        """Electrical power produced by the cell at the given irradiance."""
+        if ghi_w_per_m2 < 0:
+            raise ValueError(f"irradiance must be non-negative, got {ghi_w_per_m2}")
+        return ghi_w_per_m2 * self.area_m2 * self.efficiency * self.exposure_factor
+
+    def hourly_energy_j(self, ghi_w_per_m2: float, hours: float = 1.0) -> float:
+        """Electrical energy produced over ``hours`` at constant irradiance."""
+        if hours < 0:
+            raise ValueError(f"hours must be non-negative, got {hours}")
+        return self.output_power_w(ghi_w_per_m2) * hours * 3600.0
+
+
+@dataclass(frozen=True)
+class HarvestScenario:
+    """Solar cell plus harvesting circuit: irradiance trace -> usable budgets."""
+
+    cell: SolarCellModel = SolarCellModel()
+    circuit: HarvestingCircuit = HarvestingCircuit()
+    period_s: float = ACTIVITY_PERIOD_S
+
+    def harvested_energy_j(self, ghi_w_per_m2: float) -> float:
+        """Usable harvested energy for one activity period at the given GHI."""
+        raw = self.cell.output_power_w(ghi_w_per_m2) * self.period_s
+        return self.circuit.harvested_energy_j(raw)
+
+    def budgets_from_trace(self, trace: SolarTrace) -> List[float]:
+        """Per-hour usable energy budgets for every hour of ``trace``.
+
+        This is the open-loop "spend what you harvest" budget used by the
+        Figure 7 case study; the closed-loop battery-backed variant lives in
+        :mod:`repro.energy.budget`.
+        """
+        return [self.harvested_energy_j(hour.ghi_w_per_m2) for hour in trace]
+
+    def budget_array(self, trace: SolarTrace) -> np.ndarray:
+        """Same as :meth:`budgets_from_trace` but as an array."""
+        return np.array(self.budgets_from_trace(trace))
+
+
+def summarize_budgets(budgets: Sequence[float]) -> dict:
+    """Summary statistics of a budget trace (used by reports and tests)."""
+    array = np.asarray(list(budgets), dtype=float)
+    if array.size == 0:
+        raise ValueError("budget sequence is empty")
+    return {
+        "num_periods": int(array.size),
+        "total_j": float(array.sum()),
+        "mean_j": float(array.mean()),
+        "max_j": float(array.max()),
+        "min_j": float(array.min()),
+        "hours_above_dp1_j": int(np.count_nonzero(array >= 9.9)),
+        "hours_below_floor_j": int(np.count_nonzero(array < 0.18)),
+    }
+
+
+__all__ = ["HarvestScenario", "SolarCellModel", "summarize_budgets"]

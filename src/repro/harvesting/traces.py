@@ -1,0 +1,159 @@
+"""Solar irradiance trace containers and loaders.
+
+The paper drives its month-long case study with global horizontal irradiance
+(GHI) measured by the NREL Solar Radiation Research Laboratory in Golden,
+Colorado.  We cannot ship that data, so the reproduction uses the synthetic
+generator in :mod:`repro.harvesting.solar` by default; this module defines
+the trace container both paths produce and a loader for NREL-style CSV
+exports so the real data can be dropped in when available.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TraceHour:
+    """One hour of a solar trace."""
+
+    day_of_year: int
+    hour_of_day: int
+    ghi_w_per_m2: float
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.day_of_year <= 366:
+            raise ValueError(f"day_of_year must be in [1, 366], got {self.day_of_year}")
+        if not 0 <= self.hour_of_day <= 23:
+            raise ValueError(f"hour_of_day must be in [0, 23], got {self.hour_of_day}")
+        if self.ghi_w_per_m2 < 0:
+            raise ValueError(f"irradiance must be non-negative, got {self.ghi_w_per_m2}")
+
+    @property
+    def label(self) -> str:
+        """Readable hour label, e.g. ``"d245h13"``."""
+        return f"d{self.day_of_year:03d}h{self.hour_of_day:02d}"
+
+
+class SolarTrace:
+    """A sequence of hourly irradiance values."""
+
+    def __init__(self, hours: Sequence[TraceHour], name: str = "") -> None:
+        if not hours:
+            raise ValueError("trace must contain at least one hour")
+        self.hours: List[TraceHour] = list(hours)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.hours)
+
+    def __iter__(self) -> Iterator[TraceHour]:
+        return iter(self.hours)
+
+    def __getitem__(self, index: int) -> TraceHour:
+        return self.hours[index]
+
+    # --- views --------------------------------------------------------------------
+    @property
+    def ghi(self) -> np.ndarray:
+        """Irradiance values as an array (W/m^2)."""
+        return np.array([hour.ghi_w_per_m2 for hour in self.hours])
+
+    @property
+    def labels(self) -> List[str]:
+        """Hour labels aligned with :attr:`ghi`."""
+        return [hour.label for hour in self.hours]
+
+    @property
+    def num_days(self) -> int:
+        """Number of distinct days covered by the trace."""
+        return len({hour.day_of_year for hour in self.hours})
+
+    def daily_totals(self) -> List[Tuple[int, float]]:
+        """Sum of irradiance per day (day_of_year, Wh/m^2 equivalent)."""
+        totals: dict = {}
+        for hour in self.hours:
+            totals[hour.day_of_year] = totals.get(hour.day_of_year, 0.0) + hour.ghi_w_per_m2
+        return sorted(totals.items())
+
+    def slice_days(self, first_day: int, last_day: int) -> "SolarTrace":
+        """Return the sub-trace covering ``first_day`` .. ``last_day`` inclusive."""
+        if first_day > last_day:
+            raise ValueError("first_day must not exceed last_day")
+        selected = [h for h in self.hours if first_day <= h.day_of_year <= last_day]
+        if not selected:
+            raise ValueError(
+                f"no hours between day {first_day} and day {last_day} in this trace"
+            )
+        return SolarTrace(selected, name=f"{self.name}[d{first_day}-d{last_day}]")
+
+    def daytime_hours(self, threshold_w_per_m2: float = 1.0) -> "SolarTrace":
+        """Return only the hours with irradiance above ``threshold_w_per_m2``."""
+        selected = [h for h in self.hours if h.ghi_w_per_m2 > threshold_w_per_m2]
+        if not selected:
+            raise ValueError("trace has no daytime hours above the threshold")
+        return SolarTrace(selected, name=f"{self.name}[day]")
+
+    # --- construction ---------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        days: Sequence[int],
+        hours: Sequence[int],
+        ghi: Sequence[float],
+        name: str = "",
+    ) -> "SolarTrace":
+        """Build a trace from parallel arrays."""
+        if not (len(days) == len(hours) == len(ghi)):
+            raise ValueError("days, hours and ghi must have the same length")
+        trace_hours = [
+            TraceHour(int(d), int(h), max(0.0, float(g)))
+            for d, h, g in zip(days, hours, ghi)
+        ]
+        return cls(trace_hours, name=name)
+
+
+def load_nrel_csv(
+    path: str,
+    day_column: str = "DOY",
+    hour_column: str = "HOUR",
+    ghi_column: str = "GHI",
+    name: Optional[str] = None,
+) -> SolarTrace:
+    """Load an hourly NREL-style CSV export.
+
+    The expected format is one row per hour with integer day-of-year and
+    hour-of-day columns and a GHI column in W/m^2.  Rows with missing or
+    negative GHI (sensor glitches are reported as negative values in the raw
+    BMS exports) are clamped to zero.
+    """
+    trace_hours: List[TraceHour] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise ValueError(f"{path} has no CSV header")
+        for column in (day_column, hour_column, ghi_column):
+            if column not in reader.fieldnames:
+                raise ValueError(
+                    f"{path} is missing column {column!r}; found {reader.fieldnames}"
+                )
+        for row in reader:
+            raw_ghi = row[ghi_column].strip()
+            ghi = float(raw_ghi) if raw_ghi else 0.0
+            trace_hours.append(
+                TraceHour(
+                    day_of_year=int(float(row[day_column])),
+                    hour_of_day=int(float(row[hour_column])) % 24,
+                    ghi_w_per_m2=max(0.0, ghi),
+                )
+            )
+    if not trace_hours:
+        raise ValueError(f"{path} contains no data rows")
+    return SolarTrace(trace_hours, name=name or path)
+
+
+__all__ = ["SolarTrace", "TraceHour", "load_nrel_csv"]

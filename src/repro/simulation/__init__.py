@@ -1,0 +1,38 @@
+"""Trace-driven simulation of the energy-harvesting wearable device.
+
+* :mod:`repro.simulation.policies` -- REAP, static and duty-cycling runtime
+  policies behind a common interface,
+* :mod:`repro.simulation.device` -- the device simulator that executes a
+  period's schedule against the user's activity stream,
+* :mod:`repro.simulation.simulator` -- the campaign runner that connects a
+  solar trace, the budget layer, a policy and the device,
+* :mod:`repro.simulation.metrics` -- per-period and campaign-level metrics.
+"""
+
+from repro.simulation.device import DeviceConfig, DeviceSimulator
+from repro.simulation.metrics import CampaignResult, PeriodOutcome, compare_campaigns
+from repro.simulation.policies import (
+    OnOffDutyCyclePolicy,
+    OraclePolicy,
+    Policy,
+    ReapPolicy,
+    StaticPolicy,
+    default_policy_suite,
+)
+from repro.simulation.simulator import CampaignConfig, HarvestingCampaign
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "DeviceConfig",
+    "DeviceSimulator",
+    "HarvestingCampaign",
+    "OnOffDutyCyclePolicy",
+    "OraclePolicy",
+    "PeriodOutcome",
+    "Policy",
+    "ReapPolicy",
+    "StaticPolicy",
+    "compare_campaigns",
+    "default_policy_suite",
+]

@@ -1,0 +1,176 @@
+"""Metrics collected by the trace-driven device simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PeriodOutcome:
+    """What actually happened during one simulated activity period."""
+
+    period_index: int
+    energy_budget_j: float
+    energy_consumed_j: float
+    active_time_s: float
+    off_time_s: float
+    windows_total: int
+    windows_observed: int
+    windows_correct: float
+    objective_value: float
+    expected_accuracy: float
+    time_by_design_point: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def observed_fraction(self) -> float:
+        """Fraction of the user's activity windows the device observed."""
+        if self.windows_total == 0:
+            return 0.0
+        return self.windows_observed / self.windows_total
+
+    @property
+    def recognition_rate(self) -> float:
+        """Correctly recognised windows over *all* windows (missed count as wrong).
+
+        This is the realised counterpart of the expected accuracy metric: an
+        off device misses activities, so its recognition rate drops even if
+        the classifier would have been accurate.
+        """
+        if self.windows_total == 0:
+            return 0.0
+        return self.windows_correct / self.windows_total
+
+    @property
+    def budget_utilisation(self) -> float:
+        """Consumed energy as a fraction of the granted budget."""
+        if self.energy_budget_j <= 0:
+            return 0.0
+        return self.energy_consumed_j / self.energy_budget_j
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate result of running one policy over a whole budget trace."""
+
+    policy_name: str
+    alpha: float
+    outcomes: List[PeriodOutcome] = field(default_factory=list)
+
+    def append(self, outcome: PeriodOutcome) -> None:
+        """Record one period's outcome."""
+        self.outcomes.append(outcome)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    # --- aggregates -----------------------------------------------------------------
+    @property
+    def total_active_time_s(self) -> float:
+        """Total active time across the campaign."""
+        return float(sum(o.active_time_s for o in self.outcomes))
+
+    @property
+    def total_energy_consumed_j(self) -> float:
+        """Total energy consumed across the campaign."""
+        return float(sum(o.energy_consumed_j for o in self.outcomes))
+
+    @property
+    def total_windows_observed(self) -> int:
+        """Total activity windows the device observed."""
+        return int(sum(o.windows_observed for o in self.outcomes))
+
+    @property
+    def total_windows_correct(self) -> float:
+        """Total correctly recognised windows."""
+        return float(sum(o.windows_correct for o in self.outcomes))
+
+    @property
+    def total_windows(self) -> int:
+        """Total activity windows that occurred (observed or not)."""
+        return int(sum(o.windows_total for o in self.outcomes))
+
+    @property
+    def mean_expected_accuracy(self) -> float:
+        """Mean per-period expected accuracy."""
+        if not self.outcomes:
+            return 0.0
+        return float(np.mean([o.expected_accuracy for o in self.outcomes]))
+
+    @property
+    def mean_objective(self) -> float:
+        """Mean per-period objective value at the campaign's alpha."""
+        if not self.outcomes:
+            return 0.0
+        return float(np.mean([o.objective_value for o in self.outcomes]))
+
+    @property
+    def overall_recognition_rate(self) -> float:
+        """Correct windows over all windows across the whole campaign."""
+        total = self.total_windows
+        if total == 0:
+            return 0.0
+        return self.total_windows_correct / total
+
+    def objective_values(self) -> np.ndarray:
+        """Per-period objective values."""
+        return np.array([o.objective_value for o in self.outcomes])
+
+    def active_times_s(self) -> np.ndarray:
+        """Per-period active times."""
+        return np.array([o.active_time_s for o in self.outcomes])
+
+    def daily_objective_totals(self, periods_per_day: int = 24) -> np.ndarray:
+        """Sum of objective values per day (used for Figure 7 error bars)."""
+        values = self.objective_values()
+        if values.size == 0:
+            return values
+        num_days = int(np.ceil(values.size / periods_per_day))
+        padded = np.zeros(num_days * periods_per_day)
+        padded[: values.size] = values
+        return padded.reshape(num_days, periods_per_day).sum(axis=1)
+
+    def summary(self) -> Dict[str, float]:
+        """Scalar summary of the campaign (for reports and tests)."""
+        return {
+            "periods": float(len(self.outcomes)),
+            "total_active_time_s": self.total_active_time_s,
+            "total_energy_j": self.total_energy_consumed_j,
+            "mean_expected_accuracy": self.mean_expected_accuracy,
+            "mean_objective": self.mean_objective,
+            "overall_recognition_rate": self.overall_recognition_rate,
+            "windows_observed": float(self.total_windows_observed),
+            "windows_total": float(self.total_windows),
+        }
+
+
+def compare_campaigns(
+    reference: CampaignResult,
+    baseline: CampaignResult,
+    periods_per_day: int = 24,
+) -> Dict[str, float]:
+    """Normalised comparison of two campaigns (reference / baseline).
+
+    Ratios are computed on per-day objective totals, mirroring how Figure 7
+    reports the mean and range of REAP's improvement over each static DP
+    across the days of the month.  Days where the baseline total is zero are
+    skipped.
+    """
+    reference_days = reference.daily_objective_totals(periods_per_day)
+    baseline_days = baseline.daily_objective_totals(periods_per_day)
+    mask = baseline_days > 1e-12
+    if not np.any(mask):
+        return {"mean_ratio": float("nan"), "min_ratio": float("nan"),
+                "max_ratio": float("nan"), "days_compared": 0.0}
+    ratios = reference_days[mask] / baseline_days[mask]
+    return {
+        "mean_ratio": float(ratios.mean()),
+        "min_ratio": float(ratios.min()),
+        "max_ratio": float(ratios.max()),
+        "days_compared": float(ratios.size),
+    }
+
+
+__all__ = ["CampaignResult", "PeriodOutcome", "compare_campaigns"]

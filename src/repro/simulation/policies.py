@@ -1,0 +1,206 @@
+"""Runtime policies compared in the evaluation.
+
+A *policy* decides, at the start of every activity period, how the period's
+energy budget is spent across the available design points.  The evaluation
+compares:
+
+* :class:`ReapPolicy` -- the paper's contribution: solve the allocation LP.
+* :class:`StaticPolicy` -- run one fixed design point until the budget runs
+  out (the DP1..DP5 baselines of Figures 5-7).
+* :class:`OnOffDutyCyclePolicy` -- the related-work baseline (Kansal-style
+  duty cycling): the device only knows the *highest-accuracy* operating
+  point and an off state, and picks the duty cycle that fits the budget.
+  Functionally this coincides with the static policy for the chosen DP, but
+  it is kept separate because it models a device with no notion of multiple
+  design points.
+* :class:`OraclePolicy` -- solves the same problem as REAP with the exact
+  vertex-enumeration solver; used to sanity-check the runtime solver inside
+  simulations.
+
+All policies expose the same ``allocate(budget) -> TimeAllocation``
+interface so the simulator can swap them freely.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+from repro.core.allocator import AllocatorConfig, ReapAllocator
+from repro.core.analytic import solve_analytic
+from repro.core.design_point import DesignPoint, validate_design_points
+from repro.core.objective import validate_alpha
+from repro.core.problem import ReapProblem, static_allocation
+from repro.core.schedule import TimeAllocation
+from repro.data.paper_constants import ACTIVITY_PERIOD_S, OFF_STATE_POWER_W
+
+
+class Policy(abc.ABC):
+    """Base class for runtime energy-spending policies."""
+
+    def __init__(
+        self,
+        design_points: Sequence[DesignPoint],
+        alpha: float = 1.0,
+        period_s: float = ACTIVITY_PERIOD_S,
+        off_power_w: float = OFF_STATE_POWER_W,
+    ) -> None:
+        validate_design_points(design_points)
+        self.design_points = tuple(design_points)
+        self.alpha = validate_alpha(alpha)
+        self.period_s = period_s
+        self.off_power_w = off_power_w
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short policy name used in reports."""
+
+    @abc.abstractmethod
+    def allocate(self, energy_budget_j: float) -> TimeAllocation:
+        """Decide how to spend one period's energy budget."""
+
+    def reset(self) -> None:
+        """Clear any internal state between campaigns (default: nothing)."""
+
+    def build_problem(self, energy_budget_j: float) -> ReapProblem:
+        """Build the optimisation problem describing one period."""
+        return ReapProblem(
+            design_points=self.design_points,
+            energy_budget_j=energy_budget_j,
+            period_s=self.period_s,
+            alpha=self.alpha,
+            off_power_w=self.off_power_w,
+        )
+
+
+class ReapPolicy(Policy):
+    """The REAP runtime: optimal multi-design-point allocation."""
+
+    def __init__(
+        self,
+        design_points: Sequence[DesignPoint],
+        alpha: float = 1.0,
+        period_s: float = ACTIVITY_PERIOD_S,
+        off_power_w: float = OFF_STATE_POWER_W,
+        allocator: Optional[ReapAllocator] = None,
+    ) -> None:
+        super().__init__(design_points, alpha, period_s, off_power_w)
+        self.allocator = allocator or ReapAllocator(AllocatorConfig())
+
+    @property
+    def name(self) -> str:
+        return "REAP"
+
+    def allocate(self, energy_budget_j: float) -> TimeAllocation:
+        return self.allocator.solve(self.build_problem(energy_budget_j))
+
+
+class OraclePolicy(Policy):
+    """Exact (vertex-enumeration) solution of the REAP problem."""
+
+    @property
+    def name(self) -> str:
+        return "Oracle"
+
+    def allocate(self, energy_budget_j: float) -> TimeAllocation:
+        return solve_analytic(self.build_problem(energy_budget_j))
+
+
+class StaticPolicy(Policy):
+    """Always run one fixed design point; turn off when the budget runs out."""
+
+    def __init__(
+        self,
+        design_points: Sequence[DesignPoint],
+        static_name: str,
+        alpha: float = 1.0,
+        period_s: float = ACTIVITY_PERIOD_S,
+        off_power_w: float = OFF_STATE_POWER_W,
+    ) -> None:
+        super().__init__(design_points, alpha, period_s, off_power_w)
+        names = [dp.name for dp in self.design_points]
+        if static_name not in names:
+            raise KeyError(f"unknown design point {static_name!r}; have {names}")
+        self.static_name = static_name
+
+    @property
+    def name(self) -> str:
+        return f"Static-{self.static_name}"
+
+    def allocate(self, energy_budget_j: float) -> TimeAllocation:
+        return static_allocation(self.build_problem(energy_budget_j), self.static_name)
+
+
+class OnOffDutyCyclePolicy(Policy):
+    """Related-work baseline: duty-cycle a single operating point.
+
+    Models prior energy-management schemes that "choose between on and off
+    power states" (Section 2): the device runs its single operating point for
+    a duty-cycled fraction of the period chosen so the period's energy budget
+    is met exactly, with no awareness of alternative design points.
+    """
+
+    def __init__(
+        self,
+        design_points: Sequence[DesignPoint],
+        operating_point: Optional[str] = None,
+        alpha: float = 1.0,
+        period_s: float = ACTIVITY_PERIOD_S,
+        off_power_w: float = OFF_STATE_POWER_W,
+    ) -> None:
+        super().__init__(design_points, alpha, period_s, off_power_w)
+        if operating_point is None:
+            # Default to the highest-accuracy point, as prior work ships the
+            # most capable configuration it can build.
+            operating_point = max(self.design_points, key=lambda dp: dp.accuracy).name
+        names = [dp.name for dp in self.design_points]
+        if operating_point not in names:
+            raise KeyError(f"unknown design point {operating_point!r}; have {names}")
+        self.operating_point = operating_point
+
+    @property
+    def name(self) -> str:
+        return f"DutyCycle-{self.operating_point}"
+
+    def allocate(self, energy_budget_j: float) -> TimeAllocation:
+        return static_allocation(
+            self.build_problem(energy_budget_j), self.operating_point
+        )
+
+    def duty_cycle(self, energy_budget_j: float) -> float:
+        """The on-fraction chosen for the given budget (for reports)."""
+        return self.allocate(energy_budget_j).active_fraction
+
+
+def default_policy_suite(
+    design_points: Sequence[DesignPoint],
+    alpha: float = 1.0,
+    period_s: float = ACTIVITY_PERIOD_S,
+    off_power_w: float = OFF_STATE_POWER_W,
+) -> list:
+    """REAP plus one static policy per design point (the Figure 5/6 line-up)."""
+    policies: list = [
+        ReapPolicy(design_points, alpha=alpha, period_s=period_s, off_power_w=off_power_w)
+    ]
+    for dp in design_points:
+        policies.append(
+            StaticPolicy(
+                design_points,
+                dp.name,
+                alpha=alpha,
+                period_s=period_s,
+                off_power_w=off_power_w,
+            )
+        )
+    return policies
+
+
+__all__ = [
+    "OnOffDutyCyclePolicy",
+    "OraclePolicy",
+    "Policy",
+    "ReapPolicy",
+    "StaticPolicy",
+    "default_policy_suite",
+]

@@ -1,0 +1,116 @@
+"""End-to-end harvesting campaign simulation.
+
+Ties the substrates together: a solar trace is converted into per-period
+energy budgets (open-loop harvest-following or closed-loop through a battery
+and an energy allocator), a policy turns each budget into a schedule, and the
+device simulator executes the schedule.  This is the machinery behind the
+month-long case study of Section 5.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.schedule import TimeAllocation
+from repro.energy.battery import Battery
+from repro.energy.budget import HarvestFollowingAllocator
+from repro.harvesting.solar_cell import HarvestScenario
+from repro.harvesting.traces import SolarTrace
+from repro.simulation.device import DeviceConfig, DeviceSimulator
+from repro.simulation.metrics import CampaignResult, PeriodOutcome
+from repro.simulation.policies import Policy
+
+
+@dataclass
+class CampaignConfig:
+    """Configuration of a harvesting campaign simulation."""
+
+    #: When True, budgets flow through a battery-backed energy allocator; the
+    #: unspent part of each budget is banked and shortfalls draw the battery.
+    use_battery: bool = False
+    #: Battery capacity in joules (only used when ``use_battery``).
+    battery_capacity_j: float = 60.0
+    #: Initial battery charge in joules (negative means half full).
+    battery_initial_j: float = -1.0
+    #: Battery state-of-charge reserve: charge above this level is released
+    #: to the load (so day-time surplus funds night-time operation), charge
+    #: below it is retained.
+    battery_target_soc: float = 0.35
+    #: Maximum battery contribution to a single period's budget, in joules.
+    battery_max_draw_j: float = 5.0
+    #: Device simulation settings.
+    device: DeviceConfig = DeviceConfig()
+
+
+class HarvestingCampaign:
+    """Runs one policy against a harvest trace and collects the outcomes."""
+
+    def __init__(
+        self,
+        scenario: HarvestScenario,
+        config: Optional[CampaignConfig] = None,
+    ) -> None:
+        self.scenario = scenario
+        self.config = config or CampaignConfig()
+
+    # -----------------------------------------------------------------------------
+    def budgets_for_trace(self, trace: SolarTrace) -> List[float]:
+        """Open-loop per-hour budgets implied by the trace (no battery)."""
+        return self.scenario.budgets_from_trace(trace)
+
+    def run(self, policy: Policy, trace: SolarTrace) -> CampaignResult:
+        """Run ``policy`` over every hour of ``trace``."""
+        device = DeviceSimulator(self.config.device)
+        policy.reset()
+        result = CampaignResult(policy_name=policy.name, alpha=policy.alpha)
+
+        if self.config.use_battery:
+            outcomes = self._run_with_battery(policy, trace, device)
+        else:
+            outcomes = self._run_open_loop(policy, trace, device)
+
+        for outcome in outcomes:
+            result.append(outcome)
+        return result
+
+    def run_many(
+        self, policies: Sequence[Policy], trace: SolarTrace
+    ) -> Dict[str, CampaignResult]:
+        """Run several policies over the same trace (same budgets for all)."""
+        return {policy.name: self.run(policy, trace) for policy in policies}
+
+    # -----------------------------------------------------------------------------
+    def _run_open_loop(
+        self, policy: Policy, trace: SolarTrace, device: DeviceSimulator
+    ) -> List[PeriodOutcome]:
+        budgets = self.budgets_for_trace(trace)
+        allocations: List[TimeAllocation] = [
+            policy.allocate(budget) for budget in budgets
+        ]
+        return device.run_periods(allocations, budgets)
+
+    def _run_with_battery(
+        self, policy: Policy, trace: SolarTrace, device: DeviceSimulator
+    ) -> List[PeriodOutcome]:
+        battery = Battery(
+            capacity_j=self.config.battery_capacity_j,
+            initial_charge_j=self.config.battery_initial_j,
+        )
+        allocator = HarvestFollowingAllocator(
+            battery,
+            target_soc=self.config.battery_target_soc,
+            max_battery_draw_j=self.config.battery_max_draw_j,
+        )
+        outcomes: List[PeriodOutcome] = []
+        for index, hour in enumerate(trace):
+            harvest = self.scenario.harvested_energy_j(hour.ghi_w_per_m2)
+            budget = allocator.grant(harvest)
+            allocation = policy.allocate(budget)
+            outcome = device.run_period(allocation, index, budget)
+            allocator.settle(harvest, outcome.energy_consumed_j)
+            outcomes.append(outcome)
+        return outcomes
+
+
+__all__ = ["CampaignConfig", "HarvestingCampaign"]

@@ -1,0 +1,49 @@
+"""Shared pytest fixtures for the REAP reproduction test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.design_point import DesignPoint
+from repro.data.table2 import table2_design_points
+from repro.har.classifier.train import TrainingConfig
+from repro.har.synthesis import generate_study_dataset
+
+
+@pytest.fixture
+def table2_points():
+    """The five published Pareto-optimal design points."""
+    return table2_design_points()
+
+
+@pytest.fixture
+def rng():
+    """A deterministic NumPy RNG for tests that need randomness."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def simple_points():
+    """A tiny hand-built design-point set with easy-to-verify numbers."""
+    return [
+        DesignPoint(name="HI", accuracy=0.9, power_w=3.0e-3),
+        DesignPoint(name="MID", accuracy=0.8, power_w=2.0e-3),
+        DesignPoint(name="LO", accuracy=0.6, power_w=1.0e-3),
+    ]
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small synthetic user study reused by feature/classifier tests.
+
+    Session-scoped because synthesis takes a couple of seconds; tests must
+    treat it as read-only.
+    """
+    return generate_study_dataset(num_users=6, num_windows=420, seed=42)
+
+
+@pytest.fixture(scope="session")
+def fast_training_config():
+    """Training settings small enough for unit tests."""
+    return TrainingConfig(max_epochs=30, patience=8, batch_size=32, seed=5)

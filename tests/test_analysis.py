@@ -1,0 +1,202 @@
+"""Tests for the sweep machinery, reporting helpers and experiment runners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentResult,
+    run_alpha_sensitivity_experiment,
+    run_figure4_experiment,
+    run_figure5a_experiment,
+    run_figure5b_experiment,
+    run_figure6_experiment,
+    run_headline_claims_experiment,
+    run_offloading_experiment,
+    run_pareto_subset_ablation,
+    run_pivot_rule_ablation,
+    run_solver_scaling_experiment,
+)
+from repro.analysis.reporting import (
+    dicts_to_rows,
+    format_table,
+    format_value,
+    percent,
+    ratio,
+    rows_to_csv,
+)
+from repro.analysis.sweep import EnergySweep, default_budget_grid
+
+
+class TestReporting:
+    def test_format_value_float_precision(self):
+        assert format_value(1.23456, precision=2) == "1.23"
+        assert format_value(True) == "yes"
+        assert format_value("text") == "text"
+        assert format_value(float("nan")) == "nan"
+        assert format_value(1e-6) == "1.000e-06"
+
+    def test_format_table_alignment_and_title(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [3, 4.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert len(lines) == 6
+
+    def test_format_table_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_rows_to_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        text = rows_to_csv(["x", "y"], [[1, 2], [3, 4]], path=str(path))
+        assert "x,y" in text
+        assert path.read_bytes().decode() == text
+
+    def test_dicts_to_rows_projection(self):
+        rows = dicts_to_rows([{"a": 1, "b": 2}, {"a": 3}], ["a", "b"])
+        assert rows == [[1, 2], [3, ""]]
+
+    def test_percent_and_ratio(self):
+        assert percent(0.4637) == "46.4%"
+        assert ratio(2.345) == "2.35x"
+
+
+class TestEnergySweep:
+    def test_default_budget_grid_spans_operating_range(self, table2_points):
+        grid = default_budget_grid(table2_points, num_points=10)
+        assert grid[0] == pytest.approx(0.18)
+        assert grid[-1] == pytest.approx(9.936 * 1.05, rel=1e-6)
+        with pytest.raises(ValueError):
+            default_budget_grid(table2_points, num_points=1)
+
+    def test_sweep_series_shapes(self, table2_points):
+        sweep = EnergySweep(table2_points, alpha=1.0)
+        result = sweep.run(np.linspace(0.2, 10.0, 8))
+        assert result.reap.expected_accuracy.shape == (8,)
+        assert set(result.static_names) == {"DP1", "DP2", "DP3", "DP4", "DP5"}
+        assert len(result.reap.allocations) == 8
+
+    def test_reap_dominates_everywhere(self, table2_points):
+        result = EnergySweep(table2_points, alpha=1.0).run()
+        assert result.reap_dominates_everywhere()
+
+    def test_normalized_active_time_never_above_one(self, table2_points):
+        result = EnergySweep(table2_points, alpha=1.0).run()
+        for name in result.static_names:
+            assert np.all(result.normalized_active_time(name) <= 1.0 + 1e-9)
+
+    def test_normalized_objective_never_above_one(self, table2_points):
+        result = EnergySweep(table2_points, alpha=2.0).run()
+        for name in result.static_names:
+            assert np.all(result.normalized_objective(name) <= 1.0 + 1e-9)
+
+    def test_saturation_budgets_ordered_by_power(self, table2_points):
+        result = EnergySweep(table2_points, alpha=1.0).run(
+            np.linspace(0.2, 10.5, 120)
+        )
+        dp5 = result.saturation_budget_j("DP5")
+        dp1 = result.saturation_budget_j("DP1")
+        assert dp5 < dp1
+        assert dp5 == pytest.approx(4.3, abs=0.4)
+        assert dp1 == pytest.approx(9.9, abs=0.4)
+
+    def test_empty_budget_grid_rejected(self, table2_points):
+        with pytest.raises(ValueError):
+            EnergySweep(table2_points).run([])
+
+
+class TestExperimentResult:
+    def test_text_and_csv_and_column(self):
+        result = ExperimentResult(
+            name="demo", headers=["a", "b"], rows=[[1, 2.0], [3, 4.0]]
+        )
+        assert "demo" in result.to_text()
+        assert "a,b" in result.to_csv()
+        assert result.column("b") == [2.0, 4.0]
+        with pytest.raises(ValueError):
+            result.column("missing")
+
+
+class TestFastExperiments:
+    """Experiments that do not need classifier training (run in seconds)."""
+
+    def test_figure4(self):
+        result = run_figure4_experiment()
+        assert result.extras["total_j"] == pytest.approx(9.9, rel=0.05)
+        assert result.extras["sensor_fraction"] == pytest.approx(0.47, abs=0.05)
+        fractions = result.column("fraction")
+        assert sum(fractions) == pytest.approx(1.0, abs=1e-6)
+
+    def test_figure5a_reap_dominates(self):
+        result = run_figure5a_experiment(num_budgets=15)
+        assert result.extras["reap_dominates"]
+        reap_series = result.column("REAP_%")
+        dp1_series = result.column("DP1_%")
+        assert all(r >= d - 1e-6 for r, d in zip(reap_series, dp1_series))
+
+    def test_figure5b_ratios_bounded(self):
+        result = run_figure5b_experiment(num_budgets=15)
+        for name in ("DP1", "DP3", "DP5"):
+            values = result.column(f"{name}_norm_active")
+            assert all(0.0 <= v <= 1.0 + 1e-9 for v in values)
+
+    def test_figure5b_dp5_matches_reap_active_time(self):
+        result = run_figure5b_experiment(num_budgets=15)
+        dp5 = result.column("DP5_norm_active")
+        # DP5 has the lowest power so, whenever the device can be on at all,
+        # its active time matches REAP's (the ratio is 0 only at the budget
+        # floor where both are entirely off).
+        positive = [v for v in dp5 if v > 0]
+        assert positive
+        assert all(v == pytest.approx(1.0, abs=1e-6) for v in positive)
+
+    def test_figure6_normalised_objective(self):
+        result = run_figure6_experiment(num_budgets=15)
+        assert result.extras["reap_dominates"]
+        for name in ("DP1", "DP5"):
+            values = result.column(f"{name}_norm_J")
+            assert all(v <= 1.0 + 1e-9 for v in values)
+
+    def test_figure6_dp5_declines_with_budget(self):
+        result = run_figure6_experiment(num_budgets=25)
+        dp5 = result.column("DP5_norm_J")
+        # Once the budget is generous, DP5's 76% accuracy caps its value.
+        assert dp5[-1] < 0.75
+
+    def test_headline_claims_close_to_paper(self):
+        result = run_headline_claims_experiment(num_budgets=40)
+        measured = {row[0]: row[2] for row in result.rows}
+        assert measured["expected accuracy gain vs DP1 (mean over sweep)"] == pytest.approx(0.46, abs=0.10)
+        assert measured["active time gain vs DP1 (mean over sweep)"] == pytest.approx(0.66, abs=0.15)
+        assert measured["max active-time ratio vs DP1 (Region 1)"] == pytest.approx(2.3, abs=0.4)
+        assert measured["DP4 share of active time at 5 J"] == pytest.approx(0.42, abs=0.03)
+        assert measured["DP5 share of active time at 5 J"] == pytest.approx(0.58, abs=0.03)
+
+    def test_offloading_experiment(self):
+        result = run_offloading_experiment()
+        label_row, raw_row = result.rows
+        assert label_row[1] == pytest.approx(0.38, abs=0.02)
+        assert raw_row[1] == pytest.approx(5.5, abs=0.3)
+        assert result.extras["offload_penalty_factor"] > 10
+
+    def test_solver_scaling_experiment(self):
+        result = run_solver_scaling_experiment(sizes=(5, 20), repeats=3)
+        assert len(result.rows) == 2
+        assert all(row[1] > 0 for row in result.rows)
+
+    def test_alpha_sensitivity_monotone_accuracy_shift(self):
+        result = run_alpha_sensitivity_experiment(alphas=(0.5, 1.0, 4.0, 8.0))
+        dp5_shares = result.column("DP5_share")
+        assert dp5_shares[0] >= dp5_shares[-1]
+
+    def test_pareto_subset_ablation_monotone(self):
+        result = run_pareto_subset_ablation(subset_sizes=(2, 5), num_budgets=15)
+        objectives = result.column("mean_objective")
+        # More design points can only help the optimum.
+        assert objectives[-1] >= objectives[0] - 1e-9
+
+    def test_pivot_rule_ablation_same_objective(self):
+        result = run_pivot_rule_ablation(num_budgets=15)
+        assert result.extras["objective_gap"] == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,93 @@
+"""Scaled-down runs of the heavyweight experiment runners.
+
+The full Table 2 / Figure 3 / Figure 7 experiments are exercised by the
+benchmark suite; here they run at a much smaller scale so the plumbing (row
+construction, extras, CSV round-trips) is covered by the fast test-suite
+too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    run_figure3_experiment,
+    run_figure7_experiment,
+    run_table2_experiment,
+)
+from repro.har.classifier.train import TrainingConfig
+from repro.har.design_space import DESIGN_SPACE_SPECS
+
+
+TINY_TRAINING = TrainingConfig(max_epochs=12, patience=6, batch_size=32)
+
+
+class TestTable2Experiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table2_experiment(
+            num_windows=280, num_users=6, seed=3, training_config=TINY_TRAINING
+        )
+
+    def test_five_rows_in_dp_order(self, result):
+        assert [row[0] for row in result.rows] == ["DP1", "DP2", "DP3", "DP4", "DP5"]
+
+    def test_headers_pair_measured_and_paper_columns(self, result):
+        assert "accuracy_%" in result.headers
+        assert "paper_accuracy_%" in result.headers
+        assert len(result.headers) == len(result.rows[0])
+
+    def test_energy_columns_close_to_paper(self, result):
+        energy_index = result.headers.index("energy_mJ")
+        paper_index = result.headers.index("paper_energy_mJ")
+        for row in result.rows:
+            assert row[energy_index] == pytest.approx(row[paper_index], rel=0.2)
+
+    def test_extras_expose_design_points(self, result):
+        points = result.extras["design_points"]
+        assert len(points) == 5
+        assert result.extras["dataset_windows"] == 280
+
+    def test_csv_roundtrip(self, result, tmp_path):
+        path = tmp_path / "table2.csv"
+        result.to_csv(str(path))
+        assert path.exists()
+        assert "DP1" in path.read_text()
+
+
+class TestFigure3Experiment:
+    def test_subset_of_design_space(self):
+        specs = DESIGN_SPACE_SPECS[:6]
+        result = run_figure3_experiment(
+            num_windows=240, num_users=5, seed=4,
+            training_config=TINY_TRAINING, specs=specs,
+        )
+        assert result.extras["num_design_points"] == 6
+        assert len(result.rows) == 6
+        pareto_flags = result.column("pareto_optimal")
+        assert any(pareto_flags)
+        # Rows are sorted by energy per activity.
+        energies = result.column("energy_per_activity_mJ")
+        assert energies == sorted(energies)
+
+
+class TestFigure7Experiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure7_experiment(alphas=(1.0,), month=9, seed=2016)
+
+    def test_one_row_per_alpha(self, result):
+        assert len(result.rows) == 1
+        assert result.rows[0][0] == pytest.approx(1.0)
+
+    def test_reap_never_loses_to_any_baseline(self, result):
+        headers = result.headers
+        row = result.rows[0]
+        for baseline in ("DP1", "DP3", "DP5"):
+            assert row[headers.index(f"vs_{baseline}_min")] >= 1.0 - 1e-9
+            assert row[headers.index(f"vs_{baseline}_mean")] >= 1.0
+
+    def test_detail_extras_structure(self, result):
+        detail = result.extras["detail"]
+        assert set(detail[1.0]) == {"DP1", "DP3", "DP5"}
+        assert result.extras["trace_hours"] == 720

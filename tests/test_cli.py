@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["run", "figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["run", "figure4"])
+        assert args.experiment == "figure4"
+        assert args.windows == 1200
+        assert args.points == 40
+
+
+class TestRunCommands:
+    def test_run_figure4(self, capsys):
+        assert main(["run", "figure4"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 4" in output
+        assert "accelerometer sensor" in output
+
+    def test_run_offloading_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "offloading.csv"
+        assert main(["run", "offloading", "--csv", str(csv_path)]) == 0
+        assert csv_path.exists()
+        assert "strategy" in csv_path.read_text()
+        assert "rows written" in capsys.readouterr().out
+
+    def test_run_figure5a_with_few_points(self, capsys):
+        assert main(["run", "figure5a", "--points", "8"]) == 0
+        output = capsys.readouterr().out
+        assert "REAP_%" in output
+
+    def test_run_ablation_alpha(self, capsys):
+        assert main(["run", "ablation-alpha"]) == 0
+        assert "alpha" in capsys.readouterr().out
+
+
+class TestAllocateAndSweep:
+    def test_allocate_command(self, capsys):
+        assert main(["allocate", "--budget", "5", "--alpha", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "DP4" in output and "DP5" in output
+        assert "expected accuracy" in output
+
+    def test_allocate_requires_budget(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["allocate"])
+
+    def test_sweep_command(self, capsys):
+        assert main(["sweep", "--alpha", "2", "--points", "6"]) == 0
+        output = capsys.readouterr().out
+        assert "REAP" in output
+        assert "budget_J" in output

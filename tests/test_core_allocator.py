@@ -1,0 +1,178 @@
+"""Tests for the REAP allocator and the analytic reference solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.allocator import AllocatorConfig, ReapAllocator
+from repro.core.analytic import enumerate_vertices, solve_analytic
+from repro.core.problem import BudgetTooSmallError, ReapProblem
+from repro.core.simplex import PivotRule
+
+
+class TestAllocatorConfig:
+    def test_invalid_formulation_rejected(self):
+        with pytest.raises(ValueError, match="formulation"):
+            AllocatorConfig(formulation="magic")
+
+    def test_invalid_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            AllocatorConfig(max_iterations=0)
+
+    def test_config_and_overrides_are_exclusive(self):
+        with pytest.raises(ValueError):
+            ReapAllocator(AllocatorConfig(), formulation="full")
+
+
+class TestAllocatorBasics:
+    def test_paper_example_dp4_dp5_blend_at_5j(self, table2_points):
+        """Section 5.2: at a 5 J budget REAP uses DP4 ~42% and DP5 ~58%."""
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=5.0, alpha=1.0)
+        allocation = ReapAllocator().solve(problem)
+        active = {k: v for k, v in allocation.as_dict().items() if v > 1.0}
+        assert set(active) == {"DP4", "DP5"}
+        assert allocation.share_for("DP4") == pytest.approx(0.42, abs=0.03)
+        assert allocation.share_for("DP5") == pytest.approx(0.58, abs=0.03)
+        assert allocation.active_time_s == pytest.approx(3600.0, rel=1e-6)
+
+    def test_reduces_to_dp1_above_saturation(self, table2_points):
+        """Above ~9.9 J the optimal policy is to run DP1 the whole hour."""
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=11.0, alpha=1.0)
+        allocation = ReapAllocator().solve(problem)
+        assert allocation.time_for("DP1") == pytest.approx(3600.0, rel=1e-6)
+        assert allocation.expected_accuracy == pytest.approx(0.94, rel=1e-6)
+
+    def test_uses_cheapest_point_when_starved(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=1.0, alpha=1.0)
+        allocation = ReapAllocator().solve(problem)
+        active = {k: v for k, v in allocation.as_dict().items() if v > 1.0}
+        assert set(active) == {"DP5"}
+        assert allocation.energy_j == pytest.approx(1.0, rel=1e-6)
+
+    def test_budget_below_floor_clipped_to_off(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=0.05)
+        allocation = ReapAllocator().solve(problem)
+        assert allocation.active_time_s == 0.0
+        assert not allocation.budget_feasible
+
+    def test_budget_below_floor_raises_when_not_clipping(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=0.05)
+        allocator = ReapAllocator(AllocatorConfig(clip_infeasible=False))
+        with pytest.raises(BudgetTooSmallError):
+            allocator.solve(problem)
+
+    def test_solve_with_budget_helper(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=5.0)
+        allocator = ReapAllocator()
+        allocation = allocator.solve_with_budget(problem, 9.0)
+        assert allocation.budget_j == pytest.approx(9.0)
+
+    def test_iteration_count_recorded(self, table2_points):
+        allocator = ReapAllocator()
+        allocator.solve(ReapProblem(tuple(table2_points), energy_budget_j=5.0))
+        assert allocator.last_iterations >= 1
+
+    def test_high_alpha_prefers_accurate_points(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=5.0, alpha=8.0)
+        allocation = ReapAllocator().solve(problem)
+        # With heavy accuracy weighting DP5 should not be used.
+        assert allocation.time_for("DP5") == pytest.approx(0.0, abs=1.0)
+
+    def test_alpha_zero_maximises_active_time(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=5.0, alpha=0.0)
+        allocation = ReapAllocator().solve(problem)
+        assert allocation.active_time_s == pytest.approx(3600.0, rel=1e-6)
+
+
+class TestFormulationEquivalence:
+    @pytest.mark.parametrize("alpha", [0.5, 1.0, 2.0, 4.0])
+    @pytest.mark.parametrize("budget", [0.5, 2.0, 5.0, 8.0, 12.0])
+    def test_reduced_full_and_analytic_agree(self, table2_points, budget, alpha):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=budget, alpha=alpha)
+        reduced = ReapAllocator(AllocatorConfig(formulation="reduced")).solve(problem)
+        full = ReapAllocator(AllocatorConfig(formulation="full")).solve(problem)
+        analytic = ReapAllocator(AllocatorConfig(formulation="analytic")).solve(problem)
+        assert reduced.objective == pytest.approx(analytic.objective, rel=1e-7, abs=1e-9)
+        assert full.objective == pytest.approx(analytic.objective, rel=1e-7, abs=1e-9)
+
+    def test_bland_pivot_rule_reaches_same_objective(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=6.5, alpha=2.0)
+        dantzig = ReapAllocator(AllocatorConfig(pivot_rule=PivotRule.DANTZIG)).solve(problem)
+        bland = ReapAllocator(AllocatorConfig(pivot_rule=PivotRule.BLAND)).solve(problem)
+        assert dantzig.objective == pytest.approx(bland.objective, rel=1e-9)
+
+    def test_cross_check_mode_passes_on_valid_solver(self, table2_points):
+        allocator = ReapAllocator(AllocatorConfig(cross_check=True))
+        allocation = allocator.solve(
+            ReapProblem(tuple(table2_points), energy_budget_j=6.0)
+        )
+        allocation.check(6.0)
+
+
+class TestAllocationInvariants:
+    @pytest.mark.parametrize("budget", np.linspace(0.2, 12.0, 13))
+    def test_constraints_respected_across_budgets(self, table2_points, budget):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=float(budget))
+        allocation = ReapAllocator().solve(problem)
+        assert allocation.total_time_s == pytest.approx(3600.0, rel=1e-6)
+        assert allocation.energy_j <= budget + 1e-6
+        assert all(t >= -1e-9 for t in allocation.times_s)
+
+    def test_objective_monotone_in_budget(self, table2_points):
+        allocator = ReapAllocator()
+        budgets = np.linspace(0.2, 11.0, 40)
+        objectives = [
+            allocator.solve(
+                ReapProblem(tuple(table2_points), energy_budget_j=float(b))
+            ).objective
+            for b in budgets
+        ]
+        assert all(b2 >= b1 - 1e-9 for b1, b2 in zip(objectives, objectives[1:]))
+
+    def test_reap_never_worse_than_any_static(self, table2_points):
+        from repro.core.problem import static_allocation
+
+        allocator = ReapAllocator()
+        for budget in np.linspace(0.2, 12.0, 25):
+            problem = ReapProblem(tuple(table2_points), energy_budget_j=float(budget))
+            reap = allocator.solve(problem)
+            for dp in table2_points:
+                static = static_allocation(problem, dp.name)
+                assert reap.objective >= static.objective - 1e-9
+
+
+class TestAnalyticSolver:
+    def test_vertex_enumeration_contains_all_off(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=5.0)
+        vertices = enumerate_vertices(problem)
+        assert any(all(t == 0.0 for t in vertex) for vertex in vertices)
+
+    def test_vertices_are_feasible(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=5.0)
+        for vertex in enumerate_vertices(problem):
+            total = sum(vertex)
+            assert total <= problem.period_s * (1 + 1e-9)
+            energy = sum(
+                dp.power_w * t for dp, t in zip(problem.design_points, vertex)
+            ) + problem.off_power_w * (problem.period_s - total)
+            assert energy <= problem.energy_budget_j * (1 + 1e-6) + 1e-9
+
+    def test_infeasible_budget_returns_all_off(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=0.01)
+        allocation = solve_analytic(problem)
+        assert allocation.active_time_s == 0.0
+        assert not allocation.budget_feasible
+
+    def test_two_identical_power_points_handled(self):
+        from repro.core.design_point import DesignPoint
+
+        points = (
+            DesignPoint(name="A", accuracy=0.9, power_w=2e-3),
+            DesignPoint(name="B", accuracy=0.8, power_w=2e-3),
+        )
+        problem = ReapProblem(points, energy_budget_j=4.0)
+        allocation = solve_analytic(problem)
+        # The more accurate of the two equal-power points should be used.
+        assert allocation.time_for("A") > 0
+        assert allocation.time_for("B") == pytest.approx(0.0)

@@ -1,0 +1,113 @@
+"""Tests for the runtime controllers (REAP and static baselines)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.controller import ReapController, StaticController
+from repro.core.schedule import AllocationSeries
+
+
+class TestReapController:
+    def test_allocate_records_decision(self, table2_points):
+        controller = ReapController(table2_points, alpha=1.0)
+        allocation = controller.allocate(5.0)
+        assert len(controller.decisions) == 1
+        decision = controller.decisions[0]
+        assert decision.energy_budget_j == pytest.approx(5.0)
+        assert decision.alpha == pytest.approx(1.0)
+        assert decision.allocation is allocation
+
+    def test_run_returns_series_with_budgets(self, table2_points):
+        controller = ReapController(table2_points)
+        budgets = [1.0, 5.0, 11.0]
+        series = controller.run(budgets)
+        assert isinstance(series, AllocationSeries)
+        assert len(series) == 3
+        assert series.budgets_j == budgets
+
+    def test_run_with_labels(self, table2_points):
+        controller = ReapController(table2_points)
+        series = controller.run([2.0, 4.0], labels=["h0", "h1"])
+        assert series.labels == ["h0", "h1"]
+
+    def test_run_label_length_mismatch(self, table2_points):
+        controller = ReapController(table2_points)
+        with pytest.raises(ValueError):
+            controller.run([2.0, 4.0], labels=["only-one"])
+
+    def test_set_alpha_changes_subsequent_decisions(self, table2_points):
+        controller = ReapController(table2_points, alpha=1.0)
+        balanced = controller.allocate(5.0)
+        controller.set_alpha(8.0)
+        accurate = controller.allocate(5.0)
+        assert controller.decisions[0].alpha == pytest.approx(1.0)
+        assert controller.decisions[1].alpha == pytest.approx(8.0)
+        # Heavier accuracy weighting shifts time away from DP5.
+        assert accurate.time_for("DP5") < balanced.time_for("DP5")
+
+    def test_invalid_alpha_rejected(self, table2_points):
+        controller = ReapController(table2_points)
+        with pytest.raises(ValueError):
+            controller.set_alpha(-2.0)
+        with pytest.raises(ValueError):
+            ReapController(table2_points, alpha=float("inf"))
+
+    def test_reset_clears_history(self, table2_points):
+        controller = ReapController(table2_points)
+        controller.allocate(5.0)
+        controller.reset()
+        assert controller.decisions == []
+
+    def test_invalid_period_rejected(self, table2_points):
+        with pytest.raises(ValueError):
+            ReapController(table2_points, period_s=0.0)
+
+    def test_objective_never_below_static(self, table2_points):
+        budgets = [0.5, 2.0, 5.0, 9.0]
+        reap_series = ReapController(table2_points).run(budgets)
+        dp3_series = StaticController(table2_points, "DP3").run(budgets)
+        for reap_alloc, static_alloc in zip(reap_series, dp3_series):
+            assert reap_alloc.objective >= static_alloc.objective - 1e-9
+
+
+class TestStaticController:
+    def test_unknown_design_point_rejected(self, table2_points):
+        with pytest.raises(KeyError):
+            StaticController(table2_points, "DP42")
+
+    def test_allocation_uses_only_chosen_point(self, table2_points):
+        controller = StaticController(table2_points, "DP2")
+        allocation = controller.allocate(5.0)
+        used = {name for name, t in allocation.as_dict().items() if t > 0}
+        assert used == {"DP2"}
+
+    def test_run_matches_repeated_allocate(self, table2_points):
+        budgets = [3.0, 6.0]
+        controller = StaticController(table2_points, "DP4")
+        series = controller.run(budgets)
+        fresh = StaticController(table2_points, "DP4")
+        singles = [fresh.allocate(b) for b in budgets]
+        for from_series, single in zip(series, singles):
+            assert from_series.active_time_s == pytest.approx(single.active_time_s)
+
+    def test_set_alpha_affects_reported_objective_only(self, table2_points):
+        controller = StaticController(table2_points, "DP1")
+        first = controller.allocate(5.0)
+        controller.set_alpha(2.0)
+        second = controller.allocate(5.0)
+        # The schedule is unchanged (same active time) ...
+        assert second.active_time_s == pytest.approx(first.active_time_s)
+        # ... but the stored alpha (and hence .objective) differs.
+        assert second.alpha == pytest.approx(2.0)
+
+    def test_reset_clears_history(self, table2_points):
+        controller = StaticController(table2_points, "DP1")
+        controller.allocate(1.0)
+        controller.reset()
+        assert controller.decisions == []
+
+    def test_label_length_mismatch(self, table2_points):
+        controller = StaticController(table2_points, "DP1")
+        with pytest.raises(ValueError):
+            controller.run([1.0], labels=["a", "b"])

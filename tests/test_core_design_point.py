@@ -1,0 +1,183 @@
+"""Tests for the design-point abstraction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.design_point import (
+    DesignPoint,
+    EnergyBreakdown,
+    ExecutionBreakdown,
+    sort_by_accuracy,
+    sort_by_power,
+    validate_design_points,
+)
+
+
+class TestExecutionBreakdown:
+    def test_total_is_sum_of_components(self):
+        breakdown = ExecutionBreakdown(0.83, 3.83, 1.05)
+        assert breakdown.total_ms == pytest.approx(5.71)
+
+    def test_scaled_multiplies_every_component(self):
+        breakdown = ExecutionBreakdown(1.0, 2.0, 3.0).scaled(0.5)
+        assert breakdown.accel_features_ms == pytest.approx(0.5)
+        assert breakdown.stretch_features_ms == pytest.approx(1.0)
+        assert breakdown.classifier_ms == pytest.approx(1.5)
+
+    def test_scaled_rejects_negative_factor(self):
+        with pytest.raises(ValueError):
+            ExecutionBreakdown(1.0, 1.0, 1.0).scaled(-1.0)
+
+
+class TestEnergyBreakdown:
+    def test_total_includes_communication(self):
+        breakdown = EnergyBreakdown(mcu_mj=2.0, sensor_mj=1.5, communication_mj=0.4)
+        assert breakdown.total_mj == pytest.approx(3.9)
+
+    def test_as_dict_contains_total(self):
+        breakdown = EnergyBreakdown(mcu_mj=1.0, sensor_mj=1.0)
+        data = breakdown.as_dict()
+        assert data["total_mj"] == pytest.approx(2.0)
+        assert data["communication_mj"] == pytest.approx(0.0)
+
+
+class TestDesignPointValidation:
+    def test_accuracy_must_be_fraction(self):
+        with pytest.raises(ValueError, match="accuracy"):
+            DesignPoint(name="bad", accuracy=94.0, power_w=1e-3)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError, match="power"):
+            DesignPoint(name="bad", accuracy=0.9, power_w=-1.0)
+
+    def test_non_finite_power_rejected(self):
+        with pytest.raises(ValueError):
+            DesignPoint(name="bad", accuracy=0.9, power_w=math.inf)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            DesignPoint(name="", accuracy=0.9, power_w=1e-3)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            DesignPoint(name="bad", accuracy=0.9, power_w=1e-3, energy_per_activity_j=-1.0)
+
+    def test_zero_accuracy_allowed(self):
+        dp = DesignPoint(name="zero", accuracy=0.0, power_w=1e-3)
+        assert dp.accuracy == 0.0
+
+
+class TestDesignPointDerivedQuantities:
+    def test_power_mw_conversion(self):
+        dp = DesignPoint(name="x", accuracy=0.9, power_w=2.76e-3)
+        assert dp.power_mw == pytest.approx(2.76)
+
+    def test_energy_per_activity_prefers_measured_value(self):
+        dp = DesignPoint(
+            name="x", accuracy=0.9, power_w=2.76e-3,
+            energy_per_activity_j=4.48e-3, activity_period_s=1.6,
+        )
+        assert dp.energy_per_activity_mj == pytest.approx(4.48)
+
+    def test_energy_per_activity_falls_back_to_power(self):
+        dp = DesignPoint(name="x", accuracy=0.9, power_w=2.0e-3, activity_period_s=1.6)
+        assert dp.energy_per_activity == pytest.approx(3.2e-3)
+
+    def test_energy_over_duration(self):
+        dp = DesignPoint(name="x", accuracy=0.9, power_w=2.0e-3)
+        assert dp.energy_over(3600.0) == pytest.approx(7.2)
+
+    def test_energy_over_negative_duration_rejected(self):
+        dp = DesignPoint(name="x", accuracy=0.9, power_w=2.0e-3)
+        with pytest.raises(ValueError):
+            dp.energy_over(-1.0)
+
+    def test_weighted_accuracy_alpha_one_is_accuracy(self):
+        dp = DesignPoint(name="x", accuracy=0.9, power_w=1e-3)
+        assert dp.weighted_accuracy(1.0) == pytest.approx(0.9)
+
+    def test_weighted_accuracy_alpha_zero_is_one(self):
+        dp = DesignPoint(name="x", accuracy=0.9, power_w=1e-3)
+        assert dp.weighted_accuracy(0.0) == pytest.approx(1.0)
+
+    def test_weighted_accuracy_zero_accuracy_alpha_zero(self):
+        dp = DesignPoint(name="x", accuracy=0.0, power_w=1e-3)
+        assert dp.weighted_accuracy(0.0) == pytest.approx(1.0)
+
+    def test_weighted_accuracy_large_alpha_shrinks(self):
+        dp = DesignPoint(name="x", accuracy=0.9, power_w=1e-3)
+        assert dp.weighted_accuracy(8.0) == pytest.approx(0.9 ** 8)
+
+    def test_accuracy_percent(self):
+        dp = DesignPoint(name="x", accuracy=0.94, power_w=1e-3)
+        assert dp.accuracy_percent == pytest.approx(94.0)
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        better = DesignPoint(name="a", accuracy=0.9, power_w=1e-3)
+        worse = DesignPoint(name="b", accuracy=0.8, power_w=2e-3)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_equal_points_do_not_dominate(self):
+        a = DesignPoint(name="a", accuracy=0.9, power_w=1e-3)
+        b = DesignPoint(name="b", accuracy=0.9, power_w=1e-3)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_tradeoff_points_do_not_dominate_each_other(self):
+        accurate = DesignPoint(name="a", accuracy=0.95, power_w=3e-3)
+        frugal = DesignPoint(name="b", accuracy=0.7, power_w=1e-3)
+        assert not accurate.dominates(frugal)
+        assert not frugal.dominates(accurate)
+
+    def test_dominates_with_equal_power_higher_accuracy(self):
+        a = DesignPoint(name="a", accuracy=0.95, power_w=1e-3)
+        b = DesignPoint(name="b", accuracy=0.9, power_w=1e-3)
+        assert a.dominates(b)
+
+
+class TestHelpers:
+    def test_with_name_preserves_values(self):
+        dp = DesignPoint(name="orig", accuracy=0.9, power_w=1e-3, description="d")
+        renamed = dp.with_name("new")
+        assert renamed.name == "new"
+        assert renamed.accuracy == dp.accuracy
+        assert renamed.power_w == dp.power_w
+        assert renamed.description == dp.description
+
+    def test_summary_contains_core_fields(self):
+        dp = DesignPoint(name="x", accuracy=0.94, power_w=2.76e-3,
+                         energy_per_activity_j=4.48e-3)
+        summary = dp.summary()
+        assert summary["accuracy_percent"] == pytest.approx(94.0)
+        assert summary["power_mw"] == pytest.approx(2.76)
+        assert summary["energy_per_activity_mj"] == pytest.approx(4.48)
+
+    def test_validate_rejects_empty_collection(self):
+        with pytest.raises(ValueError):
+            validate_design_points([])
+
+    def test_validate_rejects_duplicate_names(self):
+        points = [
+            DesignPoint(name="dup", accuracy=0.9, power_w=1e-3),
+            DesignPoint(name="dup", accuracy=0.8, power_w=2e-3),
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_design_points(points)
+
+    def test_sort_by_power_descending(self, table2_points):
+        ordered = sort_by_power(table2_points)
+        powers = [dp.power_w for dp in ordered]
+        assert powers == sorted(powers, reverse=True)
+        assert ordered[0].name == "DP1"
+
+    def test_sort_by_accuracy_descending(self, table2_points):
+        ordered = sort_by_accuracy(table2_points)
+        accuracies = [dp.accuracy for dp in ordered]
+        assert accuracies == sorted(accuracies, reverse=True)
+        assert ordered[-1].name == "DP5"

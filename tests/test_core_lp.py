@@ -1,0 +1,127 @@
+"""Tests for the linear-program containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lp import (
+    InfeasibleProblemError,
+    LPSolution,
+    LPStatus,
+    LinearProgram,
+    UnboundedProblemError,
+)
+
+
+class TestLinearProgramConstruction:
+    def test_basic_shapes(self):
+        lp = LinearProgram(
+            objective=[1.0, 2.0],
+            a_ub=[[1.0, 1.0]],
+            b_ub=[10.0],
+        )
+        assert lp.num_variables == 2
+        assert lp.num_inequalities == 1
+        assert lp.num_equalities == 0
+        assert lp.num_constraints == 1
+
+    def test_default_variable_names(self):
+        lp = LinearProgram(objective=[1.0, 1.0, 1.0])
+        assert lp.variable_names == ["x0", "x1", "x2"]
+
+    def test_custom_variable_names_length_checked(self):
+        with pytest.raises(ValueError, match="variable names"):
+            LinearProgram(objective=[1.0, 1.0], variable_names=["only_one"])
+
+    def test_empty_objective_rejected(self):
+        with pytest.raises(ValueError):
+            LinearProgram(objective=[])
+
+    def test_mismatched_b_ub_rejected(self):
+        with pytest.raises(ValueError):
+            LinearProgram(objective=[1.0], a_ub=[[1.0]], b_ub=[1.0, 2.0])
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            LinearProgram(objective=[1.0, 2.0], a_ub=[[1.0]], b_ub=[1.0])
+
+    def test_non_finite_values_rejected(self):
+        with pytest.raises(ValueError):
+            LinearProgram(objective=[np.inf, 1.0])
+
+    def test_one_dimensional_constraint_reshaped(self):
+        lp = LinearProgram(objective=[1.0, 1.0], a_ub=[2.0, 3.0], b_ub=[6.0])
+        assert lp.a_ub.shape == (1, 2)
+
+
+class TestLinearProgramEvaluation:
+    @pytest.fixture
+    def lp(self):
+        return LinearProgram(
+            objective=[3.0, 2.0],
+            a_ub=[[1.0, 1.0], [2.0, 1.0]],
+            b_ub=[4.0, 5.0],
+        )
+
+    def test_objective_value(self, lp):
+        assert lp.objective_value([1.0, 1.0]) == pytest.approx(5.0)
+
+    def test_objective_value_wrong_length(self, lp):
+        with pytest.raises(ValueError):
+            lp.objective_value([1.0])
+
+    def test_feasibility_interior_point(self, lp):
+        assert lp.is_feasible([1.0, 1.0])
+
+    def test_feasibility_violated_inequality(self, lp):
+        assert not lp.is_feasible([5.0, 5.0])
+
+    def test_feasibility_negative_variable(self, lp):
+        assert not lp.is_feasible([-0.5, 1.0])
+
+    def test_feasibility_wrong_dimension(self, lp):
+        assert not lp.is_feasible([1.0])
+
+    def test_constraint_violation_zero_when_feasible(self, lp):
+        assert lp.constraint_violation([1.0, 1.0]) == pytest.approx(0.0)
+
+    def test_constraint_violation_positive_when_infeasible(self, lp):
+        assert lp.constraint_violation([10.0, 10.0]) > 0
+
+    def test_equality_feasibility(self):
+        lp = LinearProgram(
+            objective=[1.0, 1.0],
+            a_eq=[[1.0, 1.0]],
+            b_eq=[2.0],
+        )
+        assert lp.is_feasible([1.0, 1.0])
+        assert not lp.is_feasible([1.0, 0.5])
+
+
+class TestLPSolution:
+    def test_ok_property(self):
+        solution = LPSolution(LPStatus.OPTIMAL, np.array([1.0]), 1.0, 3)
+        assert solution.ok
+        assert solution.raise_for_status() is solution
+
+    def test_infeasible_raises(self):
+        solution = LPSolution(LPStatus.INFEASIBLE, np.zeros(1), float("nan"), 3)
+        assert not solution.ok
+        with pytest.raises(InfeasibleProblemError):
+            solution.raise_for_status()
+
+    def test_unbounded_raises(self):
+        solution = LPSolution(LPStatus.UNBOUNDED, np.zeros(1), float("inf"), 3)
+        with pytest.raises(UnboundedProblemError):
+            solution.raise_for_status()
+
+    def test_value_accessor(self):
+        solution = LPSolution(LPStatus.OPTIMAL, np.array([1.5, 2.5]), 4.0, 1)
+        assert solution.value(1) == pytest.approx(2.5)
+
+    def test_status_ok_flag(self):
+        assert LPStatus.OPTIMAL.ok
+        assert not LPStatus.INFEASIBLE.ok
+        assert not LPStatus.UNBOUNDED.ok
+        assert not LPStatus.ITERATION_LIMIT.ok

@@ -1,0 +1,221 @@
+"""Tests for the objective function and the allocation/schedule containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.design_point import DesignPoint
+from repro.core.objective import (
+    accuracy_weights,
+    active_time_fraction,
+    expected_accuracy,
+    objective_value,
+    validate_alpha,
+)
+from repro.core.schedule import AllocationSeries, TimeAllocation
+
+
+class TestObjective:
+    def test_alpha_validation(self):
+        assert validate_alpha(2) == 2.0
+        with pytest.raises(ValueError):
+            validate_alpha(-0.1)
+        with pytest.raises(ValueError):
+            validate_alpha(float("nan"))
+
+    def test_accuracy_weights_alpha_one(self, simple_points):
+        weights = accuracy_weights(simple_points, 1.0)
+        assert weights == pytest.approx([0.9, 0.8, 0.6])
+
+    def test_accuracy_weights_alpha_zero(self, simple_points):
+        weights = accuracy_weights(simple_points, 0.0)
+        assert weights == pytest.approx([1.0, 1.0, 1.0])
+
+    def test_objective_value_manual(self, simple_points):
+        # J = (0.9*1800 + 0.8*900 + 0.6*0) / 3600
+        value = objective_value([1800.0, 900.0, 0.0], simple_points, 1.0, 3600.0)
+        assert value == pytest.approx((0.9 * 1800 + 0.8 * 900) / 3600)
+
+    def test_objective_alpha_zero_is_active_fraction(self, simple_points):
+        times = [1000.0, 500.0, 200.0]
+        value = objective_value(times, simple_points, 0.0, 3600.0)
+        assert value == pytest.approx(active_time_fraction(times, 3600.0))
+
+    def test_expected_accuracy_equals_alpha_one(self, simple_points):
+        times = [1200.0, 600.0, 300.0]
+        assert expected_accuracy(times, simple_points, 3600.0) == pytest.approx(
+            objective_value(times, simple_points, 1.0, 3600.0)
+        )
+
+    def test_wrong_length_rejected(self, simple_points):
+        with pytest.raises(ValueError):
+            objective_value([1.0], simple_points, 1.0, 3600.0)
+
+    def test_non_positive_period_rejected(self, simple_points):
+        with pytest.raises(ValueError):
+            objective_value([1.0, 1.0, 1.0], simple_points, 1.0, 0.0)
+
+    def test_objective_increases_with_alpha_below_one_accuracy(self, simple_points):
+        # For accuracies < 1, a^alpha decreases as alpha grows.
+        times = [1200.0, 1200.0, 1200.0]
+        low = objective_value(times, simple_points, 0.5, 3600.0)
+        high = objective_value(times, simple_points, 2.0, 3600.0)
+        assert low > high
+
+
+class TestTimeAllocation:
+    @pytest.fixture
+    def allocation(self, simple_points):
+        return TimeAllocation(
+            design_points=tuple(simple_points),
+            times_s=(1800.0, 900.0, 0.0),
+            off_time_s=900.0,
+            period_s=3600.0,
+            alpha=1.0,
+            off_power_w=5e-5,
+            budget_j=10.0,
+        )
+
+    def test_active_time(self, allocation):
+        assert allocation.active_time_s == pytest.approx(2700.0)
+        assert allocation.active_fraction == pytest.approx(0.75)
+        assert allocation.total_time_s == pytest.approx(3600.0)
+
+    def test_expected_accuracy(self, allocation):
+        expected = (0.9 * 1800 + 0.8 * 900) / 3600
+        assert allocation.expected_accuracy == pytest.approx(expected)
+
+    def test_objective_at_various_alpha(self, allocation):
+        assert allocation.objective == pytest.approx(allocation.objective_at(1.0))
+        assert allocation.objective_at(0.0) == pytest.approx(0.75)
+
+    def test_energy_accounting(self, allocation):
+        active = 3.0e-3 * 1800 + 2.0e-3 * 900
+        off = 5e-5 * 900
+        assert allocation.active_energy_j == pytest.approx(active)
+        assert allocation.off_energy_j == pytest.approx(off)
+        assert allocation.energy_j == pytest.approx(active + off)
+
+    def test_energy_by_design_point(self, allocation):
+        breakdown = allocation.energy_by_design_point()
+        assert breakdown["HI"] == pytest.approx(3.0e-3 * 1800)
+        assert breakdown["LO"] == pytest.approx(0.0)
+        assert "off" in breakdown
+
+    def test_time_and_share_lookup(self, allocation):
+        assert allocation.time_for("MID") == pytest.approx(900.0)
+        assert allocation.share_for("HI") == pytest.approx(1800 / 2700)
+        with pytest.raises(KeyError):
+            allocation.time_for("nope")
+
+    def test_activities_processed(self, allocation):
+        # activity window defaults to 1.6 s for the simple points
+        assert allocation.activities_processed() == pytest.approx(2700 / 1.6)
+
+    def test_check_passes_for_consistent_allocation(self, allocation):
+        allocation.check()
+
+    def test_check_detects_time_violation(self, simple_points):
+        allocation = TimeAllocation(
+            design_points=tuple(simple_points),
+            times_s=(1800.0, 900.0, 0.0),
+            off_time_s=0.0,
+            period_s=3600.0,
+        )
+        with pytest.raises(ValueError, match="time constraint"):
+            allocation.check()
+
+    def test_check_detects_energy_violation(self, allocation):
+        with pytest.raises(ValueError, match="energy"):
+            allocation.check(budget_j=1.0)
+
+    def test_all_off_constructor(self, simple_points):
+        allocation = TimeAllocation.all_off(simple_points, period_s=3600.0)
+        assert allocation.active_time_s == 0.0
+        assert allocation.off_time_s == pytest.approx(3600.0)
+        assert allocation.expected_accuracy == 0.0
+
+    def test_single_point_constructor(self, simple_points):
+        allocation = TimeAllocation.single_point(
+            simple_points, "LO", active_time_s=1200.0, period_s=3600.0
+        )
+        assert allocation.time_for("LO") == pytest.approx(1200.0)
+        assert allocation.time_for("HI") == 0.0
+        assert allocation.off_time_s == pytest.approx(2400.0)
+
+    def test_single_point_unknown_name(self, simple_points):
+        with pytest.raises(KeyError):
+            TimeAllocation.single_point(simple_points, "nope", 100.0, 3600.0)
+
+    def test_single_point_time_bounds(self, simple_points):
+        with pytest.raises(ValueError):
+            TimeAllocation.single_point(simple_points, "LO", 5000.0, 3600.0)
+
+    def test_negative_time_rejected(self, simple_points):
+        with pytest.raises(ValueError):
+            TimeAllocation(
+                design_points=tuple(simple_points),
+                times_s=(-1.0, 0.0, 0.0),
+                off_time_s=3601.0,
+                period_s=3600.0,
+            )
+
+    def test_mismatched_lengths_rejected(self, simple_points):
+        with pytest.raises(ValueError):
+            TimeAllocation(
+                design_points=tuple(simple_points),
+                times_s=(1.0, 2.0),
+                off_time_s=3597.0,
+                period_s=3600.0,
+            )
+
+    def test_scaled_preserves_duty_cycle_and_objective(self, allocation):
+        scaled = allocation.scaled(0.5)
+        assert scaled.period_s == pytest.approx(1800.0)
+        assert scaled.active_fraction == pytest.approx(allocation.active_fraction)
+        assert scaled.objective == pytest.approx(allocation.objective)
+
+    def test_scaled_rejects_non_positive(self, allocation):
+        with pytest.raises(ValueError):
+            allocation.scaled(0.0)
+
+
+class TestAllocationSeries:
+    def test_aggregates(self, simple_points):
+        series = AllocationSeries()
+        for active in (1200.0, 2400.0):
+            allocation = TimeAllocation.single_point(
+                simple_points, "MID", active, period_s=3600.0
+            )
+            series.append(allocation, budget_j=5.0, label=f"h{active}")
+        assert len(series) == 2
+        assert series.total_active_time_s == pytest.approx(3600.0)
+        assert series.mean_expected_accuracy == pytest.approx(
+            np.mean([a.expected_accuracy for a in series])
+        )
+        assert series.total_energy_j == pytest.approx(sum(a.energy_j for a in series))
+
+    def test_objective_values_with_alpha_override(self, simple_points):
+        series = AllocationSeries()
+        series.append(
+            TimeAllocation.single_point(simple_points, "HI", 3600.0, 3600.0, alpha=1.0)
+        )
+        values_alpha2 = series.objective_values(alpha=2.0)
+        assert values_alpha2[0] == pytest.approx(0.9 ** 2)
+        assert series.mean_objective(alpha=2.0) == pytest.approx(0.9 ** 2)
+
+    def test_time_share_by_design_point(self, simple_points):
+        series = AllocationSeries()
+        series.append(TimeAllocation.single_point(simple_points, "HI", 1800.0, 3600.0))
+        series.append(TimeAllocation.single_point(simple_points, "LO", 1800.0, 3600.0))
+        shares = series.time_share_by_design_point()
+        assert shares["HI"] == pytest.approx(0.5)
+        assert shares["LO"] == pytest.approx(0.5)
+        assert shares["MID"] == pytest.approx(0.0)
+
+    def test_empty_series_metrics(self):
+        series = AllocationSeries()
+        assert series.mean_expected_accuracy == 0.0
+        assert series.mean_objective() == 0.0
+        assert series.total_active_time_s == 0.0

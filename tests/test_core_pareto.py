@@ -1,0 +1,127 @@
+"""Tests for the Pareto-front utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design_point import DesignPoint
+from repro.core.pareto import (
+    dominated_points,
+    hypervolume_2d,
+    is_dominated,
+    pareto_front,
+    pareto_staircase,
+    select_pareto_subset,
+)
+
+
+def _dp(name, accuracy, power_mw):
+    return DesignPoint(name=name, accuracy=accuracy, power_w=power_mw * 1e-3)
+
+
+@pytest.fixture
+def mixed_points():
+    """Three Pareto points and two dominated ones."""
+    return [
+        _dp("A", 0.95, 3.0),
+        _dp("B", 0.90, 2.0),
+        _dp("C", 0.70, 1.0),
+        _dp("D", 0.85, 2.5),   # dominated by B
+        _dp("E", 0.60, 1.5),   # dominated by C
+    ]
+
+
+class TestParetoFront:
+    def test_front_excludes_dominated(self, mixed_points):
+        front = pareto_front(mixed_points)
+        names = {dp.name for dp in front}
+        assert names == {"A", "B", "C"}
+
+    def test_front_sorted_by_decreasing_power(self, mixed_points):
+        front = pareto_front(mixed_points)
+        powers = [dp.power_w for dp in front]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_single_point_is_its_own_front(self):
+        only = _dp("solo", 0.8, 1.0)
+        assert pareto_front([only]) == [only]
+
+    def test_duplicate_operating_points_deduplicated(self):
+        a = _dp("A", 0.9, 2.0)
+        b = _dp("B", 0.9, 2.0)
+        front = pareto_front([a, b])
+        assert len(front) == 1
+
+    def test_table2_points_are_all_pareto_optimal(self, table2_points):
+        front = pareto_front(table2_points)
+        assert {dp.name for dp in front} == {"DP1", "DP2", "DP3", "DP4", "DP5"}
+
+    def test_dominated_points_partition(self, mixed_points):
+        dominated = dominated_points(mixed_points)
+        assert {dp.name for dp in dominated} == {"D", "E"}
+        front = pareto_front(mixed_points)
+        assert len(front) + len(dominated) == len(mixed_points)
+
+
+class TestIsDominated:
+    def test_point_not_dominated_by_itself(self, mixed_points):
+        a = mixed_points[0]
+        assert not is_dominated(a, [a])
+
+    def test_dominated_detection(self, mixed_points):
+        by_name = {dp.name: dp for dp in mixed_points}
+        assert is_dominated(by_name["D"], mixed_points)
+        assert not is_dominated(by_name["A"], mixed_points)
+
+
+class TestStaircase:
+    def test_staircase_sorted_by_energy(self, table2_points):
+        pairs = pareto_staircase(table2_points)
+        energies = [e for e, _ in pairs]
+        assert energies == sorted(energies)
+        assert len(pairs) == 5
+
+    def test_staircase_accuracy_monotone_with_energy(self, table2_points):
+        pairs = pareto_staircase(table2_points)
+        accuracies = [a for _, a in pairs]
+        assert accuracies == sorted(accuracies)
+
+
+class TestHypervolume:
+    def test_positive_for_non_trivial_front(self, mixed_points):
+        volume = hypervolume_2d(mixed_points, reference_power_w=4e-3)
+        assert volume > 0
+
+    def test_more_points_never_decrease_hypervolume(self):
+        base = [_dp("A", 0.9, 3.0), _dp("B", 0.6, 1.0)]
+        extended = base + [_dp("C", 0.8, 2.0)]
+        reference = 4e-3
+        assert hypervolume_2d(extended, reference) >= hypervolume_2d(base, reference)
+
+    def test_requires_positive_reference(self, mixed_points):
+        with pytest.raises(ValueError):
+            hypervolume_2d(mixed_points, reference_power_w=0.0)
+
+
+class TestSelectSubset:
+    def test_returns_whole_front_when_small(self, table2_points):
+        subset = select_pareto_subset(table2_points, 10)
+        assert len(subset) == 5
+
+    def test_respects_max_points(self, table2_points):
+        subset = select_pareto_subset(table2_points, 3)
+        assert len(subset) == 3
+
+    def test_keeps_extreme_points(self, table2_points):
+        subset = select_pareto_subset(table2_points, 2)
+        names = {dp.name for dp in subset}
+        assert names == {"DP1", "DP5"}
+
+    def test_rejects_zero_max_points(self, table2_points):
+        with pytest.raises(ValueError):
+            select_pareto_subset(table2_points, 0)
+
+    def test_subset_members_come_from_front(self, mixed_points):
+        subset = select_pareto_subset(mixed_points, 2)
+        front_names = {dp.name for dp in pareto_front(mixed_points)}
+        assert all(dp.name in front_names for dp in subset)

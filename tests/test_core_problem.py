@@ -1,0 +1,158 @@
+"""Tests for the REAP problem formulation (Equations 1-4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import BudgetTooSmallError, ReapProblem, static_allocation
+from repro.data.paper_constants import ACTIVITY_PERIOD_S, OFF_STATE_POWER_W
+
+
+class TestProblemConstruction:
+    def test_defaults_match_paper_constants(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=5.0)
+        assert problem.period_s == ACTIVITY_PERIOD_S
+        assert problem.off_power_w == OFF_STATE_POWER_W
+        assert problem.num_design_points == 5
+
+    def test_min_required_energy_is_off_floor(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=5.0)
+        assert problem.min_required_energy_j == pytest.approx(0.18)
+
+    def test_max_useful_energy_is_dp1_full_hour(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=5.0)
+        assert problem.max_useful_energy_j == pytest.approx(9.936)
+
+    def test_budget_feasibility_flag(self, table2_points):
+        assert ReapProblem(tuple(table2_points), energy_budget_j=0.2).is_budget_feasible
+        assert not ReapProblem(tuple(table2_points), energy_budget_j=0.1).is_budget_feasible
+
+    def test_negative_budget_rejected(self, table2_points):
+        with pytest.raises(ValueError):
+            ReapProblem(tuple(table2_points), energy_budget_j=-1.0)
+
+    def test_invalid_alpha_rejected(self, table2_points):
+        with pytest.raises(ValueError):
+            ReapProblem(tuple(table2_points), energy_budget_j=5.0, alpha=-1.0)
+
+    def test_with_budget_and_with_alpha(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=5.0, alpha=1.0)
+        assert problem.with_budget(7.0).energy_budget_j == pytest.approx(7.0)
+        assert problem.with_alpha(2.0).alpha == pytest.approx(2.0)
+        # originals untouched (frozen dataclass semantics)
+        assert problem.energy_budget_j == pytest.approx(5.0)
+        assert problem.alpha == pytest.approx(1.0)
+
+
+class TestLPLowering:
+    def test_reduced_lp_shapes(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=5.0)
+        lp = problem.to_reduced_lp()
+        assert lp.num_variables == 5
+        assert lp.num_inequalities == 2
+        assert lp.num_equalities == 0
+        assert lp.variable_names == ["DP1", "DP2", "DP3", "DP4", "DP5"]
+        assert np.all(lp.b_ub >= 0)
+
+    def test_reduced_lp_rhs_values(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=5.0)
+        lp = problem.to_reduced_lp()
+        assert lp.b_ub[0] == pytest.approx(3600.0)
+        assert lp.b_ub[1] == pytest.approx(5.0 - 0.18)
+
+    def test_reduced_lp_objective_scaled_by_period(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=5.0, alpha=1.0)
+        lp = problem.to_reduced_lp()
+        assert lp.objective[0] == pytest.approx(0.94 / 3600.0)
+
+    def test_reduced_lp_infeasible_budget_raises(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=0.05)
+        with pytest.raises(BudgetTooSmallError):
+            problem.to_reduced_lp()
+
+    def test_full_lp_shapes(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=5.0)
+        lp = problem.to_full_lp()
+        assert lp.num_variables == 6
+        assert lp.num_equalities == 1
+        assert lp.num_inequalities == 1
+        assert lp.variable_names[-1] == "t_off"
+
+    def test_full_lp_off_variable_has_zero_objective(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=5.0)
+        lp = problem.to_full_lp()
+        assert lp.objective[-1] == pytest.approx(0.0)
+
+    def test_full_lp_energy_row_includes_off_power(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=5.0)
+        lp = problem.to_full_lp()
+        assert lp.a_ub[0, -1] == pytest.approx(OFF_STATE_POWER_W)
+
+
+class TestAllocationPackaging:
+    def test_allocation_from_times_fills_off_time(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=5.0)
+        allocation = problem.allocation_from_times([0.0, 0.0, 0.0, 1000.0, 2000.0])
+        assert allocation.off_time_s == pytest.approx(600.0)
+        assert allocation.budget_j == pytest.approx(5.0)
+
+    def test_allocation_from_times_clips_negative_roundoff(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=5.0)
+        allocation = problem.allocation_from_times([-1e-12, 0.0, 0.0, 0.0, 3600.0])
+        assert allocation.times_s[0] == 0.0
+
+    def test_allocation_from_times_rescales_tiny_overshoot(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=20.0)
+        overshoot = 3600.0 * (1 + 1e-10)
+        allocation = problem.allocation_from_times([overshoot, 0.0, 0.0, 0.0, 0.0])
+        assert allocation.active_time_s <= 3600.0 + 1e-6
+
+    def test_allocation_from_times_rejects_large_overshoot(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=20.0)
+        with pytest.raises(ValueError):
+            problem.allocation_from_times([4000.0, 0.0, 0.0, 0.0, 0.0])
+
+    def test_allocation_from_times_wrong_length(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=5.0)
+        with pytest.raises(ValueError):
+            problem.allocation_from_times([1.0, 2.0])
+
+    def test_all_off_allocation(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=0.05)
+        allocation = problem.all_off_allocation()
+        assert allocation.active_time_s == 0.0
+        assert not allocation.budget_feasible
+
+
+class TestStaticAllocation:
+    def test_dp1_partial_activity_at_mid_budget(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=5.0)
+        allocation = static_allocation(problem, "DP1")
+        expected_active = (5.0 - 0.18) / (2.76e-3 - OFF_STATE_POWER_W)
+        assert allocation.time_for("DP1") == pytest.approx(expected_active, rel=1e-6)
+        assert allocation.energy_j == pytest.approx(5.0, rel=1e-6)
+
+    def test_dp5_fully_active_above_saturation(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=6.0)
+        allocation = static_allocation(problem, "DP5")
+        assert allocation.active_time_s == pytest.approx(3600.0)
+        assert allocation.energy_j <= 6.0 + 1e-9
+
+    def test_static_below_floor_stays_off(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=0.1)
+        allocation = static_allocation(problem, "DP1")
+        assert allocation.active_time_s == 0.0
+        assert not allocation.budget_feasible
+
+    def test_unknown_name_raises(self, table2_points):
+        problem = ReapProblem(tuple(table2_points), energy_budget_j=5.0)
+        with pytest.raises(KeyError):
+            static_allocation(problem, "DP9")
+
+    def test_static_allocation_never_exceeds_budget(self, table2_points):
+        for budget in np.linspace(0.2, 12.0, 25):
+            problem = ReapProblem(tuple(table2_points), energy_budget_j=float(budget))
+            for dp in table2_points:
+                allocation = static_allocation(problem, dp.name)
+                assert allocation.energy_j <= budget + 1e-9

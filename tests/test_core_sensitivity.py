@@ -1,0 +1,92 @@
+"""Tests for the LP sensitivity analysis (marginal value of energy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import ReapProblem
+from repro.core.sensitivity import (
+    energy_starvation_level,
+    marginal_value_of_energy,
+    value_curve,
+)
+
+
+@pytest.fixture
+def problem(table2_points):
+    return ReapProblem(tuple(table2_points), energy_budget_j=5.0, alpha=1.0)
+
+
+class TestMarginalValue:
+    def test_positive_in_constrained_region(self, problem):
+        assert marginal_value_of_energy(problem.with_budget(3.0)) > 0.0
+
+    def test_zero_beyond_saturation(self, problem):
+        assert marginal_value_of_energy(problem.with_budget(11.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_matches_known_slope_in_region1(self, problem):
+        """In Region 1 only DP5 runs, so dJ/dEb = a5 / (P5 - Poff) / TP."""
+        slope = marginal_value_of_energy(problem.with_budget(2.0))
+        dp5 = next(dp for dp in problem.design_points if dp.name == "DP5")
+        expected = dp5.accuracy / (dp5.power_w - problem.off_power_w) / problem.period_s
+        assert slope == pytest.approx(expected, rel=1e-3)
+
+    def test_decreasing_with_budget(self, problem):
+        """The value function is concave: the marginal value never increases."""
+        budgets = [1.0, 3.0, 5.0, 7.0, 9.0, 11.0]
+        slopes = [marginal_value_of_energy(problem.with_budget(b)) for b in budgets]
+        for earlier, later in zip(slopes, slopes[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_invalid_step_rejected(self, problem):
+        with pytest.raises(ValueError):
+            marginal_value_of_energy(problem, step_j=0.0)
+
+
+class TestValueCurve:
+    def test_curve_is_nondecreasing_and_concave(self, problem):
+        curve = value_curve(problem, num_points=60)
+        assert np.all(np.diff(curve.objective_values) >= -1e-9)
+        secants = np.diff(curve.objective_values) / np.diff(curve.budgets_j)
+        assert np.all(np.diff(secants) <= 1e-6)
+
+    def test_breakpoints_found_between_design_point_switches(self, problem):
+        curve = value_curve(problem, num_points=120)
+        # The Table 2 problem has several basis changes between the floor and
+        # saturation (DP5-only -> DP4/DP5 blend -> ... -> DP1-only).
+        assert len(curve.breakpoints_j) >= 2
+        assert all(0.18 < b < 10.5 for b in curve.breakpoints_j)
+
+    def test_saturation_budget_close_to_dp1_full_hour(self, problem):
+        curve = value_curve(problem, num_points=150)
+        assert curve.saturation_budget_j == pytest.approx(9.94, abs=0.3)
+
+    def test_interpolation_helpers(self, problem):
+        curve = value_curve(problem, num_points=60)
+        assert curve.value_at(5.0) == pytest.approx(0.82, abs=0.01)
+        assert curve.marginal_at(2.0) > curve.marginal_at(9.0)
+
+    def test_explicit_budget_grid(self, problem):
+        curve = value_curve(problem, budgets_j=[0.2, 2.0, 4.0, 6.0, 8.0, 10.0])
+        assert curve.budgets_j.shape == (6,)
+        with pytest.raises(ValueError):
+            value_curve(problem, budgets_j=[1.0, 2.0])
+
+    def test_num_points_validation(self, problem):
+        with pytest.raises(ValueError):
+            value_curve(problem, num_points=2)
+
+
+class TestStarvationLevel:
+    def test_off_below_floor(self, problem):
+        assert energy_starvation_level(problem.with_budget(0.05)) == "off"
+
+    def test_starved_below_cheapest_full_hour(self, problem):
+        assert energy_starvation_level(problem.with_budget(2.0)) == "starved"
+
+    def test_constrained_in_middle_region(self, problem):
+        assert energy_starvation_level(problem.with_budget(6.0)) == "constrained"
+
+    def test_saturated_beyond_dp1_budget(self, problem):
+        assert energy_starvation_level(problem.with_budget(12.0)) == "saturated"

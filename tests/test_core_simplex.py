@@ -1,0 +1,224 @@
+"""Tests for the from-scratch simplex solver (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lp import LinearProgram, LPStatus
+from repro.core.simplex import (
+    PivotRule,
+    SimplexSolver,
+    simplex_max_leq,
+    solve_lp,
+)
+
+
+class TestSimplexMaxLeq:
+    """The literal Algorithm 1 path: max c'x s.t. Ax <= b, x >= 0, b >= 0."""
+
+    def test_textbook_two_variable_problem(self):
+        # max 3x + 2y s.t. x + y <= 4, x + 3y <= 6
+        solution = simplex_max_leq(
+            a_ub=[[1.0, 1.0], [1.0, 3.0]],
+            b_ub=[4.0, 6.0],
+            objective=[3.0, 2.0],
+        )
+        assert solution.status is LPStatus.OPTIMAL
+        assert solution.objective_value == pytest.approx(12.0)
+        assert solution.x == pytest.approx([4.0, 0.0])
+
+    def test_problem_with_interior_blend_optimum(self):
+        # max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6 -> optimum at (3, 1.5)
+        solution = simplex_max_leq(
+            a_ub=[[6.0, 4.0], [1.0, 2.0]],
+            b_ub=[24.0, 6.0],
+            objective=[5.0, 4.0],
+        )
+        assert solution.objective_value == pytest.approx(21.0)
+        assert solution.x == pytest.approx([3.0, 1.5])
+
+    def test_zero_budget_gives_origin(self):
+        solution = simplex_max_leq(
+            a_ub=[[1.0, 1.0]], b_ub=[0.0], objective=[1.0, 2.0]
+        )
+        assert solution.objective_value == pytest.approx(0.0)
+        assert np.allclose(solution.x, 0.0)
+
+    def test_unbounded_detected(self):
+        # Constraint does not bound the second variable.
+        solution = simplex_max_leq(
+            a_ub=[[1.0, 0.0]], b_ub=[5.0], objective=[1.0, 1.0]
+        )
+        assert solution.status is LPStatus.UNBOUNDED
+
+    def test_negative_rhs_rejected(self):
+        with pytest.raises(ValueError, match="b >= 0"):
+            simplex_max_leq(a_ub=[[1.0]], b_ub=[-1.0], objective=[1.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            simplex_max_leq(a_ub=[[1.0, 1.0]], b_ub=[1.0, 2.0], objective=[1.0, 1.0])
+        with pytest.raises(ValueError):
+            simplex_max_leq(a_ub=[[1.0, 1.0]], b_ub=[1.0], objective=[1.0])
+
+    def test_bland_rule_matches_dantzig_objective(self):
+        a = [[2.0, 1.0, 1.0], [1.0, 3.0, 2.0], [2.0, 1.0, 2.0]]
+        b = [14.0, 20.0, 18.0]
+        c = [2.0, 4.0, 3.0]
+        dantzig = simplex_max_leq(a, b, c, pivot_rule=PivotRule.DANTZIG)
+        bland = simplex_max_leq(a, b, c, pivot_rule=PivotRule.BLAND)
+        assert dantzig.objective_value == pytest.approx(bland.objective_value)
+
+    def test_degenerate_problem_terminates(self):
+        # Classic degeneracy: redundant constraints through the same vertex.
+        solution = simplex_max_leq(
+            a_ub=[[1.0, 1.0], [1.0, 1.0], [1.0, 0.0]],
+            b_ub=[1.0, 1.0, 1.0],
+            objective=[1.0, 1.0],
+        )
+        assert solution.status is LPStatus.OPTIMAL
+        assert solution.objective_value == pytest.approx(1.0)
+
+    def test_solution_feasibility(self):
+        a = [[1.0, 2.0, 1.0], [3.0, 0.0, 2.0]]
+        b = [10.0, 15.0]
+        c = [2.0, 3.0, 4.0]
+        solution = simplex_max_leq(a, b, c)
+        slack = np.asarray(b) - np.asarray(a) @ solution.x
+        assert np.all(slack >= -1e-9)
+        assert np.all(solution.x >= -1e-9)
+
+
+class TestSimplexSolverGeneral:
+    """The two-phase solver handling equalities and negative RHS."""
+
+    def test_equality_constraint(self):
+        # max x + 2y s.t. x + y = 3, y <= 2 -> (1, 2) with value 5
+        lp = LinearProgram(
+            objective=[1.0, 2.0],
+            a_ub=[[0.0, 1.0]],
+            b_ub=[2.0],
+            a_eq=[[1.0, 1.0]],
+            b_eq=[3.0],
+        )
+        solution = SimplexSolver().solve(lp)
+        assert solution.status is LPStatus.OPTIMAL
+        assert solution.objective_value == pytest.approx(5.0)
+        assert solution.x == pytest.approx([1.0, 2.0])
+
+    def test_infeasible_equalities(self):
+        lp = LinearProgram(
+            objective=[1.0],
+            a_eq=[[1.0], [1.0]],
+            b_eq=[1.0, 2.0],
+        )
+        solution = SimplexSolver().solve(lp)
+        assert solution.status is LPStatus.INFEASIBLE
+
+    def test_infeasible_inequalities(self):
+        # x <= -1 with x >= 0 is infeasible (handled through the >= flip).
+        lp = LinearProgram(objective=[1.0], a_ub=[[1.0]], b_ub=[-1.0])
+        solution = SimplexSolver().solve(lp)
+        assert solution.status is LPStatus.INFEASIBLE
+
+    def test_negative_rhs_flipped_to_geq(self):
+        # -x <= -2  <=>  x >= 2; maximise -x so optimum at x = 2.
+        lp = LinearProgram(objective=[-1.0], a_ub=[[-1.0]], b_ub=[-2.0])
+        solution = SimplexSolver().solve(lp)
+        assert solution.status is LPStatus.OPTIMAL
+        assert solution.x[0] == pytest.approx(2.0)
+
+    def test_unbounded_general(self):
+        lp = LinearProgram(objective=[1.0, 0.0], a_ub=[[0.0, 1.0]], b_ub=[1.0])
+        solution = SimplexSolver().solve(lp)
+        assert solution.status is LPStatus.UNBOUNDED
+
+    def test_no_constraints_zero_objective(self):
+        lp = LinearProgram(objective=[0.0, 0.0])
+        solution = SimplexSolver().solve(lp)
+        assert solution.status is LPStatus.OPTIMAL
+        assert solution.objective_value == pytest.approx(0.0)
+
+    def test_no_constraints_positive_objective_unbounded(self):
+        lp = LinearProgram(objective=[1.0])
+        solution = SimplexSolver().solve(lp)
+        assert solution.status is LPStatus.UNBOUNDED
+
+    def test_redundant_equality_rows_handled(self):
+        lp = LinearProgram(
+            objective=[1.0, 1.0],
+            a_eq=[[1.0, 1.0], [2.0, 2.0]],
+            b_eq=[2.0, 4.0],
+        )
+        solution = SimplexSolver().solve(lp)
+        assert solution.status is LPStatus.OPTIMAL
+        assert solution.objective_value == pytest.approx(2.0)
+
+    def test_iteration_limit_status(self):
+        lp = LinearProgram(
+            objective=[3.0, 2.0],
+            a_ub=[[1.0, 1.0], [1.0, 3.0]],
+            b_ub=[4.0, 6.0],
+        )
+        solver = SimplexSolver(max_iterations=0)
+        solution = solver.solve(lp)
+        assert solution.status is LPStatus.ITERATION_LIMIT
+
+    def test_stats_recorded(self):
+        lp = LinearProgram(
+            objective=[1.0, 2.0],
+            a_eq=[[1.0, 1.0]],
+            b_eq=[3.0],
+        )
+        solver = SimplexSolver()
+        solver.solve(lp)
+        assert solver.last_stats is not None
+        assert solver.last_stats.total_iterations >= 1
+
+    def test_solve_lp_wrapper(self):
+        lp = LinearProgram(objective=[2.0], a_ub=[[1.0]], b_ub=[3.0])
+        solution = solve_lp(lp)
+        assert solution.objective_value == pytest.approx(6.0)
+
+
+class TestAgainstDenseEnumeration:
+    """Cross-check the solver against brute-force vertex enumeration."""
+
+    @staticmethod
+    def _brute_force_max(a, b, c):
+        """Enumerate all vertices of {x >= 0, Ax <= b} for small problems."""
+        from itertools import combinations
+
+        a = np.asarray(a, dtype=float)
+        b = np.asarray(b, dtype=float)
+        c = np.asarray(c, dtype=float)
+        n = c.size
+        rows = [(a[i], b[i]) for i in range(a.shape[0])]
+        rows += [(-np.eye(n)[i], 0.0) for i in range(n)]  # x_i >= 0 as -x_i <= 0
+        best = 0.0  # origin is always feasible here
+        for combo in combinations(range(len(rows)), n):
+            mat = np.array([rows[i][0] for i in combo])
+            rhs = np.array([rows[i][1] for i in combo])
+            try:
+                vertex = np.linalg.solve(mat, rhs)
+            except np.linalg.LinAlgError:
+                continue
+            if np.any(vertex < -1e-9):
+                continue
+            if np.any(a @ vertex > b + 1e-9):
+                continue
+            best = max(best, float(c @ vertex))
+        return best
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_small_problems(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = 3, 4
+        a = rng.uniform(0.1, 2.0, size=(m, n))
+        b = rng.uniform(1.0, 10.0, size=m)
+        c = rng.uniform(0.1, 3.0, size=n)
+        solution = simplex_max_leq(a, b, c)
+        assert solution.status is LPStatus.OPTIMAL
+        expected = self._brute_force_max(a, b, c)
+        assert solution.objective_value == pytest.approx(expected, rel=1e-7, abs=1e-9)

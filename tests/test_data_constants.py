@@ -1,0 +1,100 @@
+"""Tests for the published constants (Table 2 and paper scalars)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pareto import pareto_front
+from repro.data.paper_constants import (
+    ACTIVITY_PERIOD_S,
+    ACTIVITY_WINDOW_S,
+    DP1_FULL_HOUR_ENERGY_J,
+    MIN_OFF_ENERGY_J,
+    OFF_STATE_POWER_W,
+    PaperClaims,
+)
+from repro.data.table2 import (
+    TABLE2_DESIGN_POINTS,
+    TABLE2_ROWS,
+    table2_by_name,
+    table2_design_points,
+    table2_rows,
+)
+
+
+class TestPaperConstants:
+    def test_off_power_consistent_with_floor(self):
+        assert OFF_STATE_POWER_W * ACTIVITY_PERIOD_S == pytest.approx(MIN_OFF_ENERGY_J)
+
+    def test_activity_period_is_one_hour(self):
+        assert ACTIVITY_PERIOD_S == 3600.0
+
+    def test_dp1_full_hour_energy_close_to_power_times_period(self):
+        dp1 = table2_by_name()["DP1"]
+        implied = dp1.power_mw * 1e-3 * ACTIVITY_PERIOD_S
+        assert implied == pytest.approx(DP1_FULL_HOUR_ENERGY_J, rel=0.01)
+
+    def test_paper_claims_defaults(self):
+        claims = PaperClaims()
+        assert claims.accuracy_gain_vs_dp1 == pytest.approx(0.46)
+        assert claims.active_time_gain_vs_dp1 == pytest.approx(0.66)
+        assert claims.dp4_share_at_5j + claims.dp5_share_at_5j == pytest.approx(1.0)
+
+
+class TestTable2:
+    def test_five_rows(self):
+        assert len(TABLE2_ROWS) == 5
+        assert len(table2_rows()) == 5
+        assert len(TABLE2_DESIGN_POINTS) == 5
+
+    def test_rows_are_numbered_in_order(self):
+        assert [row.dp_number for row in TABLE2_ROWS] == [1, 2, 3, 4, 5]
+
+    def test_exec_time_breakdown_sums_to_total(self):
+        for row in TABLE2_ROWS:
+            components = (
+                row.accel_features_ms + row.stretch_features_ms + row.classifier_ms
+            )
+            assert components == pytest.approx(row.total_exec_ms, abs=0.01)
+
+    def test_energy_is_mcu_plus_sensor(self):
+        for row in TABLE2_ROWS:
+            assert row.mcu_energy_mj + row.sensor_energy_mj == pytest.approx(
+                row.energy_mj, abs=0.01
+            )
+
+    def test_power_consistent_with_energy_per_window(self):
+        for row in TABLE2_ROWS:
+            implied_power = row.energy_mj / ACTIVITY_WINDOW_S
+            assert implied_power == pytest.approx(row.power_mw, rel=0.03)
+
+    def test_design_points_are_fresh_objects(self):
+        first = table2_design_points()
+        second = table2_design_points()
+        assert first is not second
+        assert first[0] is not second[0]
+
+    def test_design_point_conversion_values(self):
+        dp1 = table2_by_name()["DP1"].to_design_point()
+        assert dp1.name == "DP1"
+        assert dp1.accuracy == pytest.approx(0.94)
+        assert dp1.power_w == pytest.approx(2.76e-3)
+        assert dp1.energy_per_activity_mj == pytest.approx(4.48)
+        assert dp1.execution is not None
+        assert dp1.execution.total_ms == pytest.approx(5.71, abs=0.01)
+
+    def test_accuracy_and_power_are_monotone_across_dps(self):
+        points = table2_design_points()
+        accuracies = [dp.accuracy for dp in points]
+        powers = [dp.power_w for dp in points]
+        assert accuracies == sorted(accuracies, reverse=True)
+        assert powers == sorted(powers, reverse=True)
+
+    def test_all_published_points_are_pareto_optimal(self):
+        front = pareto_front(table2_design_points())
+        assert len(front) == 5
+
+    def test_by_name_lookup(self):
+        by_name = table2_by_name()
+        assert set(by_name) == {"DP1", "DP2", "DP3", "DP4", "DP5"}
+        assert by_name["DP5"].accuracy_percent == pytest.approx(76.0)

@@ -1,0 +1,203 @@
+"""Tests for the MCU, sensor, BLE and per-design-point energy models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.table2 import table2_by_name
+from repro.energy.ble import BLEModel, offloading_comparison
+from repro.energy.mcu import MCUModel
+from repro.energy.power_model import (
+    DesignPointEnergyModel,
+    classifier_macs,
+)
+from repro.energy.sensor_energy import (
+    AccelerometerEnergyModel,
+    SensorSuiteEnergyModel,
+    StretchSensorEnergyModel,
+)
+from repro.har.config import FeatureConfig, HARConfig
+from repro.har.design_space import table2_specs
+from repro.har.features.pipeline import FeatureExtractor
+
+
+DP_CONFIGS = dict(table2_specs())
+
+
+def _num_features(config: HARConfig) -> int:
+    return FeatureExtractor(config.features).num_features
+
+
+class TestMCUModel:
+    def test_dp1_exec_time_matches_table2(self):
+        mcu = MCUModel()
+        config = DP_CONFIGS["DP1"]
+        macs = classifier_macs(_num_features(config), config.hidden_layers)
+        total = mcu.total_exec_time_ms(config.features, macs)
+        assert total == pytest.approx(5.71, abs=0.15)
+        assert mcu.accel_feature_time_ms(config.features) == pytest.approx(0.83, abs=0.05)
+        assert mcu.stretch_feature_time_ms(config.features) == pytest.approx(3.83)
+
+    def test_dp5_exec_time_matches_table2(self):
+        mcu = MCUModel()
+        config = DP_CONFIGS["DP5"]
+        macs = classifier_macs(_num_features(config), config.hidden_layers)
+        assert mcu.total_exec_time_ms(config.features, macs) == pytest.approx(4.71, abs=0.15)
+        assert mcu.accel_feature_time_ms(config.features) == 0.0
+
+    def test_sensing_fraction_scales_accel_feature_time(self):
+        mcu = MCUModel()
+        full = mcu.accel_feature_time_ms(FeatureConfig(accel_axes=("x", "y")))
+        half = mcu.accel_feature_time_ms(
+            FeatureConfig(accel_axes=("x", "y"), sensing_fraction=0.5)
+        )
+        assert half == pytest.approx(full / 2)
+
+    def test_dwt_costs_more_than_statistical(self):
+        mcu = MCUModel()
+        statistical = mcu.accel_feature_time_ms(FeatureConfig(accel_features="statistical"))
+        dwt = mcu.accel_feature_time_ms(FeatureConfig(accel_features="dwt"))
+        assert dwt > statistical
+
+    def test_classifier_time_grows_with_macs(self):
+        mcu = MCUModel()
+        assert mcu.classifier_time_ms(500) > mcu.classifier_time_ms(100)
+        with pytest.raises(ValueError):
+            mcu.classifier_time_ms(-1)
+
+    def test_acquisition_energy_scales_with_channels(self):
+        mcu = MCUModel()
+        one = mcu.acquisition_energy_mj(FeatureConfig(accel_axes=("y",)))
+        three = mcu.acquisition_energy_mj(FeatureConfig(accel_axes=("x", "y", "z")))
+        assert three > one
+
+    def test_negative_exec_time_rejected(self):
+        with pytest.raises(ValueError):
+            MCUModel().compute_energy_mj(-1.0)
+
+
+class TestSensorEnergyModels:
+    def test_accelerometer_power_zero_when_off(self):
+        assert AccelerometerEnergyModel().power_mw(0) == 0.0
+
+    def test_accelerometer_energy_scales_with_sensing_fraction(self):
+        model = AccelerometerEnergyModel()
+        full = model.energy_mj(2, 1.0)
+        half = model.energy_mj(2, 0.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_accelerometer_validation(self):
+        model = AccelerometerEnergyModel()
+        with pytest.raises(ValueError):
+            model.power_mw(-1)
+        with pytest.raises(ValueError):
+            model.energy_mj(1, 1.5)
+
+    def test_stretch_energy_matches_table2(self):
+        assert StretchSensorEnergyModel().energy_mj() == pytest.approx(0.08, abs=0.01)
+
+    def test_suite_energy_close_to_table2_sensor_column(self):
+        suite = SensorSuiteEnergyModel()
+        paper = table2_by_name()
+        for name, config in DP_CONFIGS.items():
+            modelled = suite.sensor_energy_mj(config.features)
+            assert modelled == pytest.approx(paper[name].sensor_energy_mj, abs=0.35)
+
+    def test_suite_components_sum(self):
+        suite = SensorSuiteEnergyModel()
+        config = DP_CONFIGS["DP1"].features
+        total = suite.sensor_energy_mj(config)
+        assert total == pytest.approx(
+            suite.accel_energy_mj(config) + suite.stretch_energy_mj(config)
+        )
+
+    def test_stretch_only_config_has_no_accel_energy(self):
+        suite = SensorSuiteEnergyModel()
+        config = DP_CONFIGS["DP5"].features
+        assert suite.accel_energy_mj(config) == 0.0
+
+
+class TestBLEModel:
+    def test_label_energy_matches_paper(self):
+        assert BLEModel().label_energy_mj() == pytest.approx(0.38, abs=0.02)
+
+    def test_raw_offload_energy_matches_paper(self):
+        config = DP_CONFIGS["DP1"].features
+        assert BLEModel().raw_offload_energy_mj(config) == pytest.approx(5.5, abs=0.3)
+
+    def test_offload_bytes_shrink_with_fewer_axes(self):
+        ble = BLEModel()
+        dp1 = ble.raw_offload_bytes(DP_CONFIGS["DP1"].features)
+        dp2 = ble.raw_offload_bytes(DP_CONFIGS["DP2"].features)
+        dp5 = ble.raw_offload_bytes(DP_CONFIGS["DP5"].features)
+        assert dp1 > dp2 > dp5
+
+    def test_offloading_comparison_penalty(self):
+        comparison = offloading_comparison()
+        assert comparison["offload_penalty_factor"] > 10
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            BLEModel().transmit_energy_mj(-1)
+
+
+class TestClassifierMacs:
+    def test_single_hidden_layer(self):
+        assert classifier_macs(33, (12,), 7) == 33 * 12 + 12 * 7
+
+    def test_no_hidden_layer(self):
+        assert classifier_macs(9, (), 7) == 63
+
+    def test_two_hidden_layers(self):
+        assert classifier_macs(10, (8, 4), 7) == 10 * 8 + 8 * 4 + 4 * 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            classifier_macs(0, (8,))
+        with pytest.raises(ValueError):
+            classifier_macs(10, (8,), num_classes=1)
+
+
+class TestDesignPointEnergyModel:
+    @pytest.mark.parametrize("name", ["DP1", "DP2", "DP3", "DP4", "DP5"])
+    def test_total_energy_close_to_table2(self, name):
+        config = DP_CONFIGS[name]
+        characterization = DesignPointEnergyModel().characterize(
+            config, _num_features(config)
+        )
+        published = table2_by_name()[name]
+        assert characterization.total_energy_mj == pytest.approx(
+            published.energy_mj, rel=0.12
+        )
+        assert characterization.average_power_mw == pytest.approx(
+            published.power_mw, rel=0.12
+        )
+
+    def test_power_ordering_monotone(self):
+        model = DesignPointEnergyModel()
+        powers = [
+            model.characterize(config, _num_features(config)).average_power_w
+            for _, config in table2_specs()
+        ]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_breakdown_components_sum_to_total(self):
+        model = DesignPointEnergyModel()
+        config = DP_CONFIGS["DP3"]
+        c = model.characterize(config, _num_features(config))
+        component_sum = (
+            c.mcu_compute_energy_mj
+            + c.mcu_acquisition_energy_mj
+            + c.mcu_system_energy_mj
+            + c.accel_sensor_energy_mj
+            + c.stretch_sensor_energy_mj
+            + c.energy.communication_mj
+        )
+        assert component_sum == pytest.approx(c.total_energy_mj, rel=1e-9)
+
+    def test_power_w_helper(self):
+        model = DesignPointEnergyModel()
+        config = DP_CONFIGS["DP1"]
+        assert model.power_w(config, _num_features(config)) == pytest.approx(
+            model.characterize(config, _num_features(config)).average_power_w
+        )

@@ -1,0 +1,221 @@
+"""Tests for the battery, harvesting circuit, accounting and budget layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.paper_constants import ACTIVITY_PERIOD_S, OFF_STATE_POWER_W
+from repro.data.table2 import table2_design_points
+from repro.energy.accounting import (
+    HourlyEnergyBreakdown,
+    hourly_breakdown_from_characterization,
+    hourly_breakdown_from_design_point,
+    off_state_energy_j,
+)
+from repro.energy.battery import Battery
+from repro.energy.budget import HarvestFollowingAllocator, HorizonAverageAllocator
+from repro.energy.harvester import HarvestingCircuit
+from repro.energy.power_model import DesignPointEnergyModel
+from repro.har.design_space import table2_specs
+from repro.har.features.pipeline import FeatureExtractor
+
+
+class TestAccounting:
+    def test_dp1_hourly_total_close_to_9_9_joules(self):
+        name, config = table2_specs()[0]
+        characterization = DesignPointEnergyModel().characterize(
+            config, FeatureExtractor(config.features).num_features
+        )
+        breakdown = hourly_breakdown_from_characterization(characterization)
+        assert breakdown.total_j == pytest.approx(9.9, rel=0.05)
+
+    def test_dp1_sensor_share_near_47_percent(self):
+        name, config = table2_specs()[0]
+        characterization = DesignPointEnergyModel().characterize(
+            config, FeatureExtractor(config.features).num_features
+        )
+        breakdown = hourly_breakdown_from_characterization(characterization)
+        sensor_share = breakdown.sensors_j / breakdown.total_j
+        assert sensor_share == pytest.approx(0.47, abs=0.05)
+
+    def test_fractions_sum_to_one(self):
+        breakdown = HourlyEnergyBreakdown(1.0, 0.5, 0.2, 0.3, 1.0, 0.5)
+        assert sum(breakdown.fractions().values()) == pytest.approx(1.0)
+
+    def test_breakdown_from_published_design_point(self):
+        dp1 = table2_design_points()[0]
+        breakdown = hourly_breakdown_from_design_point(dp1)
+        assert breakdown.total_j == pytest.approx(
+            dp1.power_w * ACTIVITY_PERIOD_S, rel=0.02
+        )
+        assert breakdown.communication_j > 0
+
+    def test_breakdown_requires_energy_data(self):
+        from repro.core.design_point import DesignPoint
+
+        bare = DesignPoint(name="bare", accuracy=0.9, power_w=1e-3)
+        with pytest.raises(ValueError):
+            hourly_breakdown_from_design_point(bare)
+
+    def test_off_state_energy(self):
+        assert off_state_energy_j(OFF_STATE_POWER_W) == pytest.approx(0.18)
+        with pytest.raises(ValueError):
+            off_state_energy_j(-1.0)
+        with pytest.raises(ValueError):
+            off_state_energy_j(1.0, period_s=0.0)
+
+    def test_period_scaling(self):
+        name, config = table2_specs()[0]
+        characterization = DesignPointEnergyModel().characterize(
+            config, FeatureExtractor(config.features).num_features
+        )
+        one_hour = hourly_breakdown_from_characterization(characterization, 3600.0)
+        half_hour = hourly_breakdown_from_characterization(characterization, 1800.0)
+        assert half_hour.total_j == pytest.approx(one_hour.total_j / 2)
+
+
+class TestBattery:
+    def test_initial_state_defaults_to_half_full(self):
+        battery = Battery(capacity_j=100.0)
+        assert battery.charge_j == pytest.approx(50.0)
+        assert battery.state_of_charge == pytest.approx(0.5)
+
+    def test_charge_respects_capacity(self):
+        battery = Battery(capacity_j=10.0, initial_charge_j=9.0, charge_efficiency=1.0)
+        wasted = battery.charge(5.0)
+        assert battery.charge_j == pytest.approx(10.0)
+        assert wasted == pytest.approx(4.0)
+
+    def test_charge_efficiency_applied(self):
+        battery = Battery(capacity_j=100.0, initial_charge_j=0.0, charge_efficiency=0.8)
+        battery.charge(10.0)
+        assert battery.charge_j == pytest.approx(8.0)
+
+    def test_discharge_limited_by_available_energy(self):
+        battery = Battery(capacity_j=10.0, initial_charge_j=2.0, discharge_efficiency=1.0)
+        delivered = battery.discharge(5.0)
+        assert delivered == pytest.approx(2.0)
+        assert battery.charge_j == pytest.approx(0.0)
+
+    def test_discharge_efficiency_applied(self):
+        battery = Battery(capacity_j=10.0, initial_charge_j=10.0, discharge_efficiency=0.5)
+        delivered = battery.discharge(4.0)
+        assert delivered == pytest.approx(4.0)
+        assert battery.charge_j == pytest.approx(2.0)
+
+    def test_negative_amounts_rejected(self):
+        battery = Battery(capacity_j=10.0)
+        with pytest.raises(ValueError):
+            battery.charge(-1.0)
+        with pytest.raises(ValueError):
+            battery.discharge(-1.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_j=0.0)
+        with pytest.raises(ValueError):
+            Battery(capacity_j=10.0, initial_charge_j=20.0)
+        with pytest.raises(ValueError):
+            Battery(capacity_j=10.0, charge_efficiency=0.0)
+
+    def test_reset_restores_initial_charge(self):
+        battery = Battery(capacity_j=10.0, initial_charge_j=6.0)
+        battery.discharge(3.0)
+        battery.reset()
+        assert battery.charge_j == pytest.approx(6.0)
+        assert len(battery.history) == 1
+
+    def test_history_tracks_operations(self):
+        battery = Battery(capacity_j=10.0)
+        battery.charge(1.0)
+        battery.discharge(1.0)
+        assert len(battery.history) == 3
+
+
+class TestHarvestingCircuit:
+    def test_efficiency_applied(self):
+        circuit = HarvestingCircuit(conversion_efficiency=0.8)
+        assert circuit.harvested_energy_j(10.0) == pytest.approx(8.0)
+
+    def test_quiescent_energy_matches_floor(self):
+        circuit = HarvestingCircuit()
+        assert circuit.quiescent_energy_j() == pytest.approx(0.18)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HarvestingCircuit(conversion_efficiency=0.0)
+        with pytest.raises(ValueError):
+            HarvestingCircuit(quiescent_power_w=-1.0)
+        with pytest.raises(ValueError):
+            HarvestingCircuit().harvested_energy_j(-1.0)
+
+
+class TestHarvestFollowingAllocator:
+    def test_budget_includes_harvest(self):
+        battery = Battery(capacity_j=50.0, initial_charge_j=25.0)
+        allocator = HarvestFollowingAllocator(battery)
+        budget = allocator.grant(harvest_j=3.0)
+        assert budget >= 3.0
+
+    def test_surplus_battery_released(self):
+        battery = Battery(capacity_j=50.0, initial_charge_j=45.0)
+        allocator = HarvestFollowingAllocator(battery, target_soc=0.5, max_battery_draw_j=5.0)
+        budget = allocator.grant(harvest_j=1.0)
+        assert budget == pytest.approx(6.0)
+
+    def test_floor_budget_when_battery_can_cover(self):
+        battery = Battery(capacity_j=50.0, initial_charge_j=25.0)
+        allocator = HarvestFollowingAllocator(battery, target_soc=0.9)
+        budget = allocator.grant(harvest_j=0.0)
+        assert budget >= allocator.min_budget_j - 1e-9
+
+    def test_settle_banks_surplus_and_draws_deficit(self):
+        battery = Battery(capacity_j=50.0, initial_charge_j=25.0,
+                          charge_efficiency=1.0, discharge_efficiency=1.0)
+        allocator = HarvestFollowingAllocator(battery)
+        allocator.settle(harvest_j=5.0, consumed_j=2.0)
+        assert battery.charge_j == pytest.approx(28.0)
+        allocator.settle(harvest_j=0.0, consumed_j=3.0)
+        assert battery.charge_j == pytest.approx(25.0)
+
+    def test_allocate_trace_length(self):
+        battery = Battery(capacity_j=50.0)
+        allocator = HarvestFollowingAllocator(battery)
+        budgets = allocator.allocate_trace([0.0, 1.0, 5.0, 2.0])
+        assert len(budgets) == 4
+        assert all(b >= 0 for b in budgets)
+
+    def test_invalid_parameters(self):
+        battery = Battery(capacity_j=10.0)
+        with pytest.raises(ValueError):
+            HarvestFollowingAllocator(battery, target_soc=1.5)
+        with pytest.raises(ValueError):
+            HarvestFollowingAllocator(battery).grant(-1.0)
+        with pytest.raises(ValueError):
+            HarvestFollowingAllocator(battery).settle(1.0, -2.0)
+
+
+class TestHorizonAverageAllocator:
+    def test_budgets_are_uniform_within_horizon(self):
+        battery = Battery(capacity_j=10.0, initial_charge_j=0.0)
+        allocator = HorizonAverageAllocator(battery, horizon_periods=4)
+        budgets = allocator.allocate([0.0, 4.0, 8.0, 0.0])
+        assert len(budgets) == 4
+        assert len(set(round(b, 9) for b in budgets)) == 1
+        assert budgets[0] == pytest.approx(3.0, rel=0.2)
+
+    def test_minimum_budget_enforced(self):
+        battery = Battery(capacity_j=10.0, initial_charge_j=0.0)
+        allocator = HorizonAverageAllocator(battery, horizon_periods=2)
+        budgets = allocator.allocate([0.0, 0.0])
+        assert all(b >= allocator.min_budget_j for b in budgets)
+
+    def test_negative_forecast_rejected(self):
+        battery = Battery(capacity_j=10.0)
+        with pytest.raises(ValueError):
+            HorizonAverageAllocator(battery).allocate([-1.0])
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            HorizonAverageAllocator(Battery(capacity_j=10.0), horizon_periods=0)

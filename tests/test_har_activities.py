@@ -1,0 +1,126 @@
+"""Tests for the activity taxonomy and transition model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.har.activities import (
+    ACTIVITY_LABELS,
+    ALL_ACTIVITIES,
+    Activity,
+    ActivityTransitionModel,
+    DEFAULT_ACTIVITY_PREVALENCE,
+    NUM_CLASSES,
+    activity_from_label,
+    class_counts,
+)
+
+
+class TestActivityEnum:
+    def test_seven_classes(self):
+        assert NUM_CLASSES == 7
+        assert len(ALL_ACTIVITIES) == 7
+        assert len(ACTIVITY_LABELS) == 7
+
+    def test_indices_are_contiguous(self):
+        assert [int(a) for a in ALL_ACTIVITIES] == list(range(7))
+
+    def test_static_dynamic_partition(self):
+        static = {a for a in ALL_ACTIVITIES if a.is_static}
+        dynamic = {a for a in ALL_ACTIVITIES if a.is_dynamic}
+        assert static == {Activity.SIT, Activity.STAND, Activity.DRIVE, Activity.LIE_DOWN}
+        assert dynamic == {Activity.WALK, Activity.JUMP}
+        assert not (static & dynamic)
+        assert Activity.TRANSITION not in static | dynamic
+
+    def test_label_roundtrip(self):
+        for activity in ALL_ACTIVITIES:
+            assert activity_from_label(activity.label) is activity
+
+    def test_label_lookup_is_case_and_separator_insensitive(self):
+        assert activity_from_label("Lie Down") is Activity.LIE_DOWN
+        assert activity_from_label("LIE-DOWN") is Activity.LIE_DOWN
+        assert activity_from_label("  walk ") is Activity.WALK
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(KeyError):
+            activity_from_label("swimming")
+
+
+class TestPrevalence:
+    def test_default_prevalence_covers_all_classes(self):
+        assert set(DEFAULT_ACTIVITY_PREVALENCE) == set(ALL_ACTIVITIES)
+
+    def test_default_prevalence_sums_to_one(self):
+        assert sum(DEFAULT_ACTIVITY_PREVALENCE.values()) == pytest.approx(1.0)
+
+
+class TestTransitionModel:
+    def test_rejects_short_dwell(self):
+        with pytest.raises(ValueError):
+            ActivityTransitionModel(dwell_windows=0.5)
+
+    def test_rejects_incomplete_prevalence(self):
+        with pytest.raises(ValueError):
+            ActivityTransitionModel(prevalence={Activity.SIT: 1.0})
+
+    def test_stationary_distribution_normalised(self):
+        model = ActivityTransitionModel()
+        dist = model.stationary_distribution()
+        assert dist.sum() == pytest.approx(1.0)
+        assert np.all(dist >= 0)
+
+    def test_sample_next_never_returns_current_or_transition(self, rng):
+        model = ActivityTransitionModel()
+        for activity in (Activity.SIT, Activity.WALK, Activity.DRIVE):
+            for _ in range(20):
+                nxt = model.sample_next(activity, rng)
+                assert nxt is not activity
+                assert nxt is not Activity.TRANSITION
+
+    def test_stream_length(self, rng):
+        model = ActivityTransitionModel(dwell_windows=5)
+        stream = model.generate_stream(123, rng)
+        assert len(stream) == 123
+
+    def test_empty_stream(self, rng):
+        model = ActivityTransitionModel()
+        assert model.generate_stream(0, rng) == []
+
+    def test_negative_length_rejected(self, rng):
+        model = ActivityTransitionModel()
+        with pytest.raises(ValueError):
+            model.generate_stream(-1, rng)
+
+    def test_stream_contains_transitions_between_dwells(self, rng):
+        model = ActivityTransitionModel(dwell_windows=4)
+        stream = model.generate_stream(400, rng)
+        assert Activity.TRANSITION in stream
+        # Consecutive non-transition segments should be separated by a
+        # transition window.
+        for previous, current in zip(stream, stream[1:]):
+            if previous is not current and previous is not Activity.TRANSITION:
+                assert current is Activity.TRANSITION or current is previous
+
+    def test_stream_respects_initial_activity(self, rng):
+        model = ActivityTransitionModel(dwell_windows=10)
+        stream = model.generate_stream(20, rng, initial=Activity.WALK)
+        assert stream[0] is Activity.WALK
+
+    def test_long_stream_covers_most_activities(self):
+        model = ActivityTransitionModel(dwell_windows=5)
+        stream = model.generate_stream(2000, np.random.default_rng(3))
+        seen = set(stream)
+        assert len(seen) >= 6
+
+
+class TestClassCounts:
+    def test_counts_every_class(self):
+        labels = [0, 0, 2, 6, 6, 6]
+        counts = class_counts(labels)
+        assert counts[Activity.SIT] == 2
+        assert counts[Activity.WALK] == 1
+        assert counts[Activity.TRANSITION] == 3
+        assert counts[Activity.JUMP] == 0
+        assert sum(counts.values()) == len(labels)

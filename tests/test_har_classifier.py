@@ -1,0 +1,252 @@
+"""Tests for the NumPy MLP classifier, trainer and metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.har.activities import Activity, NUM_CLASSES
+from repro.har.classifier.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    expected_calibration_gap,
+    macro_f1,
+    per_class_recall,
+)
+from repro.har.classifier.nn import (
+    MLPClassifier,
+    MLPConfig,
+    cross_entropy,
+    one_hot,
+    softmax,
+)
+from repro.har.classifier.train import Trainer, TrainingConfig
+
+
+class TestActivationHelpers:
+    def test_softmax_rows_sum_to_one(self, rng):
+        logits = rng.normal(size=(10, 7))
+        probabilities = softmax(logits)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, atol=1e-12)
+        assert np.all(probabilities > 0)
+
+    def test_softmax_is_shift_invariant(self, rng):
+        logits = rng.normal(size=(4, 5))
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0), atol=1e-9)
+
+    def test_softmax_handles_large_values(self):
+        probabilities = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(probabilities).all()
+        assert probabilities[0, 0] == pytest.approx(1.0)
+
+    def test_one_hot_encoding(self):
+        encoded = one_hot(np.array([0, 2, 6]), num_classes=7)
+        assert encoded.shape == (3, 7)
+        assert encoded[1, 2] == 1.0
+        assert encoded.sum() == 3.0
+
+    def test_one_hot_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([7]), num_classes=7)
+
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        probabilities = one_hot(np.array([0, 1]), num_classes=3) * 0.999 + 1e-4
+        loss = cross_entropy(probabilities, np.array([0, 1]))
+        assert loss < 0.01
+
+    def test_cross_entropy_uniform_prediction(self):
+        probabilities = np.full((4, 5), 0.2)
+        loss = cross_entropy(probabilities, np.array([0, 1, 2, 3]))
+        assert loss == pytest.approx(np.log(5), rel=1e-6)
+
+    def test_cross_entropy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cross_entropy(np.full((3, 2), 0.5), np.array([0, 1]))
+
+
+class TestMLPStructure:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MLPConfig(input_dim=0)
+        with pytest.raises(ValueError):
+            MLPConfig(input_dim=4, num_classes=1)
+        with pytest.raises(ValueError):
+            MLPConfig(input_dim=4, hidden_layers=(0,))
+
+    def test_structure_string(self):
+        config = MLPConfig(input_dim=4, hidden_layers=(12,), num_classes=7)
+        assert config.structure == "4x12x7"
+        assert MLPConfig(input_dim=4, hidden_layers=(), num_classes=7).structure == "4x7"
+
+    def test_parameter_count(self):
+        model = MLPClassifier(MLPConfig(input_dim=4, hidden_layers=(12,), num_classes=7))
+        expected = 4 * 12 + 12 + 12 * 7 + 7
+        assert model.num_parameters() == expected
+        assert model.num_multiply_accumulates() == 4 * 12 + 12 * 7
+
+    def test_forward_shapes(self, rng):
+        model = MLPClassifier(MLPConfig(input_dim=5, hidden_layers=(8,)))
+        inputs = rng.normal(size=(11, 5))
+        probabilities = model.predict_proba(inputs)
+        assert probabilities.shape == (11, NUM_CLASSES)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, atol=1e-9)
+        predictions = model.predict(inputs)
+        assert predictions.shape == (11,)
+        assert set(predictions) <= set(range(NUM_CLASSES))
+
+    def test_forward_rejects_wrong_input_dim(self, rng):
+        model = MLPClassifier(MLPConfig(input_dim=5))
+        with pytest.raises(ValueError):
+            model.predict(rng.normal(size=(3, 4)))
+
+    def test_initialisation_reproducible(self):
+        a = MLPClassifier(MLPConfig(input_dim=6, seed=3))
+        b = MLPClassifier(MLPConfig(input_dim=6, seed=3))
+        np.testing.assert_allclose(a.weights[0], b.weights[0])
+
+    def test_parameter_roundtrip(self, rng):
+        model = MLPClassifier(MLPConfig(input_dim=4, hidden_layers=(6,)))
+        params = model.get_parameters()
+        other = MLPClassifier(MLPConfig(input_dim=4, hidden_layers=(6,), seed=99))
+        other.set_parameters(params)
+        inputs = rng.normal(size=(5, 4))
+        np.testing.assert_allclose(model.predict_proba(inputs), other.predict_proba(inputs))
+
+    def test_set_parameters_shape_check(self):
+        model = MLPClassifier(MLPConfig(input_dim=4, hidden_layers=(6,)))
+        params = model.get_parameters()
+        params["w0"] = np.zeros((3, 6))
+        with pytest.raises(ValueError):
+            model.set_parameters(params)
+
+
+class TestGradients:
+    def test_gradients_match_finite_differences(self, rng):
+        """Analytic backprop gradients agree with numerical differentiation."""
+        model = MLPClassifier(MLPConfig(input_dim=3, hidden_layers=(4,), num_classes=3, seed=1))
+        inputs = rng.normal(size=(6, 3))
+        labels = rng.integers(0, 3, size=6)
+        weight_grads, bias_grads = model.gradients(inputs, labels)
+
+        epsilon = 1e-6
+        for layer in range(model.num_layers):
+            flat_index = np.unravel_index(
+                rng.integers(0, model.weights[layer].size), model.weights[layer].shape
+            )
+            original = model.weights[layer][flat_index]
+            model.weights[layer][flat_index] = original + epsilon
+            loss_plus = model.loss(inputs, labels)
+            model.weights[layer][flat_index] = original - epsilon
+            loss_minus = model.loss(inputs, labels)
+            model.weights[layer][flat_index] = original
+            numeric = (loss_plus - loss_minus) / (2 * epsilon)
+            assert weight_grads[layer][flat_index] == pytest.approx(numeric, abs=1e-5)
+
+    def test_gradients_include_l2_term(self, rng):
+        model = MLPClassifier(MLPConfig(input_dim=3, hidden_layers=(4,), num_classes=3))
+        inputs = rng.normal(size=(5, 3))
+        labels = rng.integers(0, 3, size=5)
+        plain, _ = model.gradients(inputs, labels, l2_penalty=0.0)
+        regularised, _ = model.gradients(inputs, labels, l2_penalty=0.5)
+        np.testing.assert_allclose(
+            regularised[0], plain[0] + 0.5 * model.weights[0], atol=1e-12
+        )
+
+
+class TestTrainer:
+    def _blob_data(self, rng, num_classes=3, per_class=60, dim=4):
+        """Well-separated Gaussian blobs: easily learnable."""
+        centers = rng.normal(scale=4.0, size=(num_classes, dim))
+        features, labels = [], []
+        for index, center in enumerate(centers):
+            features.append(center + rng.normal(scale=0.5, size=(per_class, dim)))
+            labels.extend([index] * per_class)
+        return np.vstack(features), np.array(labels)
+
+    def test_training_learns_separable_data(self, rng):
+        features, labels = self._blob_data(rng)
+        model = MLPClassifier(MLPConfig(input_dim=4, hidden_layers=(8,), num_classes=3))
+        trainer = Trainer(TrainingConfig(max_epochs=40, patience=40, batch_size=16))
+        history = trainer.fit(model, features, labels)
+        assert history.num_epochs >= 1
+        assert accuracy_score(labels, model.predict(features)) > 0.95
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_early_stopping_restores_best_parameters(self, rng):
+        features, labels = self._blob_data(rng)
+        validation_features, validation_labels = self._blob_data(rng)
+        model = MLPClassifier(MLPConfig(input_dim=4, hidden_layers=(8,), num_classes=3))
+        trainer = Trainer(TrainingConfig(max_epochs=60, patience=5))
+        history = trainer.fit(
+            model, features, labels, validation_features, validation_labels
+        )
+        assert history.best_epoch <= history.num_epochs - 1
+        assert len(history.validation_accuracy) == history.num_epochs
+
+    def test_training_is_deterministic_given_seeds(self, rng):
+        features, labels = self._blob_data(rng)
+        outcomes = []
+        for _ in range(2):
+            model = MLPClassifier(MLPConfig(input_dim=4, hidden_layers=(6,), num_classes=3, seed=2))
+            Trainer(TrainingConfig(max_epochs=10, seed=4)).fit(model, features, labels)
+            outcomes.append(model.predict_proba(features[:5]))
+        np.testing.assert_allclose(outcomes[0], outcomes[1])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            TrainingConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(max_epochs=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(patience=0)
+
+    def test_shape_mismatch_rejected(self, rng):
+        model = MLPClassifier(MLPConfig(input_dim=4, num_classes=3))
+        with pytest.raises(ValueError):
+            Trainer(TrainingConfig(max_epochs=1)).fit(
+                model, rng.normal(size=(10, 4)), np.zeros(9, dtype=int)
+            )
+
+
+class TestMetrics:
+    def test_accuracy_basic(self):
+        assert accuracy_score([0, 1, 2, 2], [0, 1, 1, 2]) == pytest.approx(0.75)
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([0, 1], [0])
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_confusion_matrix_totals(self):
+        matrix = confusion_matrix([0, 0, 1, 2], [0, 1, 1, 2], num_classes=3)
+        assert matrix.sum() == 4
+        assert matrix[0, 0] == 1
+        assert matrix[0, 1] == 1
+        assert np.trace(matrix) == 3
+
+    def test_per_class_recall(self):
+        true = [int(Activity.SIT)] * 4 + [int(Activity.WALK)] * 4
+        predicted = [int(Activity.SIT)] * 3 + [int(Activity.WALK)] + [int(Activity.WALK)] * 4
+        recalls = per_class_recall(true, predicted)
+        assert recalls[Activity.SIT] == pytest.approx(0.75)
+        assert recalls[Activity.WALK] == pytest.approx(1.0)
+        assert recalls[Activity.JUMP] == 0.0
+
+    def test_macro_f1_perfect(self):
+        labels = [0, 1, 2, 0, 1, 2]
+        assert macro_f1(labels, labels) == pytest.approx(1.0)
+
+    def test_macro_f1_ignores_empty_classes(self):
+        value = macro_f1([0, 0, 1, 1], [0, 0, 1, 1])
+        assert value == pytest.approx(1.0)
+
+    def test_calibration_gap_range(self, rng):
+        probabilities = softmax(rng.normal(size=(50, 4)))
+        labels = rng.integers(0, 4, size=50)
+        gap = expected_calibration_gap(probabilities, labels)
+        assert 0.0 <= gap <= 1.0

@@ -1,0 +1,121 @@
+"""Tests for the HAR design space and its characterisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pareto import pareto_front
+from repro.har.config import HARConfig
+from repro.har.design_space import (
+    DESIGN_SPACE_SPECS,
+    DesignSpaceExplorer,
+    PARETO_DESIGN_POINT_NAMES,
+    pareto_design_points,
+    table2_specs,
+)
+
+
+class TestDesignSpaceSpecs:
+    def test_twenty_four_configurations(self):
+        assert len(DESIGN_SPACE_SPECS) == 24
+
+    def test_names_are_unique(self):
+        names = [name for name, _ in DESIGN_SPACE_SPECS]
+        assert len(set(names)) == 24
+
+    def test_table2_specs_are_the_five_pareto_names(self):
+        specs = table2_specs()
+        assert [name for name, _ in specs] == list(PARETO_DESIGN_POINT_NAMES)
+
+    def test_every_spec_is_a_valid_config(self):
+        for name, config in DESIGN_SPACE_SPECS:
+            assert isinstance(config, HARConfig)
+            assert config.features.uses_accelerometer or config.features.uses_stretch
+
+    def test_dp1_spec_matches_table2_description(self):
+        specs = dict(DESIGN_SPACE_SPECS)
+        dp1 = specs["DP1"]
+        assert dp1.features.accel_axes == ("x", "y", "z")
+        assert dp1.features.sensing_fraction == 1.0
+        assert dp1.features.accel_features == "statistical"
+        assert dp1.features.stretch_features == "fft16"
+
+    def test_dp5_spec_is_stretch_only(self):
+        specs = dict(DESIGN_SPACE_SPECS)
+        dp5 = specs["DP5"]
+        assert not dp5.features.uses_accelerometer
+        assert dp5.features.stretch_features == "fft16"
+
+    def test_sensing_fraction_knob_covered(self):
+        fractions = {config.features.sensing_fraction for _, config in DESIGN_SPACE_SPECS}
+        assert {1.0, 0.75, 0.5, 0.4} <= fractions
+
+    def test_classifier_structures_covered(self):
+        hidden = {config.hidden_layers for _, config in DESIGN_SPACE_SPECS}
+        assert {(12,), (8,), ()} <= hidden
+
+    def test_hare_config_structure_string(self):
+        config = HARConfig(hidden_layers=(12,))
+        assert config.classifier_structure == "inx12x7"
+        assert "NN" in config.describe()
+
+
+class TestDesignSpaceExplorer:
+    """Characterisation tests on the small session dataset (kept fast)."""
+
+    @pytest.fixture(scope="class")
+    def characterized(self, request):
+        # Build on the session-scoped dataset via request to keep scope legal.
+        small_dataset = request.getfixturevalue("small_dataset")
+        fast_training = request.getfixturevalue("fast_training_config")
+        explorer = DesignSpaceExplorer(small_dataset, training_config=fast_training)
+        return explorer.characterize_all(table2_specs())
+
+    def test_characterizes_all_requested_points(self, characterized):
+        assert [item.name for item in characterized] == list(PARETO_DESIGN_POINT_NAMES)
+
+    def test_accuracies_are_valid_fractions(self, characterized):
+        for item in characterized:
+            assert 0.0 <= item.test_accuracy <= 1.0
+            assert 0.0 <= item.validation_accuracy <= 1.0
+
+    def test_multi_sensor_points_beat_stretch_only(self, characterized):
+        by_name = {item.name: item for item in characterized}
+        for name in ("DP1", "DP2", "DP3", "DP4"):
+            assert by_name[name].test_accuracy > by_name["DP5"].test_accuracy + 0.05
+
+    def test_power_ordering_matches_paper(self, characterized):
+        powers = [item.characterization.average_power_w for item in characterized]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_energy_close_to_published_values(self, characterized):
+        published = {"DP1": 4.48, "DP2": 3.72, "DP3": 2.94, "DP4": 2.66, "DP5": 1.93}
+        for item in characterized:
+            assert item.characterization.total_energy_mj == pytest.approx(
+                published[item.name], rel=0.15
+            )
+
+    def test_to_design_point_carries_metadata(self, characterized):
+        dp = characterized[0].to_design_point()
+        assert dp.name == "DP1"
+        assert dp.execution is not None
+        assert dp.energy_breakdown is not None
+        assert "num_features" in dp.metadata
+
+    def test_design_points_usable_by_optimizer(self, characterized):
+        from repro.core.allocator import ReapAllocator
+        from repro.core.problem import ReapProblem
+
+        points = tuple(item.to_design_point() for item in characterized)
+        allocation = ReapAllocator().solve(ReapProblem(points, energy_budget_j=5.0))
+        assert allocation.active_time_s > 0
+
+
+class TestParetoSelection:
+    def test_pareto_design_points_filters_dominated(self, table2_points):
+        front = pareto_design_points(table2_points)
+        assert {dp.name for dp in front} == {dp.name for dp in pareto_front(table2_points)}
+
+    def test_max_points_cap(self, table2_points):
+        subset = pareto_design_points(table2_points, max_points=3)
+        assert len(subset) == 3

@@ -1,0 +1,80 @@
+"""Tests for the cross-user evaluation protocols."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.har.config import FeatureConfig, HARConfig
+from repro.har.evaluation import CrossUserEvaluator, generalization_gap
+
+
+@pytest.fixture(scope="module")
+def evaluator(request):
+    small_dataset = request.getfixturevalue("small_dataset")
+    fast_training = request.getfixturevalue("fast_training_config")
+    return CrossUserEvaluator(small_dataset, training_config=fast_training)
+
+
+@pytest.fixture(scope="module")
+def dp2_config():
+    return HARConfig(
+        features=FeatureConfig(accel_axes=("y",)),
+        hidden_layers=(8,),
+    )
+
+
+class TestLeaveOneUserOut:
+    def test_one_fold_per_held_out_user(self, evaluator, dp2_config):
+        result = evaluator.leave_one_user_out(dp2_config, max_users=3)
+        assert result.protocol == "leave-one-user-out"
+        assert len(result.folds) == 3
+        fold_ids = {fold.fold_id for fold in result.folds}
+        assert fold_ids == {"user00", "user01", "user02"}
+
+    def test_folds_partition_windows(self, evaluator, dp2_config, small_dataset):
+        result = evaluator.leave_one_user_out(dp2_config, max_users=2)
+        for fold in result.folds:
+            assert fold.num_train_windows + fold.num_test_windows == len(small_dataset)
+            assert fold.num_test_windows > 0
+
+    def test_accuracies_above_chance(self, evaluator, dp2_config):
+        result = evaluator.leave_one_user_out(dp2_config, max_users=3)
+        # Seven roughly balanced classes: chance is ~14%.
+        assert result.mean_accuracy > 0.4
+        assert 0.0 <= result.std_accuracy <= 0.5
+        assert result.worst_fold is not None
+        assert result.worst_fold.test_accuracy <= result.mean_accuracy + 1e-9
+
+    def test_requires_at_least_two_users(self, fast_training_config, small_dataset):
+        single_user = small_dataset.subset(
+            [i for i, uid in enumerate(small_dataset.user_ids) if uid == 0]
+        )
+        evaluator = CrossUserEvaluator(single_user, training_config=fast_training_config)
+        config = HARConfig(features=FeatureConfig(accel_axes=("y",)), hidden_layers=(8,))
+        with pytest.raises(ValueError):
+            evaluator.leave_one_user_out(config)
+
+
+class TestRandomSplitProtocol:
+    def test_repeat_count(self, evaluator, dp2_config):
+        result = evaluator.random_split(dp2_config, num_repeats=2)
+        assert result.protocol == "random-split"
+        assert len(result.folds) == 2
+
+    def test_invalid_repeats(self, evaluator, dp2_config):
+        with pytest.raises(ValueError):
+            evaluator.random_split(dp2_config, num_repeats=0)
+
+    def test_generalization_gap_is_finite(self, evaluator, dp2_config):
+        within = evaluator.random_split(dp2_config, num_repeats=1)
+        cross = evaluator.leave_one_user_out(dp2_config, max_users=2)
+        gap = generalization_gap(within, cross)
+        assert -1.0 <= gap <= 1.0
+
+    def test_empty_result_metrics(self, dp2_config):
+        from repro.har.evaluation import CrossUserResult
+
+        empty = CrossUserResult(config=dp2_config, protocol="random-split")
+        assert empty.mean_accuracy == 0.0
+        assert empty.std_accuracy == 0.0
+        assert empty.worst_fold is None

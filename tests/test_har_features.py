@@ -1,0 +1,322 @@
+"""Tests for the feature-generation stack (statistics, FFT, DWT, pipeline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.har.activities import Activity
+from repro.har.config import FeatureConfig
+from repro.har.features.dwt import (
+    dwt_feature_names,
+    dwt_features,
+    dwt_features_multichannel,
+    haar_dwt,
+    haar_dwt_single_level,
+)
+from repro.har.features.fft import (
+    block_decimate,
+    fft_feature_names,
+    fft_magnitudes,
+    fft_radix2,
+    is_power_of_two,
+)
+from repro.har.features.pipeline import FeatureExtractor, FeatureMatrix, standardize
+from repro.har.features.statistical import (
+    STATISTICAL_FEATURE_NAMES,
+    statistical_feature_names,
+    statistical_features,
+    statistical_features_multichannel,
+)
+from repro.har.windows import SensorWindow
+
+
+class TestStatisticalFeatures:
+    def test_feature_count_and_names(self):
+        features = statistical_features(np.arange(10.0))
+        assert features.shape == (len(STATISTICAL_FEATURE_NAMES),)
+        names = statistical_feature_names(["accel_y"])
+        assert len(names) == len(STATISTICAL_FEATURE_NAMES)
+        assert names[0] == "accel_y_mean"
+
+    def test_known_values_for_simple_signal(self):
+        signal = np.array([1.0, 2.0, 3.0, 4.0])
+        features = statistical_features(signal)
+        by_name = dict(zip(STATISTICAL_FEATURE_NAMES, features))
+        assert by_name["mean"] == pytest.approx(2.5)
+        assert by_name["min"] == pytest.approx(1.0)
+        assert by_name["max"] == pytest.approx(4.0)
+        assert by_name["range"] == pytest.approx(3.0)
+        assert by_name["rms"] == pytest.approx(np.sqrt(np.mean(signal ** 2)))
+
+    def test_constant_signal_has_zero_spread(self):
+        features = statistical_features(np.full(50, 3.7))
+        by_name = dict(zip(STATISTICAL_FEATURE_NAMES, features))
+        assert by_name["std"] == pytest.approx(0.0)
+        assert by_name["range"] == pytest.approx(0.0)
+        assert by_name["zero_crossings"] == pytest.approx(0.0)
+
+    def test_alternating_signal_has_max_zero_crossings(self):
+        signal = np.array([1.0, -1.0] * 20)
+        by_name = dict(zip(STATISTICAL_FEATURE_NAMES, statistical_features(signal)))
+        assert by_name["zero_crossings"] == pytest.approx(1.0)
+
+    def test_empty_signal_rejected(self):
+        with pytest.raises(ValueError):
+            statistical_features(np.array([]))
+
+    def test_multichannel_concatenation(self):
+        signals = np.column_stack([np.arange(10.0), np.ones(10)])
+        features = statistical_features_multichannel(signals)
+        assert features.shape == (2 * len(STATISTICAL_FEATURE_NAMES),)
+
+    def test_multichannel_rejects_3d(self):
+        with pytest.raises(ValueError):
+            statistical_features_multichannel(np.zeros((2, 2, 2)))
+
+
+class TestFFT:
+    def test_power_of_two_detection(self):
+        assert is_power_of_two(16)
+        assert is_power_of_two(1)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 32, 64])
+    def test_matches_numpy_fft(self, n, rng):
+        signal = rng.normal(size=n)
+        ours = fft_radix2(signal)
+        reference = np.fft.fft(signal)
+        np.testing.assert_allclose(ours, reference, atol=1e-10)
+
+    def test_complex_input(self, rng):
+        signal = rng.normal(size=16) + 1j * rng.normal(size=16)
+        np.testing.assert_allclose(fft_radix2(signal), np.fft.fft(signal), atol=1e-10)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            fft_radix2(np.arange(10))
+
+    def test_dc_signal_concentrates_in_bin_zero(self):
+        magnitudes = fft_magnitudes(np.full(160, 2.0), n_fft=16)
+        assert magnitudes[0] == pytest.approx(32.0)
+        assert np.all(magnitudes[1:] < 1e-9)
+
+    def test_periodic_signal_peaks_at_expected_bin(self):
+        # 2 Hz sine over a 1.6 s window sampled at 100 Hz; after decimation to
+        # 16 samples spanning 1.6 s, the tone should land in bin round(2*1.6)=3.
+        t = np.arange(160) / 100.0
+        signal = np.sin(2 * np.pi * 2.0 * t)
+        magnitudes = fft_magnitudes(signal, n_fft=16)
+        assert int(np.argmax(magnitudes[1:]) + 1) == 3
+
+    def test_frame_average_mode(self, rng):
+        signal = rng.normal(size=160)
+        magnitudes = fft_magnitudes(signal, n_fft=16, mode="frame_average")
+        assert magnitudes.shape == (9,)
+        assert np.all(magnitudes >= 0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            fft_magnitudes(np.ones(32), mode="welch")
+
+    def test_short_signal_padded(self):
+        magnitudes = fft_magnitudes(np.ones(5), n_fft=16)
+        assert magnitudes.shape == (9,)
+
+    def test_block_decimate_preserves_mean(self, rng):
+        signal = rng.normal(size=160)
+        decimated = block_decimate(signal, 16)
+        assert decimated.shape == (16,)
+        assert decimated.mean() == pytest.approx(signal.mean(), abs=1e-12)
+
+    def test_block_decimate_short_signal_zero_pads(self):
+        decimated = block_decimate(np.array([1.0, 2.0]), 4)
+        np.testing.assert_allclose(decimated, [1.0, 2.0, 0.0, 0.0])
+
+    def test_feature_names(self):
+        names = fft_feature_names("stretch", n_fft=16)
+        assert len(names) == 9
+        assert names[0] == "stretch_fft16_bin0"
+
+
+class TestDWT:
+    def test_single_level_shapes(self):
+        approx, detail = haar_dwt_single_level(np.arange(8.0))
+        assert approx.shape == (4,)
+        assert detail.shape == (4,)
+
+    def test_single_level_energy_preservation(self, rng):
+        signal = rng.normal(size=64)
+        approx, detail = haar_dwt_single_level(signal)
+        assert np.sum(approx ** 2) + np.sum(detail ** 2) == pytest.approx(
+            np.sum(signal ** 2)
+        )
+
+    def test_odd_length_padded(self):
+        approx, detail = haar_dwt_single_level(np.arange(7.0))
+        assert approx.shape == (4,)
+
+    def test_constant_signal_has_zero_detail(self):
+        _, detail = haar_dwt_single_level(np.full(16, 5.0))
+        np.testing.assert_allclose(detail, 0.0, atol=1e-12)
+
+    def test_multilevel_band_count(self, rng):
+        bands = haar_dwt(rng.normal(size=64), levels=3)
+        assert len(bands) == 4  # 3 detail bands + approximation
+
+    def test_multilevel_stops_when_signal_too_short(self):
+        bands = haar_dwt(np.arange(4.0), levels=5)
+        assert len(bands) <= 4
+
+    def test_empty_signal_rejected(self):
+        with pytest.raises(ValueError):
+            haar_dwt(np.array([]))
+        with pytest.raises(ValueError):
+            haar_dwt_single_level(np.array([]))
+
+    def test_feature_vector_length_constant(self, rng):
+        long_features = dwt_features(rng.normal(size=160), levels=3)
+        short_features = dwt_features(rng.normal(size=8), levels=3)
+        assert long_features.shape == short_features.shape == (8,)
+
+    def test_feature_names_match_dimension(self):
+        names = dwt_feature_names(["accel_x", "accel_y"], levels=3)
+        features = dwt_features_multichannel(np.random.default_rng(0).normal(size=(64, 2)))
+        assert len(names) == features.shape[0]
+
+    def test_dynamic_signal_has_more_detail_energy(self, rng):
+        t = np.arange(160) / 100.0
+        flat = np.ones(160)
+        wiggle = np.sin(2 * np.pi * 10 * t)
+        flat_features = dwt_features(flat)
+        wiggle_features = dwt_features(wiggle)
+        # First detail-band energy (index 0) should be larger for the wiggle.
+        assert wiggle_features[0] > flat_features[0]
+
+
+class TestFeatureConfigAndPipeline:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FeatureConfig(accel_axes=("w",))
+        with pytest.raises(ValueError):
+            FeatureConfig(accel_axes=("x", "x"))
+        with pytest.raises(ValueError):
+            FeatureConfig(sensing_fraction=0.0)
+        with pytest.raises(ValueError):
+            FeatureConfig(accel_features="pca")
+        with pytest.raises(ValueError):
+            FeatureConfig(stretch_features="wavelet")
+        with pytest.raises(ValueError):
+            FeatureConfig(accel_axes=(), stretch_features="none")
+        with pytest.raises(ValueError):
+            FeatureConfig(accel_axes=("y",), accel_features="none")
+
+    def test_config_auto_disables_accel_features_without_axes(self):
+        config = FeatureConfig(accel_axes=(), accel_features="statistical")
+        assert config.accel_features == "none"
+        assert not config.uses_accelerometer
+
+    def test_describe_mentions_components(self):
+        config = FeatureConfig(accel_axes=("x", "y"), sensing_fraction=0.5)
+        text = config.describe()
+        assert "XY" in text
+        assert "50%" in text
+        assert "16-FFT" in text
+
+    @pytest.fixture
+    def window(self, small_dataset):
+        return small_dataset[0]
+
+    def test_extractor_dimension_matches_names(self, window):
+        configs = [
+            FeatureConfig(),
+            FeatureConfig(accel_axes=("y",)),
+            FeatureConfig(accel_axes=(), stretch_features="fft16"),
+            FeatureConfig(accel_features="dwt"),
+            FeatureConfig(stretch_features="statistical"),
+            FeatureConfig(accel_axes=("x", "y"), sensing_fraction=0.5),
+        ]
+        for config in configs:
+            extractor = FeatureExtractor(config)
+            vector = extractor.extract(window)
+            assert vector.shape == (extractor.num_features,)
+            assert len(extractor.feature_names()) == extractor.num_features
+            assert np.all(np.isfinite(vector))
+
+    def test_dp1_feature_dimension(self, window):
+        # 3 axes x 8 statistics + 9 FFT bins = 33 features
+        extractor = FeatureExtractor(FeatureConfig())
+        assert extractor.num_features == 33
+
+    def test_dp5_feature_dimension(self, window):
+        extractor = FeatureExtractor(FeatureConfig(accel_axes=(), stretch_features="fft16"))
+        assert extractor.num_features == 9
+
+    def test_sensing_fraction_changes_accel_features_only(self, window):
+        full = FeatureExtractor(FeatureConfig()).extract(window)
+        half = FeatureExtractor(FeatureConfig(sensing_fraction=0.5)).extract(window)
+        assert full.shape == half.shape
+        # The stretch FFT bins (last 9) are identical, accel statistics differ.
+        np.testing.assert_allclose(full[-9:], half[-9:])
+        assert not np.allclose(full[:-9], half[:-9])
+
+    def test_extract_dataset_shapes(self, small_dataset):
+        extractor = FeatureExtractor(FeatureConfig(accel_axes=("y",)))
+        matrix = extractor.extract_dataset(small_dataset)
+        assert isinstance(matrix, FeatureMatrix)
+        assert matrix.num_windows == len(small_dataset)
+        assert matrix.num_features == extractor.num_features
+        assert matrix.labels.shape == (len(small_dataset),)
+        assert matrix.user_ids.shape == (len(small_dataset),)
+
+    def test_feature_matrix_subset(self, small_dataset):
+        extractor = FeatureExtractor(FeatureConfig(accel_axes=("y",)))
+        matrix = extractor.extract_dataset(small_dataset)
+        subset = matrix.subset([0, 5, 10])
+        assert subset.num_windows == 3
+        np.testing.assert_allclose(subset.features[1], matrix.features[5])
+
+    def test_feature_matrix_validation(self):
+        with pytest.raises(ValueError):
+            FeatureMatrix(
+                features=np.zeros((3, 2)),
+                labels=np.zeros(4),
+                feature_names=["a", "b"],
+                user_ids=np.zeros(3),
+            )
+        with pytest.raises(ValueError):
+            FeatureMatrix(
+                features=np.zeros((3, 2)),
+                labels=np.zeros(3),
+                feature_names=["a"],
+                user_ids=np.zeros(3),
+            )
+
+    def test_standardize_train_statistics(self, rng):
+        train = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        test = rng.normal(loc=5.0, scale=3.0, size=(50, 4))
+        train_std, test_std = standardize(train, test)
+        np.testing.assert_allclose(train_std.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(train_std.std(axis=0), 1.0, atol=1e-10)
+        assert test_std.shape == test.shape
+
+    def test_standardize_constant_column_safe(self):
+        train = np.column_stack([np.ones(10), np.arange(10.0)])
+        (standardized,) = standardize(train)
+        assert np.all(np.isfinite(standardized))
+
+    def test_features_separate_activities(self, small_dataset):
+        """Sanity: mean stretch FFT DC bin differs between sit and stand."""
+        extractor = FeatureExtractor(
+            FeatureConfig(accel_axes=(), stretch_features="fft16")
+        )
+        sit = [
+            extractor.extract(w)[0]
+            for w in small_dataset.windows_for_activity(Activity.SIT)[:20]
+        ]
+        stand = [
+            extractor.extract(w)[0]
+            for w in small_dataset.windows_for_activity(Activity.STAND)[:20]
+        ]
+        assert np.mean(sit) > np.mean(stand)

@@ -1,0 +1,169 @@
+"""Tests for the synthetic user population and sensor-signal models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.har.activities import ALL_ACTIVITIES, Activity
+from repro.har.sensors import (
+    AccelerometerSynthesizer,
+    SensorSpec,
+    StretchSensorSynthesizer,
+)
+from repro.har.users import UserProfile, generate_population, generate_user
+
+
+class TestUserPopulation:
+    def test_default_population_size(self):
+        users = generate_population()
+        assert len(users) == 14
+
+    def test_population_is_reproducible(self):
+        first = generate_population(num_users=5, seed=123)
+        second = generate_population(num_users=5, seed=123)
+        for a, b in zip(first, second):
+            assert a == b
+
+    def test_different_seeds_differ(self):
+        first = generate_population(num_users=5, seed=1)
+        second = generate_population(num_users=5, seed=2)
+        assert any(a != b for a, b in zip(first, second))
+
+    def test_users_have_distinct_parameters(self):
+        users = generate_population(num_users=14, seed=7)
+        gaits = {round(u.gait_frequency_hz, 6) for u in users}
+        assert len(gaits) == 14
+
+    def test_user_ids_sequential(self):
+        users = generate_population(num_users=4, seed=0)
+        assert [u.user_id for u in users] == [0, 1, 2, 3]
+        assert users[2].name == "user02"
+
+    def test_zero_users_rejected(self):
+        with pytest.raises(ValueError):
+            generate_population(num_users=0)
+
+    def test_explicit_rng_used(self, rng):
+        user = generate_user(3, rng)
+        assert isinstance(user, UserProfile)
+        assert user.user_id == 3
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            UserProfile(
+                user_id=-1, gait_frequency_hz=2.0, walk_amplitude_g=0.5,
+                jump_frequency_hz=2.5, jump_amplitude_g=1.5, sit_angle_rad=1.4,
+                stand_angle_rad=0.1, lie_angle_rad=1.5, drive_vibration_g=0.05,
+                stretch_gain=1.0, stretch_offset=0.1, accel_noise_g=0.05,
+                stretch_noise=0.05,
+            )
+        with pytest.raises(ValueError):
+            UserProfile(
+                user_id=0, gait_frequency_hz=0.0, walk_amplitude_g=0.5,
+                jump_frequency_hz=2.5, jump_amplitude_g=1.5, sit_angle_rad=1.4,
+                stand_angle_rad=0.1, lie_angle_rad=1.5, drive_vibration_g=0.05,
+                stretch_gain=1.0, stretch_offset=0.1, accel_noise_g=0.05,
+                stretch_noise=0.05,
+            )
+
+
+class TestSensorSpec:
+    def test_default_matches_paper(self):
+        spec = SensorSpec()
+        assert spec.window_s == pytest.approx(1.6)
+        assert spec.sampling_hz == pytest.approx(100.0)
+        assert spec.num_samples == 160
+
+    def test_time_vector(self):
+        spec = SensorSpec(window_s=0.5, sampling_hz=10)
+        t = spec.time_vector()
+        assert len(t) == 5
+        assert t[1] - t[0] == pytest.approx(0.1)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            SensorSpec(window_s=0.0)
+        with pytest.raises(ValueError):
+            SensorSpec(sampling_hz=-1.0)
+
+
+@pytest.fixture
+def user():
+    return generate_population(num_users=1, seed=11)[0]
+
+
+class TestAccelerometerSynthesizer:
+    def test_output_shape(self, user, rng):
+        synth = AccelerometerSynthesizer()
+        for activity in ALL_ACTIVITIES:
+            window = synth.synthesize(activity, user, rng)
+            assert window.shape == (160, 3)
+            assert np.all(np.isfinite(window))
+
+    def test_standing_gravity_on_y_axis(self, user, rng):
+        synth = AccelerometerSynthesizer()
+        window = synth.synthesize(Activity.STAND, user, rng)
+        mean = window.mean(axis=0)
+        assert mean[1] > 0.85           # y close to 1 g
+        assert abs(mean[0]) < 0.3       # little lateral gravity
+
+    def test_sitting_gravity_rotated_toward_z(self, user, rng):
+        synth = AccelerometerSynthesizer()
+        stand = synth.synthesize(Activity.STAND, user, rng).mean(axis=0)
+        sit = synth.synthesize(Activity.SIT, user, rng).mean(axis=0)
+        assert sit[1] < stand[1]
+        assert sit[2] > stand[2]
+
+    def test_dynamic_activities_have_higher_variance(self, user, rng):
+        synth = AccelerometerSynthesizer()
+        stand_std = synth.synthesize(Activity.STAND, user, rng)[:, 1].std()
+        walk_std = synth.synthesize(Activity.WALK, user, rng)[:, 1].std()
+        jump_std = synth.synthesize(Activity.JUMP, user, rng)[:, 1].std()
+        assert walk_std > 2 * stand_std
+        assert jump_std > walk_std
+
+    def test_gravity_magnitude_reasonable_for_static_postures(self, user, rng):
+        synth = AccelerometerSynthesizer()
+        for activity in (Activity.SIT, Activity.STAND, Activity.LIE_DOWN):
+            window = synth.synthesize(activity, user, rng)
+            magnitude = np.linalg.norm(window.mean(axis=0))
+            assert 0.8 < magnitude < 1.2
+
+    def test_reproducible_with_same_rng_state(self, user):
+        synth = AccelerometerSynthesizer()
+        a = synth.synthesize(Activity.WALK, user, np.random.default_rng(5))
+        b = synth.synthesize(Activity.WALK, user, np.random.default_rng(5))
+        np.testing.assert_allclose(a, b)
+
+
+class TestStretchSensorSynthesizer:
+    def test_output_shape_and_nonnegativity(self, user, rng):
+        synth = StretchSensorSynthesizer()
+        for activity in ALL_ACTIVITIES:
+            signal = synth.synthesize(activity, user, rng)
+            assert signal.shape == (160,)
+            assert np.all(signal >= 0.0)
+            assert np.all(np.isfinite(signal))
+
+    def test_bent_knee_postures_read_higher_than_straight(self, user, rng):
+        synth = StretchSensorSynthesizer()
+        sit = synth.synthesize(Activity.SIT, user, rng).mean()
+        stand = synth.synthesize(Activity.STAND, user, rng).mean()
+        lie = synth.synthesize(Activity.LIE_DOWN, user, rng).mean()
+        assert sit > stand + 0.2
+        assert sit > lie + 0.2
+
+    def test_walking_produces_periodic_variation(self, user, rng):
+        synth = StretchSensorSynthesizer()
+        walk = synth.synthesize(Activity.WALK, user, rng)
+        stand = synth.synthesize(Activity.STAND, user, rng)
+        # Walking adds gait-rate flexion on top of the sensor noise floor, so
+        # its spread is noticeably (though not dramatically) larger.
+        assert walk.std() > 1.3 * stand.std()
+        assert walk.mean() > stand.mean()
+
+    def test_custom_spec_controls_length(self, user, rng):
+        synth = StretchSensorSynthesizer(SensorSpec(window_s=0.8, sampling_hz=50))
+        signal = synth.synthesize(Activity.WALK, user, rng)
+        assert signal.shape == (40,)

@@ -1,0 +1,208 @@
+"""Tests for sensor windows, the dataset container and study synthesis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.har.activities import ALL_ACTIVITIES, Activity
+from repro.har.sensors import SensorSpec
+from repro.har.synthesis import (
+    DEFAULT_STUDY_MIX,
+    StudyConfig,
+    StudyGenerator,
+    generate_study_dataset,
+)
+from repro.har.windows import DatasetSplit, HARDataset, SensorWindow
+
+
+def _window(activity=Activity.SIT, user_id=0, n=160):
+    rng = np.random.default_rng(0)
+    return SensorWindow(
+        accel=rng.normal(size=(n, 3)),
+        stretch=np.abs(rng.normal(size=n)),
+        activity=activity,
+        user_id=user_id,
+    )
+
+
+class TestSensorWindow:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            SensorWindow(
+                accel=np.zeros((10, 2)), stretch=np.zeros(10),
+                activity=Activity.SIT, user_id=0,
+            )
+        with pytest.raises(ValueError):
+            SensorWindow(
+                accel=np.zeros((10, 3)), stretch=np.zeros(12),
+                activity=Activity.SIT, user_id=0,
+            )
+        with pytest.raises(ValueError):
+            SensorWindow(
+                accel=np.zeros((10, 3)), stretch=np.zeros((10, 1)),
+                activity=Activity.SIT, user_id=0,
+            )
+
+    def test_basic_properties(self):
+        window = _window()
+        assert window.num_samples == 160
+        assert window.duration_s == pytest.approx(1.6)
+
+    def test_accel_axes_selection(self):
+        window = _window()
+        y_only = window.accel_axes(["y"])
+        assert y_only.shape == (160, 1)
+        np.testing.assert_allclose(y_only[:, 0], window.accel[:, 1])
+        xz = window.accel_axes(("x", "z"))
+        assert xz.shape == (160, 2)
+
+    def test_accel_axes_unknown_axis(self):
+        with pytest.raises(ValueError):
+            _window().accel_axes(["w"])
+
+    def test_truncated_zeroes_tail_but_keeps_stretch(self):
+        window = _window()
+        truncated = window.truncated(0.5)
+        keep = int(round(160 * 0.5))
+        np.testing.assert_allclose(truncated.accel[:keep], window.accel[:keep])
+        assert np.all(truncated.accel[keep:] == 0.0)
+        np.testing.assert_allclose(truncated.stretch, window.stretch)
+
+    def test_truncated_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            _window().truncated(0.0)
+        with pytest.raises(ValueError):
+            _window().truncated(1.5)
+
+
+class TestHARDataset:
+    @pytest.fixture
+    def dataset(self):
+        windows = []
+        for user in range(3):
+            for activity in ALL_ACTIVITIES:
+                for _ in range(6):
+                    windows.append(_window(activity, user, n=32))
+        return HARDataset(windows)
+
+    def test_len_and_iteration(self, dataset):
+        assert len(dataset) == 3 * 7 * 6
+        assert sum(1 for _ in dataset) == len(dataset)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            HARDataset([])
+
+    def test_labels_and_users(self, dataset):
+        assert dataset.labels.shape == (len(dataset),)
+        assert dataset.num_users == 3
+        assert set(dataset.user_ids) == {0, 1, 2}
+
+    def test_class_distribution(self, dataset):
+        distribution = dataset.class_distribution()
+        assert all(count == 18 for count in distribution.values())
+
+    def test_windows_for_user_and_activity(self, dataset):
+        user_windows = dataset.windows_for_user(1)
+        assert len(user_windows) == 7 * 6
+        walk_windows = dataset.windows_for_activity(Activity.WALK)
+        assert len(walk_windows) == 3 * 6
+        assert all(w.activity is Activity.WALK for w in walk_windows)
+
+    def test_split_sizes_and_disjointness(self, dataset):
+        split = dataset.split(seed=3)
+        n_train, n_val, n_test = split.sizes
+        assert n_train + n_val + n_test == len(dataset)
+        assert n_train > n_val >= n_test > 0
+        all_indices = np.concatenate(
+            [split.train_indices, split.validation_indices, split.test_indices]
+        )
+        assert len(np.unique(all_indices)) == len(dataset)
+
+    def test_split_is_stratified(self, dataset):
+        split = dataset.split(seed=3)
+        train_labels = dataset.labels[split.train_indices]
+        # Every class appears in the training partition.
+        assert set(train_labels) == set(int(a) for a in ALL_ACTIVITIES)
+
+    def test_split_reproducible(self, dataset):
+        a = dataset.split(seed=9)
+        b = dataset.split(seed=9)
+        np.testing.assert_array_equal(a.train_indices, b.train_indices)
+
+    def test_split_fraction_validation(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.split(train_fraction=0.9, validation_fraction=0.2)
+        with pytest.raises(ValueError):
+            dataset.split(train_fraction=0.0)
+
+    def test_subset(self, dataset):
+        subset = dataset.subset([0, 1, 2])
+        assert len(subset) == 3
+
+    def test_split_partitions_do_not_overlap_constructor_check(self):
+        with pytest.raises(ValueError):
+            DatasetSplit(
+                train_indices=np.array([0, 1]),
+                validation_indices=np.array([1]),
+                test_indices=np.array([2]),
+            )
+
+
+class TestStudyGenerator:
+    def test_default_config_matches_paper_scale(self):
+        config = StudyConfig()
+        assert config.num_users == 14
+        assert config.num_windows == 3553
+
+    def test_small_dataset_generation(self, small_dataset):
+        assert len(small_dataset) == 420
+        assert small_dataset.num_users == 6
+        distribution = small_dataset.class_distribution()
+        assert all(count > 0 for count in distribution.values())
+
+    def test_window_count_exact(self):
+        dataset = generate_study_dataset(num_users=3, num_windows=101, seed=1)
+        assert len(dataset) == 101
+
+    def test_generation_reproducible(self):
+        a = generate_study_dataset(num_users=3, num_windows=70, seed=5)
+        b = generate_study_dataset(num_users=3, num_windows=70, seed=5)
+        np.testing.assert_allclose(a[0].accel, b[0].accel)
+        assert list(a.labels) == list(b.labels)
+
+    def test_different_seeds_give_different_data(self):
+        a = generate_study_dataset(num_users=3, num_windows=70, seed=5)
+        b = generate_study_dataset(num_users=3, num_windows=70, seed=6)
+        assert not np.allclose(a[0].accel, b[0].accel)
+
+    def test_class_mix_roughly_follows_study_mix(self):
+        dataset = generate_study_dataset(num_users=4, num_windows=700, seed=2)
+        distribution = dataset.class_distribution()
+        for activity, share in DEFAULT_STUDY_MIX.items():
+            observed = distribution[activity] / len(dataset)
+            assert observed == pytest.approx(share, abs=0.03)
+
+    def test_every_user_contributes(self):
+        dataset = generate_study_dataset(num_users=5, num_windows=200, seed=3)
+        assert dataset.num_users == 5
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            StudyConfig(num_users=0)
+        with pytest.raises(ValueError):
+            StudyConfig(num_windows=3)
+
+    def test_activity_stream_generation(self):
+        generator = StudyGenerator(StudyConfig(num_users=2, num_windows=50, seed=4))
+        stream = generator.generate_activity_stream(500, seed=10)
+        assert len(stream) == 500
+        assert all(isinstance(a, Activity) for a in stream)
+
+    def test_custom_sensor_spec_propagates(self):
+        spec = SensorSpec(window_s=0.8, sampling_hz=50)
+        dataset = generate_study_dataset(
+            num_users=2, num_windows=30, seed=1, sensor_spec=spec
+        )
+        assert dataset[0].num_samples == 40

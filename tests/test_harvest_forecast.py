@@ -1,0 +1,147 @@
+"""Tests for the harvested-energy forecasters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harvesting.forecast import (
+    ClearSkyScaledForecaster,
+    EwmaForecaster,
+    PersistenceForecaster,
+    forecast_error,
+)
+from repro.harvesting.solar import SyntheticSolarModel
+from repro.harvesting.solar_cell import HarvestScenario
+
+
+@pytest.fixture(scope="module")
+def harvest_trace():
+    """Three days of hourly harvested energy from the synthetic model."""
+    trace = SyntheticSolarModel(seed=11).generate_days(244, 3)
+    return HarvestScenario().budgets_from_trace(trace)
+
+
+class TestPersistenceForecaster:
+    def test_repeats_yesterdays_value(self):
+        forecaster = PersistenceForecaster(periods_per_day=4)
+        day_one = [1.0, 2.0, 3.0, 4.0]
+        for value in day_one:
+            forecaster.observe(value)
+        assert forecaster.forecast(4) == day_one
+
+    def test_initial_forecast_is_initial_value(self):
+        forecaster = PersistenceForecaster(periods_per_day=3, initial_j=0.5)
+        assert forecaster.forecast(3) == [0.5, 0.5, 0.5]
+
+    def test_horizon_wraps_around_the_day(self):
+        forecaster = PersistenceForecaster(periods_per_day=2)
+        forecaster.observe(1.0)
+        forecaster.observe(2.0)
+        assert forecaster.forecast(4) == [1.0, 2.0, 1.0, 2.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PersistenceForecaster(periods_per_day=0)
+        with pytest.raises(ValueError):
+            PersistenceForecaster(initial_j=-1.0)
+        forecaster = PersistenceForecaster()
+        with pytest.raises(ValueError):
+            forecaster.forecast(0)
+        with pytest.raises(ValueError):
+            forecaster.observe(-1.0)
+
+    def test_perfectly_periodic_trace_has_zero_error_after_first_day(self):
+        day = [0.0, 0.0, 3.0, 6.0, 3.0, 0.0]
+        trace = day * 4
+        forecaster = PersistenceForecaster(periods_per_day=len(day))
+        predictions = forecaster.run(trace)
+        errors = np.abs(np.array(predictions[len(day):]) - np.array(trace[len(day):]))
+        assert np.max(errors) == pytest.approx(0.0)
+
+
+class TestEwmaForecaster:
+    def test_converges_to_constant_input(self):
+        forecaster = EwmaForecaster(periods_per_day=1, smoothing=0.5)
+        for _ in range(20):
+            forecaster.observe(4.0)
+        assert forecaster.forecast(1)[0] == pytest.approx(4.0, rel=1e-3)
+
+    def test_smoothing_bounds(self):
+        with pytest.raises(ValueError):
+            EwmaForecaster(smoothing=0.0)
+        with pytest.raises(ValueError):
+            EwmaForecaster(smoothing=1.5)
+
+    def test_per_slot_estimates_are_independent(self):
+        forecaster = EwmaForecaster(periods_per_day=2, smoothing=1.0)
+        forecaster.observe(10.0)   # slot 0
+        forecaster.observe(1.0)    # slot 1
+        assert forecaster.forecast(2) == [10.0, 1.0]
+
+    def test_better_than_persistence_on_noisy_but_stationary_slot(self, rng):
+        # Each day the same profile plus noise: once warmed up, EWMA averages
+        # the noise out while persistence repeats it verbatim.
+        day = np.array([0.0, 2.0, 5.0, 2.0])
+        trace = []
+        for _ in range(40):
+            trace.extend((day + rng.normal(0, 0.4, size=4)).clip(min=0.0))
+        ewma_forecaster = EwmaForecaster(periods_per_day=4, smoothing=0.3)
+        persistence_forecaster = PersistenceForecaster(periods_per_day=4)
+        ewma_predictions = np.array(ewma_forecaster.run(trace))
+        persistence_predictions = np.array(persistence_forecaster.run(trace))
+        actual = np.array(trace)
+        warmup = 20 * 4  # skip the cold-start transient
+        ewma_rmse = np.sqrt(np.mean((ewma_predictions[warmup:] - actual[warmup:]) ** 2))
+        persistence_rmse = np.sqrt(
+            np.mean((persistence_predictions[warmup:] - actual[warmup:]) ** 2)
+        )
+        assert ewma_rmse < persistence_rmse
+
+
+class TestClearSkyScaledForecaster:
+    def test_night_slots_forecast_zero(self):
+        forecaster = ClearSkyScaledForecaster(day_of_year=244)
+        # Slot 0 is midnight-ish: clear-sky harvest is zero.
+        assert forecaster.forecast(1)[0] == pytest.approx(0.0)
+
+    def test_clearness_adapts_downward_on_cloudy_observations(self):
+        forecaster = ClearSkyScaledForecaster(day_of_year=244, initial_clearness=1.0,
+                                              smoothing=0.5)
+        # Observe a heavily clouded noon (slot 12) repeatedly.
+        for _ in range(3):
+            forecaster._period_index = 12
+            ceiling = forecaster.clear_sky_harvest_j(12)
+            forecaster.observe(0.2 * ceiling)
+        assert forecaster.clearness < 0.6
+
+    def test_night_observations_do_not_change_clearness(self):
+        forecaster = ClearSkyScaledForecaster(initial_clearness=0.7)
+        before = forecaster.clearness
+        forecaster.observe(0.0)   # midnight slot, clear-sky ceiling is zero
+        assert forecaster.clearness == pytest.approx(before)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClearSkyScaledForecaster(smoothing=0.0)
+        with pytest.raises(ValueError):
+            ClearSkyScaledForecaster(initial_clearness=1.5)
+
+
+class TestForecastError:
+    def test_error_keys_and_sanity(self, harvest_trace):
+        metrics = forecast_error(EwmaForecaster(), harvest_trace)
+        assert set(metrics) == {"mae_j", "rmse_j", "bias_j", "num_periods"}
+        assert metrics["num_periods"] == len(harvest_trace)
+        assert metrics["rmse_j"] >= metrics["mae_j"] >= 0.0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            forecast_error(EwmaForecaster(), [])
+
+    def test_clear_sky_forecaster_reasonable_on_synthetic_trace(self, harvest_trace):
+        metrics = forecast_error(
+            ClearSkyScaledForecaster(day_of_year=244), harvest_trace
+        )
+        # Error stays well below the peak hourly harvest (~10 J).
+        assert metrics["rmse_j"] < 5.0

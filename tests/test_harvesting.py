@@ -1,0 +1,220 @@
+"""Tests for the solar trace, synthetic irradiance and solar-cell models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harvesting.solar import (
+    CloudModel,
+    GOLDEN_COLORADO_LATITUDE_DEG,
+    SyntheticSolarModel,
+    clear_sky_ghi,
+    solar_declination_rad,
+    solar_elevation_rad,
+)
+from repro.harvesting.solar_cell import HarvestScenario, SolarCellModel, summarize_budgets
+from repro.harvesting.traces import SolarTrace, TraceHour, load_nrel_csv
+
+
+class TestSolarGeometry:
+    def test_declination_extremes(self):
+        # Summer solstice (~day 172) positive, winter solstice (~day 355) negative.
+        assert solar_declination_rad(172) > 0.38
+        assert solar_declination_rad(355) < -0.38
+
+    def test_declination_bounds(self):
+        for day in range(1, 366, 10):
+            assert abs(solar_declination_rad(day)) <= np.radians(23.45) + 1e-9
+        with pytest.raises(ValueError):
+            solar_declination_rad(0)
+
+    def test_elevation_peaks_at_noon(self):
+        elevations = [solar_elevation_rad(172, hour) for hour in range(24)]
+        assert int(np.argmax(elevations)) == 12
+
+    def test_elevation_negative_at_night(self):
+        assert solar_elevation_rad(172, 0.0) < 0
+        assert solar_elevation_rad(172, 23.0) < 0
+
+    def test_elevation_hour_bounds(self):
+        with pytest.raises(ValueError):
+            solar_elevation_rad(100, 24.0)
+
+    def test_clear_sky_zero_at_night(self):
+        assert clear_sky_ghi(200, 1.0) == 0.0
+
+    def test_clear_sky_summer_noon_reasonable(self):
+        ghi = clear_sky_ghi(172, 12.0, GOLDEN_COLORADO_LATITUDE_DEG)
+        assert 800 < ghi < 1100
+
+    def test_clear_sky_winter_below_summer(self):
+        assert clear_sky_ghi(355, 12.0) < clear_sky_ghi(172, 12.0)
+
+
+class TestCloudModel:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            CloudModel(p_clear=0.8, p_partly=0.3)
+        with pytest.raises(ValueError):
+            CloudModel(hourly_jitter=1.5)
+
+    def test_day_clearness_in_unit_interval(self, rng):
+        model = CloudModel()
+        for _ in range(50):
+            clearness = model.sample_day_clearness(rng)
+            assert 0.0 <= clearness <= 1.0
+
+    def test_hourly_clearness_bounded(self, rng):
+        model = CloudModel()
+        values = model.hourly_clearness(0.9, 24, rng)
+        assert values.shape == (24,)
+        assert np.all(values >= 0.0)
+        assert np.all(values <= 1.0)
+
+
+class TestSyntheticSolarModel:
+    def test_month_length(self):
+        trace = SyntheticSolarModel(seed=1).generate_month(9)
+        assert len(trace) == 30 * 24
+        assert trace.num_days == 30
+
+    def test_generation_reproducible(self):
+        a = SyntheticSolarModel(seed=3).generate_days(100, 3)
+        b = SyntheticSolarModel(seed=3).generate_days(100, 3)
+        np.testing.assert_allclose(a.ghi, b.ghi)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticSolarModel(seed=3).generate_days(100, 3)
+        b = SyntheticSolarModel(seed=4).generate_days(100, 3)
+        assert not np.allclose(a.ghi, b.ghi)
+
+    def test_night_hours_have_zero_irradiance(self):
+        trace = SyntheticSolarModel(seed=2).generate_days(200, 2)
+        night = [h.ghi_w_per_m2 for h in trace if h.hour_of_day in (0, 1, 2, 23)]
+        assert max(night) == pytest.approx(0.0)
+
+    def test_daytime_hours_have_positive_irradiance(self):
+        trace = SyntheticSolarModel(seed=2).generate_days(172, 5)
+        noon = [h.ghi_w_per_m2 for h in trace if h.hour_of_day == 12]
+        assert min(noon) > 10.0
+
+    def test_invalid_month_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticSolarModel().generate_month(13)
+
+    def test_invalid_day_count_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticSolarModel().generate_days(1, 0)
+
+    def test_september_helper(self):
+        trace = SyntheticSolarModel(seed=5).generate_september()
+        assert trace.num_days == 30
+        assert trace[0].day_of_year == 244
+
+
+class TestSolarTrace:
+    def test_trace_hour_validation(self):
+        with pytest.raises(ValueError):
+            TraceHour(day_of_year=0, hour_of_day=0, ghi_w_per_m2=100.0)
+        with pytest.raises(ValueError):
+            TraceHour(day_of_year=1, hour_of_day=24, ghi_w_per_m2=100.0)
+        with pytest.raises(ValueError):
+            TraceHour(day_of_year=1, hour_of_day=0, ghi_w_per_m2=-1.0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            SolarTrace([])
+
+    def test_from_arrays_and_views(self):
+        trace = SolarTrace.from_arrays([1, 1, 2], [10, 11, 10], [100.0, 200.0, -5.0])
+        assert len(trace) == 3
+        assert trace.ghi[2] == 0.0  # negative clamped
+        assert trace.labels[0] == "d001h10"
+        assert trace.num_days == 2
+
+    def test_daily_totals(self):
+        trace = SolarTrace.from_arrays([1, 1, 2], [10, 11, 10], [100.0, 200.0, 50.0])
+        totals = dict(trace.daily_totals())
+        assert totals[1] == pytest.approx(300.0)
+        assert totals[2] == pytest.approx(50.0)
+
+    def test_slice_days(self):
+        trace = SyntheticSolarModel(seed=1).generate_days(100, 5)
+        sliced = trace.slice_days(101, 102)
+        assert sliced.num_days == 2
+        with pytest.raises(ValueError):
+            trace.slice_days(300, 301)
+        with pytest.raises(ValueError):
+            trace.slice_days(102, 101)
+
+    def test_daytime_filter(self):
+        trace = SyntheticSolarModel(seed=1).generate_days(172, 2)
+        day = trace.daytime_hours()
+        assert len(day) < len(trace)
+        assert all(h.ghi_w_per_m2 > 1.0 for h in day)
+
+    def test_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "nrel.csv"
+        path.write_text(
+            "DOY,HOUR,GHI\n244,10,512.5\n244,11,630.0\n244,12,-2.0\n245,12,\n"
+        )
+        trace = load_nrel_csv(str(path))
+        assert len(trace) == 4
+        assert trace.ghi[0] == pytest.approx(512.5)
+        assert trace.ghi[2] == 0.0   # negative clamped
+        assert trace.ghi[3] == 0.0   # missing treated as zero
+
+    def test_csv_missing_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("DOY,HOUR\n1,1\n")
+        with pytest.raises(ValueError, match="missing column"):
+            load_nrel_csv(str(path))
+
+    def test_csv_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("DOY,HOUR,GHI\n")
+        with pytest.raises(ValueError):
+            load_nrel_csv(str(path))
+
+
+class TestSolarCellAndScenario:
+    def test_output_power_scales_linearly(self):
+        cell = SolarCellModel()
+        assert cell.output_power_w(500.0) == pytest.approx(cell.output_power_w(1000.0) / 2)
+
+    def test_zero_irradiance_zero_power(self):
+        assert SolarCellModel().output_power_w(0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SolarCellModel(area_m2=0.0)
+        with pytest.raises(ValueError):
+            SolarCellModel(efficiency=1.5)
+        with pytest.raises(ValueError):
+            SolarCellModel().output_power_w(-1.0)
+        with pytest.raises(ValueError):
+            SolarCellModel().hourly_energy_j(100.0, hours=-1.0)
+
+    def test_peak_hour_budget_in_paper_operating_range(self):
+        """A clear noon hour should land near (slightly above) the 9.9 J
+        DP1 saturation point -- the calibration documented in DESIGN.md."""
+        scenario = HarvestScenario()
+        budget = scenario.harvested_energy_j(950.0)
+        assert 8.0 < budget < 14.0
+
+    def test_budgets_from_trace_alignment(self):
+        trace = SyntheticSolarModel(seed=1).generate_days(244, 2)
+        scenario = HarvestScenario()
+        budgets = scenario.budgets_from_trace(trace)
+        assert len(budgets) == len(trace)
+        assert np.all(scenario.budget_array(trace) >= 0.0)
+
+    def test_summarize_budgets(self):
+        summary = summarize_budgets([0.0, 0.1, 5.0, 12.0])
+        assert summary["num_periods"] == 4
+        assert summary["hours_above_dp1_j"] == 1
+        assert summary["hours_below_floor_j"] == 2
+        assert summary["total_j"] == pytest.approx(17.1)
+        with pytest.raises(ValueError):
+            summarize_budgets([])

@@ -1,0 +1,248 @@
+"""Property-based tests (hypothesis) on the core data structures and solvers.
+
+These check invariants over randomly generated inputs:
+
+* the simplex solver always returns feasible, vertex-optimal allocations that
+  agree with the exact enumeration solver;
+* REAP never does worse than any static design point and is monotone in the
+  energy budget;
+* Pareto filtering returns a mutually non-dominated subset that dominates the
+  discarded points;
+* the from-scratch FFT agrees with NumPy and preserves energy (Parseval);
+* the Haar DWT preserves energy level by level;
+* energy accounting is additive and non-negative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocator import ReapAllocator
+from repro.core.analytic import solve_analytic
+from repro.core.design_point import DesignPoint
+from repro.core.pareto import is_dominated, pareto_front
+from repro.core.problem import ReapProblem, static_allocation
+from repro.data.paper_constants import ACTIVITY_PERIOD_S, OFF_STATE_POWER_W
+from repro.har.features.dwt import haar_dwt, haar_dwt_single_level
+from repro.har.features.fft import fft_radix2
+from repro.har.features.statistical import statistical_features
+
+
+# --- strategies --------------------------------------------------------------
+
+def design_point_lists(min_size=1, max_size=6):
+    """Random, uniquely named design-point sets."""
+    point = st.tuples(
+        st.floats(min_value=0.05, max_value=1.0),      # accuracy
+        st.floats(min_value=1e-4, max_value=5e-3),     # power in W
+    )
+    return st.lists(point, min_size=min_size, max_size=max_size).map(
+        lambda pairs: [
+            DesignPoint(name=f"P{i}", accuracy=a, power_w=p)
+            for i, (a, p) in enumerate(pairs)
+        ]
+    )
+
+
+budgets = st.floats(min_value=0.0, max_value=25.0)
+alphas = st.floats(min_value=0.0, max_value=8.0)
+
+
+# --- allocator invariants --------------------------------------------------------
+
+class TestAllocatorProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(points=design_point_lists(), budget=budgets, alpha=alphas)
+    def test_simplex_matches_exact_enumeration(self, points, budget, alpha):
+        problem = ReapProblem(
+            tuple(points), energy_budget_j=budget, alpha=alpha,
+            off_power_w=OFF_STATE_POWER_W,
+        )
+        simplex_allocation = ReapAllocator().solve(problem)
+        exact_allocation = solve_analytic(problem)
+        assert simplex_allocation.objective == pytest.approx(
+            exact_allocation.objective, rel=1e-6, abs=1e-9
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(points=design_point_lists(), budget=budgets, alpha=alphas)
+    def test_allocation_is_feasible(self, points, budget, alpha):
+        problem = ReapProblem(tuple(points), energy_budget_j=budget, alpha=alpha)
+        allocation = ReapAllocator().solve(problem)
+        assert allocation.total_time_s == pytest.approx(ACTIVITY_PERIOD_S, rel=1e-6)
+        assert all(t >= -1e-9 for t in allocation.times_s)
+        if allocation.budget_feasible:
+            assert allocation.energy_j <= budget * (1 + 1e-6) + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(points=design_point_lists(min_size=2), budget=budgets)
+    def test_reap_at_least_as_good_as_every_static(self, points, budget):
+        problem = ReapProblem(tuple(points), energy_budget_j=budget)
+        reap = ReapAllocator().solve(problem)
+        for dp in points:
+            static = static_allocation(problem, dp.name)
+            assert reap.objective >= static.objective - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        points=design_point_lists(min_size=2),
+        budget_low=st.floats(min_value=0.2, max_value=10.0),
+        budget_delta=st.floats(min_value=0.0, max_value=10.0),
+        alpha=alphas,
+    )
+    def test_objective_monotone_in_budget(self, points, budget_low, budget_delta, alpha):
+        low = ReapAllocator().solve(
+            ReapProblem(tuple(points), energy_budget_j=budget_low, alpha=alpha)
+        )
+        high = ReapAllocator().solve(
+            ReapProblem(
+                tuple(points), energy_budget_j=budget_low + budget_delta, alpha=alpha
+            )
+        )
+        assert high.objective >= low.objective - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(points=design_point_lists(min_size=2), budget=budgets)
+    def test_active_time_bounded_by_period(self, points, budget):
+        allocation = ReapAllocator().solve(
+            ReapProblem(tuple(points), energy_budget_j=budget)
+        )
+        assert allocation.active_time_s <= ACTIVITY_PERIOD_S * (1 + 1e-9)
+
+
+# --- Pareto properties ---------------------------------------------------------------
+
+class TestParetoProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(points=design_point_lists(min_size=1, max_size=12))
+    def test_front_is_mutually_non_dominated(self, points):
+        front = pareto_front(points)
+        for candidate in front:
+            assert not is_dominated(candidate, front)
+
+    @settings(max_examples=60, deadline=None)
+    @given(points=design_point_lists(min_size=1, max_size=12))
+    def test_every_point_dominated_by_or_on_front(self, points):
+        front = pareto_front(points)
+        for point in points:
+            on_front = any(
+                abs(point.accuracy - f.accuracy) < 1e-12
+                and abs(point.power_w - f.power_w) < 1e-15
+                for f in front
+            )
+            assert on_front or is_dominated(point, front)
+
+    @settings(max_examples=40, deadline=None)
+    @given(points=design_point_lists(min_size=1, max_size=10))
+    def test_front_is_idempotent(self, points):
+        front = pareto_front(points)
+        assert {dp.name for dp in pareto_front(front)} == {dp.name for dp in front}
+
+
+# --- signal-processing properties --------------------------------------------------------
+
+class TestSignalProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-100.0, max_value=100.0),
+            min_size=16, max_size=16,
+        )
+    )
+    def test_fft_matches_numpy(self, values):
+        signal = np.asarray(values)
+        np.testing.assert_allclose(fft_radix2(signal), np.fft.fft(signal), atol=1e-8)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-50.0, max_value=50.0),
+            min_size=32, max_size=32,
+        )
+    )
+    def test_fft_parseval(self, values):
+        signal = np.asarray(values)
+        spectrum = fft_radix2(signal)
+        time_energy = np.sum(signal ** 2)
+        freq_energy = np.sum(np.abs(spectrum) ** 2) / signal.size
+        assert freq_energy == pytest.approx(time_energy, rel=1e-6, abs=1e-6)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-50.0, max_value=50.0),
+            min_size=2, max_size=128,
+        ).filter(lambda values: len(values) % 2 == 0)
+    )
+    def test_haar_single_level_preserves_energy(self, values):
+        signal = np.asarray(values)
+        approx, detail = haar_dwt_single_level(signal)
+        assert np.sum(approx ** 2) + np.sum(detail ** 2) == pytest.approx(
+            np.sum(signal ** 2), rel=1e-9, abs=1e-9
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-20.0, max_value=20.0),
+            min_size=8, max_size=64,
+        ).filter(lambda values: len(values) % 8 == 0)
+    )
+    def test_haar_multilevel_preserves_energy(self, values):
+        signal = np.asarray(values)
+        bands = haar_dwt(signal, levels=3)
+        total = sum(np.sum(band ** 2) for band in bands)
+        assert total == pytest.approx(np.sum(signal ** 2), rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-1000.0, max_value=1000.0),
+            min_size=1, max_size=200,
+        )
+    )
+    def test_statistical_features_are_finite_and_ordered(self, values):
+        features = statistical_features(np.asarray(values))
+        assert np.all(np.isfinite(features))
+        by_name = dict(zip(
+            ["mean", "std", "min", "max", "range", "rms", "mad", "zero_crossings"],
+            features,
+        ))
+        # Allow a few ulps of slack: np.mean of identical values can land one
+        # rounding step above the maximum.
+        slack = 1e-9 * max(1.0, abs(by_name["max"]))
+        assert by_name["min"] - slack <= by_name["mean"] <= by_name["max"] + slack
+        assert by_name["range"] == pytest.approx(by_name["max"] - by_name["min"], abs=1e-9)
+        assert by_name["std"] >= 0
+        assert 0.0 <= by_name["zero_crossings"] <= 1.0
+
+
+# --- energy accounting properties ----------------------------------------------------------
+
+class TestEnergyAccountingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        points=design_point_lists(min_size=2, max_size=5),
+        budget=st.floats(min_value=0.2, max_value=15.0),
+    )
+    def test_energy_breakdown_sums_to_total(self, points, budget):
+        allocation = ReapAllocator().solve(
+            ReapProblem(tuple(points), energy_budget_j=budget)
+        )
+        breakdown = allocation.energy_by_design_point()
+        assert sum(breakdown.values()) == pytest.approx(allocation.energy_j, rel=1e-9)
+        assert all(value >= -1e-12 for value in breakdown.values())
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        accuracy=st.floats(min_value=0.01, max_value=1.0),
+        power_mw=st.floats(min_value=0.1, max_value=10.0),
+        duration=st.floats(min_value=0.0, max_value=7200.0),
+    )
+    def test_design_point_energy_scales_linearly(self, accuracy, power_mw, duration):
+        dp = DesignPoint(name="X", accuracy=accuracy, power_w=power_mw * 1e-3)
+        assert dp.energy_over(duration) == pytest.approx(dp.power_w * duration)
+        assert dp.energy_over(2 * duration) == pytest.approx(2 * dp.energy_over(duration))

@@ -1,0 +1,52 @@
+"""Tests for the top-level public API surface."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing name {name!r}"
+
+    def test_subpackage_all_names_resolve(self):
+        for module_name in (
+            "repro.core",
+            "repro.data",
+            "repro.har",
+            "repro.har.features",
+            "repro.har.classifier",
+            "repro.energy",
+            "repro.harvesting",
+            "repro.simulation",
+            "repro.analysis",
+        ):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.__all__ lists {name!r}"
+
+    def test_quickstart_docstring_flow(self):
+        """The flow shown in the package docstring works as advertised."""
+        controller = repro.ReapController(repro.table2_design_points(), alpha=1.0)
+        allocation = controller.allocate(energy_budget_j=5.0)
+        active = sorted(name for name, t in allocation.as_dict().items() if t > 0)
+        assert active == ["DP4", "DP5"]
+
+    def test_paper_constants_exported(self):
+        assert repro.ACTIVITY_PERIOD_S == 3600.0
+        assert repro.OFF_STATE_POWER_W == pytest.approx(0.18 / 3600.0)
+
+    def test_design_point_roundtrip_through_top_level(self):
+        dp = repro.DesignPoint(name="custom", accuracy=0.8, power_w=1.5e-3)
+        problem = repro.ReapProblem((dp,), energy_budget_j=3.0)
+        allocation = repro.ReapAllocator().solve(problem)
+        assert allocation.time_for("custom") > 0

@@ -1,0 +1,225 @@
+"""Tests for the policies, device simulator and harvesting campaigns."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import TimeAllocation
+from repro.harvesting.solar import SyntheticSolarModel
+from repro.harvesting.solar_cell import HarvestScenario
+from repro.simulation.device import DeviceConfig, DeviceSimulator
+from repro.simulation.metrics import CampaignResult, PeriodOutcome, compare_campaigns
+from repro.simulation.policies import (
+    OnOffDutyCyclePolicy,
+    OraclePolicy,
+    ReapPolicy,
+    StaticPolicy,
+    default_policy_suite,
+)
+from repro.simulation.simulator import CampaignConfig, HarvestingCampaign
+
+
+class TestPolicies:
+    def test_reap_policy_name_and_allocation(self, table2_points):
+        policy = ReapPolicy(table2_points, alpha=1.0)
+        assert policy.name == "REAP"
+        allocation = policy.allocate(5.0)
+        assert allocation.active_time_s == pytest.approx(3600.0, rel=1e-6)
+
+    def test_static_policy_uses_one_point(self, table2_points):
+        policy = StaticPolicy(table2_points, "DP3")
+        assert policy.name == "Static-DP3"
+        allocation = policy.allocate(4.0)
+        used = {name for name, t in allocation.as_dict().items() if t > 0}
+        assert used == {"DP3"}
+
+    def test_static_policy_unknown_point(self, table2_points):
+        with pytest.raises(KeyError):
+            StaticPolicy(table2_points, "DP99")
+
+    def test_oracle_matches_reap_objective(self, table2_points):
+        for budget in (1.0, 5.0, 9.0):
+            reap = ReapPolicy(table2_points).allocate(budget)
+            oracle = OraclePolicy(table2_points).allocate(budget)
+            assert reap.objective == pytest.approx(oracle.objective, rel=1e-9)
+
+    def test_duty_cycle_defaults_to_most_accurate_point(self, table2_points):
+        policy = OnOffDutyCyclePolicy(table2_points)
+        assert policy.operating_point == "DP1"
+        assert policy.name == "DutyCycle-DP1"
+        assert 0.0 < policy.duty_cycle(5.0) < 1.0
+
+    def test_duty_cycle_explicit_point(self, table2_points):
+        policy = OnOffDutyCyclePolicy(table2_points, operating_point="DP4")
+        allocation = policy.allocate(3.0)
+        assert allocation.time_for("DP4") > 0
+        with pytest.raises(KeyError):
+            OnOffDutyCyclePolicy(table2_points, operating_point="DP9")
+
+    def test_default_policy_suite_composition(self, table2_points):
+        suite = default_policy_suite(table2_points)
+        names = [policy.name for policy in suite]
+        assert names[0] == "REAP"
+        assert len(suite) == 6
+
+    def test_reap_beats_duty_cycle_baseline(self, table2_points):
+        reap = ReapPolicy(table2_points)
+        duty = OnOffDutyCyclePolicy(table2_points)
+        for budget in np.linspace(0.5, 9.0, 10):
+            assert reap.allocate(budget).objective >= duty.allocate(budget).objective - 1e-9
+
+
+class TestDeviceSimulator:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceConfig(recognition_mode="oracle")
+
+    def test_expected_mode_counts(self, table2_points):
+        allocation = TimeAllocation.single_point(
+            table2_points, "DP5", active_time_s=1600.0, period_s=3600.0
+        )
+        outcome = DeviceSimulator().run_period(allocation)
+        assert outcome.windows_total == 2250
+        assert outcome.windows_observed == 1000
+        assert outcome.windows_correct == pytest.approx(1000 * 0.76)
+        assert outcome.observed_fraction == pytest.approx(1000 / 2250)
+        assert outcome.recognition_rate == pytest.approx(1000 * 0.76 / 2250)
+
+    def test_sampled_mode_close_to_expected(self, table2_points):
+        allocation = TimeAllocation.single_point(
+            table2_points, "DP2", active_time_s=3600.0, period_s=3600.0
+        )
+        simulator = DeviceSimulator(DeviceConfig(recognition_mode="sampled", seed=1))
+        outcome = simulator.run_period(allocation)
+        assert outcome.windows_correct == pytest.approx(2250 * 0.93, rel=0.05)
+
+    def test_sampled_mode_reproducible_after_reset(self, table2_points):
+        allocation = TimeAllocation.single_point(
+            table2_points, "DP2", active_time_s=3600.0, period_s=3600.0
+        )
+        simulator = DeviceSimulator(DeviceConfig(recognition_mode="sampled", seed=9))
+        first = simulator.run_period(allocation).windows_correct
+        simulator.reset()
+        second = simulator.run_period(allocation).windows_correct
+        assert first == second
+
+    def test_all_off_allocation_observes_nothing(self, table2_points):
+        allocation = TimeAllocation.all_off(table2_points, period_s=3600.0)
+        outcome = DeviceSimulator().run_period(allocation)
+        assert outcome.windows_observed == 0
+        assert outcome.recognition_rate == 0.0
+        assert outcome.active_time_s == 0.0
+
+    def test_run_periods_budget_length_check(self, table2_points):
+        allocation = TimeAllocation.all_off(table2_points, period_s=3600.0)
+        with pytest.raises(ValueError):
+            DeviceSimulator().run_periods([allocation], budgets_j=[1.0, 2.0])
+
+    def test_outcome_budget_utilisation(self, table2_points):
+        allocation = ReapPolicy(table2_points).allocate(5.0)
+        outcome = DeviceSimulator().run_period(allocation, energy_budget_j=5.0)
+        assert outcome.budget_utilisation == pytest.approx(1.0, rel=1e-6)
+
+
+class TestCampaignMetrics:
+    def _outcome(self, index, objective, active=1800.0):
+        return PeriodOutcome(
+            period_index=index,
+            energy_budget_j=5.0,
+            energy_consumed_j=4.0,
+            active_time_s=active,
+            off_time_s=3600.0 - active,
+            windows_total=2250,
+            windows_observed=1000,
+            windows_correct=900.0,
+            objective_value=objective,
+            expected_accuracy=objective,
+        )
+
+    def test_aggregates(self):
+        result = CampaignResult(policy_name="REAP", alpha=1.0)
+        for index in range(48):
+            result.append(self._outcome(index, objective=0.5))
+        assert len(result) == 48
+        assert result.mean_objective == pytest.approx(0.5)
+        assert result.total_active_time_s == pytest.approx(48 * 1800.0)
+        assert result.overall_recognition_rate == pytest.approx(900.0 / 2250.0)
+        assert result.daily_objective_totals().shape == (2,)
+
+    def test_summary_keys(self):
+        result = CampaignResult(policy_name="X", alpha=1.0)
+        result.append(self._outcome(0, 0.3))
+        summary = result.summary()
+        assert {"periods", "mean_objective", "total_energy_j"} <= set(summary)
+
+    def test_compare_campaigns_ratio(self):
+        reference = CampaignResult(policy_name="REAP", alpha=1.0)
+        baseline = CampaignResult(policy_name="DP1", alpha=1.0)
+        for index in range(24):
+            reference.append(self._outcome(index, objective=0.6))
+            baseline.append(self._outcome(index, objective=0.3))
+        comparison = compare_campaigns(reference, baseline)
+        assert comparison["mean_ratio"] == pytest.approx(2.0)
+        assert comparison["days_compared"] == 1.0
+
+    def test_compare_campaigns_handles_zero_baseline(self):
+        reference = CampaignResult(policy_name="REAP", alpha=1.0)
+        baseline = CampaignResult(policy_name="DP1", alpha=1.0)
+        for index in range(24):
+            reference.append(self._outcome(index, objective=0.6))
+            baseline.append(self._outcome(index, objective=0.0))
+        comparison = compare_campaigns(reference, baseline)
+        assert comparison["days_compared"] == 0.0
+        assert np.isnan(comparison["mean_ratio"])
+
+
+class TestHarvestingCampaign:
+    @pytest.fixture(scope="class")
+    def short_trace(self):
+        return SyntheticSolarModel(seed=8).generate_days(244, 3)
+
+    def test_open_loop_campaign(self, table2_points, short_trace):
+        campaign = HarvestingCampaign(HarvestScenario())
+        result = campaign.run(ReapPolicy(table2_points), short_trace)
+        assert len(result) == len(short_trace)
+        assert result.total_energy_consumed_j > 0
+
+    def test_reap_outperforms_static_dp1_over_campaign(self, table2_points, short_trace):
+        campaign = HarvestingCampaign(HarvestScenario())
+        results = campaign.run_many(
+            [ReapPolicy(table2_points), StaticPolicy(table2_points, "DP1")],
+            short_trace,
+        )
+        assert results["REAP"].mean_objective >= results["Static-DP1"].mean_objective
+
+    def test_battery_backed_campaign_spreads_energy_into_night(
+        self, table2_points, short_trace
+    ):
+        open_loop = HarvestingCampaign(HarvestScenario()).run(
+            ReapPolicy(table2_points), short_trace
+        )
+        battery = HarvestingCampaign(
+            HarvestScenario(),
+            CampaignConfig(use_battery=True, battery_capacity_j=80.0),
+        ).run(ReapPolicy(table2_points), short_trace)
+        night_hours = [
+            i for i, hour in enumerate(short_trace) if hour.ghi_w_per_m2 <= 0.0
+        ]
+        open_night_active = sum(open_loop.outcomes[i].active_time_s for i in night_hours)
+        battery_night_active = sum(battery.outcomes[i].active_time_s for i in night_hours)
+        assert battery_night_active > open_night_active
+
+    def test_energy_consumed_never_exceeds_granted_budgets(self, table2_points, short_trace):
+        campaign = HarvestingCampaign(HarvestScenario())
+        result = campaign.run(ReapPolicy(table2_points), short_trace)
+        for outcome in result.outcomes:
+            assert outcome.energy_consumed_j <= outcome.energy_budget_j + 1e-6
+
+    def test_budgets_for_trace_matches_scenario(self, short_trace):
+        scenario = HarvestScenario()
+        campaign = HarvestingCampaign(scenario)
+        np.testing.assert_allclose(
+            campaign.budgets_for_trace(short_trace),
+            scenario.budgets_from_trace(short_trace),
+        )
