@@ -9,7 +9,9 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import ReapController, StaticController, table2_design_points
+import numpy as np
+
+from repro import BatchAllocator, ReapController, StaticController, table2_design_points
 from repro.analysis import format_table
 
 
@@ -71,6 +73,20 @@ def main() -> None:
         f"{reap.active_time_s / 60:.0f} min active time, while always-DP1 achieves "
         f"{dp1.expected_accuracy:.1%} and {dp1.active_time_s / 60:.0f} min."
     )
+    print()
+
+    # Whole scenario grids solve in one vectorized pass: every (budget,
+    # alpha) cell below is a full REAP LP, handled by the batch engine.
+    budgets = np.linspace(1.0, 10.0, 10)
+    alphas = (0.5, 1.0, 2.0)
+    grid = BatchAllocator(design_points).solve_grid(budgets, alphas)
+    print(
+        f"Batch engine: solved {grid.num_budgets * grid.num_alphas} scenarios "
+        f"({grid.num_budgets} budgets x {grid.num_alphas} alphas) in one call;"
+    )
+    for alpha_index, alpha in enumerate(grid.alphas):
+        peak = grid.objective[alpha_index].max()
+        print(f"  alpha={alpha:g}: peak objective {peak:.3f} across the sweep")
 
 
 if __name__ == "__main__":

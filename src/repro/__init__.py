@@ -19,6 +19,8 @@ Quickstart
 from repro.core import (
     AllocationSeries,
     AllocatorConfig,
+    BatchAllocator,
+    BatchGridResult,
     DesignPoint,
     LPStatus,
     LinearProgram,
@@ -47,6 +49,8 @@ __all__ = [
     "ACTIVITY_PERIOD_S",
     "AllocationSeries",
     "AllocatorConfig",
+    "BatchAllocator",
+    "BatchGridResult",
     "DesignPoint",
     "LPStatus",
     "LinearProgram",

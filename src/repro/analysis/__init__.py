@@ -9,6 +9,7 @@
 from repro.analysis.experiments import (
     ExperimentResult,
     run_alpha_sensitivity_experiment,
+    run_budget_alpha_grid_experiment,
     run_figure3_experiment,
     run_figure4_experiment,
     run_figure5a_experiment,
@@ -30,11 +31,18 @@ from repro.analysis.reporting import (
     ratio,
     rows_to_csv,
 )
-from repro.analysis.sweep import EnergySweep, SweepResult, SweepSeries, default_budget_grid
+from repro.analysis.sweep import (
+    EnergySweep,
+    SWEEP_ENGINES,
+    SweepResult,
+    SweepSeries,
+    default_budget_grid,
+)
 
 __all__ = [
     "EnergySweep",
     "ExperimentResult",
+    "SWEEP_ENGINES",
     "SweepResult",
     "SweepSeries",
     "default_budget_grid",
@@ -45,6 +53,7 @@ __all__ = [
     "ratio",
     "rows_to_csv",
     "run_alpha_sensitivity_experiment",
+    "run_budget_alpha_grid_experiment",
     "run_figure3_experiment",
     "run_figure4_experiment",
     "run_figure5a_experiment",

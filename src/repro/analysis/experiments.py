@@ -22,6 +22,7 @@ import numpy as np
 from repro.analysis.reporting import format_table, rows_to_csv
 from repro.analysis.sweep import EnergySweep, SweepResult, default_budget_grid
 from repro.core.allocator import AllocatorConfig, ReapAllocator
+from repro.core.batch import BatchAllocator
 from repro.core.design_point import DesignPoint
 from repro.core.pareto import pareto_front, select_pareto_subset
 from repro.core.problem import ReapProblem
@@ -237,6 +238,34 @@ def _sweep(
     sweep = EnergySweep(points, alpha=alpha)
     budgets = default_budget_grid(points, num_points=num_budgets)
     return sweep.run(budgets)
+
+
+def run_budget_alpha_grid_experiment(
+    design_points: Optional[Sequence[DesignPoint]] = None,
+    num_budgets: int = 200,
+    alphas: Sequence[float] = (0.5, 1.0, 2.0, 4.0, 8.0),
+) -> ExperimentResult:
+    """REAP's optimal objective over a full budget x alpha grid.
+
+    This is the fleet-scale view behind Figures 5 and 6: every (budget,
+    alpha) scenario solved in a single vectorized pass through
+    :class:`repro.core.batch.BatchAllocator`.  One row per budget, one
+    objective column per alpha.
+    """
+    points = tuple(design_points) if design_points else tuple(table2_design_points())
+    budgets = default_budget_grid(points, num_points=num_budgets)
+    grid = BatchAllocator(points).solve_grid(budgets, alphas=[float(a) for a in alphas])
+    headers = ["budget_J"] + [f"J_alpha_{float(a):g}" for a in grid.alphas]
+    rows = [
+        [float(budget)] + [float(v) for v in grid.objective[:, budget_index]]
+        for budget_index, budget in enumerate(grid.budgets_j)
+    ]
+    return ExperimentResult(
+        name=f"Budget x alpha grid: {grid.num_budgets} budgets x {grid.num_alphas} alphas",
+        headers=headers,
+        rows=rows,
+        extras={"grid": grid, "num_problems": grid.num_budgets * grid.num_alphas},
+    )
 
 
 def run_figure5a_experiment(
@@ -563,14 +592,17 @@ def run_alpha_sensitivity_experiment(
     alphas: Sequence[float] = (0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
     budget_j: float = 5.0,
 ) -> ExperimentResult:
-    """How the chosen operating mix shifts with alpha at a fixed budget."""
+    """How the chosen operating mix shifts with alpha at a fixed budget.
+
+    All alphas are solved in one call to the vectorized batch engine (a
+    1-budget x A-alpha grid) instead of one scalar LP per alpha.
+    """
     points = tuple(design_points) if design_points else tuple(table2_design_points())
-    allocator = ReapAllocator()
+    grid = BatchAllocator(points).solve_grid([budget_j], alphas=[float(a) for a in alphas])
     headers = ["alpha", "expected_accuracy", "active_fraction"] + [dp.name + "_share" for dp in points]
     rows = []
-    for alpha in alphas:
-        problem = ReapProblem(points, energy_budget_j=budget_j, alpha=float(alpha))
-        allocation = allocator.solve(problem)
+    for alpha_index, alpha in enumerate(grid.alphas):
+        allocation = grid.allocation(alpha_index, 0)
         row: List[object] = [
             float(alpha),
             allocation.expected_accuracy,
@@ -582,13 +614,14 @@ def run_alpha_sensitivity_experiment(
         name=f"Ablation: alpha sensitivity at {budget_j} J",
         headers=headers,
         rows=rows,
-        extras={"budget_j": budget_j},
+        extras={"budget_j": budget_j, "grid": grid},
     )
 
 
 __all__ = [
     "ExperimentResult",
     "run_alpha_sensitivity_experiment",
+    "run_budget_alpha_grid_experiment",
     "run_figure3_experiment",
     "run_figure4_experiment",
     "run_figure5a_experiment",

@@ -3,6 +3,12 @@
 Sweeps the allocated energy over the operating range of the device (from the
 0.18 J off-state floor to just above the 9.9 J needed to run DP1 all hour)
 and evaluates REAP alongside every static design point at each budget.
+
+By default the sweep runs on the vectorized batch engine
+(:class:`repro.core.batch.BatchAllocator`), which solves the whole budget
+grid in one NumPy pass; passing a custom allocator (or ``engine="scalar"``)
+falls back to the per-budget scalar path, which remains the reference
+implementation.
 """
 
 from __future__ import annotations
@@ -13,11 +19,15 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.allocator import ReapAllocator
+from repro.core.batch import BatchAllocator
 from repro.core.design_point import DesignPoint, validate_design_points
 from repro.core.objective import validate_alpha
 from repro.core.problem import ReapProblem, static_allocation
 from repro.core.schedule import TimeAllocation
 from repro.data.paper_constants import ACTIVITY_PERIOD_S, OFF_STATE_POWER_W
+
+#: Valid sweep engine selectors.
+SWEEP_ENGINES = ("auto", "batch", "scalar")
 
 
 def default_budget_grid(
@@ -108,7 +118,21 @@ class SweepResult:
 
 
 class EnergySweep:
-    """Evaluates REAP and the static baselines across a budget grid."""
+    """Evaluates REAP and the static baselines across a budget grid.
+
+    Parameters
+    ----------
+    design_points, alpha, period_s, off_power_w:
+        The fixed parts of the swept :class:`ReapProblem`.
+    allocator:
+        Optional custom scalar allocator.  Providing one switches the sweep
+        to the scalar path (unless ``engine="batch"`` forces otherwise), so
+        configurations like ``formulation="full"`` or ``cross_check=True``
+        keep working unchanged.
+    engine:
+        ``"auto"`` (default: batch unless a custom allocator was supplied),
+        ``"batch"`` or ``"scalar"``.
+    """
 
     def __init__(
         self,
@@ -117,13 +141,21 @@ class EnergySweep:
         period_s: float = ACTIVITY_PERIOD_S,
         off_power_w: float = OFF_STATE_POWER_W,
         allocator: Optional[ReapAllocator] = None,
+        engine: str = "auto",
     ) -> None:
         validate_design_points(design_points)
+        if engine not in SWEEP_ENGINES:
+            raise ValueError(f"engine must be one of {SWEEP_ENGINES}, got {engine!r}")
         self.design_points = tuple(design_points)
         self.alpha = validate_alpha(alpha)
         self.period_s = period_s
         self.off_power_w = off_power_w
+        self._custom_allocator = allocator is not None
         self.allocator = allocator or ReapAllocator()
+        self.engine = engine
+        self._batch = BatchAllocator(
+            self.design_points, period_s=period_s, off_power_w=off_power_w
+        )
 
     def _problem(self, budget_j: float) -> ReapProblem:
         return ReapProblem(
@@ -134,8 +166,27 @@ class EnergySweep:
             off_power_w=self.off_power_w,
         )
 
-    def run(self, budgets_j: Optional[Sequence[float]] = None) -> SweepResult:
-        """Run the sweep and return all series."""
+    @property
+    def uses_batch_engine(self) -> bool:
+        """True when :meth:`run` will take the vectorized batch path."""
+        if self.engine == "batch":
+            return True
+        if self.engine == "scalar":
+            return False
+        return not self._custom_allocator
+
+    def run(
+        self,
+        budgets_j: Optional[Sequence[float]] = None,
+        keep_allocations: bool = False,
+    ) -> SweepResult:
+        """Run the sweep and return all series.
+
+        ``keep_allocations`` controls whether each series also materialises
+        the per-budget :class:`TimeAllocation` objects.  It defaults to False
+        so large grids only retain the accuracy/active-time/objective arrays;
+        pass True when the individual allocations are needed.
+        """
         if budgets_j is None:
             budgets = default_budget_grid(
                 self.design_points, period_s=self.period_s, off_power_w=self.off_power_w
@@ -145,6 +196,50 @@ class EnergySweep:
             if budgets.size == 0:
                 raise ValueError("budget grid is empty")
 
+        if self.uses_batch_engine:
+            series = self._run_batch(budgets, keep_allocations)
+        else:
+            series = self._run_scalar(budgets, keep_allocations)
+        return SweepResult(
+            budgets_j=budgets,
+            alpha=self.alpha,
+            period_s=self.period_s,
+            series=series,
+        )
+
+    # --- batch path ------------------------------------------------------------
+    def _run_batch(
+        self, budgets: np.ndarray, keep_allocations: bool
+    ) -> Dict[str, SweepSeries]:
+        grid = self._batch.solve_budgets(budgets, alpha=self.alpha)
+        series = {
+            "REAP": SweepSeries(
+                policy_name="REAP",
+                expected_accuracy=grid.expected_accuracy[0],
+                active_time_s=grid.active_time_s[0],
+                objective=grid.objective[0],
+                allocations=grid.allocations(0) if keep_allocations else [],
+            )
+        }
+        for dp in self.design_points:
+            static = self._batch.static_grid(dp.name, budgets, alpha=self.alpha)
+            series[dp.name] = SweepSeries(
+                policy_name=dp.name,
+                expected_accuracy=static.expected_accuracy,
+                active_time_s=static.active_time_s,
+                objective=static.objective,
+                allocations=(
+                    self._batch.static_allocations(dp.name, budgets, alpha=self.alpha)
+                    if keep_allocations
+                    else []
+                ),
+            )
+        return series
+
+    # --- scalar (reference) path -------------------------------------------------
+    def _run_scalar(
+        self, budgets: np.ndarray, keep_allocations: bool
+    ) -> Dict[str, SweepSeries]:
         policy_names = ["REAP"] + [dp.name for dp in self.design_points]
         collected: Dict[str, Dict[str, list]] = {
             name: {"accuracy": [], "active": [], "objective": [], "allocations": []}
@@ -154,12 +249,12 @@ class EnergySweep:
         for budget in budgets:
             problem = self._problem(budget)
             reap_allocation = self.allocator.solve(problem)
-            self._record(collected["REAP"], reap_allocation)
+            self._record(collected["REAP"], reap_allocation, keep_allocations)
             for dp in self.design_points:
                 allocation = static_allocation(problem, dp.name)
-                self._record(collected[dp.name], allocation)
+                self._record(collected[dp.name], allocation, keep_allocations)
 
-        series = {
+        return {
             name: SweepSeries(
                 policy_name=name,
                 expected_accuracy=np.array(data["accuracy"]),
@@ -169,19 +264,24 @@ class EnergySweep:
             )
             for name, data in collected.items()
         }
-        return SweepResult(
-            budgets_j=budgets,
-            alpha=self.alpha,
-            period_s=self.period_s,
-            series=series,
-        )
 
     @staticmethod
-    def _record(store: Dict[str, list], allocation: TimeAllocation) -> None:
+    def _record(
+        store: Dict[str, list],
+        allocation: TimeAllocation,
+        keep_allocations: bool,
+    ) -> None:
         store["accuracy"].append(allocation.expected_accuracy)
         store["active"].append(allocation.active_time_s)
         store["objective"].append(allocation.objective)
-        store["allocations"].append(allocation)
+        if keep_allocations:
+            store["allocations"].append(allocation)
 
 
-__all__ = ["EnergySweep", "SweepResult", "SweepSeries", "default_budget_grid"]
+__all__ = [
+    "EnergySweep",
+    "SWEEP_ENGINES",
+    "SweepResult",
+    "SweepSeries",
+    "default_budget_grid",
+]

@@ -7,6 +7,8 @@ Exposes the experiment harness without writing any Python::
     python -m repro run figure7 --csv out.csv # also write the rows as CSV
     python -m repro allocate --budget 5 --alpha 1   # solve one period
     python -m repro sweep --alpha 2 --points 30     # Figure 5/6 style sweep
+    python -m repro sweep --alphas 0.5 1 2 --points 200   # batched alpha grid
+    python -m repro run grid --points 200           # budget x alpha grid CSV
 
 Heavyweight experiments (``table2``, ``figure3``) accept ``--windows`` to
 control the size of the synthetic user study they train on.
@@ -21,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.analysis.experiments import (
     ExperimentResult,
     run_alpha_sensitivity_experiment,
+    run_budget_alpha_grid_experiment,
     run_figure3_experiment,
     run_figure4_experiment,
     run_figure5a_experiment,
@@ -37,6 +40,7 @@ from repro.analysis.experiments import (
 from repro.analysis.reporting import format_table
 from repro.analysis.sweep import EnergySweep, default_budget_grid
 from repro.core.allocator import ReapAllocator
+from repro.core.batch import BatchAllocator
 from repro.core.problem import ReapProblem
 from repro.data.table2 import table2_design_points
 from repro.har.classifier.train import TrainingConfig
@@ -52,6 +56,7 @@ EXPERIMENTS: Dict[str, str] = {
     "figure5b": "Figure 5(b): active time normalised to REAP",
     "figure6": "Figure 6: normalised objective at alpha=2",
     "figure7": "Figure 7: month-long solar case study",
+    "grid": "Budget x alpha grid solved by the vectorized batch engine",
     "claims": "Headline claims (Sections 1 and 5.2)",
     "offloading": "Offloading comparison (Section 4.2)",
     "solver": "Solver-scaling study (Section 3.3)",
@@ -78,6 +83,8 @@ def _dispatch_experiment(name: str, args: argparse.Namespace) -> ExperimentResul
         return run_figure6_experiment(alpha=args.alpha, num_budgets=args.points)
     if name == "figure7":
         return run_figure7_experiment(month=args.month, seed=args.seed)
+    if name == "grid":
+        return run_budget_alpha_grid_experiment(num_budgets=args.points)
     if name == "claims":
         return run_headline_claims_experiment(num_budgets=max(args.points, 40))
     if name == "offloading":
@@ -139,15 +146,37 @@ def _command_allocate(args: argparse.Namespace) -> int:
 
 def _command_sweep(args: argparse.Namespace) -> int:
     points = tuple(table2_design_points())
-    sweep = EnergySweep(points, alpha=args.alpha)
-    result = sweep.run(default_budget_grid(points, num_points=args.points))
-    headers = ["budget_J", "REAP"] + result.static_names
-    rows = []
-    for index, budget in enumerate(result.budgets_j):
-        row = [float(budget), result.reap.objective[index]]
-        row.extend(result.static(name).objective[index] for name in result.static_names)
-        rows.append(row)
-    print(format_table(headers, rows, title=f"Objective J(t) sweep at alpha={args.alpha}"))
+    budgets = default_budget_grid(points, num_points=args.points)
+    if args.alphas and args.engine == "scalar":
+        print(
+            "--alphas grids are solved by the batch engine; "
+            "drop --engine scalar or use a single --alpha",
+            file=sys.stderr,
+        )
+        return 2
+    if args.alphas:
+        # Multi-alpha grid: one batched solve over the whole budget x alpha
+        # plane, one REAP objective column per alpha.
+        grid = BatchAllocator(points).solve_grid(budgets, alphas=args.alphas)
+        headers = ["budget_J"] + [f"alpha_{float(a):g}" for a in grid.alphas]
+        rows = [
+            [float(budget)] + [float(v) for v in grid.objective[:, index]]
+            for index, budget in enumerate(grid.budgets_j)
+        ]
+        title = f"REAP objective grid over {len(args.alphas)} alphas"
+    else:
+        sweep = EnergySweep(points, alpha=args.alpha, engine=args.engine)
+        result = sweep.run(budgets)
+        headers = ["budget_J", "REAP"] + result.static_names
+        rows = []
+        for index, budget in enumerate(result.budgets_j):
+            row = [float(budget), result.reap.objective[index]]
+            row.extend(
+                result.static(name).objective[index] for name in result.static_names
+            )
+            rows.append(row)
+        title = f"Objective J(t) sweep at alpha={args.alpha} ({args.engine} engine)"
+    print(format_table(headers, rows, title=title))
     return 0
 
 
@@ -185,6 +214,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser = subparsers.add_parser("sweep", help="objective sweep over budgets")
     sweep_parser.add_argument("--alpha", type=float, default=1.0)
     sweep_parser.add_argument("--points", type=int, default=25)
+    sweep_parser.add_argument(
+        "--alphas", type=float, nargs="+", default=None,
+        help="solve a budget x alpha grid with the batch engine "
+             "(one REAP objective column per alpha; overrides --alpha, "
+             "incompatible with --engine scalar)",
+    )
+    sweep_parser.add_argument(
+        "--engine", choices=("auto", "batch", "scalar"), default="auto",
+        help="sweep engine: vectorized batch (default) or the scalar reference",
+    )
 
     return parser
 

@@ -11,10 +11,14 @@ This package contains the paper's primary contribution:
 * :mod:`repro.core.allocator` / :mod:`repro.core.controller` -- the runtime
   layer that re-solves the problem every activity period.
 * :mod:`repro.core.analytic` -- an exact vertex-enumeration reference solver.
+* :mod:`repro.core.batch` -- the vectorized batch engine that solves whole
+  budget x alpha grids of REAP problems in one NumPy pass (the fast path
+  behind the sweeps, ablations and month-long campaign simulations).
 """
 
 from repro.core.allocator import AllocatorConfig, ReapAllocator
 from repro.core.analytic import enumerate_vertices, solve_analytic
+from repro.core.batch import BatchAllocator, BatchGridResult, StaticSeries
 from repro.core.controller import ControllerDecision, ReapController, StaticController
 from repro.core.design_point import (
     DesignPoint,
@@ -66,6 +70,8 @@ from repro.core.simplex import (
 __all__ = [
     "AllocationSeries",
     "AllocatorConfig",
+    "BatchAllocator",
+    "BatchGridResult",
     "BudgetTooSmallError",
     "ControllerDecision",
     "DesignPoint",
@@ -83,6 +89,7 @@ __all__ = [
     "SimplexSolver",
     "SimplexStats",
     "StaticController",
+    "StaticSeries",
     "TimeAllocation",
     "UnboundedProblemError",
     "ValueCurve",

@@ -24,7 +24,6 @@ from __future__ import annotations
 from itertools import combinations
 from typing import List, Optional, Tuple
 
-from repro.core.objective import accuracy_weights
 from repro.core.problem import ReapProblem
 from repro.core.schedule import TimeAllocation
 
@@ -103,7 +102,7 @@ def solve_analytic(problem: ReapProblem) -> TimeAllocation:
     if not problem.is_budget_feasible:
         return problem.all_off_allocation(budget_feasible=False)
 
-    weights = accuracy_weights(problem.design_points, problem.alpha)
+    weights = problem.objective_weights
     best_times: Optional[Tuple[float, ...]] = None
     best_value = float("-inf")
     for times in enumerate_vertices(problem):

@@ -1,0 +1,465 @@
+"""Vectorized batch allocation engine: solve whole grids of REAP LPs at once.
+
+Why this module exists
+----------------------
+Every sweep-style experiment in the reproduction -- the Figure 5/6
+energy-budget sweeps, the alpha ablations and the month-long solar study of
+Section 5.4 -- solves the *same* tiny two-constraint LP thousands of times
+while only the energy budget (and sometimes alpha) varies.  Solving those
+instances one at a time through :class:`~repro.core.allocator.ReapAllocator`
+rebuilds a tableau and runs a Python pivot loop per instance, which makes
+fleet-scale studies (many scenarios x many periods) needlessly slow.
+
+:class:`BatchAllocator` exploits the structure proven by
+:mod:`repro.core.analytic`: the REAP LP has only two structural constraints
+(the time identity and the energy budget), so every optimum lies at
+
+1. the **all-off** vertex,
+2. a **single-point** vertex (one design point active as long as the budget
+   or the period allows), or
+3. a **pair "blend"** vertex (two design points with both constraints
+   binding -- e.g. the DP4/DP5 split at a 5 J budget).
+
+For a fixed design-point set there are only ``1 + N + N*(N-1)/2`` candidate
+vertices.  The engine enumerates them *once* as NumPy arrays and evaluates
+all of them against **all** budgets and alphas via broadcasting; an argmax
+then selects the winner of every grid cell.  No Python-level loop touches
+the (budget, alpha) grid, so a 200 x 5 sweep costs a handful of array
+operations instead of a thousand simplex solves.
+
+Quickstart
+----------
+Solve a whole Figure 5/6-style grid in one call::
+
+    import numpy as np
+    from repro.core.batch import BatchAllocator
+    from repro.data.table2 import table2_design_points
+
+    engine = BatchAllocator(table2_design_points())
+    budgets = np.linspace(0.2, 10.4, 200)          # joules per hour
+    grid = engine.solve_grid(budgets, alphas=(0.5, 1.0, 2.0))
+
+    grid.objective.shape          # (3, 200): one row per alpha
+    grid.expected_accuracy[1]     # accuracy curve at alpha = 1
+    grid.active_time_s[2]         # active-time curve at alpha = 2
+    allocation = grid.allocation(1, 99)   # full TimeAllocation for one cell
+
+Single-alpha sweeps use :meth:`BatchAllocator.solve_budgets`, and the static
+design-point baselines of Figure 5 are closed-form and exposed through
+:meth:`BatchAllocator.static_grid`::
+
+    series = engine.solve_budgets(budgets, alpha=1.0)   # A = 1 grid
+    dp1 = engine.static_grid("DP1", budgets)            # StaticSeries arrays
+
+Equivalence and scope
+---------------------
+The engine reproduces the scalar solvers' optima exactly: it enumerates the
+same candidate vertices, applies the same feasibility tolerances and visits
+candidates in the same order as :func:`repro.core.analytic.solve_analytic`
+(all-off first, then single points, then pairs), so objectives agree with
+:class:`~repro.core.allocator.ReapAllocator` to floating-point round-off.
+(Under an *exact* objective tie between two vertices -- e.g. two design
+points with identical accuracy -- either solver may return either vertex;
+the optimal value is still identical.)
+The property-based test-suite asserts this on randomized grids for all three
+scalar formulations.  The scalar simplex remains the reference implementation
+(and the only path for the two-phase ``"full"`` formulation); the batch
+engine is the fast path for grid-shaped workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.design_point import DesignPoint, validate_design_points
+from repro.core.objective import validate_alpha
+from repro.core.problem import ReapProblem
+from repro.core.schedule import TimeAllocation
+from repro.data.paper_constants import ACTIVITY_PERIOD_S, OFF_STATE_POWER_W
+
+#: Tolerance below which two design-point powers are considered identical
+#: (the pair system is singular and the single-point vertices cover it).
+_POWER_GAP_TOLERANCE = 1e-15
+
+#: Feasibility slack on vertex coordinates, matching the analytic solver.
+_VERTEX_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class StaticSeries:
+    """Closed-form series of one static design-point policy over a budget grid.
+
+    The static baseline of Section 5 runs a single design point until the
+    budget is exhausted; its active time, accuracy and objective are simple
+    closed-form functions of the budget and need no LP at all.
+    """
+
+    name: str
+    budgets_j: np.ndarray
+    active_time_s: np.ndarray
+    expected_accuracy: np.ndarray
+    objective: np.ndarray
+
+
+@dataclass(frozen=True)
+class BatchGridResult:
+    """Solution of a (budget x alpha) grid of REAP problems.
+
+    All arrays are indexed ``[alpha_index, budget_index]`` (times have a
+    trailing design-point axis).  The heavy per-cell
+    :class:`~repro.core.schedule.TimeAllocation` objects are *not* built
+    eagerly; use :meth:`allocation` / :meth:`allocations` to materialise the
+    cells you actually need.
+    """
+
+    design_points: Tuple[DesignPoint, ...]
+    budgets_j: np.ndarray          #: (B,) swept energy budgets
+    alphas: np.ndarray             #: (A,) swept trade-off parameters
+    times_s: np.ndarray            #: (A, B, N) optimal active times
+    objective: np.ndarray          #: (A, B) optimal objective values J*
+    expected_accuracy: np.ndarray  #: (A, B) alpha=1 objective of the optimum
+    active_time_s: np.ndarray      #: (A, B) total active seconds
+    energy_j: np.ndarray           #: (A, B) energy consumed by the optimum
+    budget_feasible: np.ndarray    #: (B,) False below the off-state floor
+    period_s: float
+    off_power_w: float
+
+    @property
+    def num_alphas(self) -> int:
+        """Number of swept alpha values A."""
+        return int(self.alphas.size)
+
+    @property
+    def num_budgets(self) -> int:
+        """Number of swept budgets B."""
+        return int(self.budgets_j.size)
+
+    @property
+    def off_time_s(self) -> np.ndarray:
+        """(A, B) seconds spent in the off state."""
+        return self.period_s - self.active_time_s
+
+    def allocation(self, alpha_index: int, budget_index: int) -> TimeAllocation:
+        """Materialise the :class:`TimeAllocation` of one grid cell."""
+        times = self.times_s[alpha_index, budget_index]
+        active = float(times.sum())
+        return TimeAllocation(
+            design_points=self.design_points,
+            times_s=tuple(float(t) for t in times),
+            off_time_s=max(0.0, self.period_s - active),
+            period_s=self.period_s,
+            alpha=float(self.alphas[alpha_index]),
+            off_power_w=self.off_power_w,
+            budget_j=float(self.budgets_j[budget_index]),
+            budget_feasible=bool(self.budget_feasible[budget_index]),
+        )
+
+    def allocations(self, alpha_index: int = 0) -> List[TimeAllocation]:
+        """Materialise the allocations of one alpha row, one per budget."""
+        return [
+            self.allocation(alpha_index, budget_index)
+            for budget_index in range(self.num_budgets)
+        ]
+
+
+class BatchAllocator:
+    """Solves grids of REAP problems over a fixed design-point set.
+
+    Parameters
+    ----------
+    design_points:
+        The design points available to the runtime (typically the five
+        Pareto-optimal DPs of Table 2).  Fixed for the engine's lifetime so
+        the candidate-vertex structure can be precomputed once.
+    period_s:
+        Activity period :math:`T_P` in seconds.
+    off_power_w:
+        Power consumed in the off state.
+    """
+
+    def __init__(
+        self,
+        design_points: Sequence[DesignPoint],
+        period_s: float = ACTIVITY_PERIOD_S,
+        off_power_w: float = OFF_STATE_POWER_W,
+    ) -> None:
+        validate_design_points(design_points)
+        if period_s <= 0:
+            raise ValueError(f"period must be positive, got {period_s}")
+        if off_power_w < 0:
+            raise ValueError(f"off-state power must be non-negative, got {off_power_w}")
+        self.design_points = tuple(design_points)
+        self.period_s = float(period_s)
+        self.off_power_w = float(off_power_w)
+
+        self._powers = np.array([dp.power_w for dp in self.design_points])
+        self._accuracies = np.array([dp.accuracy for dp in self.design_points])
+        self._marginal_powers = self._powers - self.off_power_w
+
+        # Pair vertices: keep only pairs whose power draws differ (identical
+        # powers make the 2x2 system singular; the single-point vertices
+        # already cover those optima).
+        n = len(self.design_points)
+        pair_i, pair_j = np.triu_indices(n, k=1)
+        gaps = self._powers[pair_i] - self._powers[pair_j]
+        usable = np.abs(gaps) >= _POWER_GAP_TOLERANCE
+        self._pair_i = pair_i[usable]
+        self._pair_j = pair_j[usable]
+        self._pair_gaps = gaps[usable]
+
+    @classmethod
+    def from_problem(cls, problem: ReapProblem) -> "BatchAllocator":
+        """Build an engine matching a scalar problem's fixed parameters."""
+        return cls(
+            problem.design_points,
+            period_s=problem.period_s,
+            off_power_w=problem.off_power_w,
+        )
+
+    # --- convenience ----------------------------------------------------------
+    @property
+    def num_design_points(self) -> int:
+        """Number of design points N."""
+        return len(self.design_points)
+
+    @property
+    def num_candidate_vertices(self) -> int:
+        """Candidate vertices evaluated per grid cell (off + singles + pairs)."""
+        return 1 + self.num_design_points + self._pair_i.size
+
+    @property
+    def min_required_energy_j(self) -> float:
+        """Energy needed to stay off for the whole period."""
+        return self.off_power_w * self.period_s
+
+    @property
+    def max_useful_energy_j(self) -> float:
+        """Budget past which every additional joule is wasted."""
+        return float(self._powers.max()) * self.period_s
+
+    # --- candidate enumeration -------------------------------------------------
+    def _candidate_times(
+        self, budgets: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Evaluate all candidate vertices against all budgets at once.
+
+        Returns ``(t_single, t_pair_i, t_pair_j, pair_feasible)`` where
+        ``t_single`` is ``(B, N)`` and the pair arrays are ``(B, K)``.
+        """
+        surplus = budgets - self.min_required_energy_j          # (B,)
+
+        # Single-point vertices: run DP i as long as the budget (or the
+        # period) allows; non-positive marginal power means the DP is cheaper
+        # than staying off, so it runs the whole period.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t_single = np.where(
+                self._marginal_powers[None, :] > 0,
+                surplus[:, None] / self._marginal_powers[None, :],
+                self.period_s,
+            )
+        t_single = np.clip(t_single, 0.0, self.period_s)        # (B, N)
+
+        # Pair vertices: both the time identity and the energy budget bind.
+        #   t_i + t_j = TP,  P_i t_i + P_j t_j = Eb
+        t_pair_i = (
+            budgets[:, None] - self._powers[self._pair_j][None, :] * self.period_s
+        ) / self._pair_gaps[None, :]                            # (B, K)
+        t_pair_j = self.period_s - t_pair_i
+        pair_feasible = (t_pair_i >= -_VERTEX_TOLERANCE) & (
+            t_pair_j >= -_VERTEX_TOLERANCE
+        )
+        t_pair_i = np.maximum(t_pair_i, 0.0)
+        t_pair_j = np.maximum(t_pair_j, 0.0)
+
+        # Mirror the analytic solver's post-clamp feasibility tolerances: the
+        # clamped vertex must still respect the period and the budget.
+        total = t_pair_i + t_pair_j
+        energy = (
+            self._powers[self._pair_i][None, :] * t_pair_i
+            + self._powers[self._pair_j][None, :] * t_pair_j
+            + self.off_power_w * (self.period_s - total)
+        )
+        pair_feasible &= total <= self.period_s * (1 + _VERTEX_TOLERANCE)
+        pair_feasible &= energy <= budgets[:, None] * (1 + _VERTEX_TOLERANCE) + 1e-12
+        return t_single, t_pair_i, t_pair_j, pair_feasible
+
+    # --- grid solves -----------------------------------------------------------
+    def solve_grid(
+        self,
+        budgets_j: Sequence[float],
+        alphas: Sequence[float] = (1.0,),
+    ) -> BatchGridResult:
+        """Solve every (alpha, budget) cell of the grid in one vectorized pass.
+
+        Parameters
+        ----------
+        budgets_j:
+            Energy budgets to sweep (any non-negative values; budgets below
+            the off-state floor yield the all-off allocation flagged
+            infeasible, exactly like the scalar allocator with
+            ``clip_infeasible=True``).
+        alphas:
+            Trade-off parameters to sweep.
+        """
+        budgets = np.atleast_1d(np.asarray(budgets_j, dtype=float))
+        if budgets.size == 0:
+            raise ValueError("budget grid is empty")
+        if np.any(budgets < 0):
+            raise ValueError("energy budgets must be non-negative")
+        alpha_grid = np.array([validate_alpha(a) for a in np.atleast_1d(alphas)])
+        if alpha_grid.size == 0:
+            raise ValueError("alpha grid is empty")
+
+        n = self.num_design_points
+        num_budgets = budgets.size
+        num_alphas = alpha_grid.size
+        feasible = budgets >= self.min_required_energy_j - 1e-12   # (B,)
+
+        t_single, t_pair_i, t_pair_j, pair_feasible = self._candidate_times(budgets)
+
+        # Objective weights a_i^alpha for every alpha: (A, N).  numpy already
+        # yields 0**0 == 1, matching DesignPoint.weighted_accuracy.
+        weights = self._accuracies[None, :] ** alpha_grid[:, None]
+
+        # Candidate values, broadcast over (A, B, candidate): the all-off
+        # vertex scores zero, singles score w_i * t_i, pairs score the blend.
+        value_off = np.zeros((num_alphas, num_budgets, 1))
+        value_single = weights[:, None, :] * t_single[None, :, :]
+        value_pair = (
+            weights[:, None, self._pair_i] * t_pair_i[None, :, :]
+            + weights[:, None, self._pair_j] * t_pair_j[None, :, :]
+        )
+        value_pair = np.where(pair_feasible[None, :, :], value_pair, -np.inf)
+
+        # Candidate order matches solve_analytic (off, singles, pairs) so
+        # argmax breaks ties identically and the winning vertices coincide.
+        values = np.concatenate([value_off, value_single, value_pair], axis=2)
+        winners = np.argmax(values, axis=2)                        # (A, B)
+        winners[:, ~feasible] = 0
+
+        times = np.zeros((num_alphas, num_budgets, n))
+        single_won = (winners >= 1) & (winners <= n)
+        if np.any(single_won):
+            alpha_idx, budget_idx = np.nonzero(single_won)
+            point_idx = winners[alpha_idx, budget_idx] - 1
+            times[alpha_idx, budget_idx, point_idx] = t_single[budget_idx, point_idx]
+        pair_won = winners > n
+        if np.any(pair_won):
+            alpha_idx, budget_idx = np.nonzero(pair_won)
+            k = winners[alpha_idx, budget_idx] - 1 - n
+            times[alpha_idx, budget_idx, self._pair_i[k]] = t_pair_i[budget_idx, k]
+            times[alpha_idx, budget_idx, self._pair_j[k]] = t_pair_j[budget_idx, k]
+
+        active = times.sum(axis=2)                                 # (A, B)
+        objective = np.einsum("abn,an->ab", times, weights) / self.period_s
+        accuracy = (times @ self._accuracies) / self.period_s
+        energy = times @ self._powers + self.off_power_w * (self.period_s - active)
+        return BatchGridResult(
+            design_points=self.design_points,
+            budgets_j=budgets,
+            alphas=alpha_grid,
+            times_s=times,
+            objective=objective,
+            expected_accuracy=accuracy,
+            active_time_s=active,
+            energy_j=energy,
+            budget_feasible=feasible,
+            period_s=self.period_s,
+            off_power_w=self.off_power_w,
+        )
+
+    def solve_budgets(
+        self, budgets_j: Sequence[float], alpha: float = 1.0
+    ) -> BatchGridResult:
+        """Solve a single-alpha budget sweep (an ``A = 1`` grid)."""
+        return self.solve_grid(budgets_j, alphas=(alpha,))
+
+    def solve_allocations(
+        self, budgets_j: Sequence[float], alpha: float = 1.0
+    ) -> List[TimeAllocation]:
+        """Solve a budget sweep and materialise one allocation per budget.
+
+        This is the drop-in replacement for calling
+        ``ReapAllocator().solve(problem.with_budget(b))`` in a loop.
+        """
+        return self.solve_budgets(budgets_j, alpha=alpha).allocations(0)
+
+    # --- static (single design point) baselines --------------------------------
+    def static_active_times(self, name: str, budgets_j: Sequence[float]) -> np.ndarray:
+        """Closed-form active times of the static policy running ``name``."""
+        index = self._index_of(name)
+        budgets = np.atleast_1d(np.asarray(budgets_j, dtype=float))
+        surplus = budgets - self.min_required_energy_j
+        marginal = self._marginal_powers[index]
+        if marginal <= 0:
+            active = np.full(budgets.shape, self.period_s)
+        else:
+            active = np.clip(surplus / marginal, 0.0, self.period_s)
+        active[budgets < self.min_required_energy_j - 1e-12] = 0.0
+        return active
+
+    def static_grid(
+        self, name: str, budgets_j: Sequence[float], alpha: float = 1.0
+    ) -> StaticSeries:
+        """Closed-form series of one static design point over a budget grid."""
+        index = self._index_of(name)
+        budgets = np.atleast_1d(np.asarray(budgets_j, dtype=float))
+        active = self.static_active_times(name, budgets)
+        accuracy = self._accuracies[index]
+        weight = self.design_points[index].weighted_accuracy(validate_alpha(alpha))
+        return StaticSeries(
+            name=name,
+            budgets_j=budgets,
+            active_time_s=active,
+            expected_accuracy=accuracy * active / self.period_s,
+            objective=weight * active / self.period_s,
+        )
+
+    def static_allocations(
+        self, name: str, budgets_j: Sequence[float], alpha: float = 1.0
+    ) -> List[TimeAllocation]:
+        """Materialise the static policy's allocations, one per budget."""
+        budgets = np.atleast_1d(np.asarray(budgets_j, dtype=float))
+        active = self.static_active_times(name, budgets)
+        feasible = budgets >= self.min_required_energy_j - 1e-12
+        allocations = []
+        for budget, active_time, ok in zip(budgets, active, feasible):
+            if not ok:
+                allocations.append(
+                    TimeAllocation.all_off(
+                        design_points=self.design_points,
+                        period_s=self.period_s,
+                        alpha=alpha,
+                        off_power_w=self.off_power_w,
+                        budget_j=float(budget),
+                        budget_feasible=False,
+                    )
+                )
+                continue
+            allocations.append(
+                TimeAllocation.single_point(
+                    design_points=self.design_points,
+                    name=name,
+                    active_time_s=float(active_time),
+                    period_s=self.period_s,
+                    alpha=alpha,
+                    off_power_w=self.off_power_w,
+                    budget_j=float(budget),
+                )
+            )
+        return allocations
+
+    def _index_of(self, name: str) -> int:
+        for index, dp in enumerate(self.design_points):
+            if dp.name == name:
+                return index
+        raise KeyError(
+            f"unknown design point {name!r}; have "
+            f"{[dp.name for dp in self.design_points]}"
+        )
+
+
+__all__ = ["BatchAllocator", "BatchGridResult", "StaticSeries"]

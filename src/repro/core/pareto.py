@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.design_point import DesignPoint
 
 
@@ -38,6 +40,10 @@ def pareto_front(
     The result is sorted by decreasing power (DP1-style ordering: the most
     accurate, most power hungry point first).  Points with identical
     (accuracy, power) pairs are deduplicated, keeping the first occurrence.
+
+    Dominance is evaluated with one broadcast comparison over the full
+    (accuracy, power) matrix instead of a Python double loop, so filtering
+    large explored design spaces stays cheap.
     """
     unique: List[DesignPoint] = []
     seen: set = set()
@@ -47,12 +53,23 @@ def pareto_front(
             continue
         seen.add(key)
         unique.append(point)
+    if not unique:
+        return []
 
-    front = [
-        point
-        for point in unique
-        if not is_dominated(point, unique, tolerance=tolerance)
-    ]
+    accuracy = np.array([dp.accuracy for dp in unique])
+    power = np.array([dp.power_w for dp in unique])
+    # dominates[i, j] is True when point j dominates point i (at least as
+    # good on both axes, strictly better on one); the diagonal is False by
+    # construction since a point is never strictly better than itself.
+    at_least_as_good = (accuracy[None, :] >= accuracy[:, None] - tolerance) & (
+        power[None, :] <= power[:, None] + tolerance
+    )
+    strictly_better = (accuracy[None, :] > accuracy[:, None] + tolerance) | (
+        power[None, :] < power[:, None] - tolerance
+    )
+    dominated = np.any(at_least_as_good & strictly_better, axis=1)
+
+    front = [point for point, is_dom in zip(unique, dominated) if not is_dom]
     front.sort(key=lambda dp: (dp.power_w, dp.accuracy), reverse=True)
     return front
 

@@ -20,6 +20,7 @@ one the on-device procedure would solve.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -81,6 +82,24 @@ class ReapProblem:
         """Number of design points N."""
         return len(self.design_points)
 
+    @cached_property
+    def powers_w(self) -> np.ndarray:
+        """Per-design-point power draws :math:`P_i` as a read-only vector.
+
+        Cached on the (frozen) instance so repeated LP lowerings stop
+        rebuilding an identical array each call.
+        """
+        powers = np.array([dp.power_w for dp in self.design_points])
+        powers.setflags(write=False)
+        return powers
+
+    @cached_property
+    def objective_weights(self) -> np.ndarray:
+        """Objective weights :math:`a_i^{\\alpha}` (read-only, cached)."""
+        weights = accuracy_weights(self.design_points, self.alpha)
+        weights.setflags(write=False)
+        return weights
+
     @property
     def min_required_energy_j(self) -> float:
         """Energy needed to stay off for the whole period (the 0.18 J floor)."""
@@ -131,8 +150,8 @@ class ReapProblem:
                 f"{self.min_required_energy_j} J"
             )
         n = self.num_design_points
-        powers = np.array([dp.power_w for dp in self.design_points])
-        weights = accuracy_weights(self.design_points, self.alpha) / self.period_s
+        powers = self.powers_w
+        weights = self.objective_weights / self.period_s
 
         a_ub = np.vstack(
             [
@@ -161,8 +180,8 @@ class ReapProblem:
         an equality constraint and Equation 3 as an inequality.
         """
         n = self.num_design_points
-        powers = np.array([dp.power_w for dp in self.design_points])
-        weights = accuracy_weights(self.design_points, self.alpha) / self.period_s
+        powers = self.powers_w
+        weights = self.objective_weights / self.period_s
 
         objective = np.concatenate([weights, [0.0]])
         a_eq = np.concatenate([np.ones(n), [1.0]]).reshape(1, -1)

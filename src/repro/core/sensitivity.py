@@ -16,6 +16,10 @@ The module offers two complementary tools:
 * :func:`value_curve` -- the full J*(Eb) curve over a budget grid, together
   with the detected breakpoints where the optimal basis (the pair of design
   points in use) changes.
+
+Both are evaluated through the vectorized batch engine
+(:class:`repro.core.batch.BatchAllocator`), so a full value curve costs one
+broadcast pass instead of one LP solve per budget.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.analytic import solve_analytic
+from repro.core.batch import BatchAllocator
 from repro.core.problem import ReapProblem
 
 
@@ -55,10 +59,11 @@ class ValueCurve:
         return float(self.budgets_j[zero[0]])
 
 
-def _optimal_objective(problem: ReapProblem, budget_j: float) -> float:
-    """Optimal objective value at a given budget (0 below the off floor)."""
-    allocation = solve_analytic(problem.with_budget(max(0.0, budget_j)))
-    return allocation.objective
+def _optimal_objectives(problem: ReapProblem, budgets_j: np.ndarray) -> np.ndarray:
+    """Optimal objective values over a whole budget grid in one batched pass."""
+    engine = BatchAllocator.from_problem(problem)
+    grid = engine.solve_budgets(np.maximum(budgets_j, 0.0), alpha=problem.alpha)
+    return grid.objective[0]
 
 
 def marginal_value_of_energy(
@@ -78,8 +83,7 @@ def marginal_value_of_energy(
     upper = budget + step_j
     if upper <= lower:
         return 0.0
-    value_upper = _optimal_objective(problem, upper)
-    value_lower = _optimal_objective(problem, lower)
+    value_lower, value_upper = _optimal_objectives(problem, np.array([lower, upper]))
     return (value_upper - value_lower) / (upper - lower)
 
 
@@ -109,7 +113,7 @@ def value_curve(
             raise ValueError("at least three budgets are needed")
         budgets = np.sort(budgets)
 
-    values = np.array([_optimal_objective(problem, float(b)) for b in budgets])
+    values = _optimal_objectives(problem, budgets)
     slopes = np.gradient(values, budgets)
     slopes = np.clip(slopes, 0.0, None)  # J* is non-decreasing in the budget
 

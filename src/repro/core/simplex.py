@@ -136,23 +136,24 @@ class _Tableau:
         return int(best_row)
 
     def pivot(self, row: int, column: int) -> None:
-        """Perform a pivot: variable ``column`` enters, ``basis[row]`` leaves."""
+        """Perform a pivot: variable ``column`` enters, ``basis[row]`` leaves.
+
+        The elimination of the pivot column from the other rows is a rank-1
+        update ``A -= f * A[row]`` (with the pivot row's own factor zeroed),
+        done as one NumPy outer product instead of a Python loop over rows.
+        """
         pivot_value = self.a[row, column]
         if abs(pivot_value) <= self.tolerance:
             raise ValueError("pivot element is numerically zero")
         self.a[row] /= pivot_value
         self.b[row] /= pivot_value
-        for other in range(self.num_rows):
-            if other == row:
-                continue
-            factor = self.a[other, column]
-            if factor != 0.0:
-                self.a[other] -= factor * self.a[row]
-                self.b[other] -= factor * self.b[row]
+        factors = self.a[:, column].copy()
+        factors[row] = 0.0
+        self.a -= np.outer(factors, self.a[row])
+        self.b -= factors * self.b[row]
         # Clean tiny negative right-hand sides produced by round-off.
-        self.b[np.abs(self.b) < self.tolerance] = np.abs(
-            self.b[np.abs(self.b) < self.tolerance]
-        )
+        magnitude = np.abs(self.b)
+        np.copyto(self.b, magnitude, where=magnitude < self.tolerance)
         self.basis[row] = column
 
     def run(self, costs: np.ndarray, rule: PivotRule, max_iterations: int,

@@ -24,10 +24,11 @@ interface so the simulator can swap them freely.
 from __future__ import annotations
 
 import abc
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.allocator import AllocatorConfig, ReapAllocator
 from repro.core.analytic import solve_analytic
+from repro.core.batch import BatchAllocator
 from repro.core.design_point import DesignPoint, validate_design_points
 from repro.core.objective import validate_alpha
 from repro.core.problem import ReapProblem, static_allocation
@@ -60,8 +61,30 @@ class Policy(abc.ABC):
     def allocate(self, energy_budget_j: float) -> TimeAllocation:
         """Decide how to spend one period's energy budget."""
 
+    def allocate_many(self, budgets_j: Sequence[float]) -> List[TimeAllocation]:
+        """Allocate one period per budget (a whole trace at once).
+
+        The base implementation simply loops over :meth:`allocate`; policies
+        whose decisions are independent across periods override this with the
+        vectorized batch engine so month-long campaigns avoid one LP solve
+        per hour.
+        """
+        return [self.allocate(budget) for budget in budgets_j]
+
     def reset(self) -> None:
         """Clear any internal state between campaigns (default: nothing)."""
+
+    def _batch_engine(self) -> BatchAllocator:
+        """Shared (lazily built) batch engine over this policy's parameters."""
+        engine = getattr(self, "_batch", None)
+        if engine is None:
+            engine = BatchAllocator(
+                self.design_points,
+                period_s=self.period_s,
+                off_power_w=self.off_power_w,
+            )
+            self._batch = engine
+        return engine
 
     def build_problem(self, energy_budget_j: float) -> ReapProblem:
         """Build the optimisation problem describing one period."""
@@ -95,6 +118,14 @@ class ReapPolicy(Policy):
     def allocate(self, energy_budget_j: float) -> TimeAllocation:
         return self.allocator.solve(self.build_problem(energy_budget_j))
 
+    def allocate_many(self, budgets_j: Sequence[float]) -> List[TimeAllocation]:
+        config = self.allocator.config
+        if config.formulation == "full" or config.cross_check or not config.clip_infeasible:
+            # Keep the exact scalar semantics the caller asked for (including
+            # raising BudgetTooSmallError when clip_infeasible is disabled).
+            return super().allocate_many(budgets_j)
+        return self._batch_engine().solve_allocations(budgets_j, alpha=self.alpha)
+
 
 class OraclePolicy(Policy):
     """Exact (vertex-enumeration) solution of the REAP problem."""
@@ -105,6 +136,10 @@ class OraclePolicy(Policy):
 
     def allocate(self, energy_budget_j: float) -> TimeAllocation:
         return solve_analytic(self.build_problem(energy_budget_j))
+
+    def allocate_many(self, budgets_j: Sequence[float]) -> List[TimeAllocation]:
+        # The batch engine *is* the vectorized vertex enumeration.
+        return self._batch_engine().solve_allocations(budgets_j, alpha=self.alpha)
 
 
 class StaticPolicy(Policy):
@@ -130,6 +165,11 @@ class StaticPolicy(Policy):
 
     def allocate(self, energy_budget_j: float) -> TimeAllocation:
         return static_allocation(self.build_problem(energy_budget_j), self.static_name)
+
+    def allocate_many(self, budgets_j: Sequence[float]) -> List[TimeAllocation]:
+        return self._batch_engine().static_allocations(
+            self.static_name, budgets_j, alpha=self.alpha
+        )
 
 
 class OnOffDutyCyclePolicy(Policy):
@@ -166,6 +206,11 @@ class OnOffDutyCyclePolicy(Policy):
     def allocate(self, energy_budget_j: float) -> TimeAllocation:
         return static_allocation(
             self.build_problem(energy_budget_j), self.operating_point
+        )
+
+    def allocate_many(self, budgets_j: Sequence[float]) -> List[TimeAllocation]:
+        return self._batch_engine().static_allocations(
+            self.operating_point, budgets_j, alpha=self.alpha
         )
 
     def duty_cycle(self, energy_budget_j: float) -> float:

@@ -85,9 +85,9 @@ class HarvestingCampaign:
         self, policy: Policy, trace: SolarTrace, device: DeviceSimulator
     ) -> List[PeriodOutcome]:
         budgets = self.budgets_for_trace(trace)
-        allocations: List[TimeAllocation] = [
-            policy.allocate(budget) for budget in budgets
-        ]
+        # One batched call per campaign: policies with budget-independent
+        # periods (REAP, static, oracle) solve the whole trace vectorized.
+        allocations: List[TimeAllocation] = policy.allocate_many(budgets)
         return device.run_periods(allocations, budgets)
 
     def _run_with_battery(

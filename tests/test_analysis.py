@@ -73,10 +73,45 @@ class TestEnergySweep:
 
     def test_sweep_series_shapes(self, table2_points):
         sweep = EnergySweep(table2_points, alpha=1.0)
-        result = sweep.run(np.linspace(0.2, 10.0, 8))
+        result = sweep.run(np.linspace(0.2, 10.0, 8), keep_allocations=True)
         assert result.reap.expected_accuracy.shape == (8,)
         assert set(result.static_names) == {"DP1", "DP2", "DP3", "DP4", "DP5"}
         assert len(result.reap.allocations) == 8
+
+    def test_sweep_drops_allocations_by_default(self, table2_points):
+        result = EnergySweep(table2_points, alpha=1.0).run(np.linspace(0.2, 10.0, 8))
+        assert result.reap.allocations == []
+        assert result.static("DP1").allocations == []
+
+    def test_batch_and_scalar_engines_agree(self, table2_points):
+        budgets = np.linspace(0.1, 10.5, 33)
+        batch = EnergySweep(table2_points, alpha=2.0, engine="batch").run(budgets)
+        scalar = EnergySweep(table2_points, alpha=2.0, engine="scalar").run(budgets)
+        for name in ["REAP"] + batch.static_names:
+            np.testing.assert_allclose(
+                batch.series[name].objective,
+                scalar.series[name].objective,
+                rtol=1e-9,
+                atol=1e-12,
+            )
+            np.testing.assert_allclose(
+                batch.series[name].active_time_s,
+                scalar.series[name].active_time_s,
+                rtol=1e-9,
+                atol=1e-6,
+            )
+
+    def test_custom_allocator_selects_scalar_engine(self, table2_points):
+        from repro.core.allocator import AllocatorConfig, ReapAllocator
+
+        sweep = EnergySweep(
+            table2_points,
+            allocator=ReapAllocator(AllocatorConfig(formulation="full")),
+        )
+        assert not sweep.uses_batch_engine
+        assert EnergySweep(table2_points).uses_batch_engine
+        with pytest.raises(ValueError):
+            EnergySweep(table2_points, engine="nope")
 
     def test_reap_dominates_everywhere(self, table2_points):
         result = EnergySweep(table2_points, alpha=1.0).run()

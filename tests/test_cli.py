@@ -69,3 +69,23 @@ class TestAllocateAndSweep:
         output = capsys.readouterr().out
         assert "REAP" in output
         assert "budget_J" in output
+
+    def test_sweep_scalar_engine(self, capsys):
+        assert main(["sweep", "--points", "5", "--engine", "scalar"]) == 0
+        assert "scalar engine" in capsys.readouterr().out
+
+    def test_sweep_alpha_grid(self, capsys):
+        assert main(["sweep", "--points", "6", "--alphas", "0.5", "1", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "alpha_0.5" in output
+        assert "alpha_2" in output
+
+    def test_sweep_alpha_grid_rejects_scalar_engine(self, capsys):
+        assert main(["sweep", "--alphas", "1", "2", "--engine", "scalar"]) == 2
+        assert "batch engine" in capsys.readouterr().err
+
+    def test_run_grid_experiment(self, capsys):
+        assert main(["run", "grid", "--points", "12"]) == 0
+        output = capsys.readouterr().out
+        assert "Budget x alpha grid" in output
+        assert "J_alpha_1" in output

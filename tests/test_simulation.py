@@ -69,6 +69,36 @@ class TestPolicies:
         for budget in np.linspace(0.5, 9.0, 10):
             assert reap.allocate(budget).objective >= duty.allocate(budget).objective - 1e-9
 
+    def test_allocate_many_matches_scalar_loop(self, table2_points):
+        budgets = list(np.linspace(0.1, 10.0, 12))
+        for policy in (
+            ReapPolicy(table2_points, alpha=2.0),
+            OraclePolicy(table2_points, alpha=2.0),
+            StaticPolicy(table2_points, "DP2", alpha=2.0),
+            OnOffDutyCyclePolicy(table2_points, alpha=2.0),
+        ):
+            batched = policy.allocate_many(budgets)
+            assert len(batched) == len(budgets)
+            for budget, allocation in zip(budgets, batched):
+                scalar = policy.allocate(budget)
+                assert allocation.objective == pytest.approx(
+                    scalar.objective, rel=1e-9, abs=1e-12
+                )
+                assert allocation.budget_feasible == scalar.budget_feasible
+
+    def test_allocate_many_preserves_strict_infeasibility_semantics(
+        self, table2_points
+    ):
+        from repro.core.allocator import AllocatorConfig, ReapAllocator
+        from repro.core.problem import BudgetTooSmallError
+
+        strict = ReapPolicy(
+            table2_points,
+            allocator=ReapAllocator(AllocatorConfig(clip_infeasible=False)),
+        )
+        with pytest.raises(BudgetTooSmallError):
+            strict.allocate_many([5.0, 0.01])
+
 
 class TestDeviceSimulator:
     def test_invalid_mode_rejected(self):
