@@ -1,0 +1,99 @@
+"""Benchmark of the vectorized fleet campaign engine (repro.simulation.fleet).
+
+Runs the month-long closed-loop (battery-backed) solar case study across the
+full 6-policy suite (REAP plus the five static design points) twice: once
+through the scalar reference loop (one ``grant -> allocate -> run_period ->
+settle`` Python iteration per hour per policy) and once through the fleet
+engine (one lockstep battery scan for all policies, one batched allocation
+solve per policy, columnar device accounting).
+
+Both engines must agree to 1e-9 on every per-period objective and on the
+battery trajectories, and the fleet path must be at least 10x faster.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from _bench_utils import emit
+from repro.analysis.experiments import ExperimentResult
+from repro.harvesting.solar import SyntheticSolarModel
+from repro.harvesting.solar_cell import HarvestScenario
+from repro.simulation.fleet import CampaignConfig
+from repro.simulation.policies import default_policy_suite
+from repro.simulation.simulator import HarvestingCampaign
+
+MONTH = 9
+SEED = 2015
+ALPHA = 1.0
+REQUIRED_SPEEDUP = 10.0
+
+
+def _run(engine: str, points, trace):
+    campaign = HarvestingCampaign(
+        HarvestScenario(),
+        CampaignConfig(use_battery=True, battery_capacity_j=80.0),
+        engine=engine,
+    )
+    return campaign.run_many(default_policy_suite(points, alpha=ALPHA), trace)
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_fleet_campaign_speedup_over_scalar_loop(output_dir, published_points):
+    """Month x 6 policies closed loop: fleet engine vs scalar loop, >= 10x."""
+    points = tuple(published_points)
+    trace = SyntheticSolarModel(seed=SEED).generate_month(MONTH)
+    num_cells = len(trace) * 6
+
+    # Same protocol for both engines: one warm-up run, then best of three.
+    fleet_results = _run("fleet", points, trace)  # warm-up (engine caches)
+    fleet_s = min(_timed(lambda: _run("fleet", points, trace))[0] for _ in range(3))
+
+    scalar_results = _run("scalar", points, trace)  # warm-up
+    scalar_s = min(_timed(lambda: _run("scalar", points, trace))[0] for _ in range(3))
+
+    for name, scalar_result in scalar_results.items():
+        fleet_result = fleet_results[name]
+        np.testing.assert_allclose(
+            fleet_result.objective_values(),
+            scalar_result.objective_values(),
+            rtol=1e-9,
+            atol=1e-9,
+        )
+        np.testing.assert_allclose(
+            fleet_result.battery_charge_j,
+            scalar_result.battery_charge_j,
+            rtol=0,
+            atol=1e-9,
+        )
+    speedup = scalar_s / fleet_s
+
+    result = ExperimentResult(
+        name=(
+            f"Fleet campaign engine vs scalar loop: {len(trace)} hours x "
+            f"6 policies, battery-backed"
+        ),
+        headers=["engine", "policy_periods", "total_ms", "per_period_us", "speedup_x"],
+        rows=[
+            ["scalar loop", num_cells, scalar_s * 1e3,
+             scalar_s / num_cells * 1e6, 1.0],
+            ["fleet engine", num_cells, fleet_s * 1e3,
+             fleet_s / num_cells * 1e6, speedup],
+        ],
+        extras={"speedup": speedup},
+    )
+    emit(result, output_dir, "fleet_campaign.csv")
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"fleet closed-loop campaign is only {speedup:.1f}x faster than the "
+        f"scalar loop (required {REQUIRED_SPEEDUP:.0f}x)"
+    )
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value

@@ -6,6 +6,10 @@ REAP and the static design-point baselines over the whole month -- both
 open-loop (spend what each hour harvests) and closed-loop through a small
 battery.
 
+By default the whole policy suite is simulated in one pass by the vectorized
+fleet engine (closed-loop runs share a single lockstep battery scan); pass
+``--engine scalar`` to step the original hour-by-hour reference loop instead.
+
 Run with:  python examples/solar_month_study.py [--month M] [--battery]
 """
 
@@ -33,6 +37,8 @@ def main() -> None:
                         help="accuracy/active-time trade-off parameter")
     parser.add_argument("--battery", action="store_true",
                         help="run closed-loop through a small battery")
+    parser.add_argument("--engine", choices=("fleet", "scalar"), default="fleet",
+                        help="vectorized fleet engine or the scalar reference loop")
     args = parser.parse_args()
 
     design_points = table2_design_points()
@@ -46,7 +52,7 @@ def main() -> None:
           f"{stats['hours_above_dp1_j']} hours above the 9.9 J DP1 saturation point.")
 
     campaign = HarvestingCampaign(
-        scenario, CampaignConfig(use_battery=args.battery)
+        scenario, CampaignConfig(use_battery=args.battery), engine=args.engine
     )
     policies = [ReapPolicy(design_points, alpha=args.alpha)] + [
         StaticPolicy(design_points, dp.name, alpha=args.alpha) for dp in design_points

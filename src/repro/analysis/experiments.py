@@ -48,7 +48,9 @@ from repro.har.design_space import (
 from repro.har.features.pipeline import FeatureExtractor
 from repro.har.synthesis import generate_study_dataset
 from repro.harvesting.solar import SyntheticSolarModel
-from repro.harvesting.solar_cell import HarvestScenario
+from repro.harvesting.solar_cell import HarvestScenario, SolarCellModel
+from repro.harvesting.traces import SolarTrace
+from repro.simulation.fleet import FleetCampaign
 from repro.simulation.metrics import compare_campaigns
 from repro.simulation.policies import ReapPolicy, StaticPolicy
 from repro.simulation.simulator import CampaignConfig, HarvestingCampaign
@@ -349,17 +351,22 @@ def run_figure7_experiment(
     seed: int = 2015,
     baselines: Sequence[str] = ("DP1", "DP3", "DP5"),
     use_battery: bool = False,
+    engine: str = "fleet",
 ) -> ExperimentResult:
     """Figure 7: REAP's objective normalised to static DPs over a solar month.
 
     Ratios are computed on per-day objective totals; the mean, minimum and
     maximum across the days of the month correspond to the bars and error
-    bars of the figure.
+    bars of the figure.  Each alpha's policy line-up runs as one fleet
+    campaign (one shared battery scan when ``use_battery``); pass
+    ``engine="scalar"`` for the hour-by-hour reference loop.
     """
     points = tuple(design_points) if design_points else tuple(table2_design_points())
     trace = SyntheticSolarModel(seed=seed).generate_month(month)
     scenario = HarvestScenario()
-    campaign = HarvestingCampaign(scenario, CampaignConfig(use_battery=use_battery))
+    campaign = HarvestingCampaign(
+        scenario, CampaignConfig(use_battery=use_battery), engine=engine
+    )
 
     headers = ["alpha"]
     for name in baselines:
@@ -368,12 +375,15 @@ def run_figure7_experiment(
     rows: List[List[object]] = []
     detail: Dict[float, Dict[str, Dict[str, float]]] = {}
     for alpha in alphas:
-        reap_result = campaign.run(ReapPolicy(points, alpha=alpha), trace)
+        policies = [ReapPolicy(points, alpha=alpha)] + [
+            StaticPolicy(points, name, alpha=alpha) for name in baselines
+        ]
+        results = campaign.run_many(policies, trace)
+        reap_result = results["REAP"]
         row: List[object] = [alpha]
         detail[alpha] = {}
         for name in baselines:
-            static_result = campaign.run(StaticPolicy(points, name, alpha=alpha), trace)
-            comparison = compare_campaigns(reap_result, static_result)
+            comparison = compare_campaigns(reap_result, results[f"Static-{name}"])
             detail[alpha][name] = comparison
             row.extend(
                 [comparison["mean_ratio"], comparison["min_ratio"], comparison["max_ratio"]]
@@ -387,6 +397,103 @@ def run_figure7_experiment(
             "detail": detail,
             "trace_hours": len(trace),
             "month": month,
+            "use_battery": use_battery,
+            "engine": engine,
+        },
+    )
+
+
+def run_fleet_campaign_experiment(
+    design_points: Optional[Sequence[DesignPoint]] = None,
+    alphas: Sequence[float] = (1.0, 2.0),
+    baselines: Sequence[str] = ("DP1", "DP3", "DP5"),
+    exposure_factors: Sequence[float] = (0.032,),
+    month: int = 9,
+    seed: int = 2015,
+    hours: Optional[int] = None,
+    use_battery: bool = True,
+) -> ExperimentResult:
+    """Fleet study: (scenario x policy x alpha) campaign grid in one run.
+
+    Sweeps wearable exposure-factor scenario variants against the REAP
+    policy plus static baselines at every alpha, all simulated by the
+    vectorized :class:`~repro.simulation.fleet.FleetCampaign` engine --
+    closed-loop cells share a single lockstep battery scan.  One row per
+    (scenario, policy) cell.
+    """
+    points = tuple(design_points) if design_points else tuple(table2_design_points())
+    trace = SyntheticSolarModel(seed=seed).generate_month(month)
+    if hours is not None:
+        if not 1 <= hours <= len(trace):
+            raise ValueError(
+                f"hours must be in [1, {len(trace)}], got {hours}"
+            )
+        trace = SolarTrace(trace.hours[:hours], name=trace.name)
+
+    scenarios = [
+        HarvestScenario(cell=SolarCellModel(exposure_factor=factor))
+        for factor in exposure_factors
+    ]
+    labels = [f"exposure={factor:g}" for factor in exposure_factors]
+    policies: List[object] = []
+    for alpha in alphas:
+        policies.append(ReapPolicy(points, alpha=alpha))
+        policies.extend(
+            StaticPolicy(points, name, alpha=alpha) for name in baselines
+        )
+
+    fleet = FleetCampaign(
+        scenarios,
+        CampaignConfig(use_battery=use_battery),
+        scenario_labels=labels,
+    )
+    result = fleet.run(policies, trace)
+
+    headers = [
+        "scenario",
+        "policy",
+        "alpha",
+        "mean_objective",
+        "mean_expected_accuracy_%",
+        "active_hours",
+        "energy_J",
+        "recognition_%",
+        "final_battery_J",
+    ]
+    rows: List[List[object]] = []
+    for scenario_index, label in enumerate(labels):
+        for policy_index, policy_name in enumerate(result.policy_names):
+            cell = result.result(policy_index, scenario_index)
+            final_battery = (
+                float(cell.battery_charge_j[-1])
+                if cell.battery_charge_j is not None
+                else float("nan")
+            )
+            rows.append(
+                [
+                    label,
+                    policy_name,
+                    cell.alpha,
+                    cell.mean_objective,
+                    cell.mean_expected_accuracy * 100.0,
+                    cell.total_active_time_s / 3600.0,
+                    cell.total_energy_consumed_j,
+                    cell.overall_recognition_rate * 100.0,
+                    final_battery,
+                ]
+            )
+    return ExperimentResult(
+        name=(
+            f"Fleet campaign: {len(scenarios)} scenario(s) x "
+            f"{len(policies)} policies over {len(trace)} hours "
+            f"({'battery-backed' if use_battery else 'open loop'})"
+        ),
+        headers=headers,
+        rows=rows,
+        extras={
+            "fleet_result": result,
+            "num_cells": result.num_cells,
+            "trace_hours": len(trace),
             "use_battery": use_battery,
         },
     )
@@ -628,6 +735,7 @@ __all__ = [
     "run_figure5b_experiment",
     "run_figure6_experiment",
     "run_figure7_experiment",
+    "run_fleet_campaign_experiment",
     "run_headline_claims_experiment",
     "run_offloading_experiment",
     "run_pareto_subset_ablation",

@@ -9,6 +9,7 @@ Exposes the experiment harness without writing any Python::
     python -m repro sweep --alpha 2 --points 30     # Figure 5/6 style sweep
     python -m repro sweep --alphas 0.5 1 2 --points 200   # batched alpha grid
     python -m repro run grid --points 200           # budget x alpha grid CSV
+    python -m repro fleet --alphas 1 2 --exposures 0.032 0.05   # fleet study
 
 Heavyweight experiments (``table2``, ``figure3``) accept ``--windows`` to
 control the size of the synthetic user study they train on.
@@ -30,6 +31,7 @@ from repro.analysis.experiments import (
     run_figure5b_experiment,
     run_figure6_experiment,
     run_figure7_experiment,
+    run_fleet_campaign_experiment,
     run_headline_claims_experiment,
     run_offloading_experiment,
     run_pareto_subset_ablation,
@@ -144,6 +146,24 @@ def _command_allocate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_fleet(args: argparse.Namespace) -> int:
+    result = run_fleet_campaign_experiment(
+        alphas=args.alphas,
+        baselines=args.baselines,
+        exposure_factors=args.exposures,
+        month=args.month,
+        seed=args.seed,
+        hours=args.hours,
+        use_battery=not args.open_loop,
+    )
+    print(result.to_text())
+    print(f"\n{result.extras['num_cells']} campaign cells simulated by the fleet engine")
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"rows written to {args.csv}")
+    return 0
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     points = tuple(table2_design_points())
     budgets = default_budget_grid(points, num_points=args.points)
@@ -225,6 +245,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep engine: vectorized batch (default) or the scalar reference",
     )
 
+    fleet_parser = subparsers.add_parser(
+        "fleet",
+        help="closed-loop fleet study: scenarios x policies x alphas in one "
+             "vectorized run",
+    )
+    fleet_parser.add_argument(
+        "--alphas", type=float, nargs="+", default=[1.0, 2.0],
+        help="alpha values; each gets a REAP policy plus the static baselines",
+    )
+    fleet_parser.add_argument(
+        "--baselines", nargs="*", default=["DP1", "DP3", "DP5"],
+        help="static design-point baselines to include",
+    )
+    fleet_parser.add_argument(
+        "--exposures", type=float, nargs="+", default=[0.032],
+        help="wearable exposure factors, one harvest scenario per value",
+    )
+    fleet_parser.add_argument("--month", type=int, default=9,
+                              help="calendar month of the synthetic trace")
+    fleet_parser.add_argument("--seed", type=int, default=2015,
+                              help="solar trace seed")
+    fleet_parser.add_argument(
+        "--hours", type=int, default=None,
+        help="truncate the trace to this many hours (default: whole month)",
+    )
+    fleet_parser.add_argument(
+        "--open-loop", action="store_true",
+        help="spend-what-you-harvest budgets instead of the battery scan",
+    )
+    fleet_parser.add_argument("--csv", default=None,
+                              help="also write rows to this CSV file")
+
     return parser
 
 
@@ -237,6 +289,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _command_run,
         "allocate": _command_allocate,
         "sweep": _command_sweep,
+        "fleet": _command_fleet,
     }
     if args.command is None:
         parser.print_help()

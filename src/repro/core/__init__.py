@@ -18,7 +18,15 @@ This package contains the paper's primary contribution:
 
 from repro.core.allocator import AllocatorConfig, ReapAllocator
 from repro.core.analytic import enumerate_vertices, solve_analytic
-from repro.core.batch import BatchAllocator, BatchGridResult, StaticSeries
+from repro.core.batch import (
+    BatchAllocator,
+    BatchArrays,
+    BatchGridResult,
+    ConsumptionCurve,
+    ConsumptionCurveError,
+    StackedConsumptionCurves,
+    StaticSeries,
+)
 from repro.core.controller import ControllerDecision, ReapController, StaticController
 from repro.core.design_point import (
     DesignPoint,
@@ -71,7 +79,11 @@ __all__ = [
     "AllocationSeries",
     "AllocatorConfig",
     "BatchAllocator",
+    "BatchArrays",
     "BatchGridResult",
+    "ConsumptionCurve",
+    "ConsumptionCurveError",
+    "StackedConsumptionCurves",
     "BudgetTooSmallError",
     "ControllerDecision",
     "DesignPoint",

@@ -51,6 +51,27 @@ design-point baselines of Figure 5 are closed-form and exposed through
     series = engine.solve_budgets(budgets, alpha=1.0)   # A = 1 grid
     dp1 = engine.static_grid("DP1", budgets)            # StaticSeries arrays
 
+Raw-array API (the fleet simulation path)
+-----------------------------------------
+The campaign simulator consumes allocations as plain arrays, one row per
+activity period, and must not pay for per-cell ``TimeAllocation`` objects.
+:meth:`BatchAllocator.solve_arrays` (and its static counterpart
+:meth:`BatchAllocator.static_arrays`) return a :class:`BatchArrays` bundle:
+per-DP time matrices, objectives, consumed energy and the feasibility mask
+for one alpha over a whole budget vector.
+
+Closed-loop campaigns additionally need the *consumed energy as a function
+of the granted budget*: the battery recurrence of
+:mod:`repro.energy.fleet` cannot solve one LP per period because each
+period's budget depends on the previous period's consumption.  Because every
+optimal vertex either binds the energy budget exactly (consumption equals
+the budget) or saturates a design point for the whole period (consumption is
+constant), the consumed energy is a **piecewise-linear** function of the
+budget whose kinks all lie at ``{0, E_off, P_i * T_P}``.
+:meth:`BatchAllocator.consumption_curve` captures that function as a
+:class:`ConsumptionCurve` that can be evaluated for thousands of budgets
+without touching the LP again.
+
 Equivalence and scope
 ---------------------
 The engine reproduces the scalar solvers' optima exactly: it enumerates the
@@ -70,7 +91,7 @@ engine is the fast path for grid-shaped workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -102,6 +123,224 @@ class StaticSeries:
     active_time_s: np.ndarray
     expected_accuracy: np.ndarray
     objective: np.ndarray
+
+
+@dataclass(frozen=True)
+class BatchArrays:
+    """Raw-array solution of one alpha over a budget vector.
+
+    This is the fleet-simulation view of the engine: all per-period
+    quantities as flat arrays indexed by budget (times have a trailing
+    design-point axis), with no :class:`~repro.core.schedule.TimeAllocation`
+    objects materialised.  Use :meth:`allocation` to build the odd cell that
+    needs one.
+    """
+
+    design_points: Tuple[DesignPoint, ...]
+    budgets_j: np.ndarray          #: (B,) energy budgets
+    alpha: float                   #: trade-off parameter the solve used
+    times_s: np.ndarray            #: (B, N) active seconds per design point
+    feasible: np.ndarray           #: (B,) False below the off-state floor
+    objective: np.ndarray          #: (B,) objective values J*
+    expected_accuracy: np.ndarray  #: (B,) alpha=1 objective of the optimum
+    active_time_s: np.ndarray      #: (B,) total active seconds
+    energy_j: np.ndarray           #: (B,) energy consumed by the optimum
+    period_s: float
+    off_power_w: float
+
+    def __len__(self) -> int:
+        return int(self.budgets_j.size)
+
+    @property
+    def num_budgets(self) -> int:
+        """Number of solved budgets B."""
+        return int(self.budgets_j.size)
+
+    @property
+    def off_time_s(self) -> np.ndarray:
+        """(B,) seconds spent in the off state."""
+        return np.maximum(0.0, self.period_s - self.active_time_s)
+
+    @property
+    def device_consumption_j(self) -> np.ndarray:
+        """(B,) energy the *device* actually consumes per period.
+
+        Equals the allocation's energy, except below the off-state floor
+        where the device browns out and can only consume what was granted
+        (mirroring :meth:`repro.simulation.device.DeviceSimulator.run_period`).
+        """
+        return np.where(
+            self.feasible, self.energy_j, np.minimum(self.energy_j, self.budgets_j)
+        )
+
+    def allocation(self, index: int) -> TimeAllocation:
+        """Materialise the :class:`TimeAllocation` of one budget row."""
+        times = self.times_s[index]
+        active = float(times.sum())
+        return TimeAllocation(
+            design_points=self.design_points,
+            times_s=tuple(float(t) for t in times),
+            off_time_s=max(0.0, self.period_s - active),
+            period_s=self.period_s,
+            alpha=self.alpha,
+            off_power_w=self.off_power_w,
+            budget_j=float(self.budgets_j[index]),
+            budget_feasible=bool(self.feasible[index]),
+        )
+
+
+class ConsumptionCurveError(ValueError):
+    """The consumption function is not piecewise-linear over the breakpoints.
+
+    Raised when a design-point set violates the assumptions behind
+    :class:`ConsumptionCurve` (for example a design point cheaper than the
+    off state, whose constant-value candidate can overtake budget-binding
+    candidates at arbitrary interior budgets).  Callers fall back to the
+    scalar per-period path.
+    """
+
+
+@dataclass(frozen=True)
+class ConsumptionCurve:
+    """Piecewise-linear device consumption as a function of the budget.
+
+    Segment ``k`` covers ``[breakpoints_j[k], breakpoints_j[k+1])`` (the last
+    one extends to infinity) and evaluates to ``values_j[k] + slopes[k] *
+    (budget - anchors_j[k])``; every slope is 0 (a saturated design point) or
+    1 (the energy constraint binds).  Each segment is anchored at an
+    *interior* probe of the exact engine rather than at its left breakpoint:
+    floating-point round-off can flip the argmax tie-break exactly at a kink
+    budget, and anchoring inside the segment keeps the curve equal to the
+    engine everywhere except on that measure-zero set of exact-kink budgets.
+    """
+
+    breakpoints_j: np.ndarray  #: (M,) sorted segment starts, beginning at 0
+    anchors_j: np.ndarray      #: (M,) interior anchor budget of each segment
+    values_j: np.ndarray       #: (M,) consumption at each anchor
+    slopes: np.ndarray         #: (M,) d(consumption)/d(budget) per segment
+
+    #: Tolerance on the slope/linearity validation probes.
+    _VALIDATION_TOLERANCE = 1e-9
+
+    @classmethod
+    def from_probe(
+        cls,
+        breakpoints_j: Sequence[float],
+        consumption: "Callable[[np.ndarray], np.ndarray]",
+    ) -> "ConsumptionCurve":
+        """Build a curve by probing an exact consumption evaluator.
+
+        ``consumption`` maps a budget vector to per-budget consumed energy
+        (e.g. a :meth:`BatchAllocator.device_consumption` closure).  Every
+        segment is validated against three interior probes: it must be
+        linear with slope 0 or 1, otherwise :class:`ConsumptionCurveError`
+        is raised and the caller should use the evaluator directly.
+        """
+        points = np.unique(np.asarray(breakpoints_j, dtype=float))
+        if points.size == 0 or points[0] < 0:
+            raise ConsumptionCurveError("breakpoints must be non-negative")
+        if points[0] != 0.0:
+            points = np.concatenate([[0.0], points])
+
+        # Three probes per segment (the last segment is open-ended).
+        widths = np.append(np.diff(points), max(1.0, points[-1]))
+        probe_a = points + widths * 0.25
+        probe_mid = points + widths * 0.5
+        probe_b = points + widths * 0.75
+        consumed_a = np.asarray(consumption(probe_a), dtype=float)
+        consumed_mid = np.asarray(consumption(probe_mid), dtype=float)
+        consumed_b = np.asarray(consumption(probe_b), dtype=float)
+        slopes = (consumed_b - consumed_a) / (probe_b - probe_a)
+
+        scale = max(1.0, float(np.max(points)))
+        tolerance = cls._VALIDATION_TOLERANCE * scale
+        near_zero = np.abs(slopes) <= tolerance
+        near_one = np.abs(slopes - 1.0) <= tolerance
+        if not np.all(near_zero | near_one):
+            raise ConsumptionCurveError(
+                "consumption is not piecewise-linear with slopes in {0, 1}"
+            )
+        slopes = np.where(near_one, 1.0, 0.0)
+        # The line through the outer probes must reproduce the middle probe
+        # (catches jumps or curvature strictly inside a segment).
+        predicted_mid = consumed_a + slopes * (probe_mid - probe_a)
+        if np.any(np.abs(predicted_mid - consumed_mid) > tolerance):
+            raise ConsumptionCurveError(
+                "consumption has a discontinuity inside a segment"
+            )
+        return cls(
+            breakpoints_j=points,
+            anchors_j=probe_a,
+            values_j=consumed_a,
+            slopes=slopes,
+        )
+
+    def __call__(self, budgets_j: Sequence[float]) -> np.ndarray:
+        """Evaluate the curve for a vector of budgets."""
+        budgets = np.atleast_1d(np.asarray(budgets_j, dtype=float))
+        index = np.searchsorted(self.breakpoints_j, budgets, side="right") - 1
+        index = np.minimum(np.maximum(index, 0), self.breakpoints_j.size - 1)
+        return self.values_j[index] + self.slopes[index] * (
+            budgets - self.anchors_j[index]
+        )
+
+
+class StackedConsumptionCurves:
+    """Evaluate one :class:`ConsumptionCurve` per device in a single pass.
+
+    Curves sharing one breakpoint/anchor grid (curves built by one
+    :class:`BatchAllocator` always do) evaluate as two gathers and a fused
+    multiply-add per step of the battery scan.  Heterogeneous fleets --
+    policies over different design-point sets, periods or off powers --
+    are grouped by grid and evaluated one gather pass per distinct grid.
+    """
+
+    def __init__(self, curves: Sequence[ConsumptionCurve]) -> None:
+        if not curves:
+            raise ValueError("need at least one consumption curve")
+        self._num_devices = len(curves)
+        groups: dict = {}
+        for device, curve in enumerate(curves):
+            key = (curve.breakpoints_j.tobytes(), curve.anchors_j.tobytes())
+            groups.setdefault(key, []).append((device, curve))
+        self._groups = []
+        for members in groups.values():
+            devices = np.array([device for device, _ in members])
+            group_curves = [curve for _, curve in members]
+            self._groups.append(
+                (
+                    devices,
+                    group_curves[0].breakpoints_j,
+                    group_curves[0].anchors_j,
+                    np.stack([c.values_j for c in group_curves]),  # (G, M)
+                    np.stack([c.slopes for c in group_curves]),    # (G, M)
+                    np.arange(len(group_curves)),
+                )
+            )
+
+    @property
+    def num_devices(self) -> int:
+        """Number of stacked device curves D."""
+        return self._num_devices
+
+    def __call__(self, budgets_j: np.ndarray) -> np.ndarray:
+        """Per-device consumption for a (D,) vector of granted budgets."""
+        if len(self._groups) == 1:
+            devices, breakpoints, anchors, values, slopes, rows = self._groups[0]
+            index = breakpoints.searchsorted(budgets_j, side="right") - 1
+            index = np.minimum(np.maximum(index, 0), breakpoints.size - 1)
+            return values[rows, index] + slopes[rows, index] * (
+                budgets_j - anchors[index]
+            )
+        consumed = np.empty(self._num_devices)
+        for devices, breakpoints, anchors, values, slopes, rows in self._groups:
+            budgets = budgets_j[devices]
+            index = breakpoints.searchsorted(budgets, side="right") - 1
+            index = np.minimum(np.maximum(index, 0), breakpoints.size - 1)
+            consumed[devices] = values[rows, index] + slopes[rows, index] * (
+                budgets - anchors[index]
+            )
+        return consumed
 
 
 @dataclass(frozen=True)
@@ -286,43 +525,22 @@ class BatchAllocator:
         pair_feasible &= energy <= budgets[:, None] * (1 + _VERTEX_TOLERANCE) + 1e-12
         return t_single, t_pair_i, t_pair_j, pair_feasible
 
-    # --- grid solves -----------------------------------------------------------
-    def solve_grid(
-        self,
-        budgets_j: Sequence[float],
-        alphas: Sequence[float] = (1.0,),
-    ) -> BatchGridResult:
-        """Solve every (alpha, budget) cell of the grid in one vectorized pass.
+    # --- winner selection ------------------------------------------------------
+    def _winner_times(
+        self, budgets: np.ndarray, weights: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Argmax-select the winning vertex of every (weight-row, budget) cell.
 
-        Parameters
-        ----------
-        budgets_j:
-            Energy budgets to sweep (any non-negative values; budgets below
-            the off-state floor yield the all-off allocation flagged
-            infeasible, exactly like the scalar allocator with
-            ``clip_infeasible=True``).
-        alphas:
-            Trade-off parameters to sweep.
+        ``weights`` holds one row of objective weights per alpha, shape
+        ``(A, N)``.  Returns the optimal times ``(A, B, N)`` and the budget
+        feasibility mask ``(B,)``.
         """
-        budgets = np.atleast_1d(np.asarray(budgets_j, dtype=float))
-        if budgets.size == 0:
-            raise ValueError("budget grid is empty")
-        if np.any(budgets < 0):
-            raise ValueError("energy budgets must be non-negative")
-        alpha_grid = np.array([validate_alpha(a) for a in np.atleast_1d(alphas)])
-        if alpha_grid.size == 0:
-            raise ValueError("alpha grid is empty")
-
         n = self.num_design_points
         num_budgets = budgets.size
-        num_alphas = alpha_grid.size
+        num_alphas = weights.shape[0]
         feasible = budgets >= self.min_required_energy_j - 1e-12   # (B,)
 
         t_single, t_pair_i, t_pair_j, pair_feasible = self._candidate_times(budgets)
-
-        # Objective weights a_i^alpha for every alpha: (A, N).  numpy already
-        # yields 0**0 == 1, matching DesignPoint.weighted_accuracy.
-        weights = self._accuracies[None, :] ** alpha_grid[:, None]
 
         # Candidate values, broadcast over (A, B, candidate): the all-off
         # vertex scores zero, singles score w_i * t_i, pairs score the blend.
@@ -352,6 +570,44 @@ class BatchAllocator:
             k = winners[alpha_idx, budget_idx] - 1 - n
             times[alpha_idx, budget_idx, self._pair_i[k]] = t_pair_i[budget_idx, k]
             times[alpha_idx, budget_idx, self._pair_j[k]] = t_pair_j[budget_idx, k]
+        return times, feasible
+
+    @staticmethod
+    def _validate_budgets(budgets_j: Sequence[float]) -> np.ndarray:
+        budgets = np.atleast_1d(np.asarray(budgets_j, dtype=float))
+        if budgets.size == 0:
+            raise ValueError("budget grid is empty")
+        if np.any(budgets < 0):
+            raise ValueError("energy budgets must be non-negative")
+        return budgets
+
+    # --- grid solves -----------------------------------------------------------
+    def solve_grid(
+        self,
+        budgets_j: Sequence[float],
+        alphas: Sequence[float] = (1.0,),
+    ) -> BatchGridResult:
+        """Solve every (alpha, budget) cell of the grid in one vectorized pass.
+
+        Parameters
+        ----------
+        budgets_j:
+            Energy budgets to sweep (any non-negative values; budgets below
+            the off-state floor yield the all-off allocation flagged
+            infeasible, exactly like the scalar allocator with
+            ``clip_infeasible=True``).
+        alphas:
+            Trade-off parameters to sweep.
+        """
+        budgets = self._validate_budgets(budgets_j)
+        alpha_grid = np.array([validate_alpha(a) for a in np.atleast_1d(alphas)])
+        if alpha_grid.size == 0:
+            raise ValueError("alpha grid is empty")
+
+        # Objective weights a_i^alpha for every alpha: (A, N).  numpy already
+        # yields 0**0 == 1, matching DesignPoint.weighted_accuracy.
+        weights = self._accuracies[None, :] ** alpha_grid[:, None]
+        times, feasible = self._winner_times(budgets, weights)
 
         active = times.sum(axis=2)                                 # (A, B)
         objective = np.einsum("abn,an->ab", times, weights) / self.period_s
@@ -386,6 +642,115 @@ class BatchAllocator:
         ``ReapAllocator().solve(problem.with_budget(b))`` in a loop.
         """
         return self.solve_budgets(budgets_j, alpha=alpha).allocations(0)
+
+    # --- raw-array solves (fleet simulation path) -------------------------------
+    def solve_arrays(self, budgets_j: Sequence[float], alpha: float = 1.0) -> BatchArrays:
+        """Solve one alpha over a budget vector, returning raw arrays only.
+
+        This is the fleet-campaign fast path: per-DP time matrices, the
+        objective/accuracy/energy series and the feasibility mask, with no
+        per-cell :class:`TimeAllocation` objects.
+        """
+        budgets = self._validate_budgets(budgets_j)
+        alpha = validate_alpha(alpha)
+        weights = self._accuracies[None, :] ** alpha               # (1, N)
+        times, feasible = self._winner_times(budgets, weights)
+        times = times[0]                                           # (B, N)
+        active = times.sum(axis=1)
+        return BatchArrays(
+            design_points=self.design_points,
+            budgets_j=budgets,
+            alpha=alpha,
+            times_s=times,
+            feasible=feasible,
+            objective=(times @ weights[0]) / self.period_s,
+            expected_accuracy=(times @ self._accuracies) / self.period_s,
+            active_time_s=active,
+            energy_j=times @ self._powers
+            + self.off_power_w * (self.period_s - active),
+            period_s=self.period_s,
+            off_power_w=self.off_power_w,
+        )
+
+    def static_arrays(
+        self, name: str, budgets_j: Sequence[float], alpha: float = 1.0
+    ) -> BatchArrays:
+        """Raw arrays of the static policy running ``name`` over the budgets.
+
+        Array counterpart of :meth:`static_allocations` (below the off-state
+        floor the row is the all-off fallback flagged infeasible).
+        """
+        index = self._index_of(name)
+        budgets = self._validate_budgets(budgets_j)
+        alpha = validate_alpha(alpha)
+        active = self.static_active_times(name, budgets)           # (B,)
+        feasible = budgets >= self.min_required_energy_j - 1e-12
+        times = np.zeros((budgets.size, self.num_design_points))
+        times[:, index] = active
+        weight = self.design_points[index].weighted_accuracy(alpha)
+        return BatchArrays(
+            design_points=self.design_points,
+            budgets_j=budgets,
+            alpha=alpha,
+            times_s=times,
+            feasible=feasible,
+            objective=weight * active / self.period_s,
+            expected_accuracy=self._accuracies[index] * active / self.period_s,
+            active_time_s=active,
+            energy_j=self._powers[index] * active
+            + self.off_power_w * (self.period_s - active),
+            period_s=self.period_s,
+            off_power_w=self.off_power_w,
+        )
+
+    # --- consumption as a function of the budget --------------------------------
+    def _curve_breakpoints(self) -> np.ndarray:
+        """Budgets where the consumption function can kink.
+
+        The winning vertex changes only where a design point saturates
+        (``P_i * T_P``) or the budget crosses the off-state floor; between
+        those, consumption is linear in the budget.
+        """
+        return np.unique(
+            np.concatenate(
+                [[0.0, self.min_required_energy_j], self._powers * self.period_s]
+            )
+        )
+
+    def device_consumption(
+        self, budgets_j: Sequence[float], alpha: float = 1.0
+    ) -> np.ndarray:
+        """Energy the device consumes per period at the REAP optimum."""
+        return self.solve_arrays(budgets_j, alpha=alpha).device_consumption_j
+
+    def consumption_curve(self, alpha: float = 1.0) -> ConsumptionCurve:
+        """Piecewise-linear consumption-of-budget for the REAP optimum.
+
+        Raises :class:`ConsumptionCurveError` when the design-point set
+        violates the piecewise-linear structure (a design point no more
+        power-hungry than the off state, whose constant-value candidate can
+        overtake budget-binding candidates at arbitrary interior budgets).
+        """
+        if np.any(self._marginal_powers <= 0):
+            raise ConsumptionCurveError(
+                "a design point draws no more than the off state; consumption "
+                "is not piecewise-linear over the saturation breakpoints"
+            )
+        return ConsumptionCurve.from_probe(
+            self._curve_breakpoints(),
+            lambda budgets: self.device_consumption(budgets, alpha=alpha),
+        )
+
+    def static_consumption_curve(
+        self, name: str, alpha: float = 1.0
+    ) -> ConsumptionCurve:
+        """Piecewise-linear consumption-of-budget for one static policy."""
+        return ConsumptionCurve.from_probe(
+            self._curve_breakpoints(),
+            lambda budgets: self.static_arrays(
+                name, budgets, alpha=alpha
+            ).device_consumption_j,
+        )
 
     # --- static (single design point) baselines --------------------------------
     def static_active_times(self, name: str, budgets_j: Sequence[float]) -> np.ndarray:
@@ -462,4 +827,12 @@ class BatchAllocator:
         )
 
 
-__all__ = ["BatchAllocator", "BatchGridResult", "StaticSeries"]
+__all__ = [
+    "BatchAllocator",
+    "BatchArrays",
+    "BatchGridResult",
+    "ConsumptionCurve",
+    "ConsumptionCurveError",
+    "StackedConsumptionCurves",
+    "StaticSeries",
+]

@@ -10,7 +10,9 @@ TI-Sensortag prototype:
 * :mod:`repro.energy.accounting` -- per-hour energy breakdowns (Figure 4),
 * :mod:`repro.energy.battery`, :mod:`repro.energy.harvester`,
   :mod:`repro.energy.budget` -- the storage and budget-allocation layer that
-  feeds the runtime controller.
+  feeds the runtime controller,
+* :mod:`repro.energy.fleet` -- the vectorized battery scan that steps many
+  independent battery-backed devices in lockstep for fleet campaigns.
 """
 
 from repro.energy.accounting import (
@@ -26,6 +28,7 @@ from repro.energy.budget import (
     HarvestFollowingAllocator,
     HorizonAverageAllocator,
 )
+from repro.energy.fleet import BatteryScan, BatteryScanResult
 from repro.energy.harvester import HarvestingCircuit
 from repro.energy.mcu import MCUModel
 from repro.energy.power_model import (
@@ -43,6 +46,8 @@ __all__ = [
     "AccelerometerEnergyModel",
     "BLEModel",
     "Battery",
+    "BatteryScan",
+    "BatteryScanResult",
     "BudgetDecision",
     "DesignPointCharacterization",
     "DesignPointEnergyModel",

@@ -18,6 +18,16 @@ month-long case study can run closed-loop:
 Both allocators also enforce that every period receives at least the
 off-state floor whenever the battery can supply it, so the monitoring
 circuitry never browns out unnecessarily.
+
+The classes here are the *scalar reference*: they step one device one
+period at a time and are what the hour-by-hour campaign loop uses.  The
+fleet campaign engine evaluates the same grant/settle recurrence for many
+independent devices in lockstep through
+:class:`repro.energy.fleet.BatteryScan`, which mirrors
+:class:`HarvestFollowingAllocator` (and the underlying
+:class:`~repro.energy.battery.Battery`) operation for operation; the
+equivalence suite asserts the two paths agree to 1e-9 on budgets and
+battery trajectories.
 """
 
 from __future__ import annotations

@@ -66,9 +66,9 @@ class DesignPointCharacterization:
 class DesignPointEnergyModel:
     """Analytical energy model evaluated per design-point configuration."""
 
-    mcu: MCUModel = MCUModel()
-    sensors: SensorSuiteEnergyModel = SensorSuiteEnergyModel()
-    ble: BLEModel = BLEModel()
+    mcu: MCUModel = field(default_factory=MCUModel)
+    sensors: SensorSuiteEnergyModel = field(default_factory=SensorSuiteEnergyModel)
+    ble: BLEModel = field(default_factory=BLEModel)
     window_s: float = ACTIVITY_WINDOW_S
     sampling_hz: float = SENSOR_SAMPLING_HZ
 

@@ -12,7 +12,7 @@ hour).  This calibration choice is documented in ``DESIGN.md``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -60,8 +60,8 @@ class SolarCellModel:
 class HarvestScenario:
     """Solar cell plus harvesting circuit: irradiance trace -> usable budgets."""
 
-    cell: SolarCellModel = SolarCellModel()
-    circuit: HarvestingCircuit = HarvestingCircuit()
+    cell: SolarCellModel = field(default_factory=SolarCellModel)
+    circuit: HarvestingCircuit = field(default_factory=HarvestingCircuit)
     period_s: float = ACTIVITY_PERIOD_S
 
     def harvested_energy_j(self, ghi_w_per_m2: float) -> float:

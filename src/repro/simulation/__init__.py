@@ -6,11 +6,24 @@
   period's schedule against the user's activity stream,
 * :mod:`repro.simulation.simulator` -- the campaign runner that connects a
   solar trace, the budget layer, a policy and the device,
+* :mod:`repro.simulation.fleet` -- the vectorized fleet engine that runs
+  whole (scenario x policy x alpha) grids of campaigns as array programs,
 * :mod:`repro.simulation.metrics` -- per-period and campaign-level metrics.
 """
 
 from repro.simulation.device import DeviceConfig, DeviceSimulator
-from repro.simulation.metrics import CampaignResult, PeriodOutcome, compare_campaigns
+from repro.simulation.fleet import (
+    CampaignConfig,
+    FleetCampaign,
+    FleetResult,
+    policy_supports_fleet,
+)
+from repro.simulation.metrics import (
+    CampaignColumns,
+    CampaignResult,
+    PeriodOutcome,
+    compare_campaigns,
+)
 from repro.simulation.policies import (
     OnOffDutyCyclePolicy,
     OraclePolicy,
@@ -19,13 +32,16 @@ from repro.simulation.policies import (
     StaticPolicy,
     default_policy_suite,
 )
-from repro.simulation.simulator import CampaignConfig, HarvestingCampaign
+from repro.simulation.simulator import HarvestingCampaign
 
 __all__ = [
+    "CampaignColumns",
     "CampaignConfig",
     "CampaignResult",
     "DeviceConfig",
     "DeviceSimulator",
+    "FleetCampaign",
+    "FleetResult",
     "HarvestingCampaign",
     "OnOffDutyCyclePolicy",
     "OraclePolicy",
@@ -34,5 +50,6 @@ __all__ = [
     "ReapPolicy",
     "StaticPolicy",
     "compare_campaigns",
+    "policy_supports_fleet",
     "default_policy_suite",
 ]

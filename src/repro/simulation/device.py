@@ -13,6 +13,15 @@ Two recognition modes are supported:
   expected-accuracy analysis of Section 5.2);
 * ``"sampled"`` -- correctness is drawn per window from a Bernoulli with the
   design point's accuracy (used to study run-to-run variability).
+
+Two execution paths produce identical numbers: :meth:`DeviceSimulator.run_period`
+steps one period at a time (the scalar reference), while
+:meth:`DeviceSimulator.run_periods_batch` consumes the raw per-DP time
+matrices of :class:`~repro.core.batch.BatchArrays` and accounts a whole
+campaign in a handful of array operations (the fleet path of
+:mod:`repro.simulation.fleet`).  In sampled mode the batch path draws its
+Bernoulli counts in the same order as the scalar loop, so the two paths
+consume the seeded RNG stream identically.
 """
 
 from __future__ import annotations
@@ -22,8 +31,24 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.batch import BatchArrays
 from repro.core.schedule import TimeAllocation
-from repro.simulation.metrics import PeriodOutcome
+from repro.data.paper_constants import ACTIVITY_WINDOW_S
+from repro.simulation.metrics import CampaignColumns, PeriodOutcome
+
+#: Fallback activity-window length when a schedule carries no design points
+#: (all design points share the paper's 1.6 s window; see Section 4.2).
+DEFAULT_WINDOW_S: float = ACTIVITY_WINDOW_S
+
+
+def window_length_s(design_points: Sequence) -> float:
+    """Activity-window length implied by a schedule's design points.
+
+    The schedule's nominal window is the first design point's activity
+    period; an empty design-point set falls back to the paper's 1.6 s
+    window (:data:`DEFAULT_WINDOW_S`).
+    """
+    return design_points[0].activity_period_s if design_points else DEFAULT_WINDOW_S
 
 
 @dataclass(frozen=True)
@@ -74,12 +99,8 @@ class DeviceSimulator:
         time_by_dp: Dict[str, float] = {}
 
         # Total windows occurring in the period, using the schedule's nominal
-        # window length (all design points share the 1.6 s window).
-        window_s = (
-            allocation.design_points[0].activity_period_s
-            if allocation.design_points
-            else 1.6
-        )
+        # window length.
+        window_s = window_length_s(allocation.design_points)
         windows_total = int(round(allocation.period_s / window_s))
 
         for dp, active_time in zip(allocation.design_points, allocation.times_s):
@@ -138,5 +159,79 @@ class DeviceSimulator:
             outcomes.append(self.run_period(allocation, index, budget))
         return outcomes
 
+    def run_periods_batch(
+        self,
+        arrays: BatchArrays,
+        budgets_j: Optional[Sequence[float]] = None,
+        start_index: int = 0,
+    ) -> CampaignColumns:
+        """Execute a whole campaign of periods from raw allocation arrays.
 
-__all__ = ["DeviceConfig", "DeviceSimulator"]
+        Array counterpart of :meth:`run_periods`: consumes the per-DP time
+        matrix of a :class:`~repro.core.batch.BatchArrays` bundle (one row
+        per period) and returns the outcomes as columnar arrays.  The window
+        accounting, brown-out rule and -- in sampled mode -- the order of
+        the Bernoulli draws replicate the scalar loop exactly.
+        """
+        times = arrays.times_s                                    # (H, N)
+        num_periods = times.shape[0]
+        design_points = arrays.design_points
+        window_s = window_length_s(design_points)
+        windows_total = int(round(arrays.period_s / window_s))
+
+        dp_windows = np.array([dp.activity_period_s for dp in design_points])
+        accuracies = np.array([dp.accuracy for dp in design_points])
+        observed_by_dp = (times / dp_windows[None, :]).astype(np.int64)
+        observed = observed_by_dp.sum(axis=1)
+
+        if self.config.recognition_mode == "expected":
+            correct = observed_by_dp @ accuracies
+        else:
+            # One flattened draw in period-major, DP-minor order -- the same
+            # order (and therefore the same RNG stream) as the scalar loop,
+            # which skips design points with no active time.
+            active = times > 0
+            draws = self._rng.binomial(
+                observed_by_dp[active],
+                np.broadcast_to(accuracies, times.shape)[active],
+            )
+            correct_by_dp = np.zeros(times.shape)
+            correct_by_dp[active] = draws
+            correct = correct_by_dp.sum(axis=1)
+
+        observed = np.minimum(observed, windows_total)
+        correct = np.minimum(correct, observed.astype(float))
+
+        budgets = (
+            np.asarray(arrays.budgets_j, dtype=float)
+            if budgets_j is None
+            else np.asarray(budgets_j, dtype=float)
+        )
+        if budgets.size != num_periods:
+            raise ValueError(
+                f"{budgets.size} budgets provided for {num_periods} periods"
+            )
+        # Brown-out rule: below the off-state floor the device can only
+        # consume what was actually granted.
+        consumed = np.where(
+            arrays.feasible,
+            arrays.energy_j,
+            np.minimum(arrays.energy_j, budgets),
+        )
+        return CampaignColumns(
+            period_index=np.arange(start_index, start_index + num_periods),
+            energy_budget_j=budgets,
+            energy_consumed_j=consumed,
+            active_time_s=np.array(arrays.active_time_s),
+            off_time_s=np.array(arrays.off_time_s),
+            windows_total=np.full(num_periods, windows_total, dtype=int),
+            windows_observed=observed,
+            windows_correct=correct,
+            objective_value=np.array(arrays.objective),
+            expected_accuracy=np.array(arrays.expected_accuracy),
+            design_point_names=tuple(dp.name for dp in design_points),
+            times_by_design_point_s=np.array(times),
+        )
+
+
+__all__ = ["DEFAULT_WINDOW_S", "DeviceConfig", "DeviceSimulator", "window_length_s"]

@@ -1,0 +1,268 @@
+"""Fleet campaign engine: whole grids of campaigns as array programs.
+
+This module is the vectorized runtime behind
+:class:`~repro.simulation.simulator.HarvestingCampaign`.  Where the scalar
+reference steps one policy through one trace hour by hour
+(``grant -> allocate -> run_period -> settle``), :class:`FleetCampaign`
+simulates a whole grid of (scenario x policy x alpha) cells against a trace
+in three vectorized stages:
+
+1. **Budgets.**  Open-loop budgets are the per-scenario harvest vectors.
+   Closed-loop budgets come from :class:`~repro.energy.fleet.BatteryScan`:
+   one battery-charge vector covering every fleet cell, stepped per period
+   in lockstep, with each policy's period consumption evaluated through its
+   piecewise-linear :class:`~repro.core.batch.ConsumptionCurve` instead of
+   a per-period LP solve.
+2. **Allocations.**  Each cell's full budget column is solved in one
+   :meth:`~repro.simulation.policies.Policy.allocate_arrays` call (the
+   batch engine's raw-array path).
+3. **Accounting.**  :meth:`~repro.simulation.device.DeviceSimulator.run_periods_batch`
+   turns the per-DP time matrices into columnar campaign outcomes,
+   reproducing the scalar window/energy/recognition accounting (including
+   the sampled-mode RNG stream) exactly.
+
+The scalar loop remains in :mod:`repro.simulation.simulator` as the
+cross-checked reference; the equivalence suite asserts agreement to 1e-9 on
+budgets, consumed energy, battery trajectories and recognition counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.batch import ConsumptionCurveError, StackedConsumptionCurves
+from repro.energy.fleet import BatteryScan, BatteryScanResult
+from repro.harvesting.solar_cell import HarvestScenario
+from repro.harvesting.traces import SolarTrace
+from repro.simulation.device import DeviceConfig, DeviceSimulator
+from repro.simulation.metrics import CampaignResult
+from repro.simulation.policies import Policy
+
+
+@dataclass
+class CampaignConfig:
+    """Configuration of a harvesting campaign simulation."""
+
+    #: When True, budgets flow through a battery-backed energy allocator; the
+    #: unspent part of each budget is banked and shortfalls draw the battery.
+    use_battery: bool = False
+    #: Battery capacity in joules (only used when ``use_battery``).
+    battery_capacity_j: float = 60.0
+    #: Initial battery charge in joules (negative means half full).
+    battery_initial_j: float = -1.0
+    #: Battery state-of-charge reserve: charge above this level is released
+    #: to the load (so day-time surplus funds night-time operation), charge
+    #: below it is retained.
+    battery_target_soc: float = 0.35
+    #: Maximum battery contribution to a single period's budget, in joules.
+    battery_max_draw_j: float = 5.0
+    #: Device simulation settings.
+    device: DeviceConfig = field(default_factory=DeviceConfig)
+
+
+def policy_supports_fleet(policy: Policy, use_battery: bool) -> bool:
+    """Whether the fleet engine can run ``policy`` end to end.
+
+    Open-loop campaigns work for every policy (the array path falls back to
+    the policy's own scalar allocator when needed); closed-loop campaigns
+    additionally require a closed-form consumption curve for the battery
+    scan.
+    """
+    if not use_battery:
+        return True
+    try:
+        policy.consumption_curve()
+    except (NotImplementedError, ConsumptionCurveError):
+        return False
+    return True
+
+
+class FleetResult:
+    """Results of one fleet run: a (scenario x policy) grid of campaigns."""
+
+    def __init__(
+        self,
+        scenario_labels: Sequence[str],
+        policies: Sequence[Policy],
+        grid: Sequence[Sequence[CampaignResult]],
+        scan: Optional[BatteryScanResult],
+        trace_hours: int,
+    ) -> None:
+        self.scenario_labels = list(scenario_labels)
+        self.policy_names = [policy.name for policy in policies]
+        self.alphas = [policy.alpha for policy in policies]
+        self._grid = [list(row) for row in grid]
+        #: Battery trajectories of the underlying scan (closed loop only).
+        self.scan = scan
+        self.trace_hours = trace_hours
+
+    @property
+    def num_scenarios(self) -> int:
+        """Number of swept harvest scenarios S."""
+        return len(self.scenario_labels)
+
+    @property
+    def num_policies(self) -> int:
+        """Number of swept policies P."""
+        return len(self.policy_names)
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of simulated campaigns (S x P)."""
+        return self.num_scenarios * self.num_policies
+
+    def result(
+        self, policy: Union[int, str], scenario_index: int = 0
+    ) -> CampaignResult:
+        """Campaign result of one cell, by policy index or name.
+
+        Name lookup refuses ambiguous fleets (the same policy name at
+        several alphas); address those cells by index instead.
+        """
+        if isinstance(policy, str):
+            if self.policy_names.count(policy) > 1:
+                raise ValueError(
+                    f"policy name {policy!r} appears "
+                    f"{self.policy_names.count(policy)} times in this fleet; "
+                    "use the policy index"
+                )
+            policy = self.policy_names.index(policy)
+        return self._grid[scenario_index][policy]
+
+    def results(self, scenario_index: int = 0) -> Dict[str, CampaignResult]:
+        """One scenario row as a name-keyed mapping (like ``run_many``).
+
+        Mirrors ``HarvestingCampaign.run_many`` semantics, including its
+        collapse of duplicate policy names (later entries win); use
+        :meth:`result` with indices for fleets that repeat names.
+        """
+        return {
+            name: result
+            for name, result in zip(
+                self.policy_names, self._grid[scenario_index]
+            )
+        }
+
+    def __iter__(self):
+        for scenario_index, row in enumerate(self._grid):
+            for policy_index, result in enumerate(row):
+                yield scenario_index, policy_index, result
+
+
+class FleetCampaign:
+    """Runs grids of (scenario x policy) campaigns through the array engine.
+
+    Parameters
+    ----------
+    scenarios:
+        One :class:`HarvestScenario` or a sequence of scenario variants
+        (e.g. different wearable exposure factors); every policy runs
+        against every scenario.
+    config:
+        Campaign settings shared by all cells (battery, device simulation).
+    scenario_labels:
+        Optional display names for the scenario axis.
+    """
+
+    def __init__(
+        self,
+        scenarios: Union[HarvestScenario, Sequence[HarvestScenario]],
+        config: Optional[CampaignConfig] = None,
+        scenario_labels: Optional[Sequence[str]] = None,
+    ) -> None:
+        if isinstance(scenarios, HarvestScenario):
+            scenarios = [scenarios]
+        if not scenarios:
+            raise ValueError("need at least one harvest scenario")
+        self.scenarios = list(scenarios)
+        self.config = config or CampaignConfig()
+        if scenario_labels is None:
+            scenario_labels = [f"S{index}" for index in range(len(self.scenarios))]
+        if len(scenario_labels) != len(self.scenarios):
+            raise ValueError(
+                f"{len(scenario_labels)} labels for {len(self.scenarios)} scenarios"
+            )
+        self.scenario_labels = list(scenario_labels)
+
+    # -----------------------------------------------------------------------------
+    def _harvest_matrix(self, trace: SolarTrace) -> np.ndarray:
+        """(H, S) harvested energy per period for every scenario."""
+        columns = [
+            [scenario.harvested_energy_j(hour.ghi_w_per_m2) for hour in trace]
+            for scenario in self.scenarios
+        ]
+        return np.array(columns).T
+
+    def _battery_scan(
+        self, policies: Sequence[Policy], harvest: np.ndarray
+    ) -> BatteryScanResult:
+        """Run the lockstep battery scan over every (scenario, policy) cell."""
+        num_scenarios = len(self.scenarios)
+        num_policies = len(policies)
+        # Device order is scenario-major: d = s * P + p.
+        curves = [policy.consumption_curve() for policy in policies]
+        stacked = StackedConsumptionCurves(curves * num_scenarios)
+        scan = BatteryScan(
+            num_devices=num_scenarios * num_policies,
+            capacity_j=self.config.battery_capacity_j,
+            initial_charge_j=self.config.battery_initial_j,
+            target_soc=self.config.battery_target_soc,
+            max_draw_j=self.config.battery_max_draw_j,
+        )
+        per_device_harvest = np.repeat(harvest, num_policies, axis=1)
+        return scan.run(per_device_harvest, stacked)
+
+    def run(self, policies: Sequence[Policy], trace: SolarTrace) -> FleetResult:
+        """Simulate every (scenario, policy) cell over ``trace``."""
+        policies = list(policies)
+        if not policies:
+            raise ValueError("need at least one policy")
+        harvest = self._harvest_matrix(trace)                      # (H, S)
+        num_policies = len(policies)
+
+        scan: Optional[BatteryScanResult] = None
+        if self.config.use_battery:
+            scan = self._battery_scan(policies, harvest)
+
+        grid: List[List[CampaignResult]] = []
+        for scenario_index in range(len(self.scenarios)):
+            row: List[CampaignResult] = []
+            for policy_index, policy in enumerate(policies):
+                if scan is not None:
+                    device_index = scenario_index * num_policies + policy_index
+                    budgets = scan.budgets_j[:, device_index]
+                    battery = scan.charge_j[:, device_index]
+                else:
+                    budgets = harvest[:, scenario_index]
+                    battery = None
+                policy.reset()
+                arrays = policy.allocate_arrays(budgets)
+                simulator = DeviceSimulator(self.config.device)
+                columns = simulator.run_periods_batch(arrays, budgets)
+                row.append(
+                    CampaignResult.from_columns(
+                        policy.name,
+                        policy.alpha,
+                        columns,
+                        battery_charge_j=battery,
+                    )
+                )
+            grid.append(row)
+        return FleetResult(
+            scenario_labels=self.scenario_labels,
+            policies=policies,
+            grid=grid,
+            scan=scan,
+            trace_hours=len(trace),
+        )
+
+
+__all__ = [
+    "CampaignConfig",
+    "FleetCampaign",
+    "FleetResult",
+    "policy_supports_fleet",
+]

@@ -1,9 +1,22 @@
-"""Metrics collected by the trace-driven device simulation."""
+"""Metrics collected by the trace-driven device simulation.
+
+Two representations coexist:
+
+* :class:`PeriodOutcome` -- one object per simulated period, convenient for
+  inspection and the scalar reference loop;
+* :class:`CampaignColumns` -- the same figures as a struct-of-arrays, which
+  is what the vectorized fleet engine produces: a month-long x many-policy
+  study stores a handful of arrays per campaign instead of allocating one
+  outcome object per hour.
+
+:class:`CampaignResult` accepts either; columnar results materialise their
+:class:`PeriodOutcome` list lazily, only when ``.outcomes`` is touched.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,59 +64,211 @@ class PeriodOutcome:
         return self.energy_consumed_j / self.energy_budget_j
 
 
-@dataclass
-class CampaignResult:
-    """Aggregate result of running one policy over a whole budget trace."""
+@dataclass(frozen=True)
+class CampaignColumns:
+    """Struct-of-arrays view of a campaign's per-period outcomes.
 
-    policy_name: str
-    alpha: float
-    outcomes: List[PeriodOutcome] = field(default_factory=list)
+    Every field mirrors the same-named :class:`PeriodOutcome` attribute with
+    one entry per period.  ``times_by_design_point_s`` keeps the per-DP time
+    matrix (periods x design points) so :meth:`to_outcomes` can rebuild the
+    per-period allocation dictionaries on demand.
+    """
 
-    def append(self, outcome: PeriodOutcome) -> None:
-        """Record one period's outcome."""
-        self.outcomes.append(outcome)
+    period_index: np.ndarray            #: (H,) int
+    energy_budget_j: np.ndarray         #: (H,)
+    energy_consumed_j: np.ndarray       #: (H,)
+    active_time_s: np.ndarray           #: (H,)
+    off_time_s: np.ndarray              #: (H,)
+    windows_total: np.ndarray           #: (H,) int
+    windows_observed: np.ndarray        #: (H,) int
+    windows_correct: np.ndarray         #: (H,)
+    objective_value: np.ndarray         #: (H,)
+    expected_accuracy: np.ndarray       #: (H,)
+    design_point_names: Tuple[str, ...] = ()
+    times_by_design_point_s: Optional[np.ndarray] = None  #: (H, N)
 
     def __len__(self) -> int:
+        return int(self.period_index.size)
+
+    @property
+    def num_periods(self) -> int:
+        """Number of recorded periods H."""
+        return len(self)
+
+    def to_outcomes(self) -> List[PeriodOutcome]:
+        """Materialise one :class:`PeriodOutcome` per period."""
+        outcomes = []
+        times = self.times_by_design_point_s
+        for row in range(len(self)):
+            time_by_dp: Dict[str, float] = {}
+            if times is not None:
+                for name, t in zip(self.design_point_names, times[row]):
+                    if t > 0:
+                        time_by_dp[name] = float(t)
+            outcomes.append(
+                PeriodOutcome(
+                    period_index=int(self.period_index[row]),
+                    energy_budget_j=float(self.energy_budget_j[row]),
+                    energy_consumed_j=float(self.energy_consumed_j[row]),
+                    active_time_s=float(self.active_time_s[row]),
+                    off_time_s=float(self.off_time_s[row]),
+                    windows_total=int(self.windows_total[row]),
+                    windows_observed=int(self.windows_observed[row]),
+                    windows_correct=float(self.windows_correct[row]),
+                    objective_value=float(self.objective_value[row]),
+                    expected_accuracy=float(self.expected_accuracy[row]),
+                    time_by_design_point=time_by_dp,
+                )
+            )
+        return outcomes
+
+    @classmethod
+    def from_outcomes(cls, outcomes: Sequence[PeriodOutcome]) -> "CampaignColumns":
+        """Pack a list of outcomes into columns (per-DP times are dropped)."""
+        return cls(
+            period_index=np.array([o.period_index for o in outcomes], dtype=int),
+            energy_budget_j=np.array([o.energy_budget_j for o in outcomes]),
+            energy_consumed_j=np.array([o.energy_consumed_j for o in outcomes]),
+            active_time_s=np.array([o.active_time_s for o in outcomes]),
+            off_time_s=np.array([o.off_time_s for o in outcomes]),
+            windows_total=np.array([o.windows_total for o in outcomes], dtype=int),
+            windows_observed=np.array(
+                [o.windows_observed for o in outcomes], dtype=int
+            ),
+            windows_correct=np.array([o.windows_correct for o in outcomes]),
+            objective_value=np.array([o.objective_value for o in outcomes]),
+            expected_accuracy=np.array([o.expected_accuracy for o in outcomes]),
+        )
+
+
+class CampaignResult:
+    """Aggregate result of running one policy over a whole budget trace.
+
+    Holds either an appendable list of :class:`PeriodOutcome` objects (the
+    scalar reference path) or a :class:`CampaignColumns` bundle (the fleet
+    path); aggregates are computed from whichever is present.  Accessing
+    :attr:`outcomes` on a columnar result materialises the objects lazily.
+    """
+
+    def __init__(
+        self,
+        policy_name: str,
+        alpha: float,
+        outcomes: Optional[Sequence[PeriodOutcome]] = None,
+        columns: Optional[CampaignColumns] = None,
+        battery_charge_j: Optional[np.ndarray] = None,
+    ) -> None:
+        if outcomes is not None and columns is not None:
+            raise ValueError("provide either outcomes or columns, not both")
+        self.policy_name = policy_name
+        self.alpha = alpha
+        self.columns = columns
+        #: Battery state-of-charge trajectory (periods + 1 entries) for
+        #: closed-loop campaigns; None for open-loop runs.
+        self.battery_charge_j = (
+            None if battery_charge_j is None
+            else np.asarray(battery_charge_j, dtype=float)
+        )
+        self._outcomes: Optional[List[PeriodOutcome]] = (
+            list(outcomes) if outcomes is not None
+            else ([] if columns is None else None)
+        )
+
+    @classmethod
+    def from_columns(
+        cls,
+        policy_name: str,
+        alpha: float,
+        columns: CampaignColumns,
+        battery_charge_j: Optional[np.ndarray] = None,
+    ) -> "CampaignResult":
+        """Wrap a columnar outcome bundle produced by the fleet engine."""
+        return cls(
+            policy_name,
+            alpha,
+            columns=columns,
+            battery_charge_j=battery_charge_j,
+        )
+
+    @property
+    def outcomes(self) -> List[PeriodOutcome]:
+        """Per-period outcomes (materialised on first access when columnar)."""
+        if self._outcomes is None:
+            assert self.columns is not None
+            self._outcomes = self.columns.to_outcomes()
+        return self._outcomes
+
+    def append(self, outcome: PeriodOutcome) -> None:
+        """Record one period's outcome (list-based results only)."""
+        if self.columns is not None:
+            raise ValueError("columnar campaign results are read-only")
+        assert self._outcomes is not None
+        self._outcomes.append(outcome)
+
+    def __len__(self) -> int:
+        if self.columns is not None:
+            return len(self.columns)
         return len(self.outcomes)
+
+    def __repr__(self) -> str:
+        return (
+            f"CampaignResult(policy_name={self.policy_name!r}, "
+            f"alpha={self.alpha!r}, periods={len(self)}, "
+            f"columnar={self.columns is not None})"
+        )
 
     # --- aggregates -----------------------------------------------------------------
     @property
     def total_active_time_s(self) -> float:
         """Total active time across the campaign."""
+        if self.columns is not None:
+            return float(self.columns.active_time_s.sum())
         return float(sum(o.active_time_s for o in self.outcomes))
 
     @property
     def total_energy_consumed_j(self) -> float:
         """Total energy consumed across the campaign."""
+        if self.columns is not None:
+            return float(self.columns.energy_consumed_j.sum())
         return float(sum(o.energy_consumed_j for o in self.outcomes))
 
     @property
     def total_windows_observed(self) -> int:
         """Total activity windows the device observed."""
+        if self.columns is not None:
+            return int(self.columns.windows_observed.sum())
         return int(sum(o.windows_observed for o in self.outcomes))
 
     @property
     def total_windows_correct(self) -> float:
         """Total correctly recognised windows."""
+        if self.columns is not None:
+            return float(self.columns.windows_correct.sum())
         return float(sum(o.windows_correct for o in self.outcomes))
 
     @property
     def total_windows(self) -> int:
         """Total activity windows that occurred (observed or not)."""
+        if self.columns is not None:
+            return int(self.columns.windows_total.sum())
         return int(sum(o.windows_total for o in self.outcomes))
 
     @property
     def mean_expected_accuracy(self) -> float:
         """Mean per-period expected accuracy."""
-        if not self.outcomes:
+        if len(self) == 0:
             return 0.0
+        if self.columns is not None:
+            return float(self.columns.expected_accuracy.mean())
         return float(np.mean([o.expected_accuracy for o in self.outcomes]))
 
     @property
     def mean_objective(self) -> float:
         """Mean per-period objective value at the campaign's alpha."""
-        if not self.outcomes:
+        if len(self) == 0:
             return 0.0
+        if self.columns is not None:
+            return float(self.columns.objective_value.mean())
         return float(np.mean([o.objective_value for o in self.outcomes]))
 
     @property
@@ -116,10 +281,14 @@ class CampaignResult:
 
     def objective_values(self) -> np.ndarray:
         """Per-period objective values."""
+        if self.columns is not None:
+            return np.array(self.columns.objective_value)
         return np.array([o.objective_value for o in self.outcomes])
 
     def active_times_s(self) -> np.ndarray:
         """Per-period active times."""
+        if self.columns is not None:
+            return np.array(self.columns.active_time_s)
         return np.array([o.active_time_s for o in self.outcomes])
 
     def daily_objective_totals(self, periods_per_day: int = 24) -> np.ndarray:
@@ -135,7 +304,7 @@ class CampaignResult:
     def summary(self) -> Dict[str, float]:
         """Scalar summary of the campaign (for reports and tests)."""
         return {
-            "periods": float(len(self.outcomes)),
+            "periods": float(len(self)),
             "total_active_time_s": self.total_active_time_s,
             "total_energy_j": self.total_energy_consumed_j,
             "mean_expected_accuracy": self.mean_expected_accuracy,
@@ -173,4 +342,4 @@ def compare_campaigns(
     }
 
 
-__all__ = ["CampaignResult", "PeriodOutcome", "compare_campaigns"]
+__all__ = ["CampaignColumns", "CampaignResult", "PeriodOutcome", "compare_campaigns"]

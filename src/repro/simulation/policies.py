@@ -26,9 +26,11 @@ from __future__ import annotations
 import abc
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.allocator import AllocatorConfig, ReapAllocator
 from repro.core.analytic import solve_analytic
-from repro.core.batch import BatchAllocator
+from repro.core.batch import BatchAllocator, BatchArrays, ConsumptionCurve
 from repro.core.design_point import DesignPoint, validate_design_points
 from repro.core.objective import validate_alpha
 from repro.core.problem import ReapProblem, static_allocation
@@ -70,6 +72,53 @@ class Policy(abc.ABC):
         per hour.
         """
         return [self.allocate(budget) for budget in budgets_j]
+
+    def allocate_arrays(self, budgets_j: Sequence[float]) -> BatchArrays:
+        """Raw-array allocations for a whole budget vector (fleet fast path).
+
+        The base implementation materialises :meth:`allocate_many` and packs
+        the result, so *any* policy can feed the vectorized device
+        accounting; policies backed by the batch engine override this with a
+        pure array solve.
+        """
+        budgets = np.atleast_1d(np.asarray(budgets_j, dtype=float))
+        allocations = self.allocate_many([float(b) for b in budgets])
+        return BatchArrays(
+            design_points=self.design_points,
+            budgets_j=budgets,
+            alpha=self.alpha,
+            times_s=np.array([a.times_s for a in allocations]),
+            feasible=np.array([a.budget_feasible for a in allocations]),
+            objective=np.array([a.objective for a in allocations]),
+            expected_accuracy=np.array([a.expected_accuracy for a in allocations]),
+            active_time_s=np.array([a.active_time_s for a in allocations]),
+            energy_j=np.array([a.energy_j for a in allocations]),
+            period_s=self.period_s,
+            off_power_w=self.off_power_w,
+        )
+
+    def consumption_curve(self) -> ConsumptionCurve:
+        """Period consumption as a piecewise-linear function of the budget.
+
+        Needed by the closed-loop fleet engine, whose battery scan evaluates
+        consumption without solving per-period allocations.  Policies that
+        cannot provide a closed form raise ``NotImplementedError``; the
+        campaign then falls back to the scalar reference loop for them.
+        The curve is built once per policy and cached (policies treat their
+        parameters as fixed, like the shared batch engine).
+        """
+        curve = getattr(self, "_curve", None)
+        if curve is None:
+            curve = self._build_consumption_curve()
+            self._curve = curve
+        return curve
+
+    def _build_consumption_curve(self) -> ConsumptionCurve:
+        """Construct the curve (overridden by batch-engine-backed policies)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not provide a closed-form "
+            "consumption-of-budget curve"
+        )
 
     def reset(self) -> None:
         """Clear any internal state between campaigns (default: nothing)."""
@@ -118,13 +167,33 @@ class ReapPolicy(Policy):
     def allocate(self, energy_budget_j: float) -> TimeAllocation:
         return self.allocator.solve(self.build_problem(energy_budget_j))
 
-    def allocate_many(self, budgets_j: Sequence[float]) -> List[TimeAllocation]:
+    def _batchable(self) -> bool:
+        """Whether this policy's allocator semantics match the batch engine."""
         config = self.allocator.config
-        if config.formulation == "full" or config.cross_check or not config.clip_infeasible:
+        return not (
+            config.formulation == "full"
+            or config.cross_check
+            or not config.clip_infeasible
+        )
+
+    def allocate_many(self, budgets_j: Sequence[float]) -> List[TimeAllocation]:
+        if not self._batchable():
             # Keep the exact scalar semantics the caller asked for (including
             # raising BudgetTooSmallError when clip_infeasible is disabled).
             return super().allocate_many(budgets_j)
         return self._batch_engine().solve_allocations(budgets_j, alpha=self.alpha)
+
+    def allocate_arrays(self, budgets_j: Sequence[float]) -> BatchArrays:
+        if not self._batchable():
+            return super().allocate_arrays(budgets_j)
+        return self._batch_engine().solve_arrays(budgets_j, alpha=self.alpha)
+
+    def _build_consumption_curve(self) -> ConsumptionCurve:
+        if not self._batchable():
+            raise NotImplementedError(
+                "custom allocator configurations keep the scalar campaign path"
+            )
+        return self._batch_engine().consumption_curve(alpha=self.alpha)
 
 
 class OraclePolicy(Policy):
@@ -140,6 +209,12 @@ class OraclePolicy(Policy):
     def allocate_many(self, budgets_j: Sequence[float]) -> List[TimeAllocation]:
         # The batch engine *is* the vectorized vertex enumeration.
         return self._batch_engine().solve_allocations(budgets_j, alpha=self.alpha)
+
+    def allocate_arrays(self, budgets_j: Sequence[float]) -> BatchArrays:
+        return self._batch_engine().solve_arrays(budgets_j, alpha=self.alpha)
+
+    def _build_consumption_curve(self) -> ConsumptionCurve:
+        return self._batch_engine().consumption_curve(alpha=self.alpha)
 
 
 class StaticPolicy(Policy):
@@ -169,6 +244,16 @@ class StaticPolicy(Policy):
     def allocate_many(self, budgets_j: Sequence[float]) -> List[TimeAllocation]:
         return self._batch_engine().static_allocations(
             self.static_name, budgets_j, alpha=self.alpha
+        )
+
+    def allocate_arrays(self, budgets_j: Sequence[float]) -> BatchArrays:
+        return self._batch_engine().static_arrays(
+            self.static_name, budgets_j, alpha=self.alpha
+        )
+
+    def _build_consumption_curve(self) -> ConsumptionCurve:
+        return self._batch_engine().static_consumption_curve(
+            self.static_name, alpha=self.alpha
         )
 
 
@@ -211,6 +296,16 @@ class OnOffDutyCyclePolicy(Policy):
     def allocate_many(self, budgets_j: Sequence[float]) -> List[TimeAllocation]:
         return self._batch_engine().static_allocations(
             self.operating_point, budgets_j, alpha=self.alpha
+        )
+
+    def allocate_arrays(self, budgets_j: Sequence[float]) -> BatchArrays:
+        return self._batch_engine().static_arrays(
+            self.operating_point, budgets_j, alpha=self.alpha
+        )
+
+    def _build_consumption_curve(self) -> ConsumptionCurve:
+        return self._batch_engine().static_consumption_curve(
+            self.operating_point, alpha=self.alpha
         )
 
     def duty_cycle(self, energy_budget_j: float) -> float:

@@ -5,54 +5,64 @@ energy budgets (open-loop harvest-following or closed-loop through a battery
 and an energy allocator), a policy turns each budget into a schedule, and the
 device simulator executes the schedule.  This is the machinery behind the
 month-long case study of Section 5.4.
+
+Two engines implement the same semantics:
+
+* ``engine="fleet"`` (default) -- campaigns run through the vectorized
+  :class:`~repro.simulation.fleet.FleetCampaign` runtime: budgets for the
+  whole trace come from one lockstep battery scan (closed loop) or the
+  harvest vector (open loop), allocations from one batched solve per
+  policy, and outcomes land in columnar
+  :class:`~repro.simulation.metrics.CampaignColumns` arrays.
+* ``engine="scalar"`` -- the original hour-by-hour Python loop
+  (``grant -> allocate -> run_period -> settle``), kept as the cross-checked
+  reference implementation; the equivalence suite asserts both engines
+  agree to 1e-9.
+
+Policies whose allocations cannot be expressed through the batch engine
+(for example a :class:`~repro.simulation.policies.ReapPolicy` with a custom
+allocator configuration) silently fall back to the scalar loop even under
+``engine="fleet"``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.schedule import TimeAllocation
 from repro.energy.battery import Battery
 from repro.energy.budget import HarvestFollowingAllocator
 from repro.harvesting.solar_cell import HarvestScenario
 from repro.harvesting.traces import SolarTrace
-from repro.simulation.device import DeviceConfig, DeviceSimulator
+from repro.simulation.device import DeviceSimulator
+from repro.simulation.fleet import (
+    CampaignConfig,
+    FleetCampaign,
+    policy_supports_fleet,
+)
 from repro.simulation.metrics import CampaignResult, PeriodOutcome
 from repro.simulation.policies import Policy
 
-
-@dataclass
-class CampaignConfig:
-    """Configuration of a harvesting campaign simulation."""
-
-    #: When True, budgets flow through a battery-backed energy allocator; the
-    #: unspent part of each budget is banked and shortfalls draw the battery.
-    use_battery: bool = False
-    #: Battery capacity in joules (only used when ``use_battery``).
-    battery_capacity_j: float = 60.0
-    #: Initial battery charge in joules (negative means half full).
-    battery_initial_j: float = -1.0
-    #: Battery state-of-charge reserve: charge above this level is released
-    #: to the load (so day-time surplus funds night-time operation), charge
-    #: below it is retained.
-    battery_target_soc: float = 0.35
-    #: Maximum battery contribution to a single period's budget, in joules.
-    battery_max_draw_j: float = 5.0
-    #: Device simulation settings.
-    device: DeviceConfig = DeviceConfig()
+#: Campaign engines selectable on :class:`HarvestingCampaign`.
+ENGINES = ("fleet", "scalar")
 
 
 class HarvestingCampaign:
-    """Runs one policy against a harvest trace and collects the outcomes."""
+    """Runs policies against a harvest trace and collects the outcomes."""
 
     def __init__(
         self,
         scenario: HarvestScenario,
         config: Optional[CampaignConfig] = None,
+        engine: str = "fleet",
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         self.scenario = scenario
         self.config = config or CampaignConfig()
+        self.engine = engine
 
     # -----------------------------------------------------------------------------
     def budgets_for_trace(self, trace: SolarTrace) -> List[float]:
@@ -61,26 +71,66 @@ class HarvestingCampaign:
 
     def run(self, policy: Policy, trace: SolarTrace) -> CampaignResult:
         """Run ``policy`` over every hour of ``trace``."""
-        device = DeviceSimulator(self.config.device)
-        policy.reset()
-        result = CampaignResult(policy_name=policy.name, alpha=policy.alpha)
-
-        if self.config.use_battery:
-            outcomes = self._run_with_battery(policy, trace, device)
-        else:
-            outcomes = self._run_open_loop(policy, trace, device)
-
-        for outcome in outcomes:
-            result.append(outcome)
-        return result
+        if self.engine == "fleet" and policy_supports_fleet(
+            policy, self.config.use_battery
+        ):
+            fleet = FleetCampaign(self.scenario, self.config)
+            return fleet.run([policy], trace).result(0)
+        return self._run_scalar(policy, trace)
 
     def run_many(
         self, policies: Sequence[Policy], trace: SolarTrace
     ) -> Dict[str, CampaignResult]:
-        """Run several policies over the same trace (same budgets for all)."""
-        return {policy.name: self.run(policy, trace) for policy in policies}
+        """Run several policies over the same trace (same budgets for all).
 
-    # -----------------------------------------------------------------------------
+        Under the fleet engine every supported policy shares one vectorized
+        run (closed-loop cells share the lockstep battery scan); unsupported
+        policies fall back to the scalar loop.  The returned mapping
+        preserves the input policy order.
+        """
+        policies = list(policies)
+        if self.engine != "fleet":
+            return {policy.name: self._run_scalar(policy, trace) for policy in policies}
+        supported = [
+            policy
+            for policy in policies
+            if policy_supports_fleet(policy, self.config.use_battery)
+        ]
+        fleet_by_policy: Dict[int, CampaignResult] = {}
+        if supported:
+            fleet = FleetCampaign(self.scenario, self.config).run(supported, trace)
+            fleet_by_policy = {
+                id(policy): fleet.result(index)
+                for index, policy in enumerate(supported)
+            }
+        # Match results to policy *objects*, not names, so an unsupported
+        # policy never inherits a same-named supported policy's result; the
+        # returned mapping keeps run_many's usual later-wins name collapse.
+        results: Dict[str, CampaignResult] = {}
+        for policy in policies:
+            result = fleet_by_policy.get(id(policy))
+            if result is None:
+                result = self._run_scalar(policy, trace)
+            results[policy.name] = result
+        return results
+
+    # --- scalar reference loop ---------------------------------------------------
+    def _run_scalar(self, policy: Policy, trace: SolarTrace) -> CampaignResult:
+        """Hour-by-hour reference implementation (both budget modes)."""
+        device = DeviceSimulator(self.config.device)
+        policy.reset()
+        battery_history: Optional[np.ndarray] = None
+        if self.config.use_battery:
+            outcomes, battery_history = self._run_with_battery(policy, trace, device)
+        else:
+            outcomes = self._run_open_loop(policy, trace, device)
+        return CampaignResult(
+            policy_name=policy.name,
+            alpha=policy.alpha,
+            outcomes=outcomes,
+            battery_charge_j=battery_history,
+        )
+
     def _run_open_loop(
         self, policy: Policy, trace: SolarTrace, device: DeviceSimulator
     ) -> List[PeriodOutcome]:
@@ -92,7 +142,7 @@ class HarvestingCampaign:
 
     def _run_with_battery(
         self, policy: Policy, trace: SolarTrace, device: DeviceSimulator
-    ) -> List[PeriodOutcome]:
+    ) -> Tuple[List[PeriodOutcome], np.ndarray]:
         battery = Battery(
             capacity_j=self.config.battery_capacity_j,
             initial_charge_j=self.config.battery_initial_j,
@@ -110,7 +160,7 @@ class HarvestingCampaign:
             outcome = device.run_period(allocation, index, budget)
             allocator.settle(harvest, outcome.energy_consumed_j)
             outcomes.append(outcome)
-        return outcomes
+        return outcomes, np.array(battery.history)
 
 
-__all__ = ["CampaignConfig", "HarvestingCampaign"]
+__all__ = ["CampaignConfig", "ENGINES", "HarvestingCampaign"]

@@ -89,3 +89,30 @@ class TestAllocateAndSweep:
         output = capsys.readouterr().out
         assert "Budget x alpha grid" in output
         assert "J_alpha_1" in output
+
+
+class TestFleetCommand:
+    def test_fleet_closed_loop_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "fleet.csv"
+        assert main([
+            "fleet", "--hours", "48", "--alphas", "1.0", "2.0",
+            "--exposures", "0.032", "0.05", "--csv", str(csv_path),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "Fleet campaign" in output
+        assert "16 campaign cells" in output
+        assert "exposure=0.05" in output
+        assert csv_path.exists()
+        assert "final_battery_J" in csv_path.read_text()
+
+    def test_fleet_open_loop(self, capsys):
+        assert main([
+            "fleet", "--hours", "24", "--alphas", "1.0",
+            "--baselines", "DP1", "--open-loop",
+        ]) == 0
+        assert "open loop" in capsys.readouterr().out
+
+    def test_fleet_rejects_bad_hours(self):
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            main(["fleet", "--hours", "0"])
