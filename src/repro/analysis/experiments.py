@@ -412,6 +412,7 @@ def run_fleet_campaign_experiment(
     seed: int = 2015,
     hours: Optional[int] = None,
     use_battery: bool = True,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Fleet study: (scenario x policy x alpha) campaign grid in one run.
 
@@ -419,8 +420,12 @@ def run_fleet_campaign_experiment(
     policy plus static baselines at every alpha, all simulated by the
     vectorized :class:`~repro.simulation.fleet.FleetCampaign` engine --
     closed-loop cells share a single lockstep battery scan.  One row per
-    (scenario, policy) cell.
+    (scenario, policy) cell.  ``jobs > 1`` shards the grid across worker
+    processes via :func:`repro.service.shard.run_sharded_campaign`; the
+    merged rows match the single-process run to floating-point round-off.
     """
+    if jobs < 1:
+        raise ValueError(f"jobs must be at least 1, got {jobs}")
     points = tuple(design_points) if design_points else tuple(table2_design_points())
     trace = SyntheticSolarModel(seed=seed).generate_month(month)
     if hours is not None:
@@ -442,12 +447,26 @@ def run_fleet_campaign_experiment(
             StaticPolicy(points, name, alpha=alpha) for name in baselines
         )
 
-    fleet = FleetCampaign(
-        scenarios,
-        CampaignConfig(use_battery=use_battery),
-        scenario_labels=labels,
-    )
-    result = fleet.run(policies, trace)
+    if jobs > 1:
+        # Imported lazily: the service layer sits above analysis and is only
+        # needed when the caller actually asks for process sharding.
+        from repro.service.shard import run_sharded_campaign
+
+        result = run_sharded_campaign(
+            scenarios,
+            policies,
+            trace,
+            CampaignConfig(use_battery=use_battery),
+            scenario_labels=labels,
+            jobs=jobs,
+        )
+    else:
+        fleet = FleetCampaign(
+            scenarios,
+            CampaignConfig(use_battery=use_battery),
+            scenario_labels=labels,
+        )
+        result = fleet.run(policies, trace)
 
     headers = [
         "scenario",
@@ -495,6 +514,7 @@ def run_fleet_campaign_experiment(
             "num_cells": result.num_cells,
             "trace_hours": len(trace),
             "use_battery": use_battery,
+            "jobs": jobs,
         },
     )
 

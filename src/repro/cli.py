@@ -10,6 +10,8 @@ Exposes the experiment harness without writing any Python::
     python -m repro sweep --alphas 0.5 1 2 --points 200   # batched alpha grid
     python -m repro run grid --points 200           # budget x alpha grid CSV
     python -m repro fleet --alphas 1 2 --exposures 0.032 0.05   # fleet study
+    python -m repro fleet --jobs 4                  # shard the grid across processes
+    python -m repro serve --port 8734               # JSON-over-HTTP allocation service
 
 Heavyweight experiments (``table2``, ``figure3``) accept ``--windows`` to
 control the size of the synthetic user study they train on.
@@ -102,9 +104,23 @@ def _dispatch_experiment(name: str, args: argparse.Namespace) -> ExperimentResul
     raise KeyError(f"unknown experiment {name!r}")
 
 
+#: Non-experiment commands, shown by ``repro list`` below the experiments.
+COMMANDS: Dict[str, str] = {
+    "allocate": "solve a single one-hour allocation",
+    "sweep": "objective sweep over budgets (batch or scalar engine)",
+    "fleet": "closed-loop fleet study; --jobs N shards the grid across processes",
+    "serve": "run the JSON-over-HTTP allocation service (micro-batching + cache)",
+}
+
+
 def _command_list(_: argparse.Namespace) -> int:
     rows = [[name, description] for name, description in EXPERIMENTS.items()]
     print(format_table(["experiment", "description"], rows))
+    print()
+    print(format_table(
+        ["command", "description"],
+        [[name, description] for name, description in COMMANDS.items()],
+    ))
     return 0
 
 
@@ -155,9 +171,14 @@ def _command_fleet(args: argparse.Namespace) -> int:
         seed=args.seed,
         hours=args.hours,
         use_battery=not args.open_loop,
+        jobs=args.jobs,
     )
     print(result.to_text())
-    print(f"\n{result.extras['num_cells']} campaign cells simulated by the fleet engine")
+    engine = (
+        f"sharded fleet engine ({args.jobs} jobs)" if args.jobs > 1
+        else "fleet engine"
+    )
+    print(f"\n{result.extras['num_cells']} campaign cells simulated by the {engine}")
     if args.csv:
         result.to_csv(args.csv)
         print(f"rows written to {args.csv}")
@@ -274,10 +295,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--open-loop", action="store_true",
         help="spend-what-you-harvest budgets instead of the battery scan",
     )
+    fleet_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the campaign grid (1: in-process fleet "
+             "engine; N: shard via repro.service.shard)",
+    )
     fleet_parser.add_argument("--csv", default=None,
                               help="also write rows to this CSV file")
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the allocation service (JSON over HTTP, micro-batched "
+             "concurrent solves, LRU result cache)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8734,
+        help="TCP port (0 binds an ephemeral port; see --port-file)",
+    )
+    serve_parser.add_argument(
+        "--port-file", default=None,
+        help="write the bound port to this file once listening "
+             "(for scripts using --port 0)",
+    )
+    serve_parser.add_argument(
+        "--window-ms", type=float, default=2.0,
+        help="micro-batching window: how long a request may wait to coalesce",
+    )
+    serve_parser.add_argument(
+        "--max-batch", type=int, default=1024,
+        help="flush a batch as soon as this many requests are pending",
+    )
+    serve_parser.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="LRU result-cache capacity (0 disables caching)",
+    )
+
     return parser
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    # Imported lazily so plain experiment runs never touch the service layer.
+    from repro.service.server import AllocationService, run_server
+
+    service = AllocationService(
+        cache_size=args.cache_size,
+        window_s=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+    )
+    return run_server(
+        service, host=args.host, port=args.port, port_file=args.port_file
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -290,6 +358,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "allocate": _command_allocate,
         "sweep": _command_sweep,
         "fleet": _command_fleet,
+        "serve": _command_serve,
     }
     if args.command is None:
         parser.print_help()
@@ -297,4 +366,4 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return commands[args.command](args)
 
 
-__all__ = ["EXPERIMENTS", "build_parser", "main"]
+__all__ = ["COMMANDS", "EXPERIMENTS", "build_parser", "main"]

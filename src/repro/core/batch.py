@@ -95,7 +95,11 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.design_point import DesignPoint, validate_design_points
+from repro.core.design_point import (
+    DesignPoint,
+    canonical_design_key,
+    validate_design_points,
+)
 from repro.core.objective import validate_alpha
 from repro.core.problem import ReapProblem
 from repro.core.schedule import TimeAllocation
@@ -459,6 +463,22 @@ class BatchAllocator:
         )
 
     # --- convenience ----------------------------------------------------------
+    def engine_key(self) -> tuple:
+        """Canonical hashable encoding of this engine's fixed parameters.
+
+        Two engines with equal keys solve identical problems for any
+        (budget, alpha): the same design-point *set* (order-independent),
+        period and off power.  The allocation service groups concurrent
+        requests by this key so each group dispatches as one batched solve,
+        and :meth:`ReapProblem.canonical_key` extends it with the per-request
+        budget and alpha to form the result-cache key.
+        """
+        return (
+            canonical_design_key(self.design_points),
+            self.period_s,
+            self.off_power_w,
+        )
+
     @property
     def num_design_points(self) -> int:
         """Number of design points N."""

@@ -253,10 +253,29 @@ def sort_by_accuracy(points: Iterable[DesignPoint], descending: bool = True) -> 
     return sorted(points, key=lambda dp: dp.accuracy, reverse=descending)
 
 
+def canonical_design_key(
+    points: Sequence[DesignPoint],
+) -> tuple:
+    """Order-independent hashable encoding of a design-point set.
+
+    Covers exactly the fields the allocation optimum depends on (name,
+    accuracy, active power); characterisation extras like execution
+    breakdowns do not change the LP and are excluded.  The per-point tuples
+    are sorted, so two sets containing the same points in different orders
+    encode identically -- the property the allocation-service cache relies
+    on.  Floats are kept exact (no rounding), so sets that differ in any
+    solver-relevant value never collide.
+    """
+    return tuple(
+        sorted((dp.name, float(dp.accuracy), float(dp.power_w)) for dp in points)
+    )
+
+
 __all__ = [
     "DesignPoint",
     "EnergyBreakdown",
     "ExecutionBreakdown",
+    "canonical_design_key",
     "sort_by_accuracy",
     "sort_by_power",
     "validate_design_points",

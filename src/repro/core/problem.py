@@ -25,7 +25,11 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.design_point import DesignPoint, validate_design_points
+from repro.core.design_point import (
+    DesignPoint,
+    canonical_design_key,
+    validate_design_points,
+)
 from repro.core.lp import LinearProgram
 from repro.core.objective import accuracy_weights, validate_alpha
 from repro.core.schedule import TimeAllocation
@@ -118,6 +122,25 @@ class ReapProblem:
     def is_budget_feasible(self) -> bool:
         """True when the budget covers at least the off-state floor."""
         return self.energy_budget_j >= self.min_required_energy_j - 1e-12
+
+    def canonical_key(self) -> tuple:
+        """Canonical hashable encoding of this problem instance.
+
+        Two problems encode identically exactly when they have the same
+        optimum: the same design-point *set* (order does not matter -- the
+        per-point tuples are sorted), period, off power, budget and alpha.
+        This is the cache key of the allocation service
+        (:mod:`repro.service`); the engine-level prefix matches
+        :meth:`repro.core.batch.BatchAllocator.engine_key` so service
+        requests group onto shared batch engines.
+        """
+        return (
+            canonical_design_key(self.design_points),
+            float(self.period_s),
+            float(self.off_power_w),
+            float(self.energy_budget_j),
+            float(self.alpha),
+        )
 
     def with_budget(self, energy_budget_j: float) -> "ReapProblem":
         """Return a copy of this problem with a different energy budget."""

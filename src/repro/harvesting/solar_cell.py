@@ -58,11 +58,31 @@ class SolarCellModel:
 
 @dataclass(frozen=True)
 class HarvestScenario:
-    """Solar cell plus harvesting circuit: irradiance trace -> usable budgets."""
+    """Solar cell plus harvesting circuit: irradiance trace -> usable budgets.
+
+    A scenario describes one *device variant* of a fleet study: its harvest
+    front-end and, optionally, its energy store.  The battery overrides are
+    ``None`` by default (campaigns then use the shared
+    :class:`~repro.simulation.fleet.CampaignConfig` values); setting them
+    gives every cell of that scenario its own capacity / initial charge --
+    the fleet engine broadcasts them straight into the per-device arrays of
+    :class:`~repro.energy.fleet.BatteryScan`.
+    """
 
     cell: SolarCellModel = field(default_factory=SolarCellModel)
     circuit: HarvestingCircuit = field(default_factory=HarvestingCircuit)
     period_s: float = ACTIVITY_PERIOD_S
+    #: Per-scenario battery capacity in joules (None: campaign default).
+    battery_capacity_j: Optional[float] = None
+    #: Per-scenario initial charge in joules (None: campaign default;
+    #: negative means half full, as in :class:`~repro.energy.battery.Battery`).
+    battery_initial_j: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.battery_capacity_j is not None and self.battery_capacity_j <= 0:
+            raise ValueError(
+                f"battery capacity must be positive, got {self.battery_capacity_j}"
+            )
 
     def harvested_energy_j(self, ghi_w_per_m2: float) -> float:
         """Usable harvested energy for one activity period at the given GHI."""

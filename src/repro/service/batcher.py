@@ -1,0 +1,313 @@
+"""Micro-batching coalescer: many concurrent requests, one batched solve.
+
+The batch engine of :mod:`repro.core.batch` is dramatically faster *per
+problem* when it solves many problems at once, but service traffic arrives
+one request at a time.  This module closes that gap in two layers:
+
+* :func:`solve_batch` is the synchronous core: it takes any bag of resolved
+  :class:`~repro.service.requests.AllocationRequest` objects, groups them by
+  engine key (design-point set, period, off power), and dispatches each
+  group as **one** vectorized solve -- ``solve_arrays`` over the budget
+  vector when the group shares a single alpha, ``solve_grid`` over
+  (budgets x distinct alphas) otherwise -- then scatters the per-request
+  responses back in input order.
+
+* :class:`MicroBatcher` is the asyncio front: concurrent ``solve`` calls
+  within a configurable time window (or up to a maximum batch size) are
+  parked on futures and flushed together through :func:`solve_batch`, so a
+  burst of 256 independent HTTP requests costs a couple of NumPy passes
+  instead of 256 scalar LP solves.
+
+Engines are built once per distinct engine key and reused across batches
+via :class:`EngineRegistry`, mirroring how policies share their lazily
+built :class:`~repro.core.batch.BatchAllocator`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.batch import BatchAllocator
+from repro.core.design_point import DesignPoint, canonical_design_key
+from repro.data.table2 import table2_design_points
+from repro.service.requests import AllocationRequest, AllocationResponse
+
+
+class EngineRegistry:
+    """Builds and reuses one :class:`BatchAllocator` per engine key.
+
+    The registry also owns the service's *default* design-point set, used to
+    resolve requests that leave ``design_points`` unset (the common case:
+    devices ask about budgets, not about alternative hardware).
+    """
+
+    def __init__(
+        self, default_points: Optional[Sequence[DesignPoint]] = None
+    ) -> None:
+        self.default_points: Tuple[DesignPoint, ...] = tuple(
+            default_points if default_points is not None else table2_design_points()
+        )
+        # Precomputed once: requests that leave design_points unset (the hot
+        # path of a production workload) get their keys without materialising
+        # a resolved request copy per call.
+        self._default_dp_key = canonical_design_key(self.default_points)
+        self._engines: Dict[tuple, BatchAllocator] = {}
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+    def resolve(self, request: AllocationRequest) -> AllocationRequest:
+        """Fill a request's unset design points with the registry default."""
+        return request.resolve(self.default_points)
+
+    def engine_key_of(self, request: AllocationRequest) -> tuple:
+        """``request.engine_key`` with the default set resolved lazily."""
+        if request.design_points is None:
+            return (
+                self._default_dp_key,
+                float(request.period_s),
+                float(request.off_power_w),
+            )
+        return request.engine_key
+
+    def cache_key_of(self, request: AllocationRequest) -> tuple:
+        """``request.cache_key`` with the default set resolved lazily."""
+        return self.engine_key_of(request) + (
+            float(request.energy_budget_j),
+            float(request.alpha),
+        )
+
+    def engine_for(self, request: AllocationRequest) -> BatchAllocator:
+        """The shared engine serving ``request`` (built on first use)."""
+        key = self.engine_key_of(request)
+        engine = self._engines.get(key)
+        if engine is None:
+            request = self.resolve(request)
+            engine = BatchAllocator(
+                request.design_points,
+                period_s=request.period_s,
+                off_power_w=request.off_power_w,
+            )
+            self._engines[key] = engine
+        return engine
+
+
+def solve_batch(
+    requests: Sequence[AllocationRequest],
+    registry: Optional[EngineRegistry] = None,
+) -> List[AllocationResponse]:
+    """Solve a bag of requests with one vectorized dispatch per engine group.
+
+    Responses come back in input order; each carries ``batch_size`` -- how
+    many requests shared its group's solve -- so callers can observe the
+    coalescing.  An empty bag returns an empty list without touching any
+    engine.
+    """
+    if registry is None:
+        registry = EngineRegistry()
+    responses: List[Optional[AllocationResponse]] = [None] * len(requests)
+
+    groups: Dict[tuple, List[int]] = {}
+    for index, request in enumerate(requests):
+        groups.setdefault(registry.engine_key_of(request), []).append(index)
+
+    for indices in groups.values():
+        engine = registry.engine_for(requests[indices[0]])
+        names = [dp.name for dp in engine.design_points]
+        budgets = np.array([requests[i].energy_budget_j for i in indices])
+        alphas = [requests[i].alpha for i in indices]
+        distinct_alphas = sorted(set(alphas))
+        group_size = len(indices)
+        if len(distinct_alphas) == 1:
+            arrays = engine.solve_arrays(budgets, alpha=distinct_alphas[0])
+            for row, index in enumerate(indices):
+                responses[index] = AllocationResponse.from_arrays(
+                    arrays, row, batch_size=group_size, names=names
+                )
+        else:
+            # Mixed alphas still dispatch as one call: solve the full
+            # (alpha x budget) grid and gather each request's cell.
+            grid = engine.solve_grid(budgets, alphas=distinct_alphas)
+            alpha_row = {alpha: row for row, alpha in enumerate(distinct_alphas)}
+            for row, index in enumerate(indices):
+                responses[index] = AllocationResponse.from_grid(
+                    grid, alpha_row[alphas[row]], row, batch_size=group_size
+                )
+    # The groups partition every index; a hole would misalign responses
+    # with requests for callers that zip by position.
+    assert all(response is not None for response in responses)
+    return responses  # type: ignore[return-value]
+
+
+class BatcherStats:
+    """Counters describing how the coalescer has been behaving."""
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.batches = 0
+        self.largest_batch = 0
+
+    def record(self, batch_size: int) -> None:
+        """Account one dispatched batch."""
+        self.requests += batch_size
+        self.batches += 1
+        if batch_size > self.largest_batch:
+            self.largest_batch = batch_size
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average requests per dispatched batch (0.0 before any)."""
+        if self.batches == 0:
+            return 0.0
+        return self.requests / self.batches
+
+    def to_json_dict(self) -> Dict[str, float]:
+        """Encode for the ``/stats`` endpoint."""
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "largest_batch": self.largest_batch,
+            "mean_batch_size": self.mean_batch_size,
+        }
+
+
+class MicroBatcher:
+    """Coalesces concurrent asyncio solve calls into batched dispatches.
+
+    Two entry points share one pending queue and one flush: :meth:`solve`
+    parks a single request on its own future (one HTTP connection), while
+    :meth:`solve_bulk` parks a whole burst on a single future (one
+    ``POST /allocate/batch`` payload) -- bursts therefore pay one future
+    and one scatter, not one per request, and singles arriving inside the
+    same window still merge into the burst's dispatch.
+
+    A batcher is bound to a single event loop: the pending queue is
+    unlocked and futures resolve on the loop that created them.  Do not
+    share one instance (or the :class:`AllocationService` wrapping it)
+    across threads running separate loops -- run one service per loop, or
+    talk to a shared server over HTTP.
+
+    Parameters
+    ----------
+    registry:
+        Shared engine registry (one is created when omitted).
+    window_s:
+        How long the first request of a batch may wait for company.  Zero
+        still coalesces whatever lands in the same event-loop turn.
+    max_batch:
+        Flush immediately once this many requests are pending, and split
+        oversize bursts into solve chunks of at most this size.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[EngineRegistry] = None,
+        window_s: float = 0.002,
+        max_batch: int = 1024,
+    ) -> None:
+        if window_s < 0:
+            raise ValueError(f"window must be non-negative, got {window_s}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be at least 1, got {max_batch}")
+        self.registry = registry if registry is not None else EngineRegistry()
+        self.window_s = float(window_s)
+        self.max_batch = int(max_batch)
+        self.stats = BatcherStats()
+        # Entries are (burst, future): a single request is a burst of one
+        # whose future resolves to one response; solve_bulk futures resolve
+        # to the whole burst's response list.
+        self._pending: List[
+            Tuple[List[AllocationRequest], "asyncio.Future"]
+        ] = []
+        self._pending_requests = 0
+        self._timer: Optional[asyncio.TimerHandle] = None
+
+    @property
+    def num_pending(self) -> int:
+        """Requests currently parked waiting for a flush."""
+        return self._pending_requests
+
+    def _enqueue(self, burst: List[AllocationRequest]) -> "asyncio.Future":
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        self._pending.append((burst, future))
+        self._pending_requests += len(burst)
+        if self._pending_requests >= self.max_batch:
+            self.flush()
+        elif self._timer is None:
+            self._timer = loop.call_later(self.window_s, self.flush)
+        return future
+
+    async def solve(self, request: AllocationRequest) -> AllocationResponse:
+        """Park one request; resolves when its batch is dispatched."""
+        return (await self._enqueue([request]))[0]
+
+    async def solve_bulk(
+        self, requests: Sequence[AllocationRequest]
+    ) -> List[AllocationResponse]:
+        """Park a burst as one unit; one future, one scatter for all of it."""
+        if not requests:
+            return []
+        return list(await self._enqueue(list(requests)))
+
+    async def solve_many(
+        self, requests: Sequence[AllocationRequest]
+    ) -> List[AllocationResponse]:
+        """Submit a burst as independent concurrent singles (test harness).
+
+        Unlike :meth:`solve_bulk` this exercises the per-request future
+        path, mimicking many simultaneous connections.
+        """
+        return list(
+            await asyncio.gather(*(self.solve(request) for request in requests))
+        )
+
+    def flush(self) -> None:
+        """Dispatch everything pending now (no-op on an empty batch)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        self._pending_requests = 0
+        flat: List[AllocationRequest] = []
+        for burst, _ in pending:
+            flat.extend(burst)
+        # Oversize bursts split into solve chunks of at most max_batch; a
+        # burst spanning chunks is reassembled before its future resolves.
+        responses: List[AllocationResponse] = []
+        error: Optional[Exception] = None
+        for start in range(0, len(flat), self.max_batch):
+            chunk = flat[start : start + self.max_batch]
+            try:
+                responses.extend(solve_batch(chunk, self.registry))
+            except Exception as failure:  # propagate to every waiter
+                error = failure
+                break
+            self.stats.record(len(chunk))
+        cursor = 0
+        for burst, future in pending:
+            share = responses[cursor : cursor + len(burst)]
+            cursor += len(burst)
+            if future.done():
+                continue
+            if len(share) < len(burst):
+                future.set_exception(
+                    error
+                    if error is not None
+                    else RuntimeError("batch dispatch lost responses")
+                )
+            else:
+                future.set_result(share)
+
+
+__all__ = [
+    "BatcherStats",
+    "EngineRegistry",
+    "MicroBatcher",
+    "solve_batch",
+]

@@ -1,0 +1,153 @@
+"""LRU result cache and service counters.
+
+The allocation problem space is small in practice -- fleets of devices with
+the same design-point set asking about a modest set of (budget, alpha)
+pairs -- so an LRU map keyed by the canonical problem encoding
+(:attr:`repro.service.requests.AllocationRequest.cache_key`) absorbs most of
+a production workload before it ever reaches the batch engine.  The cache
+itself is thread-safe and keeps hit/miss/eviction counters (note the
+surrounding :class:`~repro.service.server.AllocationService` is still
+bound to one event loop -- its micro-batcher parks futures on the calling
+loop); solve latency is tracked separately by :class:`LatencyRecorder` so
+the ``/stats`` endpoint can report both.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Generic, Hashable, Optional, TypeVar
+
+Value = TypeVar("Value")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time snapshot of one cache's counters."""
+
+    entries: int
+    max_entries: int
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Encode for the ``/stats`` endpoint."""
+        return {
+            "entries": self.entries,
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "lookups": self.lookups,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class AllocationCache(Generic[Value]):
+    """Bounded LRU map from canonical problem keys to served responses.
+
+    ``get`` refreshes recency; ``put`` evicts the least recently used entry
+    once ``max_entries`` is exceeded.  A ``max_entries`` of zero disables
+    caching entirely (every lookup misses, nothing is stored) -- useful for
+    benchmarking the solve path.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be non-negative, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[Hashable, Value]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[Value]:
+        """Look up a key, refreshing its recency; ``None`` on a miss."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Value) -> None:
+        """Store a key, evicting the least recently used entry when full."""
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        """Snapshot of the cache counters."""
+        with self._lock:
+            return CacheStats(
+                entries=len(self._entries),
+                max_entries=self.max_entries,
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+            )
+
+
+class LatencyRecorder:
+    """Running latency statistics of the solve path (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+        self._total_s = 0.0
+        self._max_s = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Record one solve's wall-clock latency."""
+        with self._lock:
+            self._count += 1
+            self._total_s += seconds
+            if seconds > self._max_s:
+                self._max_s = seconds
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Encode for the ``/stats`` endpoint (milliseconds for humans)."""
+        with self._lock:
+            mean_ms = (
+                self._total_s / self._count * 1000.0 if self._count else 0.0
+            )
+            return {
+                "solves": self._count,
+                "mean_ms": mean_ms,
+                "max_ms": self._max_s * 1000.0,
+            }
+
+
+__all__ = ["AllocationCache", "CacheStats", "LatencyRecorder"]

@@ -1,0 +1,143 @@
+"""Python client for the allocation service (stdlib ``http.client`` only).
+
+:class:`AllocationClient` is a small blocking client for the JSON-over-HTTP
+protocol of :mod:`repro.service.server`: one connection per call, typed
+requests in, typed responses out.  It doubles as a command-line tool for
+shell scripting (the CI smoke test drives a live server with it)::
+
+    python -m repro.service.client --port 8734 health
+    python -m repro.service.client --port 8734 allocate --budget 5 --alpha 1
+    python -m repro.service.client --port 8734 stats
+
+Each command prints the server's JSON reply on stdout and exits non-zero on
+transport or HTTP errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.service.requests import AllocationRequest, AllocationResponse
+
+
+class ServiceError(RuntimeError):
+    """The server answered with a non-200 status."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        super().__init__(f"HTTP {status}: {payload}")
+        self.status = status
+        self.payload = payload
+
+
+class AllocationClient:
+    """Blocking client bound to one server address."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8734, timeout_s: float = 10.0
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = timeout_s
+
+    # --- transport --------------------------------------------------------------
+    def _call(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Any:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            encoded = None if body is None else json.dumps(body).encode("utf-8")
+            headers = {"Content-Type": "application/json"} if encoded else {}
+            connection.request(method, path, body=encoded, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            payload = json.loads(raw.decode("utf-8")) if raw else None
+            if response.status != 200:
+                raise ServiceError(response.status, payload)
+            return payload
+        finally:
+            connection.close()
+
+    # --- typed API --------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """``GET /healthz``."""
+        return self._call("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        """``GET /stats``."""
+        return self._call("GET", "/stats")
+
+    def allocate(self, request: AllocationRequest) -> AllocationResponse:
+        """``POST /allocate`` one typed request."""
+        payload = self._call("POST", "/allocate", request.to_json_dict())
+        return AllocationResponse.from_json_dict(payload)
+
+    def allocate_batch(
+        self, requests: Sequence[AllocationRequest]
+    ) -> List[AllocationResponse]:
+        """``POST /allocate/batch``: the server coalesces the burst."""
+        payload = self._call(
+            "POST",
+            "/allocate/batch",
+            {"requests": [request.to_json_dict() for request in requests]},
+        )
+        return [
+            AllocationResponse.from_json_dict(entry)
+            for entry in payload["responses"]
+        ]
+
+
+# --- command-line front ----------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Build the client's command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.service.client",
+        description="talk to a running REAP allocation service",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8734)
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="per-call timeout in seconds")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("health", help="liveness probe")
+    commands.add_parser("stats", help="cache/batcher/latency counters")
+
+    allocate = commands.add_parser("allocate", help="solve one allocation")
+    allocate.add_argument("--budget", type=float, required=True,
+                          help="energy budget in joules")
+    allocate.add_argument("--alpha", type=float, default=1.0)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Client CLI entry point; prints the server's JSON reply."""
+    args = build_parser().parse_args(argv)
+    client = AllocationClient(host=args.host, port=args.port, timeout_s=args.timeout)
+    try:
+        if args.command == "health":
+            payload: Any = client.health()
+        elif args.command == "stats":
+            payload = client.stats()
+        else:
+            response = client.allocate(
+                AllocationRequest(energy_budget_j=args.budget, alpha=args.alpha)
+            )
+            payload = response.to_json_dict()
+    except (ServiceError, OSError) as error:
+        print(f"allocation service call failed: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+
+
+__all__ = ["AllocationClient", "ServiceError", "build_parser", "main"]

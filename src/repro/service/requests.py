@@ -1,0 +1,286 @@
+"""Typed request/response contract of the allocation service.
+
+The service speaks one message pair: an :class:`AllocationRequest` describes
+a single REAP decision (design-point set, energy budget, alpha, period, off
+power) and an :class:`AllocationResponse` carries the optimum back together
+with service metadata (cache hit, coalesced batch size).  Both sides are
+frozen dataclasses with lossless JSON codecs, so the stdlib HTTP front-end
+(:mod:`repro.service.server`) and the Python client
+(:mod:`repro.service.client`) share one wire format with no third-party
+dependencies.
+
+Canonical problem encoding
+--------------------------
+Every request has a *canonical key*: the order-independent hashable tuple
+defined by :meth:`repro.core.problem.ReapProblem.canonical_key`.  Two
+requests that permute the same design points encode identically; requests
+that differ in any solver-relevant value (budget, alpha, period, off power,
+any design-point field) never collide, because floats enter the key exactly
+(no rounding).  The key's engine-level prefix equals
+:meth:`repro.core.batch.BatchAllocator.engine_key`, which is how the
+micro-batcher groups concurrent requests onto shared batch engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.batch import BatchArrays, BatchGridResult
+from repro.core.design_point import (
+    DesignPoint,
+    canonical_design_key,
+    validate_design_points,
+)
+from repro.core.objective import validate_alpha
+from repro.core.problem import ReapProblem
+from repro.data.paper_constants import ACTIVITY_PERIOD_S, OFF_STATE_POWER_W
+
+
+@dataclass(frozen=True)
+class AllocationRequest:
+    """One REAP allocation decision to be served.
+
+    ``design_points`` may be left ``None``, meaning "the server's default
+    set" (the Table 2 points unless the service was configured otherwise);
+    the service resolves the default before keying its cache, so a request
+    spelling the default set out explicitly and one leaving it ``None`` hit
+    the same cache entry.
+    """
+
+    energy_budget_j: float
+    alpha: float = 1.0
+    design_points: Optional[Tuple[DesignPoint, ...]] = None
+    period_s: float = ACTIVITY_PERIOD_S
+    off_power_w: float = OFF_STATE_POWER_W
+
+    def __post_init__(self) -> None:
+        if self.energy_budget_j < 0:
+            raise ValueError(
+                f"energy budget must be non-negative, got {self.energy_budget_j}"
+            )
+        validate_alpha(self.alpha)
+        if self.period_s <= 0:
+            raise ValueError(f"period must be positive, got {self.period_s}")
+        if self.off_power_w < 0:
+            raise ValueError(
+                f"off-state power must be non-negative, got {self.off_power_w}"
+            )
+        if self.design_points is not None:
+            validate_design_points(self.design_points)
+            object.__setattr__(self, "design_points", tuple(self.design_points))
+
+    # --- canonical encoding ----------------------------------------------------
+    @property
+    def is_resolved(self) -> bool:
+        """Whether the design-point set has been filled in."""
+        return self.design_points is not None
+
+    def resolve(self, default_points: Sequence[DesignPoint]) -> "AllocationRequest":
+        """Fill an unset design-point field with the service default."""
+        if self.design_points is not None:
+            return self
+        return replace(self, design_points=tuple(default_points))
+
+    @property
+    def engine_key(self) -> tuple:
+        """Engine-level key: which :class:`BatchAllocator` can serve this.
+
+        Equals :meth:`repro.core.batch.BatchAllocator.engine_key` of a
+        matching engine.
+        """
+        if self.design_points is None:
+            raise ValueError(
+                "request has no design points; resolve() it against the "
+                "service defaults first"
+            )
+        return (
+            canonical_design_key(self.design_points),
+            float(self.period_s),
+            float(self.off_power_w),
+        )
+
+    @property
+    def cache_key(self) -> tuple:
+        """Canonical problem encoding (the service result-cache key)."""
+        return self.engine_key + (float(self.energy_budget_j), float(self.alpha))
+
+    def to_problem(self) -> ReapProblem:
+        """Lower to the scalar :class:`ReapProblem` (reference semantics)."""
+        if self.design_points is None:
+            raise ValueError(
+                "request has no design points; resolve() it against the "
+                "service defaults first"
+            )
+        return ReapProblem(
+            design_points=self.design_points,
+            energy_budget_j=self.energy_budget_j,
+            period_s=self.period_s,
+            alpha=self.alpha,
+            off_power_w=self.off_power_w,
+        )
+
+    # --- JSON codec -------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Encode as a JSON-ready dictionary (the wire format)."""
+        payload: Dict[str, Any] = {
+            "energy_budget_j": self.energy_budget_j,
+            "alpha": self.alpha,
+            "period_s": self.period_s,
+            "off_power_w": self.off_power_w,
+        }
+        if self.design_points is not None:
+            payload["design_points"] = [
+                {"name": dp.name, "accuracy": dp.accuracy, "power_w": dp.power_w}
+                for dp in self.design_points
+            ]
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "AllocationRequest":
+        """Decode the wire format (raises ``ValueError`` on bad payloads)."""
+        if "energy_budget_j" not in payload:
+            raise ValueError("allocation request needs an 'energy_budget_j' field")
+        points: Optional[Tuple[DesignPoint, ...]] = None
+        raw_points = payload.get("design_points")
+        if raw_points is not None:
+            points = tuple(
+                DesignPoint(
+                    name=str(entry["name"]),
+                    accuracy=float(entry["accuracy"]),
+                    power_w=float(entry["power_w"]),
+                )
+                for entry in raw_points
+            )
+        return cls(
+            energy_budget_j=float(payload["energy_budget_j"]),
+            alpha=float(payload.get("alpha", 1.0)),
+            design_points=points,
+            period_s=float(payload.get("period_s", ACTIVITY_PERIOD_S)),
+            off_power_w=float(payload.get("off_power_w", OFF_STATE_POWER_W)),
+        )
+
+
+@dataclass(frozen=True)
+class AllocationResponse:
+    """The served optimum plus service metadata.
+
+    ``times_s`` maps design-point names to active seconds (zero entries are
+    kept so clients see the full schedule).  ``cache_hit`` and
+    ``batch_size`` describe how the service produced the answer: whether it
+    came straight from the result cache, and how many concurrent requests
+    shared the batched solve that computed it.
+    """
+
+    times_s: Dict[str, float]
+    off_time_s: float
+    objective: float
+    expected_accuracy: float
+    active_time_s: float
+    energy_j: float
+    budget_feasible: bool
+    energy_budget_j: float
+    alpha: float
+    cache_hit: bool = False
+    batch_size: int = 1
+
+    def marked_cache_hit(self) -> "AllocationResponse":
+        """Copy of this response flagged as served from the cache."""
+        return replace(self, cache_hit=True)
+
+    # --- constructors from engine results ---------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: BatchArrays,
+        index: int,
+        batch_size: int = 1,
+        names: Optional[Sequence[str]] = None,
+    ) -> "AllocationResponse":
+        """Build the response of one row of a raw-array batch solve.
+
+        ``names`` lets bulk callers hoist the design-point name list out of
+        a scatter loop (it must match ``arrays.design_points``).
+        """
+        if names is None:
+            names = [dp.name for dp in arrays.design_points]
+        times = arrays.times_s[index]
+        active = float(arrays.active_time_s[index])
+        return cls(
+            times_s={name: float(t) for name, t in zip(names, times)},
+            off_time_s=max(0.0, float(arrays.period_s) - active),
+            objective=float(arrays.objective[index]),
+            expected_accuracy=float(arrays.expected_accuracy[index]),
+            active_time_s=active,
+            energy_j=float(arrays.energy_j[index]),
+            budget_feasible=bool(arrays.feasible[index]),
+            energy_budget_j=float(arrays.budgets_j[index]),
+            alpha=float(arrays.alpha),
+            batch_size=batch_size,
+        )
+
+    @classmethod
+    def from_grid(
+        cls,
+        grid: BatchGridResult,
+        alpha_index: int,
+        budget_index: int,
+        batch_size: int = 1,
+    ) -> "AllocationResponse":
+        """Build the response of one (alpha, budget) cell of a grid solve."""
+        names = [dp.name for dp in grid.design_points]
+        times = grid.times_s[alpha_index, budget_index]
+        active = float(grid.active_time_s[alpha_index, budget_index])
+        return cls(
+            times_s={name: float(t) for name, t in zip(names, times)},
+            off_time_s=max(0.0, float(grid.period_s) - active),
+            objective=float(grid.objective[alpha_index, budget_index]),
+            expected_accuracy=float(
+                grid.expected_accuracy[alpha_index, budget_index]
+            ),
+            active_time_s=active,
+            energy_j=float(grid.energy_j[alpha_index, budget_index]),
+            budget_feasible=bool(grid.budget_feasible[budget_index]),
+            energy_budget_j=float(grid.budgets_j[budget_index]),
+            alpha=float(grid.alphas[alpha_index]),
+            batch_size=batch_size,
+        )
+
+    # --- JSON codec -------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Encode as a JSON-ready dictionary (the wire format)."""
+        return {
+            "times_s": dict(self.times_s),
+            "off_time_s": self.off_time_s,
+            "objective": self.objective,
+            "expected_accuracy": self.expected_accuracy,
+            "active_time_s": self.active_time_s,
+            "energy_j": self.energy_j,
+            "budget_feasible": self.budget_feasible,
+            "energy_budget_j": self.energy_budget_j,
+            "alpha": self.alpha,
+            "cache_hit": self.cache_hit,
+            "batch_size": self.batch_size,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "AllocationResponse":
+        """Decode the wire format."""
+        return cls(
+            times_s={
+                str(name): float(t) for name, t in payload["times_s"].items()
+            },
+            off_time_s=float(payload["off_time_s"]),
+            objective=float(payload["objective"]),
+            expected_accuracy=float(payload["expected_accuracy"]),
+            active_time_s=float(payload["active_time_s"]),
+            energy_j=float(payload["energy_j"]),
+            budget_feasible=bool(payload["budget_feasible"]),
+            energy_budget_j=float(payload["energy_budget_j"]),
+            alpha=float(payload["alpha"]),
+            cache_hit=bool(payload.get("cache_hit", False)),
+            batch_size=int(payload.get("batch_size", 1)),
+        )
+
+
+__all__ = ["AllocationRequest", "AllocationResponse"]

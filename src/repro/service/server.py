@@ -1,0 +1,422 @@
+"""Stdlib-only JSON-over-HTTP front-end of the allocation service.
+
+Architecture (one process, one event loop)::
+
+    HTTP clients ──> asyncio.start_server ──> AllocationService
+                                                ├── AllocationCache   (LRU on canonical keys)
+                                                ├── MicroBatcher      (coalesces concurrent misses)
+                                                └── EngineRegistry    (one BatchAllocator per DP set)
+
+Every connection handler awaits :meth:`AllocationService.allocate`; cache
+misses park on the micro-batcher, so *concurrent* requests -- whether they
+arrive on separate connections or inside one ``POST /allocate/batch``
+payload -- coalesce into a handful of vectorized solves.  The HTTP layer is
+a deliberately small HTTP/1.1 subset (one request per connection,
+``Content-Length`` bodies) built on :func:`asyncio.start_server`; no
+third-party framework is required, mirroring how long-running energy
+services keep their protocol surface auditable.
+
+Endpoints
+---------
+``GET /healthz``
+    Liveness probe: ``{"status": "ok"}``.
+``GET /stats``
+    Cache, batcher and latency counters.
+``POST /allocate``
+    One :class:`~repro.service.requests.AllocationRequest` JSON body ->
+    one :class:`~repro.service.requests.AllocationResponse`.
+``POST /allocate/batch``
+    ``{"requests": [...]}`` -> ``{"responses": [...]}``; the requests are
+    submitted concurrently so they share batched solves.
+
+Use ``python -m repro serve`` to run a server from the shell and
+:mod:`repro.service.client` to talk to it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.design_point import DesignPoint
+from repro.service.batcher import EngineRegistry, MicroBatcher
+from repro.service.cache import AllocationCache, LatencyRecorder
+from repro.service.requests import AllocationRequest, AllocationResponse
+
+#: Largest request body the server will read, in bytes.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class AllocationService:
+    """Cache-fronted, micro-batched allocation solving (transport-agnostic).
+
+    The HTTP server wraps this class, but it is equally usable in-process:
+    run an event loop and await :meth:`allocate` from many tasks to get the
+    same coalescing behaviour without any socket.
+    """
+
+    def __init__(
+        self,
+        default_points: Optional[Sequence[DesignPoint]] = None,
+        cache_size: int = 4096,
+        window_s: float = 0.002,
+        max_batch: int = 1024,
+    ) -> None:
+        self.registry = EngineRegistry(default_points)
+        self.cache: AllocationCache[AllocationResponse] = AllocationCache(cache_size)
+        self.batcher = MicroBatcher(
+            registry=self.registry, window_s=window_s, max_batch=max_batch
+        )
+        self.latency = LatencyRecorder()
+
+    async def allocate(self, request: AllocationRequest) -> AllocationResponse:
+        """Serve one request: cache lookup, else coalesced batch solve."""
+        key = self.registry.cache_key_of(request)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached.marked_cache_hit()
+        started = time.perf_counter()
+        response = await self.batcher.solve(request)
+        self.latency.record(time.perf_counter() - started)
+        self.cache.put(key, response)
+        return response
+
+    async def allocate_many(
+        self, requests: Sequence[AllocationRequest]
+    ) -> Tuple[AllocationResponse, ...]:
+        """Serve a burst: cache hits answer immediately, misses go through
+        the batcher as one bulk unit (one future, one scatter)."""
+        keys = [self.registry.cache_key_of(request) for request in requests]
+        served: List[Optional[AllocationResponse]] = [None] * len(requests)
+        misses: List[AllocationRequest] = []
+        miss_indices: List[int] = []
+        for index, (request, key) in enumerate(zip(requests, keys)):
+            cached = self.cache.get(key)
+            if cached is not None:
+                served[index] = cached.marked_cache_hit()
+            else:
+                misses.append(request)
+                miss_indices.append(index)
+        if misses:
+            started = time.perf_counter()
+            responses = await self.batcher.solve_bulk(misses)
+            self.latency.record(time.perf_counter() - started)
+            for index, response in zip(miss_indices, responses):
+                self.cache.put(keys[index], response)
+                served[index] = response
+        # Hits and misses must cover every slot; a hole would misalign the
+        # response list with the request list clients zip against.
+        assert all(response is not None for response in served)
+        return tuple(served)  # type: ignore[arg-type]
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters for the ``/stats`` endpoint."""
+        return {
+            "cache": self.cache.stats.to_json_dict(),
+            "batcher": self.batcher.stats.to_json_dict(),
+            "latency": self.latency.to_json_dict(),
+            "engines": len(self.registry),
+        }
+
+
+class _HttpError(Exception):
+    """An error that maps to a specific HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+def _encode_response(status: int, payload: Dict[str, Any]) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("ascii")
+    return head + body
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Tuple[str, str, Optional[Dict[str, Any]]]:
+    """Parse one HTTP request: (method, path, decoded JSON body or None)."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+        raise _HttpError(400, "malformed HTTP request head")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3:
+        raise _HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, path, _version = parts
+    content_length = 0
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                raise _HttpError(400, "invalid Content-Length")
+    if content_length > MAX_BODY_BYTES:
+        raise _HttpError(413, "request body too large")
+    body: Optional[Dict[str, Any]] = None
+    if content_length:
+        raw = await reader.readexactly(content_length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _HttpError(400, f"invalid JSON body: {error}")
+        if not isinstance(body, dict):
+            raise _HttpError(400, "JSON body must be an object")
+    return method, path, body
+
+
+class AllocationServer:
+    """Binds an :class:`AllocationService` to a TCP host/port."""
+
+    def __init__(
+        self,
+        service: Optional[AllocationService] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service if service is not None else AllocationService()
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def bound_port(self) -> int:
+        """The actual port after binding (resolves ``port=0`` ephemera)."""
+        if self._server is None:
+            raise RuntimeError("server is not running")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+
+    async def stop(self) -> None:
+        """Stop accepting and close the listening socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, body = await _read_request(reader)
+                status, payload = await self._dispatch(method, path, body)
+            except _HttpError as error:
+                status, payload = error.status, {"error": str(error)}
+            except Exception as error:  # never kill the accept loop
+                status, payload = 500, {"error": f"{type(error).__name__}: {error}"}
+            writer.write(_encode_response(status, payload))
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+
+    async def _dispatch(
+        self, method: str, path: str, body: Optional[Dict[str, Any]]
+    ) -> Tuple[int, Dict[str, Any]]:
+        if path == "/healthz":
+            if method != "GET":
+                raise _HttpError(405, "healthz is GET-only")
+            return 200, {"status": "ok"}
+        if path == "/stats":
+            if method != "GET":
+                raise _HttpError(405, "stats is GET-only")
+            return 200, self.service.stats()
+        if path == "/allocate":
+            if method != "POST":
+                raise _HttpError(405, "allocate is POST-only")
+            if body is None:
+                raise _HttpError(400, "allocate needs a JSON body")
+            request = self._decode_request(body)
+            response = await self.service.allocate(request)
+            return 200, response.to_json_dict()
+        if path == "/allocate/batch":
+            if method != "POST":
+                raise _HttpError(405, "allocate/batch is POST-only")
+            if body is None or not isinstance(body.get("requests"), list):
+                raise _HttpError(
+                    400, "allocate/batch needs {'requests': [...]} in the body"
+                )
+            requests = [self._decode_request(entry) for entry in body["requests"]]
+            responses = await self.service.allocate_many(requests)
+            return 200, {
+                "responses": [response.to_json_dict() for response in responses]
+            }
+        raise _HttpError(404, f"unknown path {path!r}")
+
+    @staticmethod
+    def _decode_request(payload: Dict[str, Any]) -> AllocationRequest:
+        try:
+            return AllocationRequest.from_json_dict(payload)
+        except (ValueError, KeyError, TypeError) as error:
+            raise _HttpError(400, f"invalid allocation request: {error}")
+
+
+async def serve(
+    service: Optional[AllocationService] = None,
+    host: str = "127.0.0.1",
+    port: int = 8734,
+    port_file: Optional[str] = None,
+    ready: Optional["asyncio.Event"] = None,
+    announce: bool = True,
+) -> None:
+    """Run the server until cancelled.
+
+    ``port=0`` binds an ephemeral port; ``port_file`` (written after the
+    bind) lets shell callers discover it -- the CI smoke test starts the
+    server with ``--port 0 --port-file`` and reads the file.  ``ready`` is
+    an optional event set once the socket is listening (for in-process
+    supervisors like :func:`start_in_thread`).
+    """
+    server = AllocationServer(service, host=host, port=port)
+    await server.start()
+    bound = server.bound_port
+    if port_file:
+        with open(port_file, "w", encoding="ascii") as handle:
+            handle.write(f"{bound}\n")
+    if announce:
+        print(f"allocation service listening on http://{host}:{bound}", flush=True)
+    if ready is not None:
+        ready.set()
+    try:
+        await asyncio.Event().wait()  # park until cancelled
+    finally:
+        await server.stop()
+
+
+def run_server(
+    service: Optional[AllocationService] = None,
+    host: str = "127.0.0.1",
+    port: int = 8734,
+    port_file: Optional[str] = None,
+) -> int:
+    """Blocking entry point used by ``python -m repro serve``."""
+    try:
+        asyncio.run(
+            serve(service=service, host=host, port=port, port_file=port_file)
+        )
+    except KeyboardInterrupt:
+        print("allocation service stopped", flush=True)
+    return 0
+
+
+class ServerHandle:
+    """A running background server: address plus a ``stop()`` switch."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        service: AllocationService,
+        thread: threading.Thread,
+        loop: asyncio.AbstractEventLoop,
+        task: "asyncio.Task",
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.service = service
+        self._thread = thread
+        self._loop = loop
+        self._task = task
+
+    @property
+    def base_url(self) -> str:
+        """Root URL of the running server."""
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Cancel the server task and join its thread."""
+        self._loop.call_soon_threadsafe(self._task.cancel)
+        self._thread.join(timeout=timeout_s)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+def start_in_thread(
+    service: Optional[AllocationService] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    timeout_s: float = 10.0,
+) -> ServerHandle:
+    """Start a server on a daemon thread and wait until it is listening.
+
+    This is the test/demo harness: callers get a :class:`ServerHandle` with
+    the bound ephemeral port and a ``stop()`` method (also usable as a
+    context manager).
+    """
+    service = service if service is not None else AllocationService()
+    started = threading.Event()
+    holder: Dict[str, Any] = {}
+
+    def _runner() -> None:
+        async def _main() -> None:
+            ready: "asyncio.Event" = asyncio.Event()
+            server = AllocationServer(service, host=host, port=port)
+            await server.start()
+            holder["port"] = server.bound_port
+            holder["loop"] = asyncio.get_running_loop()
+            holder["task"] = asyncio.current_task()
+            started.set()
+            try:
+                await ready.wait()  # parked until the task is cancelled
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await server.stop()
+
+        asyncio.run(_main())
+
+    thread = threading.Thread(target=_runner, name="allocation-server", daemon=True)
+    thread.start()
+    if not started.wait(timeout=timeout_s):
+        raise RuntimeError("allocation server failed to start in time")
+    return ServerHandle(
+        host=host,
+        port=holder["port"],
+        service=service,
+        thread=thread,
+        loop=holder["loop"],
+        task=holder["task"],
+    )
+
+
+__all__ = [
+    "AllocationServer",
+    "AllocationService",
+    "ServerHandle",
+    "run_server",
+    "serve",
+    "start_in_thread",
+]

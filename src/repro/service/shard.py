@@ -1,0 +1,290 @@
+"""Sharded fleet campaigns: split a (scenario x policy) grid across processes.
+
+The fleet engine (:class:`~repro.simulation.fleet.FleetCampaign`) already
+vectorizes a whole grid inside one process; this module scales it across
+cores.  Every (scenario, policy) cell of a campaign grid is independent --
+the lockstep battery scan couples nothing across cells and each cell's
+device simulator owns its own seeded RNG -- so the grid can be partitioned
+into contiguous scenario-major runs, executed in a
+:class:`~concurrent.futures.ProcessPoolExecutor`, and reassembled into one
+:class:`~repro.simulation.fleet.FleetResult` that matches the
+single-process run to floating-point round-off.
+
+When the grid itself is too small to fill the requested workers (e.g. one
+scenario, one policy, a year-long trace) and the campaign is open-loop in
+"expected" recognition mode, the runner shards along the *time* axis
+instead: each worker simulates a contiguous trace slice and the per-cell
+:class:`~repro.simulation.metrics.CampaignColumns` are merged back with
+:meth:`~repro.simulation.metrics.CampaignColumns.concat`.  Closed-loop and
+sampled-mode campaigns are excluded from time sharding because the battery
+recurrence and the Bernoulli stream are sequential in time.
+
+Everything sent to the workers (scenarios, policies, config, trace) travels
+by pickle; the policy classes of :mod:`repro.simulation.policies` and the
+frozen dataclasses of the energy/harvesting layers are all picklable.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.harvesting.solar_cell import HarvestScenario
+from repro.harvesting.traces import SolarTrace
+from repro.simulation.fleet import CampaignConfig, FleetCampaign, FleetResult
+from repro.simulation.metrics import CampaignColumns, CampaignResult
+from repro.simulation.policies import Policy
+
+
+def shard_cells(
+    num_scenarios: int, num_policies: int, jobs: int
+) -> List[List[Tuple[int, int]]]:
+    """Partition the scenario-major cell list into at most ``jobs`` chunks.
+
+    Returns contiguous runs of (scenario_index, policy_index) pairs of
+    near-equal size; fewer than ``jobs`` chunks when there are fewer cells.
+    """
+    if num_scenarios < 1 or num_policies < 1:
+        raise ValueError("grid must have at least one scenario and one policy")
+    if jobs < 1:
+        raise ValueError(f"jobs must be at least 1, got {jobs}")
+    cells = [
+        (scenario, policy)
+        for scenario in range(num_scenarios)
+        for policy in range(num_policies)
+    ]
+    num_chunks = min(jobs, len(cells))
+    base, extra = divmod(len(cells), num_chunks)
+    chunks: List[List[Tuple[int, int]]] = []
+    start = 0
+    for chunk_index in range(num_chunks):
+        size = base + (1 if chunk_index < extra else 0)
+        chunks.append(cells[start : start + size])
+        start += size
+    return chunks
+
+
+def _cell_groups(
+    chunk: Sequence[Tuple[int, int]],
+) -> List[Tuple[int, int, int]]:
+    """Collapse a contiguous scenario-major chunk into per-scenario runs.
+
+    Returns (scenario_index, first_policy, last_policy_exclusive) triples;
+    within a contiguous chunk each scenario's policy indices form one run.
+    """
+    groups: List[Tuple[int, int, int]] = []
+    for scenario, policy in chunk:
+        if groups and groups[-1][0] == scenario and groups[-1][2] == policy:
+            groups[-1] = (scenario, groups[-1][1], policy + 1)
+        else:
+            groups.append((scenario, policy, policy + 1))
+    return groups
+
+
+def _run_cell_shard(
+    scenarios: Sequence[HarvestScenario],
+    labels: Sequence[str],
+    config: CampaignConfig,
+    policies: Sequence[Policy],
+    trace: SolarTrace,
+    chunk: Sequence[Tuple[int, int]],
+) -> List[Tuple[int, int, CampaignResult]]:
+    """Worker: simulate one chunk of (scenario, policy) cells."""
+    results: List[Tuple[int, int, CampaignResult]] = []
+    for scenario, first, last in _cell_groups(chunk):
+        fleet = FleetCampaign(
+            scenarios[scenario], config, scenario_labels=[labels[scenario]]
+        )
+        shard = fleet.run(list(policies[first:last]), trace)
+        for offset in range(last - first):
+            results.append((scenario, first + offset, shard.result(offset)))
+    return results
+
+
+def _run_time_shard(
+    scenarios: Sequence[HarvestScenario],
+    labels: Sequence[str],
+    config: CampaignConfig,
+    policies: Sequence[Policy],
+    trace: SolarTrace,
+    first_hour: int,
+    last_hour: int,
+) -> List[List[CampaignColumns]]:
+    """Worker: simulate every cell over one contiguous trace slice.
+
+    Returns the per-cell columns with ``period_index`` shifted to global
+    trace coordinates so :meth:`CampaignColumns.concat` yields the exact
+    single-process indexing.
+    """
+    slice_trace = SolarTrace(trace.hours[first_hour:last_hour], name=trace.name)
+    fleet = FleetCampaign(scenarios, config, scenario_labels=labels)
+    shard = fleet.run(list(policies), trace=slice_trace)
+    grid: List[List[CampaignColumns]] = []
+    for scenario_index in range(len(scenarios)):
+        row = []
+        for policy_index in range(len(policies)):
+            columns = shard.result(policy_index, scenario_index).columns
+            assert columns is not None  # fleet results are always columnar
+            row.append(
+                replace(columns, period_index=columns.period_index + first_hour)
+            )
+        grid.append(row)
+    return grid
+
+
+def _time_shardable(
+    config: CampaignConfig, policies: Sequence[Policy]
+) -> bool:
+    """Whether per-period outcomes are independent along the time axis.
+
+    Requires an open loop (the battery recurrence is sequential),
+    "expected" recognition (the sampled Bernoulli stream is sequential)
+    and stateless policies.  A policy carrying cross-period state must
+    override :meth:`Policy.reset` for campaigns to be correct at all, so an
+    overridden ``reset`` is the signal to refuse time slicing (each worker
+    would restart the state at its slice boundary).
+    """
+    return (
+        not config.use_battery
+        and config.device.recognition_mode == "expected"
+        and all(type(policy).reset is Policy.reset for policy in policies)
+    )
+
+
+def run_sharded_campaign(
+    scenarios: Sequence[HarvestScenario],
+    policies: Sequence[Policy],
+    trace: SolarTrace,
+    config: Optional[CampaignConfig] = None,
+    scenario_labels: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+) -> FleetResult:
+    """Run a fleet campaign grid, optionally sharded across processes.
+
+    ``jobs=1`` (the default) runs the plain in-process
+    :class:`FleetCampaign` -- the sharded paths reproduce it to
+    floating-point round-off, never approximately.  With more jobs the grid
+    is split cell-wise; grids smaller than the worker count fall back to
+    time sharding when the campaign allows it (open loop, expected-mode
+    recognition).  The merged result's :attr:`FleetResult.scan` is ``None``
+    for sharded runs (each worker owns a private scan); per-cell battery
+    trajectories remain available on the cell results.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be at least 1, got {jobs}")
+    scenarios = list(scenarios)
+    policies = list(policies)
+    config = config or CampaignConfig()
+    if scenario_labels is None:
+        scenario_labels = [f"S{index}" for index in range(len(scenarios))]
+    labels = list(scenario_labels)
+
+    fleet = FleetCampaign(scenarios, config, scenario_labels=labels)
+    num_cells = len(scenarios) * len(policies)
+    time_shardable = _time_shardable(config, policies)
+    if jobs == 1 or (num_cells == 1 and not time_shardable):
+        return fleet.run(policies, trace)
+
+    if num_cells < jobs and time_shardable and len(trace) >= 2 * jobs:
+        return _run_time_sharded(
+            scenarios, labels, config, policies, trace, jobs
+        )
+    return _run_cell_sharded(scenarios, labels, config, policies, trace, jobs)
+
+
+def _run_cell_sharded(
+    scenarios: Sequence[HarvestScenario],
+    labels: Sequence[str],
+    config: CampaignConfig,
+    policies: Sequence[Policy],
+    trace: SolarTrace,
+    jobs: int,
+) -> FleetResult:
+    """Split the grid cell-wise across a process pool and merge the rows."""
+    chunks = shard_cells(len(scenarios), len(policies), jobs)
+    grid: List[List[Optional[CampaignResult]]] = [
+        [None] * len(policies) for _ in scenarios
+    ]
+    with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+        shard_results = pool.map(
+            _run_cell_shard,
+            *zip(
+                *[
+                    (scenarios, labels, config, policies, trace, chunk)
+                    for chunk in chunks
+                ]
+            ),
+        )
+        for cells in shard_results:
+            for scenario_index, policy_index, result in cells:
+                grid[scenario_index][policy_index] = result
+    missing = [
+        (scenario_index, policy_index)
+        for scenario_index, row in enumerate(grid)
+        for policy_index, cell in enumerate(row)
+        if cell is None
+    ]
+    if missing:  # a partial grid would silently shift policy indices
+        raise RuntimeError(f"shard workers left cells unfilled: {missing}")
+    return FleetResult(
+        scenario_labels=labels,
+        policies=policies,
+        grid=grid,
+        scan=None,
+        trace_hours=len(trace),
+    )
+
+
+def _run_time_sharded(
+    scenarios: Sequence[HarvestScenario],
+    labels: Sequence[str],
+    config: CampaignConfig,
+    policies: Sequence[Policy],
+    trace: SolarTrace,
+    jobs: int,
+) -> FleetResult:
+    """Split the trace into contiguous slices and concat the merged columns."""
+    hours = len(trace)
+    base, extra = divmod(hours, jobs)
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    for shard_index in range(jobs):
+        size = base + (1 if shard_index < extra else 0)
+        if size == 0:
+            continue
+        bounds.append((start, start + size))
+        start += size
+    with ProcessPoolExecutor(max_workers=len(bounds)) as pool:
+        shards = list(
+            pool.map(
+                _run_time_shard,
+                *zip(
+                    *[
+                        (scenarios, labels, config, policies, trace, first, last)
+                        for first, last in bounds
+                    ]
+                ),
+            )
+        )
+    grid: List[List[CampaignResult]] = []
+    for scenario_index in range(len(scenarios)):
+        row = []
+        for policy_index, policy in enumerate(policies):
+            columns = CampaignColumns.concat(
+                [shard[scenario_index][policy_index] for shard in shards]
+            )
+            row.append(
+                CampaignResult.from_columns(policy.name, policy.alpha, columns)
+            )
+        grid.append(row)
+    return FleetResult(
+        scenario_labels=labels,
+        policies=policies,
+        grid=grid,
+        scan=None,
+        trace_hours=hours,
+    )
+
+
+__all__ = ["run_sharded_campaign", "shard_cells"]

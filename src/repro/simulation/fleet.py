@@ -202,13 +202,33 @@ class FleetCampaign:
         """Run the lockstep battery scan over every (scenario, policy) cell."""
         num_scenarios = len(self.scenarios)
         num_policies = len(policies)
-        # Device order is scenario-major: d = s * P + p.
+        # Device order is scenario-major: d = s * P + p.  Scenarios may carry
+        # their own battery (capacity, initial charge); the per-scenario
+        # values spread across that scenario's policy cells.
         curves = [policy.consumption_curve() for policy in policies]
         stacked = StackedConsumptionCurves(curves * num_scenarios)
+        capacity = np.repeat(
+            [
+                scenario.battery_capacity_j
+                if scenario.battery_capacity_j is not None
+                else self.config.battery_capacity_j
+                for scenario in self.scenarios
+            ],
+            num_policies,
+        )
+        initial = np.repeat(
+            [
+                scenario.battery_initial_j
+                if scenario.battery_initial_j is not None
+                else self.config.battery_initial_j
+                for scenario in self.scenarios
+            ],
+            num_policies,
+        )
         scan = BatteryScan(
             num_devices=num_scenarios * num_policies,
-            capacity_j=self.config.battery_capacity_j,
-            initial_charge_j=self.config.battery_initial_j,
+            capacity_j=capacity,
+            initial_charge_j=initial,
             target_soc=self.config.battery_target_soc,
             max_draw_j=self.config.battery_max_draw_j,
         )

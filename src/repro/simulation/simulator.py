@@ -143,10 +143,20 @@ class HarvestingCampaign:
     def _run_with_battery(
         self, policy: Policy, trace: SolarTrace, device: DeviceSimulator
     ) -> Tuple[List[PeriodOutcome], np.ndarray]:
-        battery = Battery(
-            capacity_j=self.config.battery_capacity_j,
-            initial_charge_j=self.config.battery_initial_j,
+        # The scenario's battery overrides (per-device variants in fleet
+        # studies) take precedence over the shared campaign defaults, so the
+        # scalar reference stays bit-compatible with the fleet engine.
+        capacity = (
+            self.scenario.battery_capacity_j
+            if self.scenario.battery_capacity_j is not None
+            else self.config.battery_capacity_j
         )
+        initial = (
+            self.scenario.battery_initial_j
+            if self.scenario.battery_initial_j is not None
+            else self.config.battery_initial_j
+        )
+        battery = Battery(capacity_j=capacity, initial_charge_j=initial)
         allocator = HarvestFollowingAllocator(
             battery,
             target_soc=self.config.battery_target_soc,

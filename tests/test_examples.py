@@ -53,6 +53,12 @@ class TestExamples:
         assert "Closed-loop REAP" in output
         assert "Three-day summary" in output
 
+    def test_service_demo(self, capsys):
+        output = _run_example("service_demo.py", ["--requests", "16"], capsys)
+        assert "Allocation service listening" in output
+        assert "served allocations" in output
+        assert "16/16 answers served from the LRU cache" in output
+
     @pytest.mark.slow
     def test_solar_month_study(self, capsys):
         output = _run_example("solar_month_study.py", ["--month", "9"], capsys)

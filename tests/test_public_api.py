@@ -29,6 +29,7 @@ class TestTopLevelExports:
             "repro.harvesting",
             "repro.simulation",
             "repro.analysis",
+            "repro.service",
         ):
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", []):

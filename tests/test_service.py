@@ -1,0 +1,384 @@
+"""Tests for the allocation service subsystem (repro.service).
+
+Covers the canonical problem encoding (permutation invariance, collision
+freedom), the LRU result cache, the micro-batching coalescer (correctness
+against the scalar allocator plus the edge cases: empty flush, lone request
+on a window timeout, oversize burst splitting) and the full HTTP round trip
+client -> server -> BatchAllocator -> client with nothing beyond the
+standard library.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.allocator import ReapAllocator
+from repro.core.batch import BatchAllocator
+from repro.core.design_point import DesignPoint
+from repro.data.table2 import table2_design_points
+from repro.service.batcher import EngineRegistry, MicroBatcher, solve_batch
+from repro.service.cache import AllocationCache, LatencyRecorder
+from repro.service.client import AllocationClient, ServiceError
+from repro.service.client import main as client_main
+from repro.service.requests import AllocationRequest, AllocationResponse
+from repro.service.server import AllocationService, start_in_thread
+
+
+@pytest.fixture(scope="module")
+def points():
+    return tuple(table2_design_points())
+
+
+def scalar_solve(request: AllocationRequest, points):
+    """Reference answer: the scalar simplex on the same problem."""
+    return ReapAllocator().solve(request.resolve(points).to_problem())
+
+
+class TestCanonicalKeys:
+    def test_permuted_design_points_hash_equal(self, points):
+        shuffled = (points[3], points[0], points[4], points[2], points[1])
+        a = AllocationRequest(5.0, alpha=2.0, design_points=points)
+        b = AllocationRequest(5.0, alpha=2.0, design_points=shuffled)
+        assert a.cache_key == b.cache_key
+        assert a.engine_key == b.engine_key
+        assert hash(a.cache_key) == hash(b.cache_key)
+
+    def test_request_key_matches_problem_canonical_key(self, points):
+        request = AllocationRequest(3.7, alpha=1.5, design_points=points)
+        assert request.cache_key == request.to_problem().canonical_key()
+
+    def test_engine_key_matches_batch_allocator(self, points):
+        request = AllocationRequest(1.0, design_points=points)
+        assert request.engine_key == BatchAllocator(points).engine_key()
+
+    def test_distinct_budgets_never_collide(self, points):
+        keys = {
+            AllocationRequest(float(budget), design_points=points).cache_key
+            for budget in np.linspace(0.0, 10.4, 400)
+        }
+        assert len(keys) == 400
+
+    def test_distinct_alphas_never_collide(self, points):
+        keys = {
+            AllocationRequest(5.0, alpha=float(a), design_points=points).cache_key
+            for a in np.linspace(0.25, 4.0, 100)
+        }
+        assert len(keys) == 100
+
+    def test_period_off_power_and_dp_fields_distinguish(self, points):
+        base = AllocationRequest(5.0, design_points=points)
+        other_period = AllocationRequest(5.0, design_points=points, period_s=1800.0)
+        other_off = AllocationRequest(5.0, design_points=points, off_power_w=1e-4)
+        renamed = tuple(
+            DesignPoint(name=f"X{i}", accuracy=dp.accuracy, power_w=dp.power_w)
+            for i, dp in enumerate(points)
+        )
+        other_names = AllocationRequest(5.0, design_points=renamed)
+        keys = {
+            base.cache_key,
+            other_period.cache_key,
+            other_off.cache_key,
+            other_names.cache_key,
+        }
+        assert len(keys) == 4
+
+    def test_unresolved_and_explicit_default_share_registry_key(self, points):
+        registry = EngineRegistry(points)
+        implicit = AllocationRequest(5.0)
+        explicit = AllocationRequest(5.0, design_points=points)
+        assert registry.cache_key_of(implicit) == registry.cache_key_of(explicit)
+
+    def test_unresolved_request_refuses_direct_key(self):
+        with pytest.raises(ValueError, match="resolve"):
+            AllocationRequest(5.0).cache_key
+
+    def test_json_round_trip_preserves_key(self, points):
+        request = AllocationRequest(4.2, alpha=2.0, design_points=points)
+        decoded = AllocationRequest.from_json_dict(
+            json.loads(json.dumps(request.to_json_dict()))
+        )
+        assert decoded.cache_key == request.cache_key
+
+
+class TestAllocationCache:
+    def test_lru_eviction_order(self):
+        cache: AllocationCache[str] = AllocationCache(max_entries=2)
+        cache.put("a", "A")
+        cache.put("b", "B")
+        assert cache.get("a") == "A"  # refreshes a
+        cache.put("c", "C")           # evicts b, the least recently used
+        assert cache.get("b") is None
+        assert cache.get("a") == "A"
+        assert cache.get("c") == "C"
+        assert cache.stats.evictions == 1
+
+    def test_counters(self):
+        cache: AllocationCache[int] = AllocationCache(max_entries=8)
+        assert cache.get("missing") is None
+        cache.put("k", 1)
+        assert cache.get("k") == 1
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.lookups) == (1, 1, 2)
+        assert stats.hit_rate == 0.5
+        assert stats.to_json_dict()["lookups"] == 2
+
+    def test_zero_capacity_disables_caching(self):
+        cache: AllocationCache[int] = AllocationCache(max_entries=0)
+        cache.put("k", 1)
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_latency_recorder(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.002)
+        recorder.record(0.004)
+        snapshot = recorder.to_json_dict()
+        assert snapshot["solves"] == 2
+        assert snapshot["mean_ms"] == pytest.approx(3.0)
+        assert snapshot["max_ms"] == pytest.approx(4.0)
+
+
+class TestSolveBatch:
+    def test_matches_scalar_allocator(self, points):
+        registry = EngineRegistry(points)
+        requests = [
+            AllocationRequest(float(budget), alpha=alpha)
+            for budget in np.linspace(0.1, 10.4, 23)
+            for alpha in (0.5, 1.0, 2.0)
+        ]
+        responses = solve_batch(requests, registry)
+        assert len(responses) == len(requests)
+        for request, response in zip(requests, responses):
+            reference = scalar_solve(request, points)
+            assert response.objective == pytest.approx(
+                reference.objective, abs=1e-9
+            )
+            assert response.expected_accuracy == pytest.approx(
+                reference.expected_accuracy, abs=1e-9
+            )
+            assert response.budget_feasible == reference.budget_feasible
+
+    def test_groups_by_design_point_set(self, points):
+        registry = EngineRegistry(points)
+        subset = points[:3]
+        requests = [
+            AllocationRequest(5.0),
+            AllocationRequest(5.0, design_points=subset),
+            AllocationRequest(2.0),
+        ]
+        responses = solve_batch(requests, registry)
+        assert responses[0].batch_size == 2   # the two default-set requests
+        assert responses[1].batch_size == 1   # the subset request is alone
+        assert len(registry) == 2
+        assert set(responses[1].times_s) == {dp.name for dp in subset}
+
+    def test_empty_batch(self):
+        assert solve_batch([], EngineRegistry()) == []
+
+
+class TestMicroBatcher:
+    def test_burst_coalesces_into_one_dispatch(self, points):
+        async def scenario():
+            batcher = MicroBatcher(EngineRegistry(points), window_s=0.005)
+            requests = [
+                AllocationRequest(float(b)) for b in np.linspace(0.2, 9.9, 32)
+            ]
+            responses = await batcher.solve_many(requests)
+            return responses, batcher.stats
+
+        responses, stats = asyncio.run(scenario())
+        assert stats.batches == 1
+        assert stats.largest_batch == 32
+        assert all(response.batch_size == 32 for response in responses)
+        reference = scalar_solve(AllocationRequest(float(responses[5].energy_budget_j)), points)
+        assert responses[5].objective == pytest.approx(reference.objective, abs=1e-9)
+
+    def test_window_timeout_with_single_request(self, points):
+        async def scenario():
+            batcher = MicroBatcher(EngineRegistry(points), window_s=0.001)
+            response = await batcher.solve(AllocationRequest(5.0))
+            return response, batcher.stats
+
+        response, stats = asyncio.run(scenario())
+        assert stats.batches == 1
+        assert response.batch_size == 1
+        reference = scalar_solve(AllocationRequest(5.0), points)
+        assert response.objective == pytest.approx(reference.objective, abs=1e-9)
+
+    def test_oversize_burst_splits_into_chunks(self, points):
+        async def scenario():
+            batcher = MicroBatcher(
+                EngineRegistry(points), window_s=0.05, max_batch=8
+            )
+            requests = [
+                AllocationRequest(float(b)) for b in np.linspace(0.2, 9.9, 20)
+            ]
+            responses = await batcher.solve_bulk(requests)
+            return responses, batcher.stats
+
+        responses, stats = asyncio.run(scenario())
+        assert len(responses) == 20
+        assert stats.batches == 3            # 8 + 8 + 4
+        assert stats.largest_batch == 8
+        assert stats.requests == 20
+        for response in responses:
+            reference = scalar_solve(
+                AllocationRequest(response.energy_budget_j), points
+            )
+            assert response.objective == pytest.approx(
+                reference.objective, abs=1e-9
+            )
+
+    def test_empty_flush_is_a_no_op(self, points):
+        async def scenario():
+            batcher = MicroBatcher(EngineRegistry(points))
+            batcher.flush()
+            assert batcher.num_pending == 0
+            assert await batcher.solve_bulk([]) == []
+            return batcher.stats
+
+        stats = asyncio.run(scenario())
+        assert stats.batches == 0
+        assert stats.requests == 0
+
+    def test_invalid_request_propagates_to_waiters(self, points):
+        async def scenario():
+            batcher = MicroBatcher(EngineRegistry(points), window_s=0.001)
+            bad = AllocationRequest(5.0)
+            object.__setattr__(bad, "energy_budget_j", -1.0)  # corrupt post-validation
+            with pytest.raises(ValueError):
+                await batcher.solve(bad)
+
+        asyncio.run(scenario())
+
+
+class TestAllocationService:
+    def test_cache_hit_on_repeat(self, points):
+        async def scenario():
+            service = AllocationService(default_points=points, window_s=0.001)
+            first = await service.allocate(AllocationRequest(5.0))
+            second = await service.allocate(AllocationRequest(5.0))
+            return first, second, service.stats()
+
+        first, second, stats = asyncio.run(scenario())
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.objective == first.objective
+        assert stats["cache"]["hits"] == 1
+        assert stats["batcher"]["batches"] == 1
+
+    def test_permuted_design_points_share_cache_entry(self, points):
+        shuffled = tuple(reversed(points))
+
+        async def scenario():
+            service = AllocationService(default_points=points, window_s=0.001)
+            await service.allocate(AllocationRequest(5.0, design_points=points))
+            repeat = await service.allocate(
+                AllocationRequest(5.0, design_points=shuffled)
+            )
+            return repeat
+
+        assert asyncio.run(scenario()).cache_hit
+
+    def test_allocate_many_mixes_hits_and_misses(self, points):
+        async def scenario():
+            service = AllocationService(default_points=points, window_s=0.001)
+            await service.allocate(AllocationRequest(2.0))
+            burst = [AllocationRequest(float(b)) for b in (2.0, 4.0, 6.0)]
+            return await service.allocate_many(burst)
+
+        responses = asyncio.run(scenario())
+        assert [response.cache_hit for response in responses] == [
+            True, False, False,
+        ]
+
+
+class TestHttpRoundTrip:
+    @pytest.fixture(scope="class")
+    def server(self, points):
+        service = AllocationService(default_points=points, window_s=0.001)
+        handle = start_in_thread(service)
+        yield handle
+        handle.stop()
+
+    @pytest.fixture()
+    def client(self, server):
+        return AllocationClient(port=server.port)
+
+    def test_health(self, client):
+        assert client.health() == {"status": "ok"}
+
+    def test_allocate_matches_scalar_and_caches(self, client, points):
+        request = AllocationRequest(5.0, alpha=1.0)
+        reference = scalar_solve(request, points)
+        first = client.allocate(request)
+        assert first.objective == pytest.approx(reference.objective, abs=1e-9)
+        assert first.active_time_s == pytest.approx(
+            reference.active_time_s, abs=1e-9
+        )
+        assert set(first.times_s) == {dp.name for dp in points}
+        second = client.allocate(request)
+        assert second.cache_hit
+        assert second.objective == first.objective
+
+    def test_batch_endpoint_coalesces(self, client, points):
+        budgets = np.linspace(0.3, 9.7, 16)
+        responses = client.allocate_batch(
+            [AllocationRequest(float(b), alpha=2.0) for b in budgets]
+        )
+        assert len(responses) == 16
+        for budget, response in zip(budgets, responses):
+            reference = scalar_solve(
+                AllocationRequest(float(budget), alpha=2.0), points
+            )
+            assert response.objective == pytest.approx(
+                reference.objective, abs=1e-9
+            )
+        fresh = [r for r in responses if not r.cache_hit]
+        assert all(r.batch_size == len(fresh) for r in fresh)
+
+    def test_stats_endpoint(self, client):
+        stats = client.stats()
+        assert stats["cache"]["hits"] >= 1
+        assert stats["batcher"]["batches"] >= 1
+        assert stats["latency"]["solves"] >= 1
+        assert stats["engines"] >= 1
+
+    def test_unknown_path_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._call("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_bad_request_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._call("POST", "/allocate", {"alpha": 1.0})  # budget missing
+        assert excinfo.value.status == 400
+
+    def test_client_cli_round_trip(self, server, capsys):
+        code = client_main(
+            ["--port", str(server.port), "allocate", "--budget", "5"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["budget_feasible"] is True
+        assert client_main(["--port", str(server.port), "stats"]) == 0
+        assert "cache" in json.loads(capsys.readouterr().out)
+
+    def test_client_cli_reports_connection_failure(self, capsys):
+        assert client_main(["--port", "1", "health"]) == 1
+        assert "failed" in capsys.readouterr().err
+
+
+class TestResponseCodec:
+    def test_json_round_trip(self, points):
+        responses = solve_batch(
+            [AllocationRequest(5.0)], EngineRegistry(points)
+        )
+        decoded = AllocationResponse.from_json_dict(
+            json.loads(json.dumps(responses[0].to_json_dict()))
+        )
+        assert decoded == responses[0]
