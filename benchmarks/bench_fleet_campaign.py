@@ -13,6 +13,7 @@ battery trajectories, and the fleet path must be at least 10x faster.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -22,6 +23,7 @@ from _bench_utils import emit
 from repro.analysis.experiments import ExperimentResult
 from repro.harvesting.solar import SyntheticSolarModel
 from repro.harvesting.solar_cell import HarvestScenario
+from repro.harvesting.traces import SolarTrace
 from repro.simulation.fleet import CampaignConfig
 from repro.simulation.policies import default_policy_suite
 from repro.simulation.simulator import HarvestingCampaign
@@ -30,6 +32,10 @@ MONTH = 9
 SEED = 2015
 ALPHA = 1.0
 REQUIRED_SPEEDUP = 10.0
+#: 0 means the whole month; the CI bench-gate truncates the trace (the
+#: speedup shrinks with the trace because the fleet engine's fixed setup
+#: amortises over hours -- keep at least ~2 weeks for a clean >= 10x).
+BENCH_HOURS = int(os.environ.get("REPRO_BENCH_FLEET_HOURS", "0"))
 
 
 def _run(engine: str, points, trace):
@@ -46,6 +52,8 @@ def test_fleet_campaign_speedup_over_scalar_loop(output_dir, published_points):
     """Month x 6 policies closed loop: fleet engine vs scalar loop, >= 10x."""
     points = tuple(published_points)
     trace = SyntheticSolarModel(seed=SEED).generate_month(MONTH)
+    if BENCH_HOURS:
+        trace = SolarTrace(trace.hours[:BENCH_HOURS], name=trace.name)
     num_cells = len(trace) * 6
 
     # Same protocol for both engines: one warm-up run, then best of three.

@@ -16,7 +16,6 @@ Add ``-s`` to also see the reproduced tables on stdout.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest

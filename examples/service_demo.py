@@ -5,7 +5,9 @@ Serving allocations
 The paper frames REAP as a runtime service devices consult for their next
 energy-optimal hour; :mod:`repro.service` is that service.  This demo boots
 the stdlib JSON-over-HTTP server on an ephemeral port (the same thing
-``python -m repro serve`` runs), then plays a device fleet against it:
+``python -m repro serve`` runs -- pass ``--workers N`` here or on the CLI
+to fan batched solves across a pool of engine workers), then plays a
+device fleet against it:
 
 1. a **burst** of concurrent allocation requests with distinct budgets --
    the micro-batcher coalesces them into a handful of vectorized
@@ -15,9 +17,25 @@ the stdlib JSON-over-HTTP server on an ephemeral port (the same thing
    straight from the LRU result cache (the canonical problem encoding is
    permutation-invariant, so equivalent requests share entries);
 3. a ``GET /stats`` call showing the cache hit rate, how many batches the
-   coalescer dispatched, and the solve latency profile.
+   coalescer dispatched, per-worker pool counters, and the solve latency
+   profile.
+
+Remote campaigns
+----------------
+With ``--campaign``, the demo also submits a whole fleet study over HTTP
+(``POST /campaign``), polls ``GET /campaign/<id>`` until the service's
+process workers finish it, streams the full per-period columns back as
+chunked NDJSON (``GET /campaign/<id>/columns``), and rebuilds the
+:class:`~repro.simulation.fleet.FleetResult` client-side -- equal to a
+local :class:`~repro.simulation.fleet.FleetCampaign` run to 1e-9.  The
+same flow from the shell::
+
+    python -m repro serve --workers 4 --port 8734 &
+    python -m repro fleet --remote 127.0.0.1:8734 --hours 48
+    python -m repro.service.client --port 8734 campaign run --hours 48
 
 Run with:  python examples/service_demo.py [--requests N] [--window-ms W]
+           [--workers N] [--campaign]
 """
 
 from __future__ import annotations
@@ -27,9 +45,32 @@ import argparse
 import numpy as np
 
 from repro.analysis import format_table
-from repro.service import AllocationRequest, AllocationService
+from repro.service import AllocationRequest, AllocationService, CampaignRequest
 from repro.service.client import AllocationClient
 from repro.service.server import start_in_thread
+
+
+def run_remote_campaign(client: AllocationClient) -> None:
+    """Submit a 48-hour fleet study over HTTP and stream the columns back."""
+    request = CampaignRequest(hours=48, alphas=(1.0,), baselines=("DP1",))
+    submitted = client.submit_campaign(request)
+    print(f"\nCampaign {submitted.campaign_id} submitted "
+          f"({submitted.cells} cells); polling...")
+    status = client.wait_for_campaign(submitted.campaign_id)
+    fleet = client.campaign_result(submitted.campaign_id)
+    rows = [
+        [cell["policy"], cell["alpha"], cell["mean_objective"],
+         cell["active_hours"], cell["recognition_rate"] * 100.0]
+        for cell in fleet.cell_summaries()
+    ]
+    print(format_table(
+        ["policy", "alpha", "mean_objective", "active_hours", "recognition_%"],
+        rows,
+        title=(
+            f"Remote campaign {status.campaign_id}: {fleet.num_cells} cells "
+            f"over {fleet.trace_hours} hours, streamed back as chunked NDJSON"
+        ),
+    ))
 
 
 def main() -> None:
@@ -40,9 +81,18 @@ def main() -> None:
                         help="micro-batching window in milliseconds")
     parser.add_argument("--alphas", type=float, nargs="+", default=[1.0, 2.0],
                         help="alpha values mixed into the burst")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="engine workers fanning batched solves "
+                             "(1 solves inline on the event loop)")
+    parser.add_argument("--campaign", action="store_true",
+                        help="also run a fleet campaign over HTTP and "
+                             "stream its columns back")
     args = parser.parse_args()
 
-    service = AllocationService(window_s=args.window_ms / 1000.0)
+    service = AllocationService(
+        window_s=args.window_ms / 1000.0, workers=args.workers,
+        campaign_workers=1,
+    )
     with start_in_thread(service) as server:
         print(f"Allocation service listening on {server.base_url}")
         client = AllocationClient(port=server.port)
@@ -95,11 +145,21 @@ def main() -> None:
             f"max {latency['max_ms']:.2f} ms per served solve"
         )
 
+        pool = stats["pool"]
+        print(
+            f"pool: {pool['workers']} engine worker(s), {pool['tasks']} "
+            f"solve tasks, {pool['busy_ms']:.2f} ms busy across "
+            f"{len(pool['per_worker'])} worker thread(s)"
+        )
+
         cached = sum(1 for response in second if response.cache_hit)
         print(
             f"\nRepeat wave: {cached}/{len(second)} answers served from the "
             "LRU cache without touching the engine"
         )
+
+        if args.campaign:
+            run_remote_campaign(client)
 
 
 if __name__ == "__main__":

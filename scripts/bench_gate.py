@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate: run the benchmarks, record and assert speedups.
+
+Runs the three performance benchmarks (batch sweep, fleet campaign,
+allocation service) on a reduced grid sized for CI runners, collects the
+wall times and speedups they emit under ``benchmarks/output/``, re-asserts
+the speedup floors, and writes everything to one JSON trajectory file
+(``BENCH_PR4.json`` by default) that the workflow uploads as an artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_gate.py [--output BENCH_PR4.json]
+        [--full]   # full-size grids instead of the reduced CI grid
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+OUTPUT_DIR = REPO / "benchmarks" / "output"
+
+BENCH_FILES = [
+    "benchmarks/bench_batch_sweep.py",
+    "benchmarks/bench_fleet_campaign.py",
+    "benchmarks/bench_service.py",
+]
+
+#: Reduced-grid knobs for CI runners; every floor below still holds at
+#: these sizes (checked in-repo on a single-core container).
+REDUCED_GRID = {
+    "REPRO_BENCH_BUDGETS": "60",
+    "REPRO_BENCH_FLEET_HOURS": "336",
+    "REPRO_BENCH_SERVICE_REQUESTS": "192",
+    "REPRO_BENCH_SHARD_HOURS": "168",
+    "REPRO_BENCH_POOLED_POINTS": "96",
+}
+
+#: (csv file, row label, speedup column, floor).  The floors mirror the
+#: asserts inside the benchmarks; re-checking here keeps the gate honest
+#: even if a benchmark's own assert is edited away.
+GATES = [
+    ("batch_sweep.csv", "batch engine", "speedup_x", 10.0),
+    ("fleet_campaign.csv", "fleet engine", "speedup_x", 10.0),
+    ("service_throughput.csv", "coalesced service", "speedup_vs_scalar", 10.0),
+    ("service_pool.csv", "4 workers", "speedup_vs_single", 1.05),
+]
+
+
+def read_csv(path: Path):
+    """One CSV as (headers, row dicts keyed by the first column)."""
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        rows = list(reader)
+    return reader.fieldnames or [], rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_PR4.json",
+                        help="where to write the JSON trajectory file")
+    parser.add_argument("--full", action="store_true",
+                        help="run full-size grids (no REPRO_BENCH_* knobs)")
+    args = parser.parse_args(argv)
+
+    env = dict(os.environ)
+    if not args.full:
+        for key, value in REDUCED_GRID.items():
+            env.setdefault(key, value)
+    python_path = str(REPO / "src")
+    if env.get("PYTHONPATH"):
+        python_path = python_path + os.pathsep + env["PYTHONPATH"]
+    env["PYTHONPATH"] = python_path
+
+    # Stale CSVs from earlier (possibly full-grid) runs would be gated on
+    # and recorded as this run's numbers; start from a clean slate so the
+    # "missing" check below is meaningful.
+    if OUTPUT_DIR.exists():
+        for stale in OUTPUT_DIR.glob("*.csv"):
+            stale.unlink()
+
+    started = time.time()
+    run = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", *BENCH_FILES],
+        cwd=REPO,
+        env=env,
+    )
+    wall_s = time.time() - started
+    if run.returncode != 0:
+        print(f"benchmark run failed (exit {run.returncode})", file=sys.stderr)
+        return run.returncode
+
+    benchmarks = {}
+    for filename in sorted(OUTPUT_DIR.glob("*.csv")):
+        headers, rows = read_csv(filename)
+        benchmarks[filename.stem] = {"headers": headers, "rows": rows}
+
+    failures = []
+    gated = {}
+    for filename, label, column, floor in GATES:
+        path = OUTPUT_DIR / filename
+        if not path.exists():
+            failures.append(f"{filename}: missing (benchmark did not emit it)")
+            continue
+        _, rows = read_csv(path)
+        matches = [row for row in rows if label in row[next(iter(row))]]
+        if not matches:
+            failures.append(f"{filename}: no row matching {label!r}")
+            continue
+        speedup = float(matches[0][column])
+        name = Path(filename).stem
+        gated[name] = {"speedup": speedup, "floor": floor,
+                       "passed": speedup >= floor}
+        status = "ok" if speedup >= floor else "FAIL"
+        print(f"[bench-gate] {name}: {speedup:.2f}x (floor {floor:g}x) {status}")
+        if speedup < floor:
+            failures.append(
+                f"{filename}: {label} speedup {speedup:.2f}x < floor {floor:g}x"
+            )
+
+    payload = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "reduced_grid": not args.full,
+        "grid": {k: env[k] for k in REDUCED_GRID} if not args.full else {},
+        "wall_s": wall_s,
+        "gates": gated,
+        "benchmarks": benchmarks,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench-gate] trajectory written to {output}")
+
+    if failures:
+        for failure in failures:
+            print(f"[bench-gate] {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

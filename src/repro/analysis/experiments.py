@@ -31,7 +31,6 @@ from repro.data.paper_constants import (
     ACTIVITY_PERIOD_S,
     DP1_FULL_HOUR_ENERGY_J,
     MIN_OFF_ENERGY_J,
-    OFF_STATE_POWER_W,
     PaperClaims,
 )
 from repro.data.table2 import TABLE2_ROWS, table2_design_points
@@ -468,6 +467,32 @@ def run_fleet_campaign_experiment(
         )
         result = fleet.run(policies, trace)
 
+    return fleet_experiment_result(
+        result,
+        name=(
+            f"Fleet campaign: {len(scenarios)} scenario(s) x "
+            f"{len(policies)} policies over {len(trace)} hours "
+            f"({'battery-backed' if use_battery else 'open loop'})"
+        ),
+        use_battery=use_battery,
+        jobs=jobs,
+    )
+
+
+def fleet_experiment_result(
+    result,
+    name: str,
+    use_battery: bool = True,
+    jobs: int = 1,
+) -> ExperimentResult:
+    """Tabulate a :class:`~repro.simulation.fleet.FleetResult` as a report.
+
+    One row per (scenario, policy) cell, built from
+    :meth:`~repro.simulation.fleet.FleetResult.cell_summaries` -- the same
+    payload the allocation service's campaign-status endpoint serves, so a
+    remote campaign (``repro fleet --remote``) prints the identical table a
+    local run does.
+    """
     headers = [
         "scenario",
         "policy",
@@ -480,39 +505,29 @@ def run_fleet_campaign_experiment(
         "final_battery_J",
     ]
     rows: List[List[object]] = []
-    for scenario_index, label in enumerate(labels):
-        for policy_index, policy_name in enumerate(result.policy_names):
-            cell = result.result(policy_index, scenario_index)
-            final_battery = (
-                float(cell.battery_charge_j[-1])
-                if cell.battery_charge_j is not None
-                else float("nan")
-            )
-            rows.append(
-                [
-                    label,
-                    policy_name,
-                    cell.alpha,
-                    cell.mean_objective,
-                    cell.mean_expected_accuracy * 100.0,
-                    cell.total_active_time_s / 3600.0,
-                    cell.total_energy_consumed_j,
-                    cell.overall_recognition_rate * 100.0,
-                    final_battery,
-                ]
-            )
+    for cell in result.cell_summaries():
+        final_battery = cell["final_battery_j"]
+        rows.append(
+            [
+                cell["scenario"],
+                cell["policy"],
+                cell["alpha"],
+                cell["mean_objective"],
+                cell["mean_expected_accuracy"] * 100.0,
+                cell["active_hours"],
+                cell["energy_j"],
+                cell["recognition_rate"] * 100.0,
+                float("nan") if final_battery is None else final_battery,
+            ]
+        )
     return ExperimentResult(
-        name=(
-            f"Fleet campaign: {len(scenarios)} scenario(s) x "
-            f"{len(policies)} policies over {len(trace)} hours "
-            f"({'battery-backed' if use_battery else 'open loop'})"
-        ),
+        name=name,
         headers=headers,
         rows=rows,
         extras={
             "fleet_result": result,
             "num_cells": result.num_cells,
-            "trace_hours": len(trace),
+            "trace_hours": result.trace_hours,
             "use_battery": use_battery,
             "jobs": jobs,
         },
@@ -747,6 +762,7 @@ def run_alpha_sensitivity_experiment(
 
 __all__ = [
     "ExperimentResult",
+    "fleet_experiment_result",
     "run_alpha_sensitivity_experiment",
     "run_budget_alpha_grid_experiment",
     "run_figure3_experiment",

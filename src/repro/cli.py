@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.analysis.experiments import (
     ExperimentResult,
@@ -108,8 +108,10 @@ def _dispatch_experiment(name: str, args: argparse.Namespace) -> ExperimentResul
 COMMANDS: Dict[str, str] = {
     "allocate": "solve a single one-hour allocation",
     "sweep": "objective sweep over budgets (batch or scalar engine)",
-    "fleet": "closed-loop fleet study; --jobs N shards the grid across processes",
-    "serve": "run the JSON-over-HTTP allocation service (micro-batching + cache)",
+    "fleet": "closed-loop fleet study; --jobs N shards the grid across "
+             "processes, --remote HOST:PORT submits it to a service",
+    "serve": "run the JSON-over-HTTP allocation service (micro-batching + "
+             "cache + worker pool + campaign endpoints)",
 }
 
 
@@ -162,7 +164,67 @@ def _command_allocate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_fleet_remote(args: argparse.Namespace) -> int:
+    """Run the fleet study on a remote allocation service over HTTP."""
+    # Imported lazily: local fleet runs never touch the service client.
+    from repro.analysis.experiments import fleet_experiment_result
+    from repro.service.client import AllocationClient, ServiceError
+    from repro.service.requests import CampaignRequest
+
+    host, _, port = args.remote.rpartition(":")
+    try:
+        port_number = int(port)
+    except ValueError:
+        print(
+            f"--remote expects HOST:PORT, got {args.remote!r}", file=sys.stderr
+        )
+        return 2
+    request = CampaignRequest(
+        alphas=tuple(args.alphas),
+        baselines=tuple(args.baselines),
+        exposure_factors=tuple(args.exposures),
+        month=args.month,
+        seed=args.seed,
+        hours=args.hours,
+        use_battery=not args.open_loop,
+    )
+    client = AllocationClient(host=host or "127.0.0.1", port=port_number)
+    try:
+        status, fleet_result = client.run_campaign(request)
+    except (ServiceError, OSError, TimeoutError) as error:
+        print(f"remote fleet campaign failed: {error}", file=sys.stderr)
+        return 1
+    result = fleet_experiment_result(
+        fleet_result,
+        name=(
+            f"Fleet campaign (remote {args.remote}, campaign "
+            f"{status.campaign_id}): {len(fleet_result.scenario_labels)} "
+            f"scenario(s) x {fleet_result.num_policies} policies over "
+            f"{fleet_result.trace_hours} hours"
+        ),
+        use_battery=not args.open_loop,
+    )
+    print(result.to_text())
+    print(
+        f"\n{fleet_result.num_cells} campaign cells simulated remotely; "
+        "columns streamed back as chunked NDJSON"
+    )
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"rows written to {args.csv}")
+    return 0
+
+
 def _command_fleet(args: argparse.Namespace) -> int:
+    if args.remote:
+        if args.jobs != 1:
+            print(
+                "--jobs shards a local run; the remote server picks its own "
+                "worker count (drop --jobs or --remote)",
+                file=sys.stderr,
+            )
+            return 2
+        return _command_fleet_remote(args)
     result = run_fleet_campaign_experiment(
         alphas=args.alphas,
         baselines=args.baselines,
@@ -300,6 +362,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the campaign grid (1: in-process fleet "
              "engine; N: shard via repro.service.shard)",
     )
+    fleet_parser.add_argument(
+        "--remote", default=None, metavar="HOST:PORT",
+        help="submit the study to a running allocation service instead of "
+             "simulating locally (POST /campaign; columns stream back as "
+             "chunked NDJSON)",
+    )
     fleet_parser.add_argument("--csv", default=None,
                               help="also write rows to this CSV file")
 
@@ -330,6 +398,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=4096,
         help="LRU result-cache capacity (0 disables caching)",
     )
+    serve_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="engine workers: 1 solves inline on the event loop, N fans "
+             "batched dispatch groups across a thread pool",
+    )
+    serve_parser.add_argument(
+        "--campaign-workers", type=int, default=None,
+        help="process workers for POST /campaign fleet studies "
+             "(default: --workers)",
+    )
 
     return parser
 
@@ -342,6 +420,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         window_s=args.window_ms / 1000.0,
         max_batch=args.max_batch,
+        workers=args.workers,
+        campaign_workers=args.campaign_workers,
     )
     return run_server(
         service, host=args.host, port=args.port, port_file=args.port_file

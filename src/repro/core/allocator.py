@@ -22,7 +22,6 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.analytic import solve_analytic
-from repro.core.lp import LPError
 from repro.core.problem import BudgetTooSmallError, ReapProblem
 from repro.core.schedule import TimeAllocation
 from repro.core.simplex import PivotRule, SimplexSolver, simplex_max_leq

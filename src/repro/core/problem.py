@@ -19,7 +19,7 @@ one the on-device procedure would solve.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from functools import cached_property
 from typing import Optional, Sequence, Tuple
 

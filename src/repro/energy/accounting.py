@@ -12,7 +12,7 @@ stored energy breakdown).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.core.design_point import DesignPoint
 from repro.data.paper_constants import ACTIVITY_PERIOD_S

@@ -9,7 +9,7 @@ stand-in for the prototype's test-pad power measurements.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from typing import Sequence
 
 from repro.core.design_point import EnergyBreakdown, ExecutionBreakdown
 from repro.data.paper_constants import ACTIVITY_WINDOW_S, SENSOR_SAMPLING_HZ

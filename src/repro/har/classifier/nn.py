@@ -9,7 +9,7 @@ classes, cross-entropy loss, and analytic gradients for training.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

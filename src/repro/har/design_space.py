@@ -20,9 +20,7 @@ This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.core.design_point import DesignPoint
 from repro.core.pareto import pareto_front

@@ -11,7 +11,7 @@ generalise to unseen users — an extension the paper leaves to future work.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

@@ -11,25 +11,39 @@ devices consult at production scale.  This package is that layer:
   :class:`~repro.core.batch.BatchAllocator` dispatches;
 * :mod:`repro.service.cache` -- an LRU result cache keyed by the canonical
   encoding, with hit/miss/latency counters;
-* :mod:`repro.service.shard` -- fleet campaign grids split across a
-  :class:`~concurrent.futures.ProcessPoolExecutor` (cell-wise, or time-wise
-  for open-loop studies) and merged exactly;
+* :mod:`repro.service.pool` -- a worker pool fanning batched dispatch
+  groups across engine (thread) workers and campaign cells across a
+  persistent :class:`~concurrent.futures.ProcessPoolExecutor`
+  (``repro serve --workers N``);
+* :mod:`repro.service.shard` -- fleet campaign grids split across worker
+  processes (cell-wise, or time-wise for open-loop studies) and merged
+  exactly;
 * :mod:`repro.service.server` / :mod:`repro.service.client` -- a
   stdlib-only asyncio JSON-over-HTTP front-end (``python -m repro serve``)
-  and the matching blocking client / CLI.
+  with campaign submission/polling/streaming endpoints, and the matching
+  blocking client / CLI.
 """
 
 from repro.service.batcher import (
     BatcherStats,
     EngineRegistry,
     MicroBatcher,
+    group_requests,
     solve_batch,
+    solve_group,
 )
 from repro.service.cache import AllocationCache, CacheStats, LatencyRecorder
-from repro.service.requests import AllocationRequest, AllocationResponse
+from repro.service.pool import WorkerPool, WorkerStats
+from repro.service.requests import (
+    AllocationRequest,
+    AllocationResponse,
+    CampaignRequest,
+    CampaignResponse,
+)
 from repro.service.server import (
     AllocationServer,
     AllocationService,
+    CampaignJob,
     ServerHandle,
     run_server,
     serve,
@@ -57,15 +71,22 @@ __all__ = [
     "AllocationService",
     "BatcherStats",
     "CacheStats",
+    "CampaignJob",
+    "CampaignRequest",
+    "CampaignResponse",
     "EngineRegistry",
     "LatencyRecorder",
     "MicroBatcher",
     "ServerHandle",
     "ServiceError",
+    "WorkerPool",
+    "WorkerStats",
+    "group_requests",
     "run_server",
     "run_sharded_campaign",
     "serve",
     "shard_cells",
     "solve_batch",
+    "solve_group",
     "start_in_thread",
 ]

@@ -26,7 +26,8 @@ built :class:`~repro.core.batch.BatchAllocator`.
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, List, Optional, Sequence, Tuple
+import threading
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -35,13 +36,18 @@ from repro.core.design_point import DesignPoint, canonical_design_key
 from repro.data.table2 import table2_design_points
 from repro.service.requests import AllocationRequest, AllocationResponse
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.service.pool import WorkerPool
+
 
 class EngineRegistry:
     """Builds and reuses one :class:`BatchAllocator` per engine key.
 
     The registry also owns the service's *default* design-point set, used to
     resolve requests that leave ``design_points`` unset (the common case:
-    devices ask about budgets, not about alternative hardware).
+    devices ask about budgets, not about alternative hardware).  Engine
+    construction is guarded by a lock so worker-pool threads can share one
+    registry.
     """
 
     def __init__(
@@ -55,6 +61,7 @@ class EngineRegistry:
         # a resolved request copy per call.
         self._default_dp_key = canonical_design_key(self.default_points)
         self._engines: Dict[tuple, BatchAllocator] = {}
+        self._build_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._engines)
@@ -85,14 +92,66 @@ class EngineRegistry:
         key = self.engine_key_of(request)
         engine = self._engines.get(key)
         if engine is None:
-            request = self.resolve(request)
-            engine = BatchAllocator(
-                request.design_points,
-                period_s=request.period_s,
-                off_power_w=request.off_power_w,
-            )
-            self._engines[key] = engine
+            with self._build_lock:
+                engine = self._engines.get(key)
+                if engine is None:
+                    request = self.resolve(request)
+                    engine = BatchAllocator(
+                        request.design_points,
+                        period_s=request.period_s,
+                        off_power_w=request.off_power_w,
+                    )
+                    self._engines[key] = engine
         return engine
+
+
+def group_requests(
+    requests: Sequence[AllocationRequest], registry: EngineRegistry
+) -> Dict[tuple, List[int]]:
+    """Partition request indices by engine key (insertion-ordered)."""
+    groups: Dict[tuple, List[int]] = {}
+    for index, request in enumerate(requests):
+        groups.setdefault(registry.engine_key_of(request), []).append(index)
+    return groups
+
+
+def solve_group(
+    engine: BatchAllocator,
+    requests: Sequence[AllocationRequest],
+    batch_size: Optional[int] = None,
+) -> List[AllocationResponse]:
+    """Solve requests that all share ``engine`` as one vectorized dispatch.
+
+    ``solve_arrays`` over the budget vector when the group shares a single
+    alpha, ``solve_grid`` over (budgets x distinct alphas) otherwise.
+    ``batch_size`` is what the responses report as their coalesced group
+    size; worker pools slicing one logical group across workers pass the
+    full group size so clients still observe the coalescing.
+    """
+    if batch_size is None:
+        batch_size = len(requests)
+    names = [dp.name for dp in engine.design_points]
+    budgets = np.array([request.energy_budget_j for request in requests])
+    alphas = [request.alpha for request in requests]
+    distinct_alphas = sorted(set(alphas))
+    if len(distinct_alphas) == 1:
+        arrays = engine.solve_arrays(budgets, alpha=distinct_alphas[0])
+        return [
+            AllocationResponse.from_arrays(
+                arrays, row, batch_size=batch_size, names=names
+            )
+            for row in range(len(requests))
+        ]
+    # Mixed alphas still dispatch as one call: solve the full
+    # (alpha x budget) grid and gather each request's cell.
+    grid = engine.solve_grid(budgets, alphas=distinct_alphas)
+    alpha_row = {alpha: row for row, alpha in enumerate(distinct_alphas)}
+    return [
+        AllocationResponse.from_grid(
+            grid, alpha_row[alphas[row]], row, batch_size=batch_size
+        )
+        for row in range(len(requests))
+    ]
 
 
 def solve_batch(
@@ -109,33 +168,11 @@ def solve_batch(
     if registry is None:
         registry = EngineRegistry()
     responses: List[Optional[AllocationResponse]] = [None] * len(requests)
-
-    groups: Dict[tuple, List[int]] = {}
-    for index, request in enumerate(requests):
-        groups.setdefault(registry.engine_key_of(request), []).append(index)
-
-    for indices in groups.values():
+    for indices in group_requests(requests, registry).values():
         engine = registry.engine_for(requests[indices[0]])
-        names = [dp.name for dp in engine.design_points]
-        budgets = np.array([requests[i].energy_budget_j for i in indices])
-        alphas = [requests[i].alpha for i in indices]
-        distinct_alphas = sorted(set(alphas))
-        group_size = len(indices)
-        if len(distinct_alphas) == 1:
-            arrays = engine.solve_arrays(budgets, alpha=distinct_alphas[0])
-            for row, index in enumerate(indices):
-                responses[index] = AllocationResponse.from_arrays(
-                    arrays, row, batch_size=group_size, names=names
-                )
-        else:
-            # Mixed alphas still dispatch as one call: solve the full
-            # (alpha x budget) grid and gather each request's cell.
-            grid = engine.solve_grid(budgets, alphas=distinct_alphas)
-            alpha_row = {alpha: row for row, alpha in enumerate(distinct_alphas)}
-            for row, index in enumerate(indices):
-                responses[index] = AllocationResponse.from_grid(
-                    grid, alpha_row[alphas[row]], row, batch_size=group_size
-                )
+        group = solve_group(engine, [requests[i] for i in indices])
+        for index, response in zip(indices, group):
+            responses[index] = response
     # The groups partition every index; a hole would misalign responses
     # with requests for callers that zip by position.
     assert all(response is not None for response in responses)
@@ -200,6 +237,12 @@ class MicroBatcher:
     max_batch:
         Flush immediately once this many requests are pending, and split
         oversize bursts into solve chunks of at most this size.
+    pool:
+        Optional :class:`~repro.service.pool.WorkerPool`.  When present,
+        flushed chunks are fanned across the pool's engine workers off the
+        event loop (the loop keeps serving connections while workers
+        solve); when absent, chunks are solved inline on the loop exactly
+        as before.
     """
 
     def __init__(
@@ -207,6 +250,7 @@ class MicroBatcher:
         registry: Optional[EngineRegistry] = None,
         window_s: float = 0.002,
         max_batch: int = 1024,
+        pool: Optional["WorkerPool"] = None,
     ) -> None:
         if window_s < 0:
             raise ValueError(f"window must be non-negative, got {window_s}")
@@ -215,6 +259,7 @@ class MicroBatcher:
         self.registry = registry if registry is not None else EngineRegistry()
         self.window_s = float(window_s)
         self.max_batch = int(max_batch)
+        self.pool = pool
         self.stats = BatcherStats()
         # Entries are (burst, future): a single request is a burst of one
         # whose future resolves to one response; solve_bulk futures resolve
@@ -224,6 +269,9 @@ class MicroBatcher:
         ] = []
         self._pending_requests = 0
         self._timer: Optional[asyncio.TimerHandle] = None
+        # Pool flushes run as loop tasks; keep strong references so they
+        # are not garbage-collected mid-dispatch.
+        self._inflight: Set["asyncio.Task"] = set()
 
     @property
     def num_pending(self) -> int:
@@ -277,18 +325,47 @@ class MicroBatcher:
         flat: List[AllocationRequest] = []
         for burst, _ in pending:
             flat.extend(burst)
-        # Oversize bursts split into solve chunks of at most max_batch; a
-        # burst spanning chunks is reassembled before its future resolves.
+        # One dispatch loop for both modes: the pooled path awaits the
+        # workers (keeping the event loop free), the pool-less path solves
+        # inline on the loop within the same task.
+        task = asyncio.get_running_loop().create_task(
+            self._flush_async(pending, flat)
+        )
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _flush_async(
+        self,
+        pending: List[Tuple[List[AllocationRequest], "asyncio.Future"]],
+        flat: List[AllocationRequest],
+    ) -> None:
+        """Solve the flushed chunks (of at most ``max_batch``), then scatter.
+
+        A burst spanning chunks is reassembled before its future resolves
+        (the scatter walks the pending list, not the chunks).
+        """
         responses: List[AllocationResponse] = []
         error: Optional[Exception] = None
         for start in range(0, len(flat), self.max_batch):
             chunk = flat[start : start + self.max_batch]
             try:
-                responses.extend(solve_batch(chunk, self.registry))
+                if self.pool is not None:
+                    responses.extend(await self.pool.solve_batch_async(chunk))
+                else:
+                    responses.extend(solve_batch(chunk, self.registry))
             except Exception as failure:  # propagate to every waiter
                 error = failure
                 break
             self.stats.record(len(chunk))
+        self._scatter(pending, responses, error)
+
+    @staticmethod
+    def _scatter(
+        pending: List[Tuple[List[AllocationRequest], "asyncio.Future"]],
+        responses: List[AllocationResponse],
+        error: Optional[Exception],
+    ) -> None:
+        """Resolve every parked future with its burst's share of responses."""
         cursor = 0
         for burst, future in pending:
             share = responses[cursor : cursor + len(burst)]
@@ -309,5 +386,7 @@ __all__ = [
     "BatcherStats",
     "EngineRegistry",
     "MicroBatcher",
+    "group_requests",
     "solve_batch",
+    "solve_group",
 ]

@@ -2,12 +2,18 @@
 
 :class:`AllocationClient` is a small blocking client for the JSON-over-HTTP
 protocol of :mod:`repro.service.server`: one connection per call, typed
-requests in, typed responses out.  It doubles as a command-line tool for
-shell scripting (the CI smoke test drives a live server with it)::
+requests in, typed responses out -- including fleet campaigns submitted
+with ``POST /campaign`` and streamed back as chunked NDJSON columns.  It
+doubles as a command-line tool for shell scripting (the CI smoke test
+drives a live server with it)::
 
     python -m repro.service.client --port 8734 health
     python -m repro.service.client --port 8734 allocate --budget 5 --alpha 1
     python -m repro.service.client --port 8734 stats
+    python -m repro.service.client --port 8734 campaign submit --hours 48
+    python -m repro.service.client --port 8734 campaign status c1
+    python -m repro.service.client --port 8734 campaign run --hours 48
+    python -m repro.service.client --port 8734 campaign columns c1
 
 Each command prints the server's JSON reply on stdout and exits non-zero on
 transport or HTTP errors.
@@ -19,9 +25,15 @@ import argparse
 import http.client
 import json
 import sys
-from typing import Any, Dict, List, Optional, Sequence
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.service.requests import AllocationRequest, AllocationResponse
+from repro.service.requests import (
+    AllocationRequest,
+    AllocationResponse,
+    CampaignRequest,
+    CampaignResponse,
+)
 
 
 class ServiceError(RuntimeError):
@@ -91,6 +103,93 @@ class AllocationClient:
             for entry in payload["responses"]
         ]
 
+    # --- campaigns --------------------------------------------------------------
+    def submit_campaign(self, request: CampaignRequest) -> CampaignResponse:
+        """``POST /campaign``: submit a fleet study, returns its id/status."""
+        payload = self._call("POST", "/campaign", request.to_json_dict())
+        return CampaignResponse.from_json_dict(payload)
+
+    def campaign_status(self, campaign_id: str) -> CampaignResponse:
+        """``GET /campaign/<id>``: poll one campaign."""
+        payload = self._call("GET", f"/campaign/{campaign_id}")
+        return CampaignResponse.from_json_dict(payload)
+
+    def wait_for_campaign(
+        self,
+        campaign_id: str,
+        timeout_s: float = 300.0,
+        poll_s: float = 0.2,
+    ) -> CampaignResponse:
+        """Poll until the campaign reaches a terminal state.
+
+        Raises :class:`ServiceError` (status 0) when the campaign failed
+        server-side, and ``TimeoutError`` when the deadline passes first.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.campaign_status(campaign_id)
+            if status.status == "failed":
+                raise ServiceError(0, f"campaign failed: {status.error}")
+            if status.finished:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"campaign {campaign_id!r} still {status.status} after "
+                    f"{timeout_s:g}s"
+                )
+            time.sleep(poll_s)
+
+    def campaign_payloads(
+        self, campaign_id: str
+    ) -> Iterator[Dict[str, Any]]:
+        """``GET /campaign/<id>/columns``: decode the NDJSON stream lazily.
+
+        Yields the meta payload first, then one payload per (scenario,
+        policy) cell, as the chunks arrive -- the whole grid is never
+        buffered as one JSON document on either side.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            connection.request("GET", f"/campaign/{campaign_id}/columns")
+            response = connection.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                payload = json.loads(raw.decode("utf-8")) if raw else None
+                raise ServiceError(response.status, payload)
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            connection.close()
+
+    def campaign_result(self, campaign_id: str):
+        """Rebuild the campaign's full :class:`FleetResult` from the stream.
+
+        The reconstruction equals the local
+        :class:`~repro.simulation.fleet.FleetCampaign` run to
+        floating-point round-off.
+        """
+        # Imported lazily: plain allocate/stats clients never touch the
+        # simulation stack.
+        from repro.simulation.fleet import FleetResult
+
+        payloads = self.campaign_payloads(campaign_id)
+        meta = next(payloads)
+        return FleetResult.from_payloads(meta, payloads)
+
+    def run_campaign(
+        self, request: CampaignRequest, timeout_s: float = 300.0
+    ) -> Tuple[CampaignResponse, Any]:
+        """Submit, wait, and fetch: one call from study to FleetResult."""
+        submitted = self.submit_campaign(request)
+        status = self.wait_for_campaign(
+            submitted.campaign_id, timeout_s=timeout_s
+        )
+        return status, self.campaign_result(submitted.campaign_id)
+
 
 # --- command-line front ----------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
@@ -112,7 +211,63 @@ def build_parser() -> argparse.ArgumentParser:
     allocate.add_argument("--budget", type=float, required=True,
                           help="energy budget in joules")
     allocate.add_argument("--alpha", type=float, default=1.0)
+
+    campaign = commands.add_parser(
+        "campaign", help="submit/poll/stream fleet campaigns"
+    )
+    verbs = campaign.add_subparsers(dest="verb", required=True)
+    for verb in ("submit", "run"):
+        sub = verbs.add_parser(
+            verb,
+            help=(
+                "submit a fleet study"
+                if verb == "submit"
+                else "submit, wait for completion, print the final status"
+            ),
+        )
+        sub.add_argument("--alphas", type=float, nargs="+", default=[1.0, 2.0])
+        sub.add_argument("--baselines", nargs="*", default=["DP1", "DP3", "DP5"])
+        sub.add_argument("--exposures", type=float, nargs="+", default=[0.032])
+        sub.add_argument("--month", type=int, default=9)
+        sub.add_argument("--seed", type=int, default=2015)
+        sub.add_argument("--hours", type=int, default=None)
+        sub.add_argument("--open-loop", action="store_true")
+    status = verbs.add_parser("status", help="poll one campaign by id")
+    status.add_argument("id")
+    columns = verbs.add_parser(
+        "columns", help="stream a finished campaign's columns as NDJSON"
+    )
+    columns.add_argument("id")
     return parser
+
+
+def _campaign_request(args: argparse.Namespace) -> CampaignRequest:
+    """Lower the submit/run CLI arguments to a typed campaign request."""
+    return CampaignRequest(
+        alphas=tuple(args.alphas),
+        baselines=tuple(args.baselines),
+        exposure_factors=tuple(args.exposures),
+        month=args.month,
+        seed=args.seed,
+        hours=args.hours,
+        use_battery=not args.open_loop,
+    )
+
+
+def _campaign_command(client: AllocationClient, args: argparse.Namespace) -> Any:
+    """Run one campaign verb; returns the JSON payload to print."""
+    if args.verb == "submit":
+        return client.submit_campaign(_campaign_request(args)).to_json_dict()
+    if args.verb == "run":
+        submitted = client.submit_campaign(_campaign_request(args))
+        status = client.wait_for_campaign(submitted.campaign_id)
+        return status.to_json_dict()
+    if args.verb == "status":
+        return client.campaign_status(args.id).to_json_dict()
+    # columns: stream the NDJSON lines straight through, one per payload.
+    for payload in client.campaign_payloads(args.id):
+        print(json.dumps(payload))
+    return None
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -124,12 +279,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             payload: Any = client.health()
         elif args.command == "stats":
             payload = client.stats()
+        elif args.command == "campaign":
+            payload = _campaign_command(client, args)
+            if payload is None:  # columns already streamed to stdout
+                return 0
         else:
             response = client.allocate(
                 AllocationRequest(energy_budget_j=args.budget, alpha=args.alpha)
             )
             payload = response.to_json_dict()
-    except (ServiceError, OSError) as error:
+    except (ServiceError, OSError, TimeoutError) as error:
         print(f"allocation service call failed: {error}", file=sys.stderr)
         return 1
     print(json.dumps(payload, indent=2, sort_keys=True))

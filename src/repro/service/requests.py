@@ -23,8 +23,8 @@ micro-batcher groups concurrent requests onto shared batch engines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.batch import BatchArrays, BatchGridResult
 from repro.core.design_point import (
@@ -283,4 +283,207 @@ class AllocationResponse:
         )
 
 
-__all__ = ["AllocationRequest", "AllocationResponse"]
+@dataclass(frozen=True)
+class CampaignRequest:
+    """One fleet study to be run by the service's campaign workers.
+
+    Mirrors the surface of the ``repro fleet`` command: every
+    (exposure-factor scenario x policy) cell of the grid is simulated over
+    one synthetic solar trace, with a REAP policy plus the named static
+    baselines at every alpha.  The server lowers this to
+    :func:`repro.service.shard.run_sharded_campaign` on its worker pool,
+    so a remote campaign equals the local
+    :class:`~repro.simulation.fleet.FleetCampaign` run to floating-point
+    round-off.
+    """
+
+    alphas: Tuple[float, ...] = (1.0, 2.0)
+    baselines: Tuple[str, ...] = ("DP1", "DP3", "DP5")
+    exposure_factors: Tuple[float, ...] = (0.032,)
+    month: int = 9
+    seed: int = 2015
+    hours: Optional[int] = None
+    use_battery: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "alphas", tuple(float(a) for a in self.alphas))
+        object.__setattr__(
+            self, "baselines", tuple(str(name) for name in self.baselines)
+        )
+        object.__setattr__(
+            self,
+            "exposure_factors",
+            tuple(float(f) for f in self.exposure_factors),
+        )
+        if not self.alphas:
+            raise ValueError("campaign needs at least one alpha")
+        for alpha in self.alphas:
+            validate_alpha(alpha)
+        if not self.exposure_factors:
+            raise ValueError("campaign needs at least one exposure factor")
+        if any(factor <= 0 for factor in self.exposure_factors):
+            raise ValueError(
+                f"exposure factors must be positive, got {self.exposure_factors}"
+            )
+        if not 1 <= int(self.month) <= 12:
+            raise ValueError(f"month must be in [1, 12], got {self.month}")
+        if self.hours is not None and self.hours < 1:
+            raise ValueError(f"hours must be at least 1, got {self.hours}")
+
+    @property
+    def num_policies(self) -> int:
+        """Policies per scenario: one REAP + the baselines, per alpha."""
+        return len(self.alphas) * (1 + len(self.baselines))
+
+    @property
+    def num_cells(self) -> int:
+        """Total (scenario x policy) campaign cells the study simulates."""
+        return len(self.exposure_factors) * self.num_policies
+
+    def build(self, design_points: Optional[Sequence[DesignPoint]] = None):
+        """Materialise (scenarios, labels, policies, trace, config).
+
+        This is the single source of truth for lowering a campaign request
+        to simulator objects -- the server and any local parity check both
+        call it, so "remote equals local" can never drift on construction
+        details.  ``design_points`` is the hardware the study simulates: a
+        service passes its configured default set (so campaigns describe
+        the same hardware its ``/allocate`` answers do), ``None`` means
+        the published Table 2 points.  Imports are local: the
+        allocation-only service path never pays for the simulation stack.
+        """
+        from repro.data.table2 import table2_design_points
+        from repro.harvesting.solar import SyntheticSolarModel
+        from repro.harvesting.solar_cell import HarvestScenario, SolarCellModel
+        from repro.harvesting.traces import SolarTrace
+        from repro.simulation.fleet import CampaignConfig
+        from repro.simulation.policies import ReapPolicy, StaticPolicy
+
+        points = tuple(
+            design_points if design_points is not None
+            else table2_design_points()
+        )
+        trace = SyntheticSolarModel(seed=self.seed).generate_month(self.month)
+        if self.hours is not None:
+            if self.hours > len(trace):
+                raise ValueError(
+                    f"hours must be in [1, {len(trace)}], got {self.hours}"
+                )
+            trace = SolarTrace(trace.hours[: self.hours], name=trace.name)
+        scenarios = [
+            HarvestScenario(cell=SolarCellModel(exposure_factor=factor))
+            for factor in self.exposure_factors
+        ]
+        labels = [f"exposure={factor:g}" for factor in self.exposure_factors]
+        policies: List[object] = []
+        for alpha in self.alphas:
+            policies.append(ReapPolicy(points, alpha=alpha))
+            policies.extend(
+                StaticPolicy(points, name, alpha=alpha)
+                for name in self.baselines
+            )
+        return scenarios, labels, policies, trace, CampaignConfig(
+            use_battery=self.use_battery
+        )
+
+    # --- JSON codec -------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Encode as a JSON-ready dictionary (the wire format)."""
+        return {
+            "alphas": list(self.alphas),
+            "baselines": list(self.baselines),
+            "exposure_factors": list(self.exposure_factors),
+            "month": self.month,
+            "seed": self.seed,
+            "hours": self.hours,
+            "use_battery": self.use_battery,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "CampaignRequest":
+        """Decode the wire format (raises ``ValueError`` on bad payloads)."""
+        known = {
+            "alphas", "baselines", "exposure_factors", "month", "seed",
+            "hours", "use_battery",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown campaign request fields: {sorted(unknown)}"
+            )
+        hours = payload.get("hours")
+        return cls(
+            alphas=tuple(payload.get("alphas", (1.0, 2.0))),
+            baselines=tuple(payload.get("baselines", ("DP1", "DP3", "DP5"))),
+            exposure_factors=tuple(payload.get("exposure_factors", (0.032,))),
+            month=int(payload.get("month", 9)),
+            seed=int(payload.get("seed", 2015)),
+            hours=None if hours is None else int(hours),
+            use_battery=bool(payload.get("use_battery", True)),
+        )
+
+
+@dataclass(frozen=True)
+class CampaignResponse:
+    """Status of one submitted campaign (the ``/campaign/<id>`` payload)."""
+
+    campaign_id: str
+    status: str
+    cells: int
+    trace_hours: int
+    scenario_labels: Tuple[str, ...] = ()
+    policy_names: Tuple[str, ...] = ()
+    alphas: Tuple[float, ...] = ()
+    error: Optional[str] = None
+    summary: Tuple[Dict[str, Any], ...] = field(default_factory=tuple)
+
+    #: Legal lifecycle states, in order.
+    STATUSES = ("pending", "running", "done", "failed")
+
+    def __post_init__(self) -> None:
+        if self.status not in self.STATUSES:
+            raise ValueError(
+                f"status must be one of {self.STATUSES}, got {self.status!r}"
+            )
+
+    @property
+    def finished(self) -> bool:
+        """Whether the campaign has reached a terminal state."""
+        return self.status in ("done", "failed")
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Encode as a JSON-ready dictionary (the wire format)."""
+        return {
+            "campaign_id": self.campaign_id,
+            "status": self.status,
+            "cells": self.cells,
+            "trace_hours": self.trace_hours,
+            "scenario_labels": list(self.scenario_labels),
+            "policy_names": list(self.policy_names),
+            "alphas": list(self.alphas),
+            "error": self.error,
+            "summary": [dict(entry) for entry in self.summary],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "CampaignResponse":
+        """Decode the wire format."""
+        return cls(
+            campaign_id=str(payload["campaign_id"]),
+            status=str(payload["status"]),
+            cells=int(payload["cells"]),
+            trace_hours=int(payload["trace_hours"]),
+            scenario_labels=tuple(payload.get("scenario_labels", ())),
+            policy_names=tuple(payload.get("policy_names", ())),
+            alphas=tuple(float(a) for a in payload.get("alphas", ())),
+            error=payload.get("error"),
+            summary=tuple(payload.get("summary", ())),
+        )
+
+
+__all__ = [
+    "AllocationRequest",
+    "AllocationResponse",
+    "CampaignRequest",
+    "CampaignResponse",
+]

@@ -21,33 +21,93 @@ Endpoints
 ``GET /healthz``
     Liveness probe: ``{"status": "ok"}``.
 ``GET /stats``
-    Cache, batcher and latency counters.
+    Cache, batcher, worker-pool and latency counters.
 ``POST /allocate``
     One :class:`~repro.service.requests.AllocationRequest` JSON body ->
     one :class:`~repro.service.requests.AllocationResponse`.
 ``POST /allocate/batch``
     ``{"requests": [...]}`` -> ``{"responses": [...]}``; the requests are
     submitted concurrently so they share batched solves.
+``POST /campaign``
+    One :class:`~repro.service.requests.CampaignRequest` JSON body submits
+    a fleet study to the pool's campaign workers; replies immediately with
+    the campaign id and ``pending``/``running`` status.
+``GET /campaign/<id>``
+    Poll one campaign: status, grid shape, and per-cell summaries once
+    ``done``.
+``GET /campaign/<id>/columns``
+    Stream the finished campaign's full per-period columns back as
+    chunked NDJSON: one meta line, then one line per (scenario, policy)
+    cell.
 
-Use ``python -m repro serve`` to run a server from the shell and
-:mod:`repro.service.client` to talk to it.
+Use ``python -m repro serve [--workers N]`` to run a server from the
+shell and :mod:`repro.service.client` to talk to it.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
+import re
 import threading
 import time
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.design_point import DesignPoint
 from repro.service.batcher import EngineRegistry, MicroBatcher
 from repro.service.cache import AllocationCache, LatencyRecorder
-from repro.service.requests import AllocationRequest, AllocationResponse
+from repro.service.pool import WorkerPool
+from repro.service.requests import (
+    AllocationRequest,
+    AllocationResponse,
+    CampaignRequest,
+    CampaignResponse,
+)
 
 #: Largest request body the server will read, in bytes.
 MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Campaign ids are ``c1``, ``c2``, ... within one server process.
+_CAMPAIGN_PATH = re.compile(r"^/campaign/([A-Za-z0-9_-]+)(/columns)?$")
+
+
+class CampaignJob:
+    """One submitted fleet study: request, lifecycle state, result."""
+
+    def __init__(self, campaign_id: str, request: CampaignRequest) -> None:
+        self.campaign_id = campaign_id
+        self.request = request
+        self.status = "pending"
+        self.result = None  # FleetResult once done
+        self.error: Optional[str] = None
+        self.task: Optional["asyncio.Task"] = None
+        #: Actual trace length, known once the request has been built
+        #: (requests with ``hours=None`` default to the whole month, so the
+        #: submitted hours alone don't determine it).
+        self.trace_hours: int = request.hours or 0
+
+    def status_response(self) -> CampaignResponse:
+        """Snapshot the job as a :class:`CampaignResponse`."""
+        result = self.result
+        if result is not None:
+            return CampaignResponse(
+                campaign_id=self.campaign_id,
+                status=self.status,
+                cells=result.num_cells,
+                trace_hours=result.trace_hours,
+                scenario_labels=tuple(result.scenario_labels),
+                policy_names=tuple(result.policy_names),
+                alphas=tuple(result.alphas),
+                summary=tuple(result.cell_summaries()),
+            )
+        return CampaignResponse(
+            campaign_id=self.campaign_id,
+            status=self.status,
+            cells=self.request.num_cells,
+            trace_hours=self.trace_hours,
+            error=self.error,
+        )
 
 
 class AllocationService:
@@ -56,6 +116,12 @@ class AllocationService:
     The HTTP server wraps this class, but it is equally usable in-process:
     run an event loop and await :meth:`allocate` from many tasks to get the
     same coalescing behaviour without any socket.
+
+    ``workers`` sizes the :class:`~repro.service.pool.WorkerPool` that
+    solves flushed batches: ``1`` keeps solves inline on the event loop
+    (the PR-3 behaviour), ``N > 1`` fans dispatch groups across engine
+    worker threads.  Campaign submissions always run on the pool
+    (``campaign_workers`` processes, defaulting to ``workers``).
     """
 
     def __init__(
@@ -64,13 +130,38 @@ class AllocationService:
         cache_size: int = 4096,
         window_s: float = 0.002,
         max_batch: int = 1024,
+        workers: int = 1,
+        campaign_workers: Optional[int] = None,
+        max_campaigns: int = 64,
     ) -> None:
+        if max_campaigns < 1:
+            raise ValueError(
+                f"max_campaigns must be at least 1, got {max_campaigns}"
+            )
         self.registry = EngineRegistry(default_points)
+        self.pool = WorkerPool(
+            workers=workers,
+            registry=self.registry,
+            campaign_workers=campaign_workers,
+        )
         self.cache: AllocationCache[AllocationResponse] = AllocationCache(cache_size)
         self.batcher = MicroBatcher(
-            registry=self.registry, window_s=window_s, max_batch=max_batch
+            registry=self.registry,
+            window_s=window_s,
+            max_batch=max_batch,
+            pool=self.pool if workers > 1 else None,
         )
         self.latency = LatencyRecorder()
+        #: Retained campaign jobs; finished ones beyond ``max_campaigns``
+        #: are evicted oldest-first (a month-long grid's columns are big --
+        #: unbounded retention would leak a long-running service to death).
+        self.max_campaigns = int(max_campaigns)
+        self._campaigns: Dict[str, CampaignJob] = {}
+        self._campaign_ids = itertools.count(1)
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self.pool.shutdown()
 
     async def allocate(self, request: AllocationRequest) -> AllocationResponse:
         """Serve one request: cache lookup, else coalesced batch solve."""
@@ -112,13 +203,77 @@ class AllocationService:
         assert all(response is not None for response in served)
         return tuple(served)  # type: ignore[arg-type]
 
+    # --- campaigns --------------------------------------------------------------
+    async def submit_campaign(self, request: CampaignRequest) -> CampaignResponse:
+        """Accept a fleet study; it runs in the background on the pool."""
+        job = CampaignJob(f"c{next(self._campaign_ids)}", request)
+        self._campaigns[job.campaign_id] = job
+        job.task = asyncio.get_running_loop().create_task(
+            self._run_campaign(job)
+        )
+        return job.status_response()
+
+    async def _run_campaign(self, job: CampaignJob) -> None:
+        """Drive one campaign to a terminal state off the event loop."""
+        job.status = "running"
+        loop = asyncio.get_running_loop()
+        try:
+            # The blocking run (request build + process-pool map) happens on
+            # the loop's default thread executor, so the server keeps
+            # answering allocations while a month-long grid simulates.
+            job.result = await loop.run_in_executor(
+                None, self._execute_campaign, job
+            )
+            job.status = "done"
+        except Exception as error:
+            job.error = f"{type(error).__name__}: {error}"
+            job.status = "failed"
+        finally:
+            self._evict_finished_campaigns()
+
+    def _evict_finished_campaigns(self) -> None:
+        """Drop the oldest *finished* jobs beyond ``max_campaigns``.
+
+        Pending/running jobs are never evicted; ids are monotonic, so dict
+        insertion order is submission order.
+        """
+        overflow = len(self._campaigns) - self.max_campaigns
+        if overflow <= 0:
+            return
+        for campaign_id in [
+            job.campaign_id
+            for job in self._campaigns.values()
+            if job.status in ("done", "failed")
+        ][:overflow]:
+            del self._campaigns[campaign_id]
+
+    def _execute_campaign(self, job: CampaignJob):
+        # Campaigns simulate the hardware this service is configured for,
+        # the same design points its /allocate answers describe.
+        scenarios, labels, policies, trace, config = job.request.build(
+            self.registry.default_points
+        )
+        job.trace_hours = len(trace)
+        return self.pool.run_campaign(
+            scenarios, policies, trace, config, scenario_labels=labels
+        )
+
+    def campaign(self, campaign_id: str) -> CampaignJob:
+        """Look one campaign up (raises ``KeyError`` on unknown ids)."""
+        return self._campaigns[campaign_id]
+
     def stats(self) -> Dict[str, Any]:
         """Counters for the ``/stats`` endpoint."""
+        by_status: Dict[str, int] = {}
+        for job in self._campaigns.values():
+            by_status[job.status] = by_status.get(job.status, 0) + 1
         return {
             "cache": self.cache.stats.to_json_dict(),
             "batcher": self.batcher.stats.to_json_dict(),
             "latency": self.latency.to_json_dict(),
             "engines": len(self.registry),
+            "pool": self.pool.stats(),
+            "campaigns": by_status,
         }
 
 
@@ -130,11 +285,19 @@ class _HttpError(Exception):
         self.status = status
 
 
+class _StreamingPayloads:
+    """Dispatch result asking for chunked NDJSON instead of one JSON body."""
+
+    def __init__(self, payloads: Iterator[Dict[str, Any]]) -> None:
+        self.payloads = payloads
+
+
 _STATUS_TEXT = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     500: "Internal Server Error",
 }
@@ -173,11 +336,18 @@ async def _read_request(
                 content_length = int(value.strip())
             except ValueError:
                 raise _HttpError(400, "invalid Content-Length")
+    if content_length < 0:
+        raise _HttpError(400, "negative Content-Length")
     if content_length > MAX_BODY_BYTES:
         raise _HttpError(413, "request body too large")
     body: Optional[Dict[str, Any]] = None
     if content_length:
-        raw = await reader.readexactly(content_length)
+        try:
+            raw = await reader.readexactly(content_length)
+        except asyncio.IncompleteReadError:
+            # A client that promised more bytes than it sent gets a clean
+            # 400, not a traceback-bearing 500.
+            raise _HttpError(400, "request body shorter than Content-Length")
         try:
             body = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -227,21 +397,50 @@ class AllocationServer:
         try:
             try:
                 method, path, body = await _read_request(reader)
-                status, payload = await self._dispatch(method, path, body)
+                result = await self._dispatch(method, path, body)
             except _HttpError as error:
-                status, payload = error.status, {"error": str(error)}
+                result = error.status, {"error": str(error)}
             except Exception as error:  # never kill the accept loop
-                status, payload = 500, {"error": f"{type(error).__name__}: {error}"}
-            writer.write(_encode_response(status, payload))
-            await writer.drain()
+                result = 500, {"error": f"{type(error).__name__}: {error}"}
+            if isinstance(result, _StreamingPayloads):
+                await self._write_stream(writer, result)
+            else:
+                status, payload = result
+                writer.write(_encode_response(status, payload))
+                await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
             writer.close()
 
+    @staticmethod
+    async def _write_stream(
+        writer: asyncio.StreamWriter, stream: "_StreamingPayloads"
+    ) -> None:
+        """Write NDJSON payloads with chunked transfer encoding.
+
+        One HTTP chunk per JSON line, drained as produced -- a client can
+        decode cell by cell while later cells are still being encoded.
+        """
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("ascii")
+        writer.write(head)
+        await writer.drain()
+        for payload in stream.payloads:
+            line = (json.dumps(payload) + "\n").encode("utf-8")
+            writer.write(f"{len(line):x}\r\n".encode("ascii") + line + b"\r\n")
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
     async def _dispatch(
         self, method: str, path: str, body: Optional[Dict[str, Any]]
-    ) -> Tuple[int, Dict[str, Any]]:
+    ):
         if path == "/healthz":
             if method != "GET":
                 raise _HttpError(405, "healthz is GET-only")
@@ -270,6 +469,39 @@ class AllocationServer:
             return 200, {
                 "responses": [response.to_json_dict() for response in responses]
             }
+        if path == "/campaign":
+            if method != "POST":
+                raise _HttpError(405, "campaign submission is POST-only")
+            if body is None:
+                raise _HttpError(400, "campaign needs a JSON body")
+            try:
+                request = CampaignRequest.from_json_dict(body)
+            except (ValueError, KeyError, TypeError) as error:
+                raise _HttpError(400, f"invalid campaign request: {error}")
+            response = await self.service.submit_campaign(request)
+            return 200, response.to_json_dict()
+        match = _CAMPAIGN_PATH.match(path)
+        if match:
+            if method != "GET":
+                raise _HttpError(405, "campaign polling is GET-only")
+            campaign_id, wants_columns = match.group(1), bool(match.group(2))
+            try:
+                job = self.service.campaign(campaign_id)
+            except KeyError:
+                raise _HttpError(404, f"unknown campaign {campaign_id!r}")
+            if not wants_columns:
+                return 200, job.status_response().to_json_dict()
+            if job.status != "done":
+                raise _HttpError(
+                    409,
+                    f"campaign {campaign_id!r} is {job.status}; columns "
+                    "stream only once done",
+                )
+            result = job.result
+            assert result is not None
+            return _StreamingPayloads(
+                itertools.chain([result.meta_payload()], result.cell_payloads())
+            )
         raise _HttpError(404, f"unknown path {path!r}")
 
     @staticmethod
@@ -325,6 +557,9 @@ def run_server(
         )
     except KeyboardInterrupt:
         print("allocation service stopped", flush=True)
+    finally:
+        if service is not None:
+            service.close()
     return 0
 
 
@@ -415,6 +650,7 @@ def start_in_thread(
 __all__ = [
     "AllocationServer",
     "AllocationService",
+    "CampaignJob",
     "ServerHandle",
     "run_server",
     "serve",

@@ -26,9 +26,9 @@ frozen dataclasses of the energy/harvesting layers are all picklable.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.harvesting.solar_cell import HarvestScenario
 from repro.harvesting.traces import SolarTrace
@@ -152,6 +152,24 @@ def _time_shardable(
     )
 
 
+def _map_on_workers(
+    fn: Callable,
+    argument_tuples: Sequence[tuple],
+    jobs: int,
+    executor: Optional[Executor],
+) -> List[Any]:
+    """Map ``fn`` over argument tuples on worker processes.
+
+    Uses the caller's ``executor`` when one is provided (a persistent
+    service pool); otherwise spins up -- and tears down -- a private
+    :class:`ProcessPoolExecutor` sized to the work.
+    """
+    if executor is not None:
+        return list(executor.map(fn, *zip(*argument_tuples)))
+    with ProcessPoolExecutor(max_workers=min(jobs, len(argument_tuples))) as own:
+        return list(own.map(fn, *zip(*argument_tuples)))
+
+
 def run_sharded_campaign(
     scenarios: Sequence[HarvestScenario],
     policies: Sequence[Policy],
@@ -159,6 +177,7 @@ def run_sharded_campaign(
     config: Optional[CampaignConfig] = None,
     scenario_labels: Optional[Sequence[str]] = None,
     jobs: int = 1,
+    executor: Optional[Executor] = None,
 ) -> FleetResult:
     """Run a fleet campaign grid, optionally sharded across processes.
 
@@ -170,6 +189,10 @@ def run_sharded_campaign(
     recognition).  The merged result's :attr:`FleetResult.scan` is ``None``
     for sharded runs (each worker owns a private scan); per-cell battery
     trajectories remain available on the cell results.
+
+    ``executor`` lets long-running services reuse one persistent process
+    pool (e.g. :class:`repro.service.pool.WorkerPool`) across campaigns
+    instead of paying process start-up per run; it is never shut down here.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be at least 1, got {jobs}")
@@ -188,9 +211,11 @@ def run_sharded_campaign(
 
     if num_cells < jobs and time_shardable and len(trace) >= 2 * jobs:
         return _run_time_sharded(
-            scenarios, labels, config, policies, trace, jobs
+            scenarios, labels, config, policies, trace, jobs, executor
         )
-    return _run_cell_sharded(scenarios, labels, config, policies, trace, jobs)
+    return _run_cell_sharded(
+        scenarios, labels, config, policies, trace, jobs, executor
+    )
 
 
 def _run_cell_sharded(
@@ -200,25 +225,25 @@ def _run_cell_sharded(
     policies: Sequence[Policy],
     trace: SolarTrace,
     jobs: int,
+    executor: Optional[Executor] = None,
 ) -> FleetResult:
     """Split the grid cell-wise across a process pool and merge the rows."""
     chunks = shard_cells(len(scenarios), len(policies), jobs)
     grid: List[List[Optional[CampaignResult]]] = [
         [None] * len(policies) for _ in scenarios
     ]
-    with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-        shard_results = pool.map(
-            _run_cell_shard,
-            *zip(
-                *[
-                    (scenarios, labels, config, policies, trace, chunk)
-                    for chunk in chunks
-                ]
-            ),
-        )
-        for cells in shard_results:
-            for scenario_index, policy_index, result in cells:
-                grid[scenario_index][policy_index] = result
+    shard_results = _map_on_workers(
+        _run_cell_shard,
+        [
+            (scenarios, labels, config, policies, trace, chunk)
+            for chunk in chunks
+        ],
+        jobs,
+        executor,
+    )
+    for cells in shard_results:
+        for scenario_index, policy_index, result in cells:
+            grid[scenario_index][policy_index] = result
     missing = [
         (scenario_index, policy_index)
         for scenario_index, row in enumerate(grid)
@@ -243,6 +268,7 @@ def _run_time_sharded(
     policies: Sequence[Policy],
     trace: SolarTrace,
     jobs: int,
+    executor: Optional[Executor] = None,
 ) -> FleetResult:
     """Split the trace into contiguous slices and concat the merged columns."""
     hours = len(trace)
@@ -255,18 +281,15 @@ def _run_time_sharded(
             continue
         bounds.append((start, start + size))
         start += size
-    with ProcessPoolExecutor(max_workers=len(bounds)) as pool:
-        shards = list(
-            pool.map(
-                _run_time_shard,
-                *zip(
-                    *[
-                        (scenarios, labels, config, policies, trace, first, last)
-                        for first, last in bounds
-                    ]
-                ),
-            )
-        )
+    shards = _map_on_workers(
+        _run_time_shard,
+        [
+            (scenarios, labels, config, policies, trace, first, last)
+            for first, last in bounds
+        ],
+        jobs,
+        executor,
+    )
     grid: List[List[CampaignResult]] = []
     for scenario_index in range(len(scenarios)):
         row = []

@@ -29,7 +29,7 @@ budgets, consumed energy, battery trajectories and recognition counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -38,7 +38,7 @@ from repro.energy.fleet import BatteryScan, BatteryScanResult
 from repro.harvesting.solar_cell import HarvestScenario
 from repro.harvesting.traces import SolarTrace
 from repro.simulation.device import DeviceConfig, DeviceSimulator
-from repro.simulation.metrics import CampaignResult
+from repro.simulation.metrics import CampaignColumns, CampaignResult
 from repro.simulation.policies import Policy
 
 
@@ -86,14 +86,26 @@ class FleetResult:
     def __init__(
         self,
         scenario_labels: Sequence[str],
-        policies: Sequence[Policy],
-        grid: Sequence[Sequence[CampaignResult]],
-        scan: Optional[BatteryScanResult],
-        trace_hours: int,
+        policies: Optional[Sequence[Policy]] = None,
+        grid: Sequence[Sequence[CampaignResult]] = (),
+        scan: Optional[BatteryScanResult] = None,
+        trace_hours: int = 0,
+        policy_names: Optional[Sequence[str]] = None,
+        alphas: Optional[Sequence[float]] = None,
     ) -> None:
         self.scenario_labels = list(scenario_labels)
-        self.policy_names = [policy.name for policy in policies]
-        self.alphas = [policy.alpha for policy in policies]
+        if policies is not None:
+            self.policy_names = [policy.name for policy in policies]
+            self.alphas = [policy.alpha for policy in policies]
+        else:
+            # Reconstructed results (e.g. streamed back from the service)
+            # carry names and alphas directly, no Policy objects in sight.
+            if policy_names is None or alphas is None:
+                raise ValueError(
+                    "need either policies or (policy_names, alphas)"
+                )
+            self.policy_names = list(policy_names)
+            self.alphas = [float(alpha) for alpha in alphas]
         self._grid = [list(row) for row in grid]
         #: Battery trajectories of the underlying scan (closed loop only).
         self.scan = scan
@@ -150,6 +162,112 @@ class FleetResult:
         for scenario_index, row in enumerate(self._grid):
             for policy_index, result in enumerate(row):
                 yield scenario_index, policy_index, result
+
+    def cell_summaries(self) -> List[Dict[str, Any]]:
+        """Scalar per-cell summaries (one dict per grid cell, grid order).
+
+        This is the ``GET /campaign/<id>`` summary payload and the row
+        source for fleet report tables; the full per-period columns travel
+        separately via :meth:`cell_payloads`.
+        """
+        summaries = []
+        for scenario_index, policy_index, result in self:
+            battery = result.battery_charge_j
+            summaries.append({
+                "scenario": self.scenario_labels[scenario_index],
+                "policy": result.policy_name,
+                "alpha": float(result.alpha),
+                "periods": len(result),
+                "mean_objective": result.mean_objective,
+                "mean_expected_accuracy": result.mean_expected_accuracy,
+                "active_hours": result.total_active_time_s / 3600.0,
+                "energy_j": result.total_energy_consumed_j,
+                "recognition_rate": result.overall_recognition_rate,
+                "final_battery_j": (
+                    None if battery is None else float(battery[-1])
+                ),
+            })
+        return summaries
+
+    # --- wire codec -------------------------------------------------------------
+    def meta_payload(self) -> Dict[str, Any]:
+        """Grid-shape header of the campaign wire format."""
+        return {
+            "scenario_labels": list(self.scenario_labels),
+            "policy_names": list(self.policy_names),
+            "alphas": [float(alpha) for alpha in self.alphas],
+            "trace_hours": int(self.trace_hours),
+        }
+
+    def cell_payloads(self) -> Iterator[Dict[str, Any]]:
+        """One JSON-ready payload per (scenario, policy) cell, in grid order.
+
+        This is what the service streams back for
+        ``GET /campaign/<id>/columns``: each payload carries the cell's
+        :class:`~repro.simulation.metrics.CampaignColumns` (list-based
+        results are packed into columns first) plus its battery
+        trajectory, losslessly.
+        """
+        for scenario_index, policy_index, result in self:
+            columns = result.columns
+            if columns is None:
+                columns = CampaignColumns.from_outcomes(result.outcomes)
+            battery = result.battery_charge_j
+            yield {
+                "scenario_index": scenario_index,
+                "policy_index": policy_index,
+                "policy_name": result.policy_name,
+                "alpha": float(result.alpha),
+                "columns": columns.to_json_dict(),
+                "battery_charge_j": (
+                    None if battery is None else [float(v) for v in battery]
+                ),
+            }
+
+    @classmethod
+    def from_payloads(
+        cls, meta: Dict[str, Any], cells: Iterable[Dict[str, Any]]
+    ) -> "FleetResult":
+        """Rebuild a result from :meth:`meta_payload` + :meth:`cell_payloads`.
+
+        The reconstructed grid matches the original to floating-point
+        round-off (the codec is lossless); :attr:`scan` is ``None`` --
+        battery trajectories live on the cell results.
+        """
+        labels = list(meta["scenario_labels"])
+        names = list(meta["policy_names"])
+        grid: List[List[Optional[CampaignResult]]] = [
+            [None] * len(names) for _ in labels
+        ]
+        for payload in cells:
+            battery = payload.get("battery_charge_j")
+            cell = CampaignResult.from_columns(
+                str(payload["policy_name"]),
+                float(payload["alpha"]),
+                CampaignColumns.from_json_dict(payload["columns"]),
+                battery_charge_j=(
+                    None if battery is None else np.asarray(battery, dtype=float)
+                ),
+            )
+            grid[int(payload["scenario_index"])][
+                int(payload["policy_index"])
+            ] = cell
+        missing = [
+            (scenario_index, policy_index)
+            for scenario_index, row in enumerate(grid)
+            for policy_index, value in enumerate(row)
+            if value is None
+        ]
+        if missing:  # a partial stream must not masquerade as a full grid
+            raise ValueError(f"campaign stream left cells unfilled: {missing}")
+        return cls(
+            scenario_labels=labels,
+            grid=grid,
+            scan=None,
+            trace_hours=int(meta["trace_hours"]),
+            policy_names=names,
+            alphas=[float(alpha) for alpha in meta["alphas"]],
+        )
 
 
 class FleetCampaign:

@@ -162,6 +162,61 @@ class CampaignColumns:
             ),
         )
 
+    # --- JSON codec -------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, object]:
+        """Encode as a JSON-ready dictionary (the campaign wire format).
+
+        Python's ``json`` serialises floats with shortest round-trip repr,
+        so the arrays survive the wire bit-exactly -- the remote-campaign
+        parity guarantee (1e-9 against the local run) rests on this.
+        """
+        payload: Dict[str, object] = {
+            "period_index": [int(v) for v in self.period_index],
+            "energy_budget_j": [float(v) for v in self.energy_budget_j],
+            "energy_consumed_j": [float(v) for v in self.energy_consumed_j],
+            "active_time_s": [float(v) for v in self.active_time_s],
+            "off_time_s": [float(v) for v in self.off_time_s],
+            "windows_total": [int(v) for v in self.windows_total],
+            "windows_observed": [int(v) for v in self.windows_observed],
+            "windows_correct": [float(v) for v in self.windows_correct],
+            "objective_value": [float(v) for v in self.objective_value],
+            "expected_accuracy": [float(v) for v in self.expected_accuracy],
+        }
+        if self.times_by_design_point_s is not None:
+            payload["design_point_names"] = list(self.design_point_names)
+            payload["times_by_design_point_s"] = [
+                [float(v) for v in row] for row in self.times_by_design_point_s
+            ]
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, object]) -> "CampaignColumns":
+        """Decode the wire format produced by :meth:`to_json_dict`."""
+        times = payload.get("times_by_design_point_s")
+        return cls(
+            period_index=np.asarray(payload["period_index"], dtype=int),
+            energy_budget_j=np.asarray(payload["energy_budget_j"], dtype=float),
+            energy_consumed_j=np.asarray(
+                payload["energy_consumed_j"], dtype=float
+            ),
+            active_time_s=np.asarray(payload["active_time_s"], dtype=float),
+            off_time_s=np.asarray(payload["off_time_s"], dtype=float),
+            windows_total=np.asarray(payload["windows_total"], dtype=int),
+            windows_observed=np.asarray(payload["windows_observed"], dtype=int),
+            windows_correct=np.asarray(payload["windows_correct"], dtype=float),
+            objective_value=np.asarray(payload["objective_value"], dtype=float),
+            expected_accuracy=np.asarray(
+                payload["expected_accuracy"], dtype=float
+            ),
+            design_point_names=tuple(payload.get("design_point_names", ())),
+            times_by_design_point_s=(
+                None if times is None
+                else np.asarray(times, dtype=float).reshape(
+                    len(payload["period_index"]), -1
+                )
+            ),
+        )
+
     @classmethod
     def from_outcomes(cls, outcomes: Sequence[PeriodOutcome]) -> "CampaignColumns":
         """Pack a list of outcomes into columns (per-DP times are dropped)."""

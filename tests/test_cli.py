@@ -116,3 +116,46 @@ class TestFleetCommand:
         import pytest as _pytest
         with _pytest.raises(ValueError):
             main(["fleet", "--hours", "0"])
+
+
+class TestServeAndRemoteFleet:
+    def test_serve_parser_worker_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.workers == 1
+        assert args.campaign_workers is None
+        args = build_parser().parse_args(
+            ["serve", "--workers", "4", "--campaign-workers", "2"]
+        )
+        assert (args.workers, args.campaign_workers) == (4, 2)
+
+    def test_fleet_remote_rejects_jobs(self, capsys):
+        assert main([
+            "fleet", "--remote", "127.0.0.1:1", "--jobs", "2",
+        ]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_fleet_remote_rejects_bad_address(self, capsys):
+        assert main(["fleet", "--remote", "nocolonhere"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_fleet_remote_reports_connection_failure(self, capsys):
+        assert main(["fleet", "--remote", "127.0.0.1:1", "--hours", "24"]) == 1
+        assert "failed" in capsys.readouterr().err
+
+    def test_fleet_remote_round_trip(self, tmp_path, capsys):
+        from repro.service.server import AllocationService, start_in_thread
+
+        service = AllocationService(window_s=0.001, campaign_workers=1)
+        csv_path = tmp_path / "remote.csv"
+        with start_in_thread(service) as server:
+            code = main([
+                "fleet", "--remote", f"127.0.0.1:{server.port}",
+                "--hours", "24", "--alphas", "1.0", "--baselines", "DP1",
+                "--csv", str(csv_path),
+            ])
+        service.close()
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "simulated remotely" in output
+        assert "REAP" in output
+        assert csv_path.read_text().count("\n") == 3  # header + 2 cells

@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.design_point import DesignPoint
 from repro.core.objective import (
     accuracy_weights,
     active_time_fraction,

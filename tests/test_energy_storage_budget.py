@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.data.paper_constants import ACTIVITY_PERIOD_S, OFF_STATE_POWER_W

@@ -28,7 +28,6 @@ from repro.har.features.statistical import (
     statistical_features,
     statistical_features_multichannel,
 )
-from repro.har.windows import SensorWindow
 
 
 class TestStatisticalFeatures:

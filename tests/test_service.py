@@ -3,15 +3,20 @@
 Covers the canonical problem encoding (permutation invariance, collision
 freedom), the LRU result cache, the micro-batching coalescer (correctness
 against the scalar allocator plus the edge cases: empty flush, lone request
-on a window timeout, oversize burst splitting) and the full HTTP round trip
+on a window timeout, oversize burst splitting), the full HTTP round trip
 client -> server -> BatchAllocator -> client with nothing beyond the
-standard library.
+standard library, the protocol's error mapping (400 JSON bodies for
+malformed requests, 404 for unknown endpoints -- never a 500 traceback)
+and the campaign endpoints: submit over HTTP, poll, stream chunked
+NDJSON columns back, equal to the local fleet run.
 """
 
 from __future__ import annotations
 
 import asyncio
+import http.client
 import json
+import socket
 
 import numpy as np
 import pytest
@@ -24,8 +29,15 @@ from repro.service.batcher import EngineRegistry, MicroBatcher, solve_batch
 from repro.service.cache import AllocationCache, LatencyRecorder
 from repro.service.client import AllocationClient, ServiceError
 from repro.service.client import main as client_main
-from repro.service.requests import AllocationRequest, AllocationResponse
+from repro.service.requests import (
+    AllocationRequest,
+    AllocationResponse,
+    CampaignRequest,
+    CampaignResponse,
+)
 from repro.service.server import AllocationService, start_in_thread
+from repro.simulation.fleet import FleetCampaign, FleetResult
+from repro.simulation.metrics import CampaignColumns
 
 
 @pytest.fixture(scope="module")
@@ -382,3 +394,336 @@ class TestResponseCodec:
             json.loads(json.dumps(responses[0].to_json_dict()))
         )
         assert decoded == responses[0]
+
+
+class TestHttpErrorMapping:
+    """Malformed traffic gets 400/404 JSON bodies, never a 500 traceback."""
+
+    @pytest.fixture(scope="class")
+    def server(self, points):
+        service = AllocationService(default_points=points, window_s=0.001)
+        handle = start_in_thread(service)
+        yield handle
+        handle.stop()
+        service.close()
+
+    def _raw(self, server, payload: bytes):
+        """Send raw bytes, return (status, decoded JSON body)."""
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=5.0
+        ) as sock:
+            sock.sendall(payload)
+            sock.shutdown(socket.SHUT_WR)
+            raw = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                raw += chunk
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status = int(head.split()[1])
+        return status, json.loads(body.decode("utf-8"))
+
+    def test_malformed_json_body_is_400_with_json_error(self, server):
+        body = b'{"energy_budget_j": 5.0'  # truncated JSON
+        payload = (
+            b"POST /allocate HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode("ascii")
+            + body
+        )
+        status, error = self._raw(server, payload)
+        assert status == 400
+        assert "invalid JSON body" in error["error"]
+
+    def test_body_shorter_than_content_length_is_400(self, server):
+        body = b'{"energy_budget_j": 5.0}'
+        payload = (
+            b"POST /allocate HTTP/1.1\r\n"
+            + f"Content-Length: {len(body) + 64}\r\n\r\n".encode("ascii")
+            + body
+        )
+        status, error = self._raw(server, payload)
+        assert status == 400
+        assert "Content-Length" in error["error"]
+
+    def test_negative_content_length_is_400(self, server):
+        payload = b"POST /allocate HTTP/1.1\r\nContent-Length: -5\r\n\r\n"
+        status, error = self._raw(server, payload)
+        assert status == 400
+        assert "Content-Length" in error["error"]
+
+    def test_non_object_json_body_is_400(self, server):
+        body = b"[1, 2, 3]"
+        payload = (
+            b"POST /allocate HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode("ascii")
+            + body
+        )
+        status, error = self._raw(server, payload)
+        assert status == 400
+        assert "object" in error["error"]
+
+    def test_unknown_endpoint_is_404_with_json_error(self, server):
+        status, error = self._raw(server, b"GET /no/such/endpoint HTTP/1.1\r\n\r\n")
+        assert status == 404
+        assert "/no/such/endpoint" in error["error"]
+
+    def test_malformed_request_line_is_400(self, server):
+        status, error = self._raw(server, b"NONSENSE\r\n\r\n")
+        assert status == 400
+        assert "error" in error
+
+
+class TestCampaignCodecs:
+    def test_campaign_request_round_trip(self):
+        request = CampaignRequest(
+            alphas=(1.0, 2.0), baselines=("DP1",), exposure_factors=(0.05,),
+            month=3, seed=7, hours=24, use_battery=False,
+        )
+        decoded = CampaignRequest.from_json_dict(
+            json.loads(json.dumps(request.to_json_dict()))
+        )
+        assert decoded == request
+        assert decoded.num_cells == 4
+
+    def test_campaign_request_validation(self):
+        with pytest.raises(ValueError, match="alpha"):
+            CampaignRequest(alphas=())
+        with pytest.raises(ValueError, match="exposure"):
+            CampaignRequest(exposure_factors=(-0.1,))
+        with pytest.raises(ValueError, match="month"):
+            CampaignRequest(month=13)
+        with pytest.raises(ValueError, match="hours"):
+            CampaignRequest(hours=0)
+        with pytest.raises(ValueError, match="unknown campaign request"):
+            CampaignRequest.from_json_dict({"budget": 5.0})
+
+    def test_campaign_response_round_trip(self):
+        response = CampaignResponse(
+            campaign_id="c9", status="done", cells=2, trace_hours=48,
+            scenario_labels=("exposure=0.032",),
+            policy_names=("REAP", "Static-DP1"), alphas=(1.0, 1.0),
+            summary=({"policy": "REAP", "mean_objective": 0.5},),
+        )
+        decoded = CampaignResponse.from_json_dict(
+            json.loads(json.dumps(response.to_json_dict()))
+        )
+        assert decoded == response
+        assert decoded.finished
+
+    def test_campaign_response_rejects_unknown_status(self):
+        with pytest.raises(ValueError, match="status"):
+            CampaignResponse(
+                campaign_id="c1", status="exploded", cells=1, trace_hours=1
+            )
+
+    def test_columns_json_round_trip_is_lossless(self):
+        request = CampaignRequest(hours=24, alphas=(1.0,), baselines=())
+        scenarios, labels, policies, trace, config = request.build()
+        result = FleetCampaign(scenarios, config, scenario_labels=labels).run(
+            policies, trace
+        )
+        columns = result.result(0).columns
+        decoded = CampaignColumns.from_json_dict(
+            json.loads(json.dumps(columns.to_json_dict()))
+        )
+        np.testing.assert_array_equal(
+            decoded.objective_value, columns.objective_value
+        )
+        np.testing.assert_array_equal(
+            decoded.times_by_design_point_s, columns.times_by_design_point_s
+        )
+        assert decoded.design_point_names == columns.design_point_names
+        assert np.array_equal(decoded.period_index, columns.period_index)
+
+
+class TestCampaignHttp:
+    """Submit over HTTP, poll, stream chunked columns, match the local run."""
+
+    REQUEST = CampaignRequest(hours=48, alphas=(1.0, 2.0), baselines=("DP1",))
+
+    @pytest.fixture(scope="class")
+    def server(self, points):
+        service = AllocationService(
+            default_points=points, window_s=0.001, workers=2,
+            campaign_workers=2,
+        )
+        handle = start_in_thread(service)
+        yield handle
+        handle.stop()
+        service.close()
+
+    @pytest.fixture(scope="class")
+    def client(self, server):
+        return AllocationClient(port=server.port, timeout_s=120.0)
+
+    @pytest.fixture(scope="class")
+    def finished(self, client):
+        """One campaign driven to completion, shared by the tests below."""
+        submitted = client.submit_campaign(self.REQUEST)
+        status = client.wait_for_campaign(submitted.campaign_id, timeout_s=120)
+        return submitted, status
+
+    def test_submit_returns_pending_id(self, finished):
+        submitted, _ = finished
+        assert submitted.campaign_id
+        assert submitted.status in ("pending", "running")
+        assert submitted.cells == self.REQUEST.num_cells
+
+    def test_polled_status_carries_summary(self, finished):
+        _, status = finished
+        assert status.status == "done"
+        assert status.cells == self.REQUEST.num_cells
+        assert status.trace_hours == 48
+        assert len(status.summary) == status.cells
+        assert {entry["policy"] for entry in status.summary} == {
+            "REAP", "Static-DP1",
+        }
+
+    def test_streamed_columns_match_local_fleet_run(self, client, finished):
+        submitted, _ = finished
+        remote = client.campaign_result(submitted.campaign_id)
+        scenarios, labels, policies, trace, config = self.REQUEST.build()
+        local = FleetCampaign(scenarios, config, scenario_labels=labels).run(
+            policies, trace
+        )
+        assert remote.policy_names == local.policy_names
+        for scenario_index, policy_index, cell in remote:
+            reference = local.result(policy_index, scenario_index)
+            np.testing.assert_allclose(
+                cell.objective_values(),
+                reference.objective_values(),
+                atol=1e-9,
+            )
+            np.testing.assert_allclose(
+                cell.battery_charge_j, reference.battery_charge_j, atol=1e-9
+            )
+            assert abs(
+                cell.total_energy_consumed_j
+                - reference.total_energy_consumed_j
+            ) <= 1e-9
+
+    def test_stream_is_chunked_ndjson(self, server, finished):
+        submitted, _ = finished
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=30.0
+        )
+        try:
+            connection.request(
+                "GET", f"/campaign/{submitted.campaign_id}/columns"
+            )
+            response = connection.getresponse()
+            assert response.status == 200
+            assert response.getheader("Transfer-Encoding") == "chunked"
+            assert response.getheader("Content-Type") == "application/x-ndjson"
+            lines = [line for line in response if line.strip()]
+        finally:
+            connection.close()
+        meta = json.loads(lines[0])
+        assert meta["trace_hours"] == 48
+        assert len(lines) == 1 + self.REQUEST.num_cells
+
+    def test_unknown_campaign_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.campaign_status("nope")
+        assert excinfo.value.status == 404
+
+    def test_columns_before_done_is_409(self, client, points):
+        # A fresh submission is pending/running for at least a moment.
+        submitted = client.submit_campaign(
+            CampaignRequest(hours=400, alphas=(1.0,), baselines=("DP1", "DP3"))
+        )
+        try:
+            client.campaign_result(submitted.campaign_id)
+        except ServiceError as error:
+            assert error.status == 409
+        else:  # pragma: no cover - tiny race, but the stream must be valid
+            pass
+        client.wait_for_campaign(submitted.campaign_id, timeout_s=120)
+
+    def test_invalid_campaign_request_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._call("POST", "/campaign", {"alphas": []})
+        assert excinfo.value.status == 400
+
+    def test_client_cli_campaign_round_trip(self, server, capsys):
+        code = client_main(
+            [
+                "--port", str(server.port), "--timeout", "120",
+                "campaign", "run", "--hours", "24",
+                "--alphas", "1", "--baselines", "DP1",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "done"
+        assert payload["cells"] == 2
+        code = client_main(
+            [
+                "--port", str(server.port), "--timeout", "120",
+                "campaign", "columns", payload["campaign_id"],
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1 + payload["cells"]
+        assert json.loads(lines[0])["trace_hours"] == 24
+
+    def test_fleet_result_from_payloads_refuses_partial_grids(self):
+        meta = {
+            "scenario_labels": ["S0"], "policy_names": ["A", "B"],
+            "alphas": [1.0, 1.0], "trace_hours": 4,
+        }
+        with pytest.raises(ValueError, match="unfilled"):
+            FleetResult.from_payloads(meta, [])
+
+
+class TestCampaignHousekeeping:
+    def test_finished_campaigns_evicted_beyond_cap(self, points):
+        async def scenario():
+            service = AllocationService(
+                default_points=points, campaign_workers=1, max_campaigns=2
+            )
+            request = CampaignRequest(hours=4, alphas=(1.0,), baselines=())
+            jobs = []
+            for _ in range(3):
+                submitted = await service.submit_campaign(request)
+                # Sequential completion keeps the eviction order
+                # deterministic: the oldest finished job goes first.
+                await service.campaign(submitted.campaign_id).task
+                jobs.append(submitted)
+            retained = [
+                job.campaign_id for job in jobs
+                if job.campaign_id in service._campaigns
+            ]
+            service.close()
+            return jobs, retained
+
+        jobs, retained = asyncio.run(scenario())
+        assert retained == [jobs[1].campaign_id, jobs[2].campaign_id]
+
+    def test_max_campaigns_validation(self, points):
+        with pytest.raises(ValueError, match="max_campaigns"):
+            AllocationService(default_points=points, max_campaigns=0)
+
+    def test_campaign_simulates_the_service_design_points(self, points):
+        subset = tuple(points[:3])  # DP1..DP3 hardware only
+
+        async def scenario():
+            service = AllocationService(
+                default_points=subset, campaign_workers=1
+            )
+            submitted = await service.submit_campaign(
+                CampaignRequest(hours=4, alphas=(1.0,), baselines=("DP2",))
+            )
+            await service.campaign(submitted.campaign_id).task
+            job = service.campaign(submitted.campaign_id)
+            assert job.status == "done", job.error
+            result = job.result
+            service.close()
+            return result
+
+        result = asyncio.run(scenario())
+        columns = result.result(0).columns
+        assert set(columns.design_point_names) == {dp.name for dp in subset}
