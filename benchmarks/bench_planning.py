@@ -1,0 +1,149 @@
+"""Benchmark of the vectorized planning scan (repro.planning.scan).
+
+Runs a month-long closed-loop planning fleet -- four wearable-exposure
+scenarios x six forecast-driven policies (horizon-average and
+receding-horizon MPC, each against perfect, persistence and noisy-oracle
+forecasts) -- twice: once through the scalar planning reference (one
+Python iteration per hour per cell, per-period LP solves, the MPC's
+horizon plan re-solved with one ``solve_arrays`` broadcast per step) and
+once through the vectorized :class:`~repro.planning.scan.PlanScan` inside
+:class:`~repro.simulation.fleet.FleetCampaign` (one budget/charge vector
+per planner group covering every cell, consumption-curve lookups, one
+batched allocation solve per cell).
+
+Both paths must agree to 1e-9 on every per-period objective and on the
+battery trajectories, and the plan scan must be at least 10x faster.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from _bench_utils import emit
+from repro.analysis.experiments import ExperimentResult
+from repro.harvesting.solar import SyntheticSolarModel
+from repro.harvesting.solar_cell import HarvestScenario, SolarCellModel
+from repro.harvesting.traces import SolarTrace
+from repro.simulation.fleet import CampaignConfig, FleetCampaign
+from repro.simulation.policies import PlanningPolicy
+from repro.simulation.simulator import HarvestingCampaign
+
+MONTH = 9
+SEED = 2015
+ALPHA = 1.0
+EXPOSURES = (0.024, 0.032, 0.045, 0.06)
+REQUIRED_SPEEDUP = 10.0
+#: 0 means the whole month; the CI bench-gate truncates the trace.
+BENCH_HOURS = int(os.environ.get("REPRO_BENCH_PLANNING_HOURS", "0"))
+#: Lookahead window; the CI bench-gate can shrink it with the trace.
+HORIZON = int(os.environ.get("REPRO_BENCH_PLANNING_HORIZON", "24"))
+
+
+def _policies(points):
+    return [
+        PlanningPolicy(
+            points,
+            planner=planner,
+            horizon_periods=HORIZON,
+            forecast=forecast,
+            alpha=ALPHA,
+        )
+        for planner in ("horizon", "mpc")
+        for forecast in ("perfect", "persistence", "noisy")
+    ]
+
+
+def _scenarios():
+    return [
+        HarvestScenario(cell=SolarCellModel(exposure_factor=factor))
+        for factor in EXPOSURES
+    ]
+
+
+def _config():
+    return CampaignConfig(use_battery=True, battery_capacity_j=80.0)
+
+
+def _run_fleet(points, trace):
+    """All (scenario x policy) cells through one vectorized fleet run."""
+    fleet = FleetCampaign(_scenarios(), _config())
+    return fleet.run(_policies(points), trace)
+
+
+def _run_scalar(points, trace):
+    """The same grid through the scalar planning reference, cell by cell."""
+    grid = []
+    policies = _policies(points)
+    for scenario in _scenarios():
+        campaign = HarvestingCampaign(scenario, _config(), engine="scalar")
+        grid.append([campaign.run(policy, trace) for policy in policies])
+    return grid
+
+
+@pytest.mark.benchmark(group="planning")
+def test_plan_scan_speedup_over_scalar_reference(output_dir, published_points):
+    """Month x 4 scenarios x 6 planning policies: scan vs scalar, >= 10x."""
+    points = tuple(published_points)
+    trace = SyntheticSolarModel(seed=SEED).generate_month(MONTH)
+    if BENCH_HOURS:
+        trace = SolarTrace(trace.hours[:BENCH_HOURS], name=trace.name)
+    num_cells = len(trace) * len(EXPOSURES) * 6
+
+    # Same protocol as the fleet benchmark: warm-up, then best of three.
+    scan_result = _run_fleet(points, trace)  # warm-up (engine caches)
+    scan_s = min(_timed(lambda: _run_fleet(points, trace))[0] for _ in range(3))
+
+    scalar_grid = _run_scalar(points, trace)  # warm-up
+    scalar_s = min(
+        _timed(lambda: _run_scalar(points, trace))[0] for _ in range(3)
+    )
+
+    for scenario_index, row in enumerate(scalar_grid):
+        for policy_index, scalar_cell in enumerate(row):
+            scan_cell = scan_result.result(policy_index, scenario_index)
+            np.testing.assert_allclose(
+                scan_cell.objective_values(),
+                scalar_cell.objective_values(),
+                rtol=1e-9,
+                atol=1e-9,
+            )
+            np.testing.assert_allclose(
+                scan_cell.battery_charge_j,
+                scalar_cell.battery_charge_j,
+                rtol=0,
+                atol=1e-9,
+            )
+    speedup = scalar_s / scan_s
+
+    result = ExperimentResult(
+        name=(
+            f"Planning scan vs scalar reference: {len(trace)} hours x "
+            f"{len(EXPOSURES)} scenarios x 6 planning policies, "
+            f"{HORIZON}-period lookahead"
+        ),
+        headers=["engine", "policy_periods", "total_ms", "per_period_us",
+                 "speedup_x"],
+        rows=[
+            ["scalar reference", num_cells, scalar_s * 1e3,
+             scalar_s / num_cells * 1e6, 1.0],
+            ["plan scan", num_cells, scan_s * 1e3,
+             scan_s / num_cells * 1e6, speedup],
+        ],
+        extras={"speedup": speedup},
+    )
+    emit(result, output_dir, "planning.csv")
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"vectorized planning scan is only {speedup:.1f}x faster than the "
+        f"scalar reference (required {REQUIRED_SPEEDUP:.0f}x)"
+    )
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value

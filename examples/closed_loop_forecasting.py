@@ -1,90 +1,107 @@
-"""Closed-loop operation: forecast the harvest, budget through a battery.
+"""Closed-loop operation: forecast the harvest, plan budgets over a horizon.
 
 The paper assumes the energy budget of each activity period is handed to
-REAP by an energy-allocation layer.  This example builds that layer end to
-end for a three-day scenario:
+REAP by an energy-allocation layer.  This example builds that layer with
+the :mod:`repro.planning` subsystem for a three-day scenario:
 
 1. a synthetic solar trace is turned into per-hour harvested energy,
-2. an EWMA forecaster predicts the coming day's harvest from what it has
-   seen so far,
-3. a horizon allocator spreads the predicted energy (plus a battery reserve)
-   over the next 24 hours, so the device keeps monitoring at night,
-4. REAP turns each hourly budget into a design-point schedule, and the
-   battery absorbs the difference between the forecast and reality.
+2. forecast providers predict the coming hours (a perfect oracle, a
+   yesterday-equals-today persistence model and a noisy oracle),
+3. horizon planners turn each lookahead window plus the battery state into
+   the hour's budget -- the closed-form horizon-average allocator and the
+   receding-horizon MPC planner that re-solves the REAP LP over the whole
+   window in one broadcast ``solve_arrays`` call per step,
+4. REAP turns every budget into a design-point schedule while the battery
+   absorbs the difference between the forecast and reality.
 
-It also prints the marginal value of energy for a few representative hours --
-the LP sensitivity that tells the allocation layer which hours are starved.
+All planning policies and the harvest-following REAP baseline run through
+one vectorized :class:`~repro.simulation.fleet.FleetCampaign`, so the
+whole comparison is a single lockstep scan.  The same policies work with
+``repro plan``, ``repro fleet --planners`` and the allocation service's
+campaign endpoints.
 
-Run with:  python examples/closed_loop_forecasting.py
+Run with:  python examples/closed_loop_forecasting.py [--hours 72]
 """
 
 from __future__ import annotations
 
-from repro import ReapController, ReapProblem, table2_design_points
+import argparse
+
+import numpy as np
+
+from repro import table2_design_points
 from repro.analysis import format_table
-from repro.core.sensitivity import energy_starvation_level, marginal_value_of_energy
-from repro.energy.battery import Battery
-from repro.energy.budget import HorizonAverageAllocator
-from repro.harvesting import EwmaForecaster, HarvestScenario, SyntheticSolarModel
+from repro.harvesting import HarvestScenario, SyntheticSolarModel
+from repro.harvesting.traces import SolarTrace
+from repro.planning import PersistenceForecast
+from repro.simulation.fleet import CampaignConfig, FleetCampaign
+from repro.simulation.policies import PlanningPolicy, ReapPolicy
 
 
 def main() -> None:
-    design_points = table2_design_points()
-    scenario = HarvestScenario()
-    trace = SyntheticSolarModel(seed=21).generate_days(first_day_of_year=244, num_days=3)
-    harvests = scenario.budgets_from_trace(trace)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=int, default=72,
+                        help="length of the study (default: three days)")
+    parser.add_argument("--horizon", type=int, default=24,
+                        help="planning lookahead in hours")
+    args = parser.parse_args()
 
-    battery = Battery(capacity_j=120.0, initial_charge_j=40.0,
-                      charge_efficiency=0.9, discharge_efficiency=0.95)
-    allocator = HorizonAverageAllocator(battery, horizon_periods=24)
-    forecaster = EwmaForecaster(periods_per_day=24, smoothing=0.4)
-    controller = ReapController(design_points, alpha=1.0)
+    points = table2_design_points()
+    scenario = HarvestScenario()
+    trace = SyntheticSolarModel(seed=21).generate_month(9)
+    trace = SolarTrace(trace.hours[: args.hours], name=trace.name)
+
+    policies = [
+        PlanningPolicy(points, planner="horizon",
+                       horizon_periods=args.horizon, forecast="perfect"),
+        PlanningPolicy(points, planner="horizon",
+                       horizon_periods=args.horizon, forecast="persistence"),
+        PlanningPolicy(points, planner="mpc",
+                       horizon_periods=args.horizon, forecast="persistence"),
+        PlanningPolicy(points, planner="mpc",
+                       horizon_periods=args.horizon, forecast="noisy",
+                       forecast_noise=0.3),
+        ReapPolicy(points),  # harvest-following baseline
+    ]
+    config = CampaignConfig(use_battery=True, battery_capacity_j=120.0,
+                            battery_initial_j=40.0)
+    result = FleetCampaign(scenario, config).run(policies, trace)
 
     rows = []
-    for day in range(3):
-        day_slice = slice(day * 24, (day + 1) * 24)
-        day_harvest = harvests[day_slice]
-        forecast = forecaster.forecast(24)
-        budgets = allocator.allocate(forecast)
-
-        for hour, (harvest, budget) in enumerate(zip(day_harvest, budgets)):
-            allocation = controller.allocate(budget)
-            consumed = min(allocation.energy_j, budget)
-            # Settle against the battery: bank surplus harvest, cover deficits.
-            if harvest >= consumed:
-                battery.charge(harvest - consumed)
-            else:
-                battery.discharge(consumed - harvest)
-            forecaster.observe(harvest)
-
-            if hour in (3, 9, 12, 15, 21):
-                problem = ReapProblem(tuple(design_points), energy_budget_j=budget)
-                rows.append(
-                    [
-                        f"d{day}h{hour:02d}",
-                        harvest,
-                        budget,
-                        allocation.expected_accuracy * 100.0,
-                        allocation.active_time_s / 60.0,
-                        battery.state_of_charge * 100.0,
-                        energy_starvation_level(problem),
-                        marginal_value_of_energy(problem),
-                    ]
-                )
-
+    for cell in result.cell_summaries():
+        rows.append([
+            cell["policy"],
+            cell["mean_expected_accuracy"] * 100.0,
+            cell["active_hours"],
+            cell["energy_j"],
+            cell["recognition_rate"] * 100.0,
+            cell["final_battery_j"],
+        ])
     print(format_table(
-        ["hour", "harvest J", "budget J", "expected acc %", "active min",
-         "battery %", "regime", "dJ/dE (1/J)"],
+        ["policy", "expected acc %", "active h", "energy J",
+         "recognition %", "final battery J"],
         rows,
-        title="Closed-loop REAP with harvest forecasting and a battery",
+        title=(
+            f"Closed-loop REAP with harvest forecasting and a battery "
+            f"({len(trace)} hours, {args.horizon}-hour lookahead)"
+        ),
     ))
 
-    accuracies = [d.allocation.expected_accuracy for d in controller.decisions]
-    active_hours = sum(d.allocation.active_time_s for d in controller.decisions) / 3600.0
+    # How wrong was the persistence forecaster hour by hour?
+    harvest = scenario.budget_array(trace)
+    matrix = PersistenceForecast().matrix(harvest, horizon=1)
+    errors = matrix[:, 0] - harvest
     print(
-        f"\nThree-day summary: mean expected accuracy {sum(accuracies) / len(accuracies):.1%}, "
-        f"active {active_hours:.1f} h of {len(accuracies)} h, "
-        f"final battery charge {battery.charge_j:.1f} J."
+        f"\nPersistence forecast error over {len(trace)} hours: "
+        f"MAE {np.mean(np.abs(errors)):.2f} J, bias {np.mean(errors):+.2f} J."
+    )
+
+    best = max(result.cell_summaries(), key=lambda c: c["mean_objective"])
+    baseline = result.results()["REAP"]
+    print(
+        f"{len(trace)}-hour summary: best policy {best['policy']} at mean "
+        f"objective {best['mean_objective']:.3f} vs harvest-following REAP "
+        f"at {baseline.mean_objective:.3f}."
     )
 
 

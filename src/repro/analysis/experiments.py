@@ -51,7 +51,7 @@ from repro.harvesting.solar_cell import HarvestScenario, SolarCellModel
 from repro.harvesting.traces import SolarTrace
 from repro.simulation.fleet import FleetCampaign
 from repro.simulation.metrics import compare_campaigns
-from repro.simulation.policies import ReapPolicy, StaticPolicy
+from repro.simulation.policies import PlanningPolicy, ReapPolicy, StaticPolicy
 from repro.simulation.simulator import CampaignConfig, HarvestingCampaign
 
 
@@ -412,19 +412,35 @@ def run_fleet_campaign_experiment(
     hours: Optional[int] = None,
     use_battery: bool = True,
     jobs: int = 1,
+    planners: Sequence[str] = (),
+    horizon_periods: int = 24,
+    forecast: str = "perfect",
+    forecast_noise: float = 0.2,
+    forecast_seed: int = 7,
 ) -> ExperimentResult:
     """Fleet study: (scenario x policy x alpha) campaign grid in one run.
 
     Sweeps wearable exposure-factor scenario variants against the REAP
     policy plus static baselines at every alpha, all simulated by the
     vectorized :class:`~repro.simulation.fleet.FleetCampaign` engine --
-    closed-loop cells share a single lockstep battery scan.  One row per
-    (scenario, policy) cell.  ``jobs > 1`` shards the grid across worker
-    processes via :func:`repro.service.shard.run_sharded_campaign`; the
-    merged rows match the single-process run to floating-point round-off.
+    closed-loop cells share a single lockstep battery scan.  ``planners``
+    adds one forecast-driven
+    :class:`~repro.simulation.policies.PlanningPolicy` per named planner
+    (``"horizon"`` / ``"mpc"``) at every alpha, all using the given
+    lookahead and forecast provider.  One row per (scenario, policy) cell.
+    ``jobs > 1`` shards the grid across worker processes via
+    :func:`repro.service.shard.run_sharded_campaign`; the merged rows match
+    the single-process run to floating-point round-off.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be at least 1, got {jobs}")
+    if planners and not use_battery:
+        # Open-loop budgets are the harvest itself -- a planning policy
+        # would silently collapse to plain REAP and mislabel its rows.
+        raise ValueError(
+            "planning policies need a battery to plan against; drop the "
+            "planners or run the fleet study closed-loop"
+        )
     points = tuple(design_points) if design_points else tuple(table2_design_points())
     trace = SyntheticSolarModel(seed=seed).generate_month(month)
     if hours is not None:
@@ -444,6 +460,18 @@ def run_fleet_campaign_experiment(
         policies.append(ReapPolicy(points, alpha=alpha))
         policies.extend(
             StaticPolicy(points, name, alpha=alpha) for name in baselines
+        )
+        policies.extend(
+            PlanningPolicy(
+                points,
+                planner=planner,
+                horizon_periods=horizon_periods,
+                forecast=forecast,
+                forecast_noise=forecast_noise,
+                forecast_seed=forecast_seed,
+                alpha=alpha,
+            )
+            for planner in planners
         )
 
     if jobs > 1:
@@ -531,6 +559,67 @@ def fleet_experiment_result(
             "use_battery": use_battery,
             "jobs": jobs,
         },
+    )
+
+
+def run_plan_experiment(
+    design_points: Optional[Sequence[DesignPoint]] = None,
+    planner: str = "horizon",
+    horizon_periods: int = 24,
+    forecasts: Sequence[str] = ("perfect", "persistence", "noisy"),
+    forecast_noise: float = 0.2,
+    forecast_seed: int = 7,
+    alpha: float = 1.0,
+    exposure_factor: float = 0.032,
+    month: int = 9,
+    seed: int = 2015,
+    hours: Optional[int] = None,
+    battery_capacity_j: float = 60.0,
+) -> ExperimentResult:
+    """Single-device horizon study: planned vs harvest-following budgets.
+
+    Runs one closed-loop scenario with one
+    :class:`~repro.simulation.policies.PlanningPolicy` per forecast kind
+    (so forecast-error sensitivity reads off one table) next to the
+    harvest-following REAP baseline, all sharing one vectorized fleet run.
+    One row per policy.
+    """
+    if not forecasts:
+        raise ValueError("plan study needs at least one forecast kind")
+    points = tuple(design_points) if design_points else tuple(table2_design_points())
+    trace = SyntheticSolarModel(seed=seed).generate_month(month)
+    if hours is not None:
+        if not 1 <= hours <= len(trace):
+            raise ValueError(f"hours must be in [1, {len(trace)}], got {hours}")
+        trace = SolarTrace(trace.hours[:hours], name=trace.name)
+    scenario = HarvestScenario(cell=SolarCellModel(exposure_factor=exposure_factor))
+    policies: List[object] = [
+        PlanningPolicy(
+            points,
+            planner=planner,
+            horizon_periods=horizon_periods,
+            forecast=kind,
+            forecast_noise=forecast_noise,
+            forecast_seed=forecast_seed,
+            alpha=alpha,
+        )
+        for kind in forecasts
+    ]
+    policies.append(ReapPolicy(points, alpha=alpha))
+    fleet = FleetCampaign(
+        scenario,
+        CampaignConfig(use_battery=True, battery_capacity_j=battery_capacity_j),
+        scenario_labels=[f"exposure={exposure_factor:g}"],
+    )
+    result = fleet.run(policies, trace)
+    return fleet_experiment_result(
+        result,
+        name=(
+            f"Planning study: {planner} planner, {horizon_periods}-period "
+            f"lookahead, {len(forecasts)} forecast(s) vs harvest-following "
+            f"REAP over {len(trace)} hours"
+        ),
+        use_battery=True,
     )
 
 

@@ -38,6 +38,7 @@ from repro.analysis.experiments import (
     run_offloading_experiment,
     run_pareto_subset_ablation,
     run_pivot_rule_ablation,
+    run_plan_experiment,
     run_solver_scaling_experiment,
     run_table2_experiment,
 )
@@ -48,6 +49,7 @@ from repro.core.batch import BatchAllocator
 from repro.core.problem import ReapProblem
 from repro.data.table2 import table2_design_points
 from repro.har.classifier.train import TrainingConfig
+from repro.planning import FORECAST_KINDS, PLANNER_KINDS
 
 
 #: Registry of named experiments runnable from the command line.  Each entry
@@ -108,8 +110,11 @@ def _dispatch_experiment(name: str, args: argparse.Namespace) -> ExperimentResul
 COMMANDS: Dict[str, str] = {
     "allocate": "solve a single one-hour allocation",
     "sweep": "objective sweep over budgets (batch or scalar engine)",
-    "fleet": "closed-loop fleet study; --jobs N shards the grid across "
+    "fleet": "closed-loop fleet study; --planners adds forecast-driven "
+             "planning policies, --jobs N shards the grid across "
              "processes, --remote HOST:PORT submits it to a service",
+    "plan": "single-device horizon study: forecast-driven planning "
+            "(horizon-average or MPC) vs harvest-following REAP",
     "serve": "run the JSON-over-HTTP allocation service (micro-batching + "
              "cache + worker pool + campaign endpoints)",
 }
@@ -187,6 +192,11 @@ def _command_fleet_remote(args: argparse.Namespace) -> int:
         seed=args.seed,
         hours=args.hours,
         use_battery=not args.open_loop,
+        planners=tuple(args.planners),
+        horizon_periods=args.horizon,
+        forecast=args.forecast,
+        forecast_noise=args.forecast_noise,
+        forecast_seed=args.forecast_seed,
     )
     client = AllocationClient(host=host or "127.0.0.1", port=port_number)
     try:
@@ -216,6 +226,13 @@ def _command_fleet_remote(args: argparse.Namespace) -> int:
 
 
 def _command_fleet(args: argparse.Namespace) -> int:
+    if args.planners and args.open_loop:
+        print(
+            "--planners needs the closed-loop battery to plan against; "
+            "drop --open-loop or the planners",
+            file=sys.stderr,
+        )
+        return 2
     if args.remote:
         if args.jobs != 1:
             print(
@@ -234,6 +251,11 @@ def _command_fleet(args: argparse.Namespace) -> int:
         hours=args.hours,
         use_battery=not args.open_loop,
         jobs=args.jobs,
+        planners=args.planners,
+        horizon_periods=args.horizon,
+        forecast=args.forecast,
+        forecast_noise=args.forecast_noise,
+        forecast_seed=args.forecast_seed,
     )
     print(result.to_text())
     engine = (
@@ -241,6 +263,31 @@ def _command_fleet(args: argparse.Namespace) -> int:
         else "fleet engine"
     )
     print(f"\n{result.extras['num_cells']} campaign cells simulated by the {engine}")
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"rows written to {args.csv}")
+    return 0
+
+
+def _command_plan(args: argparse.Namespace) -> int:
+    result = run_plan_experiment(
+        planner=args.planner,
+        horizon_periods=args.horizon,
+        forecasts=args.forecasts,
+        forecast_noise=args.forecast_noise,
+        forecast_seed=args.forecast_seed,
+        alpha=args.alpha,
+        exposure_factor=args.exposure,
+        month=args.month,
+        seed=args.seed,
+        hours=args.hours,
+        battery_capacity_j=args.battery,
+    )
+    print(result.to_text())
+    print(
+        f"\n{result.extras['num_cells']} closed-loop cells simulated by the "
+        "planning scan (last row: harvest-following REAP baseline)"
+    )
     if args.csv:
         result.to_csv(args.csv)
         print(f"rows written to {args.csv}")
@@ -358,6 +405,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="spend-what-you-harvest budgets instead of the battery scan",
     )
     fleet_parser.add_argument(
+        "--planners", nargs="*", choices=PLANNER_KINDS, default=[],
+        metavar="PLANNER",
+        help="forecast-driven planning policies to add at every alpha "
+             f"(closed loop only; choices: {', '.join(PLANNER_KINDS)})",
+    )
+    fleet_parser.add_argument(
+        "--horizon", type=int, default=24,
+        help="lookahead window of the planning policies, in periods",
+    )
+    fleet_parser.add_argument(
+        "--forecast", choices=FORECAST_KINDS, default="perfect",
+        help="forecast provider feeding the planning policies",
+    )
+    fleet_parser.add_argument(
+        "--forecast-noise", type=float, default=0.2,
+        help="noise scale of the noisy-oracle forecast",
+    )
+    fleet_parser.add_argument(
+        "--forecast-seed", type=int, default=7,
+        help="RNG seed of the noisy-oracle forecast",
+    )
+    fleet_parser.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for the campaign grid (1: in-process fleet "
              "engine; N: shard via repro.service.shard)",
@@ -370,6 +439,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet_parser.add_argument("--csv", default=None,
                               help="also write rows to this CSV file")
+
+    plan_parser = subparsers.add_parser(
+        "plan",
+        help="single-device horizon study: forecast-driven planning vs "
+             "harvest-following REAP",
+    )
+    plan_parser.add_argument(
+        "--planner", choices=PLANNER_KINDS, default="horizon",
+        help="budget planner: closed-form horizon average or receding-"
+             "horizon MPC",
+    )
+    plan_parser.add_argument(
+        "--horizon", type=int, default=24,
+        help="lookahead window in periods",
+    )
+    plan_parser.add_argument(
+        "--forecasts", nargs="+", choices=FORECAST_KINDS,
+        default=list(FORECAST_KINDS),
+        help="forecast providers to compare (one policy per provider)",
+    )
+    plan_parser.add_argument(
+        "--forecast-noise", type=float, default=0.2,
+        help="noise scale of the noisy-oracle forecast",
+    )
+    plan_parser.add_argument(
+        "--forecast-seed", type=int, default=7,
+        help="RNG seed of the noisy-oracle forecast",
+    )
+    plan_parser.add_argument("--alpha", type=float, default=1.0)
+    plan_parser.add_argument(
+        "--exposure", type=float, default=0.032,
+        help="wearable exposure factor of the harvest scenario",
+    )
+    plan_parser.add_argument("--month", type=int, default=9,
+                             help="calendar month of the synthetic trace")
+    plan_parser.add_argument("--seed", type=int, default=2015,
+                             help="solar trace seed")
+    plan_parser.add_argument(
+        "--hours", type=int, default=None,
+        help="truncate the trace to this many hours (default: whole month)",
+    )
+    plan_parser.add_argument(
+        "--battery", type=float, default=60.0,
+        help="battery capacity in joules",
+    )
+    plan_parser.add_argument("--csv", default=None,
+                             help="also write rows to this CSV file")
 
     serve_parser = subparsers.add_parser(
         "serve",
@@ -438,6 +554,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "allocate": _command_allocate,
         "sweep": _command_sweep,
         "fleet": _command_fleet,
+        "plan": _command_plan,
         "serve": _command_serve,
     }
     if args.command is None:

@@ -328,7 +328,11 @@ class StackedConsumptionCurves:
         return self._num_devices
 
     def __call__(self, budgets_j: np.ndarray) -> np.ndarray:
-        """Per-device consumption for a (D,) vector of granted budgets."""
+        """Per-device consumption of granted budgets: (..., D) in and out.
+
+        The trailing axis is the device axis; leading axes (e.g. the MPC
+        planner's candidate-budget axis) broadcast through.
+        """
         if len(self._groups) == 1:
             devices, breakpoints, anchors, values, slopes, rows = self._groups[0]
             index = breakpoints.searchsorted(budgets_j, side="right") - 1
@@ -336,12 +340,12 @@ class StackedConsumptionCurves:
             return values[rows, index] + slopes[rows, index] * (
                 budgets_j - anchors[index]
             )
-        consumed = np.empty(self._num_devices)
+        consumed = np.empty(np.shape(budgets_j))
         for devices, breakpoints, anchors, values, slopes, rows in self._groups:
-            budgets = budgets_j[devices]
+            budgets = budgets_j[..., devices]
             index = breakpoints.searchsorted(budgets, side="right") - 1
             index = np.minimum(np.maximum(index, 0), breakpoints.size - 1)
-            consumed[devices] = values[rows, index] + slopes[rows, index] * (
+            consumed[..., devices] = values[rows, index] + slopes[rows, index] * (
                 budgets - anchors[index]
             )
         return consumed

@@ -146,6 +146,15 @@ class HorizonAverageAllocator:
     This mirrors LP-based energy-neutral allocation: over each horizon the
     total consumption equals the total expected harvest, with the battery
     absorbing the within-horizon mismatch.
+
+    .. note::
+        This is the *block-chunked* variant: the forecast is cut into
+        fixed consecutive horizons up front.  The campaign-facing,
+        receding-horizon planner of the same name lives in
+        :class:`repro.planning.horizon.HorizonAverageAllocator` -- its
+        window slides every period, it is battery- and supply-clamped per
+        step, and it runs vectorized over whole fleets.  Import from the
+        package that matches your use case.
     """
 
     def __init__(

@@ -1,0 +1,51 @@
+"""Forecast-driven planning: turn harvest forecasts into allocation plans.
+
+The paper's allocation loop consumes one energy budget per activity period
+and delegates *where budgets come from* to an energy-allocation layer.
+This subsystem is that layer's forward-looking half: forecast providers
+(:mod:`repro.planning.forecasts`) turn harvest traces into lookahead
+matrices, horizon planners (:mod:`repro.planning.horizon`) turn lookaheads
+plus battery state into budgets, and the vectorized
+:class:`~repro.planning.scan.PlanScan` steps whole fleets of planned
+devices in lockstep (:mod:`repro.planning.reference` keeps the scalar
+cross-check).  Planning plugs into campaigns as policies:
+:class:`repro.simulation.policies.PlanningPolicy` is accepted by the fleet
+engine, the ``fleet`` / ``plan`` CLI commands and the allocation service's
+campaign endpoints.
+"""
+
+from repro.planning.forecasts import (
+    FORECAST_KINDS,
+    ForecastProvider,
+    NoisyOracleForecast,
+    PerfectForecast,
+    PersistenceForecast,
+    make_forecast_provider,
+    validate_forecast_kind,
+)
+from repro.planning.horizon import (
+    HorizonAverageAllocator,
+    HorizonPlanner,
+    MpcPlanner,
+    PLANNER_KINDS,
+    PlanBattery,
+    validate_planner_kind,
+)
+from repro.planning.scan import PlanScan
+
+__all__ = [
+    "FORECAST_KINDS",
+    "ForecastProvider",
+    "HorizonAverageAllocator",
+    "HorizonPlanner",
+    "MpcPlanner",
+    "NoisyOracleForecast",
+    "PLANNER_KINDS",
+    "PerfectForecast",
+    "PersistenceForecast",
+    "PlanBattery",
+    "PlanScan",
+    "make_forecast_provider",
+    "validate_forecast_kind",
+    "validate_planner_kind",
+]

@@ -14,6 +14,7 @@ drives a live server with it)::
     python -m repro.service.client --port 8734 campaign status c1
     python -m repro.service.client --port 8734 campaign run --hours 48
     python -m repro.service.client --port 8734 campaign columns c1
+    python -m repro.service.client --port 8734 campaign delete c1
 
 Each command prints the server's JSON reply on stdout and exits non-zero on
 transport or HTTP errors.
@@ -113,6 +114,15 @@ class AllocationClient:
         """``GET /campaign/<id>``: poll one campaign."""
         payload = self._call("GET", f"/campaign/{campaign_id}")
         return CampaignResponse.from_json_dict(payload)
+
+    def delete_campaign(self, campaign_id: str) -> Dict[str, Any]:
+        """``DELETE /campaign/<id>``: drop a finished campaign.
+
+        The server frees the retained result; polling the id afterwards
+        yields 404.  Deleting a still-running campaign raises
+        :class:`ServiceError` (HTTP 409).
+        """
+        return self._call("DELETE", f"/campaign/{campaign_id}")
 
     def wait_for_campaign(
         self,
@@ -232,8 +242,19 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--seed", type=int, default=2015)
         sub.add_argument("--hours", type=int, default=None)
         sub.add_argument("--open-loop", action="store_true")
+        sub.add_argument("--planners", nargs="*", default=[],
+                         help="forecast-driven planning policies to add "
+                              "(horizon and/or mpc)")
+        sub.add_argument("--horizon", type=int, default=24)
+        sub.add_argument("--forecast", default="perfect")
+        sub.add_argument("--forecast-noise", type=float, default=0.2)
+        sub.add_argument("--forecast-seed", type=int, default=7)
     status = verbs.add_parser("status", help="poll one campaign by id")
     status.add_argument("id")
+    delete = verbs.add_parser(
+        "delete", help="delete a finished campaign (it 404s afterwards)"
+    )
+    delete.add_argument("id")
     columns = verbs.add_parser(
         "columns", help="stream a finished campaign's columns as NDJSON"
     )
@@ -251,6 +272,11 @@ def _campaign_request(args: argparse.Namespace) -> CampaignRequest:
         seed=args.seed,
         hours=args.hours,
         use_battery=not args.open_loop,
+        planners=tuple(args.planners),
+        horizon_periods=args.horizon,
+        forecast=args.forecast,
+        forecast_noise=args.forecast_noise,
+        forecast_seed=args.forecast_seed,
     )
 
 
@@ -264,6 +290,8 @@ def _campaign_command(client: AllocationClient, args: argparse.Namespace) -> Any
         return status.to_json_dict()
     if args.verb == "status":
         return client.campaign_status(args.id).to_json_dict()
+    if args.verb == "delete":
+        return client.delete_campaign(args.id)
     # columns: stream the NDJSON lines straight through, one per payload.
     for payload in client.campaign_payloads(args.id):
         print(json.dumps(payload))

@@ -304,8 +304,20 @@ class CampaignRequest:
     seed: int = 2015
     hours: Optional[int] = None
     use_battery: bool = True
+    #: Forecast-driven planning policies added at every alpha: each entry
+    #: is a planner kind (``"horizon"`` / ``"mpc"``); the lookahead and
+    #: forecast settings below are shared by all of them.
+    planners: Tuple[str, ...] = ()
+    horizon_periods: int = 24
+    forecast: str = "perfect"
+    forecast_noise: float = 0.2
+    forecast_seed: int = 7
 
     def __post_init__(self) -> None:
+        # Imported here (not module level) to keep the allocation-only
+        # service path free of the planning stack at import time.
+        from repro.planning import validate_forecast_kind, validate_planner_kind
+
         object.__setattr__(self, "alphas", tuple(float(a) for a in self.alphas))
         object.__setattr__(
             self, "baselines", tuple(str(name) for name in self.baselines)
@@ -314,6 +326,9 @@ class CampaignRequest:
             self,
             "exposure_factors",
             tuple(float(f) for f in self.exposure_factors),
+        )
+        object.__setattr__(
+            self, "planners", tuple(str(name) for name in self.planners)
         )
         if not self.alphas:
             raise ValueError("campaign needs at least one alpha")
@@ -329,11 +344,27 @@ class CampaignRequest:
             raise ValueError(f"month must be in [1, 12], got {self.month}")
         if self.hours is not None and self.hours < 1:
             raise ValueError(f"hours must be at least 1, got {self.hours}")
+        for planner in self.planners:
+            validate_planner_kind(planner)
+        if self.planners and not self.use_battery:
+            raise ValueError(
+                "planning policies need a battery to plan against; drop the "
+                "planners or run the campaign closed-loop (use_battery=True)"
+            )
+        validate_forecast_kind(self.forecast)
+        if self.horizon_periods < 1:
+            raise ValueError(
+                f"horizon must be >= 1 period, got {self.horizon_periods}"
+            )
+        if self.forecast_noise < 0:
+            raise ValueError(
+                f"forecast noise must be non-negative, got {self.forecast_noise}"
+            )
 
     @property
     def num_policies(self) -> int:
-        """Policies per scenario: one REAP + the baselines, per alpha."""
-        return len(self.alphas) * (1 + len(self.baselines))
+        """Policies per scenario: REAP + baselines + planners, per alpha."""
+        return len(self.alphas) * (1 + len(self.baselines) + len(self.planners))
 
     @property
     def num_cells(self) -> int:
@@ -357,7 +388,11 @@ class CampaignRequest:
         from repro.harvesting.solar_cell import HarvestScenario, SolarCellModel
         from repro.harvesting.traces import SolarTrace
         from repro.simulation.fleet import CampaignConfig
-        from repro.simulation.policies import ReapPolicy, StaticPolicy
+        from repro.simulation.policies import (
+            PlanningPolicy,
+            ReapPolicy,
+            StaticPolicy,
+        )
 
         points = tuple(
             design_points if design_points is not None
@@ -382,6 +417,18 @@ class CampaignRequest:
                 StaticPolicy(points, name, alpha=alpha)
                 for name in self.baselines
             )
+            policies.extend(
+                PlanningPolicy(
+                    points,
+                    planner=planner,
+                    horizon_periods=self.horizon_periods,
+                    forecast=self.forecast,
+                    forecast_noise=self.forecast_noise,
+                    forecast_seed=self.forecast_seed,
+                    alpha=alpha,
+                )
+                for planner in self.planners
+            )
         return scenarios, labels, policies, trace, CampaignConfig(
             use_battery=self.use_battery
         )
@@ -397,6 +444,11 @@ class CampaignRequest:
             "seed": self.seed,
             "hours": self.hours,
             "use_battery": self.use_battery,
+            "planners": list(self.planners),
+            "horizon_periods": self.horizon_periods,
+            "forecast": self.forecast,
+            "forecast_noise": self.forecast_noise,
+            "forecast_seed": self.forecast_seed,
         }
 
     @classmethod
@@ -404,7 +456,8 @@ class CampaignRequest:
         """Decode the wire format (raises ``ValueError`` on bad payloads)."""
         known = {
             "alphas", "baselines", "exposure_factors", "month", "seed",
-            "hours", "use_battery",
+            "hours", "use_battery", "planners", "horizon_periods",
+            "forecast", "forecast_noise", "forecast_seed",
         }
         unknown = set(payload) - known
         if unknown:
@@ -420,6 +473,11 @@ class CampaignRequest:
             seed=int(payload.get("seed", 2015)),
             hours=None if hours is None else int(hours),
             use_battery=bool(payload.get("use_battery", True)),
+            planners=tuple(payload.get("planners", ())),
+            horizon_periods=int(payload.get("horizon_periods", 24)),
+            forecast=str(payload.get("forecast", "perfect")),
+            forecast_noise=float(payload.get("forecast_noise", 0.2)),
+            forecast_seed=int(payload.get("forecast_seed", 7)),
         )
 
 

@@ -39,6 +39,9 @@ Endpoints
     Stream the finished campaign's full per-period columns back as
     chunked NDJSON: one meta line, then one line per (scenario, policy)
     cell.
+``DELETE /campaign/<id>``
+    Drop a finished campaign and free its retained columns; the id 404s
+    afterwards.  Pending/running jobs answer 409.
 
 Use ``python -m repro serve [--workers N]`` to run a server from the
 shell and :mod:`repro.service.client` to talk to it.
@@ -262,6 +265,24 @@ class AllocationService:
         """Look one campaign up (raises ``KeyError`` on unknown ids)."""
         return self._campaigns[campaign_id]
 
+    def delete_campaign(self, campaign_id: str) -> CampaignJob:
+        """Drop one finished campaign and free its retained result.
+
+        Raises ``KeyError`` for unknown ids and ``RuntimeError`` while the
+        job is still pending/running (deleting a job out from under its
+        worker would leave the executor computing into the void); callers
+        poll to a terminal state first.  Subsequent lookups of a deleted
+        id raise ``KeyError`` -- the HTTP layer turns that into a 404.
+        """
+        job = self._campaigns[campaign_id]
+        if job.status not in ("done", "failed"):
+            raise RuntimeError(
+                f"campaign {campaign_id!r} is {job.status}; only finished "
+                "campaigns can be deleted"
+            )
+        del self._campaigns[campaign_id]
+        return job
+
     def stats(self) -> Dict[str, Any]:
         """Counters for the ``/stats`` endpoint."""
         by_status: Dict[str, int] = {}
@@ -482,9 +503,17 @@ class AllocationServer:
             return 200, response.to_json_dict()
         match = _CAMPAIGN_PATH.match(path)
         if match:
+            campaign_id, wants_columns = match.group(1), bool(match.group(2))
+            if method == "DELETE" and not wants_columns:
+                try:
+                    self.service.delete_campaign(campaign_id)
+                except KeyError:
+                    raise _HttpError(404, f"unknown campaign {campaign_id!r}")
+                except RuntimeError as error:
+                    raise _HttpError(409, str(error))
+                return 200, {"campaign_id": campaign_id, "deleted": True}
             if method != "GET":
                 raise _HttpError(405, "campaign polling is GET-only")
-            campaign_id, wants_columns = match.group(1), bool(match.group(2))
             try:
                 job = self.service.campaign(campaign_id)
             except KeyError:

@@ -37,9 +37,10 @@ from repro.core.batch import ConsumptionCurveError, StackedConsumptionCurves
 from repro.energy.fleet import BatteryScan, BatteryScanResult
 from repro.harvesting.solar_cell import HarvestScenario
 from repro.harvesting.traces import SolarTrace
+from repro.planning.scan import PlanScan
 from repro.simulation.device import DeviceConfig, DeviceSimulator
 from repro.simulation.metrics import CampaignColumns, CampaignResult
-from repro.simulation.policies import Policy
+from repro.simulation.policies import PlanningPolicy, Policy
 
 
 @dataclass
@@ -314,17 +315,15 @@ class FleetCampaign:
         ]
         return np.array(columns).T
 
-    def _battery_scan(
-        self, policies: Sequence[Policy], harvest: np.ndarray
-    ) -> BatteryScanResult:
-        """Run the lockstep battery scan over every (scenario, policy) cell."""
+    def _battery_fleet(self, policies: Sequence[Policy]) -> BatteryScan:
+        """One battery-state vector covering every (scenario, policy) cell.
+
+        Device order is scenario-major: ``d = s * P + p``.  Scenarios may
+        carry their own battery (capacity, initial charge); the
+        per-scenario values spread across that scenario's policy cells.
+        """
         num_scenarios = len(self.scenarios)
         num_policies = len(policies)
-        # Device order is scenario-major: d = s * P + p.  Scenarios may carry
-        # their own battery (capacity, initial charge); the per-scenario
-        # values spread across that scenario's policy cells.
-        curves = [policy.consumption_curve() for policy in policies]
-        stacked = StackedConsumptionCurves(curves * num_scenarios)
         capacity = np.repeat(
             [
                 scenario.battery_capacity_j
@@ -343,15 +342,49 @@ class FleetCampaign:
             ],
             num_policies,
         )
-        scan = BatteryScan(
+        return BatteryScan(
             num_devices=num_scenarios * num_policies,
             capacity_j=capacity,
             initial_charge_j=initial,
             target_soc=self.config.battery_target_soc,
             max_draw_j=self.config.battery_max_draw_j,
         )
+
+    def _battery_scan(
+        self, policies: Sequence[Policy], harvest: np.ndarray
+    ) -> BatteryScanResult:
+        """Run the lockstep battery scan over every (scenario, policy) cell."""
+        curves = [policy.consumption_curve() for policy in policies]
+        stacked = StackedConsumptionCurves(curves * len(self.scenarios))
+        per_device_harvest = np.repeat(harvest, len(policies), axis=1)
+        return self._battery_fleet(policies).run(per_device_harvest, stacked)
+
+    def _plan_scan(
+        self, policies: Sequence[PlanningPolicy], harvest: np.ndarray
+    ) -> BatteryScanResult:
+        """Run one lockstep planning scan over a same-planner policy group.
+
+        All policies in the group share one planner configuration
+        (:attr:`PlanningPolicy.planner_key`); forecasts may differ per
+        cell -- they are data, stacked into one (H, W, D) tensor.
+        """
+        num_policies = len(policies)
+        horizon = policies[0].horizon_periods
+        curves = [policy.consumption_curve() for policy in policies]
+        stacked = StackedConsumptionCurves(curves * len(self.scenarios))
+        num_periods = harvest.shape[0]
+        num_devices = len(self.scenarios) * num_policies
+        forecast = np.empty((num_periods, horizon, num_devices))
+        for scenario_index in range(len(self.scenarios)):
+            column = harvest[:, scenario_index]
+            for policy_index, policy in enumerate(policies):
+                device = scenario_index * num_policies + policy_index
+                forecast[:, :, device] = policy.forecast_provider().matrix(
+                    column, horizon
+                )
         per_device_harvest = np.repeat(harvest, num_policies, axis=1)
-        return scan.run(per_device_harvest, stacked)
+        scan = PlanScan(policies[0].build_planner(), self._battery_fleet(policies))
+        return scan.run(per_device_harvest, forecast, stacked)
 
     def run(self, policies: Sequence[Policy], trace: SolarTrace) -> FleetResult:
         """Simulate every (scenario, policy) cell over ``trace``."""
@@ -359,20 +392,42 @@ class FleetCampaign:
         if not policies:
             raise ValueError("need at least one policy")
         harvest = self._harvest_matrix(trace)                      # (H, S)
-        num_policies = len(policies)
 
+        # Closed-loop budgets: harvest-following cells share one lockstep
+        # battery scan; forecast-driven (planning) cells run one PlanScan
+        # per planner group.  cell_traces maps (scenario, policy) to that
+        # cell's (budgets, battery trajectory).
         scan: Optional[BatteryScanResult] = None
+        cell_traces: Dict[tuple, tuple] = {}
         if self.config.use_battery:
-            scan = self._battery_scan(policies, harvest)
+            base = [
+                (index, policy)
+                for index, policy in enumerate(policies)
+                if not isinstance(policy, PlanningPolicy)
+            ]
+            groups: Dict[tuple, List[tuple]] = {}
+            for index, policy in enumerate(policies):
+                if isinstance(policy, PlanningPolicy):
+                    groups.setdefault(policy.planner_key, []).append(
+                        (index, policy)
+                    )
+            if base:
+                base_scan = self._battery_scan([p for _, p in base], harvest)
+                if not groups:
+                    scan = base_scan  # whole-fleet scan, as before
+                self._record_cell_traces(cell_traces, base, base_scan)
+            for members in groups.values():
+                group_scan = self._plan_scan([p for _, p in members], harvest)
+                self._record_cell_traces(cell_traces, members, group_scan)
 
         grid: List[List[CampaignResult]] = []
         for scenario_index in range(len(self.scenarios)):
             row: List[CampaignResult] = []
             for policy_index, policy in enumerate(policies):
-                if scan is not None:
-                    device_index = scenario_index * num_policies + policy_index
-                    budgets = scan.budgets_j[:, device_index]
-                    battery = scan.charge_j[:, device_index]
+                if self.config.use_battery:
+                    budgets, battery = cell_traces[
+                        (scenario_index, policy_index)
+                    ]
                 else:
                     budgets = harvest[:, scenario_index]
                     battery = None
@@ -396,6 +451,27 @@ class FleetCampaign:
             scan=scan,
             trace_hours=len(trace),
         )
+
+    def _record_cell_traces(
+        self,
+        cell_traces: Dict[tuple, tuple],
+        members: Sequence[tuple],
+        scan: BatteryScanResult,
+    ) -> None:
+        """Map a sub-fleet scan's device columns back to grid cells.
+
+        ``members`` is the scan's policy axis as (grid policy index,
+        policy) pairs; the scan's device order is scenario-major over that
+        axis.
+        """
+        width = len(members)
+        for scenario_index in range(len(self.scenarios)):
+            for column, (policy_index, _) in enumerate(members):
+                device = scenario_index * width + column
+                cell_traces[(scenario_index, policy_index)] = (
+                    scan.budgets_j[:, device],
+                    scan.charge_j[:, device],
+                )
 
 
 __all__ = [

@@ -36,6 +36,17 @@ from repro.core.objective import validate_alpha
 from repro.core.problem import ReapProblem, static_allocation
 from repro.core.schedule import TimeAllocation
 from repro.data.paper_constants import ACTIVITY_PERIOD_S, OFF_STATE_POWER_W
+from repro.planning.forecasts import (
+    ForecastProvider,
+    make_forecast_provider,
+    validate_forecast_kind,
+)
+from repro.planning.horizon import (
+    HorizonAverageAllocator,
+    HorizonPlanner,
+    MpcPlanner,
+    validate_planner_kind,
+)
 
 
 class Policy(abc.ABC):
@@ -313,6 +324,115 @@ class OnOffDutyCyclePolicy(Policy):
         return self.allocate(energy_budget_j).active_fraction
 
 
+class PlanningPolicy(ReapPolicy):
+    """Forecast-driven REAP: budgets come from a horizon plan, not the harvest.
+
+    In closed-loop (battery-backed) campaigns this policy's budgets are
+    produced by the :mod:`repro.planning` subsystem instead of the
+    harvest-following allocator: a forecast provider predicts the next
+    ``horizon_periods`` of harvest and a horizon planner (the closed-form
+    :class:`~repro.planning.horizon.HorizonAverageAllocator` or the
+    receding-horizon :class:`~repro.planning.horizon.MpcPlanner`) turns
+    each lookahead window plus the battery state into the period's budget.
+    The allocation of each granted budget is plain REAP.  The fleet engine
+    steps planning cells through the vectorized
+    :class:`~repro.planning.scan.PlanScan`; the scalar engine runs
+    :func:`repro.planning.reference.run_planning_scalar`.  Open-loop
+    campaigns have no battery to plan against, so there this policy
+    behaves exactly like :class:`ReapPolicy`.
+
+    Parameters
+    ----------
+    planner:
+        ``"horizon"`` (mean-forecast allocation) or ``"mpc"``
+        (receding-horizon LP re-solving).
+    horizon_periods:
+        Lookahead window length W in activity periods.
+    forecast:
+        Forecast provider: ``"perfect"``, ``"persistence"`` or ``"noisy"``.
+    forecast_noise / forecast_seed:
+        Noise scale and RNG seed of the noisy-oracle provider (ignored by
+        the others; the seed makes noisy runs bit-reproducible).
+    mpc_passes / mpc_candidates:
+        Grid-refinement depth and width of the MPC budget search.
+    """
+
+    def __init__(
+        self,
+        design_points: Sequence[DesignPoint],
+        planner: str = "horizon",
+        horizon_periods: int = 24,
+        forecast: str = "perfect",
+        forecast_noise: float = 0.2,
+        forecast_seed: int = 7,
+        mpc_passes: int = 3,
+        mpc_candidates: int = 16,
+        alpha: float = 1.0,
+        period_s: float = ACTIVITY_PERIOD_S,
+        off_power_w: float = OFF_STATE_POWER_W,
+    ) -> None:
+        # Planning needs the closed-form consumption curve and the batched
+        # raw-array solves, so the default (batchable) allocator is fixed.
+        super().__init__(design_points, alpha, period_s, off_power_w)
+        self.planner = validate_planner_kind(planner)
+        if horizon_periods < 1:
+            raise ValueError(
+                f"horizon must be >= 1 period, got {horizon_periods}"
+            )
+        self.horizon_periods = int(horizon_periods)
+        self.forecast = validate_forecast_kind(forecast)
+        if forecast_noise < 0:
+            raise ValueError(
+                f"forecast noise must be non-negative, got {forecast_noise}"
+            )
+        self.forecast_noise = float(forecast_noise)
+        self.forecast_seed = int(forecast_seed)
+        if mpc_passes < 1:
+            raise ValueError(f"mpc_passes must be >= 1, got {mpc_passes}")
+        if mpc_candidates < 3:
+            raise ValueError(
+                f"mpc_candidates must be >= 3, got {mpc_candidates}"
+            )
+        self.mpc_passes = int(mpc_passes)
+        self.mpc_candidates = int(mpc_candidates)
+
+    @property
+    def name(self) -> str:
+        label = "MPC" if self.planner == "mpc" else "Horizon"
+        return f"{label}{self.horizon_periods}-{self.forecast}"
+
+    @property
+    def planner_key(self) -> tuple:
+        """Grouping key: policies with equal keys share one plan scan."""
+        key: tuple = (self.planner, self.horizon_periods)
+        if self.planner == "mpc":
+            key += (
+                self.mpc_passes,
+                self.mpc_candidates,
+                float(self._batch_engine().max_useful_energy_j),
+            )
+        return key
+
+    def build_planner(self) -> HorizonPlanner:
+        """Materialise this policy's horizon planner."""
+        if self.planner == "mpc":
+            return MpcPlanner(
+                self.horizon_periods,
+                max_budget_j=self._batch_engine().max_useful_energy_j,
+                passes=self.mpc_passes,
+                candidates=self.mpc_candidates,
+            )
+        return HorizonAverageAllocator(self.horizon_periods)
+
+    def forecast_provider(self) -> ForecastProvider:
+        """Materialise this policy's forecast provider."""
+        return make_forecast_provider(
+            self.forecast,
+            noise_std=self.forecast_noise,
+            seed=self.forecast_seed,
+        )
+
+
 def default_policy_suite(
     design_points: Sequence[DesignPoint],
     alpha: float = 1.0,
@@ -339,6 +459,7 @@ def default_policy_suite(
 __all__ = [
     "OnOffDutyCyclePolicy",
     "OraclePolicy",
+    "PlanningPolicy",
     "Policy",
     "ReapPolicy",
     "StaticPolicy",

@@ -43,7 +43,7 @@ from repro.simulation.fleet import (
     policy_supports_fleet,
 )
 from repro.simulation.metrics import CampaignResult, PeriodOutcome
-from repro.simulation.policies import Policy
+from repro.simulation.policies import PlanningPolicy, Policy
 
 #: Campaign engines selectable on :class:`HarvestingCampaign`.
 ENGINES = ("fleet", "scalar")
@@ -156,6 +156,24 @@ class HarvestingCampaign:
             if self.scenario.battery_initial_j is not None
             else self.config.battery_initial_j
         )
+        if isinstance(policy, PlanningPolicy):
+            # Forecast-driven budgets: the planning reference loop owns the
+            # whole grant -> allocate -> run_period -> settle cycle.
+            from repro.planning.reference import run_planning_scalar
+
+            harvest = np.array([
+                self.scenario.harvested_energy_j(hour.ghi_w_per_m2)
+                for hour in trace
+            ])
+            return run_planning_scalar(
+                policy,
+                harvest,
+                capacity_j=capacity,
+                initial_charge_j=initial,
+                target_soc=self.config.battery_target_soc,
+                max_draw_j=self.config.battery_max_draw_j,
+                device=device,
+            )
         battery = Battery(capacity_j=capacity, initial_charge_j=initial)
         allocator = HarvestFollowingAllocator(
             battery,

@@ -159,3 +159,73 @@ class TestServeAndRemoteFleet:
         assert "simulated remotely" in output
         assert "REAP" in output
         assert csv_path.read_text().count("\n") == 3  # header + 2 cells
+
+
+class TestPlanCommand:
+    def test_plan_command_prints_the_study(self, tmp_path, capsys):
+        csv_path = tmp_path / "plan.csv"
+        assert main([
+            "plan", "--hours", "48", "--horizon", "8",
+            "--forecasts", "perfect", "persistence",
+            "--csv", str(csv_path),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "Planning study" in output
+        assert "Horizon8-perfect" in output
+        assert "Horizon8-persistence" in output
+        assert "harvest-following REAP baseline" in output
+        assert csv_path.exists()
+
+    def test_plan_command_mpc(self, capsys):
+        assert main([
+            "plan", "--planner", "mpc", "--hours", "24", "--horizon", "6",
+            "--forecasts", "perfect",
+        ]) == 0
+        assert "MPC6-perfect" in capsys.readouterr().out
+
+    def test_plan_parser_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.planner == "horizon"
+        assert args.horizon == 24
+        assert args.forecasts == ["perfect", "persistence", "noisy"]
+
+    def test_list_mentions_plan(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "plan" in output
+        assert "forecast-driven" in output
+
+
+class TestFleetPlanningFlags:
+    def test_fleet_with_planners(self, capsys):
+        assert main([
+            "fleet", "--hours", "24", "--alphas", "1.0",
+            "--baselines", "DP1", "--planners", "horizon", "mpc",
+            "--horizon", "6", "--forecast", "noisy",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "Horizon6-noisy" in output
+        assert "MPC6-noisy" in output
+        assert "4 campaign cells" in output
+
+    def test_fleet_remote_with_planners(self, capsys):
+        from repro.service.server import AllocationService, start_in_thread
+
+        service = AllocationService(window_s=0.001, campaign_workers=1)
+        with start_in_thread(service) as server:
+            code = main([
+                "fleet", "--remote", f"127.0.0.1:{server.port}",
+                "--hours", "24", "--alphas", "1.0", "--baselines", "DP1",
+                "--planners", "horizon", "--horizon", "6",
+            ])
+        service.close()
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Horizon6-perfect" in output
+        assert "simulated remotely" in output
+
+    def test_fleet_rejects_planners_with_open_loop(self, capsys):
+        assert main([
+            "fleet", "--hours", "24", "--open-loop", "--planners", "horizon",
+        ]) == 2
+        assert "closed-loop" in capsys.readouterr().err

@@ -49,9 +49,14 @@ class TestExamples:
         assert "Pareto-optimal subset" in output
 
     def test_closed_loop_forecasting(self, capsys):
-        output = _run_example("closed_loop_forecasting.py", [], capsys)
+        output = _run_example(
+            "closed_loop_forecasting.py", ["--hours", "48"], capsys
+        )
         assert "Closed-loop REAP" in output
-        assert "Three-day summary" in output
+        assert "Horizon24-persistence" in output
+        assert "MPC24-noisy" in output
+        assert "Persistence forecast error" in output
+        assert "48-hour summary" in output
 
     def test_service_demo(self, capsys):
         output = _run_example("service_demo.py", ["--requests", "16"], capsys)

@@ -27,6 +27,7 @@ class TestTopLevelExports:
             "repro.har.classifier",
             "repro.energy",
             "repro.harvesting",
+            "repro.planning",
             "repro.simulation",
             "repro.analysis",
             "repro.service",

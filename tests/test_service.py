@@ -727,3 +727,149 @@ class TestCampaignHousekeeping:
         result = asyncio.run(scenario())
         columns = result.result(0).columns
         assert set(columns.design_point_names) == {dp.name for dp in subset}
+
+
+class TestCampaignPlanningFields:
+    def test_planning_fields_round_trip(self):
+        request = CampaignRequest(
+            alphas=(1.0,), baselines=("DP1",), hours=48,
+            planners=("horizon", "mpc"), horizon_periods=12,
+            forecast="noisy", forecast_noise=0.3, forecast_seed=9,
+        )
+        decoded = CampaignRequest.from_json_dict(
+            json.loads(json.dumps(request.to_json_dict()))
+        )
+        assert decoded == request
+        # One REAP + one baseline + two planners, at one alpha.
+        assert decoded.num_policies == 4
+
+    def test_planning_fields_are_validated(self):
+        with pytest.raises(ValueError, match="planner"):
+            CampaignRequest(planners=("oracle",))
+        with pytest.raises(ValueError, match="forecast"):
+            CampaignRequest(forecast="psychic")
+        with pytest.raises(ValueError, match="horizon"):
+            CampaignRequest(horizon_periods=0)
+        with pytest.raises(ValueError, match="noise"):
+            CampaignRequest(forecast_noise=-1.0)
+        with pytest.raises(ValueError, match="battery"):
+            # Planners without a battery would silently collapse to REAP.
+            CampaignRequest(planners=("horizon",), use_battery=False)
+
+    def test_build_materialises_planning_policies(self):
+        request = CampaignRequest(
+            alphas=(1.0,), baselines=(), hours=24,
+            planners=("horizon", "mpc"), horizon_periods=6,
+            forecast="persistence",
+        )
+        _, _, policies, _, _ = request.build()
+        assert [policy.name for policy in policies] == [
+            "REAP", "Horizon6-persistence", "MPC6-persistence",
+        ]
+
+
+class TestPlanningCampaignHttp:
+    """A planning campaign over HTTP equals the local fleet run to 1e-9."""
+
+    REQUEST = CampaignRequest(
+        hours=48, alphas=(1.0,), baselines=("DP1",),
+        planners=("horizon", "mpc"), horizon_periods=8,
+        forecast="persistence",
+    )
+
+    def test_remote_planning_campaign_matches_local(self, points):
+        service = AllocationService(
+            default_points=points, campaign_workers=2
+        )
+        with start_in_thread(service) as handle:
+            client = AllocationClient(port=handle.port, timeout_s=120.0)
+            status, remote = client.run_campaign(self.REQUEST, timeout_s=120)
+        service.close()
+        assert status.status == "done"
+        assert set(status.policy_names) == {
+            "REAP", "Static-DP1", "Horizon8-persistence", "MPC8-persistence",
+        }
+        scenarios, labels, policies, trace, config = self.REQUEST.build(points)
+        local = FleetCampaign(scenarios, config, scenario_labels=labels).run(
+            policies, trace
+        )
+        for scenario_index, policy_index, cell in remote:
+            reference = local.result(policy_index, scenario_index)
+            np.testing.assert_allclose(
+                cell.objective_values(),
+                reference.objective_values(),
+                rtol=0, atol=1e-9,
+            )
+            np.testing.assert_allclose(
+                cell.battery_charge_j,
+                reference.battery_charge_j,
+                rtol=0, atol=1e-9,
+            )
+
+
+class TestCampaignDelete:
+    """DELETE /campaign/<id>: finished jobs vanish; the id 404s afterward."""
+
+    @pytest.fixture(scope="class")
+    def server(self, points):
+        service = AllocationService(default_points=points, campaign_workers=1)
+        handle = start_in_thread(service)
+        yield handle
+        handle.stop()
+        service.close()
+
+    @pytest.fixture(scope="class")
+    def client(self, server):
+        return AllocationClient(port=server.port, timeout_s=60.0)
+
+    def test_deleted_campaign_is_gone(self, client):
+        request = CampaignRequest(hours=4, alphas=(1.0,), baselines=())
+        submitted = client.submit_campaign(request)
+        client.wait_for_campaign(submitted.campaign_id, timeout_s=60)
+        payload = client.delete_campaign(submitted.campaign_id)
+        assert payload == {
+            "campaign_id": submitted.campaign_id, "deleted": True,
+        }
+        # Status, columns and a second delete all 404 now.
+        for call in (
+            lambda: client.campaign_status(submitted.campaign_id),
+            lambda: list(client.campaign_payloads(submitted.campaign_id)),
+            lambda: client.delete_campaign(submitted.campaign_id),
+        ):
+            with pytest.raises(ServiceError) as excinfo:
+                call()
+            assert excinfo.value.status == 404
+
+    def test_delete_unknown_campaign_404s(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.delete_campaign("never-submitted")
+        assert excinfo.value.status == 404
+
+    def test_delete_refuses_unfinished_jobs(self, points):
+        from repro.service.server import CampaignJob
+
+        service = AllocationService(default_points=points)
+        job = CampaignJob("c-running", CampaignRequest(hours=4))
+        job.status = "running"
+        service._campaigns[job.campaign_id] = job
+        with pytest.raises(RuntimeError, match="running"):
+            service.delete_campaign(job.campaign_id)
+        assert service.campaign(job.campaign_id) is job  # still retained
+        service.close()
+
+    def test_delete_verb_on_the_client_cli(self, server, capsys):
+        request = CampaignRequest(hours=4, alphas=(1.0,), baselines=())
+        client = AllocationClient(port=server.port, timeout_s=60.0)
+        submitted = client.submit_campaign(request)
+        client.wait_for_campaign(submitted.campaign_id, timeout_s=60)
+        exit_code = client_main([
+            "--port", str(server.port), "campaign", "delete",
+            submitted.campaign_id,
+        ])
+        assert exit_code == 0
+        assert '"deleted": true' in capsys.readouterr().out
+        exit_code = client_main([
+            "--port", str(server.port), "campaign", "status",
+            submitted.campaign_id,
+        ])
+        assert exit_code == 1  # 404 after deletion
