@@ -1,0 +1,243 @@
+"""Benchmarks of the compiled/float32 kernel backends (repro.core.kernels).
+
+Three micro-benchmarks cover the raw-speed work of the kernels PR:
+
+* the value-hull ``BatchAllocator.solve_arrays`` backends against the
+  float64 candidate-enumeration reference (compiled must be >= 1.5x at
+  1e-9 agreement on objectives; float32 is reported alongside at 1e-4),
+* the ``BatteryScan`` grant/settle recurrence on a narrow fleet, where
+  the compiled scalar path replaces the per-period Python loop and must
+  be >= 3x while staying bit-exact, and
+* the binary columnar wire format against the NDJSON stream for
+  ``GET /campaign/<id>/columns`` -- the float64 frames must be >= 5x
+  smaller on a multi-week campaign and round-trip byte-exactly.
+
+Like the other benchmarks, each test prints and persists an
+``ExperimentResult`` CSV under ``benchmarks/output/`` so the CI bench
+gate (scripts/bench_gate.py) can re-assert the floors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from _bench_utils import emit
+from repro.analysis.experiments import ExperimentResult
+from repro.core import kernels
+from repro.core.batch import BatchAllocator, StackedConsumptionCurves
+from repro.energy.fleet import BatteryScan
+from repro.service.requests import CampaignRequest
+from repro.simulation.fleet import FleetCampaign, FleetResult
+from repro.simulation.metrics import CampaignColumns
+
+ALPHA = 1.0
+SEED = 2019
+
+#: Budget-grid width of the hull-solve benchmark; the hull kernel's edge
+#: over candidate enumeration grows with the grid, so keep >= ~20k points.
+BENCH_BUDGETS = int(os.environ.get("REPRO_BENCH_KERNEL_BUDGETS", "200000"))
+#: Trace length of the battery-scan benchmark (a year of hourly periods
+#: by default; the compiled recurrence amortises its setup over periods).
+BENCH_PERIODS = int(os.environ.get("REPRO_BENCH_KERNEL_PERIODS", "8760"))
+#: Fleet width of the battery-scan benchmark; <= 24 devices stays on the
+#: scalar recurrence path that replaces the per-period Python loop.
+BENCH_DEVICES = int(os.environ.get("REPRO_BENCH_KERNEL_DEVICES", "8"))
+#: Campaign length (hours) of the wire-format benchmark.  The binary
+#: advantage grows with the trace (the JSON framing overhead is
+#: per-number); keep >= ~2 weeks for a clean >= 5x.
+BENCH_COLUMNS_HOURS = int(os.environ.get("REPRO_BENCH_COLUMNS_HOURS", "504"))
+
+REQUIRED_SOLVE_SPEEDUP = 1.5
+REQUIRED_SCAN_SPEEDUP = 3.0
+REQUIRED_SIZE_RATIO = 5.0
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_hull_solve_speedup_over_reference(output_dir, published_points):
+    """solve_arrays backends vs the float64 reference: compiled >= 1.5x."""
+    points = tuple(published_points)
+    engines = {
+        backend: BatchAllocator(points, backend=backend)
+        for backend in kernels.BACKENDS
+    }
+    reference = engines["numpy"]
+    floor = reference.off_power_w * reference.period_s
+    ceiling = max(dp.power_w for dp in points) * reference.period_s * 1.2
+    budgets = np.linspace(floor * 0.5, ceiling, BENCH_BUDGETS)
+
+    results, timings = {}, {}
+    for backend, engine in engines.items():
+        results[backend] = engine.solve_arrays(budgets, alpha=ALPHA)  # warm-up
+        timings[backend] = min(
+            _timed(lambda e=engine: e.solve_arrays(budgets, alpha=ALPHA))[0]
+            for _ in range(3)
+        )
+
+    # Agreement before speed: compiled tracks the reference to 1e-9 on the
+    # objective, float32 to 1e-4 (relative to the objective scale).
+    base = results["numpy"]
+    scale = float(np.max(np.abs(base.objective)))
+    for backend, atol in (("compiled", 1e-9), ("float32", 1e-4)):
+        fast = results[backend]
+        np.testing.assert_array_equal(fast.feasible, base.feasible)
+        np.testing.assert_allclose(
+            fast.objective, base.objective, rtol=0, atol=atol * max(scale, 1.0)
+        )
+
+    rows = []
+    for backend in kernels.BACKENDS:
+        speedup = timings["numpy"] / timings[backend]
+        label = "reference solve" if backend == "numpy" else f"{backend} solve"
+        rows.append(
+            [label, BENCH_BUDGETS, timings[backend] * 1e3,
+             timings[backend] / BENCH_BUDGETS * 1e6, speedup]
+        )
+    solve_speedup = timings["numpy"] / timings["compiled"]
+
+    result = ExperimentResult(
+        name=(
+            f"Value-hull solve backends: {BENCH_BUDGETS} budgets x "
+            f"{len(points)} design points (alpha={ALPHA:g}, "
+            f"numba={'yes' if kernels.numba_ready() else 'no'})"
+        ),
+        headers=["backend", "budgets", "total_ms", "per_solve_us", "speedup_x"],
+        rows=rows,
+        extras={"speedup": solve_speedup},
+    )
+    emit(result, output_dir, "kernels_solve.csv")
+
+    assert solve_speedup >= REQUIRED_SOLVE_SPEEDUP, (
+        f"compiled hull solve is only {solve_speedup:.2f}x faster than the "
+        f"reference (required {REQUIRED_SOLVE_SPEEDUP:g}x)"
+    )
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_battery_scan_speedup_over_python_loop(output_dir, published_points):
+    """Narrow-fleet settle recurrence: compiled >= 3x over the period loop."""
+    points = tuple(published_points)
+    curve = BatchAllocator(points).consumption_curve(alpha=ALPHA)
+    curves = StackedConsumptionCurves([curve] * BENCH_DEVICES)
+    rng = np.random.default_rng(SEED)
+    harvest = rng.uniform(0.0, 4.0, size=(BENCH_PERIODS, BENCH_DEVICES))
+
+    def scan(backend):
+        return BatteryScan(
+            BENCH_DEVICES, capacity_j=80.0, backend=backend
+        ).run(harvest, curves)
+
+    results, timings = {}, {}
+    for backend in ("numpy", "compiled"):
+        results[backend] = scan(backend)  # warm-up
+        timings[backend] = min(
+            _timed(lambda b=backend: scan(b))[0] for _ in range(3)
+        )
+
+    # The scalar recurrence replays the reference arithmetic in the same
+    # order, so the trajectories must match bit for bit.
+    np.testing.assert_array_equal(
+        results["compiled"].charge_j, results["numpy"].charge_j
+    )
+    np.testing.assert_array_equal(
+        results["compiled"].budgets_j, results["numpy"].budgets_j
+    )
+    np.testing.assert_array_equal(
+        results["compiled"].consumed_j, results["numpy"].consumed_j
+    )
+    scan_speedup = timings["numpy"] / timings["compiled"]
+    cells = BENCH_PERIODS * BENCH_DEVICES
+
+    result = ExperimentResult(
+        name=(
+            f"Battery scan recurrence: {BENCH_PERIODS} periods x "
+            f"{BENCH_DEVICES} devices "
+            f"(numba={'yes' if kernels.numba_ready() else 'no'})"
+        ),
+        headers=["backend", "device_periods", "total_ms", "per_period_us",
+                 "speedup_x"],
+        rows=[
+            ["reference settle", cells, timings["numpy"] * 1e3,
+             timings["numpy"] / cells * 1e6, 1.0],
+            ["compiled settle", cells, timings["compiled"] * 1e3,
+             timings["compiled"] / cells * 1e6, scan_speedup],
+        ],
+        extras={"speedup": scan_speedup},
+    )
+    emit(result, output_dir, "kernels_battery.csv")
+
+    assert scan_speedup >= REQUIRED_SCAN_SPEEDUP, (
+        f"compiled battery scan is only {scan_speedup:.2f}x faster than the "
+        f"per-period loop (required {REQUIRED_SCAN_SPEEDUP:g}x)"
+    )
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_binary_columns_wire_size(output_dir):
+    """Columns wire format: binary f8 frames >= 5x smaller than NDJSON."""
+    # The paper's comparison set: REAP at alpha=1 against three static
+    # baselines (the mix the service ships in practice).
+    request = CampaignRequest(
+        hours=BENCH_COLUMNS_HOURS, alphas=(1.0,), baselines=("DP1", "DP3", "DP5")
+    )
+    scenarios, labels, policies, trace, config = request.build()
+    fleet_result = FleetCampaign(scenarios, config, scenario_labels=labels).run(
+        policies, trace
+    )
+
+    payloads = [fleet_result.meta_payload(), *fleet_result.cell_payloads()]
+    # Matches the service's _write_stream framing: one JSON line per cell.
+    ndjson_bytes = sum(
+        len((json.dumps(payload) + "\n").encode("utf-8"))
+        for payload in payloads
+    )
+    binary = {
+        dtype: sum(
+            len(frame) for frame in fleet_result.to_binary_frames(dtype)
+        )
+        for dtype in ("<f8", "<f4")
+    }
+
+    # The stream and the per-cell codec must both round-trip before the
+    # size comparison means anything: byte-exact re-encode at f8.
+    stream = b"".join(fleet_result.to_binary_frames("<f8"))
+    decoded = FleetResult.from_binary(stream)
+    np.testing.assert_array_equal(
+        decoded.result(0).columns.objective_value,
+        fleet_result.result(0).columns.objective_value,
+    )
+    blob = fleet_result.result(0).columns.to_bytes(dtype="<f8")
+    assert CampaignColumns.from_bytes(blob).to_bytes(dtype="<f8") == blob
+
+    ratio_f8 = ndjson_bytes / binary["<f8"]
+    ratio_f4 = ndjson_bytes / binary["<f4"]
+
+    result = ExperimentResult(
+        name=(
+            f"Campaign columns wire formats: {BENCH_COLUMNS_HOURS}h x "
+            f"{len(policies)} policies x {len(scenarios)} scenarios"
+        ),
+        headers=["wire format", "bytes", "kib", "size_ratio_x"],
+        rows=[
+            ["ndjson stream", ndjson_bytes, ndjson_bytes / 1024, 1.0],
+            ["binary f8 frames", binary["<f8"], binary["<f8"] / 1024, ratio_f8],
+            ["binary f4 frames", binary["<f4"], binary["<f4"] / 1024, ratio_f4],
+        ],
+        extras={"speedup": ratio_f8},
+    )
+    emit(result, output_dir, "columns_wire.csv")
+
+    assert ratio_f8 >= REQUIRED_SIZE_RATIO, (
+        f"binary f8 columns are only {ratio_f8:.2f}x smaller than NDJSON "
+        f"(required {REQUIRED_SIZE_RATIO:g}x)"
+    )
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value

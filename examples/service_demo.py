@@ -34,8 +34,38 @@ same flow from the shell::
     python -m repro fleet --remote 127.0.0.1:8734 --hours 48
     python -m repro.service.client --port 8734 campaign run --hours 48
 
+With ``--binary`` the columns come back as the length-prefixed binary
+columnar frames instead (``GET /campaign/<id>/columns?format=binary``,
+~5x smaller at float64, ~8x at float32) -- same decoded result.
+
+Choosing a backend
+------------------
+Every engine accepts ``backend=`` (``--backend`` on the CLI, per-request
+``"backend"`` over HTTP); the service's default is set at boot.  The
+choices:
+
+``numpy`` (default)
+    The float64 reference: candidate enumeration in the allocator, the
+    per-period settle loop in the scans.  Always available, bit-stable
+    across releases; every other backend is tested against it.
+``compiled``
+    The value-hull / scalar-recurrence kernels from
+    :mod:`repro.core.kernels`, jitted with Numba when it is installed
+    and falling back to fused NumPy hull kernels when not.  Agrees with
+    the reference to 1e-9 on objectives (bit-exact on battery
+    trajectories) and is the right default for large campaigns: ~10x on
+    raw solves, >3x on closed-loop scans even without Numba.
+``float32``
+    Single-precision variants of the same kernels, SIMD-friendly and
+    half the memory traffic; agreement loosens to 1e-4.  Use for
+    exploratory sweeps where throughput beats the last digits.
+
+Cached results never cross backends (the backend participates in the
+engine and cache keys), so mixing backends against one service is safe.
+
 Run with:  python examples/service_demo.py [--requests N] [--window-ms W]
-           [--workers N] [--campaign]
+           [--workers N] [--backend numpy|compiled|float32]
+           [--campaign] [--binary]
 """
 
 from __future__ import annotations
@@ -45,19 +75,25 @@ import argparse
 import numpy as np
 
 from repro.analysis import format_table
+from repro.core.kernels import BACKENDS
 from repro.service import AllocationRequest, AllocationService, CampaignRequest
 from repro.service.client import AllocationClient
 from repro.service.server import start_in_thread
 
 
-def run_remote_campaign(client: AllocationClient) -> None:
+def run_remote_campaign(
+    client: AllocationClient, backend: str = "numpy", binary: bool = False
+) -> None:
     """Submit a 48-hour fleet study over HTTP and stream the columns back."""
-    request = CampaignRequest(hours=48, alphas=(1.0,), baselines=("DP1",))
+    request = CampaignRequest(
+        hours=48, alphas=(1.0,), baselines=("DP1",), backend=backend
+    )
     submitted = client.submit_campaign(request)
     print(f"\nCampaign {submitted.campaign_id} submitted "
           f"({submitted.cells} cells); polling...")
     status = client.wait_for_campaign(submitted.campaign_id)
-    fleet = client.campaign_result(submitted.campaign_id)
+    fleet = client.campaign_result(submitted.campaign_id, binary=binary)
+    wire = "binary columnar frames" if binary else "chunked NDJSON"
     rows = [
         [cell["policy"], cell["alpha"], cell["mean_objective"],
          cell["active_hours"], cell["recognition_rate"] * 100.0]
@@ -68,7 +104,7 @@ def run_remote_campaign(client: AllocationClient) -> None:
         rows,
         title=(
             f"Remote campaign {status.campaign_id}: {fleet.num_cells} cells "
-            f"over {fleet.trace_hours} hours, streamed back as chunked NDJSON"
+            f"over {fleet.trace_hours} hours, streamed back as {wire}"
         ),
     ))
 
@@ -84,14 +120,20 @@ def main() -> None:
     parser.add_argument("--workers", type=int, default=2,
                         help="engine workers fanning batched solves "
                              "(1 solves inline on the event loop)")
+    parser.add_argument("--backend", choices=BACKENDS, default="numpy",
+                        help="numeric backend the service solves with "
+                             "(see 'Choosing a backend' above)")
     parser.add_argument("--campaign", action="store_true",
                         help="also run a fleet campaign over HTTP and "
                              "stream its columns back")
+    parser.add_argument("--binary", action="store_true",
+                        help="stream the campaign columns as binary "
+                             "columnar frames instead of NDJSON")
     args = parser.parse_args()
 
     service = AllocationService(
         window_s=args.window_ms / 1000.0, workers=args.workers,
-        campaign_workers=1,
+        campaign_workers=1, default_backend=args.backend,
     )
     with start_in_thread(service) as server:
         print(f"Allocation service listening on {server.base_url}")
@@ -159,7 +201,8 @@ def main() -> None:
         )
 
         if args.campaign:
-            run_remote_campaign(client)
+            run_remote_campaign(client, backend=args.backend,
+                                binary=args.binary)
 
 
 if __name__ == "__main__":

@@ -1,12 +1,12 @@
 #!/usr/bin/env python3
 """CI perf-regression gate: run the benchmarks, record and assert speedups.
 
-Runs the four performance benchmarks (batch sweep, fleet campaign,
-allocation service, planning scan) on a reduced grid sized for CI runners,
-collects the wall times and speedups they emit under
-``benchmarks/output/``, re-asserts the speedup floors, and writes
-everything to one JSON trajectory file (``BENCH_PR5.json`` by default)
-that the workflow uploads as an artifact.
+Runs the five performance benchmarks (batch sweep, fleet campaign,
+allocation service, planning scan, kernel backends + wire format) on a
+reduced grid sized for CI runners, collects the wall times and speedups
+they emit under ``benchmarks/output/``, re-asserts the speedup floors,
+and writes everything to one JSON trajectory file (``BENCH_PR6.json`` by
+default) that the workflow uploads as an artifact.
 
 When a previous PR's trajectory artifact is available (``--baseline
 PATH``, or auto-discovered as the highest-numbered other ``BENCH_PR*.json``
@@ -17,8 +17,8 @@ gradual erosion.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_gate.py [--output BENCH_PR5.json]
-        [--baseline BENCH_PR4.json]  # previous artifact to compare against
+    PYTHONPATH=src python scripts/bench_gate.py [--output BENCH_PR6.json]
+        [--baseline BENCH_PR5.json]  # previous artifact to compare against
         [--full]   # full-size grids instead of the reduced CI grid
 """
 
@@ -42,6 +42,7 @@ BENCH_FILES = [
     "benchmarks/bench_fleet_campaign.py",
     "benchmarks/bench_service.py",
     "benchmarks/bench_planning.py",
+    "benchmarks/bench_kernels.py",
 ]
 
 #: Reduced-grid knobs for CI runners; every floor below still holds at
@@ -54,6 +55,9 @@ REDUCED_GRID = {
     "REPRO_BENCH_POOLED_POINTS": "96",
     "REPRO_BENCH_PLANNING_HOURS": "336",
     "REPRO_BENCH_PLANNING_HORIZON": "12",
+    "REPRO_BENCH_KERNEL_BUDGETS": "50000",
+    "REPRO_BENCH_KERNEL_PERIODS": "4380",
+    "REPRO_BENCH_COLUMNS_HOURS": "336",
 }
 
 #: (csv file, row label, speedup column, floor).  The floors mirror the
@@ -65,6 +69,9 @@ GATES = [
     ("service_throughput.csv", "coalesced service", "speedup_vs_scalar", 10.0),
     ("service_pool.csv", "4 workers", "speedup_vs_single", 1.05),
     ("planning.csv", "plan scan", "speedup_x", 10.0),
+    ("kernels_solve.csv", "compiled solve", "speedup_x", 1.5),
+    ("kernels_battery.csv", "compiled settle", "speedup_x", 3.0),
+    ("columns_wire.csv", "binary f8", "size_ratio_x", 5.0),
 ]
 
 #: A gate regresses when its speedup drops more than this fraction below
@@ -113,7 +120,13 @@ def compare_with_baseline(gated: dict, baseline_path: Path, grid: dict):
     """
     baseline = json.loads(baseline_path.read_text())
     baseline_grid = baseline.get("grid", {})
-    if baseline_grid != grid:
+    # Knobs added for benchmarks the baseline predates don't invalidate
+    # the comparison -- its gates were measured under the shared knobs,
+    # which must be unchanged.
+    shared_match = all(
+        grid.get(key) == value for key, value in baseline_grid.items()
+    ) and bool(baseline_grid) == bool(grid)
+    if not shared_match:
         print(
             f"[bench-gate] baseline {baseline_path.name} was measured on a "
             f"different grid ({baseline_grid or 'full'} vs "
@@ -154,7 +167,7 @@ def compare_with_baseline(gated: dict, baseline_path: Path, grid: dict):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default="BENCH_PR5.json",
+    parser.add_argument("--output", default="BENCH_PR6.json",
                         help="where to write the JSON trajectory file")
     parser.add_argument("--baseline", default=None,
                         help="previous BENCH_PR*.json to compare speedups "

@@ -46,6 +46,7 @@ from repro.analysis.reporting import format_table
 from repro.analysis.sweep import EnergySweep, default_budget_grid
 from repro.core.allocator import ReapAllocator
 from repro.core.batch import BatchAllocator
+from repro.core.kernels import BACKENDS
 from repro.core.problem import ReapProblem
 from repro.data.table2 import table2_design_points
 from repro.har.classifier.train import TrainingConfig
@@ -112,11 +113,15 @@ COMMANDS: Dict[str, str] = {
     "sweep": "objective sweep over budgets (batch or scalar engine)",
     "fleet": "closed-loop fleet study; --planners adds forecast-driven "
              "planning policies, --jobs N shards the grid across "
-             "processes, --remote HOST:PORT submits it to a service",
+             "processes, --remote HOST:PORT submits it to a service "
+             "(--binary fetches compact binary columns), --backend picks "
+             "the numeric kernels (numpy/compiled/float32)",
     "plan": "single-device horizon study: forecast-driven planning "
             "(horizon-average or MPC) vs harvest-following REAP",
     "serve": "run the JSON-over-HTTP allocation service (micro-batching + "
-             "cache + worker pool + campaign endpoints)",
+             "cache + worker pool + campaign endpoints); --backend sets "
+             "the default numeric kernels, columns stream as NDJSON or "
+             "binary (?format=binary)",
 }
 
 
@@ -197,10 +202,11 @@ def _command_fleet_remote(args: argparse.Namespace) -> int:
         forecast=args.forecast,
         forecast_noise=args.forecast_noise,
         forecast_seed=args.forecast_seed,
+        backend=args.backend,
     )
     client = AllocationClient(host=host or "127.0.0.1", port=port_number)
     try:
-        status, fleet_result = client.run_campaign(request)
+        status, fleet_result = client.run_campaign(request, binary=args.binary)
     except (ServiceError, OSError, TimeoutError) as error:
         print(f"remote fleet campaign failed: {error}", file=sys.stderr)
         return 1
@@ -215,9 +221,10 @@ def _command_fleet_remote(args: argparse.Namespace) -> int:
         use_battery=not args.open_loop,
     )
     print(result.to_text())
+    wire = "binary columnar frames" if args.binary else "chunked NDJSON"
     print(
         f"\n{fleet_result.num_cells} campaign cells simulated remotely; "
-        "columns streamed back as chunked NDJSON"
+        f"columns streamed back as {wire}"
     )
     if args.csv:
         result.to_csv(args.csv)
@@ -242,6 +249,13 @@ def _command_fleet(args: argparse.Namespace) -> int:
             )
             return 2
         return _command_fleet_remote(args)
+    if args.binary:
+        print(
+            "--binary picks the wire format for --remote columns; "
+            "local runs never serialise (drop --binary or add --remote)",
+            file=sys.stderr,
+        )
+        return 2
     result = run_fleet_campaign_experiment(
         alphas=args.alphas,
         baselines=args.baselines,
@@ -256,6 +270,7 @@ def _command_fleet(args: argparse.Namespace) -> int:
         forecast=args.forecast,
         forecast_noise=args.forecast_noise,
         forecast_seed=args.forecast_seed,
+        backend=args.backend,
     )
     print(result.to_text())
     engine = (
@@ -437,6 +452,16 @@ def build_parser() -> argparse.ArgumentParser:
              "simulating locally (POST /campaign; columns stream back as "
              "chunked NDJSON)",
     )
+    fleet_parser.add_argument(
+        "--binary", action="store_true",
+        help="with --remote: fetch the columns as the compact binary "
+             "columnar wire format instead of NDJSON",
+    )
+    fleet_parser.add_argument(
+        "--backend", choices=BACKENDS, default="numpy",
+        help="numeric kernels for the solves and scans: numpy (reference), "
+             "compiled (Numba-jitted, graceful fallback) or float32",
+    )
     fleet_parser.add_argument("--csv", default=None,
                               help="also write rows to this CSV file")
 
@@ -524,6 +549,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="process workers for POST /campaign fleet studies "
              "(default: --workers)",
     )
+    serve_parser.add_argument(
+        "--backend", choices=BACKENDS, default="numpy",
+        help="default numeric kernels for requests that don't pick one: "
+             "numpy (reference), compiled (Numba-jitted, graceful "
+             "fallback) or float32",
+    )
 
     return parser
 
@@ -538,6 +569,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         workers=args.workers,
         campaign_workers=args.campaign_workers,
+        default_backend=args.backend,
     )
     return run_server(
         service, host=args.host, port=args.port, port_file=args.port_file

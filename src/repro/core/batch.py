@@ -91,10 +91,11 @@ engine is the fast path for grid-shaped workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.design_point import (
     DesignPoint,
     canonical_design_key,
@@ -111,6 +112,15 @@ _POWER_GAP_TOLERANCE = 1e-15
 
 #: Feasibility slack on vertex coordinates, matching the analytic solver.
 _VERTEX_TOLERANCE = 1e-9
+
+#: Objective-scale slack of the deterministic argmax tie-break: candidates
+#: within ``_TIE_TOLERANCE_OBJECTIVE * period_s`` (on the value scale) of the
+#: maximum are considered tied and the *first* candidate in canonical order
+#: (off, singles, pairs) wins.  This pins the chosen vertex at exact
+#: consumption-curve kinks -- where round-off used to flip the argmax
+#: between a saturated single and its zero-weight pair blends -- identically
+#: across backends, while perturbing reported objectives by at most 1e-10.
+_TIE_TOLERANCE_OBJECTIVE = 1e-10
 
 
 @dataclass(frozen=True)
@@ -327,6 +337,21 @@ class StackedConsumptionCurves:
         """Number of stacked device curves D."""
         return self._num_devices
 
+    def fused_tables(self) -> Optional[Tuple[np.ndarray, ...]]:
+        """The single shared curve grid, or ``None`` for mixed fleets.
+
+        When every device shares one breakpoint/anchor grid (fleets built
+        by one :class:`BatchAllocator` always do), returns ``(breakpoints,
+        anchors, values, slopes)`` with ``values``/``slopes`` shaped
+        ``(D, M)`` in device order -- the layout the accelerated kernels of
+        :mod:`repro.core.kernels` consume.  Heterogeneous fleets return
+        ``None`` and take the grouped reference path.
+        """
+        if len(self._groups) != 1:
+            return None
+        _, breakpoints, anchors, values, slopes, _ = self._groups[0]
+        return breakpoints, anchors, values, slopes
+
     def __call__(self, budgets_j: np.ndarray) -> np.ndarray:
         """Per-device consumption of granted budgets: (..., D) in and out.
 
@@ -425,6 +450,12 @@ class BatchAllocator:
         Activity period :math:`T_P` in seconds.
     off_power_w:
         Power consumed in the off state.
+    backend:
+        Numeric backend for the raw-array solves: ``"numpy"`` (the float64
+        reference), ``"compiled"`` (Numba-jitted value-hull kernel with a
+        graceful NumPy fallback, 1e-9 agreement) or ``"float32"``
+        (single-precision SIMD-friendly hull kernel, 1e-4 agreement).  See
+        :mod:`repro.core.kernels`.
     """
 
     def __init__(
@@ -432,6 +463,7 @@ class BatchAllocator:
         design_points: Sequence[DesignPoint],
         period_s: float = ACTIVITY_PERIOD_S,
         off_power_w: float = OFF_STATE_POWER_W,
+        backend: str = "numpy",
     ) -> None:
         validate_design_points(design_points)
         if period_s <= 0:
@@ -441,6 +473,10 @@ class BatchAllocator:
         self.design_points = tuple(design_points)
         self.period_s = float(period_s)
         self.off_power_w = float(off_power_w)
+        self.backend = kernels.validate_backend(backend)
+        # Value-hull tables of the accelerated solve path, built lazily
+        # once per alpha (see kernels.build_solve_tables).
+        self._solve_tables: dict = {}
 
         self._powers = np.array([dp.power_w for dp in self.design_points])
         self._accuracies = np.array([dp.accuracy for dp in self.design_points])
@@ -476,12 +512,20 @@ class BatchAllocator:
         requests by this key so each group dispatches as one batched solve,
         and :meth:`ReapProblem.canonical_key` extends it with the per-request
         budget and alpha to form the result-cache key.
+
+        A non-default ``backend`` is appended as a trailing element so
+        cached results never cross numeric backends; the default
+        ``"numpy"`` keeps the historical three-element key (and therefore
+        its equality with :meth:`ReapProblem.canonical_key` prefixes).
         """
-        return (
+        key = (
             canonical_design_key(self.design_points),
             self.period_s,
             self.off_power_w,
         )
+        if self.backend != "numpy":
+            key += (self.backend,)
+        return key
 
     @property
     def num_design_points(self) -> int:
@@ -578,8 +622,15 @@ class BatchAllocator:
 
         # Candidate order matches solve_analytic (off, singles, pairs) so
         # argmax breaks ties identically and the winning vertices coincide.
+        # The tie is *snapped*: any candidate within the tolerance of the
+        # maximum counts as tied and the earliest one wins, so round-off at
+        # an exact consumption-curve kink (where a saturated single equals
+        # its zero-weight pair blends) cannot flip the chosen vertex
+        # between runs or backends.
         values = np.concatenate([value_off, value_single, value_pair], axis=2)
-        winners = np.argmax(values, axis=2)                        # (A, B)
+        tie_tol = _TIE_TOLERANCE_OBJECTIVE * self.period_s
+        best = values.max(axis=2, keepdims=True)
+        winners = np.argmax(values >= best - tie_tol, axis=2)      # (A, B)
         winners[:, ~feasible] = 0
 
         times = np.zeros((num_alphas, num_budgets, n))
@@ -674,9 +725,24 @@ class BatchAllocator:
         This is the fleet-campaign fast path: per-DP time matrices, the
         objective/accuracy/energy series and the feasibility mask, with no
         per-cell :class:`TimeAllocation` objects.
+
+        Under a non-default ``backend`` the solve runs through the
+        accelerated value-hull kernel of :mod:`repro.core.kernels`
+        (falling back to this reference enumeration for degenerate
+        design-point sets where the hull does not exist).
         """
         budgets = self._validate_budgets(budgets_j)
         alpha = validate_alpha(alpha)
+        if self.backend != "numpy":
+            fast = self._solve_arrays_fast(budgets, alpha)
+            if fast is not None:
+                return fast
+        return self._solve_arrays_reference(budgets, alpha)
+
+    def _solve_arrays_reference(
+        self, budgets: np.ndarray, alpha: float
+    ) -> BatchArrays:
+        """The float64 candidate-enumeration solve, backend-independent."""
         weights = self._accuracies[None, :] ** alpha               # (1, N)
         times, feasible = self._winner_times(budgets, weights)
         times = times[0]                                           # (B, N)
@@ -692,6 +758,46 @@ class BatchAllocator:
             active_time_s=active,
             energy_j=times @ self._powers
             + self.off_power_w * (self.period_s - active),
+            period_s=self.period_s,
+            off_power_w=self.off_power_w,
+        )
+
+    def _solve_arrays_fast(
+        self, budgets: np.ndarray, alpha: float
+    ) -> Optional[BatchArrays]:
+        """Accelerated solve via the value hull (``None`` -> no fast path)."""
+        dtype = np.float32 if self.backend == "float32" else np.float64
+        cached = self._solve_tables.get(alpha)
+        if cached is None:
+            cached = kernels.build_solve_tables(
+                self._powers,
+                self._accuracies,
+                alpha,
+                self.period_s,
+                self.off_power_w,
+                dtype=dtype,
+            )
+            self._solve_tables[alpha] = (cached,)
+        else:
+            (cached,) = cached
+        if cached is None:
+            return None
+        times, feasible, objective, accuracy, active, energy = (
+            kernels.hull_solve(
+                budgets, cached, self.period_s, self.num_design_points,
+                self.backend,
+            )
+        )
+        return BatchArrays(
+            design_points=self.design_points,
+            budgets_j=budgets,
+            alpha=alpha,
+            times_s=times,
+            feasible=feasible,
+            objective=objective,
+            expected_accuracy=accuracy,
+            active_time_s=active,
+            energy_j=energy,
             period_s=self.period_s,
             off_power_w=self.off_power_w,
         )
@@ -760,9 +866,16 @@ class BatchAllocator:
                 "a design point draws no more than the off state; consumption "
                 "is not piecewise-linear over the saturation breakpoints"
             )
+        # Probe the float64 reference solve regardless of the backend: the
+        # curve encodes the exact LP structure (its validation demands 1e-9
+        # linearity, which float32 round-off cannot meet), and the fast
+        # backends consume it through the fused tables instead.
+        probe_alpha = validate_alpha(alpha)
         return ConsumptionCurve.from_probe(
             self._curve_breakpoints(),
-            lambda budgets: self.device_consumption(budgets, alpha=alpha),
+            lambda budgets: self._solve_arrays_reference(
+                self._validate_budgets(budgets), probe_alpha
+            ).device_consumption_j,
         )
 
     def static_consumption_curve(

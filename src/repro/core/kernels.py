@@ -1,0 +1,661 @@
+"""Accelerated kernels for the three hot loops behind the engine key.
+
+The reproduction's hot paths are, after PRs 1-5, three tight array
+programs:
+
+1. :meth:`~repro.core.batch.BatchAllocator.solve_arrays` -- candidate-vertex
+   scoring and argmax over a budget vector,
+2. the :class:`~repro.energy.fleet.BatteryScan` grant/settle recurrence over
+   the piecewise-linear consumption curve (the one loop NumPy cannot
+   vectorize away: each period's budget depends on the previous period's
+   consumption), and
+3. :meth:`~repro.planning.horizon.MpcPlanner.sustainable` -- the MPC grid
+   refinement's window projection.
+
+This module provides the *raw-speed tier* for all three, selected by a
+``backend`` string threaded through the engines:
+
+``"numpy"``
+    The existing float64 reference implementations (unchanged, and still
+    the cross-checked source of truth).
+``"compiled"``
+    Numba-jitted scalar loops when Numba is importable, with a **graceful
+    pure-Python/NumPy fallback** when it is not (the container image does
+    not ship Numba; CI has an optional-deps job that does).  Agreement
+    with the reference is 1e-9 on objectives, trajectories and plan
+    budgets.
+``"float32"``
+    Single-precision SIMD-friendly NumPy paths (half the memory traffic,
+    wider vector lanes).  Agreement with the reference is 1e-4.
+
+Design notes
+------------
+The compiled/float32 ``solve_arrays`` path does not re-enumerate the
+``1 + N + N(N-1)/2`` candidate vertices per budget.  Because the REAP LP's
+value function ``J*(E)`` is the **upper concave, non-decreasing hull** of
+the pure-vertex points ``{(E_floor, 0)} U {(P_i * T, w_i * T)}`` (flat past
+the last hull vertex), a solve collapses to one ``searchsorted`` over the
+hull breakpoints plus a linear blend of the two bracketing hull vertices:
+``O(B log N)`` instead of ``O(B * N^2)``, with bit-equal objectives at the
+hull vertices.  The hull only exists when every design point out-draws the
+off state (the same precondition as
+:meth:`~repro.core.batch.BatchAllocator.consumption_curve`); degenerate
+sets fall back to the reference path.
+
+Every public helper in this module either returns plain arrays or ``None``
+meaning "no fast path applies here -- use the reference"; callers never
+need to know whether Numba is present.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Backend names accepted by the engines (first one is the default).
+BACKENDS = ("numpy", "compiled", "float32")
+
+try:  # pragma: no cover - exercised only in the optional-deps CI job
+    from numba import njit
+
+    HAVE_NUMBA = True
+except Exception:  # pragma: no cover - the common, numba-less environment
+    HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):  # type: ignore[misc]
+        """No-op decorator stand-in so jitted defs still parse."""
+
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(function):
+            return function
+
+        return wrap
+
+
+#: Set on the first Numba compile/dispatch failure: the fallback becomes
+#: permanent for the process rather than re-raising on every call.
+_NUMBA_BROKEN = False
+
+
+def validate_backend(backend: str) -> str:
+    """Check a backend name (raises ``ValueError`` when unknown)."""
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    return backend
+
+
+def numba_ready() -> bool:
+    """True when the ``compiled`` backend can actually jit."""
+    return HAVE_NUMBA and not _NUMBA_BROKEN
+
+
+def _numba_call(jitted, *args):
+    """Run a jitted kernel, permanently falling back on any Numba failure."""
+    global _NUMBA_BROKEN
+    try:
+        jitted(*args)
+        return True
+    except Exception:  # pragma: no cover - only reachable with a broken numba
+        _NUMBA_BROKEN = True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Kernel 1: solve_arrays via the concave value hull
+# ---------------------------------------------------------------------------
+def build_solve_tables(
+    powers: np.ndarray,
+    accuracies: np.ndarray,
+    alpha: float,
+    period_s: float,
+    off_power_w: float,
+    dtype=np.float64,
+) -> Optional[tuple]:
+    """Precompute the value hull of one (engine, alpha) pair.
+
+    Returns ``(hull_energy, hull_value, hull_index, accuracies)`` where the
+    hull arrays hold one entry per hull vertex -- vertex 0 is the all-off
+    floor (``hull_index[0] == -1``), later vertices are design points in
+    increasing energy.  Returns ``None`` when the hull does not exist (a
+    design point draws no more than the off state), in which case callers
+    must use the reference candidate enumeration.
+    """
+    marginal = powers - off_power_w
+    if np.any(marginal <= 0):
+        return None
+    weights = accuracies**alpha
+    energies = powers * period_s
+    values = weights * period_s
+    floor = off_power_w * period_s
+
+    order = np.argsort(energies, kind="stable")
+    hull_e = [float(floor)]
+    hull_v = [0.0]
+    hull_i = [-1]
+    for i in order:
+        energy, value = float(energies[i]), float(values[i])
+        if value <= hull_v[-1]:
+            continue  # dominated: no extra value for the extra energy
+        # Pop hull vertices that fall below the chord to the new point
+        # (standard monotone-chain upper hull on energy-sorted points).
+        while len(hull_e) >= 2 and (value - hull_v[-2]) * (
+            hull_e[-1] - hull_e[-2]
+        ) >= (hull_v[-1] - hull_v[-2]) * (energy - hull_e[-2]):
+            hull_e.pop()
+            hull_v.pop()
+            hull_i.pop()
+        hull_e.append(energy)
+        hull_v.append(value)
+        hull_i.append(int(i))
+    return (
+        np.asarray(hull_e, dtype=dtype),
+        np.asarray(hull_v, dtype=dtype),
+        np.asarray(hull_i, dtype=np.int64),
+        np.asarray(accuracies, dtype=dtype),
+    )
+
+
+@njit(cache=False)
+def _hull_solve_jit(  # pragma: no cover - requires numba
+    budgets, hull_e, hull_v, hull_i, acc, period, floor,
+    times, feasible, objective, accuracy, active, energy,
+):
+    num_budgets = budgets.shape[0]
+    num_vertices = hull_e.shape[0]
+    for row in range(num_budgets):
+        budget = budgets[row]
+        if budget < floor - 1e-12:
+            feasible[row] = False
+            energy[row] = floor
+            continue
+        feasible[row] = True
+        clamped = budget
+        if clamped > hull_e[num_vertices - 1]:
+            clamped = hull_e[num_vertices - 1]
+        if clamped < hull_e[0]:
+            clamped = hull_e[0]
+        lo, hi = 0, num_vertices
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if hull_e[mid] <= clamped:
+                lo = mid + 1
+            else:
+                hi = mid
+        k = lo - 1
+        if k > num_vertices - 2:
+            k = num_vertices - 2
+        if k < 0:
+            k = 0
+        lam = (clamped - hull_e[k]) / (hull_e[k + 1] - hull_e[k])
+        t_right = lam * period
+        t_left = period - t_right
+        left, right = hull_i[k], hull_i[k + 1]
+        times[row, right] = t_right
+        if left >= 0:
+            times[row, left] = t_left
+            active[row] = period
+            accuracy[row] = (t_left * acc[left] + t_right * acc[right]) / period
+        else:
+            active[row] = t_right
+            accuracy[row] = t_right * acc[right] / period
+        objective[row] = (hull_v[k] + lam * (hull_v[k + 1] - hull_v[k])) / period
+        energy[row] = clamped
+
+
+def _hull_solve_numpy(
+    budgets: np.ndarray, tables: tuple, period_s: float, num_points: int, dtype
+) -> tuple:
+    hull_e, hull_v, hull_i, acc = tables
+    b = budgets.astype(dtype, copy=False)
+    period = dtype(period_s)
+    floor = hull_e[0]
+    feasible = b >= floor - dtype(1e-12)
+    clamped = np.clip(b, floor, hull_e[-1])
+    k = np.searchsorted(hull_e, clamped, side="right") - 1
+    np.clip(k, 0, hull_e.size - 2, out=k)
+    lam = (clamped - hull_e[k]) / (hull_e[k + 1] - hull_e[k])
+    t_right = np.where(feasible, lam * period, dtype(0.0))
+    left, right = hull_i[k], hull_i[k + 1]
+    has_left = left >= 0
+    t_left = np.where(has_left & feasible, period - t_right, dtype(0.0))
+    times = np.zeros((b.size, num_points), dtype=dtype)
+    rows = np.arange(b.size)
+    times[rows, right] = t_right
+    lr = rows[has_left]
+    times[lr, left[has_left]] = t_left[has_left]
+    value = hull_v[k] + lam * (hull_v[k + 1] - hull_v[k])
+    objective = np.where(feasible, value / period, dtype(0.0))
+    active = t_left + t_right
+    acc_left = np.where(has_left, acc[np.maximum(left, 0)], dtype(0.0))
+    accuracy = np.where(
+        feasible, (t_left * acc_left + t_right * acc[right]) / period, dtype(0.0)
+    )
+    energy = np.where(feasible, clamped, floor)
+    return times, feasible, objective, accuracy, active, energy
+
+
+def hull_solve(
+    budgets: np.ndarray,
+    tables: tuple,
+    period_s: float,
+    num_points: int,
+    backend: str,
+) -> tuple:
+    """Solve a budget vector against precomputed hull tables.
+
+    Returns float64 ``(times, feasible, objective, accuracy, active,
+    energy)`` matching the reference :class:`~repro.core.batch.BatchArrays`
+    field layout.  ``tables`` must come from :func:`build_solve_tables`
+    built at the matching dtype (float64 for ``compiled``, float32 for
+    ``float32``).
+    """
+    if backend == "compiled" and numba_ready():
+        hull_e, hull_v, hull_i, acc = tables
+        b = np.ascontiguousarray(budgets, dtype=np.float64)
+        times = np.zeros((b.size, num_points))
+        feasible = np.empty(b.size, dtype=np.bool_)
+        objective = np.zeros(b.size)
+        accuracy = np.zeros(b.size)
+        active = np.zeros(b.size)
+        energy = np.zeros(b.size)
+        if _numba_call(
+            _hull_solve_jit,
+            b, hull_e, hull_v, hull_i, acc,
+            float(period_s), float(hull_e[0]),
+            times, feasible, objective, accuracy, active, energy,
+        ):
+            return times, feasible, objective, accuracy, active, energy
+    dtype = np.float32 if backend == "float32" else np.float64
+    out = _hull_solve_numpy(budgets, tables, period_s, num_points, dtype)
+    if dtype is np.float64:
+        return out
+    times, feasible, objective, accuracy, active, energy = out
+    return (
+        times.astype(np.float64),
+        feasible,
+        objective.astype(np.float64),
+        accuracy.astype(np.float64),
+        active.astype(np.float64),
+        energy.astype(np.float64),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Kernel 2: the BatteryScan grant/settle recurrence
+# ---------------------------------------------------------------------------
+#: Fleet width above which the pure-Python scalar fallback loses to the
+#: vectorized reference (measured crossover is ~24 devices).
+_SCALAR_SCAN_MAX_DEVICES = 24
+
+
+@njit(cache=False)
+def _battery_scan_jit(  # pragma: no cover - requires numba
+    harvest, initial, capacity, target, max_draw, min_budget, ce, de,
+    breakpoints, anchors, values, slopes,
+    budgets, consumed, charges,
+):
+    num_periods, num_devices = harvest.shape
+    num_breaks = breakpoints.shape[0]
+    for d in range(num_devices):
+        charges[0, d] = initial[d]
+    for t in range(num_periods):
+        for d in range(num_devices):
+            h = harvest[t, d]
+            c = charges[t, d]
+            # grant: levelling draw + floor top-up (HarvestFollowingAllocator)
+            contribution = c - target[d]
+            if contribution < 0.0:
+                contribution = 0.0
+            elif contribution > max_draw[d]:
+                contribution = max_draw[d]
+            shortfall = min_budget[d] - (h + contribution)
+            extra = c * de[d] - contribution
+            if shortfall < extra:
+                extra = shortfall
+            if extra > 0.0:
+                contribution = contribution + extra
+            budget = h + contribution
+            # consumption: piecewise-linear curve segment lookup
+            lo, hi = 0, num_breaks
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if breakpoints[mid] <= budget:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            k = lo - 1
+            if k < 0:
+                k = 0
+            spent = values[d, k] + slopes[d, k] * (budget - anchors[k])
+            # settle: bank the surplus or draw the deficit
+            if h >= spent:
+                accepted = (h - spent) * ce[d]
+                headroom = capacity[d] - c
+                if accepted > headroom:
+                    accepted = headroom
+                c = c + accepted
+            else:
+                deliverable = spent - h
+                available = c * de[d]
+                if deliverable > available:
+                    deliverable = available
+                c = c - deliverable / de[d]
+                if c < 0.0:
+                    c = 0.0
+            budgets[t, d] = budget
+            consumed[t, d] = spent
+            charges[t + 1, d] = c
+
+
+def _battery_scan_scalar(
+    harvest, initial, capacity, target, max_draw, min_budget, ce, de, tables
+) -> tuple:
+    """Pure-Python scalar recurrence: bit-equal to the reference for the
+    narrow fleets where Python scalars beat NumPy's per-period dispatch."""
+    breakpoints, anchors, values, slopes = tables
+    num_periods, num_devices = harvest.shape
+    num_breaks = breakpoints.size
+    bp = breakpoints.tolist()
+    anchor = anchors.tolist()
+    value_rows = values.tolist()
+    slope_rows = slopes.tolist()
+    cap = capacity.tolist()
+    tgt = target.tolist()
+    draw = max_draw.tolist()
+    floor = min_budget.tolist()
+    ce_l = ce.tolist()
+    de_l = de.tolist()
+    charge = initial.tolist()
+    harvest_rows = harvest.tolist()
+    budgets = np.empty((num_periods, num_devices))
+    consumed = np.empty_like(budgets)
+    charges = np.empty((num_periods + 1, num_devices))
+    charges[0] = charge
+    for t in range(num_periods):
+        row_h = harvest_rows[t]
+        row_b = budgets[t]
+        row_c = consumed[t]
+        row_ch = charges[t + 1]
+        for d in range(num_devices):
+            h = row_h[d]
+            c = charge[d]
+            contribution = c - tgt[d]
+            if contribution < 0.0:
+                contribution = 0.0
+            elif contribution > draw[d]:
+                contribution = draw[d]
+            shortfall = floor[d] - (h + contribution)
+            extra = c * de_l[d] - contribution
+            if shortfall < extra:
+                extra = shortfall
+            if extra > 0.0:
+                contribution = contribution + extra
+            budget = h + contribution
+            lo, hi = 0, num_breaks
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if bp[mid] <= budget:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            k = lo - 1
+            if k < 0:
+                k = 0
+            spent = value_rows[d][k] + slope_rows[d][k] * (budget - anchor[k])
+            if h >= spent:
+                accepted = (h - spent) * ce_l[d]
+                headroom = cap[d] - c
+                if accepted > headroom:
+                    accepted = headroom
+                c = c + accepted
+            else:
+                deliverable = spent - h
+                available = c * de_l[d]
+                if deliverable > available:
+                    deliverable = available
+                c = c - deliverable / de_l[d]
+                if c < 0.0:
+                    c = 0.0
+            charge[d] = c
+            row_b[d] = budget
+            row_c[d] = spent
+            row_ch[d] = c
+    return budgets, consumed, charges
+
+
+def _battery_scan_numpy(
+    harvest, initial, capacity, target, max_draw, min_budget, ce, de, tables,
+    dtype,
+) -> tuple:
+    """Fused per-period vectorized recurrence at an explicit dtype.
+
+    The float32 variant halves the memory traffic of every step; the
+    float64 variant is the wide-fleet fallback of the compiled backend.
+    """
+    breakpoints, anchors, values, slopes = (
+        t.astype(dtype, copy=False) for t in tables
+    )
+    harvest = harvest.astype(dtype, copy=False)
+    capacity = capacity.astype(dtype, copy=False)
+    target = target.astype(dtype, copy=False)
+    max_draw = max_draw.astype(dtype, copy=False)
+    min_budget = min_budget.astype(dtype, copy=False)
+    ce = ce.astype(dtype, copy=False)
+    de = de.astype(dtype, copy=False)
+    num_periods, num_devices = harvest.shape
+    rows = np.arange(num_devices)
+    budgets = np.empty((num_periods, num_devices), dtype=dtype)
+    consumed = np.empty_like(budgets)
+    charges = np.empty((num_periods + 1, num_devices), dtype=dtype)
+    charge = initial.astype(dtype)
+    charges[0] = charge
+    zero = dtype(0.0)
+    for t in range(num_periods):
+        h = harvest[t]
+        contribution = np.minimum(np.maximum(charge - target, zero), max_draw)
+        shortfall = min_budget - (h + contribution)
+        extra = np.minimum(shortfall, charge * de - contribution)
+        contribution = contribution + np.maximum(zero, extra)
+        budget = h + contribution
+        index = breakpoints.searchsorted(budget, side="right") - 1
+        np.clip(index, 0, breakpoints.size - 1, out=index)
+        spent = values[rows, index] + slopes[rows, index] * (
+            budget - anchors[index]
+        )
+        accepted = np.minimum((h - spent) * ce, capacity - charge)
+        deliverable = np.minimum(spent - h, charge * de)
+        charge = np.where(
+            h >= spent,
+            charge + accepted,
+            np.maximum(zero, charge - deliverable / de),
+        )
+        budgets[t] = budget
+        consumed[t] = spent
+        charges[t + 1] = charge
+    return budgets, consumed, charges
+
+
+def battery_scan(
+    harvest: np.ndarray,
+    initial: np.ndarray,
+    capacity: np.ndarray,
+    target: np.ndarray,
+    max_draw: np.ndarray,
+    min_budget: np.ndarray,
+    ce: np.ndarray,
+    de: np.ndarray,
+    tables: tuple,
+    backend: str,
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Run the closed-loop recurrence on one consumption-curve grid.
+
+    ``tables`` is the fused ``(breakpoints, anchors, values, slopes)`` grid
+    of :meth:`~repro.core.batch.StackedConsumptionCurves.fused_tables`.
+    Returns float64 ``(budgets, consumed, charges)``, or ``None`` when no
+    fast path beats the reference here (wide fleets without Numba).
+    """
+    num_devices = harvest.shape[1]
+    if backend == "compiled":
+        if numba_ready():
+            breakpoints, anchors, values, slopes = (
+                np.ascontiguousarray(t) for t in tables
+            )
+            budgets = np.empty(harvest.shape)
+            consumed = np.empty_like(budgets)
+            charges = np.empty((harvest.shape[0] + 1, num_devices))
+            if _numba_call(
+                _battery_scan_jit,
+                np.ascontiguousarray(harvest), initial, capacity, target,
+                max_draw, min_budget, ce, de,
+                breakpoints, anchors, values, slopes,
+                budgets, consumed, charges,
+            ):
+                return budgets, consumed, charges
+        if num_devices <= _SCALAR_SCAN_MAX_DEVICES:
+            return _battery_scan_scalar(
+                harvest, initial, capacity, target, max_draw, min_budget,
+                ce, de, tables,
+            )
+        return None
+    # float32: the half-width vector step only beats the reference once the
+    # fleet is wide enough to amortise the per-period dispatch; narrow
+    # fleets take the (exact, faster) scalar recurrence instead.
+    if num_devices <= _SCALAR_SCAN_MAX_DEVICES:
+        return _battery_scan_scalar(
+            harvest, initial, capacity, target, max_draw, min_budget,
+            ce, de, tables,
+        )
+    budgets, consumed, charges = _battery_scan_numpy(
+        harvest, initial, capacity, target, max_draw, min_budget, ce, de,
+        tables, np.float32,
+    )
+    return (
+        budgets.astype(np.float64),
+        consumed.astype(np.float64),
+        charges.astype(np.float64),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Kernel 3: the MPC window-sustainability projection
+# ---------------------------------------------------------------------------
+@njit(cache=False)
+def _mpc_sustainable_jit(  # pragma: no cover - requires numba
+    budgets, window, charge, ce, de, tol,
+    breakpoints, anchors, values, slopes, ok,
+):
+    num_candidates, num_devices = budgets.shape
+    num_windows = window.shape[0]
+    num_breaks = breakpoints.shape[0]
+    for ci in range(num_candidates):
+        for d in range(num_devices):
+            budget = budgets[ci, d]
+            lo, hi = 0, num_breaks
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if breakpoints[mid] <= budget:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            k = lo - 1
+            if k < 0:
+                k = 0
+            spent = values[d, k] + slopes[d, k] * (budget - anchors[k])
+            running = 0.0
+            good = True
+            for w in range(num_windows):
+                delta = window[w, d] - spent
+                deficit = -delta - (charge[d] + running) * de[d]
+                if deficit > tol:
+                    good = False
+                    break
+                if delta >= 0.0:
+                    running += delta * ce[d]
+                else:
+                    running += delta / de[d]
+            ok[ci, d] = good
+
+
+def _mpc_sustainable_numpy(spent, window, charge, ce, de, tol, dtype) -> np.ndarray:
+    """Fused window scan: running (C, D) buffers instead of (W, C, D)
+    temporaries, at an explicit dtype."""
+    spent = spent.astype(dtype, copy=False)
+    window = window.astype(dtype, copy=False)
+    charge = charge.astype(dtype, copy=False)
+    ce = ce.astype(dtype, copy=False)
+    de = de.astype(dtype, copy=False)
+    tol = dtype(tol)
+    running = np.zeros_like(spent)
+    ok = np.ones(spent.shape, dtype=bool)
+    for w in range(window.shape[0]):
+        delta = window[w][None, :] - spent
+        deficit = -delta - (charge + running) * de
+        ok &= deficit <= tol
+        running = running + np.where(delta >= 0, delta * ce, delta / de)
+    return ok
+
+
+#: Candidate-grid size (C * D elements) below which the fused NumPy window
+#: scan loses to the reference's single broadcast over (W, C, D) -- per-step
+#: dispatch overhead dominates tiny arrays.  Without Numba, smaller
+#: problems return ``None`` and take the reference path.
+_MPC_FUSED_MIN_ELEMENTS = 4096
+
+
+def mpc_sustainable(
+    budgets: np.ndarray,
+    window: np.ndarray,
+    charge: np.ndarray,
+    ce: np.ndarray,
+    de: np.ndarray,
+    tol: float,
+    tables: tuple,
+    backend: str,
+) -> Optional[np.ndarray]:
+    """Sustainability mask of ``(C, D)`` candidate budgets over a window.
+
+    Semantically identical to the reference
+    :meth:`~repro.planning.horizon.MpcPlanner.sustainable` with the curve
+    evaluation and the ``(W, C, D)`` projection fused into one pass.
+    Returns ``None`` when no fast path would beat the reference here
+    (Numba absent and the candidate grid too small to amortise the fused
+    loop).
+    """
+    if backend == "compiled" and numba_ready():
+        breakpoints, anchors, values, slopes = (
+            np.ascontiguousarray(t) for t in tables
+        )
+        ok = np.empty(budgets.shape, dtype=np.bool_)
+        if _numba_call(
+            _mpc_sustainable_jit,
+            np.ascontiguousarray(budgets), np.ascontiguousarray(window),
+            charge, ce, de, float(tol),
+            breakpoints, anchors, values, slopes, ok,
+        ):
+            return ok
+    if budgets.size < _MPC_FUSED_MIN_ELEMENTS:
+        return None
+    breakpoints, anchors, values, slopes = tables
+    index = breakpoints.searchsorted(budgets, side="right") - 1
+    np.clip(index, 0, breakpoints.size - 1, out=index)
+    rows = np.arange(budgets.shape[1])
+    spent = values[rows, index] + slopes[rows, index] * (
+        budgets - anchors[index]
+    )
+    dtype = np.float32 if backend == "float32" else np.float64
+    return _mpc_sustainable_numpy(spent, window, charge, ce, de, tol, dtype)
+
+
+__all__ = [
+    "BACKENDS",
+    "HAVE_NUMBA",
+    "battery_scan",
+    "build_solve_tables",
+    "hull_solve",
+    "mpc_sustainable",
+    "numba_ready",
+    "validate_backend",
+]

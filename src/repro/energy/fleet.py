@@ -33,10 +33,11 @@ single-device story.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core import kernels
 from repro.data.paper_constants import ACTIVITY_PERIOD_S, OFF_STATE_POWER_W
 from repro.energy.battery import Battery
 
@@ -106,6 +107,13 @@ class BatteryScan:
         Floor on the granted budget (defaults to the off-state energy).
     charge_efficiency / discharge_efficiency:
         Round-trip loss factors of the store.
+    backend:
+        Numeric backend for :meth:`run`: ``"numpy"`` (the reference
+        per-period vector loop), ``"compiled"`` (Numba-jitted scalar
+        recurrence with a graceful fallback) or ``"float32"``.  The fast
+        paths apply when the consumption function is a single-grid
+        :class:`~repro.core.batch.StackedConsumptionCurves`; anything else
+        runs the reference loop regardless (see :mod:`repro.core.kernels`).
     """
 
     def __init__(
@@ -120,10 +128,12 @@ class BatteryScan:
         # cannot drift if the battery model is retuned.
         charge_efficiency: ArrayLike = Battery.charge_efficiency,
         discharge_efficiency: ArrayLike = Battery.discharge_efficiency,
+        backend: str = "numpy",
     ) -> None:
         if num_devices < 1:
             raise ValueError(f"need at least one device, got {num_devices}")
         self.num_devices = int(num_devices)
+        self.backend = kernels.validate_backend(backend)
 
         def spread(value: ArrayLike) -> np.ndarray:
             array = np.broadcast_to(
@@ -224,6 +234,11 @@ class BatteryScan:
         if np.any(harvest < 0):
             raise ValueError("harvest must be non-negative")
 
+        if self.backend != "numpy":
+            fast = self._run_fast(harvest, consumption)
+            if fast is not None:
+                return fast
+
         num_periods = harvest.shape[0]
         budgets = np.empty((num_periods, self.num_devices))
         consumed = np.empty_like(budgets)
@@ -239,6 +254,43 @@ class BatteryScan:
             budgets[period] = budget
             consumed[period] = spent
             charges[period + 1] = charge
+        return BatteryScanResult(
+            harvest_j=np.array(harvest),
+            budgets_j=budgets,
+            consumed_j=consumed,
+            charge_j=charges,
+        )
+
+    def _run_fast(
+        self, harvest: np.ndarray, consumption: ConsumptionFn
+    ) -> Optional["BatteryScanResult"]:
+        """Accelerated recurrence via the fused scan kernel.
+
+        Returns ``None`` when no fast path applies: the consumption
+        function is not a single-grid stacked curve set, or the fleet is
+        too wide for the Numba-less scalar fallback to win.
+        """
+        tables = getattr(consumption, "fused_tables", None)
+        if tables is None:
+            return None
+        tables = tables()
+        if tables is None:
+            return None
+        result = kernels.battery_scan(
+            harvest,
+            self.initial_charge_j,
+            self.capacity_j,
+            self._target_charge_j,
+            self.max_draw_j,
+            self.min_budget_j,
+            self.charge_efficiency,
+            self.discharge_efficiency,
+            tables,
+            self.backend,
+        )
+        if result is None:
+            return None
+        budgets, consumed, charges = result
         return BatteryScanResult(
             harvest_j=np.array(harvest),
             budgets_j=budgets,

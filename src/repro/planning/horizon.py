@@ -42,6 +42,7 @@ from typing import Callable, Union
 
 import numpy as np
 
+from repro.core import kernels
 from repro.data.paper_constants import ACTIVITY_PERIOD_S, OFF_STATE_POWER_W
 from repro.energy.battery import Battery
 from repro.energy.fleet import BatteryScan
@@ -115,14 +116,22 @@ class PlanBattery:
 
 
 class HorizonPlanner(abc.ABC):
-    """Base class for lookahead-driven budget planners."""
+    """Base class for lookahead-driven budget planners.
 
-    def __init__(self, horizon_periods: int) -> None:
+    ``backend`` selects the numeric backend of the planner's inner loops
+    (see :mod:`repro.core.kernels`); the closed-form
+    :class:`HorizonAverageAllocator` has no hot loop and simply records it,
+    while :class:`MpcPlanner` routes its sustainability projection through
+    the fused/compiled kernels.
+    """
+
+    def __init__(self, horizon_periods: int, backend: str = "numpy") -> None:
         if horizon_periods < 1:
             raise ValueError(
                 f"horizon must be >= 1 period, got {horizon_periods}"
             )
         self.horizon_periods = int(horizon_periods)
+        self.backend = kernels.validate_backend(backend)
 
     @abc.abstractmethod
     def step_budgets(
@@ -219,8 +228,9 @@ class MpcPlanner(HorizonPlanner):
         passes: int = 3,
         candidates: int = 16,
         feasibility_tol_j: float = 1e-9,
+        backend: str = "numpy",
     ) -> None:
-        super().__init__(horizon_periods)
+        super().__init__(horizon_periods, backend=backend)
         if passes < 1:
             raise ValueError(f"passes must be >= 1, got {passes}")
         if candidates < 3:
@@ -260,6 +270,22 @@ class MpcPlanner(HorizonPlanner):
         squeeze = budgets.ndim == 1
         if squeeze:
             budgets = budgets[None, :]
+        if self.backend != "numpy":
+            tables = getattr(consumption, "fused_tables", None)
+            tables = tables() if tables is not None else None
+            if tables is not None:
+                ok = kernels.mpc_sustainable(
+                    budgets,
+                    window,
+                    charge_j,
+                    battery.charge_efficiency,
+                    battery.discharge_efficiency,
+                    self.feasibility_tol_j,
+                    tables,
+                    self.backend,
+                )
+                if ok is not None:
+                    return ok[0] if squeeze else ok
         spent = consumption(budgets)                            # (C, D)
         deltas = window[:, None, :] - spent[None, :, :]         # (W, C, D)
         stored = np.where(

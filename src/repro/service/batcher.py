@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.batch import BatchAllocator
 from repro.core.design_point import DesignPoint, canonical_design_key
 from repro.data.table2 import table2_design_points
@@ -51,11 +52,14 @@ class EngineRegistry:
     """
 
     def __init__(
-        self, default_points: Optional[Sequence[DesignPoint]] = None
+        self,
+        default_points: Optional[Sequence[DesignPoint]] = None,
+        default_backend: str = "numpy",
     ) -> None:
         self.default_points: Tuple[DesignPoint, ...] = tuple(
             default_points if default_points is not None else table2_design_points()
         )
+        self.default_backend = kernels.validate_backend(default_backend)
         # Precomputed once: requests that leave design_points unset (the hot
         # path of a production workload) get their keys without materialising
         # a resolved request copy per call.
@@ -70,15 +74,35 @@ class EngineRegistry:
         """Fill a request's unset design points with the registry default."""
         return request.resolve(self.default_points)
 
+    def backend_of(self, request: AllocationRequest) -> str:
+        """The backend serving ``request`` (its own, or the registry default)."""
+        if request.backend is not None:
+            return request.backend
+        return self.default_backend
+
     def engine_key_of(self, request: AllocationRequest) -> tuple:
-        """``request.engine_key`` with the default set resolved lazily."""
+        """``request.engine_key`` with defaults (points, backend) resolved lazily.
+
+        Mirrors :meth:`BatchAllocator.engine_key`: the reference backend
+        keeps the historical three-element key; accelerated backends append
+        theirs, so cached results never cross backends.
+        """
         if request.design_points is None:
-            return (
+            key: tuple = (
                 self._default_dp_key,
                 float(request.period_s),
                 float(request.off_power_w),
             )
-        return request.engine_key
+        else:
+            key = (
+                canonical_design_key(request.design_points),
+                float(request.period_s),
+                float(request.off_power_w),
+            )
+        backend = self.backend_of(request)
+        if backend != "numpy":
+            key = key + (backend,)
+        return key
 
     def cache_key_of(self, request: AllocationRequest) -> tuple:
         """``request.cache_key`` with the default set resolved lazily."""
@@ -95,11 +119,13 @@ class EngineRegistry:
             with self._build_lock:
                 engine = self._engines.get(key)
                 if engine is None:
+                    backend = self.backend_of(request)
                     request = self.resolve(request)
                     engine = BatchAllocator(
                         request.design_points,
                         period_s=request.period_s,
                         off_power_w=request.off_power_w,
+                        backend=backend,
                     )
                     self._engines[key] = engine
         return engine

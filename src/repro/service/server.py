@@ -38,7 +38,11 @@ Endpoints
 ``GET /campaign/<id>/columns``
     Stream the finished campaign's full per-period columns back as
     chunked NDJSON: one meta line, then one line per (scenario, policy)
-    cell.
+    cell.  ``?format=binary`` negotiates the compact binary columnar wire
+    format instead (length-prefixed zlib-deflated frames, see
+    :meth:`repro.simulation.fleet.FleetResult.to_binary_frames`);
+    ``?format=binary&dtype=f4`` sends float32 frames.  NDJSON stays the
+    default; unknown ``format``/``dtype`` values answer 400.
 ``DELETE /campaign/<id>``
     Drop a finished campaign and free its retained columns; the id 404s
     afterwards.  Pending/running jobs answer 409.
@@ -55,7 +59,8 @@ import json
 import re
 import threading
 import time
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from urllib.parse import parse_qsl
 
 from repro.core.design_point import DesignPoint
 from repro.service.batcher import EngineRegistry, MicroBatcher
@@ -136,12 +141,13 @@ class AllocationService:
         workers: int = 1,
         campaign_workers: Optional[int] = None,
         max_campaigns: int = 64,
+        default_backend: str = "numpy",
     ) -> None:
         if max_campaigns < 1:
             raise ValueError(
                 f"max_campaigns must be at least 1, got {max_campaigns}"
             )
-        self.registry = EngineRegistry(default_points)
+        self.registry = EngineRegistry(default_points, default_backend=default_backend)
         self.pool = WorkerPool(
             workers=workers,
             registry=self.registry,
@@ -313,6 +319,13 @@ class _StreamingPayloads:
         self.payloads = payloads
 
 
+class _StreamingFrames:
+    """Dispatch result asking for chunked binary frames (octet-stream)."""
+
+    def __init__(self, frames: Iterable[bytes]) -> None:
+        self.frames = frames
+
+
 _STATUS_TEXT = {
     200: "OK",
     400: "Bad Request",
@@ -425,6 +438,8 @@ class AllocationServer:
                 result = 500, {"error": f"{type(error).__name__}: {error}"}
             if isinstance(result, _StreamingPayloads):
                 await self._write_stream(writer, result)
+            elif isinstance(result, _StreamingFrames):
+                await self._write_frames(writer, result)
             else:
                 status, payload = result
                 writer.write(_encode_response(status, payload))
@@ -433,6 +448,33 @@ class AllocationServer:
             pass
         finally:
             writer.close()
+
+    @staticmethod
+    async def _write_frames(
+        writer: asyncio.StreamWriter, stream: "_StreamingFrames"
+    ) -> None:
+        """Write binary wire frames with chunked transfer encoding.
+
+        One HTTP chunk per frame, drained as produced -- mirrors
+        :meth:`_write_stream`, with ``application/octet-stream`` bytes in
+        place of NDJSON lines.
+        """
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/octet-stream\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("ascii")
+        writer.write(head)
+        await writer.drain()
+        for frame in stream.frames:
+            if not frame:
+                continue  # zero-length HTTP chunk would terminate the stream
+            writer.write(f"{len(frame):x}\r\n".encode("ascii") + frame + b"\r\n")
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
 
     @staticmethod
     async def _write_stream(
@@ -462,6 +504,8 @@ class AllocationServer:
     async def _dispatch(
         self, method: str, path: str, body: Optional[Dict[str, Any]]
     ):
+        path, _, raw_query = path.partition("?")
+        query = dict(parse_qsl(raw_query, keep_blank_values=True))
         if path == "/healthz":
             if method != "GET":
                 raise _HttpError(405, "healthz is GET-only")
@@ -528,8 +572,27 @@ class AllocationServer:
                 )
             result = job.result
             assert result is not None
-            return _StreamingPayloads(
-                itertools.chain([result.meta_payload()], result.cell_payloads())
+            columns_format = query.get("format", "ndjson")
+            if columns_format == "ndjson":
+                return _StreamingPayloads(
+                    itertools.chain(
+                        [result.meta_payload()], result.cell_payloads()
+                    )
+                )
+            if columns_format == "binary":
+                dtype_name = query.get("dtype", "f8")
+                dtype = {"f8": "<f8", "f4": "<f4"}.get(dtype_name)
+                if dtype is None:
+                    raise _HttpError(
+                        400,
+                        f"unknown columns dtype {dtype_name!r}; "
+                        "expected 'f8' or 'f4'",
+                    )
+                return _StreamingFrames(result.to_binary_frames(dtype))
+            raise _HttpError(
+                400,
+                f"unknown columns format {columns_format!r}; "
+                "expected 'ndjson' or 'binary'",
             )
         raise _HttpError(404, f"unknown path {path!r}")
 

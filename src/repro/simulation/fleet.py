@@ -28,6 +28,9 @@ budgets, consumed energy, battery trajectories and recognition counts.
 
 from __future__ import annotations
 
+import json
+import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
@@ -39,8 +42,35 @@ from repro.harvesting.solar_cell import HarvestScenario
 from repro.harvesting.traces import SolarTrace
 from repro.planning.scan import PlanScan
 from repro.simulation.device import DeviceConfig, DeviceSimulator
-from repro.simulation.metrics import CampaignColumns, CampaignResult
+from repro.simulation.metrics import (
+    BINARY_FLOAT_DTYPES,
+    CampaignColumns,
+    CampaignResult,
+)
 from repro.simulation.policies import PlanningPolicy, Policy
+
+#: Leading magic of the binary campaign wire format (see
+#: :meth:`FleetResult.to_binary_frames`).
+CAMPAIGN_BINARY_MAGIC = b"REAPCOL1"
+
+
+def _binary_frame(blob: bytes) -> bytes:
+    """One length-prefixed wire frame: little-endian uint64 size + payload."""
+    return struct.pack("<Q", len(blob)) + blob
+
+
+def _read_binary_frame(blob: bytes, offset: int, what: str) -> tuple:
+    """Pop one length-prefixed frame; raises ValueError when truncated."""
+    if len(blob) < offset + 8:
+        raise ValueError(f"binary campaign stream truncated: missing {what} size")
+    (size,) = struct.unpack_from("<Q", blob, offset)
+    offset += 8
+    if len(blob) < offset + size:
+        raise ValueError(
+            f"binary campaign stream truncated: {what} needs {size} bytes, "
+            f"{len(blob) - offset} left"
+        )
+    return blob[offset:offset + size], offset + size
 
 
 @dataclass
@@ -62,6 +92,12 @@ class CampaignConfig:
     battery_max_draw_j: float = 5.0
     #: Device simulation settings.
     device: DeviceConfig = field(default_factory=DeviceConfig)
+    #: Numeric backend for the closed-loop scans: ``"numpy"`` (reference),
+    #: ``"compiled"`` (Numba-jitted with graceful fallback) or ``"float32"``.
+    #: Policies carry their own backend for the allocation stage (see
+    #: :class:`~repro.simulation.policies.Policy`); this knob covers the
+    #: battery/plan scans the campaign itself runs.
+    backend: str = "numpy"
 
 
 def policy_supports_fleet(policy: Policy, use_battery: bool) -> bool:
@@ -225,6 +261,158 @@ class FleetResult:
                 ),
             }
 
+    def to_binary_frames(
+        self, dtype: str = "<f8", compress: bool = True
+    ) -> Iterator[bytes]:
+        """Stream the campaign as the binary columnar wire format.
+
+        Yields, in order: the :data:`CAMPAIGN_BINARY_MAGIC` bytes, one
+        length-prefixed JSON meta frame (grid shape plus ``dtype``,
+        ``codec`` and ``num_cells``), then per grid cell a length-prefixed
+        JSON cell header, a length-prefixed
+        :meth:`CampaignColumns.to_bytes` frame and -- when the cell
+        carries a battery trajectory -- one ``<f8`` frame (zlib-deflated
+        when ``compress``, which is the default).  At float64 the stream
+        decodes to a grid byte-exactly equal to the NDJSON codec's;
+        ``"<f4"`` halves the float payload for lossy transport.
+        """
+        if dtype not in BINARY_FLOAT_DTYPES:
+            raise ValueError(
+                f"unsupported binary dtype {dtype!r}; "
+                f"expected one of {BINARY_FLOAT_DTYPES}"
+            )
+        yield CAMPAIGN_BINARY_MAGIC
+        meta = dict(self.meta_payload())
+        meta["dtype"] = dtype
+        meta["codec"] = "zlib" if compress else "raw"
+        meta["num_cells"] = self.num_cells
+        yield _binary_frame(json.dumps(meta, separators=(",", ":")).encode("utf-8"))
+        for scenario_index, policy_index, result in self:
+            columns = result.columns
+            if columns is None:
+                columns = CampaignColumns.from_outcomes(result.outcomes)
+            battery = result.battery_charge_j
+            header = {
+                "scenario_index": scenario_index,
+                "policy_index": policy_index,
+                "policy_name": result.policy_name,
+                "alpha": float(result.alpha),
+                "has_battery": battery is not None,
+                "battery_len": 0 if battery is None else int(battery.size),
+            }
+            yield _binary_frame(
+                json.dumps(header, separators=(",", ":")).encode("utf-8")
+            )
+            yield _binary_frame(columns.to_bytes(dtype, compress=compress))
+            if battery is not None:
+                battery_blob = np.ascontiguousarray(battery, dtype="<f8").tobytes()
+                if compress:
+                    battery_blob = zlib.compress(battery_blob, 6)
+                yield _binary_frame(battery_blob)
+
+    @classmethod
+    def from_binary(cls, blob: bytes) -> "FleetResult":
+        """Decode one buffered :meth:`to_binary_frames` stream.
+
+        Raises :class:`ValueError` on a bad magic, truncated frames or a
+        cell count that disagrees with the meta frame.
+        """
+        magic = blob[: len(CAMPAIGN_BINARY_MAGIC)]
+        if magic != CAMPAIGN_BINARY_MAGIC:
+            raise ValueError(
+                f"binary campaign stream has bad magic {magic!r}; "
+                f"expected {CAMPAIGN_BINARY_MAGIC!r}"
+            )
+        offset = len(CAMPAIGN_BINARY_MAGIC)
+        meta_blob, offset = _read_binary_frame(blob, offset, "meta frame")
+        try:
+            meta = json.loads(meta_blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ValueError(f"malformed binary meta frame: {error}") from error
+        num_cells = int(meta.get("num_cells", -1))
+        if num_cells < 0:
+            raise ValueError("malformed binary meta frame: bad num_cells")
+        codec = meta.get("codec", "raw")
+        if codec not in ("raw", "zlib"):
+            raise ValueError(f"unsupported binary codec {codec!r} in meta frame")
+        cells: List[Dict[str, Any]] = []
+        for index in range(num_cells):
+            head_blob, offset = _read_binary_frame(
+                blob, offset, f"cell {index} header"
+            )
+            try:
+                head = json.loads(head_blob.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise ValueError(
+                    f"malformed binary cell header {index}: {error}"
+                ) from error
+            columns_blob, offset = _read_binary_frame(
+                blob, offset, f"cell {index} columns"
+            )
+            columns = CampaignColumns.from_bytes(columns_blob)
+            battery = None
+            if head.get("has_battery"):
+                battery_blob, offset = _read_binary_frame(
+                    blob, offset, f"cell {index} battery"
+                )
+                if codec == "zlib":
+                    try:
+                        battery_blob = zlib.decompress(battery_blob)
+                    except zlib.error as error:
+                        raise ValueError(
+                            f"binary cell {index} battery frame truncated "
+                            f"or corrupt: {error}"
+                        ) from error
+                expected = int(head.get("battery_len", 0)) * 8
+                if len(battery_blob) != expected:
+                    raise ValueError(
+                        f"binary cell {index} battery frame has "
+                        f"{len(battery_blob)} bytes, expected {expected}"
+                    )
+                battery = np.frombuffer(battery_blob, dtype="<f8").astype(float)
+            cells.append({
+                "scenario_index": int(head["scenario_index"]),
+                "policy_index": int(head["policy_index"]),
+                "policy_name": str(head["policy_name"]),
+                "alpha": float(head["alpha"]),
+                "columns": columns,
+                "battery_charge_j": battery,
+            })
+        if offset != len(blob):
+            raise ValueError(
+                f"binary campaign stream has {len(blob) - offset} trailing bytes"
+            )
+        labels = list(meta["scenario_labels"])
+        names = list(meta["policy_names"])
+        grid: List[List[Optional[CampaignResult]]] = [
+            [None] * len(names) for _ in labels
+        ]
+        for payload in cells:
+            grid[payload["scenario_index"]][payload["policy_index"]] = (
+                CampaignResult.from_columns(
+                    payload["policy_name"],
+                    payload["alpha"],
+                    payload["columns"],
+                    battery_charge_j=payload["battery_charge_j"],
+                )
+            )
+        missing = [
+            (scenario_index, policy_index)
+            for scenario_index, row in enumerate(grid)
+            for policy_index, value in enumerate(row)
+            if value is None
+        ]
+        if missing:
+            raise ValueError(f"binary campaign stream left cells unfilled: {missing}")
+        return cls(
+            scenario_labels=labels,
+            grid=grid,
+            scan=None,
+            trace_hours=int(meta["trace_hours"]),
+            policy_names=names,
+            alphas=[float(alpha) for alpha in meta["alphas"]],
+        )
+
     @classmethod
     def from_payloads(
         cls, meta: Dict[str, Any], cells: Iterable[Dict[str, Any]]
@@ -348,6 +536,7 @@ class FleetCampaign:
             initial_charge_j=initial,
             target_soc=self.config.battery_target_soc,
             max_draw_j=self.config.battery_max_draw_j,
+            backend=self.config.backend,
         )
 
     def _battery_scan(
@@ -475,6 +664,7 @@ class FleetCampaign:
 
 
 __all__ = [
+    "CAMPAIGN_BINARY_MAGIC",
     "CampaignConfig",
     "FleetCampaign",
     "FleetResult",

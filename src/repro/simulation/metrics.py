@@ -15,10 +15,31 @@ Two representations coexist:
 
 from __future__ import annotations
 
+import json
+import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+#: Little-endian dtypes accepted by the binary column codec.
+BINARY_FLOAT_DTYPES = ("<f8", "<f4")
+
+#: Column layout of the binary frame: (field name, kind) where kind is
+#: ``"int"`` (always ``<i8``) or ``"float"`` (the frame's float dtype).
+_BINARY_COLUMN_LAYOUT = (
+    ("period_index", "int"),
+    ("energy_budget_j", "float"),
+    ("energy_consumed_j", "float"),
+    ("active_time_s", "float"),
+    ("off_time_s", "float"),
+    ("windows_total", "int"),
+    ("windows_observed", "int"),
+    ("windows_correct", "float"),
+    ("objective_value", "float"),
+    ("expected_accuracy", "float"),
+)
 
 
 @dataclass(frozen=True)
@@ -215,6 +236,125 @@ class CampaignColumns:
                     len(payload["period_index"]), -1
                 )
             ),
+        )
+
+    # --- binary codec -----------------------------------------------------------
+    def to_bytes(self, dtype: str = "<f8", compress: bool = True) -> bytes:
+        """Encode as one self-describing binary frame.
+
+        Layout: a little-endian ``uint64`` header length, a UTF-8 JSON
+        header (dtype, codec, period count, design point names), then the
+        raw column buffers back to back in :data:`_BINARY_COLUMN_LAYOUT`
+        order -- integers as ``<i8``, floats as ``dtype`` -- followed by
+        the optional per-DP time matrix.  With ``compress`` (the default)
+        the concatenated column buffers travel zlib-deflated, declared as
+        ``"codec": "zlib"`` in the header; zlib is deterministic, so the
+        frame still round-trips byte-exactly through :meth:`from_bytes`.
+        ``"<f8"`` is lossless; ``"<f4"`` halves the float payload at
+        ~1e-7 relative precision.
+        """
+        if dtype not in BINARY_FLOAT_DTYPES:
+            raise ValueError(
+                f"unsupported binary dtype {dtype!r}; "
+                f"expected one of {BINARY_FLOAT_DTYPES}"
+            )
+        header: Dict[str, object] = {
+            "version": 1,
+            "dtype": dtype,
+            "codec": "zlib" if compress else "raw",
+            "num_periods": len(self),
+        }
+        times = self.times_by_design_point_s
+        if times is not None:
+            header["design_point_names"] = list(self.design_point_names)
+        header_blob = json.dumps(header, separators=(",", ":")).encode("utf-8")
+        chunks = []
+        for name, kind in _BINARY_COLUMN_LAYOUT:
+            column = getattr(self, name)
+            wire_dtype = "<i8" if kind == "int" else dtype
+            chunks.append(np.ascontiguousarray(column, dtype=wire_dtype).tobytes())
+        if times is not None:
+            chunks.append(np.ascontiguousarray(times, dtype=dtype).tobytes())
+        payload = b"".join(chunks)
+        if compress:
+            payload = zlib.compress(payload, 6)
+        return b"".join(
+            [struct.pack("<Q", len(header_blob)), header_blob, payload]
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "CampaignColumns":
+        """Decode a frame produced by :meth:`to_bytes`.
+
+        Raises :class:`ValueError` on truncated or malformed frames.  All
+        float columns come back as float64 regardless of the wire dtype.
+        """
+        if len(blob) < 8:
+            raise ValueError("binary columns frame truncated: missing header length")
+        (header_len,) = struct.unpack_from("<Q", blob, 0)
+        if len(blob) < 8 + header_len:
+            raise ValueError("binary columns frame truncated: incomplete header")
+        try:
+            header = json.loads(blob[8:8 + header_len].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ValueError(f"malformed binary columns header: {error}") from error
+        if not isinstance(header, dict):
+            raise ValueError("malformed binary columns header: not an object")
+        version = header.get("version")
+        if version != 1:
+            raise ValueError(f"unsupported binary columns version {version!r}")
+        dtype = header.get("dtype")
+        if dtype not in BINARY_FLOAT_DTYPES:
+            raise ValueError(f"unsupported binary dtype {dtype!r} in header")
+        codec = header.get("codec", "raw")
+        if codec not in ("raw", "zlib"):
+            raise ValueError(f"unsupported binary codec {codec!r} in header")
+        num_periods = int(header.get("num_periods", -1))
+        if num_periods < 0:
+            raise ValueError("malformed binary columns header: bad num_periods")
+        payload = blob[8 + header_len:]
+        if codec == "zlib":
+            try:
+                payload = zlib.decompress(payload)
+            except zlib.error as error:
+                raise ValueError(
+                    f"binary columns frame truncated or corrupt: {error}"
+                ) from error
+        offset = 0
+
+        def take(wire_dtype: str, count: int) -> np.ndarray:
+            nonlocal offset
+            nbytes = np.dtype(wire_dtype).itemsize * count
+            if len(payload) < offset + nbytes:
+                raise ValueError(
+                    "binary columns frame truncated: "
+                    f"expected {nbytes} bytes at payload offset {offset}"
+                )
+            array = np.frombuffer(
+                payload, dtype=wire_dtype, count=count, offset=offset
+            )
+            offset += nbytes
+            return array
+
+        fields: Dict[str, np.ndarray] = {}
+        for name, kind in _BINARY_COLUMN_LAYOUT:
+            if kind == "int":
+                fields[name] = take("<i8", num_periods).astype(int)
+            else:
+                fields[name] = take(dtype, num_periods).astype(float)
+        names = tuple(header.get("design_point_names", ()))
+        times: Optional[np.ndarray] = None
+        if names:
+            flat = take(dtype, num_periods * len(names)).astype(float)
+            times = flat.reshape(num_periods, len(names))
+        if offset != len(payload):
+            raise ValueError(
+                f"binary columns frame has {len(payload) - offset} trailing bytes"
+            )
+        return cls(
+            design_point_names=names,
+            times_by_design_point_s=times,
+            **fields,
         )
 
     @classmethod
@@ -437,4 +577,10 @@ def compare_campaigns(
     }
 
 
-__all__ = ["CampaignColumns", "CampaignResult", "PeriodOutcome", "compare_campaigns"]
+__all__ = [
+    "BINARY_FLOAT_DTYPES",
+    "CampaignColumns",
+    "CampaignResult",
+    "PeriodOutcome",
+    "compare_campaigns",
+]

@@ -225,3 +225,91 @@ class TestBatchAllocatorValidation:
             ReapProblem(points, energy_budget_j=4.0, alpha=1.0)
         )
         assert grid.objective[0, 0] == pytest.approx(reference.objective, rel=1e-12)
+
+
+class TestKinkTieBreak:
+    """Regression: the argmax at exact consumption-curve kinks is pinned.
+
+    At the exact kink budget ``P_i * T`` a saturated single vertex ties
+    with its zero-time pair blends to within round-off.  The snapped
+    tie-break (any candidate within the tolerance of the maximum counts,
+    earliest wins) must resolve every such tie to the *pure* single vertex
+    running the full period -- on every backend -- so the chosen vertex
+    cannot flip between runs, budgets epsilon apart, or numeric backends.
+    """
+
+    @staticmethod
+    def _hull_indices(points, alpha):
+        """Design points whose pure vertex is optimal at its own kink.
+
+        Only value-hull members can win at their saturation budget:
+        dominated points are beaten there by a blend of their hull
+        neighbours, so the tie in question never arises for them.
+        """
+        from repro.core import kernels
+
+        tables = kernels.build_solve_tables(
+            np.array([dp.power_w for dp in points]),
+            np.array([dp.accuracy for dp in points]),
+            alpha, ACTIVITY_PERIOD_S, OFF_STATE_POWER_W,
+        )
+        assert tables is not None
+        return [int(i) for i in tables[2] if i >= 0]
+
+    @pytest.mark.parametrize("backend", ["numpy", "compiled", "float32"])
+    def test_exact_kink_budget_pins_the_pure_vertex(self, backend):
+        points = tuple(table2_design_points())
+        engine = BatchAllocator(points, backend=backend)
+        for index in self._hull_indices(points, alpha=1.0):
+            dp = points[index]
+            kink = dp.power_w * ACTIVITY_PERIOD_S        # exact saturation
+            arrays = engine.solve_arrays([kink], alpha=1.0)
+            times = arrays.times_s[0]
+            # The winner is the pure single vertex: DP i runs the whole
+            # period, every other time is exactly zero.
+            assert times[index] == pytest.approx(
+                ACTIVITY_PERIOD_S, rel=0, abs=ACTIVITY_PERIOD_S * 1e-6
+            ), (backend, dp.name)
+            others = np.delete(times, index)
+            np.testing.assert_allclose(
+                others, 0.0, rtol=0, atol=ACTIVITY_PERIOD_S * 1e-6,
+                err_msg=f"{backend}/{dp.name}: kink tie not snapped",
+            )
+
+    def test_kink_neighbourhood_is_stable(self):
+        # Budgets one float64 ulp either side of the kink must not change
+        # the winning vertex support (the tie tolerance dwarfs one ulp).
+        points = tuple(table2_design_points())
+        engine = BatchAllocator(points)
+        for index in self._hull_indices(points, alpha=1.0):
+            dp = points[index]
+            kink = dp.power_w * ACTIVITY_PERIOD_S
+            for budget in (np.nextafter(kink, 0.0), kink, np.nextafter(kink, np.inf)):
+                times = engine.solve_arrays([budget], alpha=1.0).times_s[0]
+                support = {
+                    points[i].name for i in range(len(points))
+                    if times[i] > ACTIVITY_PERIOD_S * 1e-9
+                }
+                assert support == {dp.name}, (dp.name, float(budget))
+
+    def test_tie_break_matches_analytic_winner(self):
+        # The analytic solver enumerates candidates in the same (off,
+        # singles, pairs) order; at kinks both must report the same
+        # single-point support.
+        points = tuple(table2_design_points())
+        engine = BatchAllocator(points)
+        for index in self._hull_indices(points, alpha=1.0):
+            dp = points[index]
+            kink = dp.power_w * ACTIVITY_PERIOD_S
+            reference = solve_analytic(
+                ReapProblem(points, energy_budget_j=kink, alpha=1.0)
+            )
+            batch = engine.solve_arrays([kink], alpha=1.0)
+            ref_support = {
+                name for name, t in reference.as_dict().items() if t > 1e-6
+            }
+            batch_support = {
+                points[i].name for i in range(len(points))
+                if batch.times_s[0, i] > 1e-6
+            }
+            assert batch_support == ref_support == {dp.name}
