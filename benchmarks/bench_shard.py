@@ -1,0 +1,245 @@
+"""Benchmark of the zero-copy shared-memory campaign transport.
+
+Sharded fleet campaigns move two kinds of bytes between parent and worker
+processes: the campaign context going out and the per-cell column frames
+coming back.  The shared-memory arena (:mod:`repro.service.arena`)
+replaces the return leg with OS shared-memory segments -- workers write
+their columns in place and the executor pipe carries only small
+descriptors -- and ships the context once per worker instead of once per
+task.  Two measurements back the design claims:
+
+1. **IPC payload.**  The exact bytes each transport pushes through the
+   executor result pipe: ``pickle.dumps`` of the pickle workers' returned
+   cell lists versus ``pickle.dumps`` of the arena workers' descriptors,
+   for the same grid.  The arena descriptors must be at least 2x smaller
+   (in practice they are orders of magnitude smaller -- a descriptor is a
+   segment name plus shape facts, not column data).  The cells rebuilt
+   from the arena views must agree with the pickled cells to 1e-9.
+
+2. **Wall clock.**  The same multi-week closed-loop campaign run sharded
+   with ``shared_memory=True`` and ``shared_memory=False`` (best of three,
+   interleaved); the arena path must not regress the pickle path.  Both
+   merged results must agree with the single-process run to 1e-9,
+   including battery trajectories, and a sampled-mode grid checks the
+   Bernoulli RNG streams survive the transport bit for bit.
+
+The CI bench-gate job shrinks the workloads through the
+``REPRO_BENCH_SHARD_HOURS`` knob (see ``scripts/bench_gate.py``); the
+asserted floors are unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from _bench_utils import emit
+from repro.analysis.experiments import ExperimentResult
+from repro.harvesting.solar import SyntheticSolarModel
+from repro.harvesting.solar_cell import HarvestScenario, SolarCellModel
+from repro.harvesting.traces import SolarTrace
+from repro.service import arena
+from repro.service.shard import (
+    _run_cell_shard,
+    _run_cell_shard_arena,
+    run_sharded_campaign,
+    shard_cells,
+)
+from repro.simulation.device import DeviceConfig
+from repro.simulation.fleet import CampaignConfig
+from repro.simulation.policies import ReapPolicy, StaticPolicy
+
+SHARD_HOURS = int(os.environ.get("REPRO_BENCH_SHARD_HOURS", "336"))
+SHARD_JOBS = 2
+#: Arena descriptors must shrink the result-pipe payload at least this much.
+REQUIRED_PAYLOAD_RATIO = 2.0
+#: Arena wall time over pickle wall time must stay above this floor (the
+#: claim is "no regression"; 0.85 absorbs scheduler noise on shared runners).
+REQUIRED_WALL_RATIO = 0.85
+
+pytestmark = pytest.mark.skipif(
+    not arena.arena_available(),
+    reason="platform cannot create shared-memory segments",
+)
+
+
+def _campaign(points):
+    """One multi-week closed-loop grid: 2 scenarios x 5 policies."""
+    month = SyntheticSolarModel(seed=2015).generate_month(9)
+    trace = SolarTrace(month.hours[:SHARD_HOURS], name=month.name)
+    scenarios = [
+        HarvestScenario(cell=SolarCellModel(exposure_factor=factor))
+        for factor in (0.032, 0.05)
+    ]
+    labels = [f"exposure={factor:g}" for factor in (0.032, 0.05)]
+    policies = [ReapPolicy(points, alpha=alpha) for alpha in (1.0, 2.0)]
+    policies += [StaticPolicy(points, name) for name in ("DP1", "DP3", "DP5")]
+    return scenarios, labels, policies, trace
+
+
+def _assert_cells_close(result, reference) -> None:
+    """Every cell of ``result`` equals ``reference`` to 1e-9."""
+    for scenario_index, policy_index, cell in result:
+        other = reference.result(policy_index, scenario_index)
+        np.testing.assert_allclose(
+            cell.objective_values(), other.objective_values(), rtol=0, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            np.asarray(cell.columns.windows_correct),
+            np.asarray(other.columns.windows_correct),
+            rtol=0,
+            atol=1e-9,
+        )
+        if cell.battery_charge_j is not None:
+            np.testing.assert_allclose(
+                cell.battery_charge_j, other.battery_charge_j, rtol=0, atol=1e-9
+            )
+
+
+@pytest.mark.benchmark(group="shard")
+def test_arena_descriptors_shrink_ipc_payload(output_dir, published_points):
+    """Result-pipe bytes: arena descriptors >= 2x smaller than pickled cells."""
+    points = tuple(published_points)
+    scenarios, labels, policies, trace = _campaign(points)
+    config = CampaignConfig(use_battery=True)
+    chunks = shard_cells(len(scenarios), len(policies), SHARD_JOBS)
+
+    # Pickle transport: each worker returns its chunk's full CampaignResult
+    # list; this is exactly what crosses the executor result pipe.
+    pickled_chunks = [
+        _run_cell_shard(scenarios, labels, config, policies, trace, chunk)
+        for chunk in chunks
+    ]
+    pickle_bytes = sum(len(pickle.dumps(chunk)) for chunk in pickled_chunks)
+
+    # Arena transport: the same simulation, run through the real worker
+    # body (context blob + segment write); only the descriptor is pickled.
+    context = arena.publish_context((scenarios, labels, config, policies, trace))
+    blocks = []
+    try:
+        shards = [
+            _run_cell_shard_arena(context.ref, chunk, arena.new_segment_name())
+            for chunk in chunks
+        ]
+        arena_bytes = sum(len(pickle.dumps(shard)) for shard in shards)
+        # The views rebuilt from the segments must carry the same numbers
+        # the pickle transport returned.
+        reference = {
+            (scenario, policy): cell
+            for chunk in pickled_chunks
+            for scenario, policy, cell in chunk
+        }
+        for shard in shards:
+            block = arena.ArenaBlock.attach(shard)
+            blocks.append(block)
+            for slot in shard.cells:
+                columns, battery = arena.read_cell(block, slot)
+                cell = reference[(slot.scenario_index, slot.policy_index)]
+                np.testing.assert_allclose(
+                    np.asarray(columns.objective_value),
+                    np.asarray(cell.columns.objective_value),
+                    rtol=0,
+                    atol=1e-9,
+                )
+                np.testing.assert_allclose(
+                    battery, cell.battery_charge_j, rtol=0, atol=1e-9
+                )
+    finally:
+        for block in blocks:
+            block.close()
+        context.release()
+
+    ratio = pickle_bytes / arena_bytes
+    result = ExperimentResult(
+        name=(
+            f"Shard IPC payload: {len(scenarios) * len(policies)} cells over "
+            f"{len(trace)} hours, pickled results vs arena descriptors"
+        ),
+        headers=["path", "payload_bytes", "payload_ratio_x"],
+        rows=[
+            ["pickle ipc", pickle_bytes, 1.0],
+            ["arena ipc", arena_bytes, ratio],
+        ],
+    )
+    emit(result, output_dir, "shard_ipc.csv")
+
+    assert ratio >= REQUIRED_PAYLOAD_RATIO, (
+        f"arena descriptors only shrink the result payload {ratio:.2f}x "
+        f"(need >= {REQUIRED_PAYLOAD_RATIO}x)"
+    )
+
+
+@pytest.mark.benchmark(group="shard")
+def test_arena_transport_no_wall_clock_regression(output_dir, published_points):
+    """Sharded campaign wall time: arena must not regress the pickle path."""
+    points = tuple(published_points)
+    scenarios, labels, policies, trace = _campaign(points)
+    config = CampaignConfig(use_battery=True)
+
+    single = run_sharded_campaign(scenarios, policies, trace, config,
+                                  scenario_labels=labels, jobs=1)
+
+    def timed(shared_memory: bool):
+        started = time.perf_counter()
+        result = run_sharded_campaign(
+            scenarios, policies, trace, config,
+            scenario_labels=labels, jobs=SHARD_JOBS,
+            shared_memory=shared_memory,
+        )
+        return time.perf_counter() - started, result
+
+    # Interleaved best-of-three so slow drift hits both transports alike.
+    pickle_runs, arena_runs = [], []
+    for _ in range(3):
+        pickle_s, pickle_result = timed(False)
+        pickle_runs.append(pickle_s)
+        arena_s, arena_result = timed(True)
+        arena_runs.append(arena_s)
+        _assert_cells_close(arena_result, single)
+        _assert_cells_close(pickle_result, single)
+        arena_result.release()
+    pickle_s, arena_s = min(pickle_runs), min(arena_runs)
+
+    # Sampled-mode spot check: the Bernoulli streams must survive the
+    # arena transport bit for bit (cell identity implies RNG identity).
+    sampled_config = CampaignConfig(
+        device=DeviceConfig(recognition_mode="sampled", seed=42)
+    )
+    sampled_single = run_sharded_campaign(
+        scenarios, policies, trace, sampled_config,
+        scenario_labels=labels, jobs=1,
+    )
+    sampled_arena = run_sharded_campaign(
+        scenarios, policies, trace, sampled_config,
+        scenario_labels=labels, jobs=SHARD_JOBS, shared_memory=True,
+    )
+    for scenario_index, policy_index, cell in sampled_arena:
+        other = sampled_single.result(policy_index, scenario_index)
+        assert np.array_equal(
+            np.asarray(cell.columns.windows_correct),
+            np.asarray(other.columns.windows_correct),
+        )
+    sampled_arena.release()
+
+    speedup = pickle_s / arena_s
+    result = ExperimentResult(
+        name=(
+            f"Shard transports: {len(scenarios) * len(policies)} cells over "
+            f"{len(trace)} hours, {SHARD_JOBS} jobs, arena vs pickle"
+        ),
+        headers=["path", "wall_ms", "speedup_vs_pickle"],
+        rows=[
+            ["pickle wall", pickle_s * 1e3, 1.0],
+            ["arena wall", arena_s * 1e3, speedup],
+        ],
+    )
+    emit(result, output_dir, "shard_wall.csv")
+
+    assert speedup >= REQUIRED_WALL_RATIO, (
+        f"arena transport runs at {speedup:.2f}x the pickle transport "
+        f"(floor {REQUIRED_WALL_RATIO}x -- it must not regress)"
+    )

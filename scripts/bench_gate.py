@@ -1,12 +1,12 @@
 #!/usr/bin/env python3
 """CI perf-regression gate: run the benchmarks, record and assert speedups.
 
-Runs the five performance benchmarks (batch sweep, fleet campaign,
-allocation service, planning scan, kernel backends + wire format) on a
-reduced grid sized for CI runners, collects the wall times and speedups
-they emit under ``benchmarks/output/``, re-asserts the speedup floors,
-and writes everything to one JSON trajectory file (``BENCH_PR6.json`` by
-default) that the workflow uploads as an artifact.
+Runs the six performance benchmarks (batch sweep, fleet campaign,
+allocation service, planning scan, kernel backends + wire format, shard
+transports) on a reduced grid sized for CI runners, collects the wall
+times and speedups they emit under ``benchmarks/output/``, re-asserts the
+speedup floors, and writes everything to one JSON trajectory file
+(``BENCH_PR7.json`` by default) that the workflow uploads as an artifact.
 
 When a previous PR's trajectory artifact is available (``--baseline
 PATH``, or auto-discovered as the highest-numbered other ``BENCH_PR*.json``
@@ -17,7 +17,7 @@ gradual erosion.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_gate.py [--output BENCH_PR6.json]
+    PYTHONPATH=src python scripts/bench_gate.py [--output BENCH_PR7.json]
         [--baseline BENCH_PR5.json]  # previous artifact to compare against
         [--full]   # full-size grids instead of the reduced CI grid
 """
@@ -43,6 +43,7 @@ BENCH_FILES = [
     "benchmarks/bench_service.py",
     "benchmarks/bench_planning.py",
     "benchmarks/bench_kernels.py",
+    "benchmarks/bench_shard.py",
 ]
 
 #: Reduced-grid knobs for CI runners; every floor below still holds at
@@ -72,6 +73,8 @@ GATES = [
     ("kernels_solve.csv", "compiled solve", "speedup_x", 1.5),
     ("kernels_battery.csv", "compiled settle", "speedup_x", 3.0),
     ("columns_wire.csv", "binary f8", "size_ratio_x", 5.0),
+    ("shard_ipc.csv", "arena ipc", "payload_ratio_x", 2.0),
+    ("shard_wall.csv", "arena wall", "speedup_vs_pickle", 0.85),
 ]
 
 #: A gate regresses when its speedup drops more than this fraction below
@@ -167,7 +170,7 @@ def compare_with_baseline(gated: dict, baseline_path: Path, grid: dict):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default="BENCH_PR6.json",
+    parser.add_argument("--output", default="BENCH_PR7.json",
                         help="where to write the JSON trajectory file")
     parser.add_argument("--baseline", default=None,
                         help="previous BENCH_PR*.json to compare speedups "

@@ -232,6 +232,10 @@ def _command_fleet_remote(args: argparse.Namespace) -> int:
     return 0
 
 
+#: CLI spelling -> run_sharded_campaign's Optional[bool] transport switch.
+_SHARED_MEMORY_MODES = {"auto": None, "on": True, "off": False}
+
+
 def _command_fleet(args: argparse.Namespace) -> int:
     if args.planners and args.open_loop:
         print(
@@ -271,6 +275,7 @@ def _command_fleet(args: argparse.Namespace) -> int:
         forecast_noise=args.forecast_noise,
         forecast_seed=args.forecast_seed,
         backend=args.backend,
+        shared_memory=_SHARED_MEMORY_MODES[args.shared_memory],
     )
     print(result.to_text())
     engine = (
@@ -447,6 +452,12 @@ def build_parser() -> argparse.ArgumentParser:
              "engine; N: shard via repro.service.shard)",
     )
     fleet_parser.add_argument(
+        "--shared-memory", choices=["auto", "on", "off"], default="auto",
+        help="worker transport for --jobs N: auto probes /dev/shm and uses "
+             "the zero-copy shared-memory arena when available, on requires "
+             "it, off forces the pickle round-trip",
+    )
+    fleet_parser.add_argument(
         "--remote", default=None, metavar="HOST:PORT",
         help="submit the study to a running allocation service instead of "
              "simulating locally (POST /campaign; columns stream back as "
@@ -555,6 +566,12 @@ def build_parser() -> argparse.ArgumentParser:
              "numpy (reference), compiled (Numba-jitted, graceful "
              "fallback) or float32",
     )
+    serve_parser.add_argument(
+        "--shared-memory", choices=["auto", "on", "off"], default="auto",
+        help="worker transport for sharded POST /campaign runs: auto "
+             "probes /dev/shm and uses the zero-copy shared-memory arena "
+             "when available, on requires it, off forces pickle",
+    )
 
     return parser
 
@@ -570,6 +587,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         campaign_workers=args.campaign_workers,
         default_backend=args.backend,
+        shared_memory=_SHARED_MEMORY_MODES[args.shared_memory],
     )
     return run_server(
         service, host=args.host, port=args.port, port_file=args.port_file

@@ -90,6 +90,8 @@ engine is the fast path for grid-shaped workloads.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -121,6 +123,14 @@ _VERTEX_TOLERANCE = 1e-9
 #: between a saturated single and its zero-weight pair blends -- identically
 #: across backends, while perturbing reported objectives by at most 1e-10.
 _TIE_TOLERANCE_OBJECTIVE = 1e-10
+
+#: Process-wide engine registry behind :meth:`BatchAllocator.shared`,
+#: keyed by :meth:`BatchAllocator.engine_key`.  Bounded LRU so pathological
+#: parameter churn (e.g. fuzzing over random design sets) cannot pin
+#: unbounded solve tables in memory.
+_SHARED_ENGINES: "OrderedDict[tuple, BatchAllocator]" = OrderedDict()
+_SHARED_ENGINES_LOCK = threading.Lock()
+_MAX_SHARED_ENGINES = 32
 
 
 @dataclass(frozen=True)
@@ -477,6 +487,11 @@ class BatchAllocator:
         # Value-hull tables of the accelerated solve path, built lazily
         # once per alpha (see kernels.build_solve_tables).
         self._solve_tables: dict = {}
+        # Consumption curves probe dozens of reference solves each; cache
+        # them per alpha (and per static policy) like the solve tables.
+        # Benign GIL-level race: a duplicate build, never a wrong result.
+        self._curve_cache: dict = {}
+        self._static_curve_cache: dict = {}
 
         self._powers = np.array([dp.power_w for dp in self.design_points])
         self._accuracies = np.array([dp.accuracy for dp in self.design_points])
@@ -501,6 +516,53 @@ class BatchAllocator:
             period_s=problem.period_s,
             off_power_w=problem.off_power_w,
         )
+
+    @classmethod
+    def shared(
+        cls,
+        design_points: Sequence[DesignPoint],
+        period_s: float = ACTIVITY_PERIOD_S,
+        off_power_w: float = OFF_STATE_POWER_W,
+        backend: str = "numpy",
+    ) -> "BatchAllocator":
+        """Process-wide engine for these parameters, built at most once.
+
+        Engines are immutable after construction and their lazily-built
+        caches (solve tables, consumption curves) are per-(alpha, policy),
+        so every policy with the same :meth:`engine_key` can share one
+        instance: a fleet sweeping ten alphas over one design-point set
+        builds one vertex structure and one curve per alpha instead of
+        ten of each -- and a warm campaign worker reuses them across
+        cells, tasks and campaigns.  Thread-safe; bounded LRU.
+        """
+        backend = kernels.validate_backend(backend)
+        key = (
+            canonical_design_key(tuple(design_points)),
+            float(period_s),
+            float(off_power_w),
+        )
+        if backend != "numpy":
+            key += (backend,)
+        with _SHARED_ENGINES_LOCK:
+            engine = _SHARED_ENGINES.get(key)
+            if engine is not None:
+                _SHARED_ENGINES.move_to_end(key)
+                return engine
+        engine = cls(
+            design_points,
+            period_s=period_s,
+            off_power_w=off_power_w,
+            backend=backend,
+        )
+        with _SHARED_ENGINES_LOCK:
+            existing = _SHARED_ENGINES.get(key)
+            if existing is not None:  # lost a build race; keep the warm one
+                _SHARED_ENGINES.move_to_end(key)
+                return existing
+            _SHARED_ENGINES[key] = engine
+            while len(_SHARED_ENGINES) > _MAX_SHARED_ENGINES:
+                _SHARED_ENGINES.popitem(last=False)
+        return engine
 
     # --- convenience ----------------------------------------------------------
     def engine_key(self) -> tuple:
@@ -869,25 +931,35 @@ class BatchAllocator:
         # Probe the float64 reference solve regardless of the backend: the
         # curve encodes the exact LP structure (its validation demands 1e-9
         # linearity, which float32 round-off cannot meet), and the fast
-        # backends consume it through the fused tables instead.
+        # backends consume it through the fused tables instead.  Curves are
+        # immutable, so one probe per alpha serves the engine's lifetime.
         probe_alpha = validate_alpha(alpha)
-        return ConsumptionCurve.from_probe(
-            self._curve_breakpoints(),
-            lambda budgets: self._solve_arrays_reference(
-                self._validate_budgets(budgets), probe_alpha
-            ).device_consumption_j,
-        )
+        cached = self._curve_cache.get(probe_alpha)
+        if cached is None:
+            cached = ConsumptionCurve.from_probe(
+                self._curve_breakpoints(),
+                lambda budgets: self._solve_arrays_reference(
+                    self._validate_budgets(budgets), probe_alpha
+                ).device_consumption_j,
+            )
+            self._curve_cache[probe_alpha] = cached
+        return cached
 
     def static_consumption_curve(
         self, name: str, alpha: float = 1.0
     ) -> ConsumptionCurve:
         """Piecewise-linear consumption-of-budget for one static policy."""
-        return ConsumptionCurve.from_probe(
-            self._curve_breakpoints(),
-            lambda budgets: self.static_arrays(
-                name, budgets, alpha=alpha
-            ).device_consumption_j,
-        )
+        key = (name, validate_alpha(alpha))
+        cached = self._static_curve_cache.get(key)
+        if cached is None:
+            cached = ConsumptionCurve.from_probe(
+                self._curve_breakpoints(),
+                lambda budgets: self.static_arrays(
+                    name, budgets, alpha=alpha
+                ).device_consumption_j,
+            )
+            self._static_curve_cache[key] = cached
+        return cached
 
     # --- static (single design point) baselines --------------------------------
     def static_active_times(self, name: str, budgets_j: Sequence[float]) -> np.ndarray:

@@ -1,0 +1,418 @@
+"""Shared-memory column arena for zero-copy sharded campaigns.
+
+The sharded campaign runner of :mod:`repro.service.shard` historically
+moved every worker's results back to the parent by pickle: ten ``(H,)``
+column arrays plus the per-DP time matrix and battery trajectory per grid
+cell, re-encoded and copied through the executor's result pipe.  This
+module replaces that round trip with POSIX shared memory
+(:mod:`multiprocessing.shared_memory`):
+
+* **Workers** pack each cell's :class:`~repro.simulation.metrics.CampaignColumns`
+  frames directly into one segment per task (:func:`write_cells`) and
+  return only a small :class:`ArenaShard` descriptor -- segment name plus
+  per-cell offsets/shapes -- over the pipe.
+* **The parent** attaches each segment once (:class:`ArenaBlock`),
+  *unlinks it immediately* (POSIX keeps the mapping alive until the last
+  close, so a crash after attach can never leak the name), and rebuilds
+  the columns as zero-copy NumPy views over the mapping
+  (:func:`read_cell`).  The merged
+  :class:`~repro.simulation.fleet.FleetResult` keeps the blocks alive for
+  as long as its views are used; :meth:`ArenaBlock.close` releases the
+  pages (deferred automatically while views still export the buffer).
+* **Context blobs** ship the campaign inputs (trace, config, policies)
+  the same way: :func:`publish_context` writes one pickled payload into a
+  segment the parent owns, and every worker loads and caches it once per
+  campaign (:func:`load_context`) instead of unpickling it per task.
+
+Ownership always ends at exactly one process: creators hand their
+resource-tracker registration off right after creation
+(:func:`_untrack`), so the parent's attach/unlink pair is the only one the
+tracker sees and no "leaked shared_memory" warnings fire at shutdown.
+
+On platforms without usable shared memory (no ``/dev/shm``, locked-down
+containers) :func:`arena_available` reports ``False`` and the shard
+runner degrades to the pickle path -- same results, more copying.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.simulation.metrics import (
+    _BINARY_COLUMN_LAYOUT,
+    CampaignColumns,
+    CampaignResult,
+)
+
+#: Segment names are short on purpose: POSIX limits them to 255 bytes and
+#: macOS to 31, and they cross the executor pipe with every task.
+_NAME_PREFIX = "reap"
+
+_ARENA_AVAILABLE: Optional[bool] = None
+
+
+def arena_available() -> bool:
+    """Whether this platform can create and attach shared-memory segments.
+
+    Probed once per process with a tiny create/attach/unlink round trip;
+    the shard runner falls back to pickled results when this is ``False``.
+    """
+    global _ARENA_AVAILABLE
+    if _ARENA_AVAILABLE is None:
+        try:
+            probe = shared_memory.SharedMemory(create=True, size=16)
+            probe.close()
+            probe.unlink()
+            _ARENA_AVAILABLE = True
+        except Exception:
+            _ARENA_AVAILABLE = False
+    return _ARENA_AVAILABLE
+
+
+def new_segment_name() -> str:
+    """A short collision-resistant segment name the parent assigns up front.
+
+    Pre-assigning names (rather than letting workers pick) is what makes
+    crash cleanup possible: on any failure the parent can sweep every name
+    it handed out (:func:`release_segment`), including segments whose
+    descriptors were computed but never collected.
+    """
+    return f"{_NAME_PREFIX}{secrets.token_hex(8)}"
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Hand this process's resource-tracker registration off.
+
+    Creating *or* attaching a segment registers it with the (shared)
+    resource tracker; a segment registered by a worker but unlinked by the
+    parent would be double-unlinked -- and warned about -- at shutdown.
+    Every creator/attacher that does not own the unlink calls this right
+    away so exactly one registration (the parent's) survives.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass  # tracker internals moved or tracking disabled: only warnings lost
+
+
+def release_segment(name: str) -> bool:
+    """Best-effort unlink of one segment by name (crash-cleanup sweep).
+
+    Returns ``True`` when a segment existed and was released.  Missing
+    segments are fine -- the worker never created it, or it was already
+    attached-and-unlinked.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+    shm.close()
+    return True
+
+
+# --- cell layout ------------------------------------------------------------------
+@dataclass(frozen=True)
+class CellSlot:
+    """Where one campaign cell lives inside a segment.
+
+    Field offsets are not stored: the layout is deterministic given the
+    shape facts below (see :func:`_field_layout`), which keeps descriptors
+    a few hundred bytes regardless of the trace length.
+    """
+
+    scenario_index: int
+    policy_index: int
+    policy_name: str
+    alpha: float
+    offset: int          #: cell base offset into the segment, 8-byte aligned
+    num_periods: int
+    design_point_names: Tuple[str, ...]  #: empty = no per-DP time matrix
+    battery_len: int     #: 0 = open-loop cell, no battery trajectory
+
+
+@dataclass(frozen=True)
+class ArenaShard:
+    """Descriptor of one worker task's results: segment name + cell slots."""
+
+    segment_name: str
+    nbytes: int
+    cells: Tuple[CellSlot, ...]
+
+
+def _field_layout(slot: CellSlot) -> List[Tuple[str, int, str, tuple]]:
+    """(field, offset, dtype, shape) for every array of one cell slot.
+
+    All fields are 8-byte scalars (``<i8`` ints, ``<f8`` floats), so a
+    cell that starts 8-byte aligned keeps every view aligned.
+    """
+    layout: List[Tuple[str, int, str, tuple]] = []
+    offset = slot.offset
+    for name, kind in _BINARY_COLUMN_LAYOUT:
+        dtype = "<i8" if kind == "int" else "<f8"
+        layout.append((name, offset, dtype, (slot.num_periods,)))
+        offset += slot.num_periods * 8
+    if slot.design_point_names:
+        shape = (slot.num_periods, len(slot.design_point_names))
+        layout.append(("times_by_design_point_s", offset, "<f8", shape))
+        offset += shape[0] * shape[1] * 8
+    if slot.battery_len:
+        layout.append(("battery_charge_j", offset, "<f8", (slot.battery_len,)))
+        offset += slot.battery_len * 8
+    return layout
+
+
+def _cell_nbytes(slot: CellSlot) -> int:
+    layout = _field_layout(slot)
+    _, offset, dtype, shape = layout[-1]
+    return offset - slot.offset + int(np.prod(shape)) * 8
+
+
+def write_cells(
+    segment_name: str,
+    cells: Sequence[Tuple[int, int, CampaignResult]],
+) -> ArenaShard:
+    """Pack a worker's finished cells into one shared-memory segment.
+
+    ``cells`` are ``(scenario_index, policy_index, result)`` triples whose
+    results carry columnar outcomes (the fleet engine always produces
+    them).  Creates the segment, copies every column in, unregisters it
+    from this process's resource tracker (ownership passes to whoever
+    attaches next) and closes the local mapping.  On any error the
+    segment is unlinked before the exception propagates -- a crashing
+    worker leaves nothing behind.
+    """
+    slots: List[CellSlot] = []
+    offset = 0
+    for scenario_index, policy_index, result in cells:
+        columns = result.columns
+        if columns is None:
+            raise ValueError("arena cells need columnar campaign results")
+        battery = result.battery_charge_j
+        slot = CellSlot(
+            scenario_index=scenario_index,
+            policy_index=policy_index,
+            policy_name=result.policy_name,
+            alpha=float(result.alpha),
+            offset=offset,
+            num_periods=len(columns),
+            design_point_names=(
+                tuple(columns.design_point_names)
+                if columns.times_by_design_point_s is not None
+                else ()
+            ),
+            battery_len=0 if battery is None else int(battery.size),
+        )
+        slots.append(slot)
+        offset += _cell_nbytes(slot)
+
+    shm = shared_memory.SharedMemory(
+        name=segment_name, create=True, size=max(offset, 1)
+    )
+    try:
+        _untrack(shm)
+        for slot, (_, _, result) in zip(slots, cells):
+            columns = result.columns
+            assert columns is not None
+            for field, field_offset, dtype, shape in _field_layout(slot):
+                if field == "battery_charge_j":
+                    source = result.battery_charge_j
+                else:
+                    source = getattr(columns, field)
+                view = np.ndarray(
+                    shape, dtype=dtype, buffer=shm.buf, offset=field_offset
+                )
+                view[...] = source
+    except BaseException:
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        shm.close()
+        raise
+    shm.close()
+    return ArenaShard(
+        segment_name=segment_name, nbytes=max(offset, 1), cells=tuple(slots)
+    )
+
+
+class ArenaBlock:
+    """One attached segment, already unlinked, owning the parent's mapping.
+
+    Attaching unlinks the name immediately: the pages stay mapped (and the
+    NumPy views over them stay valid) until :meth:`close`, but no process
+    crash after this point can leak a named segment.  ``close`` is
+    idempotent and tolerates still-exported views -- the mapping is then
+    released when the last view is garbage collected.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, nbytes: int) -> None:
+        self._shm = shm
+        self.nbytes = nbytes
+        self.closed = False
+
+    @classmethod
+    def attach(cls, shard: ArenaShard) -> "ArenaBlock":
+        shm = shared_memory.SharedMemory(name=shard.segment_name)
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        return cls(shm, shard.nbytes)
+
+    @property
+    def buf(self) -> memoryview:
+        """The segment's buffer (valid until :meth:`close`)."""
+        return self._shm.buf
+
+    def close(self) -> None:
+        """Release the mapping; safe to call repeatedly.
+
+        While NumPy views still export the buffer the underlying mmap
+        cannot close; the attempt is swallowed and the pages are freed
+        when the views die (the name is already unlinked either way).
+        """
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
+
+
+def read_cell(
+    block: ArenaBlock, slot: CellSlot
+) -> Tuple[CampaignColumns, Optional[np.ndarray]]:
+    """Rebuild one cell as zero-copy views over an attached block.
+
+    Returns ``(columns, battery_charge_j)``; every array is a read-only
+    view into the block's buffer -- no bytes are copied.  The caller must
+    keep the block alive for as long as the views are used.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    for field, offset, dtype, shape in _field_layout(slot):
+        view = np.ndarray(shape, dtype=dtype, buffer=block.buf, offset=offset)
+        view.flags.writeable = False
+        arrays[field] = view
+    battery = arrays.pop("battery_charge_j", None)
+    times = arrays.pop("times_by_design_point_s", None)
+    columns = CampaignColumns(
+        design_point_names=slot.design_point_names,
+        times_by_design_point_s=times,
+        **arrays,
+    )
+    return columns, battery
+
+
+# --- context blobs ----------------------------------------------------------------
+@dataclass(frozen=True)
+class ContextRef:
+    """Handle to a published context blob (crosses the executor pipe)."""
+
+    segment_name: str
+    nbytes: int
+    digest: str
+
+
+class PublishedContext:
+    """A context blob the parent wrote into shared memory and still owns."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, ref: ContextRef) -> None:
+        self._shm = shm
+        self.ref = ref
+        self.released = False
+
+    def release(self) -> None:
+        """Unlink and close the blob's segment (idempotent)."""
+        if self.released:
+            return
+        self.released = True
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
+
+
+def publish_context(payload: object) -> PublishedContext:
+    """Pickle a campaign context once and park it in shared memory.
+
+    Workers load it through :func:`load_context`; the parent releases the
+    segment after the campaign (success or failure).  The digest keys the
+    worker-side cache, so a persistent pool serving many campaigns keeps
+    each context's unpickled form warm per worker.
+    """
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(blob).hexdigest()
+    shm = shared_memory.SharedMemory(
+        name=new_segment_name(), create=True, size=max(len(blob), 1)
+    )
+    shm.buf[: len(blob)] = blob
+    return PublishedContext(
+        shm, ContextRef(segment_name=shm.name, nbytes=len(blob), digest=digest)
+    )
+
+
+#: Worker-side cache of unpickled contexts, keyed by blob digest.  Bounded
+#: so a long-lived pool serving many distinct campaigns cannot grow it
+#: without limit.
+_CONTEXT_CACHE: Dict[str, object] = {}
+_MAX_CACHED_CONTEXTS = 4
+
+
+def load_context(ref: ContextRef) -> object:
+    """Attach, unpickle and cache one published context (worker side).
+
+    The first task of a campaign in each worker pays one read; subsequent
+    tasks -- and later campaigns with identical inputs -- hit the cache.
+    """
+    cached = _CONTEXT_CACHE.get(ref.digest)
+    if cached is not None:
+        return cached
+    shm = shared_memory.SharedMemory(name=ref.segment_name)
+    try:
+        # No _untrack here: under fork every process shares one resource
+        # tracker whose per-type cache is a *set*, so this attach's
+        # registration collapses into the parent's existing entry.
+        # Unregistering would strip that shared entry and make the
+        # parent's eventual unlink double-unregister (KeyError noise in
+        # the tracker).  The attach/close pair needs no bookkeeping.
+        payload = pickle.loads(bytes(shm.buf[: ref.nbytes]))
+    finally:
+        shm.close()
+    while len(_CONTEXT_CACHE) >= _MAX_CACHED_CONTEXTS:
+        _CONTEXT_CACHE.pop(next(iter(_CONTEXT_CACHE)))
+    _CONTEXT_CACHE[ref.digest] = payload
+    return payload
+
+
+__all__ = [
+    "ArenaBlock",
+    "ArenaShard",
+    "CellSlot",
+    "ContextRef",
+    "PublishedContext",
+    "arena_available",
+    "load_context",
+    "new_segment_name",
+    "publish_context",
+    "read_cell",
+    "release_segment",
+    "write_cells",
+]

@@ -176,13 +176,16 @@ class AllocationClient:
             connection.close()
 
     def campaign_columns_binary(
-        self, campaign_id: str, dtype: str = "f8"
+        self, campaign_id: str, dtype: str = "f8", codec: str = "zlib"
     ) -> bytes:
         """``GET /campaign/<id>/columns?format=binary``: the raw byte stream.
 
         ``dtype`` is ``"f8"`` (lossless, the default) or ``"f4"``
-        (float32, roughly half the float payload).  The returned bytes
-        decode with :meth:`repro.simulation.fleet.FleetResult.from_binary`.
+        (float32, roughly half the float payload).  ``codec`` is
+        ``"zlib"`` (deflated frames, the default) or ``"raw"``
+        (uncompressed -- the server streams zero-copy views, trading
+        bytes on the wire for no encode cost).  The returned bytes decode
+        with :meth:`repro.simulation.fleet.FleetResult.from_binary`.
         """
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout_s
@@ -190,7 +193,8 @@ class AllocationClient:
         try:
             connection.request(
                 "GET",
-                f"/campaign/{campaign_id}/columns?format=binary&dtype={dtype}",
+                f"/campaign/{campaign_id}/columns"
+                f"?format=binary&dtype={dtype}&codec={codec}",
             )
             response = connection.getresponse()
             raw = response.read()
@@ -202,7 +206,11 @@ class AllocationClient:
             connection.close()
 
     def campaign_result(
-        self, campaign_id: str, binary: bool = False, dtype: str = "f8"
+        self,
+        campaign_id: str,
+        binary: bool = False,
+        dtype: str = "f8",
+        codec: str = "zlib",
     ):
         """Rebuild the campaign's full :class:`FleetResult` from the stream.
 
@@ -218,7 +226,7 @@ class AllocationClient:
 
         if binary:
             return FleetResult.from_binary(
-                self.campaign_columns_binary(campaign_id, dtype=dtype)
+                self.campaign_columns_binary(campaign_id, dtype=dtype, codec=codec)
             )
         payloads = self.campaign_payloads(campaign_id)
         meta = next(payloads)
@@ -310,6 +318,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "format and decode it locally")
     columns.add_argument("--dtype", default="f8", choices=["f8", "f4"],
                          help="binary float width (f8 is lossless)")
+    columns.add_argument("--codec", default="zlib", choices=["zlib", "raw"],
+                         help="binary frame codec (raw streams zero-copy "
+                              "views, skipping the deflate pass)")
     return parser
 
 
@@ -349,7 +360,9 @@ def _campaign_command(client: AllocationClient, args: argparse.Namespace) -> Any
         # Fetch over the binary wire, then print the same per-cell lines
         # the NDJSON path would -- identical output, a fraction of the
         # transferred bytes.
-        result = client.campaign_result(args.id, binary=True, dtype=args.dtype)
+        result = client.campaign_result(
+            args.id, binary=True, dtype=args.dtype, codec=args.codec
+        )
         print(json.dumps(result.meta_payload()))
         for payload in result.cell_payloads():
             print(json.dumps(payload))

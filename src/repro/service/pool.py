@@ -287,13 +287,18 @@ class WorkerPool:
         trace,
         config=None,
         scenario_labels=None,
+        shared_memory=None,
     ):
         """Run a fleet campaign grid on the pool's process workers.
 
         Delegates to :func:`repro.service.shard.run_sharded_campaign` with
         this pool's persistent executor (``campaign_workers=1`` runs the
         plain in-process fleet engine); results are identical to the
-        single-process run to floating-point round-off.
+        single-process run to floating-point round-off.  ``shared_memory``
+        selects the worker transport (``None`` auto-detects the
+        shared-memory arena; see the shard runner).  The persistent pool's
+        workers keep their engine and campaign-context caches warm across
+        campaigns.
         """
         self._check_open()
         # Imported here: the campaign stack (simulation + shard) is only
@@ -308,6 +313,7 @@ class WorkerPool:
             scenario_labels=scenario_labels,
             jobs=self.campaign_workers,
             executor=self._ensure_campaign_executor(),
+            shared_memory=shared_memory,
         )
         with self._stats_lock:
             self._campaigns += 1

@@ -41,11 +41,18 @@ Endpoints
     cell.  ``?format=binary`` negotiates the compact binary columnar wire
     format instead (length-prefixed zlib-deflated frames, see
     :meth:`repro.simulation.fleet.FleetResult.to_binary_frames`);
-    ``?format=binary&dtype=f4`` sends float32 frames.  NDJSON stays the
-    default; unknown ``format``/``dtype`` values answer 400.
+    ``?format=binary&dtype=f4`` sends float32 frames and
+    ``?format=binary&codec=raw`` skips compression -- for arena-backed
+    results the raw stream is zero-copy ``memoryview`` slices of the
+    shared-memory pages the workers wrote.  NDJSON stays the default;
+    unknown ``format``/``dtype``/``codec`` values answer 400.
 ``DELETE /campaign/<id>``
-    Drop a finished campaign and free its retained columns; the id 404s
-    afterwards.  Pending/running jobs answer 409.
+    Drop a finished campaign and free its retained columns (including any
+    shared-memory arena blocks backing them); the id 404s afterwards.
+    Pending/running jobs answer 409.
+
+``/stats`` additionally reports per-endpoint latency histograms
+(p50/p95/p99) under ``"endpoints"``, labelled by route pattern.
 
 Use ``python -m repro serve [--workers N]`` to run a server from the
 shell and :mod:`repro.service.client` to talk to it.
@@ -64,7 +71,11 @@ from urllib.parse import parse_qsl
 
 from repro.core.design_point import DesignPoint
 from repro.service.batcher import EngineRegistry, MicroBatcher
-from repro.service.cache import AllocationCache, LatencyRecorder
+from repro.service.cache import (
+    AllocationCache,
+    EndpointLatencies,
+    LatencyRecorder,
+)
 from repro.service.pool import WorkerPool
 from repro.service.requests import (
     AllocationRequest,
@@ -142,6 +153,7 @@ class AllocationService:
         campaign_workers: Optional[int] = None,
         max_campaigns: int = 64,
         default_backend: str = "numpy",
+        shared_memory: Optional[bool] = None,
     ) -> None:
         if max_campaigns < 1:
             raise ValueError(
@@ -161,6 +173,11 @@ class AllocationService:
             pool=self.pool if workers > 1 else None,
         )
         self.latency = LatencyRecorder()
+        self.endpoint_latency = EndpointLatencies()
+        #: Worker transport for sharded campaigns: ``None`` auto-detects
+        #: the shared-memory arena, ``False`` forces pickle, ``True``
+        #: requires shared memory (see :mod:`repro.service.shard`).
+        self.shared_memory = shared_memory
         #: Retained campaign jobs; finished ones beyond ``max_campaigns``
         #: are evicted oldest-first (a month-long grid's columns are big --
         #: unbounded retention would leak a long-running service to death).
@@ -254,7 +271,9 @@ class AllocationService:
             for job in self._campaigns.values()
             if job.status in ("done", "failed")
         ][:overflow]:
-            del self._campaigns[campaign_id]
+            evicted = self._campaigns.pop(campaign_id)
+            if evicted.result is not None:
+                evicted.result.release()  # free any arena mappings now
 
     def _execute_campaign(self, job: CampaignJob):
         # Campaigns simulate the hardware this service is configured for,
@@ -264,7 +283,12 @@ class AllocationService:
         )
         job.trace_hours = len(trace)
         return self.pool.run_campaign(
-            scenarios, policies, trace, config, scenario_labels=labels
+            scenarios,
+            policies,
+            trace,
+            config,
+            scenario_labels=labels,
+            shared_memory=self.shared_memory,
         )
 
     def campaign(self, campaign_id: str) -> CampaignJob:
@@ -287,6 +311,8 @@ class AllocationService:
                 "campaigns can be deleted"
             )
         del self._campaigns[campaign_id]
+        if job.result is not None:
+            job.result.release()  # drop shared-memory mappings with the job
         return job
 
     def stats(self) -> Dict[str, Any]:
@@ -298,6 +324,7 @@ class AllocationService:
             "cache": self.cache.stats.to_json_dict(),
             "batcher": self.batcher.stats.to_json_dict(),
             "latency": self.latency.to_json_dict(),
+            "endpoints": self.endpoint_latency.to_json_dict(),
             "engines": len(self.registry),
             "pool": self.pool.stats(),
             "campaigns": by_status,
@@ -425,12 +452,33 @@ class AllocationServer:
             await self._server.wait_closed()
             self._server = None
 
+    @staticmethod
+    def _endpoint_label(method: str, path: str) -> str:
+        """Route-pattern label for the per-endpoint latency histograms.
+
+        Campaign ids are collapsed to ``*`` and unknown paths to one
+        shared bucket, so histogram cardinality is bounded by the route
+        table, not by traffic.
+        """
+        path = path.partition("?")[0]
+        match = _CAMPAIGN_PATH.match(path)
+        if match:
+            suffix = "/columns" if match.group(2) else ""
+            return f"{method} /campaign/*{suffix}"
+        if path in ("/healthz", "/stats", "/allocate", "/allocate/batch",
+                    "/campaign"):
+            return f"{method} {path}"
+        return f"{method} (other)"
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        label: Optional[str] = None
+        started = time.perf_counter()
         try:
             try:
                 method, path, body = await _read_request(reader)
+                label = self._endpoint_label(method, path)
                 result = await self._dispatch(method, path, body)
             except _HttpError as error:
                 result = error.status, {"error": str(error)}
@@ -444,6 +492,10 @@ class AllocationServer:
                 status, payload = result
                 writer.write(_encode_response(status, payload))
                 await writer.drain()
+            if label is not None:
+                self.service.endpoint_latency.observe(
+                    label, time.perf_counter() - started
+                )
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
@@ -457,7 +509,11 @@ class AllocationServer:
 
         One HTTP chunk per frame, drained as produced -- mirrors
         :meth:`_write_stream`, with ``application/octet-stream`` bytes in
-        place of NDJSON lines.
+        place of NDJSON lines.  Frames may be ``memoryview`` slices of
+        shared-memory pages (the zero-copy raw codec): sizes come from
+        ``nbytes`` (``len`` of a non-byte view counts elements) and each
+        piece is written separately -- concatenating would both copy and
+        raise (``bytes + memoryview`` is a ``TypeError``).
         """
         head = (
             "HTTP/1.1 200 OK\r\n"
@@ -469,9 +525,14 @@ class AllocationServer:
         writer.write(head)
         await writer.drain()
         for frame in stream.frames:
-            if not frame:
+            nbytes = (
+                frame.nbytes if isinstance(frame, memoryview) else len(frame)
+            )
+            if not nbytes:
                 continue  # zero-length HTTP chunk would terminate the stream
-            writer.write(f"{len(frame):x}\r\n".encode("ascii") + frame + b"\r\n")
+            writer.write(f"{nbytes:x}\r\n".encode("ascii"))
+            writer.write(frame)
+            writer.write(b"\r\n")
             await writer.drain()
         writer.write(b"0\r\n\r\n")
         await writer.drain()
@@ -588,7 +649,16 @@ class AllocationServer:
                         f"unknown columns dtype {dtype_name!r}; "
                         "expected 'f8' or 'f4'",
                     )
-                return _StreamingFrames(result.to_binary_frames(dtype))
+                codec = query.get("codec", "zlib")
+                if codec not in ("zlib", "raw"):
+                    raise _HttpError(
+                        400,
+                        f"unknown columns codec {codec!r}; "
+                        "expected 'zlib' or 'raw'",
+                    )
+                return _StreamingFrames(
+                    result.to_binary_frames(dtype, compress=codec == "zlib")
+                )
             raise _HttpError(
                 400,
                 f"unknown columns format {columns_format!r}; "

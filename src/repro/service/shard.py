@@ -19,19 +19,33 @@ instead: each worker simulates a contiguous trace slice and the per-cell
 sampled-mode campaigns are excluded from time sharding because the battery
 recurrence and the Bernoulli stream are sequential in time.
 
-Everything sent to the workers (scenarios, policies, config, trace) travels
-by pickle; the policy classes of :mod:`repro.simulation.policies` and the
-frozen dataclasses of the energy/harvesting layers are all picklable.
+Two transports move data between parent and workers:
+
+* **Shared memory** (the default wherever ``/dev/shm``-style segments
+  work, see :mod:`repro.service.arena`): the campaign context (scenarios,
+  config, policies, trace) is pickled *once* into a segment every worker
+  maps and caches, each worker writes its cells' column frames straight
+  into a per-task arena segment, and only tiny descriptors cross the
+  executor pipe.  The parent rebuilds the grid as zero-copy NumPy views
+  over the attached (and immediately unlinked) segments.
+* **Pickle** (``shared_memory=False`` or unavailable): everything travels
+  through the executor's result pipe as before -- same results, more
+  copying.
+
+Both transports reproduce the single-process run exactly: cell identity is
+preserved (each cell's device simulator re-seeds from the same
+``DeviceConfig``), so even sampled-mode RNG streams match bit for bit.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, wait
 from dataclasses import replace
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.harvesting.solar_cell import HarvestScenario
 from repro.harvesting.traces import SolarTrace
+from repro.service import arena
 from repro.simulation.fleet import CampaignConfig, FleetCampaign, FleetResult
 from repro.simulation.metrics import CampaignColumns, CampaignResult
 from repro.simulation.policies import Policy
@@ -82,7 +96,7 @@ def _cell_groups(
     return groups
 
 
-def _run_cell_shard(
+def _simulate_cell_chunk(
     scenarios: Sequence[HarvestScenario],
     labels: Sequence[str],
     config: CampaignConfig,
@@ -90,7 +104,7 @@ def _run_cell_shard(
     trace: SolarTrace,
     chunk: Sequence[Tuple[int, int]],
 ) -> List[Tuple[int, int, CampaignResult]]:
-    """Worker: simulate one chunk of (scenario, policy) cells."""
+    """Simulate one chunk of (scenario, policy) cells (both transports)."""
     results: List[Tuple[int, int, CampaignResult]] = []
     for scenario, first, last in _cell_groups(chunk):
         fleet = FleetCampaign(
@@ -102,7 +116,35 @@ def _run_cell_shard(
     return results
 
 
-def _run_time_shard(
+def _run_cell_shard(
+    scenarios: Sequence[HarvestScenario],
+    labels: Sequence[str],
+    config: CampaignConfig,
+    policies: Sequence[Policy],
+    trace: SolarTrace,
+    chunk: Sequence[Tuple[int, int]],
+) -> List[Tuple[int, int, CampaignResult]]:
+    """Worker (pickle transport): simulate a chunk, return full results."""
+    return _simulate_cell_chunk(scenarios, labels, config, policies, trace, chunk)
+
+
+def _run_cell_shard_arena(
+    context_ref: arena.ContextRef,
+    chunk: Sequence[Tuple[int, int]],
+    segment_name: str,
+) -> arena.ArenaShard:
+    """Worker (arena transport): simulate a chunk into shared memory.
+
+    The campaign context comes out of the worker's blob cache (one
+    unpickle per worker per campaign, not per task); the finished columns
+    go straight into ``segment_name`` and only the descriptor returns.
+    """
+    scenarios, labels, config, policies, trace = arena.load_context(context_ref)
+    cells = _simulate_cell_chunk(scenarios, labels, config, policies, trace, chunk)
+    return arena.write_cells(segment_name, cells)
+
+
+def _simulate_time_slice(
     scenarios: Sequence[HarvestScenario],
     labels: Sequence[str],
     config: CampaignConfig,
@@ -111,7 +153,7 @@ def _run_time_shard(
     first_hour: int,
     last_hour: int,
 ) -> List[List[CampaignColumns]]:
-    """Worker: simulate every cell over one contiguous trace slice.
+    """Simulate every cell over one contiguous trace slice.
 
     Returns the per-cell columns with ``period_index`` shifted to global
     trace coordinates so :meth:`CampaignColumns.concat` yields the exact
@@ -133,6 +175,57 @@ def _run_time_shard(
     return grid
 
 
+def _run_time_shard(
+    scenarios: Sequence[HarvestScenario],
+    labels: Sequence[str],
+    config: CampaignConfig,
+    policies: Sequence[Policy],
+    trace: SolarTrace,
+    first_hour: int,
+    last_hour: int,
+) -> List[List[CampaignColumns]]:
+    """Worker (pickle transport): simulate one trace slice for every cell."""
+    return _simulate_time_slice(
+        scenarios, labels, config, policies, trace, first_hour, last_hour
+    )
+
+
+def _run_time_shard_arena(
+    context_ref: arena.ContextRef,
+    first_hour: int,
+    last_hour: int,
+    segment_name: str,
+) -> arena.ArenaShard:
+    """Worker (arena transport): simulate one trace slice into shared memory."""
+    scenarios, labels, config, policies, trace = arena.load_context(context_ref)
+    grid = _simulate_time_slice(
+        scenarios, labels, config, policies, trace, first_hour, last_hour
+    )
+    cells: List[Tuple[int, int, CampaignResult]] = []
+    for scenario_index, row in enumerate(grid):
+        for policy_index, columns in enumerate(row):
+            policy = policies[policy_index]
+            cells.append((
+                scenario_index,
+                policy_index,
+                CampaignResult.from_columns(policy.name, policy.alpha, columns),
+            ))
+    return arena.write_cells(segment_name, cells)
+
+
+def _warm_worker(context_ref: arena.ContextRef) -> None:
+    """Private-pool initializer: preload the campaign context once per worker.
+
+    Best-effort on purpose -- an initializer exception marks the whole
+    pool broken, and the first task loads the context itself on a cache
+    miss anyway.
+    """
+    try:
+        arena.load_context(context_ref)
+    except Exception:
+        pass
+
+
 def _time_shardable(
     config: CampaignConfig, policies: Sequence[Policy]
 ) -> bool:
@@ -152,6 +245,18 @@ def _time_shardable(
     )
 
 
+def _use_arena(shared_memory: Optional[bool]) -> bool:
+    """Resolve the transport choice: explicit flag, else platform probe."""
+    if shared_memory is None:
+        return arena.arena_available()
+    if shared_memory and not arena.arena_available():
+        raise RuntimeError(
+            "shared-memory transport requested but this platform cannot "
+            "create shared-memory segments; rerun with shared memory off"
+        )
+    return bool(shared_memory)
+
+
 def _map_on_workers(
     fn: Callable,
     argument_tuples: Sequence[tuple],
@@ -162,12 +267,57 @@ def _map_on_workers(
 
     Uses the caller's ``executor`` when one is provided (a persistent
     service pool); otherwise spins up -- and tears down -- a private
-    :class:`ProcessPoolExecutor` sized to the work.
+    :class:`ProcessPoolExecutor` sized to the work.  ``chunksize`` is
+    computed explicitly: the default of 1 costs one IPC round trip per
+    task, which swamps thousand-task maps; batching to ~2 chunks per
+    worker keeps dispatch overhead flat while still load-balancing.
     """
+    workers = max(1, min(jobs, len(argument_tuples)))
+    chunksize = max(1, len(argument_tuples) // (workers * 2))
     if executor is not None:
-        return list(executor.map(fn, *zip(*argument_tuples)))
-    with ProcessPoolExecutor(max_workers=min(jobs, len(argument_tuples))) as own:
-        return list(own.map(fn, *zip(*argument_tuples)))
+        return list(executor.map(fn, *zip(*argument_tuples), chunksize=chunksize))
+    with ProcessPoolExecutor(max_workers=workers) as own:
+        return list(own.map(fn, *zip(*argument_tuples), chunksize=chunksize))
+
+
+def _run_all_on_workers(
+    fn: Callable,
+    argument_tuples: Sequence[tuple],
+    jobs: int,
+    executor: Optional[Executor],
+    initializer: Optional[Callable] = None,
+    initargs: tuple = (),
+) -> List[Any]:
+    """Run every task and wait for *all* of them to settle before raising.
+
+    The arena transport needs this stronger contract: the parent sweeps
+    pre-assigned segment names after a failure, which is only safe once no
+    worker can still be creating one.  ``executor.map`` raises at the
+    first failed result with later tasks possibly still running; here the
+    first exception is re-raised only after every future is done.
+    """
+
+    def collect(futures) -> List[Any]:
+        wait(futures)
+        first_error: Optional[BaseException] = None
+        results = []
+        for future in futures:
+            error = future.exception()
+            if error is not None:
+                first_error = first_error or error
+            else:
+                results.append(future.result())
+        if first_error is not None:
+            raise first_error
+        return results
+
+    if executor is not None:
+        return collect([executor.submit(fn, *args) for args in argument_tuples])
+    workers = max(1, min(jobs, len(argument_tuples)))
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=initializer, initargs=initargs
+    ) as own:
+        return collect([own.submit(fn, *args) for args in argument_tuples])
 
 
 def run_sharded_campaign(
@@ -178,6 +328,7 @@ def run_sharded_campaign(
     scenario_labels: Optional[Sequence[str]] = None,
     jobs: int = 1,
     executor: Optional[Executor] = None,
+    shared_memory: Optional[bool] = None,
 ) -> FleetResult:
     """Run a fleet campaign grid, optionally sharded across processes.
 
@@ -193,6 +344,13 @@ def run_sharded_campaign(
     ``executor`` lets long-running services reuse one persistent process
     pool (e.g. :class:`repro.service.pool.WorkerPool`) across campaigns
     instead of paying process start-up per run; it is never shut down here.
+
+    ``shared_memory`` selects the worker transport: ``None`` (default)
+    auto-detects, ``False`` forces the pickle path, ``True`` requires the
+    shared-memory arena (raising where the platform cannot provide it).
+    Arena-backed results hold OS shared-memory mappings; call
+    :meth:`FleetResult.release` when done with the arrays (dropping the
+    result also releases them, just later, at garbage collection).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be at least 1, got {jobs}")
@@ -209,13 +367,58 @@ def run_sharded_campaign(
     if jobs == 1 or (num_cells == 1 and not time_shardable):
         return fleet.run(policies, trace)
 
+    use_arena = _use_arena(shared_memory)
     if num_cells < jobs and time_shardable and len(trace) >= 2 * jobs:
         return _run_time_sharded(
-            scenarios, labels, config, policies, trace, jobs, executor
+            scenarios, labels, config, policies, trace, jobs, executor, use_arena
         )
     return _run_cell_sharded(
-        scenarios, labels, config, policies, trace, jobs, executor
+        scenarios, labels, config, policies, trace, jobs, executor, use_arena
     )
+
+
+def _run_arena_tasks(
+    worker_fn: Callable,
+    task_args: Sequence[tuple],
+    context_payload: tuple,
+    jobs: int,
+    executor: Optional[Executor],
+) -> Tuple[List[arena.ArenaShard], List[arena.ArenaBlock]]:
+    """Shared arena plumbing: publish context, run tasks, attach results.
+
+    ``task_args`` are per-task argument tuples *without* the leading
+    context ref and trailing segment name; both are injected here so the
+    lifecycle stays in one place: the context segment is always released,
+    and on any failure every pre-assigned result segment is swept once all
+    workers have settled.  Returns the shards and their attached (already
+    unlinked) blocks.
+    """
+    context = arena.publish_context(context_payload)
+    names = [arena.new_segment_name() for _ in task_args]
+    blocks: List[arena.ArenaBlock] = []
+    try:
+        shards = _run_all_on_workers(
+            worker_fn,
+            [
+                (context.ref, *args, name)
+                for args, name in zip(task_args, names)
+            ],
+            jobs,
+            executor,
+            initializer=_warm_worker,
+            initargs=(context.ref,),
+        )
+        for shard in shards:
+            blocks.append(arena.ArenaBlock.attach(shard))
+        return shards, blocks
+    except BaseException:
+        for block in blocks:  # attached blocks are unlinked; free the pages
+            block.close()
+        for name in names:  # written-but-unattached segments still have names
+            arena.release_segment(name)
+        raise
+    finally:
+        context.release()
 
 
 def _run_cell_sharded(
@@ -226,24 +429,46 @@ def _run_cell_sharded(
     trace: SolarTrace,
     jobs: int,
     executor: Optional[Executor] = None,
+    use_arena: bool = False,
 ) -> FleetResult:
     """Split the grid cell-wise across a process pool and merge the rows."""
     chunks = shard_cells(len(scenarios), len(policies), jobs)
     grid: List[List[Optional[CampaignResult]]] = [
         [None] * len(policies) for _ in scenarios
     ]
-    shard_results = _map_on_workers(
-        _run_cell_shard,
-        [
-            (scenarios, labels, config, policies, trace, chunk)
-            for chunk in chunks
-        ],
-        jobs,
-        executor,
-    )
-    for cells in shard_results:
-        for scenario_index, policy_index, result in cells:
-            grid[scenario_index][policy_index] = result
+    blocks: List[arena.ArenaBlock] = []
+    if use_arena:
+        shards, blocks = _run_arena_tasks(
+            _run_cell_shard_arena,
+            [(chunk,) for chunk in chunks],
+            (scenarios, labels, config, policies, trace),
+            jobs,
+            executor,
+        )
+        for shard, block in zip(shards, blocks):
+            for slot in shard.cells:
+                columns, battery = arena.read_cell(block, slot)
+                grid[slot.scenario_index][slot.policy_index] = (
+                    CampaignResult.from_columns(
+                        slot.policy_name,
+                        slot.alpha,
+                        columns,
+                        battery_charge_j=battery,
+                    )
+                )
+    else:
+        shard_results = _map_on_workers(
+            _run_cell_shard,
+            [
+                (scenarios, labels, config, policies, trace, chunk)
+                for chunk in chunks
+            ],
+            jobs,
+            executor,
+        )
+        for cells in shard_results:
+            for scenario_index, policy_index, result in cells:
+                grid[scenario_index][policy_index] = result
     missing = [
         (scenario_index, policy_index)
         for scenario_index, row in enumerate(grid)
@@ -251,14 +476,18 @@ def _run_cell_sharded(
         if cell is None
     ]
     if missing:  # a partial grid would silently shift policy indices
+        for block in blocks:
+            block.close()
         raise RuntimeError(f"shard workers left cells unfilled: {missing}")
-    return FleetResult(
+    result = FleetResult(
         scenario_labels=labels,
         policies=policies,
         grid=grid,
         scan=None,
         trace_hours=len(trace),
     )
+    result.adopt_arena(blocks)
+    return result
 
 
 def _run_time_sharded(
@@ -269,6 +498,7 @@ def _run_time_sharded(
     trace: SolarTrace,
     jobs: int,
     executor: Optional[Executor] = None,
+    use_arena: bool = False,
 ) -> FleetResult:
     """Split the trace into contiguous slices and concat the merged columns."""
     hours = len(trace)
@@ -281,33 +511,57 @@ def _run_time_sharded(
             continue
         bounds.append((start, start + size))
         start += size
-    shards = _map_on_workers(
-        _run_time_shard,
-        [
-            (scenarios, labels, config, policies, trace, first, last)
-            for first, last in bounds
-        ],
-        jobs,
-        executor,
-    )
+    blocks: List[arena.ArenaBlock] = []
+    if use_arena:
+        shards, blocks = _run_arena_tasks(
+            _run_time_shard_arena,
+            [(first, last) for first, last in bounds],
+            (scenarios, labels, config, policies, trace),
+            jobs,
+            executor,
+        )
+        slices: List[Dict[Tuple[int, int], CampaignColumns]] = []
+        for shard, block in zip(shards, blocks):
+            per_cell: Dict[Tuple[int, int], CampaignColumns] = {}
+            for slot in shard.cells:
+                columns, _ = arena.read_cell(block, slot)
+                per_cell[(slot.scenario_index, slot.policy_index)] = columns
+            slices.append(per_cell)
+        parts_of = lambda s, p: [piece[(s, p)] for piece in slices]  # noqa: E731
+    else:
+        pickled = _map_on_workers(
+            _run_time_shard,
+            [
+                (scenarios, labels, config, policies, trace, first, last)
+                for first, last in bounds
+            ],
+            jobs,
+            executor,
+        )
+        parts_of = lambda s, p: [piece[s][p] for piece in pickled]  # noqa: E731
     grid: List[List[CampaignResult]] = []
     for scenario_index in range(len(scenarios)):
         row = []
         for policy_index, policy in enumerate(policies):
-            columns = CampaignColumns.concat(
-                [shard[scenario_index][policy_index] for shard in shards]
-            )
+            columns = CampaignColumns.concat(parts_of(scenario_index, policy_index))
             row.append(
                 CampaignResult.from_columns(policy.name, policy.alpha, columns)
             )
         grid.append(row)
-    return FleetResult(
+    result = FleetResult(
         scenario_labels=labels,
         policies=policies,
         grid=grid,
         scan=None,
         trace_hours=hours,
     )
+    if len(bounds) > 1:
+        # concat copied the views into fresh arrays; the mappings can go now.
+        for block in blocks:
+            block.close()
+    else:
+        result.adopt_arena(blocks)
+    return result
 
 
 __all__ = ["run_sharded_campaign", "shard_cells"]

@@ -147,6 +147,33 @@ class FleetResult:
         #: Battery trajectories of the underlying scan (closed loop only).
         self.scan = scan
         self.trace_hours = trace_hours
+        #: Shared-memory blocks whose views back the grid's columns (see
+        #: :meth:`adopt_arena`); empty for results that own their arrays.
+        self._arena_blocks: List[Any] = []
+
+    # --- arena lifecycle --------------------------------------------------------
+    def adopt_arena(self, blocks: Iterable[Any]) -> None:
+        """Take ownership of the shared-memory blocks backing this grid.
+
+        The sharded runner's zero-copy path builds cell columns as NumPy
+        views over :class:`~repro.service.arena.ArenaBlock` mappings; the
+        result must keep those mappings alive for as long as its arrays
+        are used, and :meth:`release` them when the result is dropped
+        (e.g. ``DELETE /campaign/<id>``).
+        """
+        self._arena_blocks.extend(blocks)
+
+    def release(self) -> None:
+        """Release any adopted shared-memory blocks (idempotent).
+
+        Blocks are already unlinked (names freed at attach time); this
+        closes the parent's mappings so the pages themselves return to the
+        OS.  Views still referencing a mapping defer the close to garbage
+        collection -- see :meth:`repro.service.arena.ArenaBlock.close`.
+        """
+        blocks, self._arena_blocks = self._arena_blocks, []
+        for block in blocks:
+            block.close()
 
     @property
     def num_scenarios(self) -> int:
@@ -275,7 +302,19 @@ class FleetResult:
         when ``compress``, which is the default).  At float64 the stream
         decodes to a grid byte-exactly equal to the NDJSON codec's;
         ``"<f4"`` halves the float payload for lossy transport.
+
+        The raw codec (``compress=False``) is zero-copy: column frames
+        are yielded as memoryview slices of the cells' existing buffers
+        (for arena-backed results, the shared-memory pages themselves),
+        so consumers must either write each chunk out immediately or copy
+        it -- and must not outlive :meth:`release`.
         """
+
+        def chunk_nbytes(chunk) -> int:
+            # memoryview __len__ counts elements, not bytes; the column
+            # chunks are cast to "B" already but don't rely on it.
+            return chunk.nbytes if isinstance(chunk, memoryview) else len(chunk)
+
         if dtype not in BINARY_FLOAT_DTYPES:
             raise ValueError(
                 f"unsupported binary dtype {dtype!r}; "
@@ -303,12 +342,25 @@ class FleetResult:
             yield _binary_frame(
                 json.dumps(header, separators=(",", ":")).encode("utf-8")
             )
-            yield _binary_frame(columns.to_bytes(dtype, compress=compress))
+            column_chunks = list(columns.to_bytes_chunks(dtype, compress=compress))
+            yield struct.pack(
+                "<Q", sum(chunk_nbytes(chunk) for chunk in column_chunks)
+            )
+            yield from column_chunks
             if battery is not None:
-                battery_blob = np.ascontiguousarray(battery, dtype="<f8").tobytes()
                 if compress:
-                    battery_blob = zlib.compress(battery_blob, 6)
-                yield _binary_frame(battery_blob)
+                    blob = np.ascontiguousarray(battery, dtype="<f8").tobytes()
+                    yield _binary_frame(zlib.compress(blob, 6))
+                elif (
+                    battery.dtype == np.dtype("<f8")
+                    and battery.flags.c_contiguous
+                ):
+                    yield struct.pack("<Q", battery.nbytes)
+                    yield memoryview(battery).cast("B")
+                else:
+                    yield _binary_frame(
+                        np.ascontiguousarray(battery, dtype="<f8").tobytes()
+                    )
 
     @classmethod
     def from_binary(cls, blob: bytes) -> "FleetResult":

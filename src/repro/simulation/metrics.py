@@ -239,6 +239,70 @@ class CampaignColumns:
         )
 
     # --- binary codec -----------------------------------------------------------
+    def payload_nbytes(self, dtype: str = "<f8") -> int:
+        """Size of the uncompressed binary column payload, in bytes.
+
+        This is what the raw codec puts on the wire after the header, and
+        what the shared-memory arena maps per cell -- the IPC accounting
+        figure :mod:`benchmarks.bench_shard` compares against pickles.
+        """
+        float_size = int(np.dtype(dtype).itemsize)
+        int_columns = sum(1 for _, kind in _BINARY_COLUMN_LAYOUT if kind == "int")
+        float_columns = len(_BINARY_COLUMN_LAYOUT) - int_columns
+        per_period = int_columns * 8 + float_columns * float_size
+        if self.times_by_design_point_s is not None:
+            per_period += len(self.design_point_names) * float_size
+        return len(self) * per_period
+
+    def _column_buffers(self, dtype: str):
+        """Yield each column's wire buffer in frame order.
+
+        Columns already stored contiguously at the wire dtype -- notably
+        the shared-memory arena's zero-copy views -- are yielded as
+        memoryviews over their existing storage; anything else is cast and
+        copied once.
+        """
+        def wire_buffer(array: np.ndarray, wire_dtype: str):
+            array = np.asarray(array)
+            if array.dtype == np.dtype(wire_dtype) and array.flags.c_contiguous:
+                return memoryview(array).cast("B")
+            return np.ascontiguousarray(array, dtype=wire_dtype).tobytes()
+
+        for name, kind in _BINARY_COLUMN_LAYOUT:
+            yield wire_buffer(getattr(self, name), "<i8" if kind == "int" else dtype)
+        times = self.times_by_design_point_s
+        if times is not None:
+            yield wire_buffer(times, dtype)
+
+    def to_bytes_chunks(self, dtype: str = "<f8", compress: bool = True):
+        """Yield buffers that concatenate to the :meth:`to_bytes` frame.
+
+        The raw codec streams the header followed by per-column
+        memoryviews with no intermediate copy; the zlib codec necessarily
+        materialises one compressed payload.  Callers that hold the chunks
+        (rather than joining them) must keep the columns alive.
+        """
+        if dtype not in BINARY_FLOAT_DTYPES:
+            raise ValueError(
+                f"unsupported binary dtype {dtype!r}; "
+                f"expected one of {BINARY_FLOAT_DTYPES}"
+            )
+        header: Dict[str, object] = {
+            "version": 1,
+            "dtype": dtype,
+            "codec": "zlib" if compress else "raw",
+            "num_periods": len(self),
+        }
+        if self.times_by_design_point_s is not None:
+            header["design_point_names"] = list(self.design_point_names)
+        header_blob = json.dumps(header, separators=(",", ":")).encode("utf-8")
+        yield struct.pack("<Q", len(header_blob))
+        yield header_blob
+        if compress:
+            yield zlib.compress(b"".join(self._column_buffers(dtype)), 6)
+        else:
+            yield from self._column_buffers(dtype)
+
     def to_bytes(self, dtype: str = "<f8", compress: bool = True) -> bytes:
         """Encode as one self-describing binary frame.
 
@@ -253,34 +317,7 @@ class CampaignColumns:
         ``"<f8"`` is lossless; ``"<f4"`` halves the float payload at
         ~1e-7 relative precision.
         """
-        if dtype not in BINARY_FLOAT_DTYPES:
-            raise ValueError(
-                f"unsupported binary dtype {dtype!r}; "
-                f"expected one of {BINARY_FLOAT_DTYPES}"
-            )
-        header: Dict[str, object] = {
-            "version": 1,
-            "dtype": dtype,
-            "codec": "zlib" if compress else "raw",
-            "num_periods": len(self),
-        }
-        times = self.times_by_design_point_s
-        if times is not None:
-            header["design_point_names"] = list(self.design_point_names)
-        header_blob = json.dumps(header, separators=(",", ":")).encode("utf-8")
-        chunks = []
-        for name, kind in _BINARY_COLUMN_LAYOUT:
-            column = getattr(self, name)
-            wire_dtype = "<i8" if kind == "int" else dtype
-            chunks.append(np.ascontiguousarray(column, dtype=wire_dtype).tobytes())
-        if times is not None:
-            chunks.append(np.ascontiguousarray(times, dtype=dtype).tobytes())
-        payload = b"".join(chunks)
-        if compress:
-            payload = zlib.compress(payload, 6)
-        return b"".join(
-            [struct.pack("<Q", len(header_blob)), header_blob, payload]
-        )
+        return b"".join(self.to_bytes_chunks(dtype, compress))
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "CampaignColumns":

@@ -143,11 +143,34 @@ class Policy(abc.ABC):
     def reset(self) -> None:
         """Clear any internal state between campaigns (default: nothing)."""
 
+    def __getstate__(self):
+        """Pickle without the transient engine/curve bindings.
+
+        The batch engine (solve tables, vertex structure) and the cached
+        consumption curve are derived entirely from the policy's
+        parameters; shipping them to worker processes would bloat every
+        campaign context, and the receiving process rebinds through the
+        shared-engine registry anyway.
+        """
+        state = dict(self.__dict__)
+        state.pop("_batch", None)
+        state.pop("_curve", None)
+        return state
+
     def _batch_engine(self) -> BatchAllocator:
-        """Shared (lazily built) batch engine over this policy's parameters."""
+        """Shared (lazily bound) batch engine over this policy's parameters.
+
+        Bound through :meth:`BatchAllocator.shared`, so every policy in
+        the process with the same engine key -- all the alphas of a sweep,
+        all the cells a warm campaign worker runs -- reuses one vertex
+        structure, one set of solve tables and one consumption curve per
+        alpha.  The binding is also re-established after unpickling
+        (workers receive policies without the transient ``_batch``
+        attribute), which is exactly when sharing pays off.
+        """
         engine = getattr(self, "_batch", None)
         if engine is None:
-            engine = BatchAllocator(
+            engine = BatchAllocator.shared(
                 self.design_points,
                 period_s=self.period_s,
                 off_power_w=self.off_power_w,

@@ -1,0 +1,423 @@
+"""Tests for the shared-memory column arena and its service integration.
+
+The arena is a transport, not a solver: every test here is about bytes
+and lifecycle.  Cells written by a worker must read back bit for bit as
+zero-copy views; segment names must never outlive a campaign -- not on
+success, not on a worker crash mid-cell, not when a campaign is deleted
+over HTTP -- and the sharded runner must produce results identical to the
+single-process run with the arena on and off.  The per-endpoint latency
+histograms that ride along in ``/stats`` are covered at the bottom.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.data.table2 import table2_design_points
+from repro.harvesting.solar import SyntheticSolarModel
+from repro.harvesting.solar_cell import HarvestScenario, SolarCellModel
+from repro.harvesting.traces import SolarTrace
+from repro.service import arena
+from repro.service.cache import EndpointLatencies, LatencyHistogram
+from repro.service.client import AllocationClient
+from repro.service.requests import CampaignRequest
+from repro.service.server import (
+    AllocationServer,
+    AllocationService,
+    start_in_thread,
+)
+from repro.service.shard import run_sharded_campaign
+from repro.simulation.device import DeviceConfig
+from repro.simulation.fleet import CampaignConfig, FleetCampaign
+from repro.simulation.policies import ReapPolicy, StaticPolicy
+
+pytestmark = pytest.mark.skipif(
+    not arena.arena_available(),
+    reason="platform cannot create shared-memory segments",
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return tuple(table2_design_points())
+
+
+@pytest.fixture(scope="module")
+def trace():
+    month = SyntheticSolarModel(seed=2015).generate_month(9)
+    return SolarTrace(month.hours[:72], name=month.name)
+
+
+def _policies(points):
+    return [
+        ReapPolicy(points, alpha=1.0),
+        ReapPolicy(points, alpha=2.0),
+        StaticPolicy(points, "DP1"),
+        StaticPolicy(points, "DP5"),
+    ]
+
+
+def _leaked_segments():
+    """Names of arena segments still present in /dev/shm (Linux only)."""
+    try:
+        return sorted(
+            name for name in os.listdir("/dev/shm")
+            if name.startswith(arena._NAME_PREFIX)
+        )
+    except FileNotFoundError:  # non-Linux: nothing to inspect
+        return []
+
+
+def _assert_cells_match(sharded, single):
+    assert sharded.scenario_labels == single.scenario_labels
+    assert sharded.policy_names == single.policy_names
+    for scenario_index, policy_index, cell in sharded:
+        reference = single.result(policy_index, scenario_index)
+        np.testing.assert_allclose(
+            cell.objective_values(), reference.objective_values(), atol=1e-9
+        )
+        np.testing.assert_allclose(
+            cell.active_times_s(), reference.active_times_s(), atol=1e-9
+        )
+        assert cell.total_windows == reference.total_windows
+        if reference.battery_charge_j is not None:
+            np.testing.assert_allclose(
+                cell.battery_charge_j, reference.battery_charge_j, atol=1e-9
+            )
+
+
+class CrashingPolicy(ReapPolicy):
+    """A policy that dies mid-cell (module-level so workers can unpickle it)."""
+
+    def allocate_arrays(self, budgets_j):
+        raise RuntimeError("boom: simulated worker crash")
+
+
+class TestCellRoundTrip:
+    def test_written_cells_read_back_exactly(self, points, trace):
+        fleet = FleetCampaign(
+            [HarvestScenario()], CampaignConfig(use_battery=True)
+        )
+        result = fleet.run(_policies(points)[:2], trace)
+        cells = [(0, index, result.result(index)) for index in range(2)]
+        name = arena.new_segment_name()
+        shard = arena.write_cells(name, cells)
+        assert shard.segment_name == name
+        assert len(shard.cells) == 2
+        block = arena.ArenaBlock.attach(shard)
+        try:
+            for slot, (_, _, reference) in zip(shard.cells, cells):
+                columns, battery = arena.read_cell(block, slot)
+                original = reference.columns
+                np.testing.assert_array_equal(
+                    columns.period_index, original.period_index
+                )
+                np.testing.assert_array_equal(
+                    columns.objective_value, original.objective_value
+                )
+                np.testing.assert_array_equal(
+                    columns.windows_total, original.windows_total
+                )
+                np.testing.assert_array_equal(
+                    columns.times_by_design_point_s,
+                    original.times_by_design_point_s,
+                )
+                assert columns.design_point_names == tuple(
+                    original.design_point_names
+                )
+                np.testing.assert_array_equal(
+                    battery, reference.battery_charge_j
+                )
+                assert slot.policy_name == reference.policy_name
+        finally:
+            block.close()
+
+    def test_views_are_zero_copy_and_read_only(self, points, trace):
+        fleet = FleetCampaign([HarvestScenario()], CampaignConfig())
+        result = fleet.run(_policies(points)[:1], trace)
+        shard = arena.write_cells(
+            arena.new_segment_name(), [(0, 0, result.result(0))]
+        )
+        block = arena.ArenaBlock.attach(shard)
+        try:
+            columns, _ = arena.read_cell(block, shard.cells[0])
+            assert columns.objective_value.base is not None  # a view, not a copy
+            with pytest.raises(ValueError):
+                columns.objective_value[0] = 0.0
+        finally:
+            block.close()
+
+    def test_attach_unlinks_the_name_immediately(self, points, trace):
+        fleet = FleetCampaign([HarvestScenario()], CampaignConfig())
+        result = fleet.run(_policies(points)[:1], trace)
+        name = arena.new_segment_name()
+        shard = arena.write_cells(name, [(0, 0, result.result(0))])
+        block = arena.ArenaBlock.attach(shard)
+        try:
+            # The name is gone the moment the parent holds the mapping: a
+            # crash after this point cannot leak a named segment.
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        finally:
+            block.close()
+        block.close()  # idempotent
+        assert block.closed
+
+    def test_release_segment_sweeps_and_tolerates_missing(self, points, trace):
+        fleet = FleetCampaign([HarvestScenario()], CampaignConfig())
+        result = fleet.run(_policies(points)[:1], trace)
+        name = arena.new_segment_name()
+        arena.write_cells(name, [(0, 0, result.result(0))])
+        assert arena.release_segment(name) is True
+        assert arena.release_segment(name) is False  # already gone
+
+    def test_context_blob_round_trip(self):
+        payload = {"trace": list(range(100)), "config": "closed-loop"}
+        context = arena.publish_context(payload)
+        try:
+            assert arena.load_context(context.ref) == payload
+            # Second load hits the worker-side cache (same digest).
+            assert arena.load_context(context.ref) is arena.load_context(
+                context.ref
+            )
+        finally:
+            context.release()
+        context.release()  # idempotent
+
+
+class TestArenaLifecycle:
+    def test_normal_completion_leaves_no_segments(self, points, trace):
+        before = _leaked_segments()
+        result = run_sharded_campaign(
+            [HarvestScenario()],
+            _policies(points),
+            trace,
+            CampaignConfig(use_battery=True),
+            jobs=2,
+            shared_memory=True,
+        )
+        assert result.num_cells == 4
+        assert _leaked_segments() == before
+        result.release()
+        result.release()  # idempotent
+
+    def test_worker_crash_mid_cell_leaves_no_segments(self, points, trace):
+        before = _leaked_segments()
+        policies = [ReapPolicy(points, alpha=1.0), CrashingPolicy(points)]
+        with pytest.raises(RuntimeError, match="boom"):
+            run_sharded_campaign(
+                [HarvestScenario()],
+                policies,
+                trace,
+                CampaignConfig(use_battery=True),
+                jobs=2,
+                shared_memory=True,
+            )
+        assert _leaked_segments() == before
+
+    def test_sharded_equals_single_with_arena_on_and_off(self, points, trace):
+        scenarios = [
+            HarvestScenario(cell=SolarCellModel(exposure_factor=factor))
+            for factor in (0.032, 0.05)
+        ]
+        policies = _policies(points)
+        config = CampaignConfig(use_battery=True)
+        single = run_sharded_campaign(scenarios, policies, trace, config, jobs=1)
+        with_arena = run_sharded_campaign(
+            scenarios, policies, trace, config, jobs=3, shared_memory=True
+        )
+        without = run_sharded_campaign(
+            scenarios, policies, trace, config, jobs=3, shared_memory=False
+        )
+        _assert_cells_match(with_arena, single)
+        _assert_cells_match(without, single)
+        with_arena.release()
+
+    def test_sampled_mode_rng_parity_through_the_arena(self, points, trace):
+        scenarios = [HarvestScenario()]
+        policies = _policies(points)[:2]
+        config = CampaignConfig(
+            use_battery=True,
+            device=DeviceConfig(recognition_mode="sampled", seed=42),
+        )
+        single = run_sharded_campaign(scenarios, policies, trace, config, jobs=1)
+        sharded = run_sharded_campaign(
+            scenarios, policies, trace, config, jobs=2, shared_memory=True
+        )
+        for scenario_index, policy_index, cell in sharded:
+            reference = single.result(policy_index, scenario_index)
+            # Bit-for-bit: cell identity implies identical Bernoulli streams.
+            np.testing.assert_array_equal(
+                np.asarray(cell.columns.windows_correct),
+                np.asarray(reference.columns.windows_correct),
+            )
+        sharded.release()
+
+    def test_time_sharded_open_loop_through_the_arena(self, points, trace):
+        scenarios = [HarvestScenario()]
+        policies = [ReapPolicy(points, alpha=1.0)]
+        config = CampaignConfig(use_battery=False)
+        before = _leaked_segments()
+        single = run_sharded_campaign(scenarios, policies, trace, config, jobs=1)
+        sharded = run_sharded_campaign(
+            scenarios, policies, trace, config, jobs=3, shared_memory=True
+        )
+        merged = sharded.result(0).columns
+        reference = single.result(0).columns
+        np.testing.assert_array_equal(merged.period_index, reference.period_index)
+        np.testing.assert_allclose(
+            merged.objective_value, reference.objective_value, atol=1e-9
+        )
+        assert _leaked_segments() == before
+
+    def test_forcing_arena_off_is_honoured(self, points, trace, monkeypatch):
+        # With shared memory explicitly off the runner must never touch the
+        # arena module's segment machinery.
+        def forbidden(*_args, **_kwargs):  # pragma: no cover - assertion hook
+            raise AssertionError("pickle path called into the arena")
+
+        monkeypatch.setattr(arena, "write_cells", forbidden)
+        monkeypatch.setattr(arena, "publish_context", forbidden)
+        single = run_sharded_campaign(
+            [HarvestScenario()], _policies(points)[:2], trace, jobs=1
+        )
+        sharded = run_sharded_campaign(
+            [HarvestScenario()],
+            _policies(points)[:2],
+            trace,
+            jobs=2,
+            shared_memory=False,
+        )
+        _assert_cells_match(sharded, single)
+
+    def test_requiring_arena_on_unavailable_platform_raises(self, monkeypatch):
+        monkeypatch.setattr(arena, "arena_available", lambda: False)
+        from repro.service.shard import _use_arena
+
+        assert _use_arena(None) is False  # auto-detect degrades quietly
+        assert _use_arena(False) is False
+        with pytest.raises(RuntimeError, match="shared-memory"):
+            _use_arena(True)
+
+
+class TestServiceArenaLifecycle:
+    REQUEST = CampaignRequest(hours=48, alphas=(1.0,), baselines=("DP1",))
+
+    @pytest.fixture(scope="class")
+    def service(self, points):
+        service = AllocationService(
+            default_points=points, window_s=0.001, campaign_workers=2,
+            shared_memory=True,
+        )
+        yield service
+        service.close()
+
+    @pytest.fixture(scope="class")
+    def server(self, service):
+        handle = start_in_thread(service)
+        yield handle
+        handle.stop()
+
+    @pytest.fixture(scope="class")
+    def client(self, server):
+        return AllocationClient(port=server.port, timeout_s=120.0)
+
+    def test_delete_campaign_releases_arena_blocks(self, service, client):
+        before = _leaked_segments()
+        submitted = client.submit_campaign(self.REQUEST)
+        client.wait_for_campaign(submitted.campaign_id, timeout_s=120)
+        result = service._campaigns[submitted.campaign_id].result
+        assert result is not None
+        blocks = list(result._arena_blocks)
+        assert blocks, "arena transport should hand blocks to the result"
+        assert all(not block.closed for block in blocks)
+        assert _leaked_segments() == before  # attached blocks are unlinked
+
+        assert client.delete_campaign(submitted.campaign_id)["deleted"] is True
+        assert all(block.closed for block in blocks)
+        assert submitted.campaign_id not in service._campaigns
+        assert _leaked_segments() == before
+
+    def test_columns_stream_then_delete(self, service, client):
+        # Streaming binary columns straight off the arena views, then
+        # deleting, must free the mappings and leave no segments behind.
+        before = _leaked_segments()
+        submitted = client.submit_campaign(self.REQUEST)
+        client.wait_for_campaign(submitted.campaign_id, timeout_s=120)
+        remote = client.campaign_result(
+            submitted.campaign_id, binary=True, codec="raw"
+        )
+        zlib_remote = client.campaign_result(submitted.campaign_id, binary=True)
+        for scenario_index, policy_index, cell in remote:
+            reference = zlib_remote.result(policy_index, scenario_index)
+            np.testing.assert_array_equal(
+                cell.objective_values(), reference.objective_values()
+            )
+        client.delete_campaign(submitted.campaign_id)
+        assert _leaked_segments() == before
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram_reports_zeros(self):
+        payload = LatencyHistogram().to_json_dict()
+        assert payload == {
+            "count": 0, "mean_ms": 0.0, "max_ms": 0.0,
+            "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0,
+        }
+
+    def test_percentiles_are_ordered_and_bounded(self):
+        histogram = LatencyHistogram()
+        for milliseconds in (1, 1, 2, 2, 3, 4, 8, 16, 50, 400):
+            histogram.record(milliseconds / 1000.0)
+        payload = histogram.to_json_dict()
+        assert payload["count"] == 10
+        assert payload["p50_ms"] <= payload["p95_ms"] <= payload["p99_ms"]
+        assert payload["p99_ms"] <= payload["max_ms"]
+        assert payload["max_ms"] == pytest.approx(400.0)
+        # Log buckets: each percentile is within 2x of the true quantile.
+        assert 2.0 <= payload["p50_ms"] <= 8.0
+
+    def test_overflow_bucket_reports_the_max(self):
+        histogram = LatencyHistogram()
+        histogram.record(1000.0)  # beyond the last ~67 s bucket
+        payload = histogram.to_json_dict()
+        assert payload["p99_ms"] == pytest.approx(1000.0 * 1000.0)
+
+    def test_endpoint_latencies_group_by_label(self):
+        latencies = EndpointLatencies()
+        latencies.observe("GET /stats", 0.001)
+        latencies.observe("GET /stats", 0.002)
+        latencies.observe("POST /allocate", 0.004)
+        payload = latencies.to_json_dict()
+        assert sorted(payload) == ["GET /stats", "POST /allocate"]
+        assert payload["GET /stats"]["count"] == 2
+
+    def test_endpoint_label_collapses_campaign_ids(self):
+        label = AllocationServer._endpoint_label
+        assert label("GET", "/healthz") == "GET /healthz"
+        assert label("POST", "/allocate/batch") == "POST /allocate/batch"
+        assert label("GET", "/campaign/abc123") == "GET /campaign/*"
+        assert (
+            label("GET", "/campaign/abc123/columns?format=binary&dtype=f8")
+            == "GET /campaign/*/columns"
+        )
+        assert label("DELETE", "/campaign/zzz") == "DELETE /campaign/*"
+        assert label("GET", "/nope") == "GET (other)"
+
+    def test_stats_endpoint_carries_histograms(self, points):
+        service = AllocationService(default_points=points, window_s=0.001)
+        handle = start_in_thread(service)
+        try:
+            client = AllocationClient(port=handle.port)
+            client.health()
+            client.health()
+            stats = client.stats()
+        finally:
+            handle.stop()
+        endpoints = stats["endpoints"]
+        assert endpoints["GET /healthz"]["count"] >= 2
+        assert endpoints["GET /healthz"]["p50_ms"] > 0.0
