@@ -58,6 +58,39 @@ requires the arena (failing loudly where it cannot work), ``off`` forces
 pickle.  Both transports produce results identical to the single-process
 run to 1e-9 -- including sampled-mode RNG streams, bit for bit.
 
+Observing the service
+---------------------
+Everything the service does is observable without third-party tooling
+(:mod:`repro.obs`):
+
+* **Metrics.**  ``GET /metrics`` renders the Prometheus text exposition:
+  request counters by endpoint and status, cache/batcher/pool counters,
+  log2-bucketed latency histograms per endpoint, per-phase campaign
+  timings (``repro_campaign_phase_seconds``), and SLO burn rates.  The
+  demo scrapes it and prints a few headline series; in production, point
+  a Prometheus scraper at it.  ``python -m repro.service.client metrics``
+  does the same from the shell, and plain ``... client stats`` prints a
+  human summary (hit rate, coalescing ratio, p50/p95/p99 per endpoint).
+* **Traces.**  Every request carries a W3C ``traceparent`` (the client
+  generates one per call, or pins one via ``traceparent=`` /
+  ``--traceparent``).  The server opens an ``http.request`` span, the
+  micro-batcher records one ``batcher.solve`` span per coalesced burst,
+  pool workers record ``pool.slice`` spans, and campaign process workers
+  ship ``campaign.shard`` spans back over the executor pipe -- one trace
+  id follows the request across threads *and* processes.  ``GET
+  /trace/<id>`` returns the recorded spans; the demo follows one below.
+  ``python -m repro serve --log-format json`` additionally emits every
+  span and request log as one JSON object per line, trace ids included.
+* **SLOs.**  ``--slo-ms allocate=5,campaign=500`` (on ``repro serve`` or
+  ``AllocationService(slo_ms=...)``) sets per-endpoint latency
+  objectives; ``/metrics`` and ``/stats`` then carry good/bad counts and
+  5m/1h error-budget burn rates (burn 1.0 = spending budget exactly at
+  the sustainable rate).
+* **Campaign profiles.**  Finished campaigns report per-phase wall-clock
+  timings (harvest, scan settle, cell solves, arena pack, merge) on the
+  status payload; ``python -m repro fleet --profile`` writes the same
+  breakdown for local runs.
+
 Choosing a backend
 ------------------
 Every engine accepts ``backend=`` (``--backend`` on the CLI, per-request
@@ -128,6 +161,12 @@ def run_remote_campaign(
             f"over {fleet.trace_hours} hours, streamed back as {wire}"
         ),
     ))
+    if status.profile:
+        breakdown = ", ".join(
+            f"{phase} {seconds * 1000.0:.1f}ms"
+            for phase, seconds in status.profile.items()
+        )
+        print(f"phase profile: {breakdown}")
 
 
 def main() -> None:
@@ -243,6 +282,43 @@ def main() -> None:
             f"\nRepeat wave: {cached}/{len(second)} answers served from the "
             "LRU cache without touching the engine"
         )
+
+        # --- Observing the service: follow one trace, scrape /metrics ---
+        traced = AllocationClient(port=server.port)
+        traced.allocate(
+            AllocationRequest(energy_budget_j=11.313, alpha=1.0)
+        )
+        spans = traced.trace(traced.last_trace_id)["spans"]
+        print(f"\nTrace {traced.last_trace_id} ({len(spans)} spans):")
+        for span in spans:
+            parent = span.get("parent_span_id") or "-"
+            print(
+                f"  {span['name']:<16} span={span['span_id']} "
+                f"parent={parent} {span['duration_ms']:.2f} ms"
+            )
+
+        metrics_lines = [
+            line
+            for line in client.metrics_text().splitlines()
+            if line.startswith(
+                ("repro_requests_total", "repro_slo_burn_rate",
+                 "repro_cache_lookups_total")
+            )
+        ]
+        print("\nGET /metrics (headline series):")
+        for line in metrics_lines:
+            print(f"  {line}")
+
+        slo = client.stats()["slo"]
+        for key, objective in sorted(slo["objectives"].items()):
+            if not objective["total"]:
+                continue
+            print(
+                f"SLO {key}: {objective['good']}/{objective['total']} under "
+                f"{objective['threshold_ms']:g} ms, burn 5m "
+                f"{objective['burn_rate_5m']:.2f} / 1h "
+                f"{objective['burn_rate_1h']:.2f}"
+            )
 
         if args.campaign:
             run_remote_campaign(client, backend=args.backend,

@@ -6,7 +6,7 @@ allocation service, planning scan, kernel backends + wire format, shard
 transports) on a reduced grid sized for CI runners, collects the wall
 times and speedups they emit under ``benchmarks/output/``, re-asserts the
 speedup floors, and writes everything to one JSON trajectory file
-(``BENCH_PR7.json`` by default) that the workflow uploads as an artifact.
+(``BENCH_PR8.json`` by default) that the workflow uploads as an artifact.
 
 When a previous PR's trajectory artifact is available (``--baseline
 PATH``, or auto-discovered as the highest-numbered other ``BENCH_PR*.json``
@@ -17,7 +17,7 @@ gradual erosion.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_gate.py [--output BENCH_PR7.json]
+    PYTHONPATH=src python scripts/bench_gate.py [--output BENCH_PR8.json]
         [--baseline BENCH_PR5.json]  # previous artifact to compare against
         [--full]   # full-size grids instead of the reduced CI grid
 """
@@ -170,7 +170,7 @@ def compare_with_baseline(gated: dict, baseline_path: Path, grid: dict):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default="BENCH_PR7.json",
+    parser.add_argument("--output", default="BENCH_PR8.json",
                         help="where to write the JSON trajectory file")
     parser.add_argument("--baseline", default=None,
                         help="previous BENCH_PR*.json to compare speedups "

@@ -115,13 +115,15 @@ COMMANDS: Dict[str, str] = {
              "planning policies, --jobs N shards the grid across "
              "processes, --remote HOST:PORT submits it to a service "
              "(--binary fetches compact binary columns), --backend picks "
-             "the numeric kernels (numpy/compiled/float32)",
+             "the numeric kernels (numpy/compiled/float32), --profile "
+             "writes per-phase timings to JSON",
     "plan": "single-device horizon study: forecast-driven planning "
             "(horizon-average or MPC) vs harvest-following REAP",
     "serve": "run the JSON-over-HTTP allocation service (micro-batching + "
              "cache + worker pool + campaign endpoints); --backend sets "
              "the default numeric kernels, columns stream as NDJSON or "
-             "binary (?format=binary)",
+             "binary (?format=binary), --slo-ms sets latency objectives "
+             "(/metrics, /trace/<id>, --log-format json for traced logs)",
 }
 
 
@@ -226,6 +228,31 @@ def _command_fleet_remote(args: argparse.Namespace) -> int:
         f"\n{fleet_result.num_cells} campaign cells simulated remotely; "
         f"columns streamed back as {wire}"
     )
+    try:
+        stats = client.stats()
+    except (ServiceError, OSError, TimeoutError):
+        stats = None
+    if stats:
+        cache = stats.get("cache", {})
+        batcher = stats.get("batcher", {})
+        pool = stats.get("pool", {})
+        batches = int(batcher.get("batches", 0))
+        coalescing = (
+            int(batcher.get("requests", 0)) / batches if batches else 0.0
+        )
+        print(
+            "service: cache {rate:.1f}% hit rate, batcher {co:.1f}x "
+            "coalescing, pool {workers}+{cw} workers busy "
+            "{busy:.0f}ms".format(
+                rate=100.0 * float(cache.get("hit_rate", 0.0)),
+                co=coalescing,
+                workers=int(pool.get("workers", 0)),
+                cw=int(pool.get("campaign_workers", 0)),
+                busy=float(pool.get("busy_ms", 0.0)),
+            )
+        )
+    if args.profile:
+        _write_profile(args.profile, dict(status.profile or {}))
     if args.csv:
         result.to_csv(args.csv)
         print(f"rows written to {args.csv}")
@@ -234,6 +261,23 @@ def _command_fleet_remote(args: argparse.Namespace) -> int:
 
 #: CLI spelling -> run_sharded_campaign's Optional[bool] transport switch.
 _SHARED_MEMORY_MODES = {"auto": None, "on": True, "off": False}
+
+
+def _write_profile(path: str, phases: Dict[str, float]) -> None:
+    """Write ``repro fleet --profile`` per-phase timings as JSON."""
+    import json
+
+    payload = {
+        "phases": {name: float(seconds) for name, seconds in phases.items()},
+        "total_s": float(sum(phases.values())),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    summary = ", ".join(
+        f"{name} {seconds * 1000.0:.1f}ms" for name, seconds in phases.items()
+    )
+    print(f"phase profile written to {path} ({summary or 'no phases'})")
 
 
 def _command_fleet(args: argparse.Namespace) -> int:
@@ -283,6 +327,11 @@ def _command_fleet(args: argparse.Namespace) -> int:
         else "fleet engine"
     )
     print(f"\n{result.extras['num_cells']} campaign cells simulated by the {engine}")
+    if args.profile:
+        _write_profile(
+            args.profile,
+            dict(result.extras["fleet_result"].phase_timings),
+        )
     if args.csv:
         result.to_csv(args.csv)
         print(f"rows written to {args.csv}")
@@ -473,6 +522,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="numeric kernels for the solves and scans: numpy (reference), "
              "compiled (Numba-jitted, graceful fallback) or float32",
     )
+    fleet_parser.add_argument(
+        "--profile", nargs="?", const="profile.json", default=None,
+        metavar="PATH",
+        help="write per-phase campaign timings (harvest, cell solve, scan "
+             "settle, arena pack, merge, ...) as JSON to PATH "
+             "(default: profile.json); works locally and with --remote",
+    )
     fleet_parser.add_argument("--csv", default=None,
                               help="also write rows to this CSV file")
 
@@ -572,14 +628,35 @@ def build_parser() -> argparse.ArgumentParser:
              "probes /dev/shm and uses the zero-copy shared-memory arena "
              "when available, on requires it, off forces pickle",
     )
+    serve_parser.add_argument(
+        "--log-format", choices=["text", "json"], default="text",
+        help="request/span log lines: human-readable text or one JSON "
+             "object per line (each carries the trace_id)",
+    )
+    serve_parser.add_argument(
+        "--slo-ms", default=None, metavar="SPEC",
+        help="per-endpoint latency objectives as KEY=MS pairs, e.g. "
+             "'allocate=5,campaign=500'; burn rates show up in /metrics "
+             "and /stats (default: allocate=25, campaign=5000)",
+    )
 
     return parser
 
 
 def _command_serve(args: argparse.Namespace) -> int:
     # Imported lazily so plain experiment runs never touch the service layer.
+    from repro.obs.slo import parse_slo_spec
+    from repro.obs.tracing import configure_logging
     from repro.service.server import AllocationService, run_server
 
+    slo_ms = None
+    if args.slo_ms:
+        try:
+            slo_ms = parse_slo_spec(args.slo_ms)
+        except ValueError as error:
+            print(f"--slo-ms: {error}", file=sys.stderr)
+            return 2
+    configure_logging(args.log_format)
     service = AllocationService(
         cache_size=args.cache_size,
         window_s=args.window_ms / 1000.0,
@@ -588,6 +665,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         campaign_workers=args.campaign_workers,
         default_backend=args.backend,
         shared_memory=_SHARED_MEMORY_MODES[args.shared_memory],
+        slo_ms=slo_ms,
     )
     return run_server(
         service, host=args.host, port=args.port, port_file=args.port_file

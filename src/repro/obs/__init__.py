@@ -1,0 +1,73 @@
+"""Observability layer: metrics registry, request tracing, phase profiling, SLOs.
+
+``repro.obs`` is the service stack's shared instrumentation surface:
+
+* :mod:`repro.obs.metrics` -- thread-safe counter/gauge/histogram
+  families with Prometheus text exposition (``GET /metrics``), including
+  the log2 latency histograms that back ``/stats`` percentiles.
+* :mod:`repro.obs.tracing` -- W3C-traceparent-compatible span contexts
+  that follow a request from the HTTP handler through batcher groups,
+  pool slices, and sharded campaign process workers; structured span
+  logs (``--log-format json``) and the recorder behind ``GET /trace/<id>``.
+* :mod:`repro.obs.profiling` -- per-phase wall-clock accumulation for
+  the campaign pipeline (``repro fleet --profile``,
+  ``CampaignResponse.profile``).
+* :mod:`repro.obs.slo` -- per-endpoint latency objectives with good/total
+  counters and 5m/1h burn-rate windows (``repro serve --slo-ms ...``).
+"""
+
+from .metrics import (
+    Counter,
+    EndpointLatencies,
+    Gauge,
+    Histogram,
+    LOG2_BOUNDS_S,
+    LatencyHistogram,
+    MetricsRegistry,
+    latency_histogram_samples,
+)
+from .profiling import PhaseProfiler
+from .slo import DEFAULT_SLO_MS, SloTracker, parse_slo_spec
+from .tracing import (
+    JsonLogFormatter,
+    SpanContext,
+    TraceRecorder,
+    capture_spans,
+    configure_logging,
+    current_context,
+    format_traceparent,
+    ingest,
+    new_trace_id,
+    parse_traceparent,
+    record_span,
+    recorder,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SLO_MS",
+    "EndpointLatencies",
+    "Gauge",
+    "Histogram",
+    "JsonLogFormatter",
+    "LOG2_BOUNDS_S",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "SloTracker",
+    "SpanContext",
+    "TraceRecorder",
+    "capture_spans",
+    "configure_logging",
+    "current_context",
+    "format_traceparent",
+    "ingest",
+    "latency_histogram_samples",
+    "new_trace_id",
+    "parse_slo_spec",
+    "parse_traceparent",
+    "record_span",
+    "recorder",
+    "span",
+]

@@ -1,0 +1,473 @@
+"""Thread-safe metrics registry with Prometheus text exposition.
+
+The service historically kept its counters in ad-hoc classes surfaced
+only through the ``/stats`` JSON bag.  This module generalises that layer
+into a small, dependency-free metrics registry:
+
+* :class:`Counter` / :class:`Gauge` / :class:`Histogram` families with
+  optional label dimensions, each family guarded by one lock so worker
+  threads and the event loop can record concurrently.
+* Histograms share the service's log2 bucket scheme
+  (:data:`LOG2_BOUNDS_S`: 1 microsecond doubling up through ~67 seconds,
+  plus an overflow bucket) so recording stays O(1) with a fixed ~30-int
+  footprint per label set regardless of traffic.
+* :meth:`MetricsRegistry.render` emits the Prometheus text exposition
+  format (``# HELP`` / ``# TYPE`` headers, ``_bucket{le=...}`` /
+  ``_sum`` / ``_count`` histogram series) for ``GET /metrics``.
+* :meth:`MetricsRegistry.callback` registers sample *functions* so
+  pre-existing counter objects (cache stats, batcher stats, pool
+  counters) can be scraped at exposition time without being rewritten.
+
+PR 7's :class:`LatencyHistogram` and :class:`EndpointLatencies` live here
+now (``repro.service.cache`` re-exports them for compatibility); the
+per-endpoint histograms plug into the registry through
+:func:`latency_histogram_samples`.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Upper bounds of the log2 histogram buckets, in seconds (1 us .. ~67 s).
+LOG2_BOUNDS_S = tuple(1e-6 * 2.0**exponent for exponent in range(27))
+
+#: One exposition sample: (name suffix, label mapping, value).  The suffix
+#: is ``""`` for plain series and ``"_bucket"`` / ``"_sum"`` / ``"_count"``
+#: for histogram series.
+Sample = Tuple[str, Mapping[str, str], float]
+
+
+def format_value(value: float) -> str:
+    """Render one sample value the way Prometheus expects.
+
+    Integral values print without a fractional part (counter increments
+    stay readable and golden-testable); everything else uses ``repr`` so
+    no precision is lost on the wire.
+    """
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def format_labels(labels: Mapping[str, Any]) -> str:
+    """Render a label mapping as ``{key="value",...}`` (empty when none)."""
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        value = str(labels[key]).replace("\\", "\\\\").replace('"', '\\"')
+        value = value.replace("\n", "\\n")
+        parts.append(f'{key}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _label_key(
+    labelnames: Sequence[str], labels: Mapping[str, Any]
+) -> Tuple[str, ...]:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"expected labels {tuple(labelnames)}, got {tuple(sorted(labels))}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+class _Family:
+    """Common shape of one registered metric family."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str]) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def samples(self) -> List[Sample]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Family):
+    """Monotonically increasing counter family."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help_text, labelnames)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Add ``amount`` (must be non-negative) to one label set's count."""
+        if amount < 0:
+            raise ValueError(f"counters only go up, got increment {amount}")
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """Current count of one label set (0.0 before any increment)."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def samples(self) -> List[Sample]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            ("", dict(zip(self.labelnames, key)), value)
+            for key, value in items
+        ]
+
+
+class Gauge(_Family):
+    """Set-to-current-value gauge family."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help_text, labelnames)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Set one label set's value."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def value(self, **labels: Any) -> float:
+        """Current value of one label set (0.0 before any set)."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def samples(self) -> List[Sample]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            ("", dict(zip(self.labelnames, key)), value)
+            for key, value in items
+        ]
+
+
+class _HistogramData:
+    """Bucket counts + running sum/max of one histogram label set."""
+
+    __slots__ = ("counts", "count", "total", "max")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.counts = [0] * num_buckets
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+
+class Histogram(_Family):
+    """Log2-bucketed histogram family (cumulative Prometheus exposition)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        bounds: Sequence[float] = LOG2_BOUNDS_S,
+    ) -> None:
+        super().__init__(name, help_text, labelnames)
+        self.bounds = tuple(float(bound) for bound in bounds)
+        if sorted(self.bounds) != list(self.bounds):
+            raise ValueError("histogram bounds must be sorted ascending")
+        self._data: Dict[Tuple[str, ...], _HistogramData] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one observation under one label set."""
+        key = _label_key(self.labelnames, labels)
+        index = bisect_right(self.bounds, value)
+        with self._lock:
+            data = self._data.get(key)
+            if data is None:
+                data = self._data[key] = _HistogramData(len(self.bounds) + 1)
+            data.counts[index] += 1
+            data.count += 1
+            data.total += value
+            if value > data.max:
+                data.max = value
+
+    def count(self, **labels: Any) -> int:
+        """Observations recorded under one label set."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            data = self._data.get(key)
+            return 0 if data is None else data.count
+
+    def samples(self) -> List[Sample]:
+        with self._lock:
+            snapshot = [
+                (key, list(data.counts), data.count, data.total)
+                for key, data in sorted(self._data.items())
+            ]
+        out: List[Sample] = []
+        for key, counts, count, total in snapshot:
+            labels = dict(zip(self.labelnames, key))
+            out.extend(
+                bucket_samples(counts, count, total, self.bounds, labels)
+            )
+        return out
+
+
+def bucket_samples(
+    counts: Sequence[int],
+    count: int,
+    total: float,
+    bounds: Sequence[float],
+    labels: Mapping[str, str],
+) -> List[Sample]:
+    """Cumulative ``_bucket``/``_sum``/``_count`` samples of one label set."""
+    out: List[Sample] = []
+    cumulative = 0
+    for bound, bucket in zip(bounds, counts):
+        cumulative += bucket
+        out.append(("_bucket", {**labels, "le": format_value(bound)}, cumulative))
+    out.append(("_bucket", {**labels, "le": "+Inf"}, count))
+    out.append(("_sum", dict(labels), total))
+    out.append(("_count", dict(labels), count))
+    return out
+
+
+class _CallbackFamily(_Family):
+    """A family whose samples are produced by a function at scrape time."""
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        sample_fn: Callable[[], Iterable[Sample]],
+    ) -> None:
+        super().__init__(name, help_text, ())
+        self.kind = kind
+        self._sample_fn = sample_fn
+
+    def samples(self) -> List[Sample]:
+        return list(self._sample_fn())
+
+
+class MetricsRegistry:
+    """Ordered collection of metric families with one text exposition."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    def _register(self, family: _Family) -> _Family:
+        with self._lock:
+            if family.name in self._families:
+                raise ValueError(f"metric {family.name!r} already registered")
+            self._families[family.name] = family
+        return family
+
+    def counter(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> Counter:
+        """Create and register a counter family."""
+        counter = Counter(name, help_text, labelnames)
+        self._register(counter)
+        return counter
+
+    def gauge(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        """Create and register a gauge family."""
+        gauge = Gauge(name, help_text, labelnames)
+        self._register(gauge)
+        return gauge
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        bounds: Sequence[float] = LOG2_BOUNDS_S,
+    ) -> Histogram:
+        """Create and register a histogram family."""
+        histogram = Histogram(name, help_text, labelnames, bounds)
+        self._register(histogram)
+        return histogram
+
+    def callback(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        sample_fn: Callable[[], Iterable[Sample]],
+    ) -> None:
+        """Register a scrape-time sample function as one family.
+
+        This is how counters that already live elsewhere (cache stats,
+        batcher stats, pool counters, SLO trackers) join the exposition
+        without being rewritten on the registry's primitives: ``sample_fn``
+        runs at every :meth:`render` and returns the family's samples.
+        """
+        self._register(_CallbackFamily(name, help_text, kind, sample_fn))
+
+    def render(self) -> str:
+        """The Prometheus text exposition of every registered family."""
+        with self._lock:
+            families = list(self._families.values())
+        lines: List[str] = []
+        for family in families:
+            try:
+                samples = family.samples()
+            except Exception:
+                continue  # one broken callback must not break the scrape
+            lines.append(f"# HELP {family.name} {family.help_text}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for suffix, labels, value in samples:
+                lines.append(
+                    f"{family.name}{suffix}{format_labels(labels)} "
+                    f"{format_value(value)}"
+                )
+        return "\n".join(lines) + "\n"
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram with percentile estimates (thread-safe).
+
+    Buckets double from 1 microsecond up through ~67 seconds plus one
+    overflow bucket, so recording is O(1) with a fixed ~30-int footprint
+    per endpoint -- safe to keep forever under production traffic, unlike
+    a reservoir of raw samples.  Percentiles are read from the cumulative
+    bucket counts and reported as each bucket's upper bound: an estimate
+    within 2x of the true quantile, which is what latency SLOs need
+    (p99 "about 8 ms" vs "about 16 ms", never "about 3 ms" when it's 20).
+    """
+
+    #: Upper bounds of the log2 buckets, in seconds (1 us .. ~67 s).
+    BOUNDS_S = LOG2_BOUNDS_S
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.BOUNDS_S) + 1)  # +1 overflow
+        self._count = 0
+        self._total_s = 0.0
+        self._max_s = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Record one observation, in seconds."""
+        index = bisect_right(self.BOUNDS_S, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._total_s += seconds
+            if seconds > self._max_s:
+                self._max_s = seconds
+
+    def snapshot(self) -> Tuple[List[int], int, float, float]:
+        """Consistent (bucket counts, count, total_s, max_s) snapshot."""
+        with self._lock:
+            return list(self._counts), self._count, self._total_s, self._max_s
+
+    def _percentile_locked(self, fraction: float) -> float:
+        rank = fraction * self._count
+        cumulative = 0
+        for index, count in enumerate(self._counts):
+            cumulative += count
+            if cumulative >= rank:
+                if index < len(self.BOUNDS_S):
+                    # Clamped: a bucket's upper bound can exceed the
+                    # largest sample actually seen.
+                    return min(self.BOUNDS_S[index], self._max_s)
+                return self._max_s  # overflow bucket: report the max seen
+        return self._max_s
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Encode for the ``/stats`` endpoint (milliseconds for humans)."""
+        with self._lock:
+            if self._count == 0:
+                return {
+                    "count": 0, "mean_ms": 0.0, "max_ms": 0.0,
+                    "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0,
+                }
+            return {
+                "count": self._count,
+                "mean_ms": self._total_s / self._count * 1000.0,
+                "max_ms": self._max_s * 1000.0,
+                "p50_ms": self._percentile_locked(0.50) * 1000.0,
+                "p95_ms": self._percentile_locked(0.95) * 1000.0,
+                "p99_ms": self._percentile_locked(0.99) * 1000.0,
+            }
+
+
+def latency_histogram_samples(
+    histogram: LatencyHistogram, labels: Mapping[str, str]
+) -> List[Sample]:
+    """One :class:`LatencyHistogram` as Prometheus histogram samples."""
+    counts, count, total, _ = histogram.snapshot()
+    return bucket_samples(counts, count, total, histogram.BOUNDS_S, labels)
+
+
+class EndpointLatencies:
+    """Per-endpoint latency histograms for ``/stats`` (thread-safe).
+
+    Endpoints are labelled by route pattern (``"GET /campaign/*"``), not
+    raw path, so the map stays bounded regardless of how many campaign
+    ids traffic touches.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._histograms: Dict[str, LatencyHistogram] = {}
+
+    def observe(self, endpoint: str, seconds: float) -> None:
+        """Record one request's latency under its endpoint label."""
+        with self._lock:
+            histogram = self._histograms.get(endpoint)
+            if histogram is None:
+                histogram = self._histograms[endpoint] = LatencyHistogram()
+        histogram.record(seconds)
+
+    def histogram(self, endpoint: str) -> Optional[LatencyHistogram]:
+        """One endpoint's histogram, or ``None`` before any observation."""
+        with self._lock:
+            return self._histograms.get(endpoint)
+
+    def items(self) -> List[Tuple[str, LatencyHistogram]]:
+        """Endpoint-sorted (label, histogram) snapshot."""
+        with self._lock:
+            return sorted(self._histograms.items())
+
+    def prometheus_samples(self, label_name: str = "endpoint") -> List[Sample]:
+        """Every endpoint's histogram as one family's samples."""
+        out: List[Sample] = []
+        for endpoint, histogram in self.items():
+            out.extend(
+                latency_histogram_samples(histogram, {label_name: endpoint})
+            )
+        return out
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Encode for the ``/stats`` endpoint, endpoint-sorted."""
+        return {
+            endpoint: histogram.to_json_dict()
+            for endpoint, histogram in self.items()
+        }
+
+
+__all__ = [
+    "Counter",
+    "EndpointLatencies",
+    "Gauge",
+    "Histogram",
+    "LOG2_BOUNDS_S",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "bucket_samples",
+    "format_labels",
+    "format_value",
+    "latency_histogram_samples",
+]

@@ -41,7 +41,7 @@ import pickle
 import secrets
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -145,11 +145,21 @@ class CellSlot:
 
 @dataclass(frozen=True)
 class ArenaShard:
-    """Descriptor of one worker task's results: segment name + cell slots."""
+    """Descriptor of one worker task's results: segment name + cell slots.
+
+    ``phase_s`` and ``spans`` carry the worker's observability sidecar --
+    per-phase (name, seconds) timings and finished span records -- back
+    across the executor pipe alongside the descriptor (they are a few
+    hundred bytes, so the ~100-byte-descriptor property effectively
+    holds).  :func:`write_cells` leaves them empty; the worker attaches
+    them via :func:`dataclasses.replace` after timing itself.
+    """
 
     segment_name: str
     nbytes: int
     cells: Tuple[CellSlot, ...]
+    phase_s: Tuple[Tuple[str, float], ...] = ()
+    spans: Tuple[Dict[str, Any], ...] = ()
 
 
 def _field_layout(slot: CellSlot) -> List[Tuple[str, int, str, tuple]]:

@@ -27,11 +27,13 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.core import kernels
+from repro.obs import tracing
 from repro.core.batch import BatchAllocator
 from repro.core.design_point import DesignPoint, canonical_design_key
 from repro.data.table2 import table2_design_points
@@ -287,11 +289,18 @@ class MicroBatcher:
         self.max_batch = int(max_batch)
         self.pool = pool
         self.stats = BatcherStats()
-        # Entries are (burst, future): a single request is a burst of one
-        # whose future resolves to one response; solve_bulk futures resolve
-        # to the whole burst's response list.
+        # Entries are (burst, future, trace_ctx): a single request is a
+        # burst of one whose future resolves to one response; solve_bulk
+        # futures resolve to the whole burst's response list.  trace_ctx is
+        # the span context active when the burst was enqueued -- flushes
+        # run on a separate task, so each burst's span parent is carried
+        # explicitly rather than through contextvars.
         self._pending: List[
-            Tuple[List[AllocationRequest], "asyncio.Future"]
+            Tuple[
+                List[AllocationRequest],
+                "asyncio.Future",
+                Optional[tracing.SpanContext],
+            ]
         ] = []
         self._pending_requests = 0
         self._timer: Optional[asyncio.TimerHandle] = None
@@ -307,7 +316,7 @@ class MicroBatcher:
     def _enqueue(self, burst: List[AllocationRequest]) -> "asyncio.Future":
         loop = asyncio.get_running_loop()
         future: "asyncio.Future" = loop.create_future()
-        self._pending.append((burst, future))
+        self._pending.append((burst, future, tracing.current_context()))
         self._pending_requests += len(burst)
         if self._pending_requests >= self.max_batch:
             self.flush()
@@ -349,7 +358,7 @@ class MicroBatcher:
         pending, self._pending = self._pending, []
         self._pending_requests = 0
         flat: List[AllocationRequest] = []
-        for burst, _ in pending:
+        for burst, _, _ in pending:
             flat.extend(burst)
         # One dispatch loop for both modes: the pooled path awaits the
         # workers (keeping the event loop free), the pool-less path solves
@@ -362,7 +371,13 @@ class MicroBatcher:
 
     async def _flush_async(
         self,
-        pending: List[Tuple[List[AllocationRequest], "asyncio.Future"]],
+        pending: List[
+            Tuple[
+                List[AllocationRequest],
+                "asyncio.Future",
+                Optional[tracing.SpanContext],
+            ]
+        ],
         flat: List[AllocationRequest],
     ) -> None:
         """Solve the flushed chunks (of at most ``max_batch``), then scatter.
@@ -370,6 +385,8 @@ class MicroBatcher:
         A burst spanning chunks is reassembled before its future resolves
         (the scatter walks the pending list, not the chunks).
         """
+        wall_start = time.time()
+        dispatch_start = time.perf_counter()
         responses: List[AllocationResponse] = []
         error: Optional[Exception] = None
         for start in range(0, len(flat), self.max_batch):
@@ -383,17 +400,38 @@ class MicroBatcher:
                 error = failure
                 break
             self.stats.record(len(chunk))
+        elapsed = time.perf_counter() - dispatch_start
+        # One batcher.solve span per *traced* burst: the dispatch served
+        # every pending burst at once, so each traced requester sees the
+        # same duration attributed under its own trace.
+        for burst, _, ctx in pending:
+            if ctx is not None:
+                tracing.record_span(
+                    "batcher.solve",
+                    ctx,
+                    wall_start,
+                    elapsed,
+                    requests=len(burst),
+                    batch_size=len(flat),
+                    **({"error": type(error).__name__} if error else {}),
+                )
         self._scatter(pending, responses, error)
 
     @staticmethod
     def _scatter(
-        pending: List[Tuple[List[AllocationRequest], "asyncio.Future"]],
+        pending: List[
+            Tuple[
+                List[AllocationRequest],
+                "asyncio.Future",
+                Optional[tracing.SpanContext],
+            ]
+        ],
         responses: List[AllocationResponse],
         error: Optional[Exception],
     ) -> None:
         """Resolve every parked future with its burst's share of responses."""
         cursor = 0
-        for burst, future in pending:
+        for burst, future, _ in pending:
             share = responses[cursor : cursor + len(burst)]
             cursor += len(burst)
             if future.done():

@@ -10,15 +10,21 @@ surrounding :class:`~repro.service.server.AllocationService` is still
 bound to one event loop -- its micro-batcher parks futures on the calling
 loop); solve latency is tracked separately by :class:`LatencyRecorder` so
 the ``/stats`` endpoint can report both.
+
+The latency *histogram* types (:class:`LatencyHistogram`,
+:class:`EndpointLatencies`) moved to :mod:`repro.obs.metrics` when the
+observability layer landed; they are re-exported here unchanged for
+existing imports.
 """
 
 from __future__ import annotations
 
 import threading
-from bisect import bisect_right
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Generic, Hashable, Optional, TypeVar
+from typing import Any, Dict, Generic, Hashable, Optional, Tuple, TypeVar
+
+from repro.obs.metrics import EndpointLatencies, LatencyHistogram
 
 Value = TypeVar("Value")
 
@@ -122,123 +128,66 @@ class AllocationCache(Generic[Value]):
 
 
 class LatencyRecorder:
-    """Running latency statistics of the solve path (thread-safe)."""
+    """Running latency statistics of the allocate path, by outcome.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._count = 0
-        self._total_s = 0.0
-        self._max_s = 0.0
-
-    def record(self, seconds: float) -> None:
-        """Record one solve's wall-clock latency."""
-        with self._lock:
-            self._count += 1
-            self._total_s += seconds
-            if seconds > self._max_s:
-                self._max_s = seconds
-
-    def to_json_dict(self) -> Dict[str, Any]:
-        """Encode for the ``/stats`` endpoint (milliseconds for humans)."""
-        with self._lock:
-            mean_ms = (
-                self._total_s / self._count * 1000.0 if self._count else 0.0
-            )
-            return {
-                "solves": self._count,
-                "mean_ms": mean_ms,
-                "max_ms": self._max_s * 1000.0,
-            }
-
-
-class LatencyHistogram:
-    """Log-bucketed latency histogram with percentile estimates (thread-safe).
-
-    Buckets double from 1 microsecond up through ~67 seconds plus one
-    overflow bucket, so recording is O(1) with a fixed ~30-int footprint
-    per endpoint -- safe to keep forever under production traffic, unlike
-    a reservoir of raw samples.  Percentiles are read from the cumulative
-    bucket counts and reported as each bucket's upper bound: an estimate
-    within 2x of the true quantile, which is what latency SLOs need
-    (p99 "about 8 ms" vs "about 16 ms", never "about 3 ms" when it's 20).
-    """
-
-    #: Upper bounds of the log2 buckets, in seconds (1 us .. ~67 s).
-    BOUNDS_S = tuple(1e-6 * 2.0**exponent for exponent in range(27))
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counts = [0] * (len(self.BOUNDS_S) + 1)  # +1 overflow
-        self._count = 0
-        self._total_s = 0.0
-        self._max_s = 0.0
-
-    def record(self, seconds: float) -> None:
-        """Record one observation, in seconds."""
-        index = bisect_right(self.BOUNDS_S, seconds)
-        with self._lock:
-            self._counts[index] += 1
-            self._count += 1
-            self._total_s += seconds
-            if seconds > self._max_s:
-                self._max_s = seconds
-
-    def _percentile_locked(self, fraction: float) -> float:
-        rank = fraction * self._count
-        cumulative = 0
-        for index, count in enumerate(self._counts):
-            cumulative += count
-            if cumulative >= rank:
-                if index < len(self.BOUNDS_S):
-                    # Clamped: a bucket's upper bound can exceed the
-                    # largest sample actually seen.
-                    return min(self.BOUNDS_S[index], self._max_s)
-                return self._max_s  # overflow bucket: report the max seen
-        return self._max_s
-
-    def to_json_dict(self) -> Dict[str, Any]:
-        """Encode for the ``/stats`` endpoint (milliseconds for humans)."""
-        with self._lock:
-            if self._count == 0:
-                return {
-                    "count": 0, "mean_ms": 0.0, "max_ms": 0.0,
-                    "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0,
-                }
-            return {
-                "count": self._count,
-                "mean_ms": self._total_s / self._count * 1000.0,
-                "max_ms": self._max_s * 1000.0,
-                "p50_ms": self._percentile_locked(0.50) * 1000.0,
-                "p95_ms": self._percentile_locked(0.95) * 1000.0,
-                "p99_ms": self._percentile_locked(0.99) * 1000.0,
-            }
-
-
-class EndpointLatencies:
-    """Per-endpoint latency histograms for ``/stats`` (thread-safe).
-
-    Endpoints are labelled by route pattern (``"GET /campaign/*"``), not
-    raw path, so the map stays bounded regardless of how many campaign
-    ids traffic touches.
+    ``record(seconds)`` counts a batch-engine solve, as it always has;
+    ``record(seconds, outcome="cache_hit")`` / ``outcome="error"`` record
+    the paths the aggregate block used to silently skip, so the
+    ``latency`` block reconciles with the per-endpoint histograms.  The
+    top-level ``solves`` / ``mean_ms`` / ``max_ms`` fields keep their
+    historical meaning (solve outcome only); other outcomes appear under
+    ``by_outcome``.  Thread-safe.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._histograms: Dict[str, LatencyHistogram] = {}
+        # outcome -> [count, total_s, max_s]
+        self._outcomes: Dict[str, list] = {}
 
-    def observe(self, endpoint: str, seconds: float) -> None:
-        """Record one request's latency under its endpoint label."""
+    def record(self, seconds: float, outcome: str = "solve") -> None:
+        """Record one observation's wall-clock latency under an outcome."""
         with self._lock:
-            histogram = self._histograms.get(endpoint)
-            if histogram is None:
-                histogram = self._histograms[endpoint] = LatencyHistogram()
-        histogram.record(seconds)
+            stats = self._outcomes.get(outcome)
+            if stats is None:
+                stats = self._outcomes[outcome] = [0, 0.0, 0.0]
+            stats[0] += 1
+            stats[1] += seconds
+            if seconds > stats[2]:
+                stats[2] = seconds
+
+    def count(self, outcome: str = "solve") -> int:
+        """Observations recorded under one outcome."""
+        with self._lock:
+            stats = self._outcomes.get(outcome)
+            return 0 if stats is None else stats[0]
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """Outcome -> observation count snapshot."""
+        with self._lock:
+            return {outcome: stats[0] for outcome, stats in self._outcomes.items()}
 
     def to_json_dict(self) -> Dict[str, Any]:
-        """Encode for the ``/stats`` endpoint, endpoint-sorted."""
+        """Encode for the ``/stats`` endpoint (milliseconds for humans)."""
         with self._lock:
-            histograms = sorted(self._histograms.items())
-        return {endpoint: histogram.to_json_dict() for endpoint, histogram in histograms}
+            snapshot: Dict[str, Tuple[int, float, float]] = {
+                outcome: (stats[0], stats[1], stats[2])
+                for outcome, stats in self._outcomes.items()
+            }
+        count, total_s, max_s = snapshot.get("solve", (0, 0.0, 0.0))
+        payload: Dict[str, Any] = {
+            "solves": count,
+            "mean_ms": total_s / count * 1000.0 if count else 0.0,
+            "max_ms": max_s * 1000.0,
+        }
+        payload["by_outcome"] = {
+            outcome: {
+                "count": ocount,
+                "mean_ms": ototal / ocount * 1000.0 if ocount else 0.0,
+                "max_ms": omax * 1000.0,
+            }
+            for outcome, (ocount, ototal, omax) in sorted(snapshot.items())
+        }
+        return payload
 
 
 __all__ = [

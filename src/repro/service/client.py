@@ -9,7 +9,10 @@ drives a live server with it)::
 
     python -m repro.service.client --port 8734 health
     python -m repro.service.client --port 8734 allocate --budget 5 --alpha 1
-    python -m repro.service.client --port 8734 stats
+    python -m repro.service.client --port 8734 stats          # human summary
+    python -m repro.service.client --port 8734 stats --json   # raw counters
+    python -m repro.service.client --port 8734 metrics        # Prometheus text
+    python -m repro.service.client --port 8734 trace <trace_id>
     python -m repro.service.client --port 8734 campaign submit --hours 48
     python -m repro.service.client --port 8734 campaign status c1
     python -m repro.service.client --port 8734 campaign run --hours 48
@@ -18,6 +21,12 @@ drives a live server with it)::
 
 Each command prints the server's JSON reply on stdout and exits non-zero on
 transport or HTTP errors.
+
+Every request carries a W3C ``traceparent`` header -- a fresh trace per
+call by default, or a fixed one via ``traceparent=`` /
+``--traceparent`` -- so any client call can be followed through the
+server's span logs and ``GET /trace/<id>``; the id used last is kept on
+:attr:`AllocationClient.last_trace_id`.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ import sys
 import time
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.obs import tracing
 from repro.service.requests import (
     AllocationRequest,
     AllocationResponse,
@@ -50,13 +60,37 @@ class AllocationClient:
     """Blocking client bound to one server address."""
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8734, timeout_s: float = 10.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8734,
+        timeout_s: float = 10.0,
+        traceparent: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = int(port)
         self.timeout_s = timeout_s
+        #: Fixed ``traceparent`` header sent on every request (one trace
+        #: spanning all of this client's calls); ``None`` starts a fresh
+        #: trace per call.
+        self.traceparent = traceparent
+        #: Trace id of the most recent request (whatever header was sent).
+        self.last_trace_id: Optional[str] = None
 
     # --- transport --------------------------------------------------------------
+    def _trace_headers(self) -> Dict[str, str]:
+        """The ``traceparent`` header of one outgoing request."""
+        if self.traceparent is not None:
+            header = self.traceparent
+            context = tracing.parse_traceparent(header)
+            self.last_trace_id = context.trace_id if context else None
+        else:
+            context = tracing.SpanContext(
+                tracing.new_trace_id(), tracing.new_span_id()
+            )
+            header = tracing.format_traceparent(context)
+            self.last_trace_id = context.trace_id
+        return {"traceparent": header}
+
     def _call(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
     ) -> Any:
@@ -65,7 +99,9 @@ class AllocationClient:
         )
         try:
             encoded = None if body is None else json.dumps(body).encode("utf-8")
-            headers = {"Content-Type": "application/json"} if encoded else {}
+            headers = self._trace_headers()
+            if encoded:
+                headers["Content-Type"] = "application/json"
             connection.request(method, path, body=encoded, headers=headers)
             response = connection.getresponse()
             raw = response.read()
@@ -73,6 +109,25 @@ class AllocationClient:
             if response.status != 200:
                 raise ServiceError(response.status, payload)
             return payload
+        finally:
+            connection.close()
+
+    def _call_text(self, method: str, path: str) -> str:
+        """Like :meth:`_call` for endpoints answering plain text."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            connection.request(method, path, headers=self._trace_headers())
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                try:
+                    payload: Any = json.loads(raw.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    payload = raw.decode("utf-8", "replace")
+                raise ServiceError(response.status, payload)
+            return raw.decode("utf-8")
         finally:
             connection.close()
 
@@ -84,6 +139,14 @@ class AllocationClient:
     def stats(self) -> Dict[str, Any]:
         """``GET /stats``."""
         return self._call("GET", "/stats")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics``: the raw Prometheus text exposition."""
+        return self._call_text("GET", "/metrics")
+
+    def trace(self, trace_id: str) -> Dict[str, Any]:
+        """``GET /trace/<id>``: the recorded spans of one trace."""
+        return self._call("GET", f"/trace/{trace_id}")
 
     def allocate(self, request: AllocationRequest) -> AllocationResponse:
         """``POST /allocate`` one typed request."""
@@ -162,7 +225,11 @@ class AllocationClient:
             self.host, self.port, timeout=self.timeout_s
         )
         try:
-            connection.request("GET", f"/campaign/{campaign_id}/columns")
+            connection.request(
+                "GET",
+                f"/campaign/{campaign_id}/columns",
+                headers=self._trace_headers(),
+            )
             response = connection.getresponse()
             if response.status != 200:
                 raw = response.read()
@@ -195,6 +262,7 @@ class AllocationClient:
                 "GET",
                 f"/campaign/{campaign_id}/columns"
                 f"?format=binary&dtype={dtype}&codec={codec}",
+                headers=self._trace_headers(),
             )
             response = connection.getresponse()
             raw = response.read()
@@ -246,6 +314,91 @@ class AllocationClient:
         return status, self.campaign_result(submitted.campaign_id, binary=binary)
 
 
+# --- human-readable stats ---------------------------------------------------------
+def format_stats_summary(stats: Dict[str, Any]) -> str:
+    """Render a ``/stats`` payload as a short human-readable summary.
+
+    Covers the headline service-health numbers: cache hit rate, batcher
+    coalescing ratio, pool utilization, SLO compliance, and per-endpoint
+    latency percentiles.  ``stats --json`` prints the raw counters
+    instead.
+    """
+    lines: List[str] = []
+    uptime_s = float(stats.get("uptime_s", 0.0))
+
+    cache = stats.get("cache", {})
+    lookups = int(cache.get("lookups", 0))
+    lines.append(
+        "cache      {hits}/{lookups} hits ({rate:.1f}%), "
+        "{entries}/{max_entries} entries, {evictions} evictions".format(
+            hits=int(cache.get("hits", 0)),
+            lookups=lookups,
+            rate=100.0 * float(cache.get("hit_rate", 0.0)),
+            entries=int(cache.get("entries", 0)),
+            max_entries=int(cache.get("max_entries", 0)),
+            evictions=int(cache.get("evictions", 0)),
+        )
+    )
+
+    batcher = stats.get("batcher", {})
+    batches = int(batcher.get("batches", 0))
+    requests = int(batcher.get("requests", 0))
+    coalescing = requests / batches if batches else 0.0
+    lines.append(
+        f"batcher    {requests} requests in {batches} batches "
+        f"({coalescing:.1f}x coalescing, largest "
+        f"{int(batcher.get('largest_batch', 0))})"
+    )
+
+    pool = stats.get("pool", {})
+    workers = int(pool.get("workers", 0))
+    busy_ms = float(pool.get("busy_ms", 0.0))
+    capacity_ms = uptime_s * 1000.0 * max(workers, 1)
+    utilization = 100.0 * busy_ms / capacity_ms if capacity_ms > 0 else 0.0
+    lines.append(
+        f"pool       {workers} engine + "
+        f"{int(pool.get('campaign_workers', 0))} campaign workers, "
+        f"{int(pool.get('tasks', 0))} tasks, busy {busy_ms:.1f}ms "
+        f"({utilization:.1f}% utilization over {uptime_s:.0f}s)"
+    )
+
+    slo = stats.get("slo", {})
+    for key, objective in sorted(slo.get("objectives", {}).items()):
+        total = int(objective.get("total", 0))
+        lines.append(
+            "slo        {key}: {compliance:.2f}% <= {threshold:g}ms "
+            "({good}/{total}), burn 5m {b5:.2f} / 1h {b1:.2f}".format(
+                key=key,
+                compliance=100.0 * float(objective.get("compliance", 1.0)),
+                threshold=float(objective.get("threshold_ms", 0.0)),
+                good=int(objective.get("good", 0)),
+                total=total,
+                b5=float(objective.get("burn_rate_5m", 0.0)),
+                b1=float(objective.get("burn_rate_1h", 0.0)),
+            )
+        )
+
+    endpoints = stats.get("endpoints", {})
+    if endpoints:
+        lines.append("endpoint latency (ms):")
+        width = max(len(name) for name in endpoints)
+        for name in sorted(endpoints):
+            entry = endpoints[name]
+            lines.append(
+                "  {name:<{width}}  n={count:<6d} p50={p50:>8.3f}  "
+                "p95={p95:>8.3f}  p99={p99:>8.3f}  max={max_ms:>8.3f}".format(
+                    name=name,
+                    width=width,
+                    count=int(entry.get("count", 0)),
+                    p50=float(entry.get("p50_ms", 0.0)),
+                    p95=float(entry.get("p95_ms", 0.0)),
+                    p99=float(entry.get("p99_ms", 0.0)),
+                    max_ms=float(entry.get("max_ms", 0.0)),
+                )
+            )
+    return "\n".join(lines)
+
+
 # --- command-line front ----------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     """Build the client's command-line parser."""
@@ -257,10 +410,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--port", type=int, default=8734)
     parser.add_argument("--timeout", type=float, default=10.0,
                         help="per-call timeout in seconds")
+    parser.add_argument("--traceparent", default=None,
+                        help="fixed W3C traceparent header to send on every "
+                             "request (default: a fresh trace per call)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("health", help="liveness probe")
-    commands.add_parser("stats", help="cache/batcher/latency counters")
+    stats = commands.add_parser(
+        "stats",
+        help="service health summary (hit rate, coalescing, percentiles)",
+    )
+    stats.add_argument("--json", action="store_true",
+                       help="print the raw /stats counters as JSON instead "
+                            "of the human-readable summary")
+    commands.add_parser("metrics", help="raw Prometheus text from /metrics")
+    trace = commands.add_parser(
+        "trace", help="fetch one trace's recorded spans by id"
+    )
+    trace.add_argument("id", help="32-hex-digit trace id")
 
     allocate = commands.add_parser("allocate", help="solve one allocation")
     allocate.add_argument("--budget", type=float, required=True,
@@ -375,12 +542,26 @@ def _campaign_command(client: AllocationClient, args: argparse.Namespace) -> Any
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Client CLI entry point; prints the server's JSON reply."""
     args = build_parser().parse_args(argv)
-    client = AllocationClient(host=args.host, port=args.port, timeout_s=args.timeout)
+    client = AllocationClient(
+        host=args.host,
+        port=args.port,
+        timeout_s=args.timeout,
+        traceparent=args.traceparent,
+    )
     try:
         if args.command == "health":
             payload: Any = client.health()
         elif args.command == "stats":
-            payload = client.stats()
+            if args.json:
+                payload = client.stats()
+            else:
+                print(format_stats_summary(client.stats()))
+                return 0
+        elif args.command == "metrics":
+            print(client.metrics_text(), end="")
+            return 0
+        elif args.command == "trace":
+            payload = client.trace(args.id)
         elif args.command == "campaign":
             payload = _campaign_command(client, args)
             if payload is None:  # columns already streamed to stdout
@@ -405,4 +586,10 @@ if __name__ == "__main__":
     sys.exit(main())
 
 
-__all__ = ["AllocationClient", "ServiceError", "build_parser", "main"]
+__all__ = [
+    "AllocationClient",
+    "ServiceError",
+    "build_parser",
+    "format_stats_summary",
+    "main",
+]

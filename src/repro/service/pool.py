@@ -30,6 +30,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.obs import tracing
 from repro.service.batcher import EngineRegistry, group_requests, solve_group
 from repro.service.requests import AllocationRequest, AllocationResponse
 
@@ -184,9 +185,18 @@ class WorkerPool:
         return tasks
 
     def _solve_task(
-        self, requests: List[AllocationRequest], group_size: int
+        self,
+        requests: List[AllocationRequest],
+        group_size: int,
+        parent: Optional[tracing.SpanContext] = None,
     ) -> List[AllocationResponse]:
-        """Worker body: one vectorized solve over one group slice."""
+        """Worker body: one vectorized solve over one group slice.
+
+        ``parent`` is the caller's span context, passed explicitly because
+        contextvars don't follow work into executor threads; when set, the
+        slice emits a ``pool.slice`` span under it.
+        """
+        wall_start = time.time()
         started = time.perf_counter()
         engine = self.registry.engine_for(requests[0])
         responses = solve_group(engine, requests, batch_size=group_size)
@@ -197,6 +207,16 @@ class WorkerPool:
             if stats is None:
                 stats = self._worker_stats[name] = WorkerStats(name)
             stats.record(len(requests), elapsed)
+        if parent is not None:
+            tracing.record_span(
+                "pool.slice",
+                parent,
+                wall_start,
+                elapsed,
+                worker=name,
+                requests=len(requests),
+                group_size=group_size,
+            )
         return responses
 
     @staticmethod
@@ -229,11 +249,15 @@ class WorkerPool:
         if not requests:
             return []
         plan = self._plan(requests)
+        parent = tracing.current_context()
         if self._executor is None:
-            shares = [self._solve_task(chunk, size) for _, chunk, size in plan]
+            shares = [
+                self._solve_task(chunk, size, parent)
+                for _, chunk, size in plan
+            ]
         else:
             futures = [
-                self._executor.submit(self._solve_task, chunk, size)
+                self._executor.submit(self._solve_task, chunk, size, parent)
                 for _, chunk, size in plan
             ]
             shares = [future.result() for future in futures]
@@ -257,9 +281,12 @@ class WorkerPool:
             return self.solve_batch(requests)
         loop = asyncio.get_running_loop()
         plan = self._plan(requests)
+        parent = tracing.current_context()
         shares = await asyncio.gather(
             *(
-                loop.run_in_executor(self._executor, self._solve_task, chunk, size)
+                loop.run_in_executor(
+                    self._executor, self._solve_task, chunk, size, parent
+                )
                 for _, chunk, size in plan
             )
         )

@@ -518,6 +518,10 @@ class CampaignResponse:
     alphas: Tuple[float, ...] = ()
     error: Optional[str] = None
     summary: Tuple[Dict[str, Any], ...] = field(default_factory=tuple)
+    #: Per-phase wall-clock seconds of the finished run (see
+    #: :attr:`repro.simulation.fleet.FleetResult.phase_timings`); ``None``
+    #: until the campaign is done.
+    profile: Optional[Dict[str, float]] = None
 
     #: Legal lifecycle states, in order.
     STATUSES = ("pending", "running", "done", "failed")
@@ -545,6 +549,7 @@ class CampaignResponse:
             "alphas": list(self.alphas),
             "error": self.error,
             "summary": [dict(entry) for entry in self.summary],
+            "profile": dict(self.profile) if self.profile else None,
         }
 
     @classmethod
@@ -560,6 +565,11 @@ class CampaignResponse:
             alphas=tuple(float(a) for a in payload.get("alphas", ())),
             error=payload.get("error"),
             summary=tuple(payload.get("summary", ())),
+            profile=(
+                {str(k): float(v) for k, v in payload["profile"].items()}
+                if payload.get("profile")
+                else None
+            ),
         )
 
 

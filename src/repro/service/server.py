@@ -19,9 +19,18 @@ services keep their protocol surface auditable.
 Endpoints
 ---------
 ``GET /healthz``
-    Liveness probe: ``{"status": "ok"}``.
+    Liveness probe plus deployment facts: status, package version,
+    uptime, worker/backend configuration.
 ``GET /stats``
-    Cache, batcher, worker-pool and latency counters.
+    Cache, batcher, worker-pool, latency, and SLO counters as JSON.
+``GET /metrics``
+    The same counters in Prometheus text exposition format (scrapeable),
+    including per-endpoint latency histograms, per-phase campaign timing
+    histograms, and SLO burn rates -- see :mod:`repro.obs`.
+``GET /trace/<trace_id>``
+    Recorded spans of one trace (requests carry W3C ``traceparent``
+    headers; the server opens a span per request and child spans through
+    batcher, pool, and campaign workers).
 ``POST /allocate``
     One :class:`~repro.service.requests.AllocationRequest` JSON body ->
     one :class:`~repro.service.requests.AllocationResponse`.
@@ -63,13 +72,28 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import logging
 import re
 import threading
 import time
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 from urllib.parse import parse_qsl
 
+from repro import __version__
 from repro.core.design_point import DesignPoint
+from repro.obs import tracing
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SloTracker
 from repro.service.batcher import EngineRegistry, MicroBatcher
 from repro.service.cache import (
     AllocationCache,
@@ -90,6 +114,12 @@ MAX_BODY_BYTES = 4 * 1024 * 1024
 #: Campaign ids are ``c1``, ``c2``, ... within one server process.
 _CAMPAIGN_PATH = re.compile(r"^/campaign/([A-Za-z0-9_-]+)(/columns)?$")
 
+#: ``GET /trace/<trace_id>``: 32 lowercase hex chars, as in traceparent.
+_TRACE_PATH = re.compile(r"^/trace/([0-9a-f]{32})$")
+
+#: Request log (one INFO line per served request, trace id attached).
+_REQUEST_LOGGER = logging.getLogger("repro.service.http")
+
 
 class CampaignJob:
     """One submitted fleet study: request, lifecycle state, result."""
@@ -105,6 +135,10 @@ class CampaignJob:
         #: (requests with ``hours=None`` default to the whole month, so the
         #: submitted hours alone don't determine it).
         self.trace_hours: int = request.hours or 0
+        #: Span context of the submitting request; the campaign's worker
+        #: spans parent onto it so one trace id follows the job across the
+        #: executor threads and shard processes.
+        self.trace_ctx: Optional[tracing.SpanContext] = None
 
     def status_response(self) -> CampaignResponse:
         """Snapshot the job as a :class:`CampaignResponse`."""
@@ -119,6 +153,7 @@ class CampaignJob:
                 policy_names=tuple(result.policy_names),
                 alphas=tuple(result.alphas),
                 summary=tuple(result.cell_summaries()),
+                profile=dict(getattr(result, "phase_timings", {}) or {}) or None,
             )
         return CampaignResponse(
             campaign_id=self.campaign_id,
@@ -154,6 +189,7 @@ class AllocationService:
         max_campaigns: int = 64,
         default_backend: str = "numpy",
         shared_memory: Optional[bool] = None,
+        slo_ms: Optional[Mapping[str, float]] = None,
     ) -> None:
         if max_campaigns < 1:
             raise ValueError(
@@ -174,6 +210,23 @@ class AllocationService:
         )
         self.latency = LatencyRecorder()
         self.endpoint_latency = EndpointLatencies()
+        #: Per-endpoint latency objectives (``--slo-ms``); burn rates feed
+        #: both ``/stats`` and ``/metrics``.
+        self.slo = SloTracker(slo_ms)
+        self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
+        self.metrics = MetricsRegistry()
+        self._requests_total = self.metrics.counter(
+            "repro_requests_total",
+            "HTTP requests served, by endpoint and status code.",
+            ("endpoint", "status"),
+        )
+        self._campaign_phase = self.metrics.histogram(
+            "repro_campaign_phase_seconds",
+            "Wall-clock seconds spent per campaign pipeline phase.",
+            ("phase",),
+        )
+        self._register_metrics()
         #: Worker transport for sharded campaigns: ``None`` auto-detects
         #: the shared-memory arena, ``False`` forces pickle, ``True``
         #: requires shared memory (see :mod:`repro.service.shard`).
@@ -185,18 +238,142 @@ class AllocationService:
         self._campaigns: Dict[str, CampaignJob] = {}
         self._campaign_ids = itertools.count(1)
 
+    def _register_metrics(self) -> None:
+        """Expose the pre-existing counter objects on the registry.
+
+        Everything here is a scrape-time callback over state the service
+        already keeps (cache/batcher/pool counters, latency histograms,
+        SLO windows), so ``/metrics`` adds no per-request bookkeeping
+        beyond the two families recorded directly
+        (``repro_requests_total``, ``repro_campaign_phase_seconds``).
+        """
+        metrics = self.metrics
+        metrics.callback(
+            "repro_build_info",
+            "Constant 1, labelled with the package version.",
+            "gauge",
+            lambda: [("", {"version": __version__}, 1)],
+        )
+        metrics.callback(
+            "repro_uptime_seconds",
+            "Seconds since the service started.",
+            "gauge",
+            lambda: [("", {}, time.monotonic() - self._started_monotonic)],
+        )
+        def _cache_lookup_samples():
+            stats = self.cache.stats
+            return [
+                ("", {"result": "hit"}, stats.hits),
+                ("", {"result": "miss"}, stats.misses),
+            ]
+
+        metrics.callback(
+            "repro_cache_lookups_total",
+            "Allocation cache lookups, by result.",
+            "counter",
+            _cache_lookup_samples,
+        )
+        metrics.callback(
+            "repro_cache_evictions_total",
+            "Allocation cache LRU evictions.",
+            "counter",
+            lambda: [("", {}, self.cache.stats.evictions)],
+        )
+        metrics.callback(
+            "repro_cache_entries",
+            "Entries currently held in the allocation cache.",
+            "gauge",
+            lambda: [("", {}, len(self.cache))],
+        )
+        metrics.callback(
+            "repro_batcher_requests_total",
+            "Allocation requests that reached the micro-batcher.",
+            "counter",
+            lambda: [("", {}, self.batcher.stats.requests)],
+        )
+        metrics.callback(
+            "repro_batcher_batches_total",
+            "Vectorized solve batches flushed by the micro-batcher.",
+            "counter",
+            lambda: [("", {}, self.batcher.stats.batches)],
+        )
+        metrics.callback(
+            "repro_allocations_total",
+            "Allocation calls, by outcome (solve, cache_hit, error).",
+            "counter",
+            lambda: [
+                ("", {"outcome": outcome}, count)
+                for outcome, count in sorted(
+                    self.latency.outcome_counts().items()
+                )
+            ],
+        )
+        metrics.callback(
+            "repro_pool_tasks_total",
+            "Solve tasks completed by the engine worker pool.",
+            "counter",
+            lambda: [("", {}, self.pool.stats()["tasks"])],
+        )
+        metrics.callback(
+            "repro_pool_busy_seconds_total",
+            "Cumulative busy time across engine workers.",
+            "counter",
+            lambda: [("", {}, self.pool.stats()["busy_ms"] / 1000.0)],
+        )
+        metrics.callback(
+            "repro_pool_workers",
+            "Configured engine (thread) and campaign (process) workers.",
+            "gauge",
+            lambda: [
+                ("", {"kind": "engine"}, self.pool.workers),
+                ("", {"kind": "campaign"}, self.pool.campaign_workers),
+            ],
+        )
+        metrics.callback(
+            "repro_engines",
+            "Distinct allocation engines instantiated in the registry.",
+            "gauge",
+            lambda: [("", {}, len(self.registry))],
+        )
+        metrics.callback(
+            "repro_campaigns",
+            "Retained campaign jobs, by status.",
+            "gauge",
+            lambda: [
+                ("", {"status": status}, count)
+                for status, count in sorted(self._campaign_counts().items())
+            ],
+        )
+        metrics.callback(
+            "repro_request_duration_seconds",
+            "HTTP request latency, by endpoint route pattern.",
+            "histogram",
+            self.endpoint_latency.prometheus_samples,
+        )
+        self.slo.register_metrics(metrics)
+
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
         self.pool.shutdown()
 
     async def allocate(self, request: AllocationRequest) -> AllocationResponse:
-        """Serve one request: cache lookup, else coalesced batch solve."""
+        """Serve one request: cache lookup, else coalesced batch solve.
+
+        Every path records into :attr:`latency` with an outcome label
+        (``solve`` / ``cache_hit`` / ``error``) so the aggregate block
+        reconciles with the per-endpoint histograms.
+        """
+        started = time.perf_counter()
         key = self.registry.cache_key_of(request)
         cached = self.cache.get(key)
         if cached is not None:
+            self.latency.record(time.perf_counter() - started, outcome="cache_hit")
             return cached.marked_cache_hit()
-        started = time.perf_counter()
-        response = await self.batcher.solve(request)
+        try:
+            response = await self.batcher.solve(request)
+        except Exception:
+            self.latency.record(time.perf_counter() - started, outcome="error")
+            raise
         self.latency.record(time.perf_counter() - started)
         self.cache.put(key, response)
         return response
@@ -210,16 +387,26 @@ class AllocationService:
         served: List[Optional[AllocationResponse]] = [None] * len(requests)
         misses: List[AllocationRequest] = []
         miss_indices: List[int] = []
+        started = time.perf_counter()
         for index, (request, key) in enumerate(zip(requests, keys)):
             cached = self.cache.get(key)
             if cached is not None:
                 served[index] = cached.marked_cache_hit()
+                self.latency.record(
+                    time.perf_counter() - started, outcome="cache_hit"
+                )
             else:
                 misses.append(request)
                 miss_indices.append(index)
         if misses:
             started = time.perf_counter()
-            responses = await self.batcher.solve_bulk(misses)
+            try:
+                responses = await self.batcher.solve_bulk(misses)
+            except Exception:
+                self.latency.record(
+                    time.perf_counter() - started, outcome="error"
+                )
+                raise
             self.latency.record(time.perf_counter() - started)
             for index, response in zip(miss_indices, responses):
                 self.cache.put(keys[index], response)
@@ -233,6 +420,9 @@ class AllocationService:
     async def submit_campaign(self, request: CampaignRequest) -> CampaignResponse:
         """Accept a fleet study; it runs in the background on the pool."""
         job = CampaignJob(f"c{next(self._campaign_ids)}", request)
+        # Captured here, on the event loop, because the campaign body runs
+        # on executor threads where contextvars don't follow.
+        job.trace_ctx = tracing.current_context()
         self._campaigns[job.campaign_id] = job
         job.task = asyncio.get_running_loop().create_task(
             self._run_campaign(job)
@@ -277,19 +467,27 @@ class AllocationService:
 
     def _execute_campaign(self, job: CampaignJob):
         # Campaigns simulate the hardware this service is configured for,
-        # the same design points its /allocate answers describe.
-        scenarios, labels, policies, trace, config = job.request.build(
-            self.registry.default_points
-        )
-        job.trace_hours = len(trace)
-        return self.pool.run_campaign(
-            scenarios,
-            policies,
-            trace,
-            config,
-            scenario_labels=labels,
-            shared_memory=self.shared_memory,
-        )
+        # the same design points its /allocate answers describe.  The span
+        # parents onto the submitting request's context so the client's
+        # trace id follows the job into the shard workers.
+        with tracing.span(
+            "campaign.run", parent=job.trace_ctx, campaign_id=job.campaign_id
+        ):
+            scenarios, labels, policies, trace, config = job.request.build(
+                self.registry.default_points
+            )
+            job.trace_hours = len(trace)
+            result = self.pool.run_campaign(
+                scenarios,
+                policies,
+                trace,
+                config,
+                scenario_labels=labels,
+                shared_memory=self.shared_memory,
+            )
+        for phase, seconds in (getattr(result, "phase_timings", {}) or {}).items():
+            self._campaign_phase.observe(seconds, phase=phase)
+        return result
 
     def campaign(self, campaign_id: str) -> CampaignJob:
         """Look one campaign up (raises ``KeyError`` on unknown ids)."""
@@ -315,11 +513,40 @@ class AllocationService:
             job.result.release()  # drop shared-memory mappings with the job
         return job
 
-    def stats(self) -> Dict[str, Any]:
-        """Counters for the ``/stats`` endpoint."""
+    def _campaign_counts(self) -> Dict[str, int]:
+        """Retained campaign jobs by status."""
         by_status: Dict[str, int] = {}
         for job in self._campaigns.values():
             by_status[job.status] = by_status.get(job.status, 0) + 1
+        return by_status
+
+    def observe_request(self, endpoint: str, seconds: float, status: int) -> None:
+        """Account one served HTTP request against every surface.
+
+        Feeds the per-endpoint latency histograms, the matching SLO
+        objective (if any), and the request counter -- called by the HTTP
+        layer once per connection, after the response is written.
+        """
+        self.endpoint_latency.observe(endpoint, seconds)
+        self.slo.observe(endpoint, seconds)
+        self._requests_total.inc(endpoint=endpoint, status=str(status))
+
+    def health(self) -> Dict[str, Any]:
+        """Payload of ``GET /healthz``: liveness plus deployment facts."""
+        shared = {None: "auto", True: "on", False: "off"}[self.shared_memory]
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_s": time.monotonic() - self._started_monotonic,
+            "workers": self.pool.workers,
+            "campaign_workers": self.pool.campaign_workers,
+            "backend": self.registry.default_backend,
+            "shared_memory": shared,
+            "engines": len(self.registry),
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters for the ``/stats`` endpoint."""
         return {
             "cache": self.cache.stats.to_json_dict(),
             "batcher": self.batcher.stats.to_json_dict(),
@@ -327,7 +554,9 @@ class AllocationService:
             "endpoints": self.endpoint_latency.to_json_dict(),
             "engines": len(self.registry),
             "pool": self.pool.stats(),
-            "campaigns": by_status,
+            "campaigns": self._campaign_counts(),
+            "slo": self.slo.to_json_dict(),
+            "uptime_s": time.monotonic() - self._started_monotonic,
         }
 
 
@@ -353,6 +582,20 @@ class _StreamingFrames:
         self.frames = frames
 
 
+class _PlainText:
+    """Dispatch result carrying a non-JSON text body (``/metrics``)."""
+
+    def __init__(
+        self,
+        text: str,
+        status: int = 200,
+        content_type: str = "text/plain; version=0.0.4; charset=utf-8",
+    ) -> None:
+        self.text = text
+        self.status = status
+        self.content_type = content_type
+
+
 _STATUS_TEXT = {
     200: "OK",
     400: "Bad Request",
@@ -364,12 +607,35 @@ _STATUS_TEXT = {
 }
 
 
-def _encode_response(status: int, payload: Dict[str, Any]) -> bytes:
+def _encode_response(
+    status: int,
+    payload: Dict[str, Any],
+    extra_headers: Sequence[str] = (),
+) -> bytes:
     body = json.dumps(payload).encode("utf-8")
+    extras = "".join(f"{header}\r\n" for header in extra_headers)
     head = (
         f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
         "Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extras}"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("ascii")
+    return head + body
+
+
+def _encode_text_response(
+    result: "_PlainText", extra_headers: Sequence[str] = ()
+) -> bytes:
+    body = result.text.encode("utf-8")
+    extras = "".join(f"{header}\r\n" for header in extra_headers)
+    head = (
+        f"HTTP/1.1 {result.status} "
+        f"{_STATUS_TEXT.get(result.status, 'Unknown')}\r\n"
+        f"Content-Type: {result.content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"{extras}"
         "Connection: close\r\n"
         "\r\n"
     ).encode("ascii")
@@ -378,8 +644,13 @@ def _encode_response(status: int, payload: Dict[str, Any]) -> bytes:
 
 async def _read_request(
     reader: asyncio.StreamReader,
-) -> Tuple[str, str, Optional[Dict[str, Any]]]:
-    """Parse one HTTP request: (method, path, decoded JSON body or None)."""
+) -> Tuple[str, str, Dict[str, str], Optional[Dict[str, Any]]]:
+    """Parse one HTTP request: (method, path, headers, JSON body or None).
+
+    Header names are lower-cased; a repeated header keeps its last value
+    (the subset the service reads -- ``content-length``, ``traceparent``
+    -- has no list semantics).
+    """
     try:
         head = await reader.readuntil(b"\r\n\r\n")
     except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
@@ -389,14 +660,18 @@ async def _read_request(
     if len(parts) != 3:
         raise _HttpError(400, f"malformed request line: {lines[0]!r}")
     method, path, _version = parts
-    content_length = 0
+    headers: Dict[str, str] = {}
     for line in lines[1:]:
+        if not line:
+            continue
         name, _, value = line.partition(":")
-        if name.strip().lower() == "content-length":
-            try:
-                content_length = int(value.strip())
-            except ValueError:
-                raise _HttpError(400, "invalid Content-Length")
+        headers[name.strip().lower()] = value.strip()
+    content_length = 0
+    if "content-length" in headers:
+        try:
+            content_length = int(headers["content-length"])
+        except ValueError:
+            raise _HttpError(400, "invalid Content-Length")
     if content_length < 0:
         raise _HttpError(400, "negative Content-Length")
     if content_length > MAX_BODY_BYTES:
@@ -415,7 +690,7 @@ async def _read_request(
             raise _HttpError(400, f"invalid JSON body: {error}")
         if not isinstance(body, dict):
             raise _HttpError(400, "JSON body must be an object")
-    return method, path, body
+    return method, path, headers, body
 
 
 class AllocationServer:
@@ -465,8 +740,10 @@ class AllocationServer:
         if match:
             suffix = "/columns" if match.group(2) else ""
             return f"{method} /campaign/*{suffix}"
-        if path in ("/healthz", "/stats", "/allocate", "/allocate/batch",
-                    "/campaign"):
+        if _TRACE_PATH.match(path):
+            return f"{method} /trace/*"
+        if path in ("/healthz", "/stats", "/metrics", "/allocate",
+                    "/allocate/batch", "/campaign"):
             return f"{method} {path}"
         return f"{method} (other)"
 
@@ -474,27 +751,58 @@ class AllocationServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         label: Optional[str] = None
+        trace_ctx: Optional[tracing.SpanContext] = None
         started = time.perf_counter()
         try:
             try:
-                method, path, body = await _read_request(reader)
+                method, path, headers, body = await _read_request(reader)
                 label = self._endpoint_label(method, path)
-                result = await self._dispatch(method, path, body)
+                # Every request runs inside an ``http.request`` span: a
+                # client-sent traceparent continues that trace, otherwise a
+                # fresh one starts here.  Awaiting the dispatch keeps the
+                # span's contextvar visible to everything downstream on
+                # this task (batcher enqueue, campaign submission).
+                parent = tracing.parse_traceparent(headers.get("traceparent"))
+                with tracing.span(
+                    "http.request", parent=parent, endpoint=label
+                ) as http_span:
+                    trace_ctx = http_span.context
+                    result = await self._dispatch(method, path, body)
             except _HttpError as error:
                 result = error.status, {"error": str(error)}
             except Exception as error:  # never kill the accept loop
                 result = 500, {"error": f"{type(error).__name__}: {error}"}
+            extra_headers = (
+                (f"traceparent: {trace_ctx.traceparent()}",) if trace_ctx else ()
+            )
             if isinstance(result, _StreamingPayloads):
-                await self._write_stream(writer, result)
+                status = 200
+                await self._write_stream(writer, result, extra_headers)
             elif isinstance(result, _StreamingFrames):
-                await self._write_frames(writer, result)
+                status = 200
+                await self._write_frames(writer, result, extra_headers)
+            elif isinstance(result, _PlainText):
+                status = result.status
+                writer.write(_encode_text_response(result, extra_headers))
+                await writer.drain()
             else:
                 status, payload = result
-                writer.write(_encode_response(status, payload))
+                writer.write(_encode_response(status, payload, extra_headers))
                 await writer.drain()
             if label is not None:
-                self.service.endpoint_latency.observe(
-                    label, time.perf_counter() - started
+                elapsed = time.perf_counter() - started
+                self.service.observe_request(label, elapsed, status)
+                _REQUEST_LOGGER.info(
+                    "%s %d %.3fms",
+                    label,
+                    status,
+                    elapsed * 1000.0,
+                    extra={
+                        "endpoint": label,
+                        "status": status,
+                        "duration_ms": elapsed * 1000.0,
+                        "trace_id": trace_ctx.trace_id if trace_ctx else None,
+                    },
                 )
         except (ConnectionError, asyncio.CancelledError):
             pass
@@ -503,7 +811,9 @@ class AllocationServer:
 
     @staticmethod
     async def _write_frames(
-        writer: asyncio.StreamWriter, stream: "_StreamingFrames"
+        writer: asyncio.StreamWriter,
+        stream: "_StreamingFrames",
+        extra_headers: Sequence[str] = (),
     ) -> None:
         """Write binary wire frames with chunked transfer encoding.
 
@@ -515,10 +825,12 @@ class AllocationServer:
         piece is written separately -- concatenating would both copy and
         raise (``bytes + memoryview`` is a ``TypeError``).
         """
+        extras = "".join(f"{header}\r\n" for header in extra_headers)
         head = (
             "HTTP/1.1 200 OK\r\n"
             "Content-Type: application/octet-stream\r\n"
             "Transfer-Encoding: chunked\r\n"
+            f"{extras}"
             "Connection: close\r\n"
             "\r\n"
         ).encode("ascii")
@@ -539,17 +851,21 @@ class AllocationServer:
 
     @staticmethod
     async def _write_stream(
-        writer: asyncio.StreamWriter, stream: "_StreamingPayloads"
+        writer: asyncio.StreamWriter,
+        stream: "_StreamingPayloads",
+        extra_headers: Sequence[str] = (),
     ) -> None:
         """Write NDJSON payloads with chunked transfer encoding.
 
         One HTTP chunk per JSON line, drained as produced -- a client can
         decode cell by cell while later cells are still being encoded.
         """
+        extras = "".join(f"{header}\r\n" for header in extra_headers)
         head = (
             "HTTP/1.1 200 OK\r\n"
             "Content-Type: application/x-ndjson\r\n"
             "Transfer-Encoding: chunked\r\n"
+            f"{extras}"
             "Connection: close\r\n"
             "\r\n"
         ).encode("ascii")
@@ -570,11 +886,24 @@ class AllocationServer:
         if path == "/healthz":
             if method != "GET":
                 raise _HttpError(405, "healthz is GET-only")
-            return 200, {"status": "ok"}
+            return 200, self.service.health()
         if path == "/stats":
             if method != "GET":
                 raise _HttpError(405, "stats is GET-only")
             return 200, self.service.stats()
+        if path == "/metrics":
+            if method != "GET":
+                raise _HttpError(405, "metrics is GET-only")
+            return _PlainText(self.service.metrics.render())
+        trace_match = _TRACE_PATH.match(path)
+        if trace_match:
+            if method != "GET":
+                raise _HttpError(405, "trace lookup is GET-only")
+            trace_id = trace_match.group(1)
+            spans = tracing.recorder().spans(trace_id)
+            if spans is None:
+                raise _HttpError(404, f"unknown trace {trace_id!r}")
+            return 200, {"trace_id": trace_id, "spans": spans}
         if path == "/allocate":
             if method != "POST":
                 raise _HttpError(405, "allocate is POST-only")

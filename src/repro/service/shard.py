@@ -45,6 +45,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.harvesting.solar_cell import HarvestScenario
 from repro.harvesting.traces import SolarTrace
+from repro.obs import tracing
+from repro.obs.profiling import PhaseProfiler
 from repro.service import arena
 from repro.simulation.fleet import CampaignConfig, FleetCampaign, FleetResult
 from repro.simulation.metrics import CampaignColumns, CampaignResult
@@ -103,17 +105,45 @@ def _simulate_cell_chunk(
     policies: Sequence[Policy],
     trace: SolarTrace,
     chunk: Sequence[Tuple[int, int]],
+    profiler: Optional[PhaseProfiler] = None,
 ) -> List[Tuple[int, int, CampaignResult]]:
-    """Simulate one chunk of (scenario, policy) cells (both transports)."""
+    """Simulate one chunk of (scenario, policy) cells (both transports).
+
+    ``profiler`` accumulates the fleet pipeline's per-phase timings
+    across the chunk's scenario groups.
+    """
     results: List[Tuple[int, int, CampaignResult]] = []
     for scenario, first, last in _cell_groups(chunk):
         fleet = FleetCampaign(
             scenarios[scenario], config, scenario_labels=[labels[scenario]]
         )
-        shard = fleet.run(list(policies[first:last]), trace)
+        shard = fleet.run(list(policies[first:last]), trace, profiler=profiler)
         for offset in range(last - first):
             results.append((scenario, first + offset, shard.result(offset)))
     return results
+
+
+def _shard_span(
+    trace_ctx: Optional[tracing.SpanContext],
+    transport: str,
+    work: Callable[[PhaseProfiler], Any],
+) -> Tuple[Any, Dict[str, float], List[Dict[str, Any]]]:
+    """Worker-side harness: run ``work`` under a ``campaign.shard`` span.
+
+    Returns (work result, per-phase timings, captured span records).  The
+    span context arrives pickled from the parent process -- contextvars
+    cannot cross the executor -- and the emitted spans are *returned*
+    rather than only logged, because the worker's in-process trace
+    recorder dies with the worker: the parent ingests them.  With no
+    ``trace_ctx`` the phases are still profiled but no span is emitted.
+    """
+    profiler = PhaseProfiler()
+    if trace_ctx is None:
+        return work(profiler), profiler.as_dict(), []
+    with tracing.capture_spans() as captured:
+        with tracing.span("campaign.shard", parent=trace_ctx, transport=transport):
+            result = work(profiler)
+    return result, profiler.as_dict(), captured
 
 
 def _run_cell_shard(
@@ -123,14 +153,22 @@ def _run_cell_shard(
     policies: Sequence[Policy],
     trace: SolarTrace,
     chunk: Sequence[Tuple[int, int]],
-) -> List[Tuple[int, int, CampaignResult]]:
+    trace_ctx: Optional[tracing.SpanContext] = None,
+) -> Tuple[List[Tuple[int, int, CampaignResult]], Dict[str, float], List[Dict[str, Any]]]:
     """Worker (pickle transport): simulate a chunk, return full results."""
-    return _simulate_cell_chunk(scenarios, labels, config, policies, trace, chunk)
+    return _shard_span(
+        trace_ctx,
+        "pickle",
+        lambda profiler: _simulate_cell_chunk(
+            scenarios, labels, config, policies, trace, chunk, profiler
+        ),
+    )
 
 
 def _run_cell_shard_arena(
     context_ref: arena.ContextRef,
     chunk: Sequence[Tuple[int, int]],
+    trace_ctx: Optional[tracing.SpanContext],
     segment_name: str,
 ) -> arena.ArenaShard:
     """Worker (arena transport): simulate a chunk into shared memory.
@@ -138,10 +176,25 @@ def _run_cell_shard_arena(
     The campaign context comes out of the worker's blob cache (one
     unpickle per worker per campaign, not per task); the finished columns
     go straight into ``segment_name`` and only the descriptor returns.
+    The trace context travels as a per-task argument, *not* inside the
+    context blob -- the blob is digest-cached across campaigns, and a
+    trace id baked into it would defeat the cache.
     """
     scenarios, labels, config, policies, trace = arena.load_context(context_ref)
-    cells = _simulate_cell_chunk(scenarios, labels, config, policies, trace, chunk)
-    return arena.write_cells(segment_name, cells)
+
+    def work(profiler: PhaseProfiler) -> arena.ArenaShard:
+        cells = _simulate_cell_chunk(
+            scenarios, labels, config, policies, trace, chunk, profiler
+        )
+        with profiler.phase("arena_pack"):
+            return arena.write_cells(segment_name, cells)
+
+    shard, phases, spans = _shard_span(trace_ctx, "arena", work)
+    return replace(
+        shard,
+        phase_s=tuple(sorted(phases.items())),
+        spans=tuple(spans),
+    )
 
 
 def _simulate_time_slice(
@@ -183,34 +236,54 @@ def _run_time_shard(
     trace: SolarTrace,
     first_hour: int,
     last_hour: int,
-) -> List[List[CampaignColumns]]:
+    trace_ctx: Optional[tracing.SpanContext] = None,
+) -> Tuple[List[List[CampaignColumns]], Dict[str, float], List[Dict[str, Any]]]:
     """Worker (pickle transport): simulate one trace slice for every cell."""
-    return _simulate_time_slice(
-        scenarios, labels, config, policies, trace, first_hour, last_hour
-    )
+
+    def work(profiler: PhaseProfiler) -> List[List[CampaignColumns]]:
+        with profiler.phase("cell_solve"):
+            return _simulate_time_slice(
+                scenarios, labels, config, policies, trace, first_hour, last_hour
+            )
+
+    return _shard_span(trace_ctx, "pickle", work)
 
 
 def _run_time_shard_arena(
     context_ref: arena.ContextRef,
     first_hour: int,
     last_hour: int,
+    trace_ctx: Optional[tracing.SpanContext],
     segment_name: str,
 ) -> arena.ArenaShard:
     """Worker (arena transport): simulate one trace slice into shared memory."""
     scenarios, labels, config, policies, trace = arena.load_context(context_ref)
-    grid = _simulate_time_slice(
-        scenarios, labels, config, policies, trace, first_hour, last_hour
+
+    def work(profiler: PhaseProfiler) -> arena.ArenaShard:
+        with profiler.phase("cell_solve"):
+            grid = _simulate_time_slice(
+                scenarios, labels, config, policies, trace, first_hour, last_hour
+            )
+        cells: List[Tuple[int, int, CampaignResult]] = []
+        for scenario_index, row in enumerate(grid):
+            for policy_index, columns in enumerate(row):
+                policy = policies[policy_index]
+                cells.append((
+                    scenario_index,
+                    policy_index,
+                    CampaignResult.from_columns(
+                        policy.name, policy.alpha, columns
+                    ),
+                ))
+        with profiler.phase("arena_pack"):
+            return arena.write_cells(segment_name, cells)
+
+    shard, phases, spans = _shard_span(trace_ctx, "arena", work)
+    return replace(
+        shard,
+        phase_s=tuple(sorted(phases.items())),
+        spans=tuple(spans),
     )
-    cells: List[Tuple[int, int, CampaignResult]] = []
-    for scenario_index, row in enumerate(grid):
-        for policy_index, columns in enumerate(row):
-            policy = policies[policy_index]
-            cells.append((
-                scenario_index,
-                policy_index,
-                CampaignResult.from_columns(policy.name, policy.alpha, columns),
-            ))
-    return arena.write_cells(segment_name, cells)
 
 
 def _warm_worker(context_ref: arena.ContextRef) -> None:
@@ -367,13 +440,18 @@ def run_sharded_campaign(
     if jobs == 1 or (num_cells == 1 and not time_shardable):
         return fleet.run(policies, trace)
 
+    # Captured once, here on the caller's thread: worker processes receive
+    # it pickled per task so their spans join the caller's trace.
+    trace_ctx = tracing.current_context()
     use_arena = _use_arena(shared_memory)
     if num_cells < jobs and time_shardable and len(trace) >= 2 * jobs:
         return _run_time_sharded(
-            scenarios, labels, config, policies, trace, jobs, executor, use_arena
+            scenarios, labels, config, policies, trace, jobs, executor,
+            use_arena, trace_ctx,
         )
     return _run_cell_sharded(
-        scenarios, labels, config, policies, trace, jobs, executor, use_arena
+        scenarios, labels, config, policies, trace, jobs, executor,
+        use_arena, trace_ctx,
     )
 
 
@@ -383,6 +461,7 @@ def _run_arena_tasks(
     context_payload: tuple,
     jobs: int,
     executor: Optional[Executor],
+    profiler: Optional[PhaseProfiler] = None,
 ) -> Tuple[List[arena.ArenaShard], List[arena.ArenaBlock]]:
     """Shared arena plumbing: publish context, run tasks, attach results.
 
@@ -391,9 +470,15 @@ def _run_arena_tasks(
     lifecycle stays in one place: the context segment is always released,
     and on any failure every pre-assigned result segment is swept once all
     workers have settled.  Returns the shards and their attached (already
-    unlinked) blocks.
+    unlinked) blocks.  ``profiler`` times the parent-side transport phases
+    (``context_publish``, ``arena_attach``) and absorbs each shard's
+    worker-side phases; worker span records are ingested into the
+    parent's trace recorder here.
     """
-    context = arena.publish_context(context_payload)
+    if profiler is None:
+        profiler = PhaseProfiler()
+    with profiler.phase("context_publish"):
+        context = arena.publish_context(context_payload)
     names = [arena.new_segment_name() for _ in task_args]
     blocks: List[arena.ArenaBlock] = []
     try:
@@ -408,8 +493,12 @@ def _run_arena_tasks(
             initializer=_warm_worker,
             initargs=(context.ref,),
         )
+        with profiler.phase("arena_attach"):
+            for shard in shards:
+                blocks.append(arena.ArenaBlock.attach(shard))
         for shard in shards:
-            blocks.append(arena.ArenaBlock.attach(shard))
+            profiler.merge(dict(shard.phase_s))
+            tracing.ingest(shard.spans)
         return shards, blocks
     except BaseException:
         for block in blocks:  # attached blocks are unlinked; free the pages
@@ -430,8 +519,10 @@ def _run_cell_sharded(
     jobs: int,
     executor: Optional[Executor] = None,
     use_arena: bool = False,
+    trace_ctx: Optional[tracing.SpanContext] = None,
 ) -> FleetResult:
     """Split the grid cell-wise across a process pool and merge the rows."""
+    profiler = PhaseProfiler()
     chunks = shard_cells(len(scenarios), len(policies), jobs)
     grid: List[List[Optional[CampaignResult]]] = [
         [None] * len(policies) for _ in scenarios
@@ -440,35 +531,40 @@ def _run_cell_sharded(
     if use_arena:
         shards, blocks = _run_arena_tasks(
             _run_cell_shard_arena,
-            [(chunk,) for chunk in chunks],
+            [(chunk, trace_ctx) for chunk in chunks],
             (scenarios, labels, config, policies, trace),
             jobs,
             executor,
+            profiler,
         )
-        for shard, block in zip(shards, blocks):
-            for slot in shard.cells:
-                columns, battery = arena.read_cell(block, slot)
-                grid[slot.scenario_index][slot.policy_index] = (
-                    CampaignResult.from_columns(
-                        slot.policy_name,
-                        slot.alpha,
-                        columns,
-                        battery_charge_j=battery,
+        with profiler.phase("merge"):
+            for shard, block in zip(shards, blocks):
+                for slot in shard.cells:
+                    columns, battery = arena.read_cell(block, slot)
+                    grid[slot.scenario_index][slot.policy_index] = (
+                        CampaignResult.from_columns(
+                            slot.policy_name,
+                            slot.alpha,
+                            columns,
+                            battery_charge_j=battery,
+                        )
                     )
-                )
     else:
         shard_results = _map_on_workers(
             _run_cell_shard,
             [
-                (scenarios, labels, config, policies, trace, chunk)
+                (scenarios, labels, config, policies, trace, chunk, trace_ctx)
                 for chunk in chunks
             ],
             jobs,
             executor,
         )
-        for cells in shard_results:
-            for scenario_index, policy_index, result in cells:
-                grid[scenario_index][policy_index] = result
+        with profiler.phase("merge"):
+            for cells, phases, spans in shard_results:
+                profiler.merge(phases)
+                tracing.ingest(spans)
+                for scenario_index, policy_index, result in cells:
+                    grid[scenario_index][policy_index] = result
     missing = [
         (scenario_index, policy_index)
         for scenario_index, row in enumerate(grid)
@@ -487,6 +583,7 @@ def _run_cell_sharded(
         trace_hours=len(trace),
     )
     result.adopt_arena(blocks)
+    result.phase_timings = profiler.as_dict()
     return result
 
 
@@ -499,8 +596,10 @@ def _run_time_sharded(
     jobs: int,
     executor: Optional[Executor] = None,
     use_arena: bool = False,
+    trace_ctx: Optional[tracing.SpanContext] = None,
 ) -> FleetResult:
     """Split the trace into contiguous slices and concat the merged columns."""
+    profiler = PhaseProfiler()
     hours = len(trace)
     base, extra = divmod(hours, jobs)
     bounds: List[Tuple[int, int]] = []
@@ -515,10 +614,11 @@ def _run_time_sharded(
     if use_arena:
         shards, blocks = _run_arena_tasks(
             _run_time_shard_arena,
-            [(first, last) for first, last in bounds],
+            [(first, last, trace_ctx) for first, last in bounds],
             (scenarios, labels, config, policies, trace),
             jobs,
             executor,
+            profiler,
         )
         slices: List[Dict[Tuple[int, int], CampaignColumns]] = []
         for shard, block in zip(shards, blocks):
@@ -529,25 +629,33 @@ def _run_time_sharded(
             slices.append(per_cell)
         parts_of = lambda s, p: [piece[(s, p)] for piece in slices]  # noqa: E731
     else:
-        pickled = _map_on_workers(
+        pickled: List[List[List[CampaignColumns]]] = []
+        for grid_part, phases, spans in _map_on_workers(
             _run_time_shard,
             [
-                (scenarios, labels, config, policies, trace, first, last)
+                (scenarios, labels, config, policies, trace, first, last,
+                 trace_ctx)
                 for first, last in bounds
             ],
             jobs,
             executor,
-        )
+        ):
+            profiler.merge(phases)
+            tracing.ingest(spans)
+            pickled.append(grid_part)
         parts_of = lambda s, p: [piece[s][p] for piece in pickled]  # noqa: E731
     grid: List[List[CampaignResult]] = []
-    for scenario_index in range(len(scenarios)):
-        row = []
-        for policy_index, policy in enumerate(policies):
-            columns = CampaignColumns.concat(parts_of(scenario_index, policy_index))
-            row.append(
-                CampaignResult.from_columns(policy.name, policy.alpha, columns)
-            )
-        grid.append(row)
+    with profiler.phase("merge"):
+        for scenario_index in range(len(scenarios)):
+            row = []
+            for policy_index, policy in enumerate(policies):
+                columns = CampaignColumns.concat(
+                    parts_of(scenario_index, policy_index)
+                )
+                row.append(
+                    CampaignResult.from_columns(policy.name, policy.alpha, columns)
+                )
+            grid.append(row)
     result = FleetResult(
         scenario_labels=labels,
         policies=policies,
@@ -561,6 +669,7 @@ def _run_time_sharded(
             block.close()
     else:
         result.adopt_arena(blocks)
+    result.phase_timings = profiler.as_dict()
     return result
 
 

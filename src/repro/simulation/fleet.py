@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.core.batch import ConsumptionCurveError, StackedConsumptionCurves
 from repro.energy.fleet import BatteryScan, BatteryScanResult
+from repro.obs.profiling import PhaseProfiler
 from repro.harvesting.solar_cell import HarvestScenario
 from repro.harvesting.traces import SolarTrace
 from repro.planning.scan import PlanScan
@@ -147,6 +148,12 @@ class FleetResult:
         #: Battery trajectories of the underlying scan (closed loop only).
         self.scan = scan
         self.trace_hours = trace_hours
+        #: Wall-clock seconds per pipeline phase (harvest, scan_settle,
+        #: cell_solve, merge, ...), filled in by :meth:`FleetCampaign.run`
+        #: and the sharded runner; empty when nothing instrumented it.
+        #: Deliberately not part of :meth:`meta_payload` -- the wire format
+        #: is unchanged; the service ships it via ``CampaignResponse``.
+        self.phase_timings: Dict[str, float] = {}
         #: Shared-memory blocks whose views back the grid's columns (see
         #: :meth:`adopt_arena`); empty for results that own their arrays.
         self._arena_blocks: List[Any] = []
@@ -627,12 +634,27 @@ class FleetCampaign:
         scan = PlanScan(policies[0].build_planner(), self._battery_fleet(policies))
         return scan.run(per_device_harvest, forecast, stacked)
 
-    def run(self, policies: Sequence[Policy], trace: SolarTrace) -> FleetResult:
-        """Simulate every (scenario, policy) cell over ``trace``."""
+    def run(
+        self,
+        policies: Sequence[Policy],
+        trace: SolarTrace,
+        profiler: Optional[PhaseProfiler] = None,
+    ) -> FleetResult:
+        """Simulate every (scenario, policy) cell over ``trace``.
+
+        ``profiler`` accumulates per-phase wall-clock seconds (a private
+        one is used when omitted); the breakdown lands on the returned
+        result's :attr:`FleetResult.phase_timings` either way, so
+        ``repro fleet --profile`` and the service's per-phase histograms
+        cost one ``perf_counter`` pair per phase, not a flag.
+        """
         policies = list(policies)
         if not policies:
             raise ValueError("need at least one policy")
-        harvest = self._harvest_matrix(trace)                      # (H, S)
+        if profiler is None:
+            profiler = PhaseProfiler()
+        with profiler.phase("harvest"):
+            harvest = self._harvest_matrix(trace)                  # (H, S)
 
         # Closed-loop budgets: harvest-following cells share one lockstep
         # battery scan; forecast-driven (planning) cells run one PlanScan
@@ -641,57 +663,66 @@ class FleetCampaign:
         scan: Optional[BatteryScanResult] = None
         cell_traces: Dict[tuple, tuple] = {}
         if self.config.use_battery:
-            base = [
-                (index, policy)
-                for index, policy in enumerate(policies)
-                if not isinstance(policy, PlanningPolicy)
-            ]
-            groups: Dict[tuple, List[tuple]] = {}
-            for index, policy in enumerate(policies):
-                if isinstance(policy, PlanningPolicy):
-                    groups.setdefault(policy.planner_key, []).append(
-                        (index, policy)
+            with profiler.phase("scan_settle"):
+                base = [
+                    (index, policy)
+                    for index, policy in enumerate(policies)
+                    if not isinstance(policy, PlanningPolicy)
+                ]
+                groups: Dict[tuple, List[tuple]] = {}
+                for index, policy in enumerate(policies):
+                    if isinstance(policy, PlanningPolicy):
+                        groups.setdefault(policy.planner_key, []).append(
+                            (index, policy)
+                        )
+                if base:
+                    base_scan = self._battery_scan(
+                        [p for _, p in base], harvest
                     )
-            if base:
-                base_scan = self._battery_scan([p for _, p in base], harvest)
-                if not groups:
-                    scan = base_scan  # whole-fleet scan, as before
-                self._record_cell_traces(cell_traces, base, base_scan)
-            for members in groups.values():
-                group_scan = self._plan_scan([p for _, p in members], harvest)
-                self._record_cell_traces(cell_traces, members, group_scan)
+                    if not groups:
+                        scan = base_scan  # whole-fleet scan, as before
+                    self._record_cell_traces(cell_traces, base, base_scan)
+                for members in groups.values():
+                    group_scan = self._plan_scan(
+                        [p for _, p in members], harvest
+                    )
+                    self._record_cell_traces(cell_traces, members, group_scan)
 
         grid: List[List[CampaignResult]] = []
-        for scenario_index in range(len(self.scenarios)):
-            row: List[CampaignResult] = []
-            for policy_index, policy in enumerate(policies):
-                if self.config.use_battery:
-                    budgets, battery = cell_traces[
-                        (scenario_index, policy_index)
-                    ]
-                else:
-                    budgets = harvest[:, scenario_index]
-                    battery = None
-                policy.reset()
-                arrays = policy.allocate_arrays(budgets)
-                simulator = DeviceSimulator(self.config.device)
-                columns = simulator.run_periods_batch(arrays, budgets)
-                row.append(
-                    CampaignResult.from_columns(
-                        policy.name,
-                        policy.alpha,
-                        columns,
-                        battery_charge_j=battery,
+        with profiler.phase("cell_solve"):
+            for scenario_index in range(len(self.scenarios)):
+                row: List[CampaignResult] = []
+                for policy_index, policy in enumerate(policies):
+                    if self.config.use_battery:
+                        budgets, battery = cell_traces[
+                            (scenario_index, policy_index)
+                        ]
+                    else:
+                        budgets = harvest[:, scenario_index]
+                        battery = None
+                    policy.reset()
+                    arrays = policy.allocate_arrays(budgets)
+                    simulator = DeviceSimulator(self.config.device)
+                    columns = simulator.run_periods_batch(arrays, budgets)
+                    row.append(
+                        CampaignResult.from_columns(
+                            policy.name,
+                            policy.alpha,
+                            columns,
+                            battery_charge_j=battery,
+                        )
                     )
-                )
-            grid.append(row)
-        return FleetResult(
-            scenario_labels=self.scenario_labels,
-            policies=policies,
-            grid=grid,
-            scan=scan,
-            trace_hours=len(trace),
-        )
+                grid.append(row)
+        with profiler.phase("merge"):
+            result = FleetResult(
+                scenario_labels=self.scenario_labels,
+                policies=policies,
+                grid=grid,
+                scan=scan,
+                trace_hours=len(trace),
+            )
+        result.phase_timings = profiler.as_dict()
+        return result
 
     def _record_cell_traces(
         self,

@@ -322,7 +322,14 @@ class TestHttpRoundTrip:
         return AllocationClient(port=server.port)
 
     def test_health(self, client):
-        assert client.health() == {"status": "ok"}
+        payload = client.health()
+        assert payload["status"] == "ok"
+        assert payload["version"]
+        assert payload["uptime_s"] >= 0.0
+        assert payload["workers"] >= 1
+        assert payload["campaign_workers"] >= 1
+        assert payload["backend"] in ("numpy", "compiled", "float32")
+        assert payload["shared_memory"] in ("auto", "on", "off")
 
     def test_allocate_matches_scalar_and_caches(self, client, points):
         request = AllocationRequest(5.0, alpha=1.0)
@@ -377,8 +384,12 @@ class TestHttpRoundTrip:
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["budget_feasible"] is True
-        assert client_main(["--port", str(server.port), "stats"]) == 0
+        assert client_main(["--port", str(server.port), "stats", "--json"]) == 0
         assert "cache" in json.loads(capsys.readouterr().out)
+        assert client_main(["--port", str(server.port), "stats"]) == 0
+        summary = capsys.readouterr().out
+        assert "coalescing" in summary
+        assert "hit" in summary
 
     def test_client_cli_reports_connection_failure(self, capsys):
         assert client_main(["--port", "1", "health"]) == 1
