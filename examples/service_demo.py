@@ -41,6 +41,43 @@ columnar frames instead (``GET /campaign/<id>/columns?format=binary``,
 server streams the frames uncompressed, as zero-copy ``memoryview``
 slices over the result arrays -- more bytes on the wire, no deflate pass.
 
+All of this speaks the versioned **/v1 API** (``docs/service_api.md``):
+every error is a uniform envelope ``{"error": {"code", "message",
+"detail"}}`` with stable codes (``bad_request``, ``job_running``,
+``not_found``, ``store_unavailable``, ...), campaign jobs move through an
+explicit ``queued -> running -> done | failed | cancelled`` lifecycle,
+and ``POST /v1/campaign`` honours an ``Idempotency-Key`` header so a
+retried submission returns the original job instead of a duplicate run.
+The pre-versioning paths still answer through a shim that adds
+``Deprecation: true`` and a ``Link: ...; rel="successor-version"``
+header.
+
+Kill-and-recover: the durable store
+-----------------------------------
+With ``--durable``, the demo stops being polite.  It boots a real
+``python -m repro serve --store jobs.db`` subprocess, submits a campaign
+(with an idempotency key), waits until the write-ahead journal holds at
+least one finished shard, and **SIGKILLs the server mid-campaign** -- no
+shutdown hooks, no flush.  Then it restarts a server on the same store
+path and watches recovery: the campaign id still answers (the submit ack
+was persist-then-ack), the job re-runs only the shards the journal is
+missing, replaying the idempotency key returns the same job id, and the
+finished columns stream back bit-exact.  The same walkthrough from the
+shell::
+
+    python -m repro serve --port 8734 --store jobs.db &
+    python -m repro.service.client campaign submit --hours 336 \
+        --idempotency-key nightly-1          # -> {"campaign_id": "c1", ...}
+    kill -9 %1                               # mid-campaign, no mercy
+    python -m repro serve --port 8734 --store jobs.db &
+    python -m repro.service.client campaign status c1   # recovering -> done
+    python -m repro.service.client campaign columns c1  # full columns
+
+``--procs N`` scales the same recipe horizontally: N server processes
+share one port via ``SO_REUSEPORT``, coordinate *only* through the store
+(advisory job leases -- two front-ends never run the same shard), and
+any process answers ``GET /v1/campaign/<id>`` for any job.
+
 Zero-copy sharded campaigns
 ---------------------------
 Campaigns sharded across process workers (``--campaign-workers N`` here,
@@ -119,12 +156,19 @@ engine and cache keys), so mixing backends against one service is safe.
 Run with:  python examples/service_demo.py [--requests N] [--window-ms W]
            [--workers N] [--backend numpy|compiled|float32]
            [--campaign] [--binary] [--campaign-workers N]
-           [--shared-memory auto|on|off]
+           [--shared-memory auto|on|off] [--durable]
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import tempfile
+import time
 
 import numpy as np
 
@@ -169,6 +213,102 @@ def run_remote_campaign(
         print(f"phase profile: {breakdown}")
 
 
+def _start_server(state_dir: str, store: str) -> tuple:
+    """One real ``repro serve --store`` subprocess; returns (proc, port)."""
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(
+        sys.modules["repro"].__file__
+    )))
+    port_file = os.path.join(state_dir, f"port-{time.monotonic_ns()}")
+    log_path = os.path.join(state_dir, f"serve-{time.monotonic_ns()}.log")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    with open(log_path, "w") as log:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--port-file", port_file, "--store", store,
+             "--campaign-workers", "2"],
+            env=env, stdout=log, stderr=subprocess.STDOUT,
+        )
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        try:
+            with open(port_file) as handle:
+                text = handle.read().strip()
+            if text:
+                return proc, int(text)
+        except FileNotFoundError:
+            pass
+        if proc.poll() is not None:
+            raise RuntimeError(f"server died; see {log_path}")
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError("server never wrote its port file")
+
+
+def _journaled_shards(store: str) -> int:
+    try:
+        connection = sqlite3.connect(store, timeout=1.0)
+        try:
+            return connection.execute(
+                "SELECT COUNT(*) FROM journal WHERE kind = 'shard_done'"
+            ).fetchone()[0]
+        finally:
+            connection.close()
+    except sqlite3.Error:
+        return 0
+
+
+def run_durable_walkthrough() -> None:
+    """SIGKILL a serving process mid-campaign and watch it recover."""
+    request = CampaignRequest(
+        hours=200, alphas=(0.5, 1.0), baselines=("DP1", "DP3")
+    )
+    with tempfile.TemporaryDirectory(prefix="service-demo-") as state_dir:
+        store = os.path.join(state_dir, "jobs.db")
+
+        print("\n--- kill-and-recover walkthrough "
+              f"({request.num_cells} cells, {request.hours} hours) ---")
+        proc, port = _start_server(state_dir, store)
+        client = AllocationClient(port=port, timeout_s=120.0)
+        submitted = client.submit_campaign(
+            request, idempotency_key="demo-durable-1"
+        )
+        print(f"submitted {submitted.campaign_id} "
+              f"(status {submitted.status}, journaled before the ack)")
+
+        # Let the journal accumulate at least one finished shard, then
+        # SIGKILL: no shutdown hooks, no flush, nothing graceful.
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline and _journaled_shards(store) < 1:
+            time.sleep(0.02)
+        shards = _journaled_shards(store)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=15)
+        print(f"SIGKILLed the server with {shards} shard record(s) "
+              "in the write-ahead journal")
+
+        proc, port = _start_server(state_dir, store)
+        try:
+            client = AllocationClient(port=port, timeout_s=120.0)
+            # Persist-then-ack means the id survives; replaying the
+            # idempotency key finds the original job, not a duplicate.
+            replay = client.submit_campaign(
+                request, idempotency_key="demo-durable-1"
+            )
+            assert replay.campaign_id == submitted.campaign_id
+            print(f"restarted on the same --store: {replay.campaign_id} "
+                  f"is {replay.status} (idempotent replay, no duplicate run)")
+            status = client.wait_for_campaign(replay.campaign_id)
+            fleet = client.campaign_result(replay.campaign_id)
+            total = _journaled_shards(store)
+            print(f"recovered to {status.status}: re-ran only the missing "
+                  f"shards ({total} journal records total), "
+                  f"{fleet.num_cells} cells stream back bit-exact")
+        finally:
+            proc.terminate()
+            proc.wait(timeout=15)
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--requests", type=int, default=64,
@@ -198,6 +338,10 @@ def main() -> None:
                         help="worker transport for sharded campaigns: auto "
                              "probes /dev/shm, on requires the zero-copy "
                              "arena, off forces pickle")
+    parser.add_argument("--durable", action="store_true",
+                        help="also run the kill-and-recover walkthrough: "
+                             "SIGKILL a --store server mid-campaign and "
+                             "watch the restart finish the job")
     args = parser.parse_args()
 
     service = AllocationService(
@@ -323,6 +467,9 @@ def main() -> None:
         if args.campaign:
             run_remote_campaign(client, backend=args.backend,
                                 binary=args.binary)
+
+    if args.durable:
+        run_durable_walkthrough()
 
 
 if __name__ == "__main__":

@@ -120,10 +120,13 @@ COMMANDS: Dict[str, str] = {
     "plan": "single-device horizon study: forecast-driven planning "
             "(horizon-average or MPC) vs harvest-following REAP",
     "serve": "run the JSON-over-HTTP allocation service (micro-batching + "
-             "cache + worker pool + campaign endpoints); --backend sets "
-             "the default numeric kernels, columns stream as NDJSON or "
-             "binary (?format=binary), --slo-ms sets latency objectives "
-             "(/metrics, /trace/<id>, --log-format json for traced logs)",
+             "cache + worker pool + versioned /v1 campaign endpoints); "
+             "--backend sets the default numeric kernels, columns stream "
+             "as NDJSON or binary (?format=binary), --slo-ms sets latency "
+             "objectives (/metrics, /trace/<id>, --log-format json for "
+             "traced logs), --store journals campaigns durably (restart "
+             "resumes unfinished shards), --procs N shares the port "
+             "across N processes via SO_REUSEPORT",
 }
 
 
@@ -639,6 +642,24 @@ def build_parser() -> argparse.ArgumentParser:
              "'allocate=5,campaign=500'; burn rates show up in /metrics "
              "and /stats (default: allocate=25, campaign=5000)",
     )
+    serve_parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="durable campaign store (SQLite journal): submissions are "
+             "persisted before they are acked, and on restart unfinished "
+             "campaigns resume from their last journaled shard",
+    )
+    serve_parser.add_argument(
+        "--store-sync", choices=["normal", "full"], default="normal",
+        help="store durability: normal fsyncs on WAL checkpoints "
+             "(survives process kill), full fsyncs every record "
+             "(survives power loss)",
+    )
+    serve_parser.add_argument(
+        "--procs", type=int, default=1,
+        help="independent server processes sharing the port via "
+             "SO_REUSEPORT; above 1 requires --store (the processes "
+             "coordinate only through the shared journal)",
+    )
 
     return parser
 
@@ -646,8 +667,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _command_serve(args: argparse.Namespace) -> int:
     # Imported lazily so plain experiment runs never touch the service layer.
     from repro.obs.slo import parse_slo_spec
-    from repro.obs.tracing import configure_logging
-    from repro.service.server import AllocationService, run_server
+    from repro.service.frontend import FrontendConfig, run_frontend
 
     slo_ms = None
     if args.slo_ms:
@@ -656,20 +676,27 @@ def _command_serve(args: argparse.Namespace) -> int:
         except ValueError as error:
             print(f"--slo-ms: {error}", file=sys.stderr)
             return 2
-    configure_logging(args.log_format)
-    service = AllocationService(
+    if args.procs < 1:
+        print("--procs must be at least 1", file=sys.stderr)
+        return 2
+    config = FrontendConfig(
+        host=args.host,
+        port=args.port,
+        port_file=args.port_file,
+        procs=args.procs,
+        store=args.store,
+        store_sync=args.store_sync,
         cache_size=args.cache_size,
-        window_s=args.window_ms / 1000.0,
+        window_ms=args.window_ms,
         max_batch=args.max_batch,
         workers=args.workers,
         campaign_workers=args.campaign_workers,
-        default_backend=args.backend,
+        backend=args.backend,
         shared_memory=_SHARED_MEMORY_MODES[args.shared_memory],
-        slo_ms=slo_ms,
+        log_format=args.log_format,
+        slo_ms=dict(slo_ms) if slo_ms else None,
     )
-    return run_server(
-        service, host=args.host, port=args.port, port_file=args.port_file
-    )
+    return run_frontend(config)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

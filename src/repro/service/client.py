@@ -17,10 +17,13 @@ drives a live server with it)::
     python -m repro.service.client --port 8734 campaign status c1
     python -m repro.service.client --port 8734 campaign run --hours 48
     python -m repro.service.client --port 8734 campaign columns c1
+    python -m repro.service.client --port 8734 campaign cancel c1
     python -m repro.service.client --port 8734 campaign delete c1
 
 Each command prints the server's JSON reply on stdout and exits non-zero on
-transport or HTTP errors.
+transport or HTTP errors.  All requests go to the versioned ``/v1/...``
+routes; error replies carry the uniform envelope, surfaced through
+:attr:`ServiceError.code`.
 
 Every request carries a W3C ``traceparent`` header -- a fresh trace per
 call by default, or a fixed one via ``traceparent=`` /
@@ -54,6 +57,30 @@ class ServiceError(RuntimeError):
         super().__init__(f"HTTP {status}: {payload}")
         self.status = status
         self.payload = payload
+
+    @property
+    def code(self) -> Optional[str]:
+        """The stable error code from the ``/v1`` envelope, if present.
+
+        ``/v1`` errors look like ``{"error": {"code": ..., "message": ...,
+        "detail": ...}}``; legacy errors carry a bare string under
+        ``"error"`` and yield ``None`` here.
+        """
+        if isinstance(self.payload, dict):
+            envelope = self.payload.get("error")
+            if isinstance(envelope, dict):
+                code = envelope.get("code")
+                return str(code) if code is not None else None
+        return None
+
+    @property
+    def detail(self) -> Any:
+        """The envelope's machine-readable ``detail`` field, if present."""
+        if isinstance(self.payload, dict):
+            envelope = self.payload.get("error")
+            if isinstance(envelope, dict):
+                return envelope.get("detail")
+        return None
 
 
 class AllocationClient:
@@ -92,7 +119,11 @@ class AllocationClient:
         return {"traceparent": header}
 
     def _call(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> Any:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout_s
@@ -102,6 +133,8 @@ class AllocationClient:
             headers = self._trace_headers()
             if encoded:
                 headers["Content-Type"] = "application/json"
+            if extra_headers:
+                headers.update(extra_headers)
             connection.request(method, path, body=encoded, headers=headers)
             response = connection.getresponse()
             raw = response.read()
@@ -133,33 +166,33 @@ class AllocationClient:
 
     # --- typed API --------------------------------------------------------------
     def health(self) -> Dict[str, Any]:
-        """``GET /healthz``."""
-        return self._call("GET", "/healthz")
+        """``GET /v1/healthz``."""
+        return self._call("GET", "/v1/healthz")
 
     def stats(self) -> Dict[str, Any]:
-        """``GET /stats``."""
-        return self._call("GET", "/stats")
+        """``GET /v1/stats``."""
+        return self._call("GET", "/v1/stats")
 
     def metrics_text(self) -> str:
-        """``GET /metrics``: the raw Prometheus text exposition."""
-        return self._call_text("GET", "/metrics")
+        """``GET /v1/metrics``: the raw Prometheus text exposition."""
+        return self._call_text("GET", "/v1/metrics")
 
     def trace(self, trace_id: str) -> Dict[str, Any]:
-        """``GET /trace/<id>``: the recorded spans of one trace."""
-        return self._call("GET", f"/trace/{trace_id}")
+        """``GET /v1/trace/<id>``: the recorded spans of one trace."""
+        return self._call("GET", f"/v1/trace/{trace_id}")
 
     def allocate(self, request: AllocationRequest) -> AllocationResponse:
-        """``POST /allocate`` one typed request."""
-        payload = self._call("POST", "/allocate", request.to_json_dict())
+        """``POST /v1/allocate`` one typed request."""
+        payload = self._call("POST", "/v1/allocate", request.to_json_dict())
         return AllocationResponse.from_json_dict(payload)
 
     def allocate_batch(
         self, requests: Sequence[AllocationRequest]
     ) -> List[AllocationResponse]:
-        """``POST /allocate/batch``: the server coalesces the burst."""
+        """``POST /v1/allocate/batch``: the server coalesces the burst."""
         payload = self._call(
             "POST",
-            "/allocate/batch",
+            "/v1/allocate/batch",
             {"requests": [request.to_json_dict() for request in requests]},
         )
         return [
@@ -168,24 +201,53 @@ class AllocationClient:
         ]
 
     # --- campaigns --------------------------------------------------------------
-    def submit_campaign(self, request: CampaignRequest) -> CampaignResponse:
-        """``POST /campaign``: submit a fleet study, returns its id/status."""
-        payload = self._call("POST", "/campaign", request.to_json_dict())
+    def submit_campaign(
+        self,
+        request: CampaignRequest,
+        idempotency_key: Optional[str] = None,
+    ) -> CampaignResponse:
+        """``POST /v1/campaign``: submit a fleet study, returns its id/status.
+
+        ``idempotency_key`` makes the submission safe to retry: the server
+        maps the key to the first job it created for it, so a resent
+        request (client timeout, network retry) returns the original
+        campaign id instead of starting a duplicate run.
+        """
+        extra = (
+            {"Idempotency-Key": idempotency_key}
+            if idempotency_key is not None
+            else None
+        )
+        payload = self._call(
+            "POST", "/v1/campaign", request.to_json_dict(), extra_headers=extra
+        )
         return CampaignResponse.from_json_dict(payload)
 
     def campaign_status(self, campaign_id: str) -> CampaignResponse:
-        """``GET /campaign/<id>``: poll one campaign."""
-        payload = self._call("GET", f"/campaign/{campaign_id}")
+        """``GET /v1/campaign/<id>``: poll one campaign."""
+        payload = self._call("GET", f"/v1/campaign/{campaign_id}")
+        return CampaignResponse.from_json_dict(payload)
+
+    def cancel_campaign(self, campaign_id: str) -> CampaignResponse:
+        """``POST /v1/campaign/<id>/cancel``: request cancellation.
+
+        Cancellation is cooperative -- a running campaign stops at its
+        next shard boundary -- so the returned status may still read
+        ``running``; poll until it reaches ``cancelled``.  Cancelling an
+        already-finished campaign raises :class:`ServiceError` (HTTP 409,
+        code ``conflict``).
+        """
+        payload = self._call("POST", f"/v1/campaign/{campaign_id}/cancel")
         return CampaignResponse.from_json_dict(payload)
 
     def delete_campaign(self, campaign_id: str) -> Dict[str, Any]:
-        """``DELETE /campaign/<id>``: drop a finished campaign.
+        """``DELETE /v1/campaign/<id>``: drop a finished campaign.
 
         The server frees the retained result; polling the id afterwards
         yields 404.  Deleting a still-running campaign raises
-        :class:`ServiceError` (HTTP 409).
+        :class:`ServiceError` (HTTP 409, code ``job_running``).
         """
-        return self._call("DELETE", f"/campaign/{campaign_id}")
+        return self._call("DELETE", f"/v1/campaign/{campaign_id}")
 
     def wait_for_campaign(
         self,
@@ -195,8 +257,9 @@ class AllocationClient:
     ) -> CampaignResponse:
         """Poll until the campaign reaches a terminal state.
 
-        Raises :class:`ServiceError` (status 0) when the campaign failed
-        server-side, and ``TimeoutError`` when the deadline passes first.
+        ``done`` and ``cancelled`` return the final status; ``failed``
+        raises :class:`ServiceError` (status 0); ``TimeoutError`` when
+        the deadline passes first.
         """
         deadline = time.monotonic() + timeout_s
         while True:
@@ -227,7 +290,7 @@ class AllocationClient:
         try:
             connection.request(
                 "GET",
-                f"/campaign/{campaign_id}/columns",
+                f"/v1/campaign/{campaign_id}/columns",
                 headers=self._trace_headers(),
             )
             response = connection.getresponse()
@@ -260,7 +323,7 @@ class AllocationClient:
         try:
             connection.request(
                 "GET",
-                f"/campaign/{campaign_id}/columns"
+                f"/v1/campaign/{campaign_id}/columns"
                 f"?format=binary&dtype={dtype}&codec={codec}",
                 headers=self._trace_headers(),
             )
@@ -469,8 +532,17 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["numpy", "compiled", "float32"],
                          help="numeric backend for the campaign's solves "
                               "and scans")
+        sub.add_argument("--idempotency-key", default=None,
+                         help="retry-safe submission key: resubmitting "
+                              "with the same key returns the original "
+                              "campaign id instead of a duplicate run")
     status = verbs.add_parser("status", help="poll one campaign by id")
     status.add_argument("id")
+    cancel = verbs.add_parser(
+        "cancel",
+        help="request cancellation (takes effect at the next shard boundary)",
+    )
+    cancel.add_argument("id")
     delete = verbs.add_parser(
         "delete", help="delete a finished campaign (it 404s afterwards)"
     )
@@ -513,13 +585,19 @@ def _campaign_request(args: argparse.Namespace) -> CampaignRequest:
 def _campaign_command(client: AllocationClient, args: argparse.Namespace) -> Any:
     """Run one campaign verb; returns the JSON payload to print."""
     if args.verb == "submit":
-        return client.submit_campaign(_campaign_request(args)).to_json_dict()
+        return client.submit_campaign(
+            _campaign_request(args), idempotency_key=args.idempotency_key
+        ).to_json_dict()
     if args.verb == "run":
-        submitted = client.submit_campaign(_campaign_request(args))
+        submitted = client.submit_campaign(
+            _campaign_request(args), idempotency_key=args.idempotency_key
+        )
         status = client.wait_for_campaign(submitted.campaign_id)
         return status.to_json_dict()
     if args.verb == "status":
         return client.campaign_status(args.id).to_json_dict()
+    if args.verb == "cancel":
+        return client.cancel_campaign(args.id).to_json_dict()
     if args.verb == "delete":
         return client.delete_campaign(args.id)
     # columns: stream the NDJSON lines straight through, one per payload.
@@ -576,7 +654,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             payload = response.to_json_dict()
     except (ServiceError, OSError, TimeoutError) as error:
-        print(f"allocation service call failed: {error}", file=sys.stderr)
+        code = error.code if isinstance(error, ServiceError) else None
+        prefix = f"[{code}] " if code else ""
+        print(
+            f"allocation service call failed: {prefix}{error}", file=sys.stderr
+        )
         return 1
     print(json.dumps(payload, indent=2, sort_keys=True))
     return 0

@@ -315,6 +315,9 @@ class WorkerPool:
         config=None,
         scenario_labels=None,
         shared_memory=None,
+        completed=None,
+        on_shard_done=None,
+        shards=None,
     ):
         """Run a fleet campaign grid on the pool's process workers.
 
@@ -326,6 +329,12 @@ class WorkerPool:
         shared-memory arena; see the shard runner).  The persistent pool's
         workers keep their engine and campaign-context caches warm across
         campaigns.
+
+        ``completed``/``on_shard_done`` are the durable-store hooks (skip
+        journaled cells, journal each shard as it lands -- see the shard
+        runner); ``shards`` overrides the chunk count so durable campaigns
+        can journal at a finer grain than one chunk per worker while the
+        executor stays sized at ``campaign_workers``.
         """
         self._check_open()
         # Imported here: the campaign stack (simulation + shard) is only
@@ -338,9 +347,11 @@ class WorkerPool:
             trace,
             config,
             scenario_labels=scenario_labels,
-            jobs=self.campaign_workers,
+            jobs=shards if shards is not None else self.campaign_workers,
             executor=self._ensure_campaign_executor(),
             shared_memory=shared_memory,
+            completed=completed,
+            on_shard_done=on_shard_done,
         )
         with self._stats_lock:
             self._campaigns += 1

@@ -523,8 +523,12 @@ class CampaignResponse:
     #: until the campaign is done.
     profile: Optional[Dict[str, float]] = None
 
-    #: Legal lifecycle states, in order.
-    STATUSES = ("pending", "running", "done", "failed")
+    #: Legal lifecycle states, in order:
+    #: ``queued -> running -> done | failed | cancelled``.
+    STATUSES = ("queued", "running", "done", "failed", "cancelled")
+
+    #: Terminal states -- nothing transitions out of these.
+    TERMINAL_STATUSES = ("done", "failed", "cancelled")
 
     def __post_init__(self) -> None:
         if self.status not in self.STATUSES:
@@ -535,7 +539,7 @@ class CampaignResponse:
     @property
     def finished(self) -> bool:
         """Whether the campaign has reached a terminal state."""
-        return self.status in ("done", "failed")
+        return self.status in self.TERMINAL_STATUSES
 
     def to_json_dict(self) -> Dict[str, Any]:
         """Encode as a JSON-ready dictionary (the wire format)."""
@@ -554,10 +558,17 @@ class CampaignResponse:
 
     @classmethod
     def from_json_dict(cls, payload: Mapping[str, Any]) -> "CampaignResponse":
-        """Decode the wire format."""
+        """Decode the wire format.
+
+        ``"pending"`` (the pre-v1 name of the initial state) is mapped to
+        ``"queued"`` so new clients can read old servers.
+        """
+        status = str(payload["status"])
+        if status == "pending":
+            status = "queued"
         return cls(
             campaign_id=str(payload["campaign_id"]),
-            status=str(payload["status"]),
+            status=status,
             cells=int(payload["cells"]),
             trace_hours=int(payload["trace_hours"]),
             scenario_labels=tuple(payload.get("scenario_labels", ())),

@@ -16,11 +16,30 @@ a deliberately small HTTP/1.1 subset (one request per connection,
 third-party framework is required, mirroring how long-running energy
 services keep their protocol surface auditable.
 
-Endpoints
----------
+The service API is versioned: every endpoint lives under ``/v1/...`` and
+every ``/v1`` error body is the uniform envelope ``{"error": {"code",
+"message", "detail"}}`` with stable machine-readable codes
+(``bad_request``, ``job_running``, ``not_found``, ``store_unavailable``,
+...).  The legacy unversioned paths keep working through a shim that
+serves the same handlers with the pre-v1 string error bodies and adds a
+``Deprecation: true`` header plus a ``Link: </v1/...>;
+rel="successor-version"`` pointer.  See ``docs/service_api.md``.
+
+Campaign jobs follow an explicit lifecycle -- ``queued -> running -> done
+| failed | cancelled`` -- and, when the service is built with a
+:class:`~repro.service.store.CampaignStore` (``repro serve --store
+PATH``), every transition is journaled *before* it is acknowledged: a
+submitted campaign id survives ``SIGKILL``, a restarted server re-adopts
+unfinished jobs (re-running only the shards with no journaled result),
+and evicted finished jobs are re-served from disk.  Multiple server
+processes can share one port (``--procs N``, ``SO_REUSEPORT``) and
+coordinate through the store alone -- see :mod:`repro.service.frontend`.
+
+Endpoints (shown unversioned; prefix with ``/v1`` for the stable API)
+---------------------------------------------------------------------
 ``GET /healthz``
     Liveness probe plus deployment facts: status, package version,
-    uptime, worker/backend configuration.
+    uptime, pid, worker/backend/store configuration.
 ``GET /stats``
     Cache, batcher, worker-pool, latency, and SLO counters as JSON.
 ``GET /metrics``
@@ -40,10 +59,19 @@ Endpoints
 ``POST /campaign``
     One :class:`~repro.service.requests.CampaignRequest` JSON body submits
     a fleet study to the pool's campaign workers; replies immediately with
-    the campaign id and ``pending``/``running`` status.
+    the campaign id and ``queued``/``running`` status.  With a store the
+    id is journaled before the reply (persist-then-ack); an
+    ``Idempotency-Key`` header makes retries exactly-once (same key ->
+    same job id, replayed from the store).
 ``GET /campaign/<id>``
     Poll one campaign: status, grid shape, and per-cell summaries once
-    ``done``.
+    ``done``.  With a store, ids this process has never seen (another
+    front-end's jobs, pre-restart jobs, evicted results) are answered
+    from the journal.
+``POST /campaign/<id>/cancel``
+    Request cancellation of a queued/running campaign; the job stops at
+    the next shard boundary and reports ``cancelled``.  Terminal jobs
+    answer 409.
 ``GET /campaign/<id>/columns``
     Stream the finished campaign's full per-period columns back as
     chunked NDJSON: one meta line, then one line per (scenario, policy)
@@ -73,6 +101,7 @@ import asyncio
 import itertools
 import json
 import logging
+import os
 import re
 import threading
 import time
@@ -107,12 +136,22 @@ from repro.service.requests import (
     CampaignRequest,
     CampaignResponse,
 )
+from repro.service.store import (
+    RESUMABLE_STATUSES,
+    CampaignStore,
+    StoreError,
+)
 
 #: Largest request body the server will read, in bytes.
 MAX_BODY_BYTES = 4 * 1024 * 1024
 
-#: Campaign ids are ``c1``, ``c2``, ... within one server process.
-_CAMPAIGN_PATH = re.compile(r"^/campaign/([A-Za-z0-9_-]+)(/columns)?$")
+#: Campaign ids are ``c1``, ``c2``, ... (per process, or store-wide when a
+#: durable store allocates them).
+_CAMPAIGN_PATH = re.compile(r"^/campaign/([A-Za-z0-9_-]+)(/columns|/cancel)?$")
+
+#: Version prefix of the stable API; legacy paths omit it (and get a
+#: ``Deprecation`` header on the way out).
+_API_PREFIX = "/v1"
 
 #: ``GET /trace/<trace_id>``: 32 lowercase hex chars, as in traceparent.
 _TRACE_PATH = re.compile(r"^/trace/([0-9a-f]{32})$")
@@ -121,16 +160,30 @@ _TRACE_PATH = re.compile(r"^/trace/([0-9a-f]{32})$")
 _REQUEST_LOGGER = logging.getLogger("repro.service.http")
 
 
+class CampaignCancelled(Exception):
+    """A campaign stopped at a shard boundary because it was cancelled."""
+
+
+class _LeaseLost(Exception):
+    """Another front-end holds the job's run lease; stand down quietly."""
+
+
 class CampaignJob:
     """One submitted fleet study: request, lifecycle state, result."""
 
     def __init__(self, campaign_id: str, request: CampaignRequest) -> None:
         self.campaign_id = campaign_id
         self.request = request
-        self.status = "pending"
+        self.status = "queued"
         self.result = None  # FleetResult once done
         self.error: Optional[str] = None
         self.task: Optional["asyncio.Task"] = None
+        #: Set by ``POST /campaign/<id>/cancel``; the executor checks it
+        #: (and the store's journal) at every shard boundary.
+        self.cancel_requested = False
+        #: Whether this job object was rebuilt from the journal rather
+        #: than submitted to this process.
+        self.recovered = False
         #: Actual trace length, known once the request has been built
         #: (requests with ``hours=None`` default to the whole month, so the
         #: submitted hours alone don't determine it).
@@ -190,11 +243,18 @@ class AllocationService:
         default_backend: str = "numpy",
         shared_memory: Optional[bool] = None,
         slo_ms: Optional[Mapping[str, float]] = None,
+        store: Optional[Any] = None,
     ) -> None:
         if max_campaigns < 1:
             raise ValueError(
                 f"max_campaigns must be at least 1, got {max_campaigns}"
             )
+        #: Durable campaign job store (:mod:`repro.service.store`), or
+        #: ``None`` for the in-memory-only service.  A string is treated
+        #: as a store path and opened with default durability settings.
+        self.store: Optional[CampaignStore] = (
+            CampaignStore(store) if isinstance(store, str) else store
+        )
         self.registry = EngineRegistry(default_points, default_backend=default_backend)
         self.pool = WorkerPool(
             workers=workers,
@@ -237,6 +297,10 @@ class AllocationService:
         self.max_campaigns = int(max_campaigns)
         self._campaigns: Dict[str, CampaignJob] = {}
         self._campaign_ids = itertools.count(1)
+        #: Best-effort in-process idempotency map (key -> campaign id)
+        #: for services without a store; with a store the mapping is
+        #: durable and lives in its ``idempotency`` table.
+        self._idempotency: Dict[str, str] = {}
 
     def _register_metrics(self) -> None:
         """Expose the pre-existing counter objects on the registry.
@@ -350,11 +414,70 @@ class AllocationService:
             "histogram",
             self.endpoint_latency.prometheus_samples,
         )
+
+        def _store_append_samples():
+            if self.store is None:
+                return []
+            stats = self.store.stats.to_json_dict()
+            return [
+                ("", {"kind": kind}, count)
+                for kind, count in stats["appends"].items()
+            ]
+
+        def _store_lease_samples():
+            if self.store is None:
+                return []
+            leases = self.store.stats.to_json_dict()["leases"]
+            return [
+                ("", {"event": event}, count)
+                for event, count in sorted(leases.items())
+            ]
+
+        def _store_scalar(name):
+            def sample():
+                if self.store is None:
+                    return []
+                return [("", {}, self.store.stats.to_json_dict()[name])]
+
+            return sample
+
+        metrics.callback(
+            "repro_store_appends_total",
+            "Campaign journal records appended, by record kind.",
+            "counter",
+            _store_append_samples,
+        )
+        metrics.callback(
+            "repro_store_append_bytes_total",
+            "Campaign journal payload bytes appended.",
+            "counter",
+            _store_scalar("append_bytes"),
+        )
+        metrics.callback(
+            "repro_store_leases_total",
+            "Campaign job lease events (acquired, stolen, rejected).",
+            "counter",
+            _store_lease_samples,
+        )
+        metrics.callback(
+            "repro_store_jobs_recovered_total",
+            "Interrupted campaign jobs re-adopted from the journal.",
+            "counter",
+            _store_scalar("jobs_recovered"),
+        )
+        metrics.callback(
+            "repro_store_records_dropped_total",
+            "Torn journal records dropped during recovery.",
+            "counter",
+            _store_scalar("records_dropped"),
+        )
         self.slo.register_metrics(metrics)
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool and the store down (idempotent)."""
         self.pool.shutdown()
+        if self.store is not None:
+            self.store.close()
 
     async def allocate(self, request: AllocationRequest) -> AllocationResponse:
         """Serve one request: cache lookup, else coalesced batch solve.
@@ -417,16 +540,43 @@ class AllocationService:
         return tuple(served)  # type: ignore[arg-type]
 
     # --- campaigns --------------------------------------------------------------
-    async def submit_campaign(self, request: CampaignRequest) -> CampaignResponse:
-        """Accept a fleet study; it runs in the background on the pool."""
-        job = CampaignJob(f"c{next(self._campaign_ids)}", request)
+    async def submit_campaign(
+        self,
+        request: CampaignRequest,
+        idempotency_key: Optional[str] = None,
+    ) -> CampaignResponse:
+        """Accept a fleet study; it runs in the background on the pool.
+
+        With a store the submission is journaled -- and committed -- before
+        this returns (persist-then-ack): the id in the response survives
+        ``SIGKILL``.  ``idempotency_key`` makes retries exactly-once: a
+        key seen before returns the existing job's current status instead
+        of starting a second run (durable across restarts with a store;
+        best-effort within this process without one -- a replay whose job
+        was already evicted starts a fresh run, since the evicted result
+        is gone).
+        """
+        loop = asyncio.get_running_loop()
+        if self.store is not None:
+            campaign_id, created = await loop.run_in_executor(
+                None, self.store.submit, request, idempotency_key
+            )
+            if not created:
+                return (await self.campaign_lookup(campaign_id)).status_response()
+            job = CampaignJob(campaign_id, request)
+        else:
+            if idempotency_key is not None:
+                existing = self._idempotency.get(idempotency_key)
+                if existing is not None and existing in self._campaigns:
+                    return self._campaigns[existing].status_response()
+            job = CampaignJob(f"c{next(self._campaign_ids)}", request)
+            if idempotency_key is not None:
+                self._idempotency[idempotency_key] = job.campaign_id
         # Captured here, on the event loop, because the campaign body runs
         # on executor threads where contextvars don't follow.
         job.trace_ctx = tracing.current_context()
         self._campaigns[job.campaign_id] = job
-        job.task = asyncio.get_running_loop().create_task(
-            self._run_campaign(job)
-        )
+        job.task = loop.create_task(self._run_campaign(job))
         return job.status_response()
 
     async def _run_campaign(self, job: CampaignJob) -> None:
@@ -441,17 +591,31 @@ class AllocationService:
                 None, self._execute_campaign, job
             )
             job.status = "done"
+        except CampaignCancelled:
+            job.status = "cancelled"
+        except _LeaseLost:
+            # Another front-end is driving this job.  Forget our local
+            # copy so later lookups re-read the journal instead of a
+            # stale in-memory snapshot.
+            self._campaigns.pop(job.campaign_id, None)
+            job.status = "running"
         except Exception as error:
             job.error = f"{type(error).__name__}: {error}"
             job.status = "failed"
+            if self.store is not None:
+                try:
+                    self.store.fail(job.campaign_id, job.error)
+                except StoreError:
+                    pass  # the failure may *be* a broken store
         finally:
             self._evict_finished_campaigns()
 
     def _evict_finished_campaigns(self) -> None:
         """Drop the oldest *finished* jobs beyond ``max_campaigns``.
 
-        Pending/running jobs are never evicted; ids are monotonic, so dict
-        insertion order is submission order.
+        Queued/running jobs are never evicted; ids are monotonic, so dict
+        insertion order is submission order.  With a store an evicted id
+        is a cache miss, not a 404 -- lookups re-serve it from the journal.
         """
         overflow = len(self._campaigns) - self.max_campaigns
         if overflow <= 0:
@@ -459,11 +623,21 @@ class AllocationService:
         for campaign_id in [
             job.campaign_id
             for job in self._campaigns.values()
-            if job.status in ("done", "failed")
+            if job.status in CampaignResponse.TERMINAL_STATUSES
         ][:overflow]:
             evicted = self._campaigns.pop(campaign_id)
             if evicted.result is not None:
                 evicted.result.release()  # free any arena mappings now
+
+    def _durable_shards(self) -> int:
+        """Chunk count for journaled campaigns.
+
+        Finer than one chunk per worker so a kill loses at most a quarter
+        of a worker's wall-clock; 1 when campaigns run inline (chunking a
+        single-threaded run would only add journal records).
+        """
+        workers = self.pool.campaign_workers
+        return workers * 4 if workers > 1 else 1
 
     def _execute_campaign(self, job: CampaignJob):
         # Campaigns simulate the hardware this service is configured for,
@@ -477,38 +651,219 @@ class AllocationService:
                 self.registry.default_points
             )
             job.trace_hours = len(trace)
-            result = self.pool.run_campaign(
-                scenarios,
-                policies,
-                trace,
-                config,
-                scenario_labels=labels,
-                shared_memory=self.shared_memory,
-            )
+            store = self.store
+            completed = None
+            on_shard_done = None
+            shards = None
+            if store is not None:
+                campaign_id = job.campaign_id
+                if not store.acquire_lease(campaign_id):
+                    raise _LeaseLost(campaign_id)
+                if job.cancel_requested or store.is_cancelled(campaign_id):
+                    raise CampaignCancelled(campaign_id)
+                store.start(campaign_id, len(trace))
+                # Cells journaled by a previous (killed) run are final;
+                # only the rest are simulated.
+                completed = store.done_cells(campaign_id)
+                shards = self._durable_shards()
+
+                def journal_shard(cells) -> None:
+                    store.shard_done(campaign_id, cells)
+                    store.renew_lease(campaign_id)
+                    if job.cancel_requested or store.is_cancelled(campaign_id):
+                        raise CampaignCancelled(campaign_id)
+
+                on_shard_done = journal_shard
+            elif job.cancel_requested:
+                raise CampaignCancelled(job.campaign_id)
+            try:
+                result = self.pool.run_campaign(
+                    scenarios,
+                    policies,
+                    trace,
+                    config,
+                    scenario_labels=labels,
+                    shared_memory=self.shared_memory,
+                    completed=completed,
+                    on_shard_done=on_shard_done,
+                    shards=shards,
+                )
+                if store is not None:
+                    store.finish(job.campaign_id, result)
+            finally:
+                if store is not None:
+                    store.release_lease(job.campaign_id)
         for phase, seconds in (getattr(result, "phase_timings", {}) or {}).items():
             self._campaign_phase.observe(seconds, phase=phase)
         return result
 
     def campaign(self, campaign_id: str) -> CampaignJob:
-        """Look one campaign up (raises ``KeyError`` on unknown ids)."""
+        """Look one campaign up in memory (``KeyError`` on unknown ids).
+
+        The synchronous, memory-only lookup; the HTTP layer uses
+        :meth:`campaign_lookup`, which falls back to the store.
+        """
         return self._campaigns[campaign_id]
+
+    async def campaign_lookup(self, campaign_id: str) -> CampaignJob:
+        """Look one campaign up, falling back to the durable store.
+
+        Memory answers directly.  With a store, unknown ids are replayed
+        from the journal: finished jobs get their result reassembled from
+        the journaled shard frames (and re-cached -- eviction is a cache
+        miss, not data loss), terminal failures/cancellations are
+        reported as such, and an interrupted job nobody is driving (its
+        lease is absent, expired, or owned by a dead process) is adopted
+        and resumed by this process.  Raises ``KeyError`` for ids in
+        neither memory nor journal.
+        """
+        job = self._campaigns.get(campaign_id)
+        if job is not None:
+            return job
+        if self.store is None:
+            raise KeyError(campaign_id)
+        loop = asyncio.get_running_loop()
+        record = await loop.run_in_executor(None, self.store.job, campaign_id)
+        if record is None or record.request is None:
+            raise KeyError(campaign_id)
+        job = CampaignJob(campaign_id, record.request)
+        job.recovered = True
+        job.trace_hours = record.trace_hours or (record.request.hours or 0)
+        if record.status == "done":
+            job.result = await loop.run_in_executor(
+                None, self.store.load_result, campaign_id
+            )
+            job.status = "done"
+            self._campaigns[campaign_id] = job
+            self._evict_finished_campaigns()
+            return job
+        if record.status in ("failed", "cancelled"):
+            # Ephemeral snapshot: terminal, no columns to retain.
+            job.status = record.status
+            job.error = record.error
+            return job
+        if self.store.lease_abandoned(campaign_id):
+            # Journaled as queued/running but nobody is driving it (the
+            # owner was killed): adopt and resume the unfinished shards.
+            return self._adopt_job(job)
+        # Another live front-end owns the lease; report its progress.
+        job.status = record.status
+        return job
+
+    def _adopt_job(self, job: CampaignJob) -> CampaignJob:
+        """Resume an interrupted job in this process (store mode only)."""
+        with tracing.span("job.recover", campaign_id=job.campaign_id) as span:
+            job.trace_ctx = span.context
+            job.status = "queued"
+            self._campaigns[job.campaign_id] = job
+            job.task = asyncio.get_running_loop().create_task(
+                self._run_campaign(job)
+            )
+        self.store.stats.bump("jobs_recovered")
+        return job
+
+    async def recover_campaigns(self) -> List[str]:
+        """Re-adopt unfinished journaled jobs at startup.
+
+        Called after the listening socket binds (so ``GET`` works during
+        recovery) and before readiness is announced.  Jobs whose lease a
+        live process still holds are left alone -- in a ``--procs N``
+        fleet only orphaned jobs get a new owner.  Returns the adopted
+        ids.
+        """
+        if self.store is None:
+            return []
+        loop = asyncio.get_running_loop()
+        records = await loop.run_in_executor(None, self.store.jobs)
+        adopted: List[str] = []
+        for campaign_id, record in sorted(records.items()):
+            if record.status not in RESUMABLE_STATUSES:
+                continue
+            if record.request is None or campaign_id in self._campaigns:
+                continue
+            if not self.store.lease_abandoned(campaign_id):
+                continue
+            job = CampaignJob(campaign_id, record.request)
+            job.recovered = True
+            job.trace_hours = record.trace_hours or (record.request.hours or 0)
+            self._adopt_job(job)
+            adopted.append(campaign_id)
+        return adopted
+
+    def cancel_campaign(self, campaign_id: str) -> CampaignJob:
+        """Request cancellation of a queued/running campaign.
+
+        The running executor notices at its next shard boundary (already
+        journaled shards are kept -- a later un-cancel... does not exist,
+        but the frames would still be valid for debugging).  Raises
+        ``KeyError`` for unknown ids, ``RuntimeError`` for jobs already
+        in a terminal state.
+        """
+        job = self._campaigns.get(campaign_id)
+        if job is None:
+            if self.store is None:
+                raise KeyError(campaign_id)
+            record = self.store.job(campaign_id)
+            if record is None or record.request is None:
+                raise KeyError(campaign_id)
+            if record.finished:
+                raise RuntimeError(
+                    f"campaign {campaign_id!r} is {record.status}; only "
+                    "queued/running campaigns can be cancelled"
+                )
+            # Another front-end runs it; the journal is the coordination
+            # channel -- its executor polls for the cancel record at every
+            # shard boundary.
+            self.store.cancel(campaign_id)
+            job = CampaignJob(campaign_id, record.request)
+            job.status = record.status
+            job.cancel_requested = True
+            return job
+        if job.status in CampaignResponse.TERMINAL_STATUSES:
+            raise RuntimeError(
+                f"campaign {campaign_id!r} is {job.status}; only "
+                "queued/running campaigns can be cancelled"
+            )
+        job.cancel_requested = True
+        if self.store is not None and not self.store.is_cancelled(campaign_id):
+            self.store.cancel(campaign_id)
+        return job
 
     def delete_campaign(self, campaign_id: str) -> CampaignJob:
         """Drop one finished campaign and free its retained result.
 
         Raises ``KeyError`` for unknown ids and ``RuntimeError`` while the
-        job is still pending/running (deleting a job out from under its
+        job is still queued/running (deleting a job out from under its
         worker would leave the executor computing into the void); callers
         poll to a terminal state first.  Subsequent lookups of a deleted
         id raise ``KeyError`` -- the HTTP layer turns that into a 404.
+        With a store the deletion is journaled, so the id stays deleted
+        across restarts and front-ends.
         """
-        job = self._campaigns[campaign_id]
-        if job.status not in ("done", "failed"):
+        job = self._campaigns.get(campaign_id)
+        if job is None:
+            if self.store is None:
+                raise KeyError(campaign_id)
+            record = self.store.job(campaign_id)
+            if record is None or record.request is None:
+                raise KeyError(campaign_id)
+            if not record.finished:
+                raise RuntimeError(
+                    f"campaign {campaign_id!r} is {record.status}; only "
+                    "finished campaigns can be deleted"
+                )
+            self.store.delete(campaign_id)
+            deleted = CampaignJob(campaign_id, record.request)
+            deleted.status = record.status
+            return deleted
+        if job.status not in CampaignResponse.TERMINAL_STATUSES:
             raise RuntimeError(
                 f"campaign {campaign_id!r} is {job.status}; only finished "
                 "campaigns can be deleted"
             )
         del self._campaigns[campaign_id]
+        if self.store is not None:
+            self.store.delete(campaign_id)
         if job.result is not None:
             job.result.release()  # drop shared-memory mappings with the job
         return job
@@ -538,10 +893,12 @@ class AllocationService:
             "status": "ok",
             "version": __version__,
             "uptime_s": time.monotonic() - self._started_monotonic,
+            "pid": os.getpid(),
             "workers": self.pool.workers,
             "campaign_workers": self.pool.campaign_workers,
             "backend": self.registry.default_backend,
             "shared_memory": shared,
+            "store": None if self.store is None else self.store.path,
             "engines": len(self.registry),
         }
 
@@ -556,16 +913,54 @@ class AllocationService:
             "pool": self.pool.stats(),
             "campaigns": self._campaign_counts(),
             "slo": self.slo.to_json_dict(),
+            "store": None if self.store is None else self.store.to_json_dict(),
             "uptime_s": time.monotonic() - self._started_monotonic,
         }
 
 
-class _HttpError(Exception):
-    """An error that maps to a specific HTTP status code."""
+#: Default machine-readable error code per status; individual raise sites
+#: override (e.g. ``job_running`` for 409s caused by a non-terminal job).
+_DEFAULT_ERROR_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    405: "method_not_allowed",
+    409: "conflict",
+    413: "payload_too_large",
+    500: "internal",
+    503: "store_unavailable",
+}
 
-    def __init__(self, status: int, message: str) -> None:
+
+class _HttpError(Exception):
+    """An error that maps to a specific HTTP status code.
+
+    ``code`` is the stable machine-readable identifier of the ``/v1``
+    error envelope (legacy paths only see the message); ``detail``
+    carries optional structured context (``None`` stays in the envelope
+    so its shape is constant).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        code: Optional[str] = None,
+        detail: Any = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.code = code or _DEFAULT_ERROR_CODES.get(status, "error")
+        self.detail = detail
+
+    def envelope(self) -> Dict[str, Any]:
+        """The ``/v1`` error body."""
+        return {
+            "error": {
+                "code": self.code,
+                "message": str(self),
+                "detail": self.detail,
+            }
+        }
 
 
 class _StreamingPayloads:
@@ -604,6 +999,7 @@ _STATUS_TEXT = {
     409: "Conflict",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -701,10 +1097,15 @@ class AllocationServer:
         service: Optional[AllocationService] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        reuse_port: bool = False,
     ) -> None:
         self.service = service if service is not None else AllocationService()
         self.host = host
         self.port = port
+        #: ``SO_REUSEPORT``: lets N independent server processes bind the
+        #: same port and have the kernel spread connections across them
+        #: (see :mod:`repro.service.frontend`).
+        self.reuse_port = reuse_port
         self._server: Optional[asyncio.AbstractServer] = None
 
     @property
@@ -717,7 +1118,10 @@ class AllocationServer:
     async def start(self) -> None:
         """Bind and start accepting connections."""
         self._server = await asyncio.start_server(
-            self._handle_connection, host=self.host, port=self.port
+            self._handle_connection,
+            host=self.host,
+            port=self.port,
+            reuse_port=self.reuse_port or None,
         )
 
     async def stop(self) -> None:
@@ -733,12 +1137,18 @@ class AllocationServer:
 
         Campaign ids are collapsed to ``*`` and unknown paths to one
         shared bucket, so histogram cardinality is bounded by the route
-        table, not by traffic.
+        table, not by traffic.  The ``/v1`` prefix is collapsed too:
+        both spellings hit the same handler, so they share one metric
+        series (dashboards and SLOs keyed on ``POST /allocate`` keep
+        working; deprecated traffic stays visible via the request log's
+        ``Deprecation`` responses).
         """
         path = path.partition("?")[0]
+        if path == _API_PREFIX or path.startswith(_API_PREFIX + "/"):
+            path = path[len(_API_PREFIX):] or "/"
         match = _CAMPAIGN_PATH.match(path)
         if match:
-            suffix = "/columns" if match.group(2) else ""
+            suffix = match.group(2) or ""
             return f"{method} /campaign/*{suffix}"
         if _TRACE_PATH.match(path):
             return f"{method} /trace/*"
@@ -752,11 +1162,25 @@ class AllocationServer:
     ) -> None:
         label: Optional[str] = None
         trace_ctx: Optional[tracing.SpanContext] = None
+        is_v1 = False
+        deprecation_headers: Tuple[str, ...] = ()
         started = time.perf_counter()
         try:
             try:
                 method, path, headers, body = await _read_request(reader)
                 label = self._endpoint_label(method, path)
+                bare_path = path.partition("?")[0]
+                is_v1 = bare_path == _API_PREFIX or bare_path.startswith(
+                    _API_PREFIX + "/"
+                )
+                if not is_v1 and "(other)" not in label:
+                    # Known route reached by its pre-v1 spelling: serve it,
+                    # but tell the client where the stable API lives.
+                    deprecation_headers = (
+                        "Deprecation: true",
+                        f'Link: <{_API_PREFIX}{bare_path}>; '
+                        'rel="successor-version"',
+                    )
                 # Every request runs inside an ``http.request`` span: a
                 # client-sent traceparent continues that trace, otherwise a
                 # fresh one starts here.  Awaiting the dispatch keeps the
@@ -767,14 +1191,26 @@ class AllocationServer:
                     "http.request", parent=parent, endpoint=label
                 ) as http_span:
                     trace_ctx = http_span.context
-                    result = await self._dispatch(method, path, body)
+                    result = await self._dispatch(method, path, headers, body)
+            except StoreError as error:
+                http_error = _HttpError(503, str(error))
+                result = http_error.status, (
+                    http_error.envelope() if is_v1
+                    else {"error": str(http_error)}
+                )
             except _HttpError as error:
-                result = error.status, {"error": str(error)}
+                result = error.status, (
+                    error.envelope() if is_v1 else {"error": str(error)}
+                )
             except Exception as error:  # never kill the accept loop
-                result = 500, {"error": f"{type(error).__name__}: {error}"}
+                message = f"{type(error).__name__}: {error}"
+                result = 500, (
+                    _HttpError(500, message).envelope() if is_v1
+                    else {"error": message}
+                )
             extra_headers = (
                 (f"traceparent: {trace_ctx.traceparent()}",) if trace_ctx else ()
-            )
+            ) + deprecation_headers
             if isinstance(result, _StreamingPayloads):
                 status = 200
                 await self._write_stream(writer, result, extra_headers)
@@ -879,10 +1315,18 @@ class AllocationServer:
         await writer.drain()
 
     async def _dispatch(
-        self, method: str, path: str, body: Optional[Dict[str, Any]]
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: Optional[Dict[str, Any]],
     ):
         path, _, raw_query = path.partition("?")
         query = dict(parse_qsl(raw_query, keep_blank_values=True))
+        if path == _API_PREFIX or path.startswith(_API_PREFIX + "/"):
+            # The v1 prefix selects the error dialect (see
+            # _handle_connection); the route table itself is shared.
+            path = path[len(_API_PREFIX):] or "/"
         if path == "/healthz":
             if method != "GET":
                 raise _HttpError(405, "healthz is GET-only")
@@ -933,23 +1377,42 @@ class AllocationServer:
                 request = CampaignRequest.from_json_dict(body)
             except (ValueError, KeyError, TypeError) as error:
                 raise _HttpError(400, f"invalid campaign request: {error}")
-            response = await self.service.submit_campaign(request)
+            response = await self.service.submit_campaign(
+                request, idempotency_key=headers.get("idempotency-key")
+            )
             return 200, response.to_json_dict()
         match = _CAMPAIGN_PATH.match(path)
         if match:
-            campaign_id, wants_columns = match.group(1), bool(match.group(2))
+            campaign_id, suffix = match.group(1), match.group(2) or ""
+            wants_columns = suffix == "/columns"
+            if suffix == "/cancel":
+                if method != "POST":
+                    raise _HttpError(405, "campaign cancel is POST-only")
+                try:
+                    job = self.service.cancel_campaign(campaign_id)
+                except KeyError:
+                    raise _HttpError(404, f"unknown campaign {campaign_id!r}")
+                except RuntimeError as error:
+                    raise _HttpError(
+                        409, str(error), code="conflict",
+                        detail={"campaign_id": campaign_id},
+                    )
+                return 200, job.status_response().to_json_dict()
             if method == "DELETE" and not wants_columns:
                 try:
                     self.service.delete_campaign(campaign_id)
                 except KeyError:
                     raise _HttpError(404, f"unknown campaign {campaign_id!r}")
                 except RuntimeError as error:
-                    raise _HttpError(409, str(error))
+                    raise _HttpError(
+                        409, str(error), code="job_running",
+                        detail={"campaign_id": campaign_id},
+                    )
                 return 200, {"campaign_id": campaign_id, "deleted": True}
             if method != "GET":
                 raise _HttpError(405, "campaign polling is GET-only")
             try:
-                job = self.service.campaign(campaign_id)
+                job = await self.service.campaign_lookup(campaign_id)
             except KeyError:
                 raise _HttpError(404, f"unknown campaign {campaign_id!r}")
             if not wants_columns:
@@ -959,6 +1422,10 @@ class AllocationServer:
                     409,
                     f"campaign {campaign_id!r} is {job.status}; columns "
                     "stream only once done",
+                    code="job_running",
+                    detail={
+                        "campaign_id": campaign_id, "status": job.status,
+                    },
                 )
             result = job.result
             assert result is not None
@@ -1010,6 +1477,7 @@ async def serve(
     port_file: Optional[str] = None,
     ready: Optional["asyncio.Event"] = None,
     announce: bool = True,
+    reuse_port: bool = False,
 ) -> None:
     """Run the server until cancelled.
 
@@ -1017,11 +1485,23 @@ async def serve(
     bind) lets shell callers discover it -- the CI smoke test starts the
     server with ``--port 0 --port-file`` and reads the file.  ``ready`` is
     an optional event set once the socket is listening (for in-process
-    supervisors like :func:`start_in_thread`).
+    supervisors like :func:`start_in_thread`).  ``reuse_port`` opts into
+    ``SO_REUSEPORT`` for multi-process front-ends.
+
+    When the service carries a durable store, unfinished journaled jobs
+    are re-adopted right after the bind -- before readiness is announced,
+    so "the port answers" implies "recovery has been kicked off".
     """
-    server = AllocationServer(service, host=host, port=port)
+    server = AllocationServer(service, host=host, port=port, reuse_port=reuse_port)
     await server.start()
     bound = server.bound_port
+    adopted = await server.service.recover_campaigns()
+    if adopted and announce:
+        print(
+            f"recovered {len(adopted)} campaign(s) from the store: "
+            f"{', '.join(adopted)}",
+            flush=True,
+        )
     if port_file:
         with open(port_file, "w", encoding="ascii") as handle:
             handle.write(f"{bound}\n")
@@ -1040,11 +1520,18 @@ def run_server(
     host: str = "127.0.0.1",
     port: int = 8734,
     port_file: Optional[str] = None,
+    reuse_port: bool = False,
 ) -> int:
     """Blocking entry point used by ``python -m repro serve``."""
     try:
         asyncio.run(
-            serve(service=service, host=host, port=port, port_file=port_file)
+            serve(
+                service=service,
+                host=host,
+                port=port,
+                port_file=port_file,
+                reuse_port=reuse_port,
+            )
         )
     except KeyboardInterrupt:
         print("allocation service stopped", flush=True)
@@ -1111,6 +1598,7 @@ def start_in_thread(
             ready: "asyncio.Event" = asyncio.Event()
             server = AllocationServer(service, host=host, port=port)
             await server.start()
+            await service.recover_campaigns()
             holder["port"] = server.bound_port
             holder["loop"] = asyncio.get_running_loop()
             holder["task"] = asyncio.current_task()

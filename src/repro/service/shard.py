@@ -39,7 +39,7 @@ preserved (each cell's device simulator re-seeds from the same
 
 from __future__ import annotations
 
-from concurrent.futures import Executor, ProcessPoolExecutor, wait
+from concurrent.futures import Executor, ProcessPoolExecutor, as_completed
 from dataclasses import replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -360,26 +360,48 @@ def _run_all_on_workers(
     executor: Optional[Executor],
     initializer: Optional[Callable] = None,
     initargs: tuple = (),
+    on_result: Optional[Callable[[int, Any], None]] = None,
 ) -> List[Any]:
-    """Run every task and wait for *all* of them to settle before raising.
+    """Run every task and let *all* of them settle before raising.
 
     The arena transport needs this stronger contract: the parent sweeps
     pre-assigned segment names after a failure, which is only safe once no
     worker can still be creating one.  ``executor.map`` raises at the
     first failed result with later tasks possibly still running; here the
-    first exception is re-raised only after every future is done.
+    first exception is re-raised only after every future is done
+    (not-yet-started tasks are cancelled, running ones finish).
+
+    ``on_result(task_index, result)`` is invoked on the caller's thread
+    for each task result *as it completes* (completion order, hence the
+    explicit submission index) -- the hook durable campaigns use to
+    journal a shard the moment it finishes rather than after the whole
+    grid.  A callback exception aborts the run under the same
+    settle-first contract.
     """
 
     def collect(futures) -> List[Any]:
-        wait(futures)
+        index_of = {id(future): index for index, future in enumerate(futures)}
+        results: List[Any] = [None] * len(futures)
         first_error: Optional[BaseException] = None
-        results = []
-        for future in futures:
+        for future in as_completed(futures):
+            if future.cancelled():
+                continue
             error = future.exception()
             if error is not None:
-                first_error = first_error or error
-            else:
-                results.append(future.result())
+                if first_error is None:
+                    first_error = error
+                    for other in futures:
+                        other.cancel()
+                continue
+            index = index_of[id(future)]
+            results[index] = future.result()
+            if on_result is not None and first_error is None:
+                try:
+                    on_result(index, results[index])
+                except BaseException as callback_error:
+                    first_error = callback_error
+                    for other in futures:
+                        other.cancel()
         if first_error is not None:
             raise first_error
         return results
@@ -402,6 +424,10 @@ def run_sharded_campaign(
     jobs: int = 1,
     executor: Optional[Executor] = None,
     shared_memory: Optional[bool] = None,
+    completed: Optional[Dict[Tuple[int, int], CampaignResult]] = None,
+    on_shard_done: Optional[
+        Callable[[List[Tuple[int, int, CampaignResult]]], None]
+    ] = None,
 ) -> FleetResult:
     """Run a fleet campaign grid, optionally sharded across processes.
 
@@ -424,6 +450,18 @@ def run_sharded_campaign(
     Arena-backed results hold OS shared-memory mappings; call
     :meth:`FleetResult.release` when done with the arrays (dropping the
     result also releases them, just later, at garbage collection).
+
+    ``completed`` and ``on_shard_done`` are the durable-campaign hooks
+    (:mod:`repro.service.store`): cells present in ``completed`` -- e.g.
+    journaled by a previous run that was killed mid-campaign -- are **not**
+    re-simulated (their results are merged into the grid as-is), and
+    ``on_shard_done(cells)`` fires on the caller's thread the moment each
+    shard's cells are in hand, before the campaign finishes.  Either hook
+    makes the run *durable*: the grid is always sharded cell-wise (time
+    slices have no stable per-cell identity to journal), the jobs==1 path
+    runs the chunks inline instead of taking the single-process shortcut,
+    and a callback exception aborts the campaign after in-flight workers
+    settle.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be at least 1, got {jobs}")
@@ -434,15 +472,24 @@ def run_sharded_campaign(
         scenario_labels = [f"S{index}" for index in range(len(scenarios))]
     labels = list(scenario_labels)
 
-    fleet = FleetCampaign(scenarios, config, scenario_labels=labels)
     num_cells = len(scenarios) * len(policies)
     time_shardable = _time_shardable(config, policies)
-    if jobs == 1 or (num_cells == 1 and not time_shardable):
-        return fleet.run(policies, trace)
-
     # Captured once, here on the caller's thread: worker processes receive
     # it pickled per task so their spans join the caller's trace.
     trace_ctx = tracing.current_context()
+    durable = completed is not None or on_shard_done is not None
+    if durable:
+        inline = jobs == 1 and executor is None
+        return _run_cell_sharded(
+            scenarios, labels, config, policies, trace, jobs, executor,
+            False if inline else _use_arena(shared_memory), trace_ctx,
+            completed=completed, on_shard_done=on_shard_done,
+        )
+    if jobs == 1 or (num_cells == 1 and not time_shardable):
+        return FleetCampaign(
+            scenarios, config, scenario_labels=labels
+        ).run(policies, trace)
+
     use_arena = _use_arena(shared_memory)
     if num_cells < jobs and time_shardable and len(trace) >= 2 * jobs:
         return _run_time_sharded(
@@ -462,6 +509,7 @@ def _run_arena_tasks(
     jobs: int,
     executor: Optional[Executor],
     profiler: Optional[PhaseProfiler] = None,
+    on_shard: Optional[Callable[[arena.ArenaShard, arena.ArenaBlock], None]] = None,
 ) -> Tuple[List[arena.ArenaShard], List[arena.ArenaBlock]]:
     """Shared arena plumbing: publish context, run tasks, attach results.
 
@@ -470,17 +518,31 @@ def _run_arena_tasks(
     lifecycle stays in one place: the context segment is always released,
     and on any failure every pre-assigned result segment is swept once all
     workers have settled.  Returns the shards and their attached (already
-    unlinked) blocks.  ``profiler`` times the parent-side transport phases
-    (``context_publish``, ``arena_attach``) and absorbs each shard's
-    worker-side phases; worker span records are ingested into the
-    parent's trace recorder here.
+    unlinked) blocks.  Each shard is attached -- and handed to
+    ``on_shard`` -- as soon as its worker finishes, so callers can process
+    (e.g. journal) completed shards while others still run.  ``profiler``
+    times the parent-side transport phases (``context_publish``,
+    ``arena_attach``) and absorbs each shard's worker-side phases; worker
+    span records are ingested into the parent's trace recorder here.
     """
     if profiler is None:
         profiler = PhaseProfiler()
     with profiler.phase("context_publish"):
         context = arena.publish_context(context_payload)
     names = [arena.new_segment_name() for _ in task_args]
-    blocks: List[arena.ArenaBlock] = []
+    # Keyed by submission index: shards attach in completion order, but
+    # the returned block list must line up with the returned shard list.
+    attached: Dict[int, arena.ArenaBlock] = {}
+
+    def attach(index: int, shard: arena.ArenaShard) -> None:
+        with profiler.phase("arena_attach"):
+            block = arena.ArenaBlock.attach(shard)
+        attached[index] = block
+        profiler.merge(dict(shard.phase_s))
+        tracing.ingest(shard.spans)
+        if on_shard is not None:
+            on_shard(shard, block)
+
     try:
         shards = _run_all_on_workers(
             worker_fn,
@@ -492,16 +554,11 @@ def _run_arena_tasks(
             executor,
             initializer=_warm_worker,
             initargs=(context.ref,),
+            on_result=attach,
         )
-        with profiler.phase("arena_attach"):
-            for shard in shards:
-                blocks.append(arena.ArenaBlock.attach(shard))
-        for shard in shards:
-            profiler.merge(dict(shard.phase_s))
-            tracing.ingest(shard.spans)
-        return shards, blocks
+        return shards, [attached[index] for index in range(len(shards))]
     except BaseException:
-        for block in blocks:  # attached blocks are unlinked; free the pages
+        for block in attached.values():  # already unlinked; free the pages
             block.close()
         for name in names:  # written-but-unattached segments still have names
             arena.release_segment(name)
@@ -520,15 +577,69 @@ def _run_cell_sharded(
     executor: Optional[Executor] = None,
     use_arena: bool = False,
     trace_ctx: Optional[tracing.SpanContext] = None,
+    completed: Optional[Dict[Tuple[int, int], CampaignResult]] = None,
+    on_shard_done: Optional[
+        Callable[[List[Tuple[int, int, CampaignResult]]], None]
+    ] = None,
 ) -> FleetResult:
-    """Split the grid cell-wise across a process pool and merge the rows."""
+    """Split the grid cell-wise across a process pool and merge the rows.
+
+    Cells in ``completed`` are excluded from the worker chunks and merged
+    into the grid directly; ``on_shard_done`` fires per finished shard
+    (see :func:`run_sharded_campaign`).
+    """
     profiler = PhaseProfiler()
     chunks = shard_cells(len(scenarios), len(policies), jobs)
     grid: List[List[Optional[CampaignResult]]] = [
         [None] * len(policies) for _ in scenarios
     ]
+    if completed:
+        for (scenario_index, policy_index), result in completed.items():
+            grid[scenario_index][policy_index] = result
+        chunks = [
+            [cell for cell in chunk if cell not in completed]
+            for chunk in chunks
+        ]
+        chunks = [chunk for chunk in chunks if chunk]
     blocks: List[arena.ArenaBlock] = []
-    if use_arena:
+
+    def merge_cells(cells: List[Tuple[int, int, CampaignResult]]) -> None:
+        for scenario_index, policy_index, result in cells:
+            grid[scenario_index][policy_index] = result
+        if on_shard_done is not None:
+            on_shard_done(cells)
+
+    if not chunks:
+        pass  # every cell journaled already; nothing left to simulate
+    elif jobs == 1 and executor is None:
+        # Durable single-worker path: no pool, but still chunked so each
+        # chunk's cells hit the journal as they finish.
+        for chunk in chunks:
+            merge_cells(
+                _simulate_cell_chunk(
+                    scenarios, labels, config, policies, trace, chunk, profiler
+                )
+            )
+    elif use_arena:
+        def merge_shard(
+            shard: arena.ArenaShard, block: arena.ArenaBlock
+        ) -> None:
+            with profiler.phase("merge"):
+                cells = []
+                for slot in shard.cells:
+                    columns, battery = arena.read_cell(block, slot)
+                    cells.append((
+                        slot.scenario_index,
+                        slot.policy_index,
+                        CampaignResult.from_columns(
+                            slot.policy_name,
+                            slot.alpha,
+                            columns,
+                            battery_charge_j=battery,
+                        ),
+                    ))
+            merge_cells(cells)
+
         shards, blocks = _run_arena_tasks(
             _run_cell_shard_arena,
             [(chunk, trace_ctx) for chunk in chunks],
@@ -536,21 +647,17 @@ def _run_cell_sharded(
             jobs,
             executor,
             profiler,
+            on_shard=merge_shard,
         )
-        with profiler.phase("merge"):
-            for shard, block in zip(shards, blocks):
-                for slot in shard.cells:
-                    columns, battery = arena.read_cell(block, slot)
-                    grid[slot.scenario_index][slot.policy_index] = (
-                        CampaignResult.from_columns(
-                            slot.policy_name,
-                            slot.alpha,
-                            columns,
-                            battery_charge_j=battery,
-                        )
-                    )
     else:
-        shard_results = _map_on_workers(
+        def merge_pickled(_index: int, shard_result) -> None:
+            cells, phases, spans = shard_result
+            profiler.merge(phases)
+            tracing.ingest(spans)
+            with profiler.phase("merge"):
+                merge_cells(cells)
+
+        _run_all_on_workers(
             _run_cell_shard,
             [
                 (scenarios, labels, config, policies, trace, chunk, trace_ctx)
@@ -558,13 +665,8 @@ def _run_cell_sharded(
             ],
             jobs,
             executor,
+            on_result=merge_pickled,
         )
-        with profiler.phase("merge"):
-            for cells, phases, spans in shard_results:
-                profiler.merge(phases)
-                tracing.ingest(spans)
-                for scenario_index, policy_index, result in cells:
-                    grid[scenario_index][policy_index] = result
     missing = [
         (scenario_index, policy_index)
         for scenario_index, row in enumerate(grid)

@@ -1,0 +1,829 @@
+"""Durable campaign job store: a write-ahead journal in SQLite.
+
+The service's campaign jobs used to live in one process's dictionaries and
+die with it.  This module makes the job lifecycle a *contract*: every
+transition is appended to a journal **before** it is acknowledged
+(persist-then-ack, the gridworks-scada proactor shape), so a ``POST
+/v1/campaign`` id survives ``SIGKILL`` and any process that re-opens the
+store can pick the job back up.
+
+Journal model
+-------------
+One append-only ``journal`` table (monotonic ``seq``) of typed records,
+each carrying a CRC-32 over its payload:
+
+``submit``
+    The full :class:`~repro.service.requests.CampaignRequest` JSON plus
+    the optional idempotency key.  Appended -- and committed -- before the
+    submit is acknowledged to the client.
+``start``
+    Execution began; records the resolved trace length.  A job may carry
+    several ``start`` records (one per crash/recovery attempt).
+``shard_done``
+    One worker shard finished: the binary column frames of its (scenario,
+    policy) cells (:meth:`repro.simulation.metrics.CampaignColumns.to_bytes`
+    plus battery trajectories).  On recovery, cells with a journaled
+    ``shard_done`` are *not* re-run.
+``finish``
+    The grid-shape meta payload.  The full result is never duplicated:
+    :meth:`load_result` reassembles it from the journaled shard frames.
+``fail`` / ``cancel`` / ``delete``
+    Terminal transitions (``delete`` drops the job from :meth:`jobs`).
+
+Recovery (:meth:`CampaignStore.__init__`) replays the journal in ``seq``
+order.  A torn tail -- records whose CRC no longer matches, e.g. half a
+write that a ``SIGKILL`` or disk fault left behind -- is *dropped cleanly*:
+everything from the first bad record onward is deleted and the preceding
+prefix stays authoritative.  A store file SQLite itself cannot read raises
+:class:`StoreError` (the HTTP layer answers ``store_unavailable``).
+
+Durability bound
+----------------
+The store runs SQLite in WAL mode.  ``sync="normal"`` (the default) lets
+SQLite fsync only at WAL checkpoints -- journaling stays off the campaign
+hot path (bounded fsyncs) and every acknowledged record survives process
+death (``SIGKILL``) unconditionally; an OS crash may drop the tail of
+un-checkpointed acknowledgements.  ``sync="full"`` fsyncs every commit for
+power-failure durability at higher latency (``repro serve --store-sync``).
+
+Leases
+------
+Multi-process front-ends (``repro serve --procs N``) coordinate *solely*
+through the store: before running a job, a front-end takes an advisory
+lease (``BEGIN IMMEDIATE`` makes claims atomic across processes).  A lease
+names its owner as ``host:pid:token`` and expires after a TTL; an owner
+whose pid is no longer alive on this host is treated as expired
+immediately, so a killed server's jobs can be adopted by the next process
+without waiting out the TTL.  Leases are renewed on every shard
+completion, never held by two processes at once -- two front-ends can
+never run the same shard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import sqlite3
+import struct
+import threading
+import time
+import uuid
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import tracing
+from repro.service.requests import CampaignRequest
+
+#: Journal record kinds, in lifecycle order.
+RECORD_KINDS = (
+    "submit", "start", "shard_done", "finish", "fail", "cancel", "delete",
+)
+
+#: Non-terminal statuses a re-opened store offers for recovery.
+RESUMABLE_STATUSES = ("queued", "running")
+
+#: Default advisory-lease TTL; a backstop only -- dead owners are detected
+#: by pid liveness and expire immediately.
+DEFAULT_LEASE_TTL_S = 120.0
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS journal (
+    seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    job_id TEXT NOT NULL,
+    kind TEXT NOT NULL,
+    payload BLOB NOT NULL,
+    crc INTEGER NOT NULL,
+    created_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS journal_job ON journal (job_id, seq);
+CREATE TABLE IF NOT EXISTS idempotency (
+    key TEXT PRIMARY KEY,
+    job_id TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS leases (
+    job_id TEXT PRIMARY KEY,
+    owner TEXT NOT NULL,
+    expires_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS counters (
+    name TEXT PRIMARY KEY,
+    value INTEGER NOT NULL
+);
+"""
+
+
+class StoreError(RuntimeError):
+    """The store file is unusable (unreadable, corrupt, or incomplete)."""
+
+
+@dataclass
+class JobRecord:
+    """One job's state as replayed from the journal."""
+
+    job_id: str
+    status: str = "queued"
+    request: Optional[CampaignRequest] = None
+    error: Optional[str] = None
+    trace_hours: int = 0
+    created_at: float = 0.0
+    idempotency_key: Optional[str] = None
+    #: Journal seqs of this job's ``shard_done`` records (payloads are
+    #: decoded lazily -- replaying a big store must not load every column).
+    shard_seqs: List[int] = field(default_factory=list)
+    #: (scenario_index, policy_index) cells covered by journaled shards.
+    done_cells: List[Tuple[int, int]] = field(default_factory=list)
+    #: Grid meta of the ``finish`` record (``None`` until finished).
+    result_meta: Optional[Dict[str, Any]] = None
+
+    @property
+    def finished(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self.status in ("done", "failed", "cancelled")
+
+
+# --- cell frame codec ---------------------------------------------------------
+def _frame(blob: bytes) -> bytes:
+    return struct.pack("<Q", len(blob)) + blob
+
+
+def _read_frame(blob: bytes, offset: int, what: str) -> Tuple[bytes, int]:
+    if offset + 8 > len(blob):
+        raise StoreError(f"journal payload truncated before {what}")
+    (length,) = struct.unpack_from("<Q", blob, offset)
+    offset += 8
+    if offset + length > len(blob):
+        raise StoreError(f"journal payload truncated inside {what}")
+    return blob[offset : offset + length], offset + length
+
+
+def encode_cells(cells: Sequence[Tuple[int, int, Any]]) -> bytes:
+    """Serialize one shard's (scenario, policy, CampaignResult) cells.
+
+    Per cell: a length-prefixed JSON header, the cell's
+    :meth:`~repro.simulation.metrics.CampaignColumns.to_bytes` frame
+    (zlib-deflated float64 -- the lossless wire dtype) and, when present,
+    a deflated ``<f8`` battery-trajectory frame.  The decoded cells equal
+    the originals to the last bit; this is what makes "re-run only the
+    unfinished shards" exact rather than approximate.
+    """
+    # Imported here: the store must be usable (recovery, status queries)
+    # without paying for the simulation stack.
+    from repro.simulation.metrics import CampaignColumns
+
+    parts: List[bytes] = []
+    for scenario_index, policy_index, result in cells:
+        columns = result.columns
+        if columns is None:
+            columns = CampaignColumns.from_outcomes(result.outcomes)
+        battery = result.battery_charge_j
+        header = {
+            "scenario_index": int(scenario_index),
+            "policy_index": int(policy_index),
+            "policy_name": str(result.policy_name),
+            "alpha": float(result.alpha),
+            "has_battery": battery is not None,
+        }
+        parts.append(
+            _frame(json.dumps(header, separators=(",", ":")).encode("utf-8"))
+        )
+        parts.append(_frame(columns.to_bytes("<f8", compress=True)))
+        if battery is not None:
+            import numpy as np
+
+            blob = np.ascontiguousarray(battery, dtype="<f8").tobytes()
+            parts.append(_frame(zlib.compress(blob, 6)))
+    return b"".join(parts)
+
+
+def decode_cells(blob: bytes) -> List[Tuple[int, int, Any]]:
+    """Decode one :func:`encode_cells` payload back into grid cells."""
+    import numpy as np
+
+    from repro.simulation.metrics import CampaignColumns, CampaignResult
+
+    cells: List[Tuple[int, int, Any]] = []
+    offset = 0
+    index = 0
+    while offset < len(blob):
+        head_blob, offset = _read_frame(blob, offset, f"cell {index} header")
+        try:
+            head = json.loads(head_blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise StoreError(f"malformed cell {index} header: {error}") from error
+        columns_blob, offset = _read_frame(blob, offset, f"cell {index} columns")
+        try:
+            columns = CampaignColumns.from_bytes(columns_blob)
+        except ValueError as error:
+            raise StoreError(f"malformed cell {index} columns: {error}") from error
+        battery = None
+        if head.get("has_battery"):
+            battery_blob, offset = _read_frame(
+                blob, offset, f"cell {index} battery"
+            )
+            try:
+                battery_bytes = zlib.decompress(battery_blob)
+            except zlib.error as error:
+                raise StoreError(
+                    f"cell {index} battery frame corrupt: {error}"
+                ) from error
+            battery = np.frombuffer(battery_bytes, dtype="<f8").astype(float)
+        cells.append((
+            int(head["scenario_index"]),
+            int(head["policy_index"]),
+            CampaignResult.from_columns(
+                str(head["policy_name"]),
+                float(head["alpha"]),
+                columns,
+                battery_charge_j=battery,
+            ),
+        ))
+        index += 1
+    return cells
+
+
+def _default_owner() -> str:
+    """``host:pid:token`` -- pid enables dead-owner detection on this host."""
+    return f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
+
+
+def _owner_alive(owner: str) -> bool:
+    """Whether a lease owner's process still runs on this host.
+
+    Owners from other hosts (or unparsable owners) are conservatively
+    treated as alive -- only the TTL expires them.
+    """
+    parts = owner.split(":")
+    if len(parts) != 3 or parts[0] != socket.gethostname():
+        return True
+    try:
+        pid = int(parts[1])
+    except ValueError:
+        return True
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+class StoreStats:
+    """Thread-safe operation counters (surfaced in ``/stats``, ``/metrics``)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.appends: Dict[str, int] = {}
+        self.append_bytes = 0
+        self.records_dropped = 0
+        self.jobs_recovered = 0
+        self.results_reloaded = 0
+        self.leases_acquired = 0
+        self.leases_stolen = 0
+        self.leases_rejected = 0
+
+    def record_append(self, kind: str, nbytes: int) -> None:
+        with self._lock:
+            self.appends[kind] = self.appends.get(kind, 0) + 1
+            self.append_bytes += nbytes
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "appends": dict(sorted(self.appends.items())),
+                "append_bytes": self.append_bytes,
+                "records_dropped": self.records_dropped,
+                "jobs_recovered": self.jobs_recovered,
+                "results_reloaded": self.results_reloaded,
+                "leases": {
+                    "acquired": self.leases_acquired,
+                    "stolen": self.leases_stolen,
+                    "rejected": self.leases_rejected,
+                },
+            }
+
+
+class CampaignStore:
+    """Write-ahead campaign job store on one SQLite file (see module docs).
+
+    Thread-safe within a process (one connection, one lock) and safe
+    across processes (WAL + ``BEGIN IMMEDIATE`` transactions); every
+    public method may also raise :class:`StoreError` when the underlying
+    file has become unusable.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        sync: str = "normal",
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        owner: Optional[str] = None,
+    ) -> None:
+        if sync not in ("normal", "full"):
+            raise ValueError(f"sync must be 'normal' or 'full', got {sync!r}")
+        if lease_ttl_s <= 0:
+            raise ValueError(f"lease TTL must be positive, got {lease_ttl_s}")
+        self.path = str(path)
+        self.sync = sync
+        self.lease_ttl_s = float(lease_ttl_s)
+        #: This process's lease identity (``host:pid:token``).
+        self.owner = owner if owner is not None else _default_owner()
+        self.stats = StoreStats()
+        self._lock = threading.RLock()
+        parent = Path(self.path).resolve().parent
+        parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._db = sqlite3.connect(
+                self.path,
+                timeout=30.0,
+                check_same_thread=False,
+                isolation_level=None,  # autocommit; explicit BEGIN IMMEDIATE
+            )
+            self._db.execute("PRAGMA journal_mode=WAL")
+            self._db.execute(
+                "PRAGMA synchronous=%s"
+                % ("FULL" if sync == "full" else "NORMAL")
+            )
+            self._db.executescript(_SCHEMA)
+            self._drop_torn_tail()
+        except sqlite3.DatabaseError as error:
+            raise StoreError(
+                f"cannot open campaign store {self.path!r}: {error}"
+            ) from error
+
+    # --- lifecycle ----------------------------------------------------------------
+    def close(self) -> None:
+        """Close the SQLite connection (idempotent)."""
+        with self._lock:
+            if self._db is not None:
+                self._db.close()
+                self._db = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._db is None:
+            raise StoreError(f"campaign store {self.path!r} is closed")
+        return self._db
+
+    def _drop_torn_tail(self) -> None:
+        """Drop every journal record from the first CRC mismatch onward.
+
+        A torn record means the tail of the journal is suspect; keeping
+        anything after it could resurrect acknowledgements that never
+        fully happened.  The surviving prefix is exactly the acknowledged
+        history.
+        """
+        rows = self._db.execute(
+            "SELECT seq, payload, crc FROM journal ORDER BY seq"
+        ).fetchall()
+        bad_seq: Optional[int] = None
+        for seq, payload, crc in rows:
+            if payload is None or zlib.crc32(payload) != crc:
+                bad_seq = seq
+                break
+        if bad_seq is not None:
+            dropped = self._db.execute(
+                "SELECT COUNT(*) FROM journal WHERE seq >= ?", (bad_seq,)
+            ).fetchone()[0]
+            self._db.execute("DELETE FROM journal WHERE seq >= ?", (bad_seq,))
+            self.stats.bump("records_dropped", int(dropped))
+
+    # --- journal appends ----------------------------------------------------------
+    def _append(self, job_id: str, kind: str, payload: bytes) -> int:
+        """Append one journal record and commit it (the ack barrier)."""
+        assert kind in RECORD_KINDS, kind
+        started = time.time()
+        clock = time.perf_counter()
+        with self._lock:
+            db = self._connection()
+            try:
+                cursor = db.execute(
+                    "INSERT INTO journal (job_id, kind, payload, crc, "
+                    "created_at) VALUES (?, ?, ?, ?, ?)",
+                    (job_id, kind, payload, zlib.crc32(payload), started),
+                )
+            except sqlite3.DatabaseError as error:
+                raise StoreError(f"journal append failed: {error}") from error
+            seq = int(cursor.lastrowid)
+        self.stats.record_append(kind, len(payload))
+        parent = tracing.current_context()
+        if parent is not None:
+            tracing.record_span(
+                "store.append",
+                parent,
+                started,
+                time.perf_counter() - clock,
+                job_id=job_id,
+                kind=kind,
+                bytes=len(payload),
+            )
+        return seq
+
+    @staticmethod
+    def _json_payload(payload: Dict[str, Any]) -> bytes:
+        return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+    def submit(
+        self,
+        request: CampaignRequest,
+        idempotency_key: Optional[str] = None,
+    ) -> Tuple[str, bool]:
+        """Journal one submission; returns ``(job_id, created)``.
+
+        The record is committed before this returns -- the ack the HTTP
+        layer sends is backed by disk.  With an ``idempotency_key`` the
+        submit is exactly-once: a key seen before returns the original
+        job id with ``created=False`` and journals nothing.
+        """
+        with self._lock:
+            db = self._connection()
+            try:
+                db.execute("BEGIN IMMEDIATE")
+                try:
+                    if idempotency_key is not None:
+                        row = db.execute(
+                            "SELECT job_id FROM idempotency WHERE key = ?",
+                            (idempotency_key,),
+                        ).fetchone()
+                        if row is not None:
+                            return str(row[0]), False
+                    job_id = f"c{self._next_job_number(db)}"
+                    payload = self._json_payload({
+                        "request": request.to_json_dict(),
+                        "idempotency_key": idempotency_key,
+                    })
+                    db.execute(
+                        "INSERT INTO journal (job_id, kind, payload, crc, "
+                        "created_at) VALUES (?, ?, ?, ?, ?)",
+                        (job_id, "submit", payload, zlib.crc32(payload),
+                         time.time()),
+                    )
+                    if idempotency_key is not None:
+                        db.execute(
+                            "INSERT INTO idempotency (key, job_id) "
+                            "VALUES (?, ?)",
+                            (idempotency_key, job_id),
+                        )
+                finally:
+                    db.execute("COMMIT")
+            except sqlite3.DatabaseError as error:
+                raise StoreError(f"submit append failed: {error}") from error
+        self.stats.record_append("submit", len(payload))
+        return job_id, True
+
+    @staticmethod
+    def _next_job_number(db: sqlite3.Connection) -> int:
+        """Monotonic job counter, unique across restarts *and* processes."""
+        row = db.execute(
+            "SELECT value FROM counters WHERE name = 'job'"
+        ).fetchone()
+        value = (int(row[0]) if row is not None else 0) + 1
+        db.execute(
+            "INSERT INTO counters (name, value) VALUES ('job', ?) "
+            "ON CONFLICT(name) DO UPDATE SET value = excluded.value",
+            (value,),
+        )
+        return value
+
+    def start(self, job_id: str, trace_hours: int) -> None:
+        """Journal the start (or restart) of execution."""
+        self._append(
+            job_id, "start", self._json_payload({"trace_hours": int(trace_hours)})
+        )
+
+    def shard_done(
+        self, job_id: str, cells: Sequence[Tuple[int, int, Any]]
+    ) -> None:
+        """Journal one completed shard's cells (persist before proceeding)."""
+        self._append(job_id, "shard_done", encode_cells(cells))
+
+    def finish(self, job_id: str, result: Any) -> None:
+        """Journal completion; columns stay in the shard records."""
+        self._append(
+            job_id, "finish", self._json_payload(dict(result.meta_payload()))
+        )
+
+    def fail(self, job_id: str, error: str) -> None:
+        """Journal a terminal failure."""
+        self._append(job_id, "fail", self._json_payload({"error": str(error)}))
+
+    def cancel(self, job_id: str) -> None:
+        """Journal a cancellation request/transition."""
+        self._append(job_id, "cancel", self._json_payload({}))
+
+    def delete(self, job_id: str) -> None:
+        """Journal deletion; the id disappears from :meth:`jobs`."""
+        self._append(job_id, "delete", self._json_payload({}))
+
+    # --- replay / queries ---------------------------------------------------------
+    def jobs(self) -> Dict[str, JobRecord]:
+        """Replay the journal into per-job state (shard payloads stay lazy)."""
+        with self._lock:
+            db = self._connection()
+            try:
+                rows = db.execute(
+                    "SELECT seq, job_id, kind, payload, created_at "
+                    "FROM journal ORDER BY seq"
+                ).fetchall()
+            except sqlite3.DatabaseError as error:
+                raise StoreError(f"journal replay failed: {error}") from error
+        records: Dict[str, JobRecord] = {}
+        for seq, job_id, kind, payload, created_at in rows:
+            record = records.get(job_id)
+            if record is None:
+                record = records[job_id] = JobRecord(job_id=job_id)
+            if kind == "submit":
+                body = self._decode_json(seq, payload)
+                record.created_at = float(created_at)
+                record.idempotency_key = body.get("idempotency_key")
+                try:
+                    record.request = CampaignRequest.from_json_dict(
+                        body.get("request", {})
+                    )
+                except (ValueError, KeyError, TypeError) as error:
+                    raise StoreError(
+                        f"journal record {seq} has an undecodable campaign "
+                        f"request: {error}"
+                    ) from error
+                record.status = "queued"
+            elif kind == "start":
+                record.trace_hours = int(
+                    self._decode_json(seq, payload).get("trace_hours", 0)
+                )
+                record.status = "running"
+            elif kind == "shard_done":
+                record.shard_seqs.append(int(seq))
+                record.done_cells.extend(self._shard_cell_ids(payload, seq))
+            elif kind == "finish":
+                record.result_meta = self._decode_json(seq, payload)
+                record.status = "done"
+            elif kind == "fail":
+                record.error = self._decode_json(seq, payload).get("error")
+                record.status = "failed"
+            elif kind == "cancel":
+                if record.status not in ("done", "failed"):
+                    record.status = "cancelled"
+            elif kind == "delete":
+                records.pop(job_id, None)
+        return records
+
+    def job(self, job_id: str) -> Optional[JobRecord]:
+        """One job's replayed state, or ``None`` for unknown/deleted ids."""
+        return self.jobs().get(job_id)
+
+    @staticmethod
+    def _decode_json(seq: int, payload: bytes) -> Dict[str, Any]:
+        try:
+            body = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise StoreError(
+                f"journal record {seq} has an undecodable payload: {error}"
+            ) from error
+        if not isinstance(body, dict):
+            raise StoreError(f"journal record {seq} payload is not an object")
+        return body
+
+    @staticmethod
+    def _shard_cell_ids(payload: bytes, seq: int) -> List[Tuple[int, int]]:
+        """The (scenario, policy) ids of one shard payload, headers only."""
+        ids: List[Tuple[int, int]] = []
+        offset = 0
+        index = 0
+        while offset < len(payload):
+            try:
+                head_blob, offset = _read_frame(
+                    payload, offset, f"cell {index} header"
+                )
+                head = json.loads(head_blob.decode("utf-8"))
+                columns_blob, offset = _read_frame(
+                    payload, offset, f"cell {index} columns"
+                )
+                del columns_blob
+                if head.get("has_battery"):
+                    _, offset = _read_frame(
+                        payload, offset, f"cell {index} battery"
+                    )
+            except (StoreError, UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise StoreError(
+                    f"journal record {seq} shard payload is malformed: {error}"
+                ) from error
+            ids.append((int(head["scenario_index"]), int(head["policy_index"])))
+            index += 1
+        return ids
+
+    def done_cells(self, job_id: str) -> Dict[Tuple[int, int], Any]:
+        """Decode every journaled shard of one job into grid cells.
+
+        Later records win on duplicate (scenario, policy) ids -- duplicates
+        only arise from a crash between a shard's completion and its
+        in-memory accounting, and both copies are bit-identical anyway.
+        """
+        with self._lock:
+            db = self._connection()
+            try:
+                rows = db.execute(
+                    "SELECT seq, payload FROM journal "
+                    "WHERE job_id = ? AND kind = 'shard_done' ORDER BY seq",
+                    (job_id,),
+                ).fetchall()
+            except sqlite3.DatabaseError as error:
+                raise StoreError(f"shard replay failed: {error}") from error
+        cells: Dict[Tuple[int, int], Any] = {}
+        for _seq, payload in rows:
+            for scenario_index, policy_index, result in decode_cells(payload):
+                cells[(scenario_index, policy_index)] = result
+        return cells
+
+    def load_result(self, job_id: str):
+        """Reassemble a finished job's :class:`FleetResult` from the journal.
+
+        This is the disk-backed answer to ``GET /v1/campaign/<id>`` after
+        an eviction or a restart: the meta frame of the ``finish`` record
+        plus every journaled shard cell.  Raises :class:`StoreError` when
+        the job is not finished or the journal is missing cells.
+        """
+        from repro.simulation.fleet import FleetResult
+
+        record = self.job(job_id)
+        if record is None:
+            raise StoreError(f"unknown job {job_id!r}")
+        if record.status != "done" or record.result_meta is None:
+            raise StoreError(
+                f"job {job_id!r} is {record.status}; only finished jobs "
+                "have a stored result"
+            )
+        meta = record.result_meta
+        labels = list(meta["scenario_labels"])
+        names = list(meta["policy_names"])
+        grid: List[List[Optional[Any]]] = [[None] * len(names) for _ in labels]
+        for (scenario_index, policy_index), cell in self.done_cells(
+            job_id
+        ).items():
+            grid[scenario_index][policy_index] = cell
+        missing = [
+            (scenario_index, policy_index)
+            for scenario_index, row in enumerate(grid)
+            for policy_index, value in enumerate(row)
+            if value is None
+        ]
+        if missing:
+            raise StoreError(
+                f"stored job {job_id!r} is missing cells {missing}; the "
+                "journal does not cover its grid"
+            )
+        self.stats.bump("results_reloaded")
+        return FleetResult(
+            scenario_labels=labels,
+            grid=grid,  # type: ignore[arg-type]
+            scan=None,
+            trace_hours=int(meta["trace_hours"]),
+            policy_names=names,
+            alphas=[float(alpha) for alpha in meta["alphas"]],
+        )
+
+    def is_cancelled(self, job_id: str) -> bool:
+        """Whether a ``cancel`` record exists for this job (cheap poll)."""
+        with self._lock:
+            db = self._connection()
+            try:
+                row = db.execute(
+                    "SELECT 1 FROM journal WHERE job_id = ? AND "
+                    "kind = 'cancel' LIMIT 1",
+                    (job_id,),
+                ).fetchone()
+            except sqlite3.DatabaseError as error:
+                raise StoreError(f"cancel poll failed: {error}") from error
+        return row is not None
+
+    # --- leases -------------------------------------------------------------------
+    def acquire_lease(
+        self, job_id: str, ttl_s: Optional[float] = None
+    ) -> bool:
+        """Claim the advisory run lease on one job (atomic across processes).
+
+        Succeeds when the job is unleased, already ours, expired, or held
+        by a process that no longer exists on this host.  Returns ``False``
+        when another live owner holds it -- the caller must not run the
+        job's shards.
+        """
+        ttl = float(ttl_s) if ttl_s is not None else self.lease_ttl_s
+        now = time.time()
+        with self._lock:
+            db = self._connection()
+            try:
+                db.execute("BEGIN IMMEDIATE")
+                try:
+                    row = db.execute(
+                        "SELECT owner, expires_at FROM leases WHERE job_id = ?",
+                        (job_id,),
+                    ).fetchone()
+                    stolen = False
+                    if row is not None:
+                        owner, expires_at = str(row[0]), float(row[1])
+                        if owner != self.owner:
+                            if expires_at > now and _owner_alive(owner):
+                                self.stats.bump("leases_rejected")
+                                return False
+                            stolen = True
+                    db.execute(
+                        "INSERT INTO leases (job_id, owner, expires_at) "
+                        "VALUES (?, ?, ?) ON CONFLICT(job_id) DO UPDATE SET "
+                        "owner = excluded.owner, expires_at = excluded.expires_at",
+                        (job_id, self.owner, now + ttl),
+                    )
+                finally:
+                    db.execute("COMMIT")
+            except sqlite3.DatabaseError as error:
+                raise StoreError(f"lease acquire failed: {error}") from error
+        self.stats.bump("leases_stolen" if stolen else "leases_acquired")
+        return True
+
+    def renew_lease(self, job_id: str, ttl_s: Optional[float] = None) -> bool:
+        """Extend our lease; ``False`` when it is no longer ours."""
+        ttl = float(ttl_s) if ttl_s is not None else self.lease_ttl_s
+        with self._lock:
+            db = self._connection()
+            try:
+                cursor = db.execute(
+                    "UPDATE leases SET expires_at = ? "
+                    "WHERE job_id = ? AND owner = ?",
+                    (time.time() + ttl, job_id, self.owner),
+                )
+            except sqlite3.DatabaseError as error:
+                raise StoreError(f"lease renew failed: {error}") from error
+        return cursor.rowcount > 0
+
+    def release_lease(self, job_id: str) -> None:
+        """Drop our lease (no-op when it is not ours)."""
+        with self._lock:
+            db = self._connection()
+            try:
+                db.execute(
+                    "DELETE FROM leases WHERE job_id = ? AND owner = ?",
+                    (job_id, self.owner),
+                )
+            except sqlite3.DatabaseError as error:
+                raise StoreError(f"lease release failed: {error}") from error
+
+    def lease_holder(self, job_id: str) -> Optional[Tuple[str, float]]:
+        """The current ``(owner, expires_at)`` of a job's lease, if any."""
+        with self._lock:
+            db = self._connection()
+            try:
+                row = db.execute(
+                    "SELECT owner, expires_at FROM leases WHERE job_id = ?",
+                    (job_id,),
+                ).fetchone()
+            except sqlite3.DatabaseError as error:
+                raise StoreError(f"lease lookup failed: {error}") from error
+        return None if row is None else (str(row[0]), float(row[1]))
+
+    def lease_abandoned(self, job_id: str) -> bool:
+        """Whether a job's lease is absent, expired, or owned by the dead.
+
+        ``True`` means no live process is driving the job -- a front-end
+        that notices this may adopt it (acquire + resume).
+        """
+        holder = self.lease_holder(job_id)
+        if holder is None:
+            return True
+        owner, expires_at = holder
+        if owner == self.owner:
+            return False
+        return expires_at <= time.time() or not _owner_alive(owner)
+
+    # --- introspection ------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Store block of the ``/stats`` payload."""
+        payload = {
+            "path": self.path,
+            "sync": self.sync,
+            "owner": self.owner,
+        }
+        payload.update(self.stats.to_json_dict())
+        return payload
+
+
+__all__ = [
+    "CampaignStore",
+    "DEFAULT_LEASE_TTL_S",
+    "JobRecord",
+    "RECORD_KINDS",
+    "RESUMABLE_STATUSES",
+    "StoreError",
+    "StoreStats",
+    "decode_cells",
+    "encode_cells",
+]

@@ -537,7 +537,7 @@ class TestProfileSurface:
         )
         assert decoded.profile == {"cell_solve": 0.25, "merge": 0.01}
         bare = CampaignResponse(
-            campaign_id="c2", status="pending", cells=4, trace_hours=48
+            campaign_id="c2", status="queued", cells=4, trace_hours=48
         )
         assert (
             CampaignResponse.from_json_dict(bare.to_json_dict()).profile is None

@@ -579,7 +579,7 @@ class TestCampaignHttp:
     def test_submit_returns_pending_id(self, finished):
         submitted, _ = finished
         assert submitted.campaign_id
-        assert submitted.status in ("pending", "running")
+        assert submitted.status in ("queued", "running")
         assert submitted.cells == self.REQUEST.num_cells
 
     def test_polled_status_carries_summary(self, finished):
@@ -641,7 +641,7 @@ class TestCampaignHttp:
         assert excinfo.value.status == 404
 
     def test_columns_before_done_is_409(self, client, points):
-        # A fresh submission is pending/running for at least a moment.
+        # A fresh submission is queued/running for at least a moment.
         submitted = client.submit_campaign(
             CampaignRequest(hours=400, alphas=(1.0,), baselines=("DP1", "DP3"))
         )
