@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
 """CI perf-regression gate: run the benchmarks, record and assert speedups.
 
-Runs the seven performance benchmarks (batch sweep, fleet campaign,
+Runs the eight performance benchmarks (batch sweep, fleet campaign,
 allocation service, planning scan, kernel backends + wire format, shard
-transports, store journaling overhead) on a reduced grid sized for CI
-runners, collects the wall times and speedups they emit under
-``benchmarks/output/``, re-asserts the speedup floors, and writes
-everything to one JSON trajectory file (``BENCH_PR9.json`` by default)
-that the workflow uploads as an artifact.
+transports, store journaling overhead, cluster-observability overhead)
+on a reduced grid sized for CI runners, collects the wall times and
+speedups they emit under ``benchmarks/output/``, re-asserts the speedup
+floors, and writes everything to one JSON trajectory file
+(``BENCH_PR10.json`` by default) that the workflow uploads as an
+artifact.
 
 When a previous PR's trajectory artifact is available (``--baseline
 PATH``, or auto-discovered as the highest-numbered other ``BENCH_PR*.json``
@@ -18,7 +19,7 @@ gradual erosion.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_gate.py [--output BENCH_PR9.json]
+    PYTHONPATH=src python scripts/bench_gate.py [--output BENCH_PR10.json]
         [--baseline BENCH_PR5.json]  # previous artifact to compare against
         [--full]   # full-size grids instead of the reduced CI grid
 """
@@ -46,6 +47,7 @@ BENCH_FILES = [
     "benchmarks/bench_kernels.py",
     "benchmarks/bench_shard.py",
     "benchmarks/bench_store.py",
+    "benchmarks/bench_obs.py",
 ]
 
 #: Reduced-grid knobs for CI runners; every floor below still holds at
@@ -62,6 +64,7 @@ REDUCED_GRID = {
     "REPRO_BENCH_KERNEL_PERIODS": "4380",
     "REPRO_BENCH_COLUMNS_HOURS": "336",
     "REPRO_BENCH_STORE_HOURS": "336",
+    "REPRO_BENCH_OBS_BURST": "256",
 }
 
 #: (csv file, row label, speedup column, floor).  The floors mirror the
@@ -79,6 +82,7 @@ GATES = [
     ("shard_ipc.csv", "arena ipc", "payload_ratio_x", 2.0),
     ("shard_wall.csv", "arena wall", "speedup_vs_pickle", 0.85),
     ("store_overhead.csv", "journaled campaign", "speedup_vs_plain", 0.9),
+    ("obs_overhead.csv", "with observability", "speedup_vs_plain", 0.95),
 ]
 
 #: A gate regresses when its speedup drops more than this fraction below
@@ -174,7 +178,7 @@ def compare_with_baseline(gated: dict, baseline_path: Path, grid: dict):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default="BENCH_PR9.json",
+    parser.add_argument("--output", default="BENCH_PR10.json",
                         help="where to write the JSON trajectory file")
     parser.add_argument("--baseline", default=None,
                         help="previous BENCH_PR*.json to compare speedups "

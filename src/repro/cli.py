@@ -127,6 +127,10 @@ COMMANDS: Dict[str, str] = {
              "traced logs), --store journals campaigns durably (restart "
              "resumes unfinished shards), --procs N shares the port "
              "across N processes via SO_REUSEPORT",
+    "top": "live refreshing dashboard of a running service: per-process "
+           "RPS/p95/utilization rows, cluster SLO burn gauges, active "
+           "jobs with shard progress, recent lease steals (--once prints "
+           "a single frame)",
 }
 
 
@@ -661,6 +665,22 @@ def build_parser() -> argparse.ArgumentParser:
              "coordinate only through the shared journal)",
     )
 
+    top_parser = subparsers.add_parser(
+        "top",
+        help="live dashboard of a running service (cluster scope when the "
+             "server has a store; falls back to the one answering process)",
+    )
+    top_parser.add_argument("--host", default="127.0.0.1")
+    top_parser.add_argument("--port", type=int, default=8734)
+    top_parser.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh period in seconds",
+    )
+    top_parser.add_argument(
+        "--once", action="store_true",
+        help="print one frame and exit (no screen clearing; for scripts)",
+    )
+
     return parser
 
 
@@ -699,6 +719,18 @@ def _command_serve(args: argparse.Namespace) -> int:
     return run_frontend(config)
 
 
+def _command_top(args: argparse.Namespace) -> int:
+    # Imported lazily so plain experiment runs never touch the service layer.
+    from repro.service.client import AllocationClient, ServiceError, run_top
+
+    client = AllocationClient(host=args.host, port=args.port)
+    try:
+        return run_top(client, interval_s=args.interval, once=args.once)
+    except (ServiceError, OSError, TimeoutError) as error:
+        print(f"repro top failed: {error}", file=sys.stderr)
+        return 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -711,6 +743,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fleet": _command_fleet,
         "plan": _command_plan,
         "serve": _command_serve,
+        "top": _command_top,
     }
     if args.command is None:
         parser.print_help()

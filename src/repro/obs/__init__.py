@@ -14,8 +14,19 @@
   ``CampaignResponse.profile``).
 * :mod:`repro.obs.slo` -- per-endpoint latency objectives with good/total
   counters and 5m/1h burn-rate windows (``repro serve --slo-ms ...``).
+* :mod:`repro.obs.cluster` -- cross-process snapshot publication and the
+  exact merges behind ``GET /v1/metrics?scope=cluster`` and
+  ``/v1/stats?scope=cluster`` on a ``--procs N`` front-end.
 """
 
+from .cluster import (
+    DEFAULT_SNAPSHOT_TTL_S,
+    build_snapshot,
+    cluster_stats,
+    merged_families,
+    proc_identity,
+    render_cluster,
+)
 from .metrics import (
     Counter,
     EndpointLatencies,
@@ -27,7 +38,7 @@ from .metrics import (
     latency_histogram_samples,
 )
 from .profiling import PhaseProfiler
-from .slo import DEFAULT_SLO_MS, SloTracker, parse_slo_spec
+from .slo import DEFAULT_SLO_MS, SloTracker, merged_burn_rates, parse_slo_spec
 from .tracing import (
     JsonLogFormatter,
     SpanContext,
@@ -47,6 +58,7 @@ from .tracing import (
 __all__ = [
     "Counter",
     "DEFAULT_SLO_MS",
+    "DEFAULT_SNAPSHOT_TTL_S",
     "EndpointLatencies",
     "Gauge",
     "Histogram",
@@ -58,16 +70,22 @@ __all__ = [
     "SloTracker",
     "SpanContext",
     "TraceRecorder",
+    "build_snapshot",
     "capture_spans",
+    "cluster_stats",
     "configure_logging",
     "current_context",
     "format_traceparent",
     "ingest",
     "latency_histogram_samples",
+    "merged_burn_rates",
+    "merged_families",
     "new_trace_id",
     "parse_slo_spec",
     "parse_traceparent",
+    "proc_identity",
     "record_span",
     "recorder",
+    "render_cluster",
     "span",
 ]

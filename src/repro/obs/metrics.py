@@ -334,6 +334,39 @@ class MetricsRegistry:
                 )
         return "\n".join(lines) + "\n"
 
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Every family's samples as one JSON-encodable document.
+
+        This is the publish side of the cluster scope: a front-end
+        process serialises this snapshot into the shared store so any
+        peer can merge it into a cluster-wide exposition (see
+        :mod:`repro.obs.cluster`).  Shape::
+
+            {name: {"kind": ..., "help": ...,
+                    "samples": [[suffix, {label: value}, value], ...]}}
+
+        The same broken-callback tolerance as :meth:`render` applies: a
+        family whose sample function raises is skipped, never fatal.
+        """
+        with self._lock:
+            families = list(self._families.values())
+        out: Dict[str, Dict[str, Any]] = {}
+        for family in families:
+            try:
+                samples = family.samples()
+            except Exception:
+                continue
+            out[family.name] = {
+                "kind": family.kind,
+                "help": family.help_text,
+                "samples": [
+                    [suffix, {str(k): str(v) for k, v in labels.items()},
+                     float(value)]
+                    for suffix, labels, value in samples
+                ],
+            }
+        return out
+
 
 class LatencyHistogram:
     """Log-bucketed latency histogram with percentile estimates (thread-safe).
@@ -371,6 +404,60 @@ class LatencyHistogram:
         """Consistent (bucket counts, count, total_s, max_s) snapshot."""
         with self._lock:
             return list(self._counts), self._count, self._total_s, self._max_s
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Both histograms share the fixed :data:`LOG2_BOUNDS_S` buckets, so
+        the merge is exact (bucket counts sum elementwise); the estimator
+        error of the merged histogram is the same <=2x bucket-width error
+        as either input's.  Used by the cluster scope to combine
+        per-process snapshots.
+        """
+        counts, count, total_s, max_s = other.snapshot()
+        with self._lock:
+            for index, bucket in enumerate(counts):
+                self._counts[index] += bucket
+            self._count += count
+            self._total_s += total_s
+            if max_s > self._max_s:
+                self._max_s = max_s
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        counts: Sequence[int],
+        count: int,
+        total_s: float,
+        max_s: float,
+    ) -> "LatencyHistogram":
+        """Rebuild a histogram from a :meth:`snapshot` tuple."""
+        histogram = cls()
+        if len(counts) != len(histogram._counts):
+            raise ValueError(
+                f"expected {len(histogram._counts)} buckets, got {len(counts)}"
+            )
+        histogram._counts = [int(bucket) for bucket in counts]
+        histogram._count = int(count)
+        histogram._total_s = float(total_s)
+        histogram._max_s = float(max_s)
+        return histogram
+
+    def quantile(self, fraction: float) -> float:
+        """Estimated quantile in seconds, read from the bucket counts.
+
+        An empty histogram returns the documented sentinel ``0.0`` for
+        every quantile -- never ``nan`` -- and a single-observation
+        histogram returns that observation's bucket estimate (clamped to
+        the max seen, so it is the observation itself) for every
+        fraction.  Estimates are bounded by the largest sample recorded.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be within [0, 1], got {fraction}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            return self._percentile_locked(fraction)
 
     def _percentile_locked(self, fraction: float) -> float:
         rank = fraction * self._count

@@ -97,6 +97,20 @@ class _Window:
                 total += int(slot[2])
         return good, total
 
+    def snapshot(self, now: float) -> List[List[int]]:
+        """Live ``[epoch bucket index, good, total]`` rows at ``now``.
+
+        Epoch bucket indices are ``int(wall_clock / bucket_s)`` -- the
+        same value on every process of a cluster -- so rows from
+        different processes merge exactly by summing per index.
+        """
+        oldest = int(now / self.bucket_s) - self.num_buckets + 1
+        return sorted(
+            [int(slot[0]), int(slot[1]), int(slot[2])]
+            for slot in self._buckets
+            if slot[0] >= oldest and slot[2] > 0
+        )
+
 
 class _Objective:
     """One SLO key's counters and windows."""
@@ -201,6 +215,35 @@ class SloTracker:
             }
         return out
 
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """Export good/bad epochs for cross-process merging.
+
+        The payload carries, per objective, the cumulative counts plus
+        every live burn-rate bucket keyed by its wall-clock epoch index
+        (see :meth:`_Window.snapshot`).  Because all processes share
+        wall-clock epochs, :func:`merged_burn_rates` can reconstruct the
+        *cluster* burn rate exactly by summing rows per index.
+        """
+        if now is None:
+            now = time.time()
+        out: Dict[str, Any] = {"target": self.target, "objectives": {}}
+        with self._lock:
+            for key, objective in sorted(self._objectives.items()):
+                out["objectives"][key] = {
+                    "threshold_ms": objective.threshold_ms,
+                    "good": objective.good,
+                    "total": objective.total,
+                    "windows": {
+                        label: {
+                            "bucket_s": window.bucket_s,
+                            "num_buckets": window.num_buckets,
+                            "buckets": window.snapshot(now),
+                        }
+                        for label, window in objective.windows.items()
+                    },
+                }
+        return out
+
     # -- Prometheus sample functions (wired via MetricsRegistry.callback) --
 
     def _threshold_samples(self) -> List[Sample]:
@@ -255,9 +298,70 @@ class SloTracker:
         )
 
 
+def merged_burn_rates(
+    snapshots: List[Mapping[str, Any]], now: Optional[float] = None
+) -> Dict[str, Any]:
+    """Cluster-wide SLO state from per-process :meth:`SloTracker.snapshot`\\ s.
+
+    Epoch-bucket rows merge exactly (same wall-clock indices on every
+    process); the result mirrors :meth:`SloTracker.to_json_dict` with the
+    burn rates computed from the merged buckets.  Buckets that have aged
+    out of a window by ``now`` are dropped before summing, so a stale
+    snapshot cannot inflate a current burn rate.
+    """
+    if now is None:
+        now = time.time()
+    target = DEFAULT_TARGET
+    merged: Dict[str, Dict[str, Any]] = {}
+    for payload in snapshots:
+        target = float(payload.get("target", target))
+        for key, objective in payload.get("objectives", {}).items():
+            entry = merged.setdefault(key, {
+                "threshold_ms": float(objective.get("threshold_ms", 0.0)),
+                "good": 0, "total": 0, "windows": {},
+            })
+            entry["good"] += int(objective.get("good", 0))
+            entry["total"] += int(objective.get("total", 0))
+            for label, window in objective.get("windows", {}).items():
+                slot = entry["windows"].setdefault(label, {
+                    "bucket_s": float(window["bucket_s"]),
+                    "num_buckets": int(window["num_buckets"]),
+                    "buckets": {},
+                })
+                for index, good, total in window.get("buckets", ()):
+                    row = slot["buckets"].setdefault(int(index), [0, 0])
+                    row[0] += int(good)
+                    row[1] += int(total)
+    out: Dict[str, Any] = {"target": target, "objectives": {}}
+    for key, entry in sorted(merged.items()):
+        burn: Dict[str, float] = {}
+        for label, slot in entry["windows"].items():
+            oldest = int(now / slot["bucket_s"]) - slot["num_buckets"] + 1
+            good = total = 0
+            for index, (row_good, row_total) in slot["buckets"].items():
+                if index >= oldest:
+                    good += row_good
+                    total += row_total
+            if total == 0:
+                burn[label] = 0.0
+            else:
+                burn[label] = ((total - good) / total) / (1.0 - target)
+        out["objectives"][key] = {
+            "threshold_ms": entry["threshold_ms"],
+            "good": entry["good"],
+            "total": entry["total"],
+            "compliance": (
+                entry["good"] / entry["total"] if entry["total"] else 1.0
+            ),
+            **{f"burn_rate_{label}": value for label, value in sorted(burn.items())},
+        }
+    return out
+
+
 __all__ = [
     "DEFAULT_SLO_MS",
     "DEFAULT_TARGET",
     "SloTracker",
+    "merged_burn_rates",
     "parse_slo_spec",
 ]

@@ -38,7 +38,7 @@ import re
 import secrets
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional
 
@@ -118,11 +118,23 @@ class TraceRecorder:
     runaway campaign cannot grow one entry without bound.
     """
 
-    def __init__(self, max_traces: int = 256, max_spans_per_trace: int = 512) -> None:
+    def __init__(
+        self,
+        max_traces: int = 256,
+        max_spans_per_trace: int = 512,
+        drain_buffer: int = 4096,
+    ) -> None:
         self.max_traces = int(max_traces)
         self.max_spans_per_trace = int(max_spans_per_trace)
         self._lock = threading.Lock()
         self._traces: "OrderedDict[str, List[Dict[str, Any]]]" = OrderedDict()
+        # Monotonic arrival sequence + a bounded buffer of recent records
+        # so a persistence task can drain "everything since my last seq"
+        # without holding the recorder lock across I/O.
+        self._seq = 0
+        self._recent: "deque[tuple[int, Dict[str, Any]]]" = deque(
+            maxlen=int(drain_buffer)
+        )
 
     def add(self, record: Dict[str, Any]) -> None:
         """File one finished span record under its trace id."""
@@ -130,6 +142,8 @@ class TraceRecorder:
         if not trace_id:
             return
         with self._lock:
+            self._seq += 1
+            self._recent.append((self._seq, dict(record)))
             spans = self._traces.get(trace_id)
             if spans is None:
                 spans = self._traces[trace_id] = []
@@ -137,6 +151,24 @@ class TraceRecorder:
                     self._traces.popitem(last=False)
             if len(spans) < self.max_spans_per_trace:
                 spans.append(dict(record))
+
+    def records_since(self, seq: int) -> "tuple[int, List[Dict[str, Any]]]":
+        """(newest seq, records filed after ``seq``) -- the drain API.
+
+        A publisher loop calls this with the last sequence number it
+        persisted; records that fell out of the bounded drain buffer
+        before being drained are lost (bounded-memory by design).
+        """
+        with self._lock:
+            fresh = [
+                (number, dict(record))
+                for number, record in self._recent
+                if number > seq
+            ]
+            newest = self._seq
+        if not fresh:
+            return newest, []
+        return fresh[-1][0], [record for _, record in fresh]
 
     def spans(self, trace_id: str) -> Optional[List[Dict[str, Any]]]:
         """Recorded spans of one trace (start-ordered), ``None`` if unknown."""
@@ -343,6 +375,11 @@ class TextLogFormatter(logging.Formatter):
         return line
 
 
+#: Format last installed by :func:`configure_logging`, or ``None`` --
+#: what :func:`init_worker_logging` replays inside pool workers.
+_ACTIVE_LOG_FORMAT: Optional[str] = None
+
+
 def configure_logging(
     fmt: str = "text",
     level: int = logging.INFO,
@@ -353,9 +390,11 @@ def configure_logging(
     ``fmt`` is ``"text"`` or ``"json"``.  Replaces handlers previously
     installed by this function (idempotent across re-invocation, e.g.
     tests or an embedded server restart) and returns the handler.
-    Fork-started campaign workers inherit the configuration, so their
-    span lines land in the same stream in the same format.
+    Fork-started campaign workers inherit the configuration; spawn-started
+    ones (the default inside a spawn-context front-end child) replay it
+    through :func:`init_worker_logging`.
     """
+    global _ACTIVE_LOG_FORMAT
     if fmt not in ("text", "json"):
         raise ValueError(f"log format must be 'text' or 'json', got {fmt!r}")
     handler = logging.StreamHandler(stream)
@@ -368,7 +407,28 @@ def configure_logging(
     root.addHandler(handler)
     if root.level > level or root.level == logging.WARNING:
         root.setLevel(level)
+    _ACTIVE_LOG_FORMAT = fmt
     return handler
+
+
+def active_log_format() -> Optional[str]:
+    """The format :func:`configure_logging` last installed, if any."""
+    return _ACTIVE_LOG_FORMAT
+
+
+def init_worker_logging(fmt: Optional[str]) -> None:
+    """Process-pool initializer: mirror the parent's logging setup.
+
+    A pool created inside a spawn-context process gets spawn-started
+    workers (the child's inherited default start method), which import
+    everything fresh and so lose the parent's logging configuration --
+    their span lines would silently vanish.  Fork-started workers re-run
+    the (idempotent) configuration harmlessly.  ``fmt`` is the parent's
+    :func:`active_log_format`; ``None`` means the parent never configured
+    logging and the worker is left alone.
+    """
+    if fmt is not None:
+        configure_logging(fmt)
 
 
 __all__ = [
@@ -378,9 +438,11 @@ __all__ = [
     "SpanContext",
     "TextLogFormatter",
     "TraceRecorder",
+    "active_log_format",
     "capture_spans",
     "configure_logging",
     "current_context",
+    "init_worker_logging",
     "format_traceparent",
     "ingest",
     "new_span_id",

@@ -12,7 +12,10 @@ drives a live server with it)::
     python -m repro.service.client --port 8734 stats          # human summary
     python -m repro.service.client --port 8734 stats --json   # raw counters
     python -m repro.service.client --port 8734 metrics        # Prometheus text
+    python -m repro.service.client --port 8734 metrics --scope cluster
+    python -m repro.service.client --port 8734 top            # live dashboard
     python -m repro.service.client --port 8734 trace <trace_id>
+    python -m repro.service.client --port 8734 campaign events c1
     python -m repro.service.client --port 8734 campaign submit --hours 48
     python -m repro.service.client --port 8734 campaign status c1
     python -m repro.service.client --port 8734 campaign run --hours 48
@@ -169,17 +172,33 @@ class AllocationClient:
         """``GET /v1/healthz``."""
         return self._call("GET", "/v1/healthz")
 
-    def stats(self) -> Dict[str, Any]:
-        """``GET /v1/stats``."""
-        return self._call("GET", "/v1/stats")
+    def stats(self, scope: str = "self") -> Dict[str, Any]:
+        """``GET /v1/stats`` (``scope="cluster"`` merges all live procs)."""
+        suffix = "" if scope == "self" else f"?scope={scope}"
+        return self._call("GET", f"/v1/stats{suffix}")
 
-    def metrics_text(self) -> str:
-        """``GET /v1/metrics``: the raw Prometheus text exposition."""
-        return self._call_text("GET", "/v1/metrics")
+    def metrics_text(self, scope: str = "self") -> str:
+        """``GET /v1/metrics``: the raw Prometheus text exposition.
+
+        ``scope="cluster"`` asks a store-backed multi-process front-end
+        for the merged exposition (per-process series under a ``proc``
+        label plus synthesized ``repro_cluster_*`` families).
+        """
+        suffix = "" if scope == "self" else f"?scope={scope}"
+        return self._call_text("GET", f"/v1/metrics{suffix}")
 
     def trace(self, trace_id: str) -> Dict[str, Any]:
         """``GET /v1/trace/<id>``: the recorded spans of one trace."""
         return self._call("GET", f"/v1/trace/{trace_id}")
+
+    def campaign_events(self, campaign_id: str) -> Dict[str, Any]:
+        """``GET /v1/campaign/<id>/events``: the journaled job timeline.
+
+        Needs a store-backed server; each event carries ``kind``, ``at``
+        (epoch seconds), the owning front-end's ``host:pid``, and
+        kind-specific ``details`` (shard cells, steal provenance, ...).
+        """
+        return self._call("GET", f"/v1/campaign/{campaign_id}/events")
 
     def allocate(self, request: AllocationRequest) -> AllocationResponse:
         """``POST /v1/allocate`` one typed request."""
@@ -462,6 +481,143 @@ def format_stats_summary(stats: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+# --- live dashboard ---------------------------------------------------------------
+def _proc_row(proc: str, stats: Dict[str, Any]) -> Dict[str, Any]:
+    """One front-end's headline numbers for a ``repro top`` row."""
+    uptime_s = float(stats.get("uptime_s", 0.0)) or 1e-9
+    endpoints = stats.get("endpoints", {})
+    requests = sum(int(entry.get("count", 0)) for entry in endpoints.values())
+    p95_ms = max(
+        (float(entry.get("p95_ms", 0.0)) for entry in endpoints.values()),
+        default=0.0,
+    )
+    pool = stats.get("pool", {})
+    workers = int(pool.get("workers", 0))
+    capacity_ms = uptime_s * 1000.0 * max(workers, 1)
+    utilization = 100.0 * float(pool.get("busy_ms", 0.0)) / capacity_ms
+    cache = stats.get("cache", {})
+    return {
+        "proc": proc,
+        "rps": requests / uptime_s,
+        "p95_ms": p95_ms,
+        "util": utilization,
+        "requests": requests,
+        "hit_rate": 100.0 * float(cache.get("hit_rate", 0.0)),
+        "uptime_s": uptime_s,
+    }
+
+
+def format_top(doc: Dict[str, Any]) -> str:
+    """Render one ``repro top`` frame from a cluster (or self) stats doc.
+
+    ``doc`` is ``GET /v1/stats?scope=cluster`` -- per-process documents
+    under ``procs``, the merged ``slo`` section, active ``jobs``, and
+    ``recent_steals``.  A plain ``scope=self`` document renders too (one
+    row, no jobs/steals sections) so the dashboard degrades gracefully
+    against store-less servers.
+    """
+    procs = doc.get("procs")
+    if procs is None:  # scope=self fallback: treat it as one anonymous proc
+        procs = {"(self)": doc}
+    lines: List[str] = [
+        f"repro top -- {len(procs)} front-end(s), scope={doc.get('scope', 'self')}"
+    ]
+    lines.append("")
+    lines.append(
+        f"{'PROC':<22} {'RPS':>8} {'P95MS':>9} {'UTIL%':>7} "
+        f"{'REQS':>8} {'HIT%':>6} {'UP_S':>7}"
+    )
+    for proc in sorted(procs):
+        row = _proc_row(proc, procs[proc] or {})
+        lines.append(
+            f"{row['proc']:<22} {row['rps']:>8.1f} {row['p95_ms']:>9.3f} "
+            f"{row['util']:>7.1f} {row['requests']:>8d} "
+            f"{row['hit_rate']:>6.1f} {row['uptime_s']:>7.0f}"
+        )
+    objectives = (doc.get("slo") or {}).get("objectives", {})
+    if objectives:
+        lines.append("")
+        lines.append(
+            f"{'SLO':<22} {'COMPLY%':>8} {'BURN_5M':>9} {'BURN_1H':>9} "
+            f"{'GOOD/TOTAL':>14}"
+        )
+        for key in sorted(objectives):
+            entry = objectives[key]
+            total = int(entry.get("total", 0))
+            lines.append(
+                f"{key:<22} "
+                f"{100.0 * float(entry.get('compliance', 1.0)):>8.2f} "
+                f"{float(entry.get('burn_rate_5m', 0.0)):>9.2f} "
+                f"{float(entry.get('burn_rate_1h', 0.0)):>9.2f} "
+                f"{int(entry.get('good', 0)):>7d}/{total:<6d}"
+            )
+    if "jobs" in doc:
+        lines.append("")
+        lines.append(f"{'JOB':<10} {'STATUS':<9} {'SHARDS':>12} OWNER")
+        jobs = doc.get("jobs") or []
+        for job in jobs:
+            total = job.get("cells_total")
+            progress = f"{job.get('cells_done', 0)}/{total if total else '?'}"
+            lines.append(
+                f"{job.get('campaign_id', '?'):<10} "
+                f"{job.get('status', '?'):<9} {progress:>12} "
+                f"{job.get('owner') or '-'}"
+            )
+        if not jobs:
+            lines.append("(no active jobs)")
+    steals = doc.get("recent_steals") or []
+    if steals:
+        lines.append("")
+        lines.append("RECENT LEASE STEALS")
+        for steal in steals:
+            at = time.strftime(
+                "%H:%M:%S", time.localtime(float(steal.get("at", 0.0)))
+            )
+            lines.append(
+                f"  {at} {steal.get('job_id', '?')}: "
+                f"{steal.get('owner', '?')} <- "
+                f"{steal.get('previous_owner') or '?'}"
+            )
+    return "\n".join(lines)
+
+
+def run_top(
+    client: "AllocationClient",
+    interval_s: float = 2.0,
+    once: bool = False,
+    iterations: Optional[int] = None,
+) -> int:
+    """The ``repro top`` loop: fetch, render, refresh until interrupted.
+
+    Prefers ``scope=cluster``; a server without a store answers that with
+    HTTP 400, in which case each frame falls back to ``scope=self``.
+    ``once`` prints a single frame without clearing the terminal (CI and
+    piping); ``iterations`` bounds the loop for tests.
+    """
+    frame = 0
+    while True:
+        try:
+            doc = client.stats(scope="cluster")
+        except ServiceError as error:
+            if error.status != 400:
+                raise
+            doc = client.stats(scope="self")
+        rendered = format_top(doc)
+        if once:
+            print(rendered)
+            return 0
+        # Clear + home between frames, like top(1) -- no curses dependency.
+        sys.stdout.write("\x1b[2J\x1b[H" + rendered + "\n")
+        sys.stdout.flush()
+        frame += 1
+        if iterations is not None and frame >= iterations:
+            return 0
+        try:
+            time.sleep(interval_s)
+        except KeyboardInterrupt:
+            return 0
+
+
 # --- command-line front ----------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     """Build the client's command-line parser."""
@@ -486,7 +642,25 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", action="store_true",
                        help="print the raw /stats counters as JSON instead "
                             "of the human-readable summary")
-    commands.add_parser("metrics", help="raw Prometheus text from /metrics")
+    stats.add_argument("--scope", default="self", choices=["self", "cluster"],
+                       help="cluster merges every live front-end's counters "
+                            "(needs a store-backed server)")
+    metrics = commands.add_parser(
+        "metrics", help="raw Prometheus text from /metrics"
+    )
+    metrics.add_argument("--scope", default="self",
+                         choices=["self", "cluster"],
+                         help="cluster merges every live front-end's series "
+                              "under a proc label (needs a store)")
+    top = commands.add_parser(
+        "top",
+        help="live refreshing dashboard of the cluster (per-process rows, "
+             "SLO burn, active jobs, lease steals)",
+    )
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="refresh period in seconds")
+    top.add_argument("--once", action="store_true",
+                     help="print one frame and exit (no screen clearing)")
     trace = commands.add_parser(
         "trace", help="fetch one trace's recorded spans by id"
     )
@@ -547,6 +721,12 @@ def build_parser() -> argparse.ArgumentParser:
         "delete", help="delete a finished campaign (it 404s afterwards)"
     )
     delete.add_argument("id")
+    events = verbs.add_parser(
+        "events",
+        help="journaled lifecycle timeline of one campaign "
+             "(needs a store-backed server)",
+    )
+    events.add_argument("id")
     columns = verbs.add_parser(
         "columns",
         help="stream a finished campaign's columns (NDJSON by default)",
@@ -600,6 +780,8 @@ def _campaign_command(client: AllocationClient, args: argparse.Namespace) -> Any
         return client.cancel_campaign(args.id).to_json_dict()
     if args.verb == "delete":
         return client.delete_campaign(args.id)
+    if args.verb == "events":
+        return client.campaign_events(args.id)
     # columns: stream the NDJSON lines straight through, one per payload.
     if args.binary:
         # Fetch over the binary wire, then print the same per-cell lines
@@ -630,14 +812,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "health":
             payload: Any = client.health()
         elif args.command == "stats":
-            if args.json:
-                payload = client.stats()
+            if args.json or args.scope == "cluster":
+                payload = client.stats(scope=args.scope)
             else:
                 print(format_stats_summary(client.stats()))
                 return 0
         elif args.command == "metrics":
-            print(client.metrics_text(), end="")
+            print(client.metrics_text(scope=args.scope), end="")
             return 0
+        elif args.command == "top":
+            return run_top(client, interval_s=args.interval, once=args.once)
         elif args.command == "trace":
             payload = client.trace(args.id)
         elif args.command == "campaign":
@@ -673,5 +857,7 @@ __all__ = [
     "ServiceError",
     "build_parser",
     "format_stats_summary",
+    "format_top",
     "main",
+    "run_top",
 ]

@@ -302,8 +302,14 @@ class WorkerPool:
             # the executor here would leak worker processes nobody stops.
             self._check_open()
             if self._campaign_executor is None:
+                # The initializer replays the parent's logging config in
+                # spawn-started workers (the default inside a spawn-context
+                # front-end child), so shard span lines reach the shared
+                # log stream no matter the worker start method.
                 self._campaign_executor = ProcessPoolExecutor(
-                    max_workers=self.campaign_workers
+                    max_workers=self.campaign_workers,
+                    initializer=tracing.init_worker_logging,
+                    initargs=(tracing.active_log_format(),),
                 )
             return self._campaign_executor
 

@@ -102,6 +102,7 @@ import itertools
 import json
 import logging
 import os
+import platform
 import re
 import threading
 import time
@@ -120,6 +121,7 @@ from urllib.parse import parse_qsl
 
 from repro import __version__
 from repro.core.design_point import DesignPoint
+from repro.obs import cluster as obs_cluster
 from repro.obs import tracing
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.slo import SloTracker
@@ -147,7 +149,9 @@ MAX_BODY_BYTES = 4 * 1024 * 1024
 
 #: Campaign ids are ``c1``, ``c2``, ... (per process, or store-wide when a
 #: durable store allocates them).
-_CAMPAIGN_PATH = re.compile(r"^/campaign/([A-Za-z0-9_-]+)(/columns|/cancel)?$")
+_CAMPAIGN_PATH = re.compile(
+    r"^/campaign/([A-Za-z0-9_-]+)(/columns|/cancel|/events)?$"
+)
 
 #: Version prefix of the stable API; legacy paths omit it (and get a
 #: ``Deprecation`` header on the way out).
@@ -275,6 +279,12 @@ class AllocationService:
         self.slo = SloTracker(slo_ms)
         self.started_at = time.time()
         self._started_monotonic = time.monotonic()
+        #: Cluster-wide identity of this process (``host:pid``) -- the
+        #: ``proc`` label on published snapshots and liveness gauges.
+        self.proc = obs_cluster.proc_identity()
+        #: High-water mark into the trace recorder's drain buffer; spans
+        #: filed after it are persisted on the next snapshot publication.
+        self._span_seq = 0
         self.metrics = MetricsRegistry()
         self._requests_total = self.metrics.counter(
             "repro_requests_total",
@@ -314,9 +324,25 @@ class AllocationService:
         metrics = self.metrics
         metrics.callback(
             "repro_build_info",
-            "Constant 1, labelled with the package version.",
+            "Constant 1, labelled with the package version, default "
+            "engine backend, and Python version.",
             "gauge",
-            lambda: [("", {"version": __version__}, 1)],
+            lambda: [(
+                "",
+                {
+                    "version": __version__,
+                    "backend": self.registry.default_backend,
+                    "python": platform.python_version(),
+                },
+                1,
+            )],
+        )
+        metrics.callback(
+            "repro_frontend_up",
+            "Liveness of this front-end process (1 while serving), "
+            "labelled with its host:pid identity.",
+            "gauge",
+            lambda: [("", {"proc": self.proc}, 1)],
         )
         metrics.callback(
             "repro_uptime_seconds",
@@ -759,6 +785,10 @@ class AllocationService:
             job.task = asyncio.get_running_loop().create_task(
                 self._run_campaign(job)
             )
+        try:
+            self.store.recover(job.campaign_id)
+        except StoreError:
+            pass  # the adoption stands; the timeline event is best-effort
         self.store.stats.bump("jobs_recovered")
         return job
 
@@ -916,6 +946,113 @@ class AllocationService:
             "store": None if self.store is None else self.store.to_json_dict(),
             "uptime_s": time.monotonic() - self._started_monotonic,
         }
+
+    # --- cluster scope ----------------------------------------------------------
+    def publish_observability(self) -> None:
+        """Publish this process's snapshot and drain finished spans.
+
+        One beat of the cluster-scope pipeline (blocking; callers on the
+        event loop run it in an executor): the current metric families,
+        SLO epochs, and ``/stats`` document go into the store's
+        ``snapshots`` table keyed by ``host:pid``, and spans completed
+        since the last beat go into its bounded ``spans`` ring.  No-op
+        without a store; a store hiccup leaves the span high-water mark
+        unchanged so the next beat retries the same records.
+        """
+        if self.store is None:
+            return
+        payload = obs_cluster.build_snapshot(
+            self.metrics, self.slo, stats=self.stats(), proc=self.proc
+        )
+        try:
+            self.store.publish_snapshot(
+                obs_cluster.encode_snapshot(payload), proc=self.proc
+            )
+            seq, records = tracing.recorder().records_since(self._span_seq)
+            if records:
+                self.store.persist_spans(records)
+            self._span_seq = seq
+        except StoreError:
+            pass  # observability must never take the service down
+
+    def _live_cluster_snapshots(self) -> List[Dict[str, Any]]:
+        """Fresh decoded snapshots, this process's own published first.
+
+        Publishing before reading makes the serving process's own data
+        deterministic in every cluster answer (no waiting on the 2 s
+        publisher beat) and bounds staleness of the rest at the TTL.
+        """
+        self.publish_observability()
+        payloads: List[Dict[str, Any]] = []
+        for _proc, raw, _published_at in self.store.live_snapshots():
+            try:
+                payloads.append(obs_cluster.decode_snapshot(raw))
+            except (ValueError, UnicodeDecodeError):
+                continue  # a torn/corrupt snapshot hides one proc, not all
+        return payloads
+
+    def cluster_metrics_text(self) -> str:
+        """``GET /metrics?scope=cluster``: merged Prometheus exposition."""
+        if self.store is None:
+            raise ValueError(
+                "scope=cluster requires a durable store (repro serve --store)"
+            )
+        return obs_cluster.render_cluster(self._live_cluster_snapshots())
+
+    def cluster_stats_doc(self) -> Dict[str, Any]:
+        """``GET /stats?scope=cluster``: per-proc stats, merged SLOs, jobs.
+
+        Adds the store-derived sections ``repro top`` renders alongside
+        the per-process rows: active jobs (with shard progress and lease
+        owner) and the most recent lease steals.
+        """
+        if self.store is None:
+            raise ValueError(
+                "scope=cluster requires a durable store (repro serve --store)"
+            )
+        doc = obs_cluster.cluster_stats(self._live_cluster_snapshots())
+        jobs: List[Dict[str, Any]] = []
+        for campaign_id, record in sorted(self.store.jobs().items()):
+            if record.status not in ("queued", "running"):
+                continue
+            holder = self.store.lease_holder(campaign_id)
+            jobs.append({
+                "campaign_id": campaign_id,
+                "status": record.status,
+                "cells_done": len(set(record.done_cells)),
+                "cells_total": (
+                    record.request.num_cells
+                    if record.request is not None else None
+                ),
+                "owner": None if holder is None else holder[0],
+            })
+        doc["jobs"] = jobs
+        doc["recent_steals"] = self.store.recent_lease_steals()
+        return doc
+
+    def trace_lookup(self, trace_id: str) -> Optional[List[Dict[str, Any]]]:
+        """Spans of one trace: local recorder merged with the store ring.
+
+        The store fallback is what makes ``GET /trace/<id>`` answerable
+        from a front-end that never handled the request (and after a
+        restart).  Spans present in both places dedupe by ``span_id``;
+        returns ``None`` when neither side knows the trace.
+        """
+        spans = list(tracing.recorder().spans(trace_id) or ())
+        if self.store is not None:
+            try:
+                stored = self.store.trace_spans(trace_id)
+            except StoreError:
+                stored = []
+            seen = {record.get("span_id") for record in spans}
+            spans.extend(
+                record for record in stored
+                if record.get("span_id") not in seen
+            )
+        if not spans:
+            return None
+        spans.sort(key=lambda record: record.get("start_s", 0.0))
+        return spans
 
 
 #: Default machine-readable error code per status; individual raise sites
@@ -1314,6 +1451,25 @@ class AllocationServer:
         writer.write(b"0\r\n\r\n")
         await writer.drain()
 
+    @staticmethod
+    def _scope_of(query: Mapping[str, str]) -> str:
+        """Validated ``?scope=`` of /stats and /metrics (default self)."""
+        scope = query.get("scope", "self")
+        if scope not in ("self", "cluster"):
+            raise _HttpError(
+                400, f"unknown scope {scope!r}; expected 'self' or 'cluster'"
+            )
+        return scope
+
+    async def _run_cluster_read(self, fn):
+        """Run one blocking cluster read off-loop; map its errors to HTTP."""
+        try:
+            return await asyncio.get_running_loop().run_in_executor(None, fn)
+        except ValueError as error:
+            raise _HttpError(400, str(error))
+        except StoreError as error:
+            raise _HttpError(503, f"store unavailable: {error}")
+
     async def _dispatch(
         self,
         method: str,
@@ -1334,17 +1490,34 @@ class AllocationServer:
         if path == "/stats":
             if method != "GET":
                 raise _HttpError(405, "stats is GET-only")
+            scope = self._scope_of(query)
+            if scope == "cluster":
+                doc = await self._run_cluster_read(
+                    self.service.cluster_stats_doc
+                )
+                return 200, doc
             return 200, self.service.stats()
         if path == "/metrics":
             if method != "GET":
                 raise _HttpError(405, "metrics is GET-only")
+            scope = self._scope_of(query)
+            if scope == "cluster":
+                text = await self._run_cluster_read(
+                    self.service.cluster_metrics_text
+                )
+                return _PlainText(text)
             return _PlainText(self.service.metrics.render())
         trace_match = _TRACE_PATH.match(path)
         if trace_match:
             if method != "GET":
                 raise _HttpError(405, "trace lookup is GET-only")
             trace_id = trace_match.group(1)
-            spans = tracing.recorder().spans(trace_id)
+            # The service merges the local recorder with the store's span
+            # ring, so any front-end resolves traces handled by another
+            # process (and traces that predate a restart).
+            spans = await asyncio.get_running_loop().run_in_executor(
+                None, self.service.trace_lookup, trace_id
+            )
             if spans is None:
                 raise _HttpError(404, f"unknown trace {trace_id!r}")
             return 200, {"trace_id": trace_id, "spans": spans}
@@ -1385,6 +1558,22 @@ class AllocationServer:
         if match:
             campaign_id, suffix = match.group(1), match.group(2) or ""
             wants_columns = suffix == "/columns"
+            if suffix == "/events":
+                if method != "GET":
+                    raise _HttpError(405, "campaign events are GET-only")
+                store = self.service.store
+                if store is None:
+                    raise _HttpError(
+                        400,
+                        "campaign events need a durable store "
+                        "(repro serve --store)",
+                    )
+                events = await asyncio.get_running_loop().run_in_executor(
+                    None, store.events, campaign_id
+                )
+                if not events:
+                    raise _HttpError(404, f"unknown campaign {campaign_id!r}")
+                return 200, {"campaign_id": campaign_id, "events": events}
             if suffix == "/cancel":
                 if method != "POST":
                     raise _HttpError(405, "campaign cancel is POST-only")
@@ -1470,6 +1659,36 @@ class AllocationServer:
             raise _HttpError(400, f"invalid allocation request: {error}")
 
 
+async def _publish_observability_loop(service: AllocationService) -> None:
+    """Periodic snapshot/span publication behind the cluster scope.
+
+    Runs for the lifetime of the server (cancelled on shutdown).  Each
+    beat is blocking SQLite work, so it runs in an executor; any failure
+    is swallowed -- the next beat retries, and a front-end that cannot
+    publish merely goes stale in cluster scrapes until it recovers.
+    """
+    loop = asyncio.get_running_loop()
+    while True:
+        try:
+            await loop.run_in_executor(None, service.publish_observability)
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            _REQUEST_LOGGER.debug(
+                "observability publish beat failed", exc_info=True
+            )
+        await asyncio.sleep(obs_cluster.PUBLISH_INTERVAL_S)
+
+
+def _start_publisher(service: AllocationService) -> Optional["asyncio.Task"]:
+    """The publisher task for a store-backed service (else ``None``)."""
+    if service.store is None:
+        return None
+    return asyncio.get_running_loop().create_task(
+        _publish_observability_loop(service)
+    )
+
+
 async def serve(
     service: Optional[AllocationService] = None,
     host: str = "127.0.0.1",
@@ -1509,9 +1728,12 @@ async def serve(
         print(f"allocation service listening on http://{host}:{bound}", flush=True)
     if ready is not None:
         ready.set()
+    publisher = _start_publisher(server.service)
     try:
         await asyncio.Event().wait()  # park until cancelled
     finally:
+        if publisher is not None:
+            publisher.cancel()
         await server.stop()
 
 
@@ -1603,11 +1825,14 @@ def start_in_thread(
             holder["loop"] = asyncio.get_running_loop()
             holder["task"] = asyncio.current_task()
             started.set()
+            publisher = _start_publisher(service)
             try:
                 await ready.wait()  # parked until the task is cancelled
             except asyncio.CancelledError:
                 pass
             finally:
+                if publisher is not None:
+                    publisher.cancel()
                 await server.stop()
 
         asyncio.run(_main())

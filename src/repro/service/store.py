@@ -77,10 +77,19 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.obs import tracing
 from repro.service.requests import CampaignRequest
 
-#: Journal record kinds, in lifecycle order.
+#: Journal record kinds, in lifecycle order.  ``lease_acquire`` /
+#: ``lease_steal`` / ``recover`` are pure observability records -- they
+#: surface PR 9's coordination in the ``/v1/campaign/<id>/events``
+#: timeline but contribute nothing to replayed job state.
 RECORD_KINDS = (
-    "submit", "start", "shard_done", "finish", "fail", "cancel", "delete",
+    "submit", "start", "lease_acquire", "lease_steal", "shard_done",
+    "recover", "finish", "fail", "cancel", "delete",
 )
+
+#: Record kinds that annotate a job without defining its state; replay
+#: never creates a :class:`JobRecord` for them (a late lease record must
+#: not resurrect a deleted job).
+_EVENT_ONLY_KINDS = ("lease_acquire", "lease_steal", "recover")
 
 #: Non-terminal statuses a re-opened store offers for recovery.
 RESUMABLE_STATUSES = ("queued", "running")
@@ -89,6 +98,14 @@ RESUMABLE_STATUSES = ("queued", "running")
 #: by pid liveness and expire immediately.
 DEFAULT_LEASE_TTL_S = 120.0
 
+#: Completed spans persisted past ``max_spans`` are deleted oldest-first
+#: (ring-buffer retention) so the trace table stays bounded forever.
+DEFAULT_SPAN_RETENTION = 20000
+
+#: Snapshots not re-published within this window are stale: excluded
+#: from the cluster scope and eventually deleted.
+DEFAULT_SNAPSHOT_TTL_S = 15.0
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS journal (
     seq INTEGER PRIMARY KEY AUTOINCREMENT,
@@ -96,7 +113,8 @@ CREATE TABLE IF NOT EXISTS journal (
     kind TEXT NOT NULL,
     payload BLOB NOT NULL,
     crc INTEGER NOT NULL,
-    created_at REAL NOT NULL
+    created_at REAL NOT NULL,
+    owner TEXT
 );
 CREATE INDEX IF NOT EXISTS journal_job ON journal (job_id, seq);
 CREATE TABLE IF NOT EXISTS idempotency (
@@ -112,6 +130,18 @@ CREATE TABLE IF NOT EXISTS counters (
     name TEXT PRIMARY KEY,
     value INTEGER NOT NULL
 );
+CREATE TABLE IF NOT EXISTS snapshots (
+    proc TEXT PRIMARY KEY,
+    payload BLOB NOT NULL,
+    published_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS spans (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    trace_id TEXT NOT NULL,
+    record BLOB NOT NULL,
+    created_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS spans_trace ON spans (trace_id, id);
 """
 
 
@@ -284,6 +314,8 @@ class StoreStats:
         self.leases_acquired = 0
         self.leases_stolen = 0
         self.leases_rejected = 0
+        self.snapshots_published = 0
+        self.spans_persisted = 0
 
     def record_append(self, kind: str, nbytes: int) -> None:
         with self._lock:
@@ -307,6 +339,8 @@ class StoreStats:
                     "stolen": self.leases_stolen,
                     "rejected": self.leases_rejected,
                 },
+                "snapshots_published": self.snapshots_published,
+                "spans_persisted": self.spans_persisted,
             }
 
 
@@ -335,6 +369,8 @@ class CampaignStore:
         self.lease_ttl_s = float(lease_ttl_s)
         #: This process's lease identity (``host:pid:token``).
         self.owner = owner if owner is not None else _default_owner()
+        #: The journal's ``owner`` column / cluster identity: ``host:pid``.
+        self.proc = ":".join(self.owner.split(":")[:2])
         self.stats = StoreStats()
         self._lock = threading.RLock()
         parent = Path(self.path).resolve().parent
@@ -352,6 +388,7 @@ class CampaignStore:
                 % ("FULL" if sync == "full" else "NORMAL")
             )
             self._db.executescript(_SCHEMA)
+            self._migrate_journal_owner()
             self._drop_torn_tail()
         except sqlite3.DatabaseError as error:
             raise StoreError(
@@ -376,6 +413,21 @@ class CampaignStore:
         if self._db is None:
             raise StoreError(f"campaign store {self.path!r} is closed")
         return self._db
+
+    def _migrate_journal_owner(self) -> None:
+        """Add the ``owner`` column to journals created before PR 10.
+
+        ``CREATE TABLE IF NOT EXISTS`` never alters an existing table, so
+        a store from an older server lacks the column; records it wrote
+        keep ``owner = NULL`` in the events timeline, which is honest --
+        their writer was never recorded.
+        """
+        columns = {
+            str(row[1])
+            for row in self._db.execute("PRAGMA table_info(journal)")
+        }
+        if "owner" not in columns:
+            self._db.execute("ALTER TABLE journal ADD COLUMN owner TEXT")
 
     def _drop_torn_tail(self) -> None:
         """Drop every journal record from the first CRC mismatch onward.
@@ -411,8 +463,9 @@ class CampaignStore:
             try:
                 cursor = db.execute(
                     "INSERT INTO journal (job_id, kind, payload, crc, "
-                    "created_at) VALUES (?, ?, ?, ?, ?)",
-                    (job_id, kind, payload, zlib.crc32(payload), started),
+                    "created_at, owner) VALUES (?, ?, ?, ?, ?, ?)",
+                    (job_id, kind, payload, zlib.crc32(payload), started,
+                     self.proc),
                 )
             except sqlite3.DatabaseError as error:
                 raise StoreError(f"journal append failed: {error}") from error
@@ -466,9 +519,9 @@ class CampaignStore:
                     })
                     db.execute(
                         "INSERT INTO journal (job_id, kind, payload, crc, "
-                        "created_at) VALUES (?, ?, ?, ?, ?)",
+                        "created_at, owner) VALUES (?, ?, ?, ?, ?, ?)",
                         (job_id, "submit", payload, zlib.crc32(payload),
-                         time.time()),
+                         time.time(), self.proc),
                     )
                     if idempotency_key is not None:
                         db.execute(
@@ -527,6 +580,12 @@ class CampaignStore:
         """Journal deletion; the id disappears from :meth:`jobs`."""
         self._append(job_id, "delete", self._json_payload({}))
 
+    def recover(self, job_id: str, reason: str = "adopted") -> None:
+        """Journal an adoption/recovery of an abandoned job (event-only)."""
+        self._append(
+            job_id, "recover", self._json_payload({"reason": str(reason)})
+        )
+
     # --- replay / queries ---------------------------------------------------------
     def jobs(self) -> Dict[str, JobRecord]:
         """Replay the journal into per-job state (shard payloads stay lazy)."""
@@ -543,6 +602,8 @@ class CampaignStore:
         for seq, job_id, kind, payload, created_at in rows:
             record = records.get(job_id)
             if record is None:
+                if kind in _EVENT_ONLY_KINDS:
+                    continue  # annotations never resurrect a deleted job
                 record = records[job_id] = JobRecord(job_id=job_id)
             if kind == "submit":
                 body = self._decode_json(seq, payload)
@@ -730,6 +791,7 @@ class CampaignStore:
                         (job_id,),
                     ).fetchone()
                     stolen = False
+                    previous_owner: Optional[str] = None
                     if row is not None:
                         owner, expires_at = str(row[0]), float(row[1])
                         if owner != self.owner:
@@ -737,6 +799,7 @@ class CampaignStore:
                                 self.stats.bump("leases_rejected")
                                 return False
                             stolen = True
+                            previous_owner = owner
                     db.execute(
                         "INSERT INTO leases (job_id, owner, expires_at) "
                         "VALUES (?, ?, ?) ON CONFLICT(job_id) DO UPDATE SET "
@@ -748,6 +811,15 @@ class CampaignStore:
             except sqlite3.DatabaseError as error:
                 raise StoreError(f"lease acquire failed: {error}") from error
         self.stats.bump("leases_stolen" if stolen else "leases_acquired")
+        # Journaled after the claim commits: the timeline records who won,
+        # and a steal names the owner it displaced.
+        if stolen:
+            self._append(
+                job_id, "lease_steal",
+                self._json_payload({"previous_owner": previous_owner}),
+            )
+        else:
+            self._append(job_id, "lease_acquire", self._json_payload({}))
         return True
 
     def renew_lease(self, job_id: str, ttl_s: Optional[float] = None) -> bool:
@@ -804,6 +876,194 @@ class CampaignStore:
             return False
         return expires_at <= time.time() or not _owner_alive(owner)
 
+    # --- events timeline ----------------------------------------------------------
+    def events(self, job_id: str) -> List[Dict[str, Any]]:
+        """One job's journal as a human-readable lifecycle timeline.
+
+        Each row: ``seq``, ``kind``, ``at`` (epoch seconds), ``owner``
+        (the writing process's ``host:pid``; ``None`` for records from a
+        pre-PR-10 store) and a light ``details`` object -- shard records
+        surface their cell ids from the frame headers without decoding
+        any column payloads, so the timeline stays cheap on big jobs.
+        """
+        with self._lock:
+            db = self._connection()
+            try:
+                rows = db.execute(
+                    "SELECT seq, kind, payload, created_at, owner "
+                    "FROM journal WHERE job_id = ? ORDER BY seq",
+                    (job_id,),
+                ).fetchall()
+            except sqlite3.DatabaseError as error:
+                raise StoreError(f"events query failed: {error}") from error
+        events: List[Dict[str, Any]] = []
+        for seq, kind, payload, created_at, owner in rows:
+            details: Dict[str, Any] = {}
+            if kind == "shard_done":
+                details["cells"] = [
+                    [scenario_index, policy_index]
+                    for scenario_index, policy_index
+                    in self._shard_cell_ids(payload, seq)
+                ]
+            elif kind in ("submit", "finish"):
+                pass  # request/meta payloads are status-endpoint material
+            else:
+                details = self._decode_json(seq, payload)
+            events.append({
+                "seq": int(seq),
+                "kind": str(kind),
+                "at": float(created_at),
+                "owner": None if owner is None else str(owner),
+                "details": details,
+            })
+        return events
+
+    def recent_lease_steals(self, limit: int = 10) -> List[Dict[str, Any]]:
+        """The newest ``lease_steal`` records, most recent first."""
+        with self._lock:
+            db = self._connection()
+            try:
+                rows = db.execute(
+                    "SELECT seq, job_id, payload, created_at, owner "
+                    "FROM journal WHERE kind = 'lease_steal' "
+                    "ORDER BY seq DESC LIMIT ?",
+                    (int(limit),),
+                ).fetchall()
+            except sqlite3.DatabaseError as error:
+                raise StoreError(f"steal query failed: {error}") from error
+        return [
+            {
+                "seq": int(seq),
+                "job_id": str(job_id),
+                "at": float(created_at),
+                "owner": None if owner is None else str(owner),
+                "previous_owner":
+                    self._decode_json(seq, payload).get("previous_owner"),
+            }
+            for seq, job_id, payload, created_at, owner in rows
+        ]
+
+    # --- observability snapshots --------------------------------------------------
+    def publish_snapshot(
+        self, payload: bytes, proc: Optional[str] = None
+    ) -> None:
+        """Upsert this process's observability snapshot (the heartbeat).
+
+        Re-publication refreshes ``published_at``; a process that stops
+        publishing (crashed, hung, SIGKILLed) ages out of
+        :meth:`live_snapshots` after the TTL.
+        """
+        if proc is None:
+            proc = self.proc
+        with self._lock:
+            db = self._connection()
+            try:
+                db.execute(
+                    "INSERT INTO snapshots (proc, payload, published_at) "
+                    "VALUES (?, ?, ?) ON CONFLICT(proc) DO UPDATE SET "
+                    "payload = excluded.payload, "
+                    "published_at = excluded.published_at",
+                    (proc, payload, time.time()),
+                )
+            except sqlite3.DatabaseError as error:
+                raise StoreError(f"snapshot publish failed: {error}") from error
+        self.stats.bump("snapshots_published")
+
+    def live_snapshots(
+        self, ttl_s: float = DEFAULT_SNAPSHOT_TTL_S
+    ) -> List[Tuple[str, bytes, float]]:
+        """Every live process's ``(proc, payload, published_at)``.
+
+        A snapshot is live when it was published within ``ttl_s`` *and*
+        its process still exists (same-host pids are probed directly, so
+        a SIGKILLed front-end disappears immediately instead of lingering
+        for the TTL).  Dead and stale rows are deleted on the way out --
+        the table can never outgrow the set of recently live processes.
+        """
+        now = time.time()
+        with self._lock:
+            db = self._connection()
+            try:
+                rows = db.execute(
+                    "SELECT proc, payload, published_at FROM snapshots"
+                ).fetchall()
+                live: List[Tuple[str, bytes, float]] = []
+                dead: List[str] = []
+                for proc, payload, published_at in rows:
+                    proc = str(proc)
+                    fresh = float(published_at) >= now - float(ttl_s)
+                    if fresh and _owner_alive(f"{proc}:x"):
+                        live.append((proc, payload, float(published_at)))
+                    else:
+                        dead.append(proc)
+                for proc in dead:
+                    db.execute(
+                        "DELETE FROM snapshots WHERE proc = ?", (proc,)
+                    )
+            except sqlite3.DatabaseError as error:
+                raise StoreError(f"snapshot query failed: {error}") from error
+        return sorted(live)
+
+    # --- durable spans ------------------------------------------------------------
+    def persist_spans(
+        self,
+        records: Sequence[Dict[str, Any]],
+        retention: int = DEFAULT_SPAN_RETENTION,
+    ) -> int:
+        """Persist finished span records; oldest rows beyond ``retention``
+        are deleted (ring-buffer semantics).  Returns how many were
+        written."""
+        rows = []
+        now = time.time()
+        for record in records:
+            trace_id = record.get("trace_id")
+            if not trace_id:
+                continue
+            rows.append((
+                str(trace_id),
+                json.dumps(record, separators=(",", ":"),
+                           default=str).encode("utf-8"),
+                now,
+            ))
+        if not rows:
+            return 0
+        with self._lock:
+            db = self._connection()
+            try:
+                db.executemany(
+                    "INSERT INTO spans (trace_id, record, created_at) "
+                    "VALUES (?, ?, ?)",
+                    rows,
+                )
+                db.execute(
+                    "DELETE FROM spans WHERE id <= "
+                    "(SELECT MAX(id) FROM spans) - ?",
+                    (int(retention),),
+                )
+            except sqlite3.DatabaseError as error:
+                raise StoreError(f"span persist failed: {error}") from error
+        self.stats.bump("spans_persisted", len(rows))
+        return len(rows)
+
+    def trace_spans(self, trace_id: str) -> List[Dict[str, Any]]:
+        """Every persisted span of one trace, start-ordered ([] if none)."""
+        with self._lock:
+            db = self._connection()
+            try:
+                rows = db.execute(
+                    "SELECT record FROM spans WHERE trace_id = ? ORDER BY id",
+                    (trace_id,),
+                ).fetchall()
+            except sqlite3.DatabaseError as error:
+                raise StoreError(f"span query failed: {error}") from error
+        spans = []
+        for (record,) in rows:
+            try:
+                spans.append(json.loads(record.decode("utf-8")))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                continue  # one corrupt row must not hide the trace
+        return sorted(spans, key=lambda span: span.get("start_s", 0.0))
+
     # --- introspection ------------------------------------------------------------
     def to_json_dict(self) -> Dict[str, Any]:
         """Store block of the ``/stats`` payload."""
@@ -819,6 +1079,8 @@ class CampaignStore:
 __all__ = [
     "CampaignStore",
     "DEFAULT_LEASE_TTL_S",
+    "DEFAULT_SNAPSHOT_TTL_S",
+    "DEFAULT_SPAN_RETENTION",
     "JobRecord",
     "RECORD_KINDS",
     "RESUMABLE_STATUSES",
